@@ -1,0 +1,90 @@
+// Ablation: output corruptibility across locking schemes.
+//
+// The paper's argument against one-point functions (SARLock/Anti-SAT/SFLL):
+// their wrong-key error is a single input pattern, so a pirated chip with a
+// wrong key works almost perfectly. RIL-Blocks corrupt a large fraction of
+// input space under any wrong key.
+#include <cstdio>
+
+#include "attacks/metrics.hpp"
+#include "bench_util.hpp"
+#include "benchgen/suite.hpp"
+#include "locking/schemes.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ril;
+  const bench::BenchOptions options = bench::parse_options(argc, argv);
+  const std::size_t trials = options.full ? 65536 : 8192;
+  const auto host = benchgen::make_benchmark(
+      "c7552", options.scale > 0 ? options.scale : 0.1);
+
+  bench::print_banner(
+      "Ablation -- output corruptibility under random wrong keys",
+      "fraction of random (input, wrong key) pairs with corrupted output; "
+      "bit error = per-output-bit flip rate; trials=" +
+          std::to_string(trials));
+
+  const std::vector<int> widths = {22, 9, 14, 12};
+  bench::print_rule(widths);
+  bench::print_row({"scheme", "keybits", "corruptibility", "bit error"},
+                   widths);
+  bench::print_rule(widths);
+
+  auto report = [&](const std::string& name, const netlist::Netlist& locked,
+                    const std::vector<bool>& key) {
+    const double corruption =
+        attacks::output_corruptibility(locked, key, trials, options.seed);
+    // Representative wrong key: flip every other bit.
+    auto wrong = key;
+    for (std::size_t i = 0; i < wrong.size(); i += 2) wrong[i] = !wrong[i];
+    const double bit_error =
+        attacks::bit_error_rate(locked, wrong, key, trials, options.seed);
+    char c1[32];
+    char c2[32];
+    std::snprintf(c1, sizeof(c1), "%.4f", corruption);
+    std::snprintf(c2, sizeof(c2), "%.4f", bit_error);
+    bench::print_row({name, std::to_string(key.size()), c1, c2}, widths);
+  };
+
+  {
+    const auto l = locking::lock_sarlock(host, 16, 61);
+    report("SARLock-16", l.netlist, l.key);
+  }
+  {
+    const auto l = locking::lock_antisat(host, 16, 62);
+    report("Anti-SAT-16", l.netlist, l.key);
+  }
+  {
+    const auto l = locking::lock_sfll_hd0(host, 16, 63);
+    report("SFLL-HD0-16", l.netlist, l.key);
+  }
+  {
+    const auto l = locking::lock_xor(host, 32, 64);
+    report("RLL-XOR-32", l.netlist, l.key);
+  }
+  {
+    const auto l = locking::lock_lut(host, 8, 65);
+    report("LUT-8 [12]", l.netlist, l.key);
+  }
+  {
+    core::RilBlockConfig config;
+    config.size = 2;
+    const auto l = locking::lock_ril(host, 8, config, 66);
+    report("RIL 8x 2x2", l.locked.netlist, l.locked.key);
+  }
+  {
+    core::RilBlockConfig config;
+    config.size = 8;
+    const auto l = locking::lock_ril(host, 1, config, 67);
+    report("RIL 1x 8x8", l.locked.netlist, l.locked.key);
+  }
+  {
+    core::RilBlockConfig config;
+    config.size = 8;
+    config.output_network = true;
+    const auto l = locking::lock_ril(host, 3, config, 68);
+    report("RIL 3x 8x8x8", l.locked.netlist, l.locked.key);
+  }
+  bench::print_rule(widths);
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Ablation: power side-channel attack vs LUT storage technology
+// (Section IV-D): DPA/CPA key recovery against SRAM-backed and
+// complementary-MRAM-backed keyed LUTs across noise levels and trace
+// budgets.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "benchgen/suite.hpp"
+#include "locking/schemes.hpp"
+#include "sca/circuit_dpa.hpp"
+#include "sca/dpa.hpp"
+#include "sca/power_trace.hpp"
+
+namespace {
+
+using namespace ril;
+
+double recovery_rate(sca::LutTechnology tech, std::size_t traces,
+                     double noise, std::uint64_t seed_base) {
+  std::size_t hits = 0;
+  const std::size_t runs = 8;
+  for (std::size_t run = 0; run < runs; ++run) {
+    sca::TraceOptions options;
+    options.technology = tech;
+    // Rotate through non-constant masks.
+    options.mask = static_cast<std::uint8_t>(1 + (run * 3) % 14);
+    options.traces = traces;
+    options.noise_sigma = noise;
+    options.seed = seed_base + run;
+    options.variation.mtj_dim_sigma = 0;
+    options.variation.vth_sigma = 0;
+    options.variation.wl_sigma = 0;
+    const auto result = sca::run_dpa(sca::generate_traces(options));
+    if (result.recovered(options.mask)) ++hits;
+  }
+  return static_cast<double>(hits) / runs;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchOptions options = bench::parse_options(argc, argv);
+  bench::print_banner(
+      "Ablation -- P-SCA (DPA) key recovery rate vs technology",
+      "rate of exact 4-bit LUT-config recovery over 8 random configs; "
+      "chance level ~7%");
+
+  const std::vector<int> widths = {9, 12, 12, 12};
+  bench::print_rule(widths);
+  bench::print_row({"traces", "noise [fJ]", "SRAM", "MRAM"}, widths);
+  bench::print_rule(widths);
+
+  const std::size_t trace_counts[] = {200, 1000, 5000};
+  const double noises[] = {0.1e-15, 0.3e-15, 1.0e-15};
+  for (std::size_t traces : trace_counts) {
+    for (double noise : noises) {
+      const double sram =
+          recovery_rate(sca::LutTechnology::kSram, traces, noise,
+                        options.seed * 100);
+      const double mram =
+          recovery_rate(sca::LutTechnology::kMram, traces, noise,
+                        options.seed * 100);
+      char n[16];
+      char s[16];
+      char m[16];
+      std::snprintf(n, sizeof(n), "%.1f", noise * 1e15);
+      std::snprintf(s, sizeof(s), "%.0f%%", sram * 100);
+      std::snprintf(m, sizeof(m), "%.0f%%", mram * 100);
+      bench::print_row({std::to_string(traces), n, s, m}, widths);
+    }
+  }
+  bench::print_rule(widths);
+  std::printf(
+      "SRAM read energy is data-dependent (bitline discharge), so DPA "
+      "converges with enough traces at any noise level; the complementary "
+      "MRAM divider keeps read power value-independent and the recovery "
+      "rate at chance.\n");
+
+  // Circuit-level attack: many keyed LUTs inside one locked netlist, one
+  // global power rail; each target LUT sees the others as algorithmic
+  // noise.
+  std::printf("\n-- circuit-level DPA (LUT-locked c7552 core, 12 LUTs, "
+              "summed power rail) --\n");
+  const auto host = benchgen::make_benchmark(
+      "c7552", options.scale > 0 ? options.scale : 0.1);
+  const auto locked = locking::lock_lut(host, 12, options.seed + 3);
+  const auto luts = sca::find_keyed_luts(locked.netlist);
+  for (const auto tech :
+       {sca::LutTechnology::kSram, sca::LutTechnology::kMram}) {
+    sca::CircuitTraceOptions trace_options;
+    trace_options.technology = tech;
+    trace_options.traces = options.full ? 20000 : 6000;
+    trace_options.variation = {0, 0, 0};
+    const auto traces = sca::generate_circuit_traces(
+        locked.netlist, locked.key, luts, trace_options);
+    const auto result =
+        sca::run_circuit_dpa(locked.netlist, luts, traces, locked.key);
+    std::printf("  %s: recovered %zu / %zu attackable LUT configs "
+                "(of %zu total LUTs)\n",
+                tech == sca::LutTechnology::kSram ? "SRAM" : "MRAM",
+                result.recovered_masks, result.attackable_luts,
+                luts.size());
+  }
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Figure 1: SAT encodings of a statically-programmed polymorphic device.
+//
+// The MESO paper's SAT formulation spends 8 explicit function gates plus a
+// 7-MUX selector per device; re-encoding the same device as a 2-input LUT
+// needs just 3 MUXes and collapses the attack runtime. This bench locks
+// the same host with both encodings and sweeps the device count.
+#include <cstdio>
+
+#include "attacks/oracle.hpp"
+#include "attacks/sat_attack.hpp"
+#include "bench_util.hpp"
+#include "benchgen/suite.hpp"
+#include "core/polymorphic.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ril;
+  const bench::BenchOptions options = bench::parse_options(argc, argv);
+  const double timeout = options.timeout_seconds > 0
+                             ? options.timeout_seconds
+                             : (options.full ? 600.0 : 10.0);
+  const auto host = benchgen::make_benchmark(
+      "c7552", options.scale > 0 ? options.scale : 0.08);
+
+  bench::print_banner(
+      "Figure 1 -- MESO-style vs LUT-2 SAT encoding of polymorphic gates",
+      "same obfuscation, two encodings; columns: added gates per device, "
+      "attack seconds, DIP iterations");
+
+  std::vector<std::size_t> counts = {4, 8, 16, 32};
+  if (options.full) counts = {4, 8, 16, 32, 64, 128};
+
+  const std::vector<int> widths = {8, 10, 14, 8, 10, 14, 8};
+  bench::print_rule(widths);
+  bench::print_row({"devices", "meso +g", "meso time", "dips", "lut +g",
+                    "lut time", "dips"},
+                   widths);
+  bench::print_rule(widths);
+
+  for (std::size_t count : counts) {
+    std::vector<std::string> row = {std::to_string(count)};
+    for (const auto encoding : {core::PolymorphicEncoding::kMesoStyle,
+                                core::PolymorphicEncoding::kLut2Style}) {
+      netlist::Netlist locked = host;
+      const auto lock = core::insert_polymorphic_gates(
+          locked, count, encoding, options.seed + count);
+      attacks::Oracle oracle(locked, lock.key);
+      attacks::SatAttackOptions attack;
+      attack.time_limit_seconds = timeout;
+      const auto result = attacks::run_sat_attack(locked, oracle, attack);
+      row.push_back(std::to_string(lock.added_gates / count));
+      row.push_back(bench::format_attack_seconds(
+          result.seconds,
+          result.status != attacks::SatAttackStatus::kKeyFound, timeout));
+      row.push_back(std::to_string(result.iterations));
+    }
+    bench::print_row(row, widths);
+  }
+  bench::print_rule(widths);
+  std::printf(
+      "A LUT-2 re-encoding emulates all 16 functions with 3 MUXes (vs 8 "
+      "gates + 7 MUXes), so statically-programmed MESO obfuscation gives "
+      "the attacker a much smaller SAT instance.\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Figure 5: transient simulation of the MRAM LUT -- the same physical LUT
+// configured as a 2-input AND, read, then reconfigured as a NOR (with the
+// MTJ_SE cell rewritten), and read again, in both functional and scan
+// (SE-asserted) modes.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "device/transient.hpp"
+
+namespace {
+
+void print_waveform(const ril::device::TransientResult& result) {
+  using ril::bench::print_row;
+  using ril::bench::print_rule;
+  const std::vector<int> widths = {8, 3, 4, 3, 3, 2, 2, 3, 8, 4, 10};
+  print_rule(widths);
+  print_row({"t[ns]", "WE", "KWE", "RE", "SE", "A", "B", "BL", "Vsense",
+             "OUT", "phase"},
+            widths);
+  print_rule(widths);
+  for (const auto& p : result.waveform) {
+    char t[16];
+    char v[16];
+    std::snprintf(t, sizeof(t), "%.1f", p.time_ns);
+    std::snprintf(v, sizeof(v), "%.3f", p.v_sense);
+    print_row({t, std::to_string(p.we), std::to_string(p.kwe),
+               std::to_string(p.re), std::to_string(p.se),
+               std::to_string(p.a), std::to_string(p.b),
+               std::to_string(p.bl), v, std::to_string(p.out), p.phase},
+              widths);
+  }
+  print_rule(widths);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ril;
+  (void)bench::parse_options(argc, argv);
+
+  bench::print_banner(
+      "Figure 5 -- transient waveforms: AND -> NOR reconfiguration",
+      "(a)+(b): functional-mode reads; (c): scan-mode reads with MTJ_SE=1 "
+      "in the NOR phase (output inverted at the pin)");
+
+  device::TransientOptions options;
+  options.variation = {0, 0, 0};
+  options.cmos.sense_offset_sigma = 0;
+
+  std::printf("-- functional mode (SE deasserted) --\n");
+  const auto functional = device::simulate_and_to_nor(options);
+  print_waveform(functional);
+  std::printf("AND reads (minterms 00,10,01,11): %d %d %d %d  | "
+              "NOR reads: %d %d %d %d  | writes %s, config energy %.1f fJ\n",
+              functional.and_outputs[0], functional.and_outputs[1],
+              functional.and_outputs[2], functional.and_outputs[3],
+              functional.nor_outputs[0], functional.nor_outputs[1],
+              functional.nor_outputs[2], functional.nor_outputs[3],
+              functional.all_writes_ok ? "ok" : "FAILED",
+              functional.total_config_energy * 1e15);
+
+  std::printf("\n-- scan mode (SE asserted; MTJ_SE=0 in AND phase, 1 in "
+              "NOR phase) --\n");
+  options.scan_enable_reads = true;
+  const auto scan = device::simulate_and_to_nor(options);
+  std::printf("AND reads: %d %d %d %d (pass-through)  | NOR reads: "
+              "%d %d %d %d (inverted -> OR at the pin)\n",
+              scan.and_outputs[0], scan.and_outputs[1], scan.and_outputs[2],
+              scan.and_outputs[3], scan.nor_outputs[0], scan.nor_outputs[1],
+              scan.nor_outputs[2], scan.nor_outputs[3]);
+  return 0;
+}

@@ -1,0 +1,117 @@
+// google-benchmark micro-kernels for the core engines: bit-parallel logic
+// simulation, Tseitin encoding, CDCL propagation-heavy solving, banyan
+// construction, and RIL insertion. These are the throughput numbers behind
+// the table benches' wall-clock results.
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "attacks/oracle.hpp"
+#include "benchgen/random_dag.hpp"
+#include "benchgen/suite.hpp"
+#include "cnf/tseitin.hpp"
+#include "core/banyan.hpp"
+#include "core/ril_block.hpp"
+#include "locking/schemes.hpp"
+#include "netlist/simulator.hpp"
+#include "sat/solver.hpp"
+
+namespace {
+
+using namespace ril;
+
+netlist::Netlist make_host(std::size_t gates) {
+  benchgen::RandomDagParams params;
+  params.num_inputs = 64;
+  params.num_outputs = 32;
+  params.num_gates = gates;
+  params.seed = 42;
+  return benchgen::generate_random_dag(params);
+}
+
+void BM_Simulate64Patterns(benchmark::State& state) {
+  const auto nl = make_host(static_cast<std::size_t>(state.range(0)));
+  netlist::Simulator sim(nl);
+  std::mt19937_64 rng(1);
+  for (auto _ : state) {
+    for (netlist::NodeId id : nl.inputs()) sim.set_input(id, rng());
+    sim.evaluate();
+    benchmark::DoNotOptimize(sim.value(nl.outputs()[0]));
+  }
+  state.SetItemsProcessed(state.iterations() * nl.gate_count() * 64);
+}
+BENCHMARK(BM_Simulate64Patterns)->Arg(1000)->Arg(10000);
+
+void BM_TseitinEncode(benchmark::State& state) {
+  const auto nl = make_host(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    sat::Solver solver;
+    const auto enc = cnf::encode_circuit(nl, solver);
+    benchmark::DoNotOptimize(enc.node_var.back());
+  }
+  state.SetItemsProcessed(state.iterations() * nl.gate_count());
+}
+BENCHMARK(BM_TseitinEncode)->Arg(1000)->Arg(10000);
+
+void BM_SolverRandom3Sat(benchmark::State& state) {
+  // Near-threshold random 3-SAT (clause/var ratio 4.1).
+  const std::size_t num_vars = static_cast<std::size_t>(state.range(0));
+  std::mt19937_64 rng(7);
+  std::vector<sat::Clause> clauses;
+  for (std::size_t c = 0; c < num_vars * 41 / 10; ++c) {
+    sat::Clause clause;
+    for (int l = 0; l < 3; ++l) {
+      clause.push_back(sat::Lit::make(
+          static_cast<sat::Var>(rng() % num_vars), rng() & 1));
+    }
+    clauses.push_back(clause);
+  }
+  for (auto _ : state) {
+    sat::Solver solver;
+    for (const auto& clause : clauses) solver.add_clause(clause);
+    benchmark::DoNotOptimize(solver.solve());
+  }
+}
+BENCHMARK(BM_SolverRandom3Sat)->Arg(100)->Arg(200);
+
+void BM_BanyanPermutation(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<bool> keys(core::banyan_switch_count(n));
+  std::mt19937_64 rng(3);
+  for (auto&& k : keys) k = rng() & 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::banyan_permutation(keys, n));
+  }
+}
+BENCHMARK(BM_BanyanPermutation)->Arg(8)->Arg(64)->Arg(256);
+
+void BM_RilInsertion(benchmark::State& state) {
+  const auto host = make_host(4000);
+  core::RilBlockConfig config;
+  config.size = 8;
+  config.output_network = true;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    netlist::Netlist locked = host;
+    benchmark::DoNotOptimize(
+        core::insert_ril_blocks(locked, 3, config, seed++));
+  }
+}
+BENCHMARK(BM_RilInsertion);
+
+void BM_OracleQuery(benchmark::State& state) {
+  const auto host = make_host(4000);
+  const auto locked = locking::lock_xor(host, 32, 5);
+  attacks::Oracle oracle(locked.netlist, locked.key);
+  std::mt19937_64 rng(9);
+  std::vector<bool> x(oracle.num_data_inputs());
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < x.size(); ++i) x[i] = rng() & 1;
+    benchmark::DoNotOptimize(oracle.query(x));
+  }
+}
+BENCHMARK(BM_OracleQuery);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,78 @@
+#include "bench_util.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace ril::bench {
+
+BenchOptions parse_options(int argc, char** argv) {
+  BenchOptions options;
+  if (const char* env = std::getenv("RIL_BENCH_FULL");
+      env && std::strcmp(env, "0") != 0) {
+    options.full = true;
+  }
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next_value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--full") {
+      options.full = true;
+    } else if (arg == "--timeout") {
+      options.timeout_seconds = std::atof(next_value());
+    } else if (arg == "--scale") {
+      options.scale = std::atof(next_value());
+    } else if (arg == "--seed") {
+      options.seed = std::strtoull(next_value(), nullptr, 10);
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "options: --full  --timeout <sec>  --scale <f>  --seed <n>\n");
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+      std::exit(2);
+    }
+  }
+  return options;
+}
+
+std::string format_attack_seconds(double seconds, bool timed_out,
+                                  double budget) {
+  char buffer[64];
+  if (timed_out) {
+    std::snprintf(buffer, sizeof(buffer), "TIMEOUT(>%.0fs)", budget);
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%.2f", seconds);
+  }
+  return buffer;
+}
+
+void print_row(const std::vector<std::string>& cells,
+               const std::vector<int>& widths) {
+  std::printf("|");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const int width = i < widths.size() ? widths[i] : 12;
+    std::printf(" %-*s |", width, cells[i].c_str());
+  }
+  std::printf("\n");
+}
+
+void print_rule(const std::vector<int>& widths) {
+  std::printf("+");
+  for (int width : widths) {
+    for (int i = 0; i < width + 2; ++i) std::printf("-");
+    std::printf("+");
+  }
+  std::printf("\n");
+}
+
+void print_banner(const std::string& title, const std::string& subtitle) {
+  std::printf("\n=== %s ===\n%s\n\n", title.c_str(), subtitle.c_str());
+}
+
+}  // namespace ril::bench

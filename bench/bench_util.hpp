@@ -1,0 +1,38 @@
+// Shared helpers for the table/figure reproduction binaries.
+//
+// Every bench binary prints the corresponding paper artifact to stdout.
+// Defaults are sized so the whole bench/ directory completes in a few
+// minutes; pass --full (or set RIL_BENCH_FULL=1) for paper-scale runs, and
+// --timeout <sec> to change the SAT-attack budget (the paper used 5 days;
+// `TIMEOUT` rows correspond to the paper's "infinity" entries).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ril::bench {
+
+struct BenchOptions {
+  bool full = false;           ///< paper-scale sweep
+  double timeout_seconds = 0;  ///< SAT budget per attack (0 = preset default)
+  double scale = 0;            ///< host scale override (0 = preset default)
+  std::uint64_t seed = 1;
+};
+
+/// Parses --full / --timeout S / --scale F / --seed N plus RIL_BENCH_FULL.
+BenchOptions parse_options(int argc, char** argv);
+
+/// Formats an attack duration: seconds with 2 decimals, or "TIMEOUT(>Ts)".
+std::string format_attack_seconds(double seconds, bool timed_out,
+                                  double budget);
+
+/// Fixed-width table printing.
+void print_row(const std::vector<std::string>& cells,
+               const std::vector<int>& widths);
+void print_rule(const std::vector<int>& widths);
+
+/// Header banner for a bench binary.
+void print_banner(const std::string& title, const std::string& subtitle);
+
+}  // namespace ril::bench

@@ -1,0 +1,72 @@
+// Scenario: a security architect compares locking schemes on their own
+// netlist (loaded from .bench or generated) before committing to one --
+// key length, overhead, SAT-attack effort, corruptibility.
+//
+// Usage: compare_defenses [path/to/netlist.bench]
+#include <cstdio>
+
+#include "attacks/metrics.hpp"
+#include "attacks/oracle.hpp"
+#include "attacks/sat_attack.hpp"
+#include "benchgen/suite.hpp"
+#include "locking/schemes.hpp"
+#include "netlist/bench_io.hpp"
+#include "netlist/stats.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ril;
+
+  netlist::Netlist host = argc > 1
+                              ? netlist::read_bench_file(argv[1])
+                              : benchgen::make_benchmark("c7552", 0.08);
+  if (host.dff_count() > 0) {
+    std::printf("sequential design: cutting %zu DFFs into pseudo-PI/PO\n",
+                host.dff_count());
+    host = host.combinational_core();
+  }
+  std::printf("host %s: %s\n", host.name().c_str(),
+              netlist::format_stats(netlist::compute_stats(host)).c_str());
+  std::printf("%-18s %8s %8s %12s %8s %14s\n", "scheme", "keybits",
+              "gates+", "attack[s]", "dips", "corruptibility");
+
+  auto evaluate = [&](const std::string& name,
+                      const locking::LockedCircuit& locked) {
+    attacks::Oracle oracle(locked.netlist, locked.key);
+    attacks::SatAttackOptions options;
+    options.time_limit_seconds = 10;
+    const auto result =
+        attacks::run_sat_attack(locked.netlist, oracle, options);
+    const double corruption = attacks::output_corruptibility(
+        locked.netlist, locked.key, 4096, 11);
+    char attack_cell[32];
+    if (result.status == attacks::SatAttackStatus::kKeyFound) {
+      std::snprintf(attack_cell, sizeof(attack_cell), "%.2f",
+                    result.seconds);
+    } else {
+      std::snprintf(attack_cell, sizeof(attack_cell), ">10 (t/o)");
+    }
+    std::printf("%-18s %8zu %8zd %12s %8zu %13.1f%%\n", name.c_str(),
+                locked.key.size(),
+                static_cast<std::ptrdiff_t>(locked.netlist.gate_count()) -
+                    static_cast<std::ptrdiff_t>(host.gate_count()),
+                attack_cell, result.iterations, corruption * 100);
+  };
+
+  evaluate("RLL-XOR-32", locking::lock_xor(host, 32, 1));
+  evaluate("SARLock-12", locking::lock_sarlock(host, 12, 2));
+  evaluate("Anti-SAT-12", locking::lock_antisat(host, 12, 3));
+  evaluate("SFLL-HD0-12", locking::lock_sfll_hd0(host, 12, 4));
+  evaluate("LUT-8", locking::lock_lut(host, 8, 5));
+  evaluate("FullLock-16", locking::lock_fulllock(host, 16, 6));
+  {
+    core::RilBlockConfig config;
+    config.size = 8;
+    config.output_network = true;
+    evaluate("RIL-2x-8x8x8", locking::lock_ril(host, 2, config, 7).locked);
+  }
+  std::printf(
+      "\nReading the table: one-point functions resist the SAT attack by "
+      "iteration count but have ~0 corruptibility; RIL-Blocks combine "
+      "SAT-hardness with high corruptibility at modest overhead.\n");
+  return 0;
+}

@@ -1,0 +1,195 @@
+#include "attacks/bypass.hpp"
+
+#include <chrono>
+#include <random>
+
+#include "cnf/tseitin.hpp"
+#include "locking/locked.hpp"
+#include "netlist/simplify.hpp"
+#include "netlist/simulator.hpp"
+
+namespace ril::attacks {
+
+using netlist::GateType;
+using netlist::Netlist;
+using netlist::NodeId;
+using sat::Lit;
+using sat::Solver;
+using sat::Var;
+
+std::string to_string(BypassStatus status) {
+  switch (status) {
+    case BypassStatus::kBypassed: return "bypassed";
+    case BypassStatus::kTooManyPatterns: return "too-many-patterns";
+    case BypassStatus::kTimeout: return "timeout";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Adds a comparator for `pattern` over the data inputs of `nl` and XOR
+/// flips onto the outputs listed in `flip_bits`.
+void stitch_bypass(Netlist& nl, const std::vector<bool>& pattern,
+                   const std::vector<std::size_t>& flip_bits,
+                   std::size_t tag) {
+  const auto data = nl.data_inputs();
+  std::vector<NodeId> terms;
+  terms.reserve(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    terms.push_back(pattern[i]
+                        ? data[i]
+                        : nl.add_gate(GateType::kNot, {data[i]},
+                                      "byp" + std::to_string(tag) + "_n" +
+                                          std::to_string(i)));
+  }
+  std::size_t level = 0;
+  while (terms.size() > 1) {
+    std::vector<NodeId> next;
+    for (std::size_t i = 0; i + 1 < terms.size(); i += 2) {
+      next.push_back(nl.add_gate(GateType::kAnd, {terms[i], terms[i + 1]},
+                                 "byp" + std::to_string(tag) + "_a" +
+                                     std::to_string(level) + "_" +
+                                     std::to_string(i / 2)));
+    }
+    if (terms.size() % 2 == 1) next.push_back(terms.back());
+    terms = std::move(next);
+    ++level;
+  }
+  const NodeId match = terms[0];
+  auto outputs = nl.outputs();
+  for (std::size_t bit : flip_bits) {
+    outputs[bit] = nl.add_gate(
+        GateType::kXor, {outputs[bit], match},
+        "byp" + std::to_string(tag) + "_o" + std::to_string(bit));
+  }
+  nl.set_outputs(std::move(outputs));
+}
+
+}  // namespace
+
+BypassResult run_bypass_attack(const Netlist& locked, QueryOracle& oracle,
+                               const BypassOptions& options) {
+  const auto start = std::chrono::steady_clock::now();
+  auto elapsed = [&] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+  };
+  std::mt19937_64 rng(options.seed);
+  BypassResult result;
+
+  const std::size_t key_width = locked.key_inputs().size();
+  std::vector<bool> k1(key_width);
+  std::vector<bool> k2(key_width);
+  for (std::size_t i = 0; i < key_width; ++i) k1[i] = rng() & 1;
+  do {
+    for (std::size_t i = 0; i < key_width; ++i) k2[i] = rng() & 1;
+  } while (k2 == k1 && key_width > 0);
+
+  // Miter between the two wrongly-keyed copies: every witness is an input
+  // where at least one of them is corrupted.
+  Solver solver;
+  const auto data_inputs = locked.data_inputs();
+  std::vector<Var> x_vars;
+  for (std::size_t i = 0; i < data_inputs.size(); ++i) {
+    x_vars.push_back(solver.new_var());
+  }
+  auto bind_with_key = [&](const std::vector<bool>& key) {
+    std::unordered_map<NodeId, Var> bound;
+    for (std::size_t i = 0; i < data_inputs.size(); ++i) {
+      bound.emplace(data_inputs[i], x_vars[i]);
+    }
+    const auto enc = cnf::encode_circuit(locked, solver, bound);
+    for (std::size_t i = 0; i < key_width; ++i) {
+      solver.add_clause(
+          {Lit::make(enc.var_of(locked.key_inputs()[i]), !key[i])});
+    }
+    return enc;
+  };
+  const auto enc1 = bind_with_key(k1);
+  const auto enc2 = bind_with_key(k2);
+  std::vector<Var> out1;
+  std::vector<Var> out2;
+  for (NodeId id : locked.outputs()) {
+    out1.push_back(enc1.var_of(id));
+    out2.push_back(enc2.var_of(id));
+  }
+  cnf::encode_miter(solver, out1, out2);
+
+  // Simulators for the two candidate keys.
+  netlist::Simulator sim1(locked);
+  netlist::Simulator sim2(locked);
+  for (std::size_t i = 0; i < key_width; ++i) {
+    sim1.set_input_all(locked.key_inputs()[i], k1[i]);
+    sim2.set_input_all(locked.key_inputs()[i], k2[i]);
+  }
+  auto eval_with = [&](netlist::Simulator& sim, const std::vector<bool>& x) {
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      sim.set_input_all(data_inputs[i], x[i]);
+    }
+    sim.evaluate();
+    std::vector<bool> y;
+    y.reserve(locked.outputs().size());
+    for (NodeId id : locked.outputs()) y.push_back(sim.value(id) & 1);
+    return y;
+  };
+
+  // Patterns where copy 1 must be patched.
+  std::vector<std::pair<std::vector<bool>, std::vector<bool>>> fixes;
+  while (true) {
+    if (options.time_limit_seconds > 0) {
+      const double remaining = options.time_limit_seconds - elapsed();
+      if (remaining <= 0) {
+        result.status = BypassStatus::kTimeout;
+        result.seconds = elapsed();
+        return result;
+      }
+      solver.set_limits({.time_limit_seconds = remaining});
+    }
+    const sat::Result r = solver.solve();
+    if (r == sat::Result::kUnknown) {
+      result.status = BypassStatus::kTimeout;
+      result.seconds = elapsed();
+      return result;
+    }
+    if (r == sat::Result::kUnsat) break;  // copies agree everywhere else
+    std::vector<bool> x;
+    for (Var v : x_vars) x.push_back(solver.model_bool(v));
+    const auto y_true = oracle.query(x);
+    const auto y1 = eval_with(sim1, x);
+    if (y1 != y_true) {
+      fixes.emplace_back(x, y_true);
+    }
+    ++result.patterns;
+    if (result.patterns > options.max_patterns) {
+      result.status = BypassStatus::kTooManyPatterns;
+      result.seconds = elapsed();
+      return result;
+    }
+    // Block this input pattern and continue enumerating.
+    sat::Clause block;
+    for (std::size_t i = 0; i < x_vars.size(); ++i) {
+      block.push_back(Lit::make(x_vars[i], x[i]));
+    }
+    solver.add_clause(block);
+  }
+
+  // Build the pirated chip: copy 1 specialized + bypass comparators.
+  result.pirated = locking::specialize_keys(locked, k1);
+  netlist::simplify(result.pirated);
+  std::size_t tag = 0;
+  for (const auto& [x, y_true] : fixes) {
+    const auto y1 = netlist::evaluate_once(result.pirated, x);
+    std::vector<std::size_t> flip_bits;
+    for (std::size_t i = 0; i < y1.size(); ++i) {
+      if (y1[i] != y_true[i]) flip_bits.push_back(i);
+    }
+    stitch_bypass(result.pirated, x, flip_bits, tag++);
+  }
+  result.status = BypassStatus::kBypassed;
+  result.seconds = elapsed();
+  return result;
+}
+
+}  // namespace ril::attacks

@@ -1,0 +1,50 @@
+// Bypass attack (Xu et al., CHES'17) against one-point-function locking.
+//
+// SARLock/Anti-SAT-style schemes guarantee that a wrong key corrupts the
+// output on very few input patterns. The bypass attacker picks an arbitrary
+// wrong key, uses SAT to enumerate the (few) distinguishing patterns
+// between the wrongly-keyed circuit and the oracle, and stitches a bypass
+// unit (pattern comparator + output flip) around the chip so it behaves
+// correctly everywhere. RIL-Blocks resist because a wrong key corrupts an
+// exponential number of patterns -- enumeration never terminates.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "attacks/oracle.hpp"
+#include "netlist/netlist.hpp"
+
+namespace ril::attacks {
+
+struct BypassOptions {
+  /// Give up once more than this many distinguishing patterns are found
+  /// (bypass hardware would be larger than the IP itself).
+  std::size_t max_patterns = 64;
+  double time_limit_seconds = 30.0;
+  std::uint64_t seed = 1;
+};
+
+enum class BypassStatus {
+  kBypassed,       ///< bypass circuit built, functionally exact
+  kTooManyPatterns,///< corruption too dense -- attack abandoned
+  kTimeout,
+};
+
+struct BypassResult {
+  BypassStatus status = BypassStatus::kTimeout;
+  /// Distinguishing patterns found (inputs where wrong key != oracle).
+  std::size_t patterns = 0;
+  /// The attacker's build: locked circuit + chosen key + bypass unit,
+  /// no key inputs. Valid iff status == kBypassed.
+  netlist::Netlist pirated;
+  double seconds = 0.0;
+};
+
+std::string to_string(BypassStatus status);
+
+BypassResult run_bypass_attack(const netlist::Netlist& locked,
+                               QueryOracle& oracle,
+                               const BypassOptions& options = {});
+
+}  // namespace ril::attacks

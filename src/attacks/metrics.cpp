@@ -1,0 +1,159 @@
+#include "attacks/metrics.hpp"
+
+#include <bit>
+#include <random>
+#include <stdexcept>
+#include <utility>
+
+#include "netlist/simulator.hpp"
+
+namespace ril::attacks {
+
+using netlist::Netlist;
+using netlist::NodeId;
+using netlist::Simulator;
+
+namespace {
+
+/// Runs `trials` random-vector comparisons 64 patterns at a time.
+/// `set_keys` configures key inputs on the two simulators.
+struct PairHarness {
+  Simulator sim_a;
+  Simulator sim_b;
+  const std::vector<NodeId> inputs_a;
+  const std::vector<NodeId> inputs_b;
+  const std::vector<NodeId>& outputs_a;
+  const std::vector<NodeId>& outputs_b;
+
+  PairHarness(const Netlist& a, const Netlist& b)
+      : sim_a(a),
+        sim_b(b),
+        inputs_a(a.data_inputs()),
+        inputs_b(b.data_inputs()),
+        outputs_a(a.outputs()),
+        outputs_b(b.outputs()) {
+    if (inputs_a.size() != inputs_b.size() ||
+        outputs_a.size() != outputs_b.size()) {
+      throw std::invalid_argument("metrics: interface mismatch");
+    }
+  }
+
+  /// Returns {vector mismatches, bit mismatches} over `patterns` (<=64)
+  /// random input vectors.
+  std::pair<std::size_t, std::size_t> run_batch(std::mt19937_64& rng,
+                                                std::size_t patterns) {
+    for (std::size_t i = 0; i < inputs_a.size(); ++i) {
+      const std::uint64_t word = rng();
+      sim_a.set_input(inputs_a[i], word);
+      sim_b.set_input(inputs_b[i], word);
+    }
+    sim_a.evaluate();
+    sim_b.evaluate();
+    std::uint64_t any_diff = 0;
+    std::size_t bit_diffs = 0;
+    const std::uint64_t live =
+        patterns >= 64 ? ~std::uint64_t{0}
+                       : ((std::uint64_t{1} << patterns) - 1);
+    for (std::size_t i = 0; i < outputs_a.size(); ++i) {
+      const std::uint64_t diff =
+          (sim_a.value(outputs_a[i]) ^ sim_b.value(outputs_b[i])) & live;
+      any_diff |= diff;
+      bit_diffs += std::popcount(diff);
+    }
+    return {static_cast<std::size_t>(std::popcount(any_diff)), bit_diffs};
+  }
+};
+
+void load_key(Simulator& sim, const Netlist& netlist,
+              const std::vector<bool>& key) {
+  if (key.size() != netlist.key_inputs().size()) {
+    throw std::invalid_argument("metrics: key width mismatch");
+  }
+  for (std::size_t i = 0; i < key.size(); ++i) {
+    sim.set_input_all(netlist.key_inputs()[i], key[i]);
+  }
+}
+
+}  // namespace
+
+double output_corruptibility(const Netlist& locked,
+                             const std::vector<bool>& correct_key,
+                             std::size_t trials, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  PairHarness harness(locked, locked);
+  load_key(harness.sim_a, locked, correct_key);
+  std::size_t mismatched = 0;
+  std::size_t total = 0;
+  while (total < trials) {
+    // Fresh random wrong key per batch.
+    std::vector<bool> wrong(correct_key.size());
+    bool differs = false;
+    for (std::size_t i = 0; i < wrong.size(); ++i) {
+      wrong[i] = rng() & 1;
+      differs |= wrong[i] != correct_key[i];
+    }
+    if (!differs && !wrong.empty()) {
+      wrong[0] = !wrong[0];
+    }
+    load_key(harness.sim_b, locked, wrong);
+    const std::size_t batch = std::min<std::size_t>(64, trials - total);
+    mismatched += harness.run_batch(rng, batch).first;
+    total += batch;
+  }
+  return trials == 0 ? 0.0 : static_cast<double>(mismatched) / trials;
+}
+
+double functional_error_rate(const Netlist& locked,
+                             const std::vector<bool>& key,
+                             const std::vector<bool>& reference_key,
+                             std::size_t trials, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  PairHarness harness(locked, locked);
+  load_key(harness.sim_a, locked, reference_key);
+  load_key(harness.sim_b, locked, key);
+  std::size_t mismatched = 0;
+  std::size_t total = 0;
+  while (total < trials) {
+    const std::size_t batch = std::min<std::size_t>(64, trials - total);
+    mismatched += harness.run_batch(rng, batch).first;
+    total += batch;
+  }
+  return trials == 0 ? 0.0 : static_cast<double>(mismatched) / trials;
+}
+
+double circuit_error_rate(const Netlist& a, const Netlist& b,
+                          std::size_t trials, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  PairHarness harness(a, b);
+  if (!a.key_inputs().empty() || !b.key_inputs().empty()) {
+    throw std::invalid_argument("circuit_error_rate: keyed circuit");
+  }
+  std::size_t mismatched = 0;
+  std::size_t total = 0;
+  while (total < trials) {
+    const std::size_t batch = std::min<std::size_t>(64, trials - total);
+    mismatched += harness.run_batch(rng, batch).first;
+    total += batch;
+  }
+  return trials == 0 ? 0.0 : static_cast<double>(mismatched) / trials;
+}
+
+double bit_error_rate(const Netlist& locked, const std::vector<bool>& key,
+                      const std::vector<bool>& reference_key,
+                      std::size_t trials, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  PairHarness harness(locked, locked);
+  load_key(harness.sim_a, locked, reference_key);
+  load_key(harness.sim_b, locked, key);
+  std::size_t bit_diffs = 0;
+  std::size_t total = 0;
+  while (total < trials) {
+    const std::size_t batch = std::min<std::size_t>(64, trials - total);
+    bit_diffs += harness.run_batch(rng, batch).second;
+    total += batch;
+  }
+  const std::size_t denom = trials * locked.outputs().size();
+  return denom == 0 ? 0.0 : static_cast<double>(bit_diffs) / denom;
+}
+
+}  // namespace ril::attacks

@@ -1,0 +1,36 @@
+// Security metrics: output corruptibility and key/functional error rates.
+#pragma once
+
+#include <cstdint>
+
+#include "netlist/netlist.hpp"
+
+namespace ril::attacks {
+
+/// Fraction of (random input, random wrong key) trials where the locked
+/// circuit's output vector differs from the correct-key output vector.
+/// High corruptibility is the paper's argument against one-point functions.
+double output_corruptibility(const netlist::Netlist& locked,
+                             const std::vector<bool>& correct_key,
+                             std::size_t trials, std::uint64_t seed);
+
+/// Fraction of random input vectors where locked(key) differs from
+/// locked(reference_key) on at least one output.
+double functional_error_rate(const netlist::Netlist& locked,
+                             const std::vector<bool>& key,
+                             const std::vector<bool>& reference_key,
+                             std::size_t trials, std::uint64_t seed);
+
+/// Fraction of random input vectors where `a` and `b` differ on at least
+/// one output (both circuits without key inputs; positional input match).
+double circuit_error_rate(const netlist::Netlist& a, const netlist::Netlist& b,
+                          std::size_t trials, std::uint64_t seed);
+
+/// Average per-output bit error rate between locked(key) and
+/// locked(reference_key) over random inputs.
+double bit_error_rate(const netlist::Netlist& locked,
+                      const std::vector<bool>& key,
+                      const std::vector<bool>& reference_key,
+                      std::size_t trials, std::uint64_t seed);
+
+}  // namespace ril::attacks

@@ -1,0 +1,69 @@
+#include "attacks/oracle.hpp"
+
+#include <stdexcept>
+
+namespace ril::attacks {
+
+using netlist::Netlist;
+using netlist::NodeId;
+
+Oracle::Oracle(const Netlist& locked, std::vector<bool> key)
+    : netlist_(locked),
+      key_(std::move(key)),
+      data_inputs_(netlist_.data_inputs()),
+      simulator_(netlist_) {
+  if (key_.size() != netlist_.key_inputs().size()) {
+    throw std::invalid_argument("Oracle: key width mismatch");
+  }
+  load_key();
+}
+
+void Oracle::load_key() {
+  for (std::size_t i = 0; i < key_.size(); ++i) {
+    simulator_.set_input_all(netlist_.key_inputs()[i], key_[i]);
+  }
+}
+
+void Oracle::enable_morphing(std::size_t period,
+                             std::vector<std::size_t> positions,
+                             std::uint64_t seed) {
+  if (period == 0) throw std::invalid_argument("Oracle: period must be > 0");
+  for (std::size_t p : positions) {
+    if (p >= key_.size()) {
+      throw std::invalid_argument("Oracle: morph position out of range");
+    }
+  }
+  morph_period_ = period;
+  morph_positions_ = std::move(positions);
+  morph_state_ = seed | 1;
+}
+
+std::vector<bool> Oracle::query(const std::vector<bool>& data) {
+  if (data.size() != data_inputs_.size()) {
+    throw std::invalid_argument("Oracle: data width mismatch");
+  }
+  if (morph_period_ != 0 && query_count_ != 0 &&
+      query_count_ % morph_period_ == 0) {
+    // xorshift64 over the morphing positions.
+    for (std::size_t p : morph_positions_) {
+      morph_state_ ^= morph_state_ << 13;
+      morph_state_ ^= morph_state_ >> 7;
+      morph_state_ ^= morph_state_ << 17;
+      key_[p] = morph_state_ & 1;
+    }
+    load_key();
+  }
+  ++query_count_;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    simulator_.set_input_all(data_inputs_[i], data[i]);
+  }
+  simulator_.evaluate();
+  std::vector<bool> out;
+  out.reserve(netlist_.outputs().size());
+  for (NodeId id : netlist_.outputs()) {
+    out.push_back(simulator_.value(id) & 1);
+  }
+  return out;
+}
+
+}  // namespace ril::attacks

@@ -1,0 +1,64 @@
+// Black-box oracle abstraction (the activated IC in the threat model).
+//
+// The attacker owns the reverse-engineered locked netlist and may query the
+// oracle on input vectors. Three behaviours are modelled:
+//  * plain oracle: answers with the functional (correct-key) circuit;
+//  * scan oracle: answers through the scan interface, where Scan-Enable
+//    obfuscation is active -> pass the RIL `oracle_scan_key`;
+//  * morphing oracle: dynamically reprograms selected key bits every
+//    `period` queries (the paper's run-time dynamic morphing), making the
+//    collected I/O constraints mutually inconsistent.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "netlist/simulator.hpp"
+
+namespace ril::attacks {
+
+/// Abstract query interface shared by the black-box oracle models (plain,
+/// scan-mode, morphing, scan-chain-backed).
+class QueryOracle {
+ public:
+  virtual ~QueryOracle() = default;
+  virtual std::vector<bool> query(const std::vector<bool>& data) = 0;
+};
+
+class Oracle : public QueryOracle {
+ public:
+  /// `locked` is copied; `key` (key_inputs() order) defines the responses.
+  Oracle(const netlist::Netlist& locked, std::vector<bool> key);
+
+  /// Enables dynamic morphing: every `period` queries the key bits at
+  /// `positions` are re-randomized.
+  void enable_morphing(std::size_t period, std::vector<std::size_t> positions,
+                       std::uint64_t seed);
+
+  /// Evaluates the oracle on a data-input vector (data_inputs() order).
+  std::vector<bool> query(const std::vector<bool>& data) override;
+
+  std::size_t query_count() const { return query_count_; }
+  std::size_t num_data_inputs() const { return data_inputs_.size(); }
+  std::size_t num_outputs() const { return netlist_.outputs().size(); }
+  const netlist::Netlist& netlist() const { return netlist_; }
+  const std::vector<bool>& current_key() const { return key_; }
+
+ private:
+  void load_key();
+
+  netlist::Netlist netlist_;
+  std::vector<bool> key_;
+  std::vector<netlist::NodeId> data_inputs_;
+  netlist::Simulator simulator_;
+  std::size_t query_count_ = 0;
+
+  // Morphing state.
+  std::size_t morph_period_ = 0;
+  std::vector<std::size_t> morph_positions_;
+  std::uint64_t morph_state_ = 0;
+};
+
+}  // namespace ril::attacks

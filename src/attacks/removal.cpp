@@ -1,0 +1,73 @@
+#include "attacks/removal.hpp"
+
+#include <vector>
+
+#include "locking/locked.hpp"
+
+namespace ril::attacks {
+
+using netlist::GateType;
+using netlist::Netlist;
+using netlist::NodeId;
+
+namespace {
+
+/// key_tainted[id] = true if any key input lies in the fanin cone of id.
+std::vector<bool> key_taint(const Netlist& netlist) {
+  std::vector<bool> taint(netlist.node_count(), false);
+  for (NodeId id : netlist.key_inputs()) taint[id] = true;
+  for (NodeId id : netlist.topological_order()) {
+    if (taint[id]) continue;
+    for (NodeId f : netlist.node(id).fanins) {
+      if (taint[f]) {
+        taint[id] = true;
+        break;
+      }
+    }
+  }
+  return taint;
+}
+
+}  // namespace
+
+RemovalResult run_removal_attack(const Netlist& locked) {
+  RemovalResult result;
+  Netlist work = locked;  // mutate a private copy
+
+  const auto taint = key_taint(work);
+
+  // Pass 1: cut separable corruption XORs. We look at every XOR/XNOR gate
+  // with exactly one key-tainted operand and replace the gate by its clean
+  // operand (for XNOR the removal attacker assumes the flip side idles at 1,
+  // matching the deactivated one-point function, so the clean operand is
+  // used directly as well).
+  for (NodeId id = 0; id < work.node_count(); ++id) {
+    const netlist::Node& node = work.node(id);
+    if ((node.type != GateType::kXor && node.type != GateType::kXnor) ||
+        node.fanins.size() != 2) {
+      continue;
+    }
+    const bool taint0 = taint[node.fanins[0]];
+    const bool taint1 = taint[node.fanins[1]];
+    if (taint0 == taint1) continue;  // not separable
+    const NodeId clean = node.fanins[taint0 ? 1 : 0];
+    if (taint[clean]) continue;
+    work.rewrite_as_buf(id, clean);
+    ++result.cuts;
+  }
+
+  // Pass 2: any key input still feeding live logic is grounded (the
+  // attacker has no better guess once separation failed).
+  const auto fanouts = work.fanouts();
+  std::vector<NodeId> grounded;
+  for (NodeId key : work.key_inputs()) {
+    if (!fanouts[key].empty()) grounded.push_back(key);
+  }
+  result.grounded_keys = grounded.size();
+  std::vector<bool> zero_key(work.key_inputs().size(), false);
+  result.recovered = locking::specialize_keys(work, zero_key);
+  result.recovered.sweep_dead();
+  return result;
+}
+
+}  // namespace ril::attacks

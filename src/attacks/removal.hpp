@@ -1,0 +1,29 @@
+// Removal attack: excise separable key-dependent logic.
+//
+// One-point-function schemes (SARLock, Anti-SAT, SFLL's restore unit) bolt a
+// key-dependent flip signal onto an otherwise intact design:
+//     out' = out XOR flip(x, k).
+// The removal attack pattern-matches exactly that structure -- an output-side
+// XOR/XNOR whose one operand cone contains key inputs while the other does
+// not -- and cuts the keyed side away. For RIL-Blocks (and LUT locking) the
+// keys are entangled with the replaced gates, so nothing separable exists
+// and removal cannot recover the function.
+#pragma once
+
+#include "netlist/netlist.hpp"
+
+namespace ril::attacks {
+
+struct RemovalResult {
+  /// The attacker's reconstruction: key inputs eliminated.
+  netlist::Netlist recovered;
+  /// Number of XOR/XNOR corruption points that were cut away.
+  std::size_t cuts = 0;
+  /// Number of key bits whose logic could not be separated and was instead
+  /// arbitrarily grounded (a forced guess -- usually functionally wrong).
+  std::size_t grounded_keys = 0;
+};
+
+RemovalResult run_removal_attack(const netlist::Netlist& locked);
+
+}  // namespace ril::attacks

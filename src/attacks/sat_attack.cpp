@@ -1,0 +1,167 @@
+#include "attacks/sat_attack.hpp"
+
+#include <chrono>
+
+#include "cnf/tseitin.hpp"
+
+namespace ril::attacks {
+
+using cnf::CircuitEncoding;
+using netlist::Netlist;
+using netlist::NodeId;
+using sat::Lit;
+using sat::Solver;
+using sat::Var;
+
+std::string to_string(SatAttackStatus status) {
+  switch (status) {
+    case SatAttackStatus::kKeyFound: return "key-found";
+    case SatAttackStatus::kTimeout: return "timeout";
+    case SatAttackStatus::kIterationLimit: return "iteration-limit";
+    case SatAttackStatus::kInconsistent: return "inconsistent";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Encodes one circuit copy with every data input fixed to `dip`, keys
+/// bound to `key_vars`, and outputs forced to `response`.
+void add_io_constraint(Solver& solver, const Netlist& locked,
+                       const std::vector<NodeId>& data_inputs,
+                       const std::vector<Var>& key_vars,
+                       const std::vector<bool>& dip,
+                       const std::vector<bool>& response) {
+  std::unordered_map<NodeId, Var> bound;
+  for (std::size_t i = 0; i < key_vars.size(); ++i) {
+    bound.emplace(locked.key_inputs()[i], key_vars[i]);
+  }
+  const CircuitEncoding enc = cnf::encode_circuit(locked, solver, bound);
+  for (std::size_t i = 0; i < data_inputs.size(); ++i) {
+    solver.add_clause({Lit::make(enc.var_of(data_inputs[i]), !dip[i])});
+  }
+  const auto& outputs = locked.outputs();
+  for (std::size_t i = 0; i < outputs.size(); ++i) {
+    solver.add_clause({Lit::make(enc.var_of(outputs[i]), !response[i])});
+  }
+}
+
+}  // namespace
+
+SatAttackResult run_sat_attack(const Netlist& locked, QueryOracle& oracle,
+                               const SatAttackOptions& options) {
+  const auto start = std::chrono::steady_clock::now();
+  auto elapsed = [&] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+  };
+
+  SatAttackResult result;
+  const auto data_inputs = locked.data_inputs();
+  const auto& key_inputs = locked.key_inputs();
+
+  // Miter solver: shared X, independent K1 / K2.
+  Solver miter;
+  std::vector<Var> x_vars;
+  x_vars.reserve(data_inputs.size());
+  for (std::size_t i = 0; i < data_inputs.size(); ++i) {
+    x_vars.push_back(miter.new_var());
+  }
+  std::vector<Var> k1;
+  std::vector<Var> k2;
+  for (std::size_t i = 0; i < key_inputs.size(); ++i) {
+    k1.push_back(miter.new_var());
+  }
+  for (std::size_t i = 0; i < key_inputs.size(); ++i) {
+    k2.push_back(miter.new_var());
+  }
+  auto bind = [&](const std::vector<Var>& keys) {
+    std::unordered_map<NodeId, Var> bound;
+    for (std::size_t i = 0; i < data_inputs.size(); ++i) {
+      bound.emplace(data_inputs[i], x_vars[i]);
+    }
+    for (std::size_t i = 0; i < key_inputs.size(); ++i) {
+      bound.emplace(key_inputs[i], keys[i]);
+    }
+    return bound;
+  };
+  const CircuitEncoding enc1 = cnf::encode_circuit(locked, miter, bind(k1));
+  const CircuitEncoding enc2 = cnf::encode_circuit(locked, miter, bind(k2));
+  std::vector<Var> out1;
+  std::vector<Var> out2;
+  for (NodeId id : locked.outputs()) {
+    out1.push_back(enc1.var_of(id));
+    out2.push_back(enc2.var_of(id));
+  }
+  cnf::encode_miter(miter, out1, out2);
+
+  // Key-determination solver: single key vector constrained by all DIPs.
+  Solver key_solver;
+  std::vector<Var> key_vars;
+  for (std::size_t i = 0; i < key_inputs.size(); ++i) {
+    key_vars.push_back(key_solver.new_var());
+  }
+
+  while (true) {
+    if (options.max_iterations != 0 &&
+        result.iterations >= options.max_iterations) {
+      result.status = SatAttackStatus::kIterationLimit;
+      break;
+    }
+    if (options.time_limit_seconds > 0) {
+      const double remaining = options.time_limit_seconds - elapsed();
+      if (remaining <= 0) {
+        result.status = SatAttackStatus::kTimeout;
+        break;
+      }
+      miter.set_limits({.time_limit_seconds = remaining});
+    }
+    const sat::Result r = miter.solve();
+    if (r == sat::Result::kUnknown) {
+      result.status = SatAttackStatus::kTimeout;
+      break;
+    }
+    if (r == sat::Result::kUnsat) {
+      // No DIP remains: extract any consistent key.
+      if (options.time_limit_seconds > 0) {
+        const double remaining = options.time_limit_seconds - elapsed();
+        if (remaining <= 0) {
+          result.status = SatAttackStatus::kTimeout;
+          break;
+        }
+        key_solver.set_limits({.time_limit_seconds = remaining});
+      }
+      const sat::Result kr = key_solver.solve();
+      if (kr == sat::Result::kSat) {
+        result.key.reserve(key_vars.size());
+        for (Var v : key_vars) result.key.push_back(key_solver.model_bool(v));
+        result.status = SatAttackStatus::kKeyFound;
+      } else if (kr == sat::Result::kUnsat) {
+        result.status = SatAttackStatus::kInconsistent;
+      } else {
+        result.status = SatAttackStatus::kTimeout;
+      }
+      break;
+    }
+
+    // SAT: extract a DIP, query the oracle, constrain both copies.
+    std::vector<bool> dip;
+    dip.reserve(x_vars.size());
+    for (Var v : x_vars) dip.push_back(miter.model_bool(v));
+    const std::vector<bool> response = oracle.query(dip);
+    add_io_constraint(miter, locked, data_inputs,
+                      std::vector<Var>(k1.begin(), k1.end()), dip, response);
+    add_io_constraint(miter, locked, data_inputs,
+                      std::vector<Var>(k2.begin(), k2.end()), dip, response);
+    add_io_constraint(key_solver, locked, data_inputs, key_vars, dip,
+                      response);
+    ++result.iterations;
+  }
+
+  result.seconds = elapsed();
+  result.conflicts = miter.stats().conflicts;
+  return result;
+}
+
+}  // namespace ril::attacks

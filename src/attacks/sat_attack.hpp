@@ -1,0 +1,51 @@
+// Oracle-guided SAT attack (Subramanyan et al., HOST'15) on CDCL.
+//
+// Maintains a miter over two copies of the locked circuit sharing the input
+// vector X but carrying independent keys K1/K2. Each SAT witness yields a
+// distinguishing input pattern (DIP); the oracle's response is added as an
+// I/O constraint on both key copies. When the miter becomes UNSAT no DIP
+// remains, and any key consistent with the collected I/O pairs (extracted
+// from a parallel key-determination solver) unlocks the circuit -- provided
+// the oracle answered with the true function. Scan-Enable obfuscation and
+// dynamic morphing break exactly that premise.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "attacks/oracle.hpp"
+#include "netlist/netlist.hpp"
+
+namespace ril::attacks {
+
+struct SatAttackOptions {
+  /// Whole-attack wall-clock budget in seconds; <= 0 means unlimited.
+  double time_limit_seconds = 0.0;
+  /// DIP iteration cap; 0 means unlimited.
+  std::size_t max_iterations = 0;
+};
+
+enum class SatAttackStatus {
+  kKeyFound,       ///< miter UNSAT, consistent key extracted
+  kTimeout,        ///< budget exhausted (the paper's "infinity" rows)
+  kIterationLimit,
+  kInconsistent,   ///< no key matches the collected I/O pairs (morphing)
+};
+
+struct SatAttackResult {
+  SatAttackStatus status = SatAttackStatus::kTimeout;
+  std::vector<bool> key;          ///< valid iff status == kKeyFound
+  std::size_t iterations = 0;     ///< DIPs used
+  double seconds = 0.0;
+  std::uint64_t conflicts = 0;    ///< CDCL conflicts in the miter solver
+};
+
+std::string to_string(SatAttackStatus status);
+
+/// Runs the attack. `locked` must be the attacker's view (combinational,
+/// with key inputs); `oracle` answers input queries.
+SatAttackResult run_sat_attack(const netlist::Netlist& locked, QueryOracle& oracle,
+                               const SatAttackOptions& options = {});
+
+}  // namespace ril::attacks

@@ -1,0 +1,40 @@
+#include "attacks/scansat.hpp"
+
+#include <stdexcept>
+
+namespace ril::attacks {
+
+using netlist::Netlist;
+
+ScanOracle::ScanOracle(const Netlist& activated)
+    : design_(netlist::insert_scan_chain(activated)), tester_(design_) {
+  primary_inputs_ = activated.data_inputs().size();
+  primary_outputs_ = activated.outputs().size();
+}
+
+std::size_t ScanOracle::num_inputs() const {
+  return primary_inputs_ + design_.chain.size();
+}
+
+std::size_t ScanOracle::num_outputs() const {
+  return primary_outputs_ + design_.chain.size();
+}
+
+std::vector<bool> ScanOracle::query(const std::vector<bool>& inputs) {
+  if (inputs.size() != num_inputs()) {
+    throw std::invalid_argument("ScanOracle: input width mismatch");
+  }
+  ++query_count_;
+  const std::vector<bool> primary(inputs.begin(),
+                                  inputs.begin() + primary_inputs_);
+  const std::vector<bool> state(inputs.begin() + primary_inputs_,
+                                inputs.end());
+  tester_.shift_in(state);
+  tester_.capture(primary);
+  std::vector<bool> response = tester_.last_outputs();
+  const std::vector<bool> next_state = tester_.shift_out();
+  response.insert(response.end(), next_state.begin(), next_state.end());
+  return response;
+}
+
+}  // namespace ril::attacks

@@ -1,0 +1,43 @@
+// ScanSAT-style sequential attack plumbing.
+//
+// For sequential designs the SAT attack works on the combinational core
+// (DFFs cut into pseudo-PI/PO) while the physical oracle is reached through
+// the scan chain: shift a state image in, pulse one functional capture,
+// shift the next state out. ScanOracle adapts a scan-inserted activated
+// chip to the combinational Oracle interface the attack expects, so
+// run_sat_attack() can be pointed at real scan hardware semantics.
+#pragma once
+
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "attacks/oracle.hpp"
+#include "netlist/scan_chain.hpp"
+
+namespace ril::attacks {
+
+class ScanOracle : public QueryOracle {
+ public:
+  /// `activated` is the sequential netlist of the unlocked chip (or the
+  /// locked one specialized with the programmed key). The oracle owns a
+  /// scan-inserted copy.
+  explicit ScanOracle(const netlist::Netlist& activated);
+
+  /// Input order matches activated.combinational_core().data_inputs():
+  /// original primary inputs first, then pseudo-inputs (DFF states) in DFF
+  /// order. Output order: original primary outputs, then pseudo-outputs.
+  std::vector<bool> query(const std::vector<bool>& inputs) override;
+
+  std::size_t num_inputs() const;
+  std::size_t num_outputs() const;
+  std::size_t query_count() const { return query_count_; }
+
+ private:
+  netlist::ScanInsertion design_;
+  netlist::ScanTester tester_;
+  std::size_t primary_inputs_ = 0;
+  std::size_t primary_outputs_ = 0;
+  std::size_t query_count_ = 0;
+};
+
+}  // namespace ril::attacks

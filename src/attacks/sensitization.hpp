@@ -1,0 +1,40 @@
+// Key-sensitization attack (Rajendran et al., DAC'12) -- the pre-SAT-era
+// oracle attack on XOR/XNOR key gates.
+//
+// For each key bit the attacker searches (with SAT) for an input pattern
+// that *sensitizes* the key wire to a primary output while every other key
+// bit's influence is blocked: under such a pattern the output leaks the key
+// bit directly, so one oracle query recovers it. Random XOR insertion is
+// often fully sensitizable ("runs of isolated key gates"); interference
+// between key gates -- and, in the RIL case, keys buried behind
+// key-controlled routing -- defeats the per-bit search.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "attacks/oracle.hpp"
+#include "netlist/netlist.hpp"
+
+namespace ril::attacks {
+
+struct SensitizationOptions {
+  double time_limit_seconds = 30.0;
+};
+
+struct SensitizationResult {
+  /// Per key bit: recovered value (only meaningful where resolved[i]).
+  std::vector<bool> key;
+  std::vector<bool> resolved;
+  std::size_t resolved_count = 0;
+  std::size_t oracle_queries = 0;
+  double seconds = 0.0;
+};
+
+/// Tries to recover every key bit by individual sensitization; bits whose
+/// sensitizing pattern search is UNSAT (or times out) stay unresolved.
+SensitizationResult run_sensitization_attack(
+    const netlist::Netlist& locked, QueryOracle& oracle,
+    const SensitizationOptions& options = {});
+
+}  // namespace ril::attacks

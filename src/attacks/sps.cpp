@@ -1,0 +1,94 @@
+#include "attacks/sps.hpp"
+
+#include <bit>
+#include <cmath>
+#include <random>
+
+#include "locking/locked.hpp"
+#include "netlist/simplify.hpp"
+#include "netlist/simulator.hpp"
+
+namespace ril::attacks {
+
+using netlist::GateType;
+using netlist::Netlist;
+using netlist::NodeId;
+
+std::vector<double> signal_probabilities(const Netlist& netlist,
+                                         std::size_t patterns,
+                                         std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  netlist::Simulator sim(netlist);
+  std::vector<std::size_t> ones(netlist.node_count(), 0);
+  std::size_t total = 0;
+  while (total < patterns) {
+    for (NodeId id : netlist.inputs()) {
+      sim.set_input(id, rng());
+    }
+    sim.evaluate();
+    for (NodeId id = 0; id < netlist.node_count(); ++id) {
+      ones[id] += std::popcount(sim.value(id));
+    }
+    total += 64;
+  }
+  std::vector<double> probabilities(netlist.node_count());
+  for (NodeId id = 0; id < netlist.node_count(); ++id) {
+    probabilities[id] = static_cast<double>(ones[id]) / total;
+  }
+  return probabilities;
+}
+
+SpsResult run_sps_attack(const Netlist& locked, std::size_t patterns,
+                         double skew_threshold, std::uint64_t seed) {
+  SpsResult result;
+  Netlist work = locked;
+  const auto probabilities = signal_probabilities(work, patterns, seed);
+
+  // Key taint (only keyed operands are candidates for cutting).
+  std::vector<bool> taint(work.node_count(), false);
+  for (NodeId id : work.key_inputs()) taint[id] = true;
+  for (NodeId id : work.topological_order()) {
+    if (taint[id]) continue;
+    for (NodeId f : work.node(id).fanins) {
+      if (taint[f]) {
+        taint[id] = true;
+        break;
+      }
+    }
+  }
+
+  for (NodeId id = 0; id < work.node_count(); ++id) {
+    const auto& node = work.node(id);
+    if ((node.type != GateType::kXor && node.type != GateType::kXnor) ||
+        node.fanins.size() != 2) {
+      continue;
+    }
+    for (int side = 0; side < 2; ++side) {
+      const NodeId keyed = node.fanins[side];
+      const NodeId clean = node.fanins[1 - side];
+      if (!taint[keyed] || taint[clean]) continue;
+      const double skew = std::abs(probabilities[keyed] - 0.5);
+      result.max_observed_skew = std::max(result.max_observed_skew, skew);
+      if (skew >= skew_threshold) {
+        // The flip input idles at its dominant value; absorb it.
+        const bool idle = probabilities[keyed] >= 0.5;
+        const bool inverts = (node.type == GateType::kXor) == idle;
+        if (inverts) {
+          work.node(id).type = GateType::kNot;
+          work.node(id).fanins = {clean};
+        } else {
+          work.rewrite_as_buf(id, clean);
+        }
+        ++result.cuts;
+        break;
+      }
+    }
+  }
+
+  std::vector<bool> zero_key(work.key_inputs().size(), false);
+  result.recovered = locking::specialize_keys(work, zero_key);
+  netlist::simplify(result.recovered);
+  return result;
+}
+
+}  // namespace ril::attacks

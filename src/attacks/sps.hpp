@@ -1,0 +1,41 @@
+// Signal Probability Skew (SPS) attack (Yasin et al.) against Anti-SAT-
+// family blocks.
+//
+// The Anti-SAT flip signal Y = g(X^Ka) AND !g(X^Kb) is almost always 0 --
+// its signal probability under random inputs *and random keys* is ~2^-n.
+// The attacker estimates signal probabilities by simulation, looks for an
+// output-side XOR whose one operand is extremely skewed, and cuts that
+// operand away. RIL-Block LUT outputs and SE XOR operands sit near
+// probability 1/2, so nothing qualifies for cutting.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace ril::attacks {
+
+/// Monte-Carlo signal probability of every node under uniform random data
+/// AND key inputs; `patterns` is rounded up to a multiple of 64.
+std::vector<double> signal_probabilities(const netlist::Netlist& netlist,
+                                         std::size_t patterns,
+                                         std::uint64_t seed);
+
+struct SpsResult {
+  /// Attacker's reconstruction (keys eliminated).
+  netlist::Netlist recovered;
+  /// XOR/XNOR corruption points cut because one operand was skewed.
+  std::size_t cuts = 0;
+  /// Largest skew |p - 0.5| observed on any key-tainted XOR operand.
+  double max_observed_skew = 0.0;
+};
+
+/// `skew_threshold`: cut when |p - 0.5| of the keyed XOR operand exceeds
+/// this (the paper-s of the SPS literature use values near 0.5).
+SpsResult run_sps_attack(const netlist::Netlist& locked,
+                         std::size_t patterns = 1 << 14,
+                         double skew_threshold = 0.45,
+                         std::uint64_t seed = 1);
+
+}  // namespace ril::attacks

@@ -1,0 +1,138 @@
+#include "benchgen/arithmetic.hpp"
+
+#include <stdexcept>
+
+#include "netlist/builder.hpp"
+
+namespace ril::benchgen {
+
+using netlist::Builder;
+using netlist::Netlist;
+
+Netlist make_ripple_adder(std::size_t width) {
+  if (width == 0) throw std::invalid_argument("width must be > 0");
+  Builder b("rca" + std::to_string(width));
+  const auto a = b.input_word("a", width);
+  const auto bb = b.input_word("b", width);
+  Builder::Bit carry = b.input("cin");
+  Builder::Word sum;
+  for (std::size_t i = 0; i < width; ++i) {
+    const auto axb = b.xor_(a[i], bb[i]);
+    sum.push_back(b.xor_(axb, carry));
+    carry = b.or_(b.and_(a[i], bb[i]), b.and_(axb, carry));
+  }
+  b.output_word(sum, "sum");
+  b.output(carry, "cout");
+  return b.take();
+}
+
+Netlist make_cla_adder(std::size_t width) {
+  if (width == 0) throw std::invalid_argument("width must be > 0");
+  Builder b("cla" + std::to_string(width));
+  const auto a = b.input_word("a", width);
+  const auto bb = b.input_word("b", width);
+  Builder::Bit cin = b.input("cin");
+
+  Builder::Word sum(width);
+  Builder::Bit carry = cin;
+  for (std::size_t block = 0; block < width; block += 4) {
+    const std::size_t hi = std::min(block + 4, width);
+    // Generate/propagate within the block, carries computed lookahead-style.
+    std::vector<Builder::Bit> g, p;
+    for (std::size_t i = block; i < hi; ++i) {
+      g.push_back(b.and_(a[i], bb[i]));
+      p.push_back(b.xor_(a[i], bb[i]));
+    }
+    std::vector<Builder::Bit> c;  // carry into bit (i - block)
+    c.push_back(carry);
+    for (std::size_t i = 0; i + block < hi; ++i) {
+      // c[i+1] = g[i] | p[i] & c[i]
+      c.push_back(b.or_(g[i], b.and_(p[i], c[i])));
+    }
+    for (std::size_t i = block; i < hi; ++i) {
+      sum[i] = b.xor_(p[i - block], c[i - block]);
+    }
+    carry = c.back();
+  }
+  b.output_word(sum, "sum");
+  b.output(carry, "cout");
+  return b.take();
+}
+
+Netlist make_array_multiplier(std::size_t width) {
+  if (width == 0) throw std::invalid_argument("width must be > 0");
+  Builder b("mul" + std::to_string(width));
+  const auto a = b.input_word("a", width);
+  const auto bb = b.input_word("b", width);
+
+  // Partial products, summed row by row with ripple adders.
+  Builder::Word acc(2 * width, b.zero());
+  for (std::size_t i = 0; i < width; ++i) {
+    Builder::Word row(2 * width, b.zero());
+    for (std::size_t j = 0; j < width; ++j) {
+      row[i + j] = b.and_(a[j], bb[i]);
+    }
+    acc = b.add_w(acc, row);
+  }
+  b.output_word(acc, "p");
+  return b.take();
+}
+
+Netlist make_alu(std::size_t width) {
+  if (width == 0) throw std::invalid_argument("width must be > 0");
+  Builder b("alu" + std::to_string(width));
+  const auto a = b.input_word("a", width);
+  const auto bb = b.input_word("b", width);
+  const auto op0 = b.input("op_0");
+  const auto op1 = b.input("op_1");
+
+  const auto add = b.add_w(a, bb);
+  const auto andw = b.and_w(a, bb);
+  const auto orw = b.or_w(a, bb);
+  const auto xorw = b.xor_w(a, bb);
+  // op1 op0: 00 add, 01 and, 10 or, 11 xor
+  const auto lo = b.mux_w(op0, add, andw);
+  const auto hi = b.mux_w(op0, orw, xorw);
+  const auto y = b.mux_w(op1, lo, hi);
+  b.output_word(y, "y");
+  return b.take();
+}
+
+Netlist make_comparator(std::size_t width) {
+  if (width == 0) throw std::invalid_argument("width must be > 0");
+  Builder b("cmp" + std::to_string(width));
+  const auto a = b.input_word("a", width);
+  const auto bb = b.input_word("b", width);
+  // MSB-first priority chain.
+  Builder::Bit lt = b.zero();
+  Builder::Bit gt = b.zero();
+  for (std::size_t i = width; i-- > 0;) {
+    const auto eq_above = b.nor_(lt, gt);
+    const auto ai_gt = b.and_(a[i], b.not_(bb[i]));
+    const auto ai_lt = b.and_(b.not_(a[i]), bb[i]);
+    gt = b.or_(gt, b.and_(eq_above, ai_gt));
+    lt = b.or_(lt, b.and_(eq_above, ai_lt));
+  }
+  b.output(lt, "lt");
+  b.output(b.nor_(lt, gt), "eq");
+  b.output(gt, "gt");
+  return b.take();
+}
+
+Netlist make_parity_tree(std::size_t width) {
+  if (width < 2) throw std::invalid_argument("width must be >= 2");
+  Builder b("parity" + std::to_string(width));
+  auto bits = b.input_word("x", width);
+  while (bits.size() > 1) {
+    Builder::Word next;
+    for (std::size_t i = 0; i + 1 < bits.size(); i += 2) {
+      next.push_back(b.xor_(bits[i], bits[i + 1]));
+    }
+    if (bits.size() % 2 == 1) next.push_back(bits.back());
+    bits = next;
+  }
+  b.output(bits[0], "parity");
+  return b.take();
+}
+
+}  // namespace ril::benchgen

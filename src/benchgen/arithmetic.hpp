@@ -1,0 +1,33 @@
+// Structural arithmetic circuit generators (adders, multiplier, ALU, ...).
+//
+// These provide small, fully understood hosts for unit/property tests and
+// for the quickstart example; the crypto generators provide the CEP-class
+// hosts for the paper's tables.
+#pragma once
+
+#include <cstddef>
+
+#include "netlist/netlist.hpp"
+
+namespace ril::benchgen {
+
+/// width-bit ripple-carry adder: inputs a_*, b_*, cin; outputs sum_*, cout.
+netlist::Netlist make_ripple_adder(std::size_t width);
+
+/// width-bit carry-lookahead adder (block size 4).
+netlist::Netlist make_cla_adder(std::size_t width);
+
+/// width x width array multiplier: output is 2*width bits.
+netlist::Netlist make_array_multiplier(std::size_t width);
+
+/// width-bit two-operand ALU with a 2-bit opcode:
+/// 00 -> ADD, 01 -> AND, 10 -> OR, 11 -> XOR. Outputs y_*.
+netlist::Netlist make_alu(std::size_t width);
+
+/// width-bit magnitude comparator: outputs lt, eq, gt.
+netlist::Netlist make_comparator(std::size_t width);
+
+/// width-input XOR parity tree: output parity.
+netlist::Netlist make_parity_tree(std::size_t width);
+
+}  // namespace ril::benchgen

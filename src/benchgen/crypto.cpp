@@ -1,0 +1,351 @@
+#include "benchgen/crypto.hpp"
+
+#include <stdexcept>
+#include <tuple>
+#include <vector>
+
+#include "netlist/builder.hpp"
+
+namespace ril::benchgen {
+
+using netlist::Builder;
+using netlist::Netlist;
+
+namespace {
+
+constexpr std::array<std::uint8_t, 256> kAesSbox = {
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b,
+    0xfe, 0xd7, 0xab, 0x76, 0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0,
+    0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4, 0x72, 0xc0, 0xb7, 0xfd, 0x93, 0x26,
+    0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71, 0xd8, 0x31, 0x15,
+    0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2,
+    0xeb, 0x27, 0xb2, 0x75, 0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0,
+    0x52, 0x3b, 0xd6, 0xb3, 0x29, 0xe3, 0x2f, 0x84, 0x53, 0xd1, 0x00, 0xed,
+    0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb, 0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf,
+    0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45, 0xf9, 0x02, 0x7f,
+    0x50, 0x3c, 0x9f, 0xa8, 0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5,
+    0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2, 0xcd, 0x0c, 0x13, 0xec,
+    0x5f, 0x97, 0x44, 0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73,
+    0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a, 0x90, 0x88, 0x46, 0xee, 0xb8, 0x14,
+    0xde, 0x5e, 0x0b, 0xdb, 0xe0, 0x32, 0x3a, 0x0a, 0x49, 0x06, 0x24, 0x5c,
+    0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79, 0xe7, 0xc8, 0x37, 0x6d,
+    0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08,
+    0xba, 0x78, 0x25, 0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f,
+    0x4b, 0xbd, 0x8b, 0x8a, 0x70, 0x3e, 0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e,
+    0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e, 0xe1, 0xf8, 0x98, 0x11,
+    0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f,
+    0xb0, 0x54, 0xbb, 0x16};
+
+constexpr std::array<std::uint32_t, 16> kSha256K = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
+    0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
+    0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174};
+
+constexpr std::array<std::uint32_t, 16> kMd5T = {
+    0xd76aa478, 0xe8c7b756, 0x242070db, 0xc1bdceee, 0xf57c0faf, 0x4787c62a,
+    0xa8304613, 0xfd469501, 0x698098d8, 0x8b44f7af, 0xffff5bb1, 0x895cd7be,
+    0x6b901122, 0xfd987193, 0xa679438e, 0x49b40821};
+
+constexpr std::array<int, 4> kMd5Shift = {7, 12, 17, 22};
+
+/// GF(2^8) doubling (xtime) as a bit rewiring + conditional 0x1b XOR.
+Builder::Word xtime(Builder& b, const Builder::Word& in) {
+  Builder::Word out(8);
+  out[0] = in[7];
+  out[1] = b.xor_(in[0], in[7]);
+  out[2] = in[1];
+  out[3] = b.xor_(in[2], in[7]);
+  out[4] = b.xor_(in[3], in[7]);
+  out[5] = in[4];
+  out[6] = in[5];
+  out[7] = in[6];
+  return out;
+}
+
+std::uint8_t xtime_ref(std::uint8_t x) {
+  return static_cast<std::uint8_t>((x << 1) ^ ((x & 0x80) ? 0x1b : 0x00));
+}
+
+std::uint32_t rotl32(std::uint32_t x, int n) {
+  return (x << n) | (x >> (32 - n));
+}
+std::uint32_t rotr32(std::uint32_t x, int n) {
+  return (x >> n) | (x << (32 - n));
+}
+
+}  // namespace
+
+const std::array<std::uint8_t, 256>& aes_sbox() { return kAesSbox; }
+
+Netlist make_aes_round() {
+  Builder b("aes");
+  // 16 bytes, column-major: byte index 4*col + row. Bit i of byte j is
+  // input st_{8j+i}.
+  std::vector<Builder::Word> state(16);
+  for (std::size_t j = 0; j < 16; ++j) {
+    state[j] = b.input_word("st" + std::to_string(j), 8);
+  }
+  std::vector<Builder::Word> rk(16);
+  for (std::size_t j = 0; j < 16; ++j) {
+    rk[j] = b.input_word("rk" + std::to_string(j), 8);
+  }
+
+  // SubBytes.
+  std::vector<Builder::Word> sub(16);
+  for (std::size_t j = 0; j < 16; ++j) {
+    sub[j] = b.sbox8(state[j], kAesSbox);
+  }
+  // ShiftRows: new[4c+r] = old[4*((c+r)%4)+r].
+  std::vector<Builder::Word> shifted(16);
+  for (std::size_t c = 0; c < 4; ++c) {
+    for (std::size_t r = 0; r < 4; ++r) {
+      shifted[4 * c + r] = sub[4 * ((c + r) % 4) + r];
+    }
+  }
+  // MixColumns + AddRoundKey.
+  for (std::size_t c = 0; c < 4; ++c) {
+    const auto& a0 = shifted[4 * c + 0];
+    const auto& a1 = shifted[4 * c + 1];
+    const auto& a2 = shifted[4 * c + 2];
+    const auto& a3 = shifted[4 * c + 3];
+    const auto x0 = xtime(b, a0);
+    const auto x1 = xtime(b, a1);
+    const auto x2 = xtime(b, a2);
+    const auto x3 = xtime(b, a3);
+    // out0 = 2*a0 + 3*a1 + a2 + a3, etc.
+    const auto out0 =
+        b.xor_w(b.xor_w(x0, b.xor_w(x1, a1)), b.xor_w(a2, a3));
+    const auto out1 =
+        b.xor_w(b.xor_w(a0, b.xor_w(x1, x2)), b.xor_w(a2, a3));
+    const auto out2 =
+        b.xor_w(b.xor_w(a0, a1), b.xor_w(x2, b.xor_w(x3, a3)));
+    const auto out3 =
+        b.xor_w(b.xor_w(x0, a0), b.xor_w(a1, b.xor_w(a2, x3)));
+    const std::array<Builder::Word, 4> outs = {out0, out1, out2, out3};
+    for (std::size_t r = 0; r < 4; ++r) {
+      b.output_word(b.xor_w(outs[r], rk[4 * c + r]),
+                    "out" + std::to_string(4 * c + r));
+    }
+  }
+  return b.take();
+}
+
+Netlist make_aes_column() {
+  Builder b("aes_col");
+  std::vector<Builder::Word> state(4);
+  std::vector<Builder::Word> rk(4);
+  for (std::size_t j = 0; j < 4; ++j) {
+    state[j] = b.input_word("st" + std::to_string(j), 8);
+    rk[j] = b.input_word("rk" + std::to_string(j), 8);
+  }
+  std::vector<Builder::Word> sub(4);
+  for (std::size_t j = 0; j < 4; ++j) sub[j] = b.sbox8(state[j], kAesSbox);
+  const auto x0 = xtime(b, sub[0]);
+  const auto x1 = xtime(b, sub[1]);
+  const auto x2 = xtime(b, sub[2]);
+  const auto x3 = xtime(b, sub[3]);
+  const auto out0 =
+      b.xor_w(b.xor_w(x0, b.xor_w(x1, sub[1])), b.xor_w(sub[2], sub[3]));
+  const auto out1 =
+      b.xor_w(b.xor_w(sub[0], b.xor_w(x1, x2)), b.xor_w(sub[2], sub[3]));
+  const auto out2 =
+      b.xor_w(b.xor_w(sub[0], sub[1]), b.xor_w(x2, b.xor_w(x3, sub[3])));
+  const auto out3 =
+      b.xor_w(b.xor_w(x0, sub[0]), b.xor_w(sub[1], b.xor_w(sub[2], x3)));
+  const std::array<Builder::Word, 4> outs = {out0, out1, out2, out3};
+  for (std::size_t j = 0; j < 4; ++j) {
+    b.output_word(b.xor_w(outs[j], rk[j]), "out" + std::to_string(j));
+  }
+  return b.take();
+}
+
+Netlist make_sha256_rounds(std::size_t rounds) {
+  if (rounds == 0 || rounds > 16) {
+    throw std::invalid_argument("make_sha256_rounds: rounds must be 1..16");
+  }
+  Builder b("sha256");
+  std::array<Builder::Word, 8> s;
+  const char* names[8] = {"h0", "h1", "h2", "h3", "h4", "h5", "h6", "h7"};
+  for (std::size_t i = 0; i < 8; ++i) s[i] = b.input_word(names[i], 32);
+  std::vector<Builder::Word> w(rounds);
+  for (std::size_t i = 0; i < rounds; ++i) {
+    w[i] = b.input_word("w" + std::to_string(i), 32);
+  }
+
+  auto [a, bb, c, d, e, f, g, h] =
+      std::tie(s[0], s[1], s[2], s[3], s[4], s[5], s[6], s[7]);
+  for (std::size_t i = 0; i < rounds; ++i) {
+    const auto s1 = b.xor_w(b.xor_w(b.rotr_w(e, 6), b.rotr_w(e, 11)),
+                            b.rotr_w(e, 25));
+    const auto ch = b.xor_w(b.and_w(e, f), b.and_w(b.not_w(e), g));
+    const auto k = b.constant(32, kSha256K[i]);
+    auto temp1 = b.add_w(h, s1);
+    temp1 = b.add_w(temp1, ch);
+    temp1 = b.add_w(temp1, k);
+    temp1 = b.add_w(temp1, w[i]);
+    const auto s0 = b.xor_w(b.xor_w(b.rotr_w(a, 2), b.rotr_w(a, 13)),
+                            b.rotr_w(a, 22));
+    const auto maj = b.xor_w(b.xor_w(b.and_w(a, bb), b.and_w(a, c)),
+                             b.and_w(bb, c));
+    const auto temp2 = b.add_w(s0, maj);
+    h = g;
+    g = f;
+    f = e;
+    e = b.add_w(d, temp1);
+    d = c;
+    c = bb;
+    bb = a;
+    a = b.add_w(temp1, temp2);
+  }
+  const char* out_names[8] = {"a", "b", "c", "d", "e", "f", "g", "h"};
+  const std::array<Builder::Word, 8> finals = {a, bb, c, d, e, f, g, h};
+  for (std::size_t i = 0; i < 8; ++i) {
+    b.output_word(finals[i], out_names[i]);
+  }
+  return b.take();
+}
+
+Netlist make_md5_steps(std::size_t steps) {
+  if (steps == 0 || steps > 16) {
+    throw std::invalid_argument("make_md5_steps: steps must be 1..16");
+  }
+  Builder b("md5");
+  auto a = b.input_word("a", 32);
+  auto bb = b.input_word("b", 32);
+  auto c = b.input_word("c", 32);
+  auto d = b.input_word("d", 32);
+  std::vector<Builder::Word> m(steps);
+  for (std::size_t i = 0; i < steps; ++i) {
+    m[i] = b.input_word("m" + std::to_string(i), 32);
+  }
+  for (std::size_t i = 0; i < steps; ++i) {
+    // F(b,c,d) = (b & c) | (~b & d)
+    const auto f = b.or_w(b.and_w(bb, c), b.and_w(b.not_w(bb), d));
+    auto sum = b.add_w(a, f);
+    sum = b.add_w(sum, m[i]);
+    sum = b.add_w(sum, b.constant(32, kMd5T[i]));
+    const auto rotated = b.rotl_w(sum, kMd5Shift[i % 4]);
+    const auto new_b = b.add_w(bb, rotated);
+    a = d;
+    d = c;
+    c = bb;
+    bb = new_b;
+  }
+  b.output_word(a, "out_a");
+  b.output_word(bb, "out_b");
+  b.output_word(c, "out_c");
+  b.output_word(d, "out_d");
+  return b.take();
+}
+
+Netlist make_gps_ca(std::size_t chips) {
+  if (chips == 0) throw std::invalid_argument("make_gps_ca: chips must be > 0");
+  Builder b("gps");
+  auto g1 = b.input_word("g1", 10);  // bit i = stage i+1
+  auto g2 = b.input_word("g2", 10);
+  Builder::Word out;
+  for (std::size_t t = 0; t < chips; ++t) {
+    // PRN-1 taps: G2 stages 2 and 6.
+    const auto g2_tap = b.xor_(g2[1], g2[5]);
+    out.push_back(b.xor_(g1[9], g2_tap));
+    // G1: x^10 + x^3 + 1 -> feedback = s3 ^ s10.
+    const auto fb1 = b.xor_(g1[2], g1[9]);
+    // G2: x^10+x^9+x^8+x^6+x^3+x^2+1 -> feedback = s2^s3^s6^s8^s9^s10.
+    auto fb2 = b.xor_(g2[1], g2[2]);
+    fb2 = b.xor_(fb2, g2[5]);
+    fb2 = b.xor_(fb2, g2[7]);
+    fb2 = b.xor_(fb2, g2[8]);
+    fb2 = b.xor_(fb2, g2[9]);
+    Builder::Word n1(10), n2(10);
+    n1[0] = fb1;
+    n2[0] = fb2;
+    for (std::size_t i = 1; i < 10; ++i) {
+      n1[i] = g1[i - 1];
+      n2[i] = g2[i - 1];
+    }
+    g1 = n1;
+    g2 = n2;
+  }
+  b.output_word(out, "chip");
+  return b.take();
+}
+
+// ---- reference models -----------------------------------------------------
+
+std::array<std::uint8_t, 16> aes_round_reference(
+    const std::array<std::uint8_t, 16>& state,
+    const std::array<std::uint8_t, 16>& round_key) {
+  std::array<std::uint8_t, 16> sub{};
+  for (std::size_t j = 0; j < 16; ++j) sub[j] = kAesSbox[state[j]];
+  std::array<std::uint8_t, 16> shifted{};
+  for (std::size_t c = 0; c < 4; ++c) {
+    for (std::size_t r = 0; r < 4; ++r) {
+      shifted[4 * c + r] = sub[4 * ((c + r) % 4) + r];
+    }
+  }
+  std::array<std::uint8_t, 16> out{};
+  for (std::size_t c = 0; c < 4; ++c) {
+    const std::uint8_t a0 = shifted[4 * c + 0];
+    const std::uint8_t a1 = shifted[4 * c + 1];
+    const std::uint8_t a2 = shifted[4 * c + 2];
+    const std::uint8_t a3 = shifted[4 * c + 3];
+    out[4 * c + 0] = xtime_ref(a0) ^ (xtime_ref(a1) ^ a1) ^ a2 ^ a3;
+    out[4 * c + 1] = a0 ^ xtime_ref(a1) ^ (xtime_ref(a2) ^ a2) ^ a3;
+    out[4 * c + 2] = a0 ^ a1 ^ xtime_ref(a2) ^ (xtime_ref(a3) ^ a3);
+    out[4 * c + 3] = (xtime_ref(a0) ^ a0) ^ a1 ^ a2 ^ xtime_ref(a3);
+  }
+  for (std::size_t j = 0; j < 16; ++j) out[j] ^= round_key[j];
+  return out;
+}
+
+std::array<std::uint32_t, 8> sha256_rounds_reference(
+    const std::array<std::uint32_t, 8>& state, const std::uint32_t* w,
+    std::size_t rounds) {
+  auto [a, b, c, d, e, f, g, h] =
+      std::tuple(state[0], state[1], state[2], state[3], state[4], state[5],
+                 state[6], state[7]);
+  for (std::size_t i = 0; i < rounds; ++i) {
+    const std::uint32_t s1 = rotr32(e, 6) ^ rotr32(e, 11) ^ rotr32(e, 25);
+    const std::uint32_t ch = (e & f) ^ (~e & g);
+    const std::uint32_t temp1 = h + s1 + ch + kSha256K[i] + w[i];
+    const std::uint32_t s0 = rotr32(a, 2) ^ rotr32(a, 13) ^ rotr32(a, 22);
+    const std::uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
+    const std::uint32_t temp2 = s0 + maj;
+    h = g; g = f; f = e; e = d + temp1;
+    d = c; c = b; b = a; a = temp1 + temp2;
+  }
+  return {a, b, c, d, e, f, g, h};
+}
+
+std::array<std::uint32_t, 4> md5_steps_reference(
+    const std::array<std::uint32_t, 4>& state, const std::uint32_t* m,
+    std::size_t steps) {
+  std::uint32_t a = state[0], b = state[1], c = state[2], d = state[3];
+  for (std::size_t i = 0; i < steps; ++i) {
+    const std::uint32_t f = (b & c) | (~b & d);
+    const std::uint32_t sum = a + f + m[i] + kMd5T[i];
+    const std::uint32_t new_b = b + rotl32(sum, kMd5Shift[i % 4]);
+    a = d; d = c; c = b; b = new_b;
+  }
+  return {a, b, c, d};
+}
+
+std::vector<bool> gps_ca_reference(std::uint16_t g1, std::uint16_t g2,
+                                   std::size_t chips) {
+  std::vector<bool> out;
+  out.reserve(chips);
+  for (std::size_t t = 0; t < chips; ++t) {
+    const bool g2_tap = ((g2 >> 1) ^ (g2 >> 5)) & 1;
+    out.push_back((((g1 >> 9) & 1) ^ g2_tap) != 0);
+    const bool fb1 = ((g1 >> 2) ^ (g1 >> 9)) & 1;
+    const bool fb2 =
+        ((g2 >> 1) ^ (g2 >> 2) ^ (g2 >> 5) ^ (g2 >> 7) ^ (g2 >> 8) ^
+         (g2 >> 9)) & 1;
+    g1 = static_cast<std::uint16_t>(((g1 << 1) | (fb1 ? 1 : 0)) & 0x3ff);
+    g2 = static_cast<std::uint16_t>(((g2 << 1) | (fb2 ? 1 : 0)) & 0x3ff);
+  }
+  return out;
+}
+
+}  // namespace ril::benchgen

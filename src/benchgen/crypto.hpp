@@ -1,0 +1,65 @@
+// Gate-level cryptographic cores standing in for the CEP benchmark IPs.
+//
+// Each generator builds the real function (verified against software models
+// in the test suite), producing netlists with the structure class of the
+// corresponding CEP core: wide S-box logic (AES), adder/rotate chains
+// (SHA-256, MD5), and LFSR unrollings (GPS C/A code).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+#include "netlist/netlist.hpp"
+
+namespace ril::benchgen {
+
+/// The AES forward S-box.
+const std::array<std::uint8_t, 256>& aes_sbox();
+
+/// One full AES-128 round (SubBytes, ShiftRows, MixColumns, AddRoundKey)
+/// over a 128-bit state input "st_*" and round key "rk_*"; outputs "out_*".
+/// Bit i of byte j is st_{8*j+i}; bytes are column-major as in FIPS-197.
+netlist::Netlist make_aes_round();
+
+/// One AES column slice (4 S-boxes + MixColumn + AddRoundKey over 32 bits):
+/// the scaled-down AES host used when a full round is too large for short
+/// bench timeouts. Inputs "st0".."st3", "rk0".."rk3"; outputs "out0..3".
+netlist::Netlist make_aes_column();
+
+/// `rounds` rounds of the SHA-256 compression function over state "h0".."h7"
+/// (32-bit words, inputs h{i}_{bit}) and message words "w0".."w{rounds-1}".
+/// Outputs the updated working variables "a".."h". rounds <= 16.
+netlist::Netlist make_sha256_rounds(std::size_t rounds);
+
+/// `steps` steps of MD5 round 1 (F function) over state "a","b","c","d" and
+/// message words "m0".."m{steps-1}". steps <= 16.
+netlist::Netlist make_md5_steps(std::size_t steps);
+
+/// GPS C/A coarse-acquisition code generator, unrolled for `chips` chips.
+/// Inputs: initial LFSR states "g1_0..9", "g2_0..9". Outputs: "chip_*".
+/// Tap selection fixed to PRN-1 (taps 2 and 6).
+netlist::Netlist make_gps_ca(std::size_t chips);
+
+// ---- software reference models (used by tests) ---------------------------
+
+/// One AES-128 round on a 16-byte column-major state.
+std::array<std::uint8_t, 16> aes_round_reference(
+    const std::array<std::uint8_t, 16>& state,
+    const std::array<std::uint8_t, 16>& round_key);
+
+/// SHA-256 compression rounds on (a..h) with the real K constants.
+std::array<std::uint32_t, 8> sha256_rounds_reference(
+    const std::array<std::uint32_t, 8>& state,
+    const std::uint32_t* w, std::size_t rounds);
+
+/// MD5 round-1 steps.
+std::array<std::uint32_t, 4> md5_steps_reference(
+    const std::array<std::uint32_t, 4>& state, const std::uint32_t* m,
+    std::size_t steps);
+
+/// GPS C/A chips from initial LFSR states (10 bits each, bit0 = stage 1).
+std::vector<bool> gps_ca_reference(std::uint16_t g1, std::uint16_t g2,
+                                   std::size_t chips);
+
+}  // namespace ril::benchgen

@@ -1,0 +1,166 @@
+#include "benchgen/random_dag.hpp"
+
+#include <algorithm>
+#include <random>
+#include <stdexcept>
+
+namespace ril::benchgen {
+
+using netlist::GateType;
+using netlist::Netlist;
+using netlist::NodeId;
+
+Netlist generate_random_dag(const RandomDagParams& params) {
+  if (params.num_inputs < 2 || params.num_gates < params.num_outputs) {
+    throw std::invalid_argument("generate_random_dag: degenerate parameters");
+  }
+  std::mt19937_64 rng(params.seed);
+  Netlist netlist(params.name);
+
+  std::vector<NodeId> pool;
+  pool.reserve(params.num_inputs + params.num_gates);
+  for (std::size_t i = 0; i < params.num_inputs; ++i) {
+    pool.push_back(netlist.add_input("G" + std::to_string(i)));
+  }
+
+  const GateType binary_types[] = {GateType::kAnd,  GateType::kNand,
+                                   GateType::kOr,   GateType::kNor,
+                                   GateType::kXor,  GateType::kXnor};
+  // Weighted towards NAND/NOR like technology-mapped ISCAS netlists.
+  const double binary_weights[] = {0.18, 0.30, 0.14, 0.22, 0.08, 0.08};
+  std::discrete_distribution<int> type_dist(std::begin(binary_weights),
+                                            std::end(binary_weights));
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+
+  auto pick_fanin = [&](std::size_t except_of = SIZE_MAX) -> NodeId {
+    const std::size_t n = pool.size();
+    std::size_t idx;
+    if (unit(rng) < params.global_fanin_prob) {
+      idx = static_cast<std::size_t>(rng() % n);
+    } else {
+      const std::size_t window = std::max<std::size_t>(
+          4, static_cast<std::size_t>(params.window_fraction * n));
+      const std::size_t lo = n > window ? n - window : 0;
+      idx = lo + static_cast<std::size_t>(rng() % (n - lo));
+    }
+    if (idx == except_of) idx = (idx + 1) % n;
+    return pool[idx];
+  };
+
+  // Guarantee every input is consumed: first layer pairs inputs up.
+  for (std::size_t i = 0; i + 1 < params.num_inputs && pool.size() <
+       params.num_inputs + params.num_gates; i += 2) {
+    const GateType type = binary_types[type_dist(rng)];
+    pool.push_back(netlist.add_gate(
+        type, {pool[i], pool[i + 1]},
+        "L0_" + std::to_string(i / 2)));
+  }
+  if (params.num_inputs % 2 == 1) {
+    pool.push_back(netlist.add_gate(
+        GateType::kNot, {pool[params.num_inputs - 1]}, "L0_last"));
+  }
+
+  std::size_t gate_index = pool.size() - params.num_inputs;
+  while (gate_index < params.num_gates) {
+    const bool unary = unit(rng) < params.unary_fraction;
+    NodeId id;
+    if (unary) {
+      id = netlist.add_gate(GateType::kNot, {pick_fanin()},
+                            "N" + std::to_string(gate_index));
+    } else {
+      const GateType type = binary_types[type_dist(rng)];
+      const NodeId a = pick_fanin();
+      NodeId b = pick_fanin();
+      if (a == b) b = pool[(gate_index * 7) % pool.size()];
+      if (a == b) b = pool[0];
+      id = netlist.add_gate(type, {a, b}, "N" + std::to_string(gate_index));
+    }
+    pool.push_back(id);
+    ++gate_index;
+  }
+
+  // Outputs: spread across the last half of the netlist so cones overlap.
+  const std::size_t first_gate = params.num_inputs;
+  const std::size_t span = pool.size() - first_gate;
+  std::vector<NodeId> candidates(pool.begin() + first_gate, pool.end());
+  std::shuffle(candidates.begin(), candidates.end(), rng);
+  std::vector<NodeId> outs(candidates.begin(),
+                           candidates.begin() +
+                               std::min(params.num_outputs, span));
+  // Always expose the very last gate so the deepest cone is observable.
+  if (std::find(outs.begin(), outs.end(), pool.back()) == outs.end() &&
+      !outs.empty()) {
+    outs.back() = pool.back();
+  }
+  // Fold dangling sinks into the outputs so the whole netlist is live
+  // (like real ISCAS hosts, which have no dead logic). Each uncovered sink
+  // is XOR-folded into one of the declared outputs.
+  {
+    std::vector<bool> live(netlist.node_count(), false);
+    std::vector<NodeId> stack(outs.begin(), outs.end());
+    while (!stack.empty()) {
+      const NodeId id = stack.back();
+      stack.pop_back();
+      if (live[id]) continue;
+      live[id] = true;
+      for (NodeId f : netlist.node(id).fanins) stack.push_back(f);
+    }
+    const auto fanouts = netlist.fanouts();
+    std::size_t fold = 0;
+    const NodeId original_count = static_cast<NodeId>(netlist.node_count());
+    for (NodeId id = first_gate; id < original_count; ++id) {
+      if (live[id] || !fanouts[id].empty()) continue;
+      const std::size_t slot = fold++ % outs.size();
+      outs[slot] = netlist.add_gate(GateType::kXor, {outs[slot], id},
+                                    "fold_" + std::to_string(fold));
+      // Mark the newly covered cone live.
+      std::vector<NodeId> work = {id};
+      while (!work.empty()) {
+        const NodeId w = work.back();
+        work.pop_back();
+        if (live[w]) continue;
+        live[w] = true;
+        for (NodeId f : netlist.node(w).fanins) work.push_back(f);
+      }
+    }
+  }
+  for (NodeId id : outs) netlist.mark_output(id);
+  return netlist;
+}
+
+Netlist generate_random_sequential(const RandomSequentialParams& params) {
+  if (params.num_dffs == 0) {
+    throw std::invalid_argument("generate_random_sequential: need DFFs");
+  }
+  // Build the combinational cloud with extra primary inputs standing in
+  // for the DFF outputs, then rewrite those inputs into real DFFs.
+  RandomDagParams cloud_params = params.combinational;
+  cloud_params.num_inputs += params.num_dffs;
+  Netlist nl = generate_random_dag(cloud_params);
+  nl.set_name(params.combinational.name + "_seq");
+
+  std::mt19937_64 rng(params.combinational.seed ^ 0x5e91u);
+  // The last num_dffs primary inputs become state.
+  const auto inputs = nl.inputs();
+  std::vector<NodeId> state_inputs(
+      inputs.end() - static_cast<std::ptrdiff_t>(params.num_dffs),
+      inputs.end());
+
+  // Candidate next-state wires: any gate output.
+  std::vector<NodeId> wires;
+  for (NodeId id = 0; id < nl.node_count(); ++id) {
+    if (netlist::is_logic_op(nl.node(id).type)) wires.push_back(id);
+  }
+  for (std::size_t i = 0; i < params.num_dffs; ++i) {
+    const NodeId next = wires[rng() % wires.size()];
+    const NodeId dff =
+        nl.add_gate(GateType::kDff, {next}, "state_" + std::to_string(i));
+    // Swing all consumers of the pseudo-input over to the DFF output.
+    nl.replace_uses(state_inputs[i], dff);
+  }
+  // The pseudo-inputs are now unused; drop them from the interface.
+  nl.sweep_dead(/*keep_all_inputs=*/false);
+  return nl;
+}
+
+}  // namespace ril::benchgen

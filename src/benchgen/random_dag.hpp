@@ -1,0 +1,49 @@
+// Seeded random combinational DAG generator with ISCAS-like topology.
+//
+// The generator produces reconvergent, multi-level netlists: each new gate
+// draws fanins mostly from a sliding recency window (giving depth) and with
+// some probability from anywhere earlier (giving reconvergent fan-out),
+// matching the qualitative structure of the ISCAS/ITC hosts the paper locks.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace ril::benchgen {
+
+struct RandomDagParams {
+  std::string name = "random";
+  std::size_t num_inputs = 32;
+  std::size_t num_outputs = 16;
+  std::size_t num_gates = 500;
+  /// Probability a fanin is drawn globally instead of from the recency
+  /// window (reconvergence knob).
+  double global_fanin_prob = 0.25;
+  /// Recency window size as a fraction of current node count.
+  double window_fraction = 0.1;
+  /// Fraction of gates that are inverters/buffers.
+  double unary_fraction = 0.10;
+  std::uint64_t seed = 1;
+};
+
+/// Generates a combinational netlist. Every primary input feeds at least one
+/// gate and every declared output is driven.
+netlist::Netlist generate_random_dag(const RandomDagParams& params);
+
+struct RandomSequentialParams {
+  RandomDagParams combinational;
+  /// Number of DFFs; state feeds back into the combinational cloud and the
+  /// next-state functions tap random internal wires.
+  std::size_t num_dffs = 16;
+};
+
+/// Generates a sequential netlist (Moore-ish): a random combinational cloud
+/// whose inputs include the DFF outputs, with next-state functions tapped
+/// from random cloud wires. Suitable for scan-chain insertion and
+/// combinational_core() extraction.
+netlist::Netlist generate_random_sequential(
+    const RandomSequentialParams& params);
+
+}  // namespace ril::benchgen

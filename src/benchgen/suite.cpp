@@ -1,0 +1,96 @@
+#include "benchgen/suite.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "benchgen/crypto.hpp"
+#include "benchgen/random_dag.hpp"
+
+namespace ril::benchgen {
+
+using netlist::Netlist;
+
+namespace {
+
+struct Profile {
+  std::size_t inputs;
+  std::size_t outputs;
+  std::size_t gates;
+  std::uint64_t seed;
+};
+
+Netlist from_profile(const std::string& name, const Profile& profile,
+                     double scale) {
+  RandomDagParams params;
+  params.name = name;
+  const auto scaled = [&](std::size_t v) {
+    return std::max<std::size_t>(8, static_cast<std::size_t>(
+                                        std::llround(v * scale)));
+  };
+  params.num_inputs = std::max<std::size_t>(8, profile.inputs);
+  params.num_outputs =
+      std::min(scaled(profile.outputs), scaled(profile.gates) / 2);
+  params.num_gates = scaled(profile.gates);
+  params.seed = profile.seed;
+  return generate_random_dag(params);
+}
+
+std::size_t scaled_rounds(std::size_t nominal, double scale) {
+  return std::clamp<std::size_t>(
+      static_cast<std::size_t>(std::llround(nominal * scale)), 1, 16);
+}
+
+}  // namespace
+
+std::vector<SuiteEntry> suite_entries() {
+  return {
+      {"c7552", "ISCAS-85"},   {"b15", "ISCAS-89/ITC-99"},
+      {"s35932", "ISCAS-89/ITC-99"}, {"s38584", "ISCAS-89/ITC-99"},
+      {"b20", "ISCAS-89/ITC-99"},    {"aes", "CEP"},
+      {"sha256", "CEP"},       {"md5", "CEP"},
+      {"gps", "CEP"},
+  };
+}
+
+Netlist make_benchmark(const std::string& name, double scale) {
+  if (scale <= 0.0 || scale > 4.0) {
+    throw std::invalid_argument("make_benchmark: scale out of range");
+  }
+  // Published profiles: PI (incl. pseudo-PI from cut DFFs), PO, gate count.
+  if (name == "c7552") {
+    return from_profile(name, {207, 108, 3512, 0xc7552}, scale);
+  }
+  if (name == "b15") {
+    return from_profile(name, {36 + 449, 70 + 449, 8922, 0xb15}, scale);
+  }
+  if (name == "s35932") {
+    return from_profile(name, {35 + 1728, 320 + 1728, 16065, 0x35932}, scale);
+  }
+  if (name == "s38584") {
+    return from_profile(name, {38 + 1426, 304 + 1426, 19253, 0x38584}, scale);
+  }
+  if (name == "b20") {
+    return from_profile(name, {32 + 490, 22 + 490, 20226, 0xb20}, scale);
+  }
+  if (name == "aes") {
+    // Below half scale, use the 32-bit column slice (4 real S-boxes);
+    // a full 16-S-box round is ~30k gates.
+    return scale < 0.5 ? make_aes_column() : make_aes_round();
+  }
+  if (name == "sha256") {
+    return make_sha256_rounds(scaled_rounds(8, scale));
+  }
+  if (name == "md5") {
+    return make_md5_steps(scaled_rounds(8, scale));
+  }
+  if (name == "gps") {
+    const std::size_t chips = std::max<std::size_t>(
+        16, static_cast<std::size_t>(std::llround(256 * scale)));
+    return make_gps_ca(chips);
+  }
+  throw std::invalid_argument("make_benchmark: unknown benchmark '" + name +
+                              "'");
+}
+
+}  // namespace ril::benchgen

@@ -1,0 +1,32 @@
+// Named benchmark suite: the hosts used in the paper's tables.
+//
+// ISCAS/ITC circuits (c7552, b15, s35932, s38584, b20) are produced by the
+// seeded random-DAG generator with the published PI/PO/gate profiles (see
+// DESIGN.md, substitution table); sequential profiles are generated directly
+// as their combinational cores (DFF boundaries become pseudo-PI/PO, exactly
+// what the SAT attack operates on). CEP-class circuits are real gate-level
+// crypto cores. `scale` shrinks the gate budget of the synthetic profiles
+// (and the round/chip counts of crypto cores) so the full experiment matrix
+// can run under small timeouts; 1.0 reproduces paper-scale hosts.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace ril::benchgen {
+
+struct SuiteEntry {
+  std::string name;
+  std::string suite;  // "ISCAS-85", "ISCAS-89/ITC-99", "CEP"
+};
+
+/// All circuits used in Tables I and III.
+std::vector<SuiteEntry> suite_entries();
+
+/// Builds a named benchmark circuit (combinational). Throws on unknown name.
+/// Valid names: c7552, b15, s35932, s38584, b20, aes, sha256, md5, gps.
+netlist::Netlist make_benchmark(const std::string& name, double scale = 1.0);
+
+}  // namespace ril::benchgen

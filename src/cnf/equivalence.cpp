@@ -1,0 +1,76 @@
+#include "cnf/equivalence.hpp"
+
+#include <stdexcept>
+
+#include "cnf/tseitin.hpp"
+
+namespace ril::cnf {
+
+using netlist::Netlist;
+using netlist::NodeId;
+using sat::Lit;
+using sat::Solver;
+using sat::Var;
+
+EquivalenceResult check_equivalence(const Netlist& a, const Netlist& b,
+                                    const std::vector<bool>& key_a,
+                                    const std::vector<bool>& key_b,
+                                    const sat::SolverLimits& limits) {
+  const auto data_a = a.data_inputs();
+  const auto data_b = b.data_inputs();
+  if (data_a.size() != data_b.size()) {
+    throw std::invalid_argument("check_equivalence: data input mismatch");
+  }
+  if (a.outputs().size() != b.outputs().size()) {
+    throw std::invalid_argument("check_equivalence: output mismatch");
+  }
+  if (key_a.size() != a.key_inputs().size() ||
+      key_b.size() != b.key_inputs().size()) {
+    throw std::invalid_argument("check_equivalence: key width mismatch");
+  }
+
+  Solver solver;
+  solver.set_limits(limits);
+
+  // Shared input variables.
+  std::vector<Var> x_vars;
+  x_vars.reserve(data_a.size());
+  for (std::size_t i = 0; i < data_a.size(); ++i) {
+    x_vars.push_back(solver.new_var());
+  }
+  std::unordered_map<NodeId, Var> bound_a;
+  std::unordered_map<NodeId, Var> bound_b;
+  for (std::size_t i = 0; i < data_a.size(); ++i) {
+    bound_a.emplace(data_a[i], x_vars[i]);
+    bound_b.emplace(data_b[i], x_vars[i]);
+  }
+
+  const CircuitEncoding enc_a = encode_circuit(a, solver, bound_a);
+  const CircuitEncoding enc_b = encode_circuit(b, solver, bound_b);
+
+  // Fix key inputs.
+  for (std::size_t i = 0; i < key_a.size(); ++i) {
+    solver.add_clause({Lit::make(enc_a.var_of(a.key_inputs()[i]), !key_a[i])});
+  }
+  for (std::size_t i = 0; i < key_b.size(); ++i) {
+    solver.add_clause({Lit::make(enc_b.var_of(b.key_inputs()[i]), !key_b[i])});
+  }
+
+  std::vector<Var> out_a;
+  std::vector<Var> out_b;
+  for (NodeId id : a.outputs()) out_a.push_back(enc_a.var_of(id));
+  for (NodeId id : b.outputs()) out_b.push_back(enc_b.var_of(id));
+  encode_miter(solver, out_a, out_b);
+
+  EquivalenceResult result;
+  result.status = solver.solve();
+  if (result.status == sat::Result::kSat) {
+    result.counterexample.reserve(x_vars.size());
+    for (Var v : x_vars) {
+      result.counterexample.push_back(solver.model_bool(v));
+    }
+  }
+  return result;
+}
+
+}  // namespace ril::cnf

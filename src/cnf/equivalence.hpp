@@ -1,0 +1,34 @@
+// SAT-based combinational equivalence checking.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "sat/solver.hpp"
+
+namespace ril::cnf {
+
+struct EquivalenceResult {
+  /// kSat   -> circuits differ (counterexample available)
+  /// kUnsat -> equivalent
+  /// kUnknown -> resource limit fired
+  sat::Result status = sat::Result::kUnknown;
+  /// Input assignment (in data_inputs() order of circuit a) on which the
+  /// circuits differ; present iff status == kSat.
+  std::vector<bool> counterexample;
+
+  bool equivalent() const { return status == sat::Result::kUnsat; }
+};
+
+/// Checks functional equivalence of two combinational netlists.
+/// Inputs are matched positionally across a.data_inputs()/b.data_inputs();
+/// key inputs of each circuit are fixed with `key_a` / `key_b` (pass empty
+/// vectors for circuits without key inputs). Outputs matched positionally.
+EquivalenceResult check_equivalence(const netlist::Netlist& a,
+                                    const netlist::Netlist& b,
+                                    const std::vector<bool>& key_a = {},
+                                    const std::vector<bool>& key_b = {},
+                                    const sat::SolverLimits& limits = {});
+
+}  // namespace ril::cnf

@@ -1,0 +1,200 @@
+#include "cnf/tseitin.hpp"
+
+#include <stdexcept>
+
+namespace ril::cnf {
+
+using netlist::GateType;
+using netlist::Netlist;
+using netlist::Node;
+using netlist::NodeId;
+using sat::Lit;
+using sat::Solver;
+using sat::Var;
+
+namespace {
+
+void encode_and_like(Solver& solver, Var y, const std::vector<Var>& inputs,
+                     bool negate_output) {
+  // y' = AND(inputs), y = negate_output ? !y' : y'
+  const Lit ly_true = Lit::make(y, negate_output);
+  const Lit ly_false = ~ly_true;
+  sat::Clause big;
+  big.reserve(inputs.size() + 1);
+  big.push_back(ly_true);
+  for (Var a : inputs) {
+    solver.add_clause({ly_false, Lit::make(a)});
+    big.push_back(Lit::make(a, true));
+  }
+  solver.add_clause(big);
+}
+
+void encode_or_like(Solver& solver, Var y, const std::vector<Var>& inputs,
+                    bool negate_output) {
+  const Lit ly_true = Lit::make(y, negate_output);
+  const Lit ly_false = ~ly_true;
+  sat::Clause big;
+  big.reserve(inputs.size() + 1);
+  big.push_back(ly_false);
+  for (Var a : inputs) {
+    solver.add_clause({ly_true, Lit::make(a, true)});
+    big.push_back(Lit::make(a));
+  }
+  solver.add_clause(big);
+}
+
+void encode_xor2(Solver& solver, Var y, Var a, Var b, bool negate_output) {
+  const Lit ly = Lit::make(y, negate_output);
+  const Lit la = Lit::make(a);
+  const Lit lb = Lit::make(b);
+  solver.add_clause({~ly, la, lb});
+  solver.add_clause({~ly, ~la, ~lb});
+  solver.add_clause({ly, ~la, lb});
+  solver.add_clause({ly, la, ~lb});
+}
+
+void encode_mux(Solver& solver, Var y, Var s, Var d0, Var d1) {
+  const Lit ly = Lit::make(y);
+  const Lit ls = Lit::make(s);
+  const Lit l0 = Lit::make(d0);
+  const Lit l1 = Lit::make(d1);
+  solver.add_clause({~ls, ~l1, ly});
+  solver.add_clause({~ls, l1, ~ly});
+  solver.add_clause({ls, ~l0, ly});
+  solver.add_clause({ls, l0, ~ly});
+  // Redundant but propagation-strengthening clauses.
+  solver.add_clause({~l0, ~l1, ly});
+  solver.add_clause({l0, l1, ~ly});
+}
+
+void encode_lut(Solver& solver, Var y, const std::vector<Var>& inputs,
+                std::uint64_t mask) {
+  const std::size_t k = inputs.size();
+  const std::uint64_t rows = std::uint64_t{1} << k;
+  for (std::uint64_t row = 0; row < rows; ++row) {
+    const bool out = (mask >> row) & 1;
+    sat::Clause clause;
+    clause.reserve(k + 1);
+    for (std::size_t j = 0; j < k; ++j) {
+      // Literal true when input j differs from row bit j.
+      clause.push_back(Lit::make(inputs[j], (row >> j) & 1));
+    }
+    clause.push_back(Lit::make(y, !out));
+    solver.add_clause(clause);
+  }
+}
+
+}  // namespace
+
+CircuitEncoding encode_circuit(
+    const Netlist& circuit, Solver& solver,
+    const std::unordered_map<NodeId, Var>& bound) {
+  CircuitEncoding encoding;
+  encoding.node_var.assign(circuit.node_count(), sat::kNoVar);
+  for (const auto& [node, var] : bound) {
+    encoding.node_var.at(node) = var;
+  }
+  for (NodeId id : circuit.topological_order()) {
+    if (circuit.node(id).type == GateType::kDff) {
+      throw std::invalid_argument(
+          "encode_circuit: sequential netlist; call combinational_core() "
+          "first");
+    }
+    if (encoding.node_var[id] == sat::kNoVar) {
+      encoding.node_var[id] = solver.new_var();
+    }
+    encode_node(solver, circuit, id, encoding.node_var);
+  }
+  return encoding;
+}
+
+void encode_node(Solver& solver, const Netlist& circuit, NodeId id,
+                 const std::vector<Var>& node_var) {
+  const Node& node = circuit.node(id);
+  {
+    const Var y = node_var[id];
+    std::vector<Var> fanin_vars;
+    fanin_vars.reserve(node.fanins.size());
+    for (NodeId f : node.fanins) fanin_vars.push_back(node_var[f]);
+
+    switch (node.type) {
+      case GateType::kInput:
+        break;
+      case GateType::kConst0:
+        solver.add_clause({Lit::make(y, true)});
+        break;
+      case GateType::kConst1:
+        solver.add_clause({Lit::make(y)});
+        break;
+      case GateType::kBuf:
+        solver.add_clause({Lit::make(y, true), Lit::make(fanin_vars[0])});
+        solver.add_clause({Lit::make(y), Lit::make(fanin_vars[0], true)});
+        break;
+      case GateType::kNot:
+        solver.add_clause({Lit::make(y, true),
+                           Lit::make(fanin_vars[0], true)});
+        solver.add_clause({Lit::make(y), Lit::make(fanin_vars[0])});
+        break;
+      case GateType::kAnd:
+        encode_and_like(solver, y, fanin_vars, false);
+        break;
+      case GateType::kNand:
+        encode_and_like(solver, y, fanin_vars, true);
+        break;
+      case GateType::kOr:
+        encode_or_like(solver, y, fanin_vars, false);
+        break;
+      case GateType::kNor:
+        encode_or_like(solver, y, fanin_vars, true);
+        break;
+      case GateType::kXor:
+      case GateType::kXnor: {
+        // Chain through intermediates for arity > 2.
+        Var acc = fanin_vars[0];
+        for (std::size_t i = 1; i + 1 < fanin_vars.size(); ++i) {
+          const Var t = solver.new_var();
+          encode_xor2(solver, t, acc, fanin_vars[i], false);
+          acc = t;
+        }
+        encode_xor2(solver, y, acc, fanin_vars.back(),
+                    node.type == GateType::kXnor);
+        break;
+      }
+      case GateType::kMux:
+        encode_mux(solver, y, fanin_vars[0], fanin_vars[1], fanin_vars[2]);
+        break;
+      case GateType::kLut:
+        encode_lut(solver, y, fanin_vars, node.lut_mask);
+        break;
+      case GateType::kDff:
+        throw std::invalid_argument("encode_node: DFF not encodable");
+    }
+  }
+}
+
+Var encode_xor(Solver& solver, Var a, Var b) {
+  const Var y = solver.new_var();
+  encode_xor2(solver, y, a, b, false);
+  return y;
+}
+
+std::vector<Var> encode_miter(Solver& solver,
+                              const std::vector<Var>& outputs_a,
+                              const std::vector<Var>& outputs_b) {
+  if (outputs_a.size() != outputs_b.size()) {
+    throw std::invalid_argument("encode_miter: output count mismatch");
+  }
+  std::vector<Var> diffs;
+  diffs.reserve(outputs_a.size());
+  sat::Clause any;
+  any.reserve(outputs_a.size());
+  for (std::size_t i = 0; i < outputs_a.size(); ++i) {
+    const Var d = encode_xor(solver, outputs_a[i], outputs_b[i]);
+    diffs.push_back(d);
+    any.push_back(Lit::make(d));
+  }
+  solver.add_clause(any);
+  return diffs;
+}
+
+}  // namespace ril::cnf

@@ -1,0 +1,50 @@
+// Tseitin encoding of combinational netlists into CNF.
+//
+// encode_circuit() instantiates one copy of a netlist inside a Solver. The
+// caller may pre-bind nodes (typically primary inputs) to existing solver
+// variables, which is how the SAT attack shares the input vector X between
+// two circuit copies while giving each its own key variables.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "sat/solver.hpp"
+
+namespace ril::cnf {
+
+struct CircuitEncoding {
+  /// node_var[node] = solver variable carrying that node's value.
+  std::vector<sat::Var> node_var;
+
+  sat::Var var_of(netlist::NodeId id) const { return node_var.at(id); }
+  sat::Lit lit_of(netlist::NodeId id, bool negated = false) const {
+    return sat::Lit::make(node_var.at(id), negated);
+  }
+};
+
+/// Encodes `circuit` (must be combinational: no DFFs) into `solver`.
+/// `bound` maps NodeIds to pre-existing solver variables; every other node
+/// receives a fresh variable. Throws on DFF nodes.
+CircuitEncoding encode_circuit(
+    const netlist::Netlist& circuit, sat::Solver& solver,
+    const std::unordered_map<netlist::NodeId, sat::Var>& bound = {});
+
+/// Low-level: emits the CNF clauses for one node whose own variable and
+/// fanin variables are already present in `node_var`. Primary inputs get
+/// no clauses. Used by custom encoders (e.g. the one-hot routing
+/// re-encoding) that substitute their own treatment for some nodes.
+void encode_node(sat::Solver& solver, const netlist::Netlist& circuit,
+                 netlist::NodeId id, const std::vector<sat::Var>& node_var);
+
+/// Adds clauses for y <-> (a XOR b) and returns y.
+sat::Var encode_xor(sat::Solver& solver, sat::Var a, sat::Var b);
+
+/// Adds a constraint that at least one of the given output pairs differs
+/// (the classic miter OR). Returns the per-pair difference variables.
+std::vector<sat::Var> encode_miter(sat::Solver& solver,
+                                   const std::vector<sat::Var>& outputs_a,
+                                   const std::vector<sat::Var>& outputs_b);
+
+}  // namespace ril::cnf

@@ -1,0 +1,141 @@
+#include "core/banyan.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace ril::core {
+
+using netlist::Netlist;
+using netlist::NodeId;
+
+namespace {
+
+void check_size(std::size_t n) {
+  if (n < 2 || !std::has_single_bit(n)) {
+    throw std::invalid_argument("banyan: size must be a power of two >= 2");
+  }
+}
+
+std::size_t stages(std::size_t n) {
+  return static_cast<std::size_t>(std::bit_width(n) - 1);
+}
+
+}  // namespace
+
+std::size_t banyan_switch_count(std::size_t n) {
+  check_size(n);
+  return (n / 2) * stages(n);
+}
+
+std::vector<std::size_t> banyan_permutation(const std::vector<bool>& keys,
+                                            std::size_t n) {
+  check_size(n);
+  if (keys.size() != banyan_switch_count(n)) {
+    throw std::invalid_argument("banyan_permutation: wrong key count");
+  }
+  // slot[p] = index of the input currently at position p.
+  std::vector<std::size_t> slot(n);
+  for (std::size_t i = 0; i < n; ++i) slot[i] = i;
+  std::size_t key_index = 0;
+  for (std::size_t s = 0; s < stages(n); ++s) {
+    const std::size_t mask = std::size_t{1} << s;
+    for (std::size_t lo = 0; lo < n; ++lo) {
+      if (lo & mask) continue;  // handled with its partner
+      const std::size_t hi = lo | mask;
+      if (keys[key_index++]) std::swap(slot[lo], slot[hi]);
+    }
+  }
+  std::vector<std::size_t> perm(n);
+  for (std::size_t p = 0; p < n; ++p) perm[slot[p]] = p;
+  return perm;
+}
+
+BanyanInstance build_banyan(Netlist& netlist,
+                            std::span<const NodeId> inputs,
+                            std::size_t& key_name_counter,
+                            const std::string& node_prefix) {
+  const std::size_t n = inputs.size();
+  check_size(n);
+  BanyanInstance instance;
+  std::vector<NodeId> wires(inputs.begin(), inputs.end());
+  std::size_t switch_index = 0;
+  for (std::size_t s = 0; s < stages(n); ++s) {
+    const std::size_t mask = std::size_t{1} << s;
+    for (std::size_t lo = 0; lo < n; ++lo) {
+      if (lo & mask) continue;
+      const std::size_t hi = lo | mask;
+      const NodeId key = netlist.add_key_input(
+          "keyinput" + std::to_string(key_name_counter++));
+      instance.key_inputs.push_back(key);
+      const std::string stem =
+          node_prefix + "_sw" + std::to_string(switch_index++);
+      const NodeId out_lo =
+          netlist.add_mux(key, wires[lo], wires[hi], stem + "_lo");
+      const NodeId out_hi =
+          netlist.add_mux(key, wires[hi], wires[lo], stem + "_hi");
+      wires[lo] = out_lo;
+      wires[hi] = out_hi;
+    }
+  }
+  instance.outputs = std::move(wires);
+  return instance;
+}
+
+BanyanInstance build_banyan_fulllock(Netlist& netlist,
+                                     std::span<const NodeId> inputs,
+                                     std::size_t& key_name_counter,
+                                     const std::string& node_prefix) {
+  const std::size_t n = inputs.size();
+  check_size(n);
+  BanyanInstance instance;
+  std::vector<NodeId> wires(inputs.begin(), inputs.end());
+  std::size_t switch_index = 0;
+  auto fresh_key = [&] {
+    const NodeId key = netlist.add_key_input(
+        "keyinput" + std::to_string(key_name_counter++));
+    instance.key_inputs.push_back(key);
+    return key;
+  };
+  for (std::size_t s = 0; s < stages(n); ++s) {
+    const std::size_t mask = std::size_t{1} << s;
+    for (std::size_t lo = 0; lo < n; ++lo) {
+      if (lo & mask) continue;
+      const std::size_t hi = lo | mask;
+      const NodeId swap_key = fresh_key();
+      const NodeId inv_lo_key = fresh_key();
+      const NodeId inv_hi_key = fresh_key();
+      const std::string stem =
+          node_prefix + "_flsw" + std::to_string(switch_index++);
+      // Route MUX pair (2 MUXes) ...
+      const NodeId route_lo =
+          netlist.add_mux(swap_key, wires[lo], wires[hi], stem + "_rlo");
+      const NodeId route_hi =
+          netlist.add_mux(swap_key, wires[hi], wires[lo], stem + "_rhi");
+      // ... plus a keyed-inversion MUX per output (2 more MUXes + inverters),
+      // FullLock's costlier element.
+      const NodeId not_lo =
+          netlist.add_gate(netlist::GateType::kNot, {route_lo},
+                           stem + "_nlo");
+      const NodeId not_hi =
+          netlist.add_gate(netlist::GateType::kNot, {route_hi},
+                           stem + "_nhi");
+      wires[lo] = netlist.add_mux(inv_lo_key, route_lo, not_lo, stem + "_ilo");
+      wires[hi] = netlist.add_mux(inv_hi_key, route_hi, not_hi, stem + "_ihi");
+    }
+  }
+  instance.outputs = std::move(wires);
+  return instance;
+}
+
+std::vector<bool> fulllock_keys_from_banyan(const std::vector<bool>& keys) {
+  std::vector<bool> out;
+  out.reserve(keys.size() * 3);
+  for (bool k : keys) {
+    out.push_back(k);
+    out.push_back(false);
+    out.push_back(false);
+  }
+  return out;
+}
+
+}  // namespace ril::core

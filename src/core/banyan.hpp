@@ -1,0 +1,57 @@
+// Key-configurable logarithmic (banyan/butterfly) routing network.
+//
+// An N-input network (N a power of two) has log2(N) stages of N/2 switch
+// boxes. Each switch box is the paper's 2-MUX element: key bit 0 passes the
+// pair straight through, key bit 1 crosses it (Fig. 3). Total switches:
+// (N/2)*log2(N), matching the paper's count (and 1 switch for the 2x2 block).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace ril::core {
+
+/// Number of switch boxes (= key bits) in an N-input banyan network.
+std::size_t banyan_switch_count(std::size_t n);
+
+/// Computes the permutation realized by switch keys: result[in] = out.
+/// keys.size() must equal banyan_switch_count(n).
+/// Stage s pairs positions (i, i ^ (1 << s)); switches are keyed in stage
+/// order, within a stage by ascending low index.
+std::vector<std::size_t> banyan_permutation(const std::vector<bool>& keys,
+                                            std::size_t n);
+
+/// Result of instantiating a banyan network inside a netlist.
+struct BanyanInstance {
+  std::vector<netlist::NodeId> outputs;     ///< N output nets
+  std::vector<netlist::NodeId> key_inputs;  ///< switch keys, stage-major
+};
+
+/// Builds the network over `inputs` (size must be a power of two >= 2).
+/// Switch keys are fresh key inputs named `keyinput<counter++>`. The 2-MUX
+/// switch box: out_lo = MUX(k, in_lo, in_hi), out_hi = MUX(k, in_hi, in_lo).
+BanyanInstance build_banyan(netlist::Netlist& netlist,
+                            std::span<const netlist::NodeId> inputs,
+                            std::size_t& key_name_counter,
+                            const std::string& node_prefix);
+
+/// FullLock-style switch box variant (for the ablation bench): 4 MUXes plus
+/// a keyed inversion on each output, i.e. 2 extra key bits per switch.
+/// Matches the paper's claim that FullLock's element costs more and creates
+/// key aliasing (double inversions cancel).
+BanyanInstance build_banyan_fulllock(netlist::Netlist& netlist,
+                                     std::span<const netlist::NodeId> inputs,
+                                     std::size_t& key_name_counter,
+                                     const std::string& node_prefix);
+
+/// Keys (permutation part only) that make a FullLock network realize the
+/// same permutation as `banyan_permutation(keys, n)` with zero inversions.
+/// For build_banyan_fulllock the key layout per switch is
+/// [swap, invert_lo, invert_hi], stage-major.
+std::vector<bool> fulllock_keys_from_banyan(const std::vector<bool>& keys);
+
+}  // namespace ril::core

@@ -1,0 +1,93 @@
+#include "core/lut2.hpp"
+
+#include <stdexcept>
+
+namespace ril::core {
+
+using netlist::GateType;
+using netlist::Netlist;
+using netlist::NodeId;
+
+std::uint8_t mask_of_gate(GateType type) {
+  switch (type) {
+    case GateType::kAnd: return 0b1000;
+    case GateType::kNand: return 0b0111;
+    case GateType::kOr: return 0b1110;
+    case GateType::kNor: return 0b0001;
+    case GateType::kXor: return 0b0110;
+    case GateType::kXnor: return 0b1001;
+    default:
+      throw std::invalid_argument("mask_of_gate: not a 2-input logic gate");
+  }
+}
+
+std::uint8_t swap_operands(std::uint8_t mask) {
+  // Swap minterms 01 (bit 1) and 10 (bit 2).
+  return static_cast<std::uint8_t>((mask & 0b1001) | ((mask & 0b0010) << 1) |
+                                   ((mask & 0b0100) >> 1));
+}
+
+std::array<bool, 4> table2_keys_from_mask(std::uint8_t mask) {
+  return {
+      static_cast<bool>((mask >> 3) & 1),  // K1: AB=11
+      static_cast<bool>((mask >> 1) & 1),  // K2: AB=10
+      static_cast<bool>((mask >> 2) & 1),  // K3: AB=01
+      static_cast<bool>((mask >> 0) & 1),  // K4: AB=00
+  };
+}
+
+std::uint8_t mask_from_table2_keys(const std::array<bool, 4>& k) {
+  return static_cast<std::uint8_t>((k[0] << 3) | (k[1] << 1) | (k[2] << 2) |
+                                   (k[3] << 0));
+}
+
+std::string function_name(std::uint8_t mask) {
+  switch (mask & 0xF) {
+    case 0b0000: return "0";
+    case 0b1111: return "1";
+    case 0b0001: return "A NOR B";
+    case 0b1110: return "A OR B";
+    case 0b0100: return "notA AND B";
+    case 0b1011: return "notA NAND B";  // i.e. A OR notB
+    case 0b0101: return "notA";
+    case 0b1010: return "A";
+    case 0b0010: return "A AND notB";
+    case 0b1101: return "A NAND notB";
+    case 0b0011: return "notB";
+    case 0b1100: return "B";
+    case 0b0110: return "A XOR B";
+    case 0b1001: return "A XNOR B";
+    case 0b0111: return "A NAND B";
+    case 0b1000: return "A AND B";
+  }
+  return "?";
+}
+
+KeyedLut build_keyed_lut2(Netlist& netlist, NodeId a, NodeId b,
+                          std::size_t& key_name_counter,
+                          const std::string& node_prefix) {
+  KeyedLut lut;
+  for (std::size_t i = 0; i < 4; ++i) {
+    lut.key_inputs[i] = netlist.add_key_input(
+        "keyinput" + std::to_string(key_name_counter++));
+  }
+  // out = MUX(B, MUX(A, m00, m10), MUX(A, m01, m11));
+  // mask order: m00 = key[0], m10 = key[1], m01 = key[2], m11 = key[3].
+  const NodeId low = netlist.add_mux(a, lut.key_inputs[0], lut.key_inputs[1],
+                                     node_prefix + "_m0");
+  const NodeId high = netlist.add_mux(a, lut.key_inputs[2], lut.key_inputs[3],
+                                      node_prefix + "_m1");
+  lut.output = netlist.add_mux(b, low, high, node_prefix + "_out");
+  return lut;
+}
+
+std::array<bool, 4> lut_key_values(std::uint8_t mask) {
+  return {
+      static_cast<bool>(mask & 1),
+      static_cast<bool>((mask >> 1) & 1),
+      static_cast<bool>((mask >> 2) & 1),
+      static_cast<bool>((mask >> 3) & 1),
+  };
+}
+
+}  // namespace ril::core

@@ -1,0 +1,55 @@
+// Key-programmable 2-input LUT (the logic half of a RIL-Block).
+//
+// The LUT stores 4 configuration bits addressed by inputs (A, B); it can
+// realize all 16 two-input Boolean functions (Table II of the paper). The
+// SAT-simulation form is the 3-MUX select tree of Fig. 1:
+//     out = MUX(B, MUX(A, m00, m10), MUX(A, m01, m11))
+// where m_{AB} is the stored bit for minterm (A, B).
+//
+// Key-bit conventions:
+//  * "mask" order (used internally): bit i of a 4-bit mask is the output for
+//    minterm i with A as the LSB (i = A + 2B).
+//  * "Table II" order K1..K4 addresses minterms AB = 11, 10, 01, 00, i.e.
+//    K1 = mask bit 3, K2 = mask bit 1, K3 = mask bit 2, K4 = mask bit 0.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace ril::core {
+
+/// 4-bit function mask (A = LSB) of a standard 2-input gate type.
+/// Supported: AND/NAND/OR/NOR/XOR/XNOR; others throw.
+std::uint8_t mask_of_gate(netlist::GateType type);
+
+/// Mask with the two LUT operands swapped (B becomes the LSB).
+std::uint8_t swap_operands(std::uint8_t mask);
+
+/// Table II conversions.
+std::array<bool, 4> table2_keys_from_mask(std::uint8_t mask);  // K1..K4
+std::uint8_t mask_from_table2_keys(const std::array<bool, 4>& k);
+
+/// Human-readable function name for each of the 16 masks ("A NOR B", ...).
+std::string function_name(std::uint8_t mask);
+
+/// Result of instantiating one keyed LUT.
+struct KeyedLut {
+  netlist::NodeId output;
+  /// 4 key inputs in mask order (bit 0 = minterm A=0,B=0).
+  std::array<netlist::NodeId, 4> key_inputs;
+};
+
+/// Builds the 3-MUX keyed LUT over (a, b) with fresh key inputs.
+KeyedLut build_keyed_lut2(netlist::Netlist& netlist, netlist::NodeId a,
+                          netlist::NodeId b, std::size_t& key_name_counter,
+                          const std::string& node_prefix);
+
+/// Key values (mask order) programming the LUT to `mask`.
+std::array<bool, 4> lut_key_values(std::uint8_t mask);
+
+}  // namespace ril::core

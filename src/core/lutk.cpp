@@ -1,0 +1,69 @@
+#include "core/lutk.hpp"
+
+#include <stdexcept>
+
+namespace ril::core {
+
+using netlist::Netlist;
+using netlist::NodeId;
+
+KeyedLutK build_keyed_lutk(Netlist& netlist,
+                           const std::vector<NodeId>& inputs,
+                           std::size_t& key_name_counter,
+                           const std::string& node_prefix) {
+  if (inputs.size() < 2 || inputs.size() > 6) {
+    throw std::invalid_argument("build_keyed_lutk: 2..6 inputs");
+  }
+  KeyedLutK lut;
+  const std::size_t rows = std::size_t{1} << inputs.size();
+  lut.key_inputs.reserve(rows);
+  for (std::size_t row = 0; row < rows; ++row) {
+    lut.key_inputs.push_back(netlist.add_key_input(
+        "keyinput" + std::to_string(key_name_counter++)));
+  }
+  // Collapse the tree level by level: level j selects on inputs[j], halving
+  // the candidate vector. layer[idx] holds the value for the remaining
+  // minterm bits idx (bits j.. of the original row).
+  std::vector<NodeId> layer = lut.key_inputs;
+  for (std::size_t j = 0; j < inputs.size(); ++j) {
+    std::vector<NodeId> next;
+    next.reserve(layer.size() / 2);
+    for (std::size_t idx = 0; idx < layer.size(); idx += 2) {
+      next.push_back(netlist.add_mux(
+          inputs[j], layer[idx], layer[idx + 1],
+          node_prefix + "_l" + std::to_string(j) + "_" +
+              std::to_string(idx / 2)));
+    }
+    layer = std::move(next);
+  }
+  lut.output = layer[0];
+  return lut;
+}
+
+std::vector<bool> lutk_key_values(std::uint64_t mask,
+                                  std::size_t num_inputs) {
+  const std::size_t rows = std::size_t{1} << num_inputs;
+  std::vector<bool> values(rows);
+  for (std::size_t row = 0; row < rows; ++row) {
+    values[row] = (mask >> row) & 1;
+  }
+  return values;
+}
+
+std::uint64_t lutk_expand_mask2(std::uint8_t mask2, std::size_t num_inputs,
+                                std::size_t a_index, std::size_t b_index) {
+  if (a_index >= num_inputs || b_index >= num_inputs ||
+      a_index == b_index) {
+    throw std::invalid_argument("lutk_expand_mask2: bad operand indices");
+  }
+  const std::size_t rows = std::size_t{1} << num_inputs;
+  std::uint64_t mask = 0;
+  for (std::size_t row = 0; row < rows; ++row) {
+    const std::size_t a = (row >> a_index) & 1;
+    const std::size_t b = (row >> b_index) & 1;
+    if ((mask2 >> (a + 2 * b)) & 1) mask |= std::uint64_t{1} << row;
+  }
+  return mask;
+}
+
+}  // namespace ril::core

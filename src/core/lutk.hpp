@@ -1,0 +1,40 @@
+// Key-programmable M-input LUT (generalization of the 2-input RIL LUT).
+//
+// The paper: "the LUT used in RIL-block can be increased to increase the
+// SAT-hardness of the resulting RIL-Block" and "increasing the LUT size
+// helps to reduce the overhead while increasing SAT-resiliency" (the write
+// circuit is shared across cells). An M-input keyed LUT is a full binary
+// select-tree of 2^M - 1 MUXes over 2^M key bits.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace ril::core {
+
+struct KeyedLutK {
+  netlist::NodeId output = netlist::kNoNode;
+  /// 2^M key inputs in mask order: key_inputs[row] is the output for the
+  /// input minterm `row`, with inputs[0] as the least-significant bit.
+  std::vector<netlist::NodeId> key_inputs;
+};
+
+/// Builds the select tree over `inputs` (2..6 inputs). Fresh key inputs are
+/// named "keyinput<counter++>".
+KeyedLutK build_keyed_lutk(netlist::Netlist& netlist,
+                           const std::vector<netlist::NodeId>& inputs,
+                           std::size_t& key_name_counter,
+                           const std::string& node_prefix);
+
+/// Key values (mask order) that program an M-input LUT to `mask`.
+std::vector<bool> lutk_key_values(std::uint64_t mask, std::size_t num_inputs);
+
+/// Mask of an M-input LUT that computes the 2-input function `mask2`
+/// (A = LSB) of (inputs[a_index], inputs[b_index]) and ignores the rest.
+std::uint64_t lutk_expand_mask2(std::uint8_t mask2, std::size_t num_inputs,
+                                std::size_t a_index, std::size_t b_index);
+
+}  // namespace ril::core

@@ -1,0 +1,63 @@
+#include "core/morphing.hpp"
+
+#include <algorithm>
+
+namespace ril::core {
+
+namespace {
+
+/// splitmix64: cheap, stateless per-(epoch, position) bit derivation so
+/// epochs can be queried out of order.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+MorphingScheduler::MorphingScheduler(const RilLockResult& lock,
+                                     MorphPolicy policy, std::uint64_t seed)
+    : base_key_(lock.functional_key), seed_(seed) {
+  using KeyClass = RilLockResult::KeyClass;
+  for (std::size_t i = 0; i < base_key_.size(); ++i) {
+    const KeyClass cls = lock.key_classes.at(i);
+    switch (policy) {
+      case MorphPolicy::kFullScramble:
+        if (cls != KeyClass::kScanEnable) positions_.push_back(i);
+        break;
+      case MorphPolicy::kLutOnly:
+        if (cls == KeyClass::kLutConfig) positions_.push_back(i);
+        break;
+      case MorphPolicy::kRoutingOnly:
+        if (cls == KeyClass::kRouting) positions_.push_back(i);
+        break;
+      case MorphPolicy::kScanKeysOnly:
+        if (cls == KeyClass::kScanEnable) positions_.push_back(i);
+        break;
+    }
+  }
+}
+
+std::vector<bool> MorphingScheduler::key_for_epoch(
+    std::uint64_t epoch) const {
+  std::vector<bool> key = base_key_;
+  if (epoch == 0) return key;
+  for (std::size_t pos : positions_) {
+    key[pos] = mix(seed_ ^ (epoch * 0x100000001b3ull) ^ pos) & 1;
+  }
+  return key;
+}
+
+std::vector<std::vector<bool>> MorphingScheduler::schedule(
+    std::size_t epochs) const {
+  std::vector<std::vector<bool>> keys;
+  keys.reserve(epochs);
+  for (std::size_t e = 0; e < epochs; ++e) {
+    keys.push_back(key_for_epoch(e));
+  }
+  return keys;
+}
+
+}  // namespace ril::core

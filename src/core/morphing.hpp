@@ -1,0 +1,62 @@
+// Dynamic-morphing scheduler (the paper's run-time reconfiguration knob).
+//
+// MRAM storage lets the chip rewrite its own LUT configs and routing keys
+// in the field. The paper uses this two ways:
+//  * against attackers: morph between (functionality-corrupting) states
+//    while untrusted queries are possible, making the collected I/O pairs
+//    mutually inconsistent -- the SAT attack's constraint set goes UNSAT;
+//  * for error-tolerant applications: hop between states whose output
+//    error stays inside a budget (the MESO-style dynamic camouflaging the
+//    paper contrasts against).
+//
+// MorphingScheduler turns a RIL lock into an epoch sequence of key vectors
+// and knows which positions are safe to scramble per policy.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/ril_block.hpp"
+
+namespace ril::core {
+
+enum class MorphPolicy : std::uint8_t {
+  /// Scramble every non-SE key bit (maximal inconsistency; chip unusable
+  /// during the morph window). The paper's anti-SAT-attack mode.
+  kFullScramble,
+  /// Scramble only the LUT configuration bits, keep routing stable.
+  kLutOnly,
+  /// Scramble only the routing bits, keep LUT configs stable.
+  kRoutingOnly,
+  /// Re-program the hidden MTJ_SE cells only. On silicon this leaves
+  /// functional-mode behaviour untouched (SE is deasserted outside the
+  /// scan interface) while every *scan-mode* response changes epoch to
+  /// epoch; apply these epochs to the oracle's scan key.
+  kScanKeysOnly,
+};
+
+class MorphingScheduler {
+ public:
+  /// `lock` must come from the insertion that produced `key_width` bits.
+  MorphingScheduler(const RilLockResult& lock, MorphPolicy policy,
+                    std::uint64_t seed);
+
+  /// Key positions this policy is allowed to touch.
+  const std::vector<std::size_t>& mutable_positions() const {
+    return positions_;
+  }
+
+  /// The key vector for epoch `e` (epoch 0 = the functional key).
+  /// Deterministic per (lock, policy, seed).
+  std::vector<bool> key_for_epoch(std::uint64_t epoch) const;
+
+  /// Convenience: epoch sequence [0, epochs).
+  std::vector<std::vector<bool>> schedule(std::size_t epochs) const;
+
+ private:
+  std::vector<bool> base_key_;
+  std::vector<std::size_t> positions_;
+  std::uint64_t seed_;
+};
+
+}  // namespace ril::core

@@ -1,0 +1,118 @@
+#include "core/polymorphic.hpp"
+
+#include <algorithm>
+#include <random>
+#include <stdexcept>
+
+#include "core/lut2.hpp"
+
+namespace ril::core {
+
+using netlist::GateType;
+using netlist::Netlist;
+using netlist::NodeId;
+
+GateType meso_function(std::size_t index) {
+  static constexpr GateType kFunctions[8] = {
+      GateType::kAnd, GateType::kOr,   GateType::kNand, GateType::kNor,
+      GateType::kXor, GateType::kXnor, GateType::kBuf,  GateType::kNot};
+  return kFunctions[index % 8];
+}
+
+namespace {
+
+std::size_t meso_index_of(GateType type) {
+  for (std::size_t i = 0; i < 8; ++i) {
+    if (meso_function(i) == type) return i;
+  }
+  throw std::invalid_argument("meso_index_of: function not offered");
+}
+
+bool eligible(const netlist::Node& node) {
+  return netlist::is_logic_op(node.type) && node.fanins.size() == 2;
+}
+
+}  // namespace
+
+PolymorphicLockResult insert_polymorphic_gates(Netlist& netlist,
+                                               std::size_t count,
+                                               PolymorphicEncoding encoding,
+                                               std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::vector<NodeId> candidates;
+  for (NodeId id = 0; id < netlist.node_count(); ++id) {
+    if (eligible(netlist.node(id))) candidates.push_back(id);
+  }
+  if (candidates.size() < count) {
+    throw std::invalid_argument(
+        "insert_polymorphic_gates: not enough eligible gates");
+  }
+  std::shuffle(candidates.begin(), candidates.end(), rng);
+  candidates.resize(count);
+
+  PolymorphicLockResult result;
+  std::size_t key_counter = netlist.key_inputs().size();
+  const std::size_t nodes_before = netlist.node_count();
+
+  for (std::size_t g = 0; g < count; ++g) {
+    const NodeId gate = candidates[g];
+    const GateType type = netlist.node(gate).type;
+    const NodeId a = netlist.node(gate).fanins[0];
+    const NodeId b = netlist.node(gate).fanins[1];
+    const std::string prefix = "poly" + std::to_string(g);
+
+    NodeId replacement = netlist::kNoNode;
+    if (encoding == PolymorphicEncoding::kMesoStyle) {
+      // 8 explicit function gates.
+      std::vector<NodeId> funcs;
+      funcs.reserve(8);
+      for (std::size_t i = 0; i < 8; ++i) {
+        const GateType f = meso_function(i);
+        const std::string name = prefix + "_f" + std::to_string(i);
+        if (f == GateType::kBuf || f == GateType::kNot) {
+          funcs.push_back(netlist.add_gate(f, {a}, name));
+        } else {
+          funcs.push_back(netlist.add_gate(f, {a, b}, name));
+        }
+      }
+      // 3 key bits, 7-MUX binary selection tree.
+      NodeId k[3];
+      for (int i = 0; i < 3; ++i) {
+        k[i] = netlist.add_key_input("keyinput" +
+                                     std::to_string(key_counter++));
+      }
+      const std::size_t index = meso_index_of(type);
+      for (int i = 0; i < 3; ++i) {
+        result.key.push_back((index >> i) & 1);
+      }
+      // Level 0: 4 MUXes on k[0]; level 1: 2 MUXes on k[1]; level 2: 1 MUX.
+      std::vector<NodeId> layer = funcs;
+      for (int bit = 0; bit < 3; ++bit) {
+        std::vector<NodeId> next;
+        for (std::size_t i = 0; i < layer.size(); i += 2) {
+          next.push_back(netlist.add_mux(
+              k[bit], layer[i], layer[i + 1],
+              prefix + "_mux" + std::to_string(bit) + "_" +
+                  std::to_string(i / 2)));
+        }
+        layer = next;
+      }
+      replacement = layer[0];
+    } else {
+      const KeyedLut lut =
+          build_keyed_lut2(netlist, a, b, key_counter, prefix);
+      const auto key_vals = lut_key_values(mask_of_gate(type));
+      for (bool v : key_vals) result.key.push_back(v);
+      replacement = lut.output;
+    }
+
+    netlist.replace_uses(gate, replacement);
+  }
+  result.gates_replaced = count;
+  result.added_gates = netlist.node_count() - nodes_before -
+                       result.key.size();  // exclude key-input nodes
+  netlist.sweep_dead();
+  return result;
+}
+
+}  // namespace ril::core

@@ -1,0 +1,48 @@
+// Polymorphic-device encodings (Figure 1 of the paper).
+//
+// A statically-programmed MESO-class device realizes one of 8 Boolean
+// functions of (A, B). The paper observes two SAT encodings of that device:
+//
+//  * kMesoStyle — the formulation used in the MESO paper: the 8 candidate
+//    functions instantiated as 8 explicit gates, selected by a 7-MUX binary
+//    tree driven by 3 key bits ("a MUX with additional 8 gates and 7
+//    MUXes").
+//  * kLut2Style — the same device re-encoded as a 2-input LUT: a 3-MUX
+//    select tree over 4 key bits (Fig. 1 right), which emulates all 16
+//    functions and, as the paper shows, collapses the SAT-attack runtime of
+//    MESO-style obfuscation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace ril::core {
+
+enum class PolymorphicEncoding : std::uint8_t {
+  kMesoStyle,  // 8 function gates + 7-MUX selector, 3 key bits
+  kLut2Style,  // 3-MUX LUT, 4 key bits
+};
+
+/// The 8 functions a MESO device offers, by selector index.
+/// {AND, OR, NAND, NOR, XOR, XNOR, BUF(A), NOT(A)}.
+netlist::GateType meso_function(std::size_t index);
+
+struct PolymorphicLockResult {
+  /// Correct key aligned with the appended key inputs.
+  std::vector<bool> key;
+  std::size_t gates_replaced = 0;
+  /// Extra (non-key) nodes added per replaced gate, for overhead reporting.
+  std::size_t added_gates = 0;
+};
+
+/// Replaces `count` random eligible gates with polymorphic devices in the
+/// chosen encoding. MESO-style requires the gate function to be one of the
+/// 8 offered (BUF/NOT also eligible); LUT-2 accepts any 2-input logic gate.
+PolymorphicLockResult insert_polymorphic_gates(netlist::Netlist& netlist,
+                                               std::size_t count,
+                                               PolymorphicEncoding encoding,
+                                               std::uint64_t seed);
+
+}  // namespace ril::core

@@ -1,0 +1,246 @@
+#include "core/ril_block.hpp"
+
+#include <algorithm>
+#include <random>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "core/banyan.hpp"
+#include "core/lut2.hpp"
+#include "core/lutk.hpp"
+
+namespace ril::core {
+
+using netlist::GateType;
+using netlist::Netlist;
+using netlist::NodeId;
+
+std::string RilBlockConfig::label() const {
+  std::string s = std::to_string(size) + "x" + std::to_string(size);
+  if (output_network) s += "x" + std::to_string(size);
+  if (lut_inputs != 2) s += "-lut" + std::to_string(lut_inputs);
+  return s;
+}
+
+namespace {
+
+bool is_eligible_gate(const netlist::Node& node) {
+  return netlist::is_logic_op(node.type) && node.fanins.size() == 2;
+}
+
+/// Selects `n` gates such that no selected gate lies on a path to any
+/// selected gate's operand (no path g_i -> a_j). This is exactly the
+/// condition under which the block insertion (all operands -> shared banyan
+/// -> LUT layer -> consumers) stays acyclic: a cycle would need a LUT
+/// output to reach a banyan input, i.e. an original path from a replaced
+/// gate to some selected operand.
+std::vector<NodeId> select_gates(const Netlist& netlist,
+                                 const std::vector<bool>& excluded,
+                                 std::size_t n, std::mt19937_64& rng) {
+  std::vector<NodeId> candidates;
+  for (NodeId id = 0; id < netlist.node_count(); ++id) {
+    if (!excluded[id] && is_eligible_gate(netlist.node(id))) {
+      candidates.push_back(id);
+    }
+  }
+  if (candidates.size() < n) {
+    throw std::invalid_argument(
+        "insert_ril_blocks: not enough eligible 2-input gates");
+  }
+
+  // Fanin cone (including roots) of a candidate's operands.
+  auto operand_cone = [&](NodeId gate) {
+    std::vector<bool> cone(netlist.node_count(), false);
+    std::vector<NodeId> stack(netlist.node(gate).fanins.begin(),
+                              netlist.node(gate).fanins.end());
+    while (!stack.empty()) {
+      const NodeId id = stack.back();
+      stack.pop_back();
+      if (cone[id]) continue;
+      cone[id] = true;
+      for (NodeId f : netlist.node(id).fanins) {
+        if (!cone[f]) stack.push_back(f);
+      }
+    }
+    return cone;
+  };
+
+  std::shuffle(candidates.begin(), candidates.end(), rng);
+  std::vector<NodeId> chosen;
+  std::vector<bool> union_operand_cone(netlist.node_count(), false);
+  for (NodeId c : candidates) {
+    if (chosen.size() == n) break;
+    // Reject if some chosen operand depends on c (path c -> a_s)...
+    if (union_operand_cone[c]) continue;
+    // ... or if c's operands depend on a chosen gate (path s -> a_c).
+    const auto cone = operand_cone(c);
+    bool clash = false;
+    for (NodeId s : chosen) {
+      if (cone[s]) {
+        clash = true;
+        break;
+      }
+    }
+    if (clash) continue;
+    chosen.push_back(c);
+    for (std::size_t i = 0; i < cone.size(); ++i) {
+      if (cone[i]) union_operand_cone[i] = true;
+    }
+  }
+  if (chosen.size() < n) {
+    throw std::invalid_argument(
+        "insert_ril_blocks: could not find an acyclic gate selection");
+  }
+  return chosen;
+}
+
+}  // namespace
+
+RilLockResult insert_ril_blocks(Netlist& netlist, std::size_t num_blocks,
+                                const RilBlockConfig& config,
+                                std::uint64_t seed) {
+  if (num_blocks == 0) {
+    throw std::invalid_argument("insert_ril_blocks: num_blocks must be > 0");
+  }
+  if (config.lut_inputs < 2 || config.lut_inputs > 6 ||
+      config.lut_inputs - 1 > config.size) {
+    throw std::invalid_argument(
+        "insert_ril_blocks: lut_inputs must be 2..6 and <= size + 1");
+  }
+  std::mt19937_64 rng(seed);
+  RilLockResult result;
+  result.key_offset = netlist.key_inputs().size();
+  std::size_t key_name_counter = netlist.key_inputs().size();
+
+  std::vector<bool> excluded(netlist.node_count(), false);
+  auto grow_excluded = [&] {
+    excluded.resize(netlist.node_count(), true);  // new nodes are block parts
+  };
+
+  const std::size_t n = config.size;
+  auto rand_bit = [&] { return static_cast<bool>(rng() & 1); };
+
+  for (std::size_t block = 0; block < num_blocks; ++block) {
+    const std::string prefix =
+        "ril_b" + std::to_string(result.key_offset) + "_" +
+        std::to_string(block);
+    const auto gates = select_gates(netlist, excluded, n, rng);
+    for (NodeId g : gates) excluded[g] = true;
+
+    // Operand split: a_i is routed through the banyan, b_i feeds the LUT
+    // directly; which fanin plays which role is random per gate.
+    std::vector<NodeId> routed(n);
+    std::vector<NodeId> direct(n);
+    std::vector<bool> swapped(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto& fanins = netlist.node(gates[i]).fanins;
+      swapped[i] = rand_bit();
+      routed[i] = fanins[swapped[i] ? 1 : 0];
+      direct[i] = fanins[swapped[i] ? 0 : 1];
+    }
+
+    // Input banyan: draw random switch keys, compute the realized
+    // permutation, and attach operands so that output i carries routed[i].
+    const std::size_t switches = banyan_switch_count(n);
+    std::vector<bool> in_keys(switches);
+    for (auto&& k : in_keys) k = rand_bit();
+    const auto perm = banyan_permutation(in_keys, n);
+    std::vector<NodeId> banyan_inputs(n);
+    for (std::size_t p = 0; p < n; ++p) {
+      banyan_inputs[p] = routed[perm[p]];
+    }
+    const BanyanInstance in_net =
+        build_banyan(netlist, banyan_inputs, key_name_counter,
+                     prefix + "_in");
+    for (bool k : in_keys) {
+      result.functional_key.push_back(k);
+      result.oracle_scan_key.push_back(k);
+      result.key_classes.push_back(RilLockResult::KeyClass::kRouting);
+    }
+
+    // LUT layer (+ optional SE cell per LUT). LUT i reads banyan outputs
+    // i .. i+M-2 (mod N) plus the gate's direct operand; the config key
+    // absorbs both the gate function and which inputs actually matter.
+    const std::size_t m = config.lut_inputs;
+    std::vector<NodeId> lut_outputs(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      std::vector<NodeId> lut_in;
+      lut_in.reserve(m);
+      for (std::size_t j = 0; j + 1 < m; ++j) {
+        lut_in.push_back(in_net.outputs[(i + j) % n]);
+      }
+      lut_in.push_back(direct[i]);
+      const KeyedLutK lut = build_keyed_lutk(
+          netlist, lut_in, key_name_counter,
+          prefix + "_lut" + std::to_string(i));
+      std::uint8_t mask2 = mask_of_gate(netlist.node(gates[i]).type);
+      if (swapped[i]) mask2 = swap_operands(mask2);
+      const std::uint64_t mask =
+          lutk_expand_mask2(mask2, m, /*a_index=*/0, /*b_index=*/m - 1);
+      const auto key_vals = lutk_key_values(mask, m);
+      for (bool k : key_vals) {
+        result.functional_key.push_back(k);
+        result.oracle_scan_key.push_back(k);
+        result.key_classes.push_back(RilLockResult::KeyClass::kLutConfig);
+      }
+      NodeId out = lut.output;
+      if (config.scan_obfuscation) {
+        const NodeId se_key = netlist.add_key_input(
+            "keyinput" + std::to_string(key_name_counter++));
+        out = netlist.add_gate(GateType::kXor, {out, se_key},
+                               prefix + "_se" + std::to_string(i));
+        result.se_key_positions.push_back(result.functional_key.size());
+        result.functional_key.push_back(false);     // SE inactive: no invert
+        result.oracle_scan_key.push_back(rand_bit());  // programmed MTJ_SE
+        result.key_classes.push_back(RilLockResult::KeyClass::kScanEnable);
+      }
+      lut_outputs[i] = out;
+    }
+
+    // Optional output banyan.
+    std::vector<NodeId> finals(n);
+    if (config.output_network) {
+      std::vector<bool> out_keys(switches);
+      for (auto&& k : out_keys) k = rand_bit();
+      const auto operm = banyan_permutation(out_keys, n);
+      std::vector<NodeId> net_inputs(n);
+      for (std::size_t p = 0; p < n; ++p) {
+        net_inputs[p] = lut_outputs[operm[p]];
+      }
+      const BanyanInstance out_net =
+          build_banyan(netlist, net_inputs, key_name_counter,
+                       prefix + "_out");
+      for (bool k : out_keys) {
+        result.functional_key.push_back(k);
+        result.oracle_scan_key.push_back(k);
+        result.key_classes.push_back(RilLockResult::KeyClass::kRouting);
+      }
+      finals = out_net.outputs;
+    } else {
+      finals = lut_outputs;
+    }
+
+    // Swing every consumer of gate i over to the block output.
+    for (std::size_t i = 0; i < n; ++i) {
+      netlist.replace_uses(gates[i], finals[i]);
+    }
+    grow_excluded();
+  }
+
+  result.key_width = result.functional_key.size();
+  result.blocks_inserted = num_blocks;
+  netlist.sweep_dead();
+  return result;
+}
+
+std::size_t ril_block_gate_cost(const RilBlockConfig& config) {
+  const std::size_t switches = banyan_switch_count(config.size);
+  std::size_t cost = 2 * switches;  // input network MUXes
+  // (2^M - 1)-MUX select tree per LUT (3 MUXes for the default M = 2).
+  cost += ((std::size_t{1} << config.lut_inputs) - 1) * config.size;
+  if (config.output_network) cost += 2 * switches;
+  if (config.scan_obfuscation) cost += config.size;  // SE XORs
+  return cost;
+}
+
+}  // namespace ril::core

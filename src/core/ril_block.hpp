@@ -1,0 +1,81 @@
+// RIL-Block construction and insertion (the paper's primary contribution).
+//
+// A size-N RIL-Block replaces N randomly selected 2-input gates g_1..g_N:
+//
+//   * interconnect obfuscation: one operand of each gate is tapped into an
+//     N x N key-configurable banyan network ("N x N" block);
+//   * logic obfuscation: gate i becomes a key-programmable 2-input LUT whose
+//     first input is banyan output i and whose second input is the gate's
+//     other operand (the LUT config key absorbs which function the gate
+//     computed, 16 candidates per LUT);
+//   * for an "N x N x N" block, a second banyan network scrambles which LUT
+//     drives which original fan-out set (output interconnect obfuscation);
+//   * optionally, each LUT output is XORed with a hidden per-LUT MTJ_SE bit
+//     that is active whenever the oracle is queried through the scan
+//     interface (Scan-Enable obfuscation, Section III-C). In the attacker's
+//     reverse-engineered view this is an XOR with an unknown key bit.
+//
+// Correct keys exist by construction: random switch keys are drawn first,
+// the realized permutation is computed, and gate operands are attached to
+// the network inputs that route to the right LUT.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace ril::core {
+
+struct RilBlockConfig {
+  /// Block size N (power of two >= 2). "2x2", "8x8" in the paper's tables.
+  std::size_t size = 8;
+  /// Adds the output banyan network ("8x8x8").
+  bool output_network = false;
+  /// Adds the Scan-Enable obfuscation cell per LUT.
+  bool scan_obfuscation = false;
+  /// LUT fan-in M (2..6). M > 2 feeds each LUT extra banyan outputs whose
+  /// (non-)influence is decided by the 2^M-bit config key -- the paper's
+  /// "increase the size of LUT to further fortify the security" knob.
+  /// Requires M - 1 <= size.
+  std::size_t lut_inputs = 2;
+
+  std::string label() const;
+};
+
+struct RilLockResult {
+  /// Correct functional key aligned with netlist.key_inputs() order
+  /// (appended after any pre-existing key inputs). SE positions are 0:
+  /// in functional mode (SE deasserted) the hidden inversion is inactive.
+  std::vector<bool> functional_key;
+  /// Key the *oracle* effectively computes with when queried through the
+  /// scan interface: identical to functional_key except SE positions carry
+  /// the randomly programmed MTJ_SE bits.
+  std::vector<bool> oracle_scan_key;
+  /// Positions (within the appended key range) that are SE bits.
+  std::vector<std::size_t> se_key_positions;
+  /// Per appended key bit: its role inside the block.
+  enum class KeyClass : std::uint8_t { kRouting, kLutConfig, kScanEnable };
+  std::vector<KeyClass> key_classes;
+  /// Number of key bits appended by this insertion.
+  std::size_t key_width = 0;
+  /// Index of the first appended key input in netlist.key_inputs().
+  std::size_t key_offset = 0;
+  std::size_t blocks_inserted = 0;
+};
+
+/// Inserts `num_blocks` RIL-Blocks into `netlist` (modified in place; the
+/// replaced gates are swept). Throws if the netlist does not contain enough
+/// eligible 2-input gates.
+RilLockResult insert_ril_blocks(netlist::Netlist& netlist,
+                                std::size_t num_blocks,
+                                const RilBlockConfig& config,
+                                std::uint64_t seed);
+
+/// Gate-count overhead of one block (MUXes + key logic), used by the
+/// overhead comparisons in Table I's discussion: a 2-MUX switch box per
+/// banyan element plus 3 MUXes per LUT (+1 XOR if scan obfuscation).
+std::size_t ril_block_gate_cost(const RilBlockConfig& config);
+
+}  // namespace ril::core

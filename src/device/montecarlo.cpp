@@ -1,0 +1,104 @@
+#include "device/montecarlo.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ril::device {
+
+McSummary run_monte_carlo(const McOptions& options) {
+  std::mt19937_64 rng(options.seed);
+  McSummary summary;
+  summary.instances = options.instances;
+  summary.samples.reserve(options.instances);
+
+  for (std::size_t i = 0; i < options.instances; ++i) {
+    MramLut2 lut(options.mtj, options.cmos, options.variation, rng);
+    McInstanceSample sample;
+    sample.min_margin = 1e9;
+
+    // Configure the function (write phase).
+    for (std::size_t m = 0; m < 4; ++m) {
+      const WriteSample w = lut.write_cell(m, (options.mask >> m) & 1);
+      if (!w.success) sample.write_error = true;
+    }
+
+    // Read all 4 minterms; classify by stored value.
+    std::size_t n0 = 0;
+    std::size_t n1 = 0;
+    for (std::size_t m = 0; m < 4; ++m) {
+      const bool a = m & 1;
+      const bool b = (m >> 1) & 1;
+      const ReadSample r = lut.read_cell(a, b);
+      const bool stored = (options.mask >> m) & 1;
+      if (r.error) sample.read_error = true;
+      if (r.disturbed) sample.disturb = true;
+      sample.min_margin = std::min(sample.min_margin, r.margin);
+      if (stored) {
+        sample.read_current_1 += r.current;
+        sample.read_power_1 += r.power;
+        ++n1;
+      } else {
+        sample.read_current_0 += r.current;
+        sample.read_power_0 += r.power;
+        ++n0;
+      }
+    }
+    if (n0) {
+      sample.read_current_0 /= n0;
+      sample.read_power_0 /= n0;
+    }
+    if (n1) {
+      sample.read_current_1 /= n1;
+      sample.read_power_1 /= n1;
+    }
+
+    // Sampled device resistances (cell 0's main MTJ is representative; every
+    // cell pair holds one P and one AP device).
+    sample.r_p = lut.cell_r_p(0);
+    sample.r_ap = lut.cell_r_ap(0);
+
+    summary.samples.push_back(sample);
+    summary.read_errors += sample.read_error;
+    summary.write_errors += sample.write_error;
+    summary.disturbs += sample.disturb;
+    summary.mean_read_power_0 += sample.read_power_0;
+    summary.mean_read_power_1 += sample.read_power_1;
+    summary.mean_read_current +=
+        (sample.read_current_0 + sample.read_current_1) / 2.0;
+    summary.mean_r_p += sample.r_p;
+    summary.mean_r_ap += sample.r_ap;
+  }
+  const double n = static_cast<double>(options.instances);
+  summary.mean_read_power_0 /= n;
+  summary.mean_read_power_1 /= n;
+  summary.mean_read_current /= n;
+  summary.mean_r_p /= n;
+  summary.mean_r_ap /= n;
+  const double mean_power =
+      (summary.mean_read_power_0 + summary.mean_read_power_1) / 2.0;
+  summary.power_asymmetry =
+      mean_power == 0
+          ? 0
+          : std::abs(summary.mean_read_power_1 - summary.mean_read_power_0) /
+                mean_power;
+  return summary;
+}
+
+Histogram histogram(const std::vector<double>& values, std::size_t bins) {
+  Histogram h;
+  h.bins.assign(bins, 0);
+  if (values.empty() || bins == 0) return h;
+  h.lo = *std::min_element(values.begin(), values.end());
+  h.hi = *std::max_element(values.begin(), values.end());
+  const double span = h.hi - h.lo;
+  for (double v : values) {
+    std::size_t bin =
+        span <= 0 ? 0
+                  : static_cast<std::size_t>((v - h.lo) / span * bins);
+    if (bin >= bins) bin = bins - 1;
+    h.bins[bin] += 1;
+  }
+  return h;
+}
+
+}  // namespace ril::device

@@ -1,0 +1,58 @@
+// Monte Carlo process-variation analysis of the MRAM LUT (Fig. 6 / Sec IV-D).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "device/mram_lut.hpp"
+
+namespace ril::device {
+
+struct McInstanceSample {
+  double read_current_0 = 0;  ///< reading a stored 0 [A]
+  double read_current_1 = 0;  ///< reading a stored 1 [A]
+  double read_power_0 = 0;    ///< [W]
+  double read_power_1 = 0;    ///< [W]
+  double r_p = 0;             ///< sampled parallel resistance [ohm]
+  double r_ap = 0;            ///< sampled anti-parallel resistance [ohm]
+  double min_margin = 0;      ///< worst-case sense margin [V]
+  bool read_error = false;
+  bool write_error = false;
+  bool disturb = false;
+};
+
+struct McSummary {
+  std::vector<McInstanceSample> samples;
+  std::size_t instances = 0;
+  std::size_t read_errors = 0;
+  std::size_t write_errors = 0;
+  std::size_t disturbs = 0;
+  double mean_read_power_0 = 0;
+  double mean_read_power_1 = 0;
+  double mean_read_current = 0;
+  double mean_r_p = 0;
+  double mean_r_ap = 0;
+  /// Relative read-power gap |P1 - P0| / mean -- the P-SCA observable.
+  double power_asymmetry = 0;
+};
+
+struct McOptions {
+  std::size_t instances = 100;
+  std::uint8_t mask = 0b1000;  ///< AND gate, as in the paper's Fig. 6
+  VariationSpec variation;
+  MtjParams mtj;
+  CmosParams cmos;
+  std::uint64_t seed = 7;
+};
+
+McSummary run_monte_carlo(const McOptions& options);
+
+/// Equal-width histogram helper for the Fig. 6 distributions.
+struct Histogram {
+  double lo = 0;
+  double hi = 0;
+  std::vector<std::size_t> bins;
+};
+Histogram histogram(const std::vector<double>& values, std::size_t bins);
+
+}  // namespace ril::device

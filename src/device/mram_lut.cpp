@@ -1,0 +1,140 @@
+#include "device/mram_lut.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ril::device {
+
+MramLut2::MramLut2(const MtjParams& mtj, const CmosParams& cmos,
+                   const VariationSpec& variation, std::mt19937_64& rng)
+    : mtj_params_(mtj), cmos_(cmos) {
+  // One shared Vth/W-L corner for the peripheral, per-MTJ local variation.
+  const ProcessVariation shared = sample_variation(variation, cmos, rng);
+  r_on_eff_ = cmos.r_on * (1.0 + 1.5 * shared.vth_delta) *
+              (1.0 - shared.wl_delta);
+  sense_offset_ = shared.sense_offset;
+  cells_.reserve(5);
+  for (int i = 0; i < 5; ++i) {
+    const ProcessVariation v_main = sample_variation(variation, cmos, rng);
+    const ProcessVariation v_comp = sample_variation(variation, cmos, rng);
+    cells_.push_back(CellPair{Mtj(mtj, v_main, /*initially_ap=*/true),
+                              Mtj(mtj, v_comp, /*initially_ap=*/false),
+                              false});
+  }
+}
+
+WriteSample MramLut2::write_pair(CellPair& pair, bool value) {
+  WriteSample sample;
+  sample.current = cmos_.i_write;
+  // Series write path: access transistor, main MTJ, complement MTJ, access
+  // transistor. Complementary states mean the path always contains one P
+  // and one AP device.
+  const double r_path = 2.0 * r_on_eff_ + pair.main.resistance() +
+                        pair.complement.resistance();
+  // Storing 1 <=> main in P (low R), complement in AP.
+  const bool main_ok =
+      pair.main.apply_pulse(value ? -cmos_.i_write : cmos_.i_write,
+                            cmos_.t_write);
+  const bool comp_ok =
+      pair.complement.apply_pulse(value ? cmos_.i_write : -cmos_.i_write,
+                                  cmos_.t_write);
+  sample.success = main_ok && comp_ok;
+  if (sample.success) pair.stored = value;
+  // Joule heating in the path plus a small driver asymmetry (pull-up vs
+  // pull-down network) that makes writing '1' marginally costlier.
+  sample.energy = cmos_.i_write * cmos_.i_write * r_path * cmos_.t_write;
+  sample.energy *= value ? 1.007 : 0.993;
+  return sample;
+}
+
+ReadSample MramLut2::read_pair(CellPair& pair) {
+  ReadSample sample;
+  const double r_main = pair.main.resistance();
+  const double r_comp = pair.complement.resistance();
+  const double r_total = r_main + r_comp + 2.0 * r_on_eff_;
+  sample.current = cmos_.v_read / r_total;
+  // Divider midpoint between main (top) and complement (bottom): storing 1
+  // puts main in P -> midpoint pulled toward V+.
+  sample.sense_voltage =
+      cmos_.v_read * (r_comp + r_on_eff_) / r_total;
+  const double threshold = cmos_.v_read / 2.0 + sense_offset_;
+  sample.value = sample.sense_voltage > threshold;
+  sample.margin = std::abs(sample.sense_voltage - cmos_.v_read / 2.0);
+  sample.error = sample.value != pair.stored;
+  sample.power = cmos_.v_read * sample.current;
+  // Select-tree + output-stage dynamic energy; charging OUT high costs a
+  // whisker more than discharging it.
+  const double tree_energy = 0.08e-15 + (sample.value ? 0.015e-15
+                                                      : -0.015e-15);
+  sample.energy = sample.power * cmos_.t_read + tree_energy;
+  // Read-disturb check: the pulse is shorter than the switching time, so
+  // the state must survive. apply_pulse returns false when no switching
+  // happened and the state differs from the pulse target.
+  const bool before = pair.main.is_ap();
+  (void)pair.main.apply_pulse(sample.current, cmos_.t_read);
+  sample.disturbed = pair.main.is_ap() != before;
+  if (sample.disturbed) pair.main.force_state(before);  // flag, keep data
+  return sample;
+}
+
+WriteSample MramLut2::write_cell(std::size_t minterm, bool value) {
+  if (minterm >= 4) throw std::invalid_argument("write_cell: bad minterm");
+  return write_pair(cells_[minterm], value);
+}
+
+double MramLut2::configure(std::uint8_t mask) {
+  double energy = 0;
+  for (std::size_t m = 0; m < 4; ++m) {
+    energy += write_cell(m, (mask >> m) & 1).energy;
+  }
+  return energy;
+}
+
+WriteSample MramLut2::write_se(bool value) {
+  return write_pair(cells_[4], value);
+}
+
+ReadSample MramLut2::read_cell(bool a, bool b) {
+  const std::size_t minterm = (a ? 1 : 0) + (b ? 2 : 0);
+  return read_pair(cells_[minterm]);
+}
+
+ReadSample MramLut2::read_output(bool a, bool b, bool scan_enable) {
+  ReadSample sample = read_cell(a, b);
+  if (scan_enable) {
+    // The SE stage steers OUT <- O or notO based on MTJ_SE; the extra MUX
+    // costs one more node charge.
+    const ReadSample se = read_pair(cells_[4]);
+    sample.energy += 0.02e-15;
+    if (se.value) sample.value = !sample.value;
+  }
+  return sample;
+}
+
+double MramLut2::standby_power() const {
+  return cmos_.i_leak * cmos_.vdd;
+}
+
+double MramLut2::standby_energy(double window_seconds) const {
+  return standby_power() * window_seconds;
+}
+
+std::uint8_t MramLut2::stored_mask() const {
+  std::uint8_t mask = 0;
+  for (std::size_t m = 0; m < 4; ++m) {
+    if (cells_[m].stored) mask |= (1u << m);
+  }
+  return mask;
+}
+
+bool MramLut2::stored_se() const { return cells_[4].stored; }
+
+double MramLut2::cell_r_p(std::size_t minterm) const {
+  return cells_.at(minterm).main.r_p_effective();
+}
+
+double MramLut2::cell_r_ap(std::size_t minterm) const {
+  return cells_.at(minterm).main.r_ap_effective();
+}
+
+}  // namespace ril::device

@@ -1,0 +1,91 @@
+// Circuit-level model of the proposed 2-input MRAM-based LUT (Fig. 4).
+//
+// Four complementary STT-MTJ cell pairs hold the truth table (addressed by
+// inputs A, B); a fifth pair (MTJ_SE) holds the Scan-Enable obfuscation
+// key. Reads bias a voltage divider across the complementary pair and sense
+// the midpoint against VDD/2 -- the complementary arrangement gives a wide
+// read margin and, crucially for P-SCA, a read path whose series resistance
+// (R_P + R_AP) is identical whether the stored bit is 0 or 1.
+//
+// Write: one bidirectional pulse through the series pair programs main and
+// complement to opposite states. Read pulses are shorter than the STT
+// switching time, so they cannot disturb the cell even though the read
+// current is near I_c.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "device/mtj.hpp"
+
+namespace ril::device {
+
+struct ReadSample {
+  bool value = false;        ///< sensed output
+  bool error = false;        ///< sensed != stored
+  double sense_voltage = 0;  ///< divider midpoint [V]
+  double margin = 0;         ///< |midpoint - v_read/2| [V]
+  double current = 0;        ///< divider current [A]
+  double power = 0;          ///< read power [W]
+  double energy = 0;         ///< read energy [J]
+  bool disturbed = false;    ///< read pulse flipped the cell (should never)
+};
+
+struct WriteSample {
+  bool success = false;
+  double current = 0;
+  double energy = 0;
+};
+
+class MramLut2 {
+ public:
+  /// Samples per-MTJ process variation from `rng`.
+  MramLut2(const MtjParams& mtj, const CmosParams& cmos,
+           const VariationSpec& variation, std::mt19937_64& rng);
+
+  /// Writes truth-table cell `minterm` (A + 2B) to `value`.
+  WriteSample write_cell(std::size_t minterm, bool value);
+  /// Programs the whole 4-bit function mask; returns total write energy.
+  double configure(std::uint8_t mask);
+  /// Writes the Scan-Enable key cell (via KWE).
+  WriteSample write_se(bool value);
+
+  /// Raw cell read (select tree picks the pair addressed by A, B).
+  ReadSample read_cell(bool a, bool b);
+  /// Full LUT read including the SE output stage: when `scan_enable` is
+  /// asserted and MTJ_SE holds 1, OUT is the inverted cell value.
+  ReadSample read_output(bool a, bool b, bool scan_enable);
+
+  /// Standby power of the (non-volatile) LUT [W].
+  double standby_power() const;
+  /// Standby energy over a window [J].
+  double standby_energy(double window_seconds) const;
+
+  std::uint8_t stored_mask() const;
+  bool stored_se() const;
+
+  /// Sampled effective resistances of a cell's main MTJ (for PV reporting).
+  double cell_r_p(std::size_t minterm) const;
+  double cell_r_ap(std::size_t minterm) const;
+
+ private:
+  struct CellPair {
+    Mtj main;
+    Mtj complement;
+    bool stored = false;
+  };
+
+  WriteSample write_pair(CellPair& pair, bool value);
+  ReadSample read_pair(CellPair& pair);
+
+  MtjParams mtj_params_;
+  CmosParams cmos_;
+  double r_on_eff_;
+  double sense_offset_;
+  /// cells_[0..3] = truth-table minterms, cells_[4] = MTJ_SE.
+  std::vector<CellPair> cells_;
+};
+
+}  // namespace ril::device

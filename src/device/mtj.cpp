@@ -1,0 +1,40 @@
+#include "device/mtj.hpp"
+
+#include <cmath>
+
+namespace ril::device {
+
+Mtj::Mtj(const MtjParams& params, const ProcessVariation& variation,
+         bool initially_ap)
+    : params_(params), ap_(initially_ap) {
+  // Resistance scales with barrier thickness (exponentially, linearized for
+  // small deltas) and inversely with junction area.
+  const double r_scale = 1.0 + 3.0 * variation.mtj_dim_delta;
+  r_p_eff_ = params.r_p * r_scale;
+  r_ap_eff_ = params.r_p * (1.0 + params.tmr) * r_scale;
+  // Critical current scales with area; switching time with thermal
+  // stability (weak dependence, linearized).
+  i_c_eff_ = params.i_c * (1.0 - 2.0 * variation.mtj_dim_delta);
+  t_switch_eff_ = params.t_switch * (1.0 + variation.mtj_dim_delta);
+}
+
+double Mtj::critical_current(bool to_ap) const {
+  // P->AP is the hard direction.
+  return to_ap ? i_c_eff_ * (1.0 + params_.asymmetry)
+               : i_c_eff_ * (1.0 - params_.asymmetry * 0.25);
+}
+
+bool Mtj::apply_pulse(double current, double duration) {
+  const bool to_ap = current > 0;
+  const double magnitude = std::abs(current);
+  if (ap_ == to_ap) return true;  // already in target state
+  const double ic = critical_current(to_ap);
+  if (magnitude < ic) return false;  // sub-critical: no switching
+  // Overdrive shortens the switching time ~ 1 / (I/Ic - small offset).
+  const double t_needed = t_switch_eff_ / (magnitude / ic);
+  if (duration < t_needed) return false;
+  ap_ = to_ap;
+  return true;
+}
+
+}  // namespace ril::device

@@ -1,0 +1,44 @@
+// STT-MTJ compact device model.
+//
+// Two ferromagnetic layers separated by an MgO barrier; the free layer's
+// orientation encodes the bit: Parallel (P, low resistance) vs Anti-Parallel
+// (AP, high resistance). Spin-transfer-torque switching happens when the
+// applied charge current exceeds the (direction-dependent) critical current
+// for at least the switching time.
+#pragma once
+
+#include "device/params.hpp"
+
+namespace ril::device {
+
+class Mtj {
+ public:
+  Mtj(const MtjParams& params, const ProcessVariation& variation,
+      bool initially_ap = false);
+
+  bool is_ap() const { return ap_; }
+  /// Instantaneous resistance [ohm] for the current state.
+  double resistance() const { return ap_ ? r_ap_eff_ : r_p_eff_; }
+  double r_p_effective() const { return r_p_eff_; }
+  double r_ap_effective() const { return r_ap_eff_; }
+  /// Direction-dependent effective critical current [A].
+  double critical_current(bool to_ap) const;
+
+  /// Applies a write pulse: positive current drives toward AP, negative
+  /// toward P. Returns true if the final state equals `to_ap`-implied
+  /// target (i.e. the write succeeded or was already in target state).
+  bool apply_pulse(double current, double duration);
+
+  /// Forces a state (test/bring-up helper, not a physical operation).
+  void force_state(bool ap) { ap_ = ap; }
+
+ private:
+  MtjParams params_;
+  double r_p_eff_;
+  double r_ap_eff_;
+  double i_c_eff_;
+  double t_switch_eff_;
+  bool ap_;
+};
+
+}  // namespace ril::device

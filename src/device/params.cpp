@@ -1,0 +1,20 @@
+#include "device/params.hpp"
+
+namespace ril::device {
+
+ProcessVariation sample_variation(const VariationSpec& spec,
+                                  const CmosParams& cmos,
+                                  std::mt19937_64& rng) {
+  std::normal_distribution<double> mtj(0.0, spec.mtj_dim_sigma);
+  std::normal_distribution<double> vth(0.0, spec.vth_sigma);
+  std::normal_distribution<double> wl(0.0, spec.wl_sigma);
+  std::normal_distribution<double> offset(0.0, cmos.sense_offset_sigma);
+  ProcessVariation v;
+  v.mtj_dim_delta = mtj(rng);
+  v.vth_delta = vth(rng);
+  v.wl_delta = wl(rng);
+  v.sense_offset = offset(rng);
+  return v;
+}
+
+}  // namespace ril::device

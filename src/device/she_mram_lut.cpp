@@ -1,0 +1,44 @@
+#include "device/she_mram_lut.hpp"
+
+namespace ril::device {
+
+SheMramLut2::SheMramLut2(const MtjParams& mtj, const CmosParams& cmos,
+                         const SheParams& she,
+                         const VariationSpec& variation,
+                         std::mt19937_64& rng)
+    : base_([&] {
+        // The underlying storage/read fabric is identical; give the base
+        // cell the SHE write drive so its success checks use it.
+        MtjParams she_mtj = mtj;
+        // SHE switching current threshold (the charge current through the
+        // strip needed for the spin current to flip the free layer).
+        she_mtj.i_c = she.i_write * 0.7;
+        she_mtj.t_switch = she.t_write;
+        CmosParams she_cmos = cmos;
+        she_cmos.i_write = she.i_write;
+        she_cmos.t_write = she.t_write;
+        return MramLut2(she_mtj, she_cmos, variation, rng);
+      }()),
+      she_(she),
+      cmos_(cmos) {}
+
+SheWriteSample SheMramLut2::write_cell(std::size_t minterm, bool value) {
+  const WriteSample inner = base_.write_cell(minterm, value);
+  SheWriteSample sample;
+  sample.success = inner.success;
+  // Energy through the heavy-metal strip (plus one access transistor),
+  // not through the MTJ stack: I^2 * (R_she + R_on) * t.
+  sample.energy = she_.i_write * she_.i_write *
+                  (she_.r_she + cmos_.r_on) * she_.t_write;
+  return sample;
+}
+
+double SheMramLut2::configure(std::uint8_t mask) {
+  double energy = 0;
+  for (std::size_t m = 0; m < 4; ++m) {
+    energy += write_cell(m, (mask >> m) & 1).energy;
+  }
+  return energy;
+}
+
+}  // namespace ril::device

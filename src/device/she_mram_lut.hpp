@@ -1,0 +1,54 @@
+// SHE-MRAM LUT variant (Section IV-E: "SHE-MRAM cells have attracted
+// considerable attention as an alternative for the conventional
+// STT-MRAMs").
+//
+// A Spin-Hall-Effect cell is a three-terminal device: write current flows
+// through a low-resistance heavy-metal strip *under* the MTJ instead of
+// through the tunnel barrier. Consequences modelled here:
+//   * write path resistance ~ the SHE strip (hundreds of ohms), so write
+//     energy drops well below the STT cell's at the same pulse;
+//   * the read path is unchanged (same complementary divider), so the
+//     P-SCA symmetry and wide margin carry over;
+//   * decoupled read/write paths remove read disturb by construction;
+//   * cost: one extra access transistor per cell (write word line).
+#pragma once
+
+#include "device/mram_lut.hpp"
+
+namespace ril::device {
+
+struct SheParams {
+  double r_she = 450.0;     ///< heavy-metal strip resistance [ohm]
+  double i_write = 30e-6;   ///< SHE switching current [A] (lower than STT)
+  double t_write = 1.2e-9;  ///< faster switching [s]
+};
+
+struct SheWriteSample {
+  bool success = false;
+  double energy = 0;
+};
+
+/// Thin wrapper: same read behaviour as MramLut2, cheaper writes.
+class SheMramLut2 {
+ public:
+  SheMramLut2(const MtjParams& mtj, const CmosParams& cmos,
+              const SheParams& she, const VariationSpec& variation,
+              std::mt19937_64& rng);
+
+  SheWriteSample write_cell(std::size_t minterm, bool value);
+  double configure(std::uint8_t mask);
+  ReadSample read_cell(bool a, bool b) { return base_.read_cell(a, b); }
+  double standby_power() const { return base_.standby_power(); }
+  std::uint8_t stored_mask() const { return base_.stored_mask(); }
+
+  /// Transistor count per cell: STT pair needs 8, SHE pair needs 10 (two
+  /// extra write-word-line devices), still fabricated above the CMOS.
+  static constexpr int kTransistorsPerCellPair = 10;
+
+ private:
+  MramLut2 base_;
+  SheParams she_;
+  CmosParams cmos_;
+};
+
+}  // namespace ril::device

@@ -1,0 +1,30 @@
+#include "device/sram_lut.hpp"
+
+namespace ril::device {
+
+SramLut2::SramLut2(const CmosParams& cmos, const VariationSpec& variation,
+                   std::mt19937_64& rng) {
+  const ProcessVariation v = sample_variation(variation, cmos, rng);
+  // 45nm-class numbers: the 6T array + select tree reads cheaper than the
+  // resistive divider, but the value-dependent bitline discharge creates a
+  // ~35% read-energy asymmetry; leakage dominates standby.
+  const double corner = 1.0 + 0.8 * v.vth_delta;
+  read_energy_one_ = 6.2e-15 * corner;
+  read_energy_zero_ = 9.6e-15 * corner;
+  write_energy_ = 2.6e-15 * corner;
+  // Four 6T cells + periphery leak ~1.2 uW at this corner (volatile cells
+  // cannot be power-gated without losing the key).
+  standby_power_ = 1.2e-6 * (1.0 - 2.0 * v.vth_delta);
+  t_read_ = cmos.t_read;
+}
+
+SramReadSample SramLut2::read_output(bool a, bool b) {
+  const std::size_t minterm = (a ? 1 : 0) + (b ? 2 : 0);
+  SramReadSample sample;
+  sample.value = (mask_ >> minterm) & 1;
+  sample.energy = sample.value ? read_energy_one_ : read_energy_zero_;
+  sample.power = sample.energy / t_read_;
+  return sample;
+}
+
+}  // namespace ril::device

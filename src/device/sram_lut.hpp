@@ -1,0 +1,48 @@
+// Reference model of a conventional SRAM-based 2-input LUT.
+//
+// Used for the paper's comparisons: volatile storage (standby leakage orders
+// of magnitude above the MRAM LUT) and an asymmetric read path -- a 6T cell
+// read discharges the precharged bitline only when the stored value is 0,
+// so read energy depends on the data. That data-dependence is exactly what
+// the power side-channel attack exploits (and what the complementary MRAM
+// divider removes).
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "device/params.hpp"
+
+namespace ril::device {
+
+struct SramReadSample {
+  bool value = false;
+  double energy = 0;
+  double power = 0;
+};
+
+class SramLut2 {
+ public:
+  SramLut2(const CmosParams& cmos, const VariationSpec& variation,
+           std::mt19937_64& rng);
+
+  void configure(std::uint8_t mask) { mask_ = mask & 0xF; }
+  std::uint8_t stored_mask() const { return mask_; }
+
+  SramReadSample read_output(bool a, bool b);
+  double write_energy() const { return write_energy_; }
+  double standby_power() const { return standby_power_; }
+  double standby_energy(double window_seconds) const {
+    return standby_power_ * window_seconds;
+  }
+
+ private:
+  std::uint8_t mask_ = 0;
+  double read_energy_one_;   ///< bitline stays precharged
+  double read_energy_zero_;  ///< bitline discharge (costlier)
+  double write_energy_;
+  double standby_power_;
+  double t_read_;
+};
+
+}  // namespace ril::device

@@ -1,0 +1,79 @@
+#include "device/transient.hpp"
+
+namespace ril::device {
+
+namespace {
+
+constexpr std::uint8_t kAndMask = 0b1000;
+constexpr std::uint8_t kNorMask = 0b0001;
+
+}  // namespace
+
+TransientResult simulate_and_to_nor(const TransientOptions& options) {
+  std::mt19937_64 rng(options.seed);
+  MramLut2 lut(options.mtj, options.cmos, options.variation, rng);
+  TransientResult result;
+  double t = 0;
+  const double t_write_ns = options.cmos.t_write * 1e9;
+  const double t_read_ns = options.cmos.t_read * 1e9;
+
+  auto emit = [&](TransientPoint p) {
+    p.time_ns = t;
+    result.waveform.push_back(std::move(p));
+  };
+
+  auto configure = [&](std::uint8_t mask, bool se_value,
+                       const std::string& phase) {
+    for (std::size_t m = 0; m < 4; ++m) {
+      const bool bit = (mask >> m) & 1;
+      const WriteSample w = lut.write_cell(m, bit);
+      result.all_writes_ok &= w.success;
+      result.total_config_energy += w.energy;
+      TransientPoint p;
+      p.we = 1;
+      p.a = m & 1;
+      p.b = (m >> 1) & 1;
+      p.bl = bit;
+      p.phase = phase;
+      emit(p);
+      t += t_write_ns;
+    }
+    const WriteSample se = lut.write_se(se_value);
+    result.all_writes_ok &= se.success;
+    result.total_config_energy += se.energy;
+    TransientPoint p;
+    p.kwe = 1;
+    p.bl = se_value;
+    p.phase = phase + "-se";
+    emit(p);
+    t += t_write_ns;
+  };
+
+  auto read_sweep = [&](std::array<int, 4>& outs, const std::string& phase) {
+    for (std::size_t m = 0; m < 4; ++m) {
+      const bool a = m & 1;
+      const bool b = (m >> 1) & 1;
+      const ReadSample r =
+          lut.read_output(a, b, options.scan_enable_reads);
+      outs[m] = r.value ? 1 : 0;
+      TransientPoint p;
+      p.re = 1;
+      p.se = options.scan_enable_reads ? 1 : 0;
+      p.a = a;
+      p.b = b;
+      p.v_sense = r.sense_voltage;
+      p.out = outs[m];
+      p.phase = phase;
+      emit(p);
+      t += t_read_ns;
+    }
+  };
+
+  configure(kAndMask, options.se_value_and, "cfg-and");
+  read_sweep(result.and_outputs, "read-and");
+  configure(kNorMask, options.se_value_nor, "cfg-nor");
+  read_sweep(result.nor_outputs, "read-nor");
+  return result;
+}
+
+}  // namespace ril::device

@@ -1,0 +1,54 @@
+// Transient waveform simulation of the MRAM LUT (Fig. 5).
+//
+// Replays the paper's demonstration: configure the LUT as a 2-input AND
+// (including the MTJ_SE cell), sweep the four input combinations in read
+// mode, then reconfigure the same LUT as a NOR and sweep again -- verifying
+// correct outputs in both configurations and the SE-driven inversion when
+// the scan interface is active.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "device/mram_lut.hpp"
+
+namespace ril::device {
+
+struct TransientPoint {
+  double time_ns = 0;
+  int we = 0;         ///< write-enable
+  int kwe = 0;        ///< key (SE-cell) write-enable
+  int re = 0;         ///< read-enable
+  int se = 0;         ///< scan-enable
+  int a = 0;
+  int b = 0;
+  int bl = 0;         ///< bit-line data during writes
+  double v_sense = 0; ///< divider midpoint [V]
+  int out = 0;        ///< OUT (after the SE stage)
+  std::string phase;  ///< "cfg-and", "read-and", "cfg-nor", ...
+};
+
+struct TransientOptions {
+  MtjParams mtj;
+  CmosParams cmos;
+  VariationSpec variation;   ///< zero-out for the nominal waveform
+  bool se_value_and = false; ///< MTJ_SE contents in the AND phase
+  bool se_value_nor = true;  ///< MTJ_SE contents in the NOR phase
+  bool scan_enable_reads = false;  ///< assert SE during the read sweeps
+  std::uint64_t seed = 1;
+};
+
+struct TransientResult {
+  std::vector<TransientPoint> waveform;
+  /// Read sweep results: out[i] for minterm i (after the SE stage).
+  std::array<int, 4> and_outputs{};
+  std::array<int, 4> nor_outputs{};
+  bool all_writes_ok = true;
+  double total_config_energy = 0;
+};
+
+TransientResult simulate_and_to_nor(const TransientOptions& options);
+
+}  // namespace ril::device

@@ -1,0 +1,90 @@
+#include "locking/locked.hpp"
+
+#include <random>
+#include <stdexcept>
+
+namespace ril::locking {
+
+using netlist::GateType;
+using netlist::Netlist;
+using netlist::NodeId;
+
+Netlist specialize_keys(const Netlist& locked, const std::vector<bool>& key) {
+  if (key.size() != locked.key_inputs().size()) {
+    throw std::invalid_argument("specialize_keys: key width mismatch");
+  }
+  Netlist out(locked.name() + "_keyed");
+  std::vector<NodeId> remap(locked.node_count(), netlist::kNoNode);
+  // Key value per node id, for key inputs only.
+  std::vector<int> key_value(locked.node_count(), -1);
+  for (std::size_t i = 0; i < key.size(); ++i) {
+    key_value[locked.key_inputs()[i]] = key[i] ? 1 : 0;
+  }
+  // Preserve the primary-input order (positional equivalence checks and
+  // oracles depend on it); key inputs become constants.
+  for (NodeId id : locked.inputs()) {
+    if (key_value[id] >= 0) {
+      remap[id] = out.add_const(key_value[id] == 1);
+      out.rename(remap[id], locked.node(id).name + "_fixed");
+    } else {
+      remap[id] = out.add_input(locked.node(id).name);
+    }
+  }
+  // DFFs next (they are topological sources); fanins patched at the end.
+  NodeId placeholder = netlist::kNoNode;
+  for (NodeId id = 0; id < locked.node_count(); ++id) {
+    if (locked.node(id).type != GateType::kDff) continue;
+    if (placeholder == netlist::kNoNode) placeholder = out.add_const(false);
+    remap[id] =
+        out.add_gate(GateType::kDff, {placeholder}, locked.node(id).name);
+  }
+  for (NodeId id : locked.topological_order()) {
+    const netlist::Node& node = locked.node(id);
+    if (remap[id] != netlist::kNoNode) continue;
+    switch (node.type) {
+      case GateType::kInput:
+        break;  // handled above
+      case GateType::kConst0:
+      case GateType::kConst1:
+        remap[id] = out.add_const(node.type == GateType::kConst1);
+        out.rename(remap[id], node.name);
+        break;
+      default: {
+        std::vector<NodeId> fanins;
+        fanins.reserve(node.fanins.size());
+        for (NodeId f : node.fanins) fanins.push_back(remap[f]);
+        if (node.type == GateType::kLut) {
+          remap[id] = out.add_lut(std::move(fanins), node.lut_mask, node.name);
+        } else {
+          remap[id] = out.add_gate(node.type, std::move(fanins), node.name);
+        }
+      }
+    }
+  }
+  for (NodeId id = 0; id < locked.node_count(); ++id) {
+    if (locked.node(id).type == GateType::kDff) {
+      out.node(remap[id]).fanins[0] = remap[locked.node(id).fanins[0]];
+    }
+  }
+  for (NodeId id : locked.outputs()) out.mark_output(remap[id]);
+  return out;
+}
+
+std::vector<bool> random_key(std::size_t width, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::vector<bool> key(width);
+  for (std::size_t i = 0; i < width; ++i) key[i] = rng() & 1;
+  return key;
+}
+
+std::size_t key_hamming_distance(const std::vector<bool>& a,
+                                 const std::vector<bool>& b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("key_hamming_distance: width mismatch");
+  }
+  std::size_t d = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) d += a[i] != b[i];
+  return d;
+}
+
+}  // namespace ril::locking

@@ -1,0 +1,31 @@
+// Common representation of a locked circuit + key utilities.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace ril::locking {
+
+struct LockedCircuit {
+  netlist::Netlist netlist;     ///< locked netlist with key inputs
+  std::vector<bool> key;        ///< a correct key (key_inputs() order)
+  std::string scheme;           ///< e.g. "xor", "sarlock", "ril-8x8x8"
+};
+
+/// Returns a copy of `locked` with every key input replaced by the constant
+/// from `key` (key_inputs() order). The result has no key inputs and is
+/// functionally the unlocked circuit when `key` is correct.
+netlist::Netlist specialize_keys(const netlist::Netlist& locked,
+                                 const std::vector<bool>& key);
+
+/// Uniformly random key of the given width.
+std::vector<bool> random_key(std::size_t width, std::uint64_t seed);
+
+/// Number of positions where two keys differ.
+std::size_t key_hamming_distance(const std::vector<bool>& a,
+                                 const std::vector<bool>& b);
+
+}  // namespace ril::locking

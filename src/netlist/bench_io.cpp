@@ -1,0 +1,344 @@
+#include "netlist/bench_io.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace ril::netlist {
+
+namespace {
+
+std::string trim(std::string s) {
+  auto not_space = [](unsigned char c) { return !std::isspace(c); };
+  s.erase(s.begin(), std::find_if(s.begin(), s.end(), not_space));
+  s.erase(std::find_if(s.rbegin(), s.rend(), not_space).base(), s.end());
+  return s;
+}
+
+std::string upper(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  return s;
+}
+
+struct PendingGate {
+  std::string name;
+  std::string op;
+  std::uint64_t lut_mask = 0;
+  std::vector<std::string> fanins;
+  std::size_t line = 0;
+};
+
+[[noreturn]] void fail(std::size_t line, const std::string& message) {
+  throw std::runtime_error(".bench line " + std::to_string(line) + ": " +
+                           message);
+}
+
+std::vector<std::string> split_args(const std::string& args, std::size_t line) {
+  std::vector<std::string> result;
+  std::string current;
+  for (char c : args) {
+    if (c == ',') {
+      result.push_back(trim(current));
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  if (!trim(current).empty()) result.push_back(trim(current));
+  for (const std::string& a : result) {
+    if (a.empty()) fail(line, "empty argument");
+  }
+  return result;
+}
+
+GateType op_to_type(const std::string& op, std::size_t line) {
+  static const std::map<std::string, GateType> kOps = {
+      {"AND", GateType::kAnd},   {"NAND", GateType::kNand},
+      {"OR", GateType::kOr},     {"NOR", GateType::kNor},
+      {"XOR", GateType::kXor},   {"XNOR", GateType::kXnor},
+      {"NOT", GateType::kNot},   {"INV", GateType::kNot},
+      {"BUF", GateType::kBuf},   {"BUFF", GateType::kBuf},
+      {"DFF", GateType::kDff},   {"MUX", GateType::kMux},
+      {"VCC", GateType::kConst1},{"GND", GateType::kConst0},
+      {"CONST1", GateType::kConst1}, {"CONST0", GateType::kConst0},
+  };
+  auto it = kOps.find(op);
+  if (it == kOps.end()) fail(line, "unknown op '" + op + "'");
+  return it->second;
+}
+
+}  // namespace
+
+Netlist read_bench(std::istream& in, std::string name) {
+  std::vector<std::string> input_names;
+  std::vector<std::string> output_names;
+  std::vector<PendingGate> gates;
+
+  std::string raw;
+  std::size_t line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    std::string line = raw;
+    if (auto hash = line.find('#'); hash != std::string::npos) {
+      line.resize(hash);
+    }
+    line = trim(line);
+    if (line.empty()) continue;
+
+    const std::string uline = upper(line);
+    if (uline.rfind("INPUT", 0) == 0 || uline.rfind("OUTPUT", 0) == 0) {
+      const bool is_input = uline.rfind("INPUT", 0) == 0;
+      const auto open = line.find('(');
+      const auto close = line.rfind(')');
+      if (open == std::string::npos || close == std::string::npos ||
+          close < open) {
+        fail(line_no, "malformed INPUT/OUTPUT");
+      }
+      const std::string sig = trim(line.substr(open + 1, close - open - 1));
+      if (sig.empty()) fail(line_no, "empty signal name");
+      (is_input ? input_names : output_names).push_back(sig);
+      continue;
+    }
+
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) fail(line_no, "expected '='");
+    PendingGate gate;
+    gate.name = trim(line.substr(0, eq));
+    gate.line = line_no;
+    std::string rhs = trim(line.substr(eq + 1));
+    if (gate.name.empty() || rhs.empty()) fail(line_no, "malformed assignment");
+
+    const std::string urhs = upper(rhs);
+    if (urhs == "VCC" || urhs == "GND" || urhs == "CONST0" ||
+        urhs == "CONST1") {
+      gate.op = urhs;
+      gates.push_back(std::move(gate));
+      continue;
+    }
+
+    if (urhs.rfind("LUT", 0) == 0) {
+      // name = LUT 0xMASK (a, b, ...)
+      std::string rest = trim(rhs.substr(3));
+      const auto open = rest.find('(');
+      const auto close = rest.rfind(')');
+      if (open == std::string::npos || close == std::string::npos) {
+        fail(line_no, "malformed LUT");
+      }
+      const std::string mask_text = trim(rest.substr(0, open));
+      gate.op = "LUT";
+      try {
+        gate.lut_mask = std::stoull(mask_text, nullptr, 0);
+      } catch (const std::exception&) {
+        fail(line_no, "bad LUT mask '" + mask_text + "'");
+      }
+      gate.fanins =
+          split_args(rest.substr(open + 1, close - open - 1), line_no);
+      gates.push_back(std::move(gate));
+      continue;
+    }
+
+    const auto open = rhs.find('(');
+    const auto close = rhs.rfind(')');
+    if (open == std::string::npos || close == std::string::npos ||
+        close < open) {
+      fail(line_no, "malformed gate expression");
+    }
+    gate.op = upper(trim(rhs.substr(0, open)));
+    gate.fanins = split_args(rhs.substr(open + 1, close - open - 1), line_no);
+    gates.push_back(std::move(gate));
+  }
+
+  Netlist netlist(std::move(name));
+  for (const std::string& in_name : input_names) {
+    if (in_name.rfind("keyinput", 0) == 0) {
+      netlist.add_key_input(in_name);
+    } else {
+      netlist.add_input(in_name);
+    }
+  }
+
+  // Two passes: DFF outputs may be referenced before definition, and gates
+  // may appear in any order. First create placeholder ids in dependency
+  // order via iterative resolution.
+  std::unordered_map<std::string, std::size_t> gate_by_name;
+  for (std::size_t i = 0; i < gates.size(); ++i) {
+    if (gate_by_name.contains(gates[i].name)) {
+      fail(gates[i].line, "redefinition of '" + gates[i].name + "'");
+    }
+    gate_by_name.emplace(gates[i].name, i);
+  }
+
+  std::vector<NodeId> created(gates.size(), kNoNode);
+  // DFFs first (as state sources) so cycles through DFFs resolve.
+  // They share one temporary const fanin (reserved name that cannot clash
+  // with any signal in this file), patched below.
+  std::vector<std::size_t> dffs;
+  NodeId placeholder = kNoNode;
+  for (std::size_t i = 0; i < gates.size(); ++i) {
+    if (upper(gates[i].op) == "DFF") {
+      if (placeholder == kNoNode) {
+        placeholder = netlist.add_const(false);
+        std::string ph_name = "__bench_dff_ph";
+        int suffix = 0;
+        while (gate_by_name.contains(ph_name) || netlist.find(ph_name)) {
+          ph_name = "__bench_dff_ph" + std::to_string(suffix++);
+        }
+        netlist.rename(placeholder, ph_name);
+      }
+      created[i] = netlist.add_gate(GateType::kDff, {placeholder},
+                                    gates[i].name);
+      dffs.push_back(i);
+    }
+  }
+
+  // Iteratively create remaining gates when all fanins are known.
+  auto lookup = [&](const std::string& signal) -> NodeId {
+    if (auto id = netlist.find(signal)) return *id;
+    return kNoNode;
+  };
+  bool progress = true;
+  std::size_t remaining =
+      std::count(created.begin(), created.end(), kNoNode);
+  while (remaining > 0 && progress) {
+    progress = false;
+    for (std::size_t i = 0; i < gates.size(); ++i) {
+      if (created[i] != kNoNode) continue;
+      const PendingGate& gate = gates[i];
+      std::vector<NodeId> fanins;
+      fanins.reserve(gate.fanins.size());
+      bool ready = true;
+      for (const std::string& f : gate.fanins) {
+        const NodeId id = lookup(f);
+        if (id == kNoNode) {
+          ready = false;
+          break;
+        }
+        fanins.push_back(id);
+      }
+      if (!ready) continue;
+      if (gate.op == "LUT") {
+        created[i] = netlist.add_lut(std::move(fanins), gate.lut_mask,
+                                     gate.name);
+      } else {
+        const GateType type = op_to_type(gate.op, gate.line);
+        if (type == GateType::kConst0 || type == GateType::kConst1) {
+          created[i] = netlist.add_const(type == GateType::kConst1);
+          netlist.rename(created[i], gate.name);
+        } else {
+          created[i] = netlist.add_gate(type, std::move(fanins), gate.name);
+        }
+      }
+      --remaining;
+      progress = true;
+    }
+  }
+  if (remaining > 0) {
+    for (std::size_t i = 0; i < gates.size(); ++i) {
+      if (created[i] == kNoNode) {
+        fail(gates[i].line,
+             "unresolved fanin (undefined signal or combinational cycle)");
+      }
+    }
+  }
+
+  // Patch DFF fanins.
+  for (std::size_t i : dffs) {
+    const NodeId src = lookup(gates[i].fanins.at(0));
+    if (src == kNoNode) fail(gates[i].line, "DFF fanin undefined");
+    netlist.node(created[i]).fanins[0] = src;
+  }
+
+  for (const std::string& out_name : output_names) {
+    const NodeId id = lookup(out_name);
+    if (id == kNoNode) {
+      throw std::runtime_error(".bench: OUTPUT(" + out_name + ") undefined");
+    }
+    netlist.mark_output(id);
+  }
+
+  if (std::string err = netlist.validate(); !err.empty()) {
+    throw std::runtime_error(".bench: invalid netlist: " + err);
+  }
+  return netlist;
+}
+
+Netlist read_bench_string(const std::string& text, std::string name) {
+  std::istringstream in(text);
+  return read_bench(in, std::move(name));
+}
+
+Netlist read_bench_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::string name = path;
+  if (auto slash = name.find_last_of('/'); slash != std::string::npos) {
+    name = name.substr(slash + 1);
+  }
+  if (auto dot = name.find_last_of('.'); dot != std::string::npos) {
+    name = name.substr(0, dot);
+  }
+  return read_bench(in, std::move(name));
+}
+
+void write_bench(std::ostream& out, const Netlist& netlist) {
+  out << "# " << netlist.name() << "\n";
+  out << "# gates=" << netlist.gate_count()
+      << " inputs=" << netlist.inputs().size()
+      << " outputs=" << netlist.outputs().size()
+      << " keys=" << netlist.key_inputs().size() << "\n";
+  for (NodeId id : netlist.inputs()) {
+    out << "INPUT(" << netlist.node(id).name << ")\n";
+  }
+  for (NodeId id : netlist.outputs()) {
+    out << "OUTPUT(" << netlist.node(id).name << ")\n";
+  }
+  for (NodeId id : netlist.topological_order()) {
+    const Node& node = netlist.node(id);
+    switch (node.type) {
+      case GateType::kInput:
+        break;
+      case GateType::kConst0:
+        out << node.name << " = gnd\n";
+        break;
+      case GateType::kConst1:
+        out << node.name << " = vcc\n";
+        break;
+      case GateType::kLut: {
+        out << node.name << " = LUT 0x" << std::hex << node.lut_mask
+            << std::dec << " (";
+        for (std::size_t i = 0; i < node.fanins.size(); ++i) {
+          if (i) out << ", ";
+          out << netlist.node(node.fanins[i]).name;
+        }
+        out << ")\n";
+        break;
+      }
+      default: {
+        out << node.name << " = " << to_string(node.type) << "(";
+        for (std::size_t i = 0; i < node.fanins.size(); ++i) {
+          if (i) out << ", ";
+          out << netlist.node(node.fanins[i]).name;
+        }
+        out << ")\n";
+      }
+    }
+  }
+}
+
+std::string write_bench_string(const Netlist& netlist) {
+  std::ostringstream out;
+  write_bench(out, netlist);
+  return out.str();
+}
+
+void write_bench_file(const std::string& path, const Netlist& netlist) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open " + path);
+  write_bench(out, netlist);
+}
+
+}  // namespace ril::netlist

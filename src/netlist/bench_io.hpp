@@ -1,0 +1,40 @@
+// ISCAS .bench reader/writer.
+//
+// Supported grammar (case-insensitive op names):
+//   # comment
+//   INPUT(name)
+//   OUTPUT(name)
+//   name = OP(a, b, ...)        OP in {AND OR NAND NOR XOR XNOR NOT BUF BUFF DFF MUX}
+//   name = LUT 0xMASK (a, b)    extension used for LUT nodes
+//   name = vcc / gnd            constants (also CONST0/CONST1)
+//
+// Inputs whose names start with "keyinput" are registered as key inputs, the
+// convention used by the logic-locking community's locked-bench distributions.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace ril::netlist {
+
+/// Parses a .bench file from a stream. Throws std::runtime_error with a
+/// line-number diagnostic on malformed input.
+Netlist read_bench(std::istream& in, std::string name = "top");
+
+/// Parses a .bench file from a string.
+Netlist read_bench_string(const std::string& text, std::string name = "top");
+
+/// Parses a .bench file from disk.
+Netlist read_bench_file(const std::string& path);
+
+/// Serializes to .bench. LUT nodes use the extension syntax above; MUX nodes
+/// are emitted as the extension "MUX(sel, d0, d1)".
+void write_bench(std::ostream& out, const Netlist& netlist);
+
+std::string write_bench_string(const Netlist& netlist);
+
+void write_bench_file(const std::string& path, const Netlist& netlist);
+
+}  // namespace ril::netlist

@@ -1,0 +1,193 @@
+#include "netlist/builder.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ril::netlist {
+
+Builder::Word Builder::input_word(const std::string& stem, std::size_t width) {
+  Word word;
+  word.reserve(width);
+  for (std::size_t i = 0; i < width; ++i) {
+    word.push_back(input(stem + "_" + std::to_string(i)));
+  }
+  return word;
+}
+
+void Builder::output(Bit bit, const std::string& name) {
+  // .bench outputs are named signals; emit a named BUF so the caller's
+  // name survives even when `bit` is shared logic.
+  const NodeId buf = netlist_.add_gate(GateType::kBuf, {bit}, name);
+  netlist_.mark_output(buf);
+}
+
+void Builder::output_word(const Word& word, const std::string& stem) {
+  for (std::size_t i = 0; i < word.size(); ++i) {
+    output(word[i], stem + "_" + std::to_string(i));
+  }
+}
+
+Builder::Bit Builder::zero() {
+  if (const0_ == kNoNode) const0_ = netlist_.add_const(false);
+  return const0_;
+}
+
+Builder::Bit Builder::one() {
+  if (const1_ == kNoNode) const1_ = netlist_.add_const(true);
+  return const1_;
+}
+
+Builder::Word Builder::constant(std::size_t width, std::uint64_t value) {
+  Word word;
+  word.reserve(width);
+  for (std::size_t i = 0; i < width; ++i) {
+    word.push_back(((value >> i) & 1) ? one() : zero());
+  }
+  return word;
+}
+
+Builder::Word Builder::not_w(const Word& a) {
+  Word out;
+  out.reserve(a.size());
+  for (Bit bit : a) out.push_back(not_(bit));
+  return out;
+}
+
+namespace {
+void check_widths(const Builder::Word& a, const Builder::Word& b,
+                  const char* op) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument(std::string(op) + ": width mismatch");
+  }
+}
+}  // namespace
+
+Builder::Word Builder::and_w(const Word& a, const Word& b) {
+  check_widths(a, b, "and_w");
+  Word out;
+  out.reserve(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out.push_back(and_(a[i], b[i]));
+  return out;
+}
+
+Builder::Word Builder::or_w(const Word& a, const Word& b) {
+  check_widths(a, b, "or_w");
+  Word out;
+  out.reserve(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out.push_back(or_(a[i], b[i]));
+  return out;
+}
+
+Builder::Word Builder::xor_w(const Word& a, const Word& b) {
+  check_widths(a, b, "xor_w");
+  Word out;
+  out.reserve(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out.push_back(xor_(a[i], b[i]));
+  return out;
+}
+
+Builder::Word Builder::mux_w(Bit sel, const Word& d0, const Word& d1) {
+  check_widths(d0, d1, "mux_w");
+  Word out;
+  out.reserve(d0.size());
+  for (std::size_t i = 0; i < d0.size(); ++i) {
+    out.push_back(mux(sel, d0[i], d1[i]));
+  }
+  return out;
+}
+
+Builder::Word Builder::add_w(const Word& a, const Word& b) {
+  check_widths(a, b, "add_w");
+  Word sum;
+  sum.reserve(a.size());
+  Bit carry = kNoNode;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (carry == kNoNode) {
+      sum.push_back(xor_(a[i], b[i]));
+      carry = and_(a[i], b[i]);
+    } else {
+      const Bit axb = xor_(a[i], b[i]);
+      sum.push_back(xor_(axb, carry));
+      carry = or_(and_(a[i], b[i]), and_(axb, carry));
+    }
+  }
+  return sum;
+}
+
+Builder::Word Builder::rotr_w(const Word& a, std::size_t n) {
+  const std::size_t w = a.size();
+  Word out(w);
+  for (std::size_t i = 0; i < w; ++i) out[i] = a[(i + n) % w];
+  return out;
+}
+
+Builder::Word Builder::rotl_w(const Word& a, std::size_t n) {
+  return rotr_w(a, a.size() - (n % a.size()));
+}
+
+Builder::Word Builder::shr_w(const Word& a, std::size_t n) {
+  const std::size_t w = a.size();
+  Word out(w);
+  for (std::size_t i = 0; i < w; ++i) {
+    out[i] = (i + n < w) ? a[i + n] : zero();
+  }
+  return out;
+}
+
+Builder::Bit Builder::truth_table(const std::vector<Bit>& inputs,
+                                  const std::vector<bool>& table) {
+  if (inputs.empty() || inputs.size() > 16) {
+    throw std::invalid_argument("truth_table: arity must be 1..16");
+  }
+  if (table.size() != (std::size_t{1} << inputs.size())) {
+    throw std::invalid_argument("truth_table: table size != 2^arity");
+  }
+  // Shannon expansion on the most-significant input, recursively, with
+  // constant folding at the leaves.
+  struct Rec {
+    Builder& b;
+    const std::vector<Bit>& inputs;
+    Bit go(const std::vector<bool>& t, std::size_t arity) {
+      if (arity == 0) return t[0] ? b.one() : b.zero();
+      const std::size_t half = t.size() / 2;
+      const std::vector<bool> lo(t.begin(), t.begin() + half);
+      const std::vector<bool> hi(t.begin() + half, t.end());
+      const bool lo_const0 = std::all_of(lo.begin(), lo.end(),
+                                         [](bool v) { return !v; });
+      const bool lo_const1 = std::all_of(lo.begin(), lo.end(),
+                                         [](bool v) { return v; });
+      const bool hi_const0 = std::all_of(hi.begin(), hi.end(),
+                                         [](bool v) { return !v; });
+      const bool hi_const1 = std::all_of(hi.begin(), hi.end(),
+                                         [](bool v) { return v; });
+      const Bit sel = inputs[arity - 1];
+      if (lo == hi) return go(lo, arity - 1);
+      if (lo_const0 && hi_const1) return sel;
+      if (lo_const1 && hi_const0) return b.not_(sel);
+      if (lo_const0) return b.and_(sel, go(hi, arity - 1));
+      if (hi_const0) return b.and_(b.not_(sel), go(lo, arity - 1));
+      if (lo_const1) return b.or_(b.not_(sel), go(hi, arity - 1));
+      if (hi_const1) return b.or_(sel, go(lo, arity - 1));
+      return b.mux(sel, go(lo, arity - 1), go(hi, arity - 1));
+    }
+  };
+  Rec rec{*this, inputs};
+  return rec.go(table, inputs.size());
+}
+
+Builder::Word Builder::sbox8(const Word& in,
+                             const std::array<std::uint8_t, 256>& table) {
+  if (in.size() != 8) throw std::invalid_argument("sbox8: need 8-bit input");
+  Word out;
+  out.reserve(8);
+  for (std::size_t bit = 0; bit < 8; ++bit) {
+    std::vector<bool> tt(256);
+    for (std::size_t row = 0; row < 256; ++row) {
+      tt[row] = (table[row] >> bit) & 1;
+    }
+    out.push_back(truth_table(in, tt));
+  }
+  return out;
+}
+
+}  // namespace ril::netlist

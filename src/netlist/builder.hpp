@@ -1,0 +1,76 @@
+// Word-level circuit builder.
+//
+// Thin convenience layer over Netlist for constructing datapaths (adders,
+// rotates, S-boxes) bit by bit. Words are little-endian: word[0] is bit 0.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace ril::netlist {
+
+class Builder {
+ public:
+  using Bit = NodeId;
+  using Word = std::vector<NodeId>;
+
+  explicit Builder(std::string name) : netlist_(std::move(name)) {}
+
+  // ----- interface ------------------------------------------------------
+  Bit input(const std::string& name) { return netlist_.add_input(name); }
+  Word input_word(const std::string& stem, std::size_t width);
+  void output(Bit bit, const std::string& name);
+  void output_word(const Word& word, const std::string& stem);
+
+  // ----- bit ops ----------------------------------------------------------
+  Bit zero();
+  Bit one();
+  Bit not_(Bit a) { return netlist_.add_gate(GateType::kNot, {a}); }
+  Bit and_(Bit a, Bit b) { return netlist_.add_gate(GateType::kAnd, {a, b}); }
+  Bit or_(Bit a, Bit b) { return netlist_.add_gate(GateType::kOr, {a, b}); }
+  Bit xor_(Bit a, Bit b) { return netlist_.add_gate(GateType::kXor, {a, b}); }
+  Bit nand_(Bit a, Bit b) { return netlist_.add_gate(GateType::kNand, {a, b}); }
+  Bit nor_(Bit a, Bit b) { return netlist_.add_gate(GateType::kNor, {a, b}); }
+  Bit xnor_(Bit a, Bit b) { return netlist_.add_gate(GateType::kXnor, {a, b}); }
+  Bit mux(Bit sel, Bit d0, Bit d1) { return netlist_.add_mux(sel, d0, d1); }
+
+  // ----- word ops ---------------------------------------------------------
+  Word constant(std::size_t width, std::uint64_t value);
+  Word not_w(const Word& a);
+  Word and_w(const Word& a, const Word& b);
+  Word or_w(const Word& a, const Word& b);
+  Word xor_w(const Word& a, const Word& b);
+  /// sel ? d1 : d0, elementwise.
+  Word mux_w(Bit sel, const Word& d0, const Word& d1);
+  /// Ripple-carry modular addition (mod 2^width).
+  Word add_w(const Word& a, const Word& b);
+  /// Rotate right/left by n (word width fixed).
+  Word rotr_w(const Word& a, std::size_t n);
+  Word rotl_w(const Word& a, std::size_t n);
+  /// Logical shift right by n (zero fill).
+  Word shr_w(const Word& a, std::size_t n);
+
+  /// Builds an arbitrary k-input boolean function (k <= 16) from its truth
+  /// table as a Shannon MUX tree over plain gates (no kLut nodes), so the
+  /// result is a standard gate-level netlist. table bit i = output for
+  /// minterm i with inputs[0] as LSB.
+  Bit truth_table(const std::vector<Bit>& inputs,
+                  const std::vector<bool>& table);
+
+  /// 8-bit S-box lookup: out[j] = table[in][j-th bit].
+  Word sbox8(const Word& in, const std::array<std::uint8_t, 256>& table);
+
+  Netlist& netlist() { return netlist_; }
+  Netlist take() { return std::move(netlist_); }
+
+ private:
+  Netlist netlist_;
+  NodeId const0_ = kNoNode;
+  NodeId const1_ = kNoNode;
+};
+
+}  // namespace ril::netlist

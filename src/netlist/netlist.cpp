@@ -1,0 +1,417 @@
+#include "netlist/netlist.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace ril::netlist {
+
+namespace {
+
+std::size_t fixed_arity(GateType type) {
+  switch (type) {
+    case GateType::kInput:
+    case GateType::kConst0:
+    case GateType::kConst1:
+      return 0;
+    case GateType::kBuf:
+    case GateType::kNot:
+    case GateType::kDff:
+      return 1;
+    case GateType::kMux:
+      return 3;
+    default:
+      return static_cast<std::size_t>(-1);  // variadic / lut
+  }
+}
+
+}  // namespace
+
+NodeId Netlist::add_node(Node node) {
+  if (node.name.empty()) {
+    node.name = fresh_name("__n");
+  }
+  if (by_name_.contains(node.name)) {
+    throw std::invalid_argument("Netlist: duplicate node name '" + node.name +
+                                "'");
+  }
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  by_name_.emplace(node.name, id);
+  nodes_.push_back(std::move(node));
+  is_key_.push_back(false);
+  return id;
+}
+
+std::string Netlist::fresh_name(std::string_view stem) {
+  std::string candidate;
+  do {
+    candidate = std::string(stem) + "_" + std::to_string(name_counter_++);
+  } while (by_name_.contains(candidate));
+  return candidate;
+}
+
+NodeId Netlist::add_input(const std::string& name) {
+  Node node;
+  node.type = GateType::kInput;
+  node.name = name;
+  const NodeId id = add_node(std::move(node));
+  inputs_.push_back(id);
+  return id;
+}
+
+NodeId Netlist::add_key_input(const std::string& name) {
+  const NodeId id = add_input(name);
+  is_key_[id] = true;
+  key_inputs_.push_back(id);
+  return id;
+}
+
+NodeId Netlist::add_const(bool value) {
+  Node node;
+  node.type = value ? GateType::kConst1 : GateType::kConst0;
+  node.name = fresh_name(value ? "__const1" : "__const0");
+  return add_node(std::move(node));
+}
+
+NodeId Netlist::add_gate(GateType type, std::vector<NodeId> fanins,
+                         std::string name) {
+  if (type == GateType::kInput || type == GateType::kLut) {
+    throw std::invalid_argument("add_gate: use add_input/add_lut");
+  }
+  const std::size_t arity = fixed_arity(type);
+  if (arity != static_cast<std::size_t>(-1)) {
+    if (fanins.size() != arity) {
+      throw std::invalid_argument("add_gate: bad arity for " +
+                                  std::string(to_string(type)));
+    }
+  } else if (fanins.size() < 2) {
+    throw std::invalid_argument("add_gate: variadic gate needs >= 2 fanins");
+  }
+  for (NodeId f : fanins) {
+    if (f >= nodes_.size()) throw std::invalid_argument("add_gate: bad fanin");
+  }
+  Node node;
+  node.type = type;
+  node.fanins = std::move(fanins);
+  node.name = std::move(name);
+  return add_node(std::move(node));
+}
+
+NodeId Netlist::add_mux(NodeId sel, NodeId d0, NodeId d1, std::string name) {
+  return add_gate(GateType::kMux, {sel, d0, d1}, std::move(name));
+}
+
+NodeId Netlist::add_lut(std::vector<NodeId> fanins, std::uint64_t mask,
+                        std::string name) {
+  if (fanins.empty() || fanins.size() > 6) {
+    throw std::invalid_argument("add_lut: arity must be 1..6");
+  }
+  for (NodeId f : fanins) {
+    if (f >= nodes_.size()) throw std::invalid_argument("add_lut: bad fanin");
+  }
+  Node node;
+  node.type = GateType::kLut;
+  node.fanins = std::move(fanins);
+  node.lut_mask = mask;
+  node.name = std::move(name);
+  return add_node(std::move(node));
+}
+
+void Netlist::mark_output(NodeId id) {
+  if (id >= nodes_.size()) throw std::invalid_argument("mark_output: bad id");
+  outputs_.push_back(id);
+}
+
+void Netlist::set_outputs(std::vector<NodeId> outputs) {
+  for (NodeId id : outputs) {
+    if (id >= nodes_.size()) throw std::invalid_argument("set_outputs: bad id");
+  }
+  outputs_ = std::move(outputs);
+}
+
+void Netlist::replace_uses(NodeId from, NodeId to) {
+  replace_uses_except(from, to, {});
+}
+
+void Netlist::replace_uses_except(NodeId from, NodeId to,
+                                  std::span<const NodeId> except) {
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    if (std::find(except.begin(), except.end(), id) != except.end()) continue;
+    for (NodeId& f : nodes_[id].fanins) {
+      if (f == from) f = to;
+    }
+  }
+  for (NodeId& o : outputs_) {
+    if (o == from) o = to;
+  }
+}
+
+void Netlist::rewrite_as_buf(NodeId id, NodeId src) {
+  if (id >= nodes_.size() || src >= nodes_.size()) {
+    throw std::invalid_argument("rewrite_as_buf: bad id");
+  }
+  Node& node = nodes_[id];
+  if (node.type == GateType::kInput) {
+    throw std::invalid_argument("rewrite_as_buf: cannot rewrite an input");
+  }
+  node.type = GateType::kBuf;
+  node.fanins = {src};
+  node.lut_mask = 0;
+}
+
+void Netlist::rename(NodeId id, const std::string& name) {
+  if (id >= nodes_.size()) throw std::invalid_argument("rename: bad id");
+  if (nodes_[id].name == name) return;  // renaming to itself is a no-op
+  if (by_name_.contains(name)) {
+    throw std::invalid_argument("rename: name exists: " + name);
+  }
+  by_name_.erase(nodes_[id].name);
+  nodes_[id].name = name;
+  by_name_.emplace(name, id);
+}
+
+std::vector<NodeId> Netlist::data_inputs() const {
+  std::vector<NodeId> result;
+  result.reserve(inputs_.size() - key_inputs_.size());
+  for (NodeId id : inputs_) {
+    if (!is_key_[id]) result.push_back(id);
+  }
+  return result;
+}
+
+bool Netlist::is_key_input(NodeId id) const {
+  return id < is_key_.size() && is_key_[id];
+}
+
+std::optional<NodeId> Netlist::find(const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<NodeId> Netlist::topological_order() const {
+  // Kahn's algorithm; DFF fanin edges are ignored so sequential loops do
+  // not create cycles (DFF outputs act as sources).
+  std::vector<std::uint32_t> pending(nodes_.size(), 0);
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    if (nodes_[id].type == GateType::kDff) continue;
+    pending[id] = static_cast<std::uint32_t>(nodes_[id].fanins.size());
+  }
+  auto fo = fanouts();
+  std::vector<NodeId> order;
+  order.reserve(nodes_.size());
+  std::vector<NodeId> ready;
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    if (pending[id] == 0) ready.push_back(id);
+  }
+  while (!ready.empty()) {
+    const NodeId id = ready.back();
+    ready.pop_back();
+    order.push_back(id);
+    for (NodeId user : fo[id]) {
+      if (nodes_[user].type == GateType::kDff) continue;
+      if (--pending[user] == 0) ready.push_back(user);
+    }
+  }
+  if (order.size() != nodes_.size()) {
+    throw std::runtime_error("topological_order: combinational cycle");
+  }
+  return order;
+}
+
+std::vector<std::vector<NodeId>> Netlist::fanouts() const {
+  std::vector<std::vector<NodeId>> fo(nodes_.size());
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    for (NodeId f : nodes_[id].fanins) fo[f].push_back(id);
+  }
+  return fo;
+}
+
+std::size_t Netlist::gate_count() const {
+  std::size_t count = 0;
+  for (const Node& node : nodes_) {
+    switch (node.type) {
+      case GateType::kInput:
+      case GateType::kConst0:
+      case GateType::kConst1:
+        break;
+      default:
+        ++count;
+    }
+  }
+  return count;
+}
+
+std::size_t Netlist::dff_count() const {
+  std::size_t count = 0;
+  for (const Node& node : nodes_) {
+    if (node.type == GateType::kDff) ++count;
+  }
+  return count;
+}
+
+std::size_t Netlist::depth() const {
+  std::vector<std::size_t> level(nodes_.size(), 0);
+  std::size_t max_level = 0;
+  for (NodeId id : topological_order()) {
+    const Node& node = nodes_[id];
+    if (node.type == GateType::kDff) continue;
+    std::size_t lvl = 0;
+    for (NodeId f : node.fanins) lvl = std::max(lvl, level[f] + 1);
+    level[id] = lvl;
+    max_level = std::max(max_level, lvl);
+  }
+  return max_level;
+}
+
+std::string Netlist::validate() const {
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    const Node& node = nodes_[id];
+    for (NodeId f : node.fanins) {
+      if (f >= nodes_.size()) return "node " + node.name + ": fanin oob";
+    }
+    const std::size_t arity = fixed_arity(node.type);
+    if (arity != static_cast<std::size_t>(-1) &&
+        node.fanins.size() != arity) {
+      return "node " + node.name + ": bad arity";
+    }
+    if (is_logic_op(node.type) && node.fanins.size() < 2) {
+      return "node " + node.name + ": variadic gate with < 2 fanins";
+    }
+    if (node.type == GateType::kLut) {
+      if (node.fanins.empty() || node.fanins.size() > 6) {
+        return "node " + node.name + ": LUT arity out of range";
+      }
+      if (node.fanins.size() < 6) {
+        const std::uint64_t width = std::uint64_t{1} << node.fanins.size();
+        if (width < 64 && (node.lut_mask >> width) != 0) {
+          return "node " + node.name + ": LUT mask wider than 2^arity";
+        }
+      }
+    }
+  }
+  for (NodeId id : outputs_) {
+    if (id >= nodes_.size()) return "output id oob";
+  }
+  try {
+    (void)topological_order();
+  } catch (const std::exception& e) {
+    return e.what();
+  }
+  return {};
+}
+
+Netlist Netlist::combinational_core() const {
+  Netlist core(name_ + "_comb");
+  std::vector<NodeId> remap(nodes_.size(), kNoNode);
+  // Inputs (and DFF outputs as pseudo-inputs) first.
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    const Node& node = nodes_[id];
+    if (node.type == GateType::kInput) {
+      remap[id] = is_key_[id] ? core.add_key_input(node.name)
+                              : core.add_input(node.name);
+    } else if (node.type == GateType::kDff) {
+      remap[id] = core.add_input(node.name + "_ppi");
+    }
+  }
+  for (NodeId id : topological_order()) {
+    const Node& node = nodes_[id];
+    if (remap[id] != kNoNode) continue;  // inputs / dffs done
+    std::vector<NodeId> fanins;
+    fanins.reserve(node.fanins.size());
+    for (NodeId f : node.fanins) {
+      assert(remap[f] != kNoNode);
+      fanins.push_back(remap[f]);
+    }
+    switch (node.type) {
+      case GateType::kConst0:
+      case GateType::kConst1:
+        remap[id] = core.add_const(node.type == GateType::kConst1);
+        core.rename(remap[id], node.name);
+        break;
+      case GateType::kLut:
+        remap[id] = core.add_lut(std::move(fanins), node.lut_mask, node.name);
+        break;
+      default:
+        remap[id] = core.add_gate(node.type, std::move(fanins), node.name);
+    }
+  }
+  for (NodeId id : outputs_) core.mark_output(remap[id]);
+  // DFF inputs become pseudo-outputs.
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    const Node& node = nodes_[id];
+    if (node.type != GateType::kDff) continue;
+    const NodeId src = remap[node.fanins[0]];
+    const NodeId buf =
+        core.add_gate(GateType::kBuf, {src}, node.name + "_ppo");
+    core.mark_output(buf);
+  }
+  return core;
+}
+
+std::vector<NodeId> Netlist::sweep_dead(bool keep_all_inputs) {
+  std::vector<bool> live(nodes_.size(), false);
+  std::vector<NodeId> stack(outputs_.begin(), outputs_.end());
+  if (keep_all_inputs) {
+    for (NodeId id : inputs_) {
+      live[id] = true;  // keep the interface stable
+    }
+  }
+  while (!stack.empty()) {
+    const NodeId id = stack.back();
+    stack.pop_back();
+    if (live[id]) continue;
+    live[id] = true;
+    for (NodeId f : nodes_[id].fanins) {
+      if (!live[f]) stack.push_back(f);
+    }
+  }
+  // DFFs reachable from outputs keep their fanin cones alive; iterate until
+  // fixed point (a DFF made live above enqueues its fanin).
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (NodeId id = 0; id < nodes_.size(); ++id) {
+      if (!live[id] || nodes_[id].type != GateType::kDff) continue;
+      std::vector<NodeId> work = {nodes_[id].fanins[0]};
+      while (!work.empty()) {
+        const NodeId w = work.back();
+        work.pop_back();
+        if (live[w]) continue;
+        live[w] = true;
+        changed = true;
+        for (NodeId f : nodes_[w].fanins) work.push_back(f);
+      }
+    }
+  }
+
+  std::vector<NodeId> remap(nodes_.size(), kNoNode);
+  std::vector<Node> kept;
+  std::vector<bool> kept_is_key;
+  kept.reserve(nodes_.size());
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    if (!live[id]) continue;
+    remap[id] = static_cast<NodeId>(kept.size());
+    kept.push_back(std::move(nodes_[id]));
+    kept_is_key.push_back(is_key_[id]);
+  }
+  for (Node& node : kept) {
+    for (NodeId& f : node.fanins) f = remap[f];
+  }
+  nodes_ = std::move(kept);
+  is_key_ = std::move(kept_is_key);
+  by_name_.clear();
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    by_name_.emplace(nodes_[id].name, id);
+  }
+  auto remap_list = [&](std::vector<NodeId>& list) {
+    for (NodeId& id : list) id = remap[id];
+    std::erase(list, kNoNode);
+  };
+  remap_list(inputs_);
+  remap_list(outputs_);
+  remap_list(key_inputs_);
+  return remap;
+}
+
+}  // namespace ril::netlist

@@ -1,0 +1,117 @@
+// Gate-level netlist IR.
+//
+// A Netlist is a DAG of Nodes. Each node produces exactly one signal; primary
+// outputs are references to producing nodes. Key inputs (the locking key bits)
+// are primary inputs additionally recorded in key_inputs(); by convention they
+// carry a "keyinput" name prefix so they round-trip through .bench files.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "netlist/types.hpp"
+
+namespace ril::netlist {
+
+struct Node {
+  GateType type = GateType::kConst0;
+  std::vector<NodeId> fanins;
+  /// Truth table for kLut (bit i = output for minterm i, fanin[0] = LSB).
+  std::uint64_t lut_mask = 0;
+  std::string name;
+};
+
+class Netlist {
+ public:
+  Netlist() = default;
+  explicit Netlist(std::string name) : name_(std::move(name)) {}
+
+  // ----- construction -------------------------------------------------
+  NodeId add_input(const std::string& name);
+  NodeId add_key_input(const std::string& name);
+  NodeId add_const(bool value);
+  /// Adds a gate; fixed-arity types are arity-checked. Empty name -> auto.
+  NodeId add_gate(GateType type, std::vector<NodeId> fanins,
+                  std::string name = {});
+  /// Adds a MUX node: out = sel ? d1 : d0.
+  NodeId add_mux(NodeId sel, NodeId d0, NodeId d1, std::string name = {});
+  /// Adds a LUT node over `fanins` (<= 6) with the given truth-table mask.
+  NodeId add_lut(std::vector<NodeId> fanins, std::uint64_t mask,
+                 std::string name = {});
+  void mark_output(NodeId id);
+  /// Replaces the output list wholesale (used by netlist transforms).
+  void set_outputs(std::vector<NodeId> outputs);
+
+  // ----- mutation ------------------------------------------------------
+  /// Redirects every fanin reference of `from` (in gates and the output
+  /// list) to `to`. `from` itself stays in the node table (possibly dead).
+  void replace_uses(NodeId from, NodeId to);
+  /// Same as replace_uses but leaves the fanins of `except` untouched;
+  /// needed when re-wiring a signal into logic that must still consume the
+  /// original (e.g. feeding a tapped wire into an obfuscation block).
+  void replace_uses_except(NodeId from, NodeId to,
+                           std::span<const NodeId> except);
+  /// Rewrites node `id` in place to a BUF of `src` (absorbs a gate).
+  void rewrite_as_buf(NodeId id, NodeId src);
+  /// Renames a node, keeping the name index consistent.
+  void rename(NodeId id, const std::string& name);
+
+  // ----- queries -------------------------------------------------------
+  const std::string& name() const { return name_; }
+  void set_name(std::string n) { name_ = std::move(n); }
+  std::size_t node_count() const { return nodes_.size(); }
+  const Node& node(NodeId id) const { return nodes_[id]; }
+  Node& node(NodeId id) { return nodes_[id]; }
+  const std::vector<NodeId>& inputs() const { return inputs_; }
+  const std::vector<NodeId>& outputs() const { return outputs_; }
+  const std::vector<NodeId>& key_inputs() const { return key_inputs_; }
+  /// Primary inputs that are not key inputs.
+  std::vector<NodeId> data_inputs() const;
+  bool is_key_input(NodeId id) const;
+  std::optional<NodeId> find(const std::string& name) const;
+
+  /// Nodes in a topological order (fanins before uses). DFF outputs are
+  /// treated as sources (their fanin edge is ignored for ordering).
+  std::vector<NodeId> topological_order() const;
+  /// fanouts()[id] = consumers of id (gate fanin references only).
+  std::vector<std::vector<NodeId>> fanouts() const;
+  /// Number of gates (everything but inputs/consts).
+  std::size_t gate_count() const;
+  std::size_t dff_count() const;
+  /// Logic depth (levels over the topological order, DFFs as sources).
+  std::size_t depth() const;
+
+  /// Checks structural sanity (acyclic, arities, fanin ids in range,
+  /// LUT arity vs mask width). Returns an error description or empty.
+  std::string validate() const;
+
+  /// Returns a copy with every DFF cut: DFF output becomes a fresh PI
+  /// "<name>_ppi", DFF input becomes a PO "<name>_ppo". The result is
+  /// purely combinational (standard SAT-attack preprocessing).
+  Netlist combinational_core() const;
+
+  /// Removes nodes not reachable from outputs. By default every primary
+  /// input is preserved (interface stability); pass keep_all_inputs=false
+  /// to drop inputs with no remaining fanout. Returns the mapping
+  /// old-id -> new-id (kNoNode for dropped nodes).
+  std::vector<NodeId> sweep_dead(bool keep_all_inputs = true);
+
+ private:
+  NodeId add_node(Node node);
+  std::string fresh_name(std::string_view stem);
+
+  std::string name_ = "top";
+  std::vector<Node> nodes_;
+  std::vector<NodeId> inputs_;
+  std::vector<NodeId> outputs_;
+  std::vector<NodeId> key_inputs_;
+  std::vector<bool> is_key_;
+  std::unordered_map<std::string, NodeId> by_name_;
+  std::uint64_t name_counter_ = 0;
+};
+
+}  // namespace ril::netlist

@@ -1,0 +1,97 @@
+#include "netlist/scan_chain.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ril::netlist {
+
+ScanInsertion insert_scan_chain(const Netlist& sequential) {
+  ScanInsertion result;
+  result.netlist = sequential;
+  Netlist& nl = result.netlist;
+
+  for (NodeId id = 0; id < nl.node_count(); ++id) {
+    if (nl.node(id).type == GateType::kDff) result.chain.push_back(id);
+  }
+  if (result.chain.empty()) {
+    throw std::invalid_argument("insert_scan_chain: no DFFs");
+  }
+
+  result.scan_enable = nl.add_input("SCAN_EN");
+  result.scan_in = nl.add_input("SCAN_IN");
+
+  NodeId previous = result.scan_in;
+  for (std::size_t i = 0; i < result.chain.size(); ++i) {
+    const NodeId dff = result.chain[i];
+    const NodeId functional_d = nl.node(dff).fanins[0];
+    const NodeId mux = nl.add_mux(result.scan_enable, functional_d, previous,
+                                  "scan_mux_" + std::to_string(i));
+    nl.node(dff).fanins[0] = mux;
+    previous = dff;  // next flop shifts from this one's output
+  }
+  result.scan_out =
+      nl.add_gate(GateType::kBuf, {previous}, "SCAN_OUT");
+  nl.mark_output(result.scan_out);
+  return result;
+}
+
+ScanTester::ScanTester(const ScanInsertion& design)
+    : design_(design), simulator_(design.netlist) {
+  for (NodeId id : design_.netlist.data_inputs()) {
+    if (id != design_.scan_enable && id != design_.scan_in) {
+      functional_inputs_.push_back(id);
+    }
+  }
+  for (NodeId id : functional_inputs_) {
+    simulator_.set_input_all(id, false);
+  }
+  simulator_.reset_state();
+}
+
+void ScanTester::clock_cycle(bool scan_en, bool scan_in_bit) {
+  simulator_.set_input_all(design_.scan_enable, scan_en);
+  simulator_.set_input_all(design_.scan_in, scan_in_bit);
+  simulator_.step();
+}
+
+void ScanTester::shift_in(const std::vector<bool>& state) {
+  if (state.size() != design_.chain.size()) {
+    throw std::invalid_argument("shift_in: state width mismatch");
+  }
+  for (std::size_t t = 0; t < state.size(); ++t) {
+    clock_cycle(/*scan_en=*/true, state[state.size() - 1 - t]);
+  }
+}
+
+void ScanTester::capture(const std::vector<bool>& primary_inputs) {
+  if (primary_inputs.size() != functional_inputs_.size()) {
+    throw std::invalid_argument("capture: input width mismatch");
+  }
+  for (std::size_t i = 0; i < primary_inputs.size(); ++i) {
+    simulator_.set_input_all(functional_inputs_[i], primary_inputs[i]);
+  }
+  simulator_.set_input_all(design_.scan_enable, false);
+  simulator_.set_input_all(design_.scan_in, false);
+  simulator_.evaluate();
+  last_outputs_.clear();
+  for (NodeId id : design_.netlist.outputs()) {
+    if (id == design_.scan_out) continue;
+    last_outputs_.push_back(simulator_.value(id) & 1);
+  }
+  simulator_.step();  // the capture clock edge
+}
+
+std::vector<bool> ScanTester::shift_out() {
+  const std::size_t length = design_.chain.size();
+  std::vector<bool> observed(length);
+  for (std::size_t t = 0; t < length; ++t) {
+    simulator_.set_input_all(design_.scan_enable, true);
+    simulator_.evaluate();
+    const bool bit = simulator_.value(design_.scan_out) & 1;
+    observed[length - 1 - t] = bit;
+    clock_cycle(/*scan_en=*/true, bit);  // circular: preserve the state
+  }
+  return observed;
+}
+
+}  // namespace ril::netlist

@@ -1,0 +1,59 @@
+// Scan-chain insertion and a cycle-accurate scan tester.
+//
+// Design-for-test substrate behind the paper's threat model: the SAT
+// attacker reaches a sequential circuit's internal state through the scan
+// chain (shift in a state, apply primary inputs, capture, shift out). Scan
+// insertion rewrites every DFF as
+//     d' = MUX(scan_en, d_functional, previous_flop_output)
+// threading the flops into one chain from SCAN_IN to SCAN_OUT.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "netlist/simulator.hpp"
+
+namespace ril::netlist {
+
+struct ScanInsertion {
+  Netlist netlist;                 ///< copy with the chain stitched in
+  NodeId scan_enable = kNoNode;    ///< SCAN_EN primary input
+  NodeId scan_in = kNoNode;        ///< SCAN_IN primary input
+  NodeId scan_out = kNoNode;       ///< SCAN_OUT primary output node
+  std::vector<NodeId> chain;       ///< DFF nodes, scan-in -> scan-out order
+};
+
+/// Stitches all DFFs of `sequential` into one scan chain (original DFF
+/// order). Throws if the circuit has no DFFs.
+ScanInsertion insert_scan_chain(const Netlist& sequential);
+
+/// Drives a scan-inserted netlist like an ATE would.
+class ScanTester {
+ public:
+  explicit ScanTester(const ScanInsertion& design);
+
+  std::size_t chain_length() const { return design_.chain.size(); }
+
+  /// Shifts a full state image into the chain (element 0 ends up in the
+  /// scan-in-nearest flop, i.e. chain[0]).
+  void shift_in(const std::vector<bool>& state);
+  /// One functional-capture cycle with the given primary inputs (order =
+  /// data inputs of the original circuit, excluding scan pins).
+  void capture(const std::vector<bool>& primary_inputs);
+  /// Shifts the chain out (and back in circularly, preserving state).
+  std::vector<bool> shift_out();
+  /// Primary-output values observed during the last capture cycle.
+  const std::vector<bool>& last_outputs() const { return last_outputs_; }
+
+ private:
+  void clock_cycle(bool scan_en, bool scan_in_bit);
+
+  const ScanInsertion& design_;
+  Simulator simulator_;
+  std::vector<NodeId> functional_inputs_;
+  std::vector<bool> last_outputs_;
+};
+
+}  // namespace ril::netlist

@@ -1,0 +1,261 @@
+#include "netlist/simplify.hpp"
+
+#include <algorithm>
+
+namespace ril::netlist {
+
+namespace {
+
+bool is_const(const Node& node) {
+  return node.type == GateType::kConst0 || node.type == GateType::kConst1;
+}
+
+bool const_value(const Node& node) { return node.type == GateType::kConst1; }
+
+void make_const(Node& node, bool value) {
+  node.type = value ? GateType::kConst1 : GateType::kConst0;
+  node.fanins.clear();
+  node.lut_mask = 0;
+}
+
+void make_buf(Node& node, NodeId src) {
+  node.type = GateType::kBuf;
+  node.fanins = {src};
+  node.lut_mask = 0;
+}
+
+void make_not(Node& node, NodeId src) {
+  node.type = GateType::kNot;
+  node.fanins = {src};
+  node.lut_mask = 0;
+}
+
+}  // namespace
+
+SimplifyStats simplify(Netlist& netlist) {
+  SimplifyStats stats;
+  const std::size_t before = netlist.node_count();
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (NodeId id : netlist.topological_order()) {
+      Node& node = netlist.node(id);
+      // Chase buffer chains on every fanin (also applies to DFF inputs).
+      for (NodeId& f : node.fanins) {
+        while (netlist.node(f).type == GateType::kBuf) {
+          f = netlist.node(f).fanins[0];
+          ++stats.buffers_collapsed;
+          changed = true;
+        }
+      }
+
+      switch (node.type) {
+        case GateType::kInput:
+        case GateType::kConst0:
+        case GateType::kConst1:
+        case GateType::kBuf:
+        case GateType::kDff:
+          break;
+        case GateType::kNot: {
+          const Node& a = netlist.node(node.fanins[0]);
+          if (is_const(a)) {
+            make_const(node, !const_value(a));
+            ++stats.constants_folded;
+            changed = true;
+          }
+          break;
+        }
+        case GateType::kAnd:
+        case GateType::kNand:
+        case GateType::kOr:
+        case GateType::kNor: {
+          const bool is_and_like = node.type == GateType::kAnd ||
+                                   node.type == GateType::kNand;
+          const bool inverted = node.type == GateType::kNand ||
+                                node.type == GateType::kNor;
+          // Dominant / neutral constants.
+          const bool dominant = !is_and_like;  // 1 dominates OR, 0 AND
+          bool saturated = false;
+          std::vector<NodeId> kept;
+          for (NodeId f : node.fanins) {
+            const Node& fan = netlist.node(f);
+            if (is_const(fan)) {
+              if (const_value(fan) == dominant) saturated = true;
+              // neutral constants dropped
+              continue;
+            }
+            kept.push_back(f);
+          }
+          // Duplicate operands are idempotent for AND/OR.
+          std::sort(kept.begin(), kept.end());
+          kept.erase(std::unique(kept.begin(), kept.end()), kept.end());
+          if (saturated) {
+            make_const(node, dominant != inverted);
+            ++stats.constants_folded;
+            changed = true;
+          } else if (kept.empty()) {
+            make_const(node, !dominant != inverted);
+            ++stats.constants_folded;
+            changed = true;
+          } else if (kept.size() == 1) {
+            if (inverted) {
+              make_not(node, kept[0]);
+            } else {
+              make_buf(node, kept[0]);
+            }
+            ++stats.constants_folded;
+            changed = true;
+          } else if (kept.size() != node.fanins.size()) {
+            node.fanins = std::move(kept);
+            ++stats.constants_folded;
+            changed = true;
+          }
+          break;
+        }
+        case GateType::kXor:
+        case GateType::kXnor: {
+          bool parity = node.type == GateType::kXnor;
+          std::vector<NodeId> kept;
+          for (NodeId f : node.fanins) {
+            const Node& fan = netlist.node(f);
+            if (is_const(fan)) {
+              parity ^= const_value(fan);
+              continue;
+            }
+            kept.push_back(f);
+          }
+          // Equal pairs cancel.
+          std::sort(kept.begin(), kept.end());
+          std::vector<NodeId> reduced;
+          for (std::size_t i = 0; i < kept.size();) {
+            if (i + 1 < kept.size() && kept[i] == kept[i + 1]) {
+              i += 2;  // x ^ x = 0
+            } else {
+              reduced.push_back(kept[i]);
+              ++i;
+            }
+          }
+          if (reduced.empty()) {
+            make_const(node, parity);
+            ++stats.constants_folded;
+            changed = true;
+          } else if (reduced.size() == 1) {
+            if (parity) {
+              make_not(node, reduced[0]);
+            } else {
+              make_buf(node, reduced[0]);
+            }
+            ++stats.constants_folded;
+            changed = true;
+          } else if (reduced.size() != node.fanins.size() ||
+                     parity != (node.type == GateType::kXnor)) {
+            node.type = parity ? GateType::kXnor : GateType::kXor;
+            node.fanins = std::move(reduced);
+            ++stats.constants_folded;
+            changed = true;
+          }
+          break;
+        }
+        case GateType::kMux: {
+          const NodeId sel = node.fanins[0];
+          const NodeId d0 = node.fanins[1];
+          const NodeId d1 = node.fanins[2];
+          const Node& sel_node = netlist.node(sel);
+          const Node& d0_node = netlist.node(d0);
+          const Node& d1_node = netlist.node(d1);
+          if (is_const(sel_node)) {
+            make_buf(node, const_value(sel_node) ? d1 : d0);
+            ++stats.constants_folded;
+            changed = true;
+          } else if (d0 == d1) {
+            make_buf(node, d0);
+            ++stats.constants_folded;
+            changed = true;
+          } else if (is_const(d0_node) && is_const(d1_node)) {
+            if (!const_value(d0_node) && const_value(d1_node)) {
+              make_buf(node, sel);
+            } else if (const_value(d0_node) && !const_value(d1_node)) {
+              make_not(node, sel);
+            } else {
+              make_const(node, const_value(d0_node));
+            }
+            ++stats.constants_folded;
+            changed = true;
+          }
+          break;
+        }
+        case GateType::kLut: {
+          // Substitute constant fanins into the mask.
+          bool shrunk = false;
+          for (std::size_t i = 0; i < node.fanins.size();) {
+            const Node& fan = netlist.node(node.fanins[i]);
+            if (!is_const(fan)) {
+              ++i;
+              continue;
+            }
+            const bool v = const_value(fan);
+            const std::size_t k = node.fanins.size();
+            std::uint64_t new_mask = 0;
+            std::size_t out_row = 0;
+            for (std::uint64_t row = 0; row < (std::uint64_t{1} << k);
+                 ++row) {
+              if ((((row >> i) & 1) != 0) != v) continue;
+              if ((node.lut_mask >> row) & 1) {
+                new_mask |= std::uint64_t{1} << out_row;
+              }
+              ++out_row;
+            }
+            node.lut_mask = new_mask;
+            node.fanins.erase(node.fanins.begin() +
+                              static_cast<std::ptrdiff_t>(i));
+            shrunk = true;
+          }
+          if (node.fanins.empty()) {
+            make_const(node, node.lut_mask & 1);
+            ++stats.constants_folded;
+            changed = true;
+            break;
+          }
+          const std::size_t k = node.fanins.size();
+          const std::uint64_t rows = std::uint64_t{1} << k;
+          const std::uint64_t full =
+              rows >= 64 ? ~std::uint64_t{0}
+                         : ((std::uint64_t{1} << rows) - 1);
+          const std::uint64_t mask = node.lut_mask & full;
+          if (mask == 0 || mask == full) {
+            make_const(node, mask != 0);
+            ++stats.constants_folded;
+            changed = true;
+          } else if (k == 1) {
+            if (mask == 0b10) {
+              make_buf(node, node.fanins[0]);
+            } else {
+              make_not(node, node.fanins[0]);
+            }
+            ++stats.constants_folded;
+            changed = true;
+          } else if (shrunk) {
+            ++stats.constants_folded;
+            changed = true;
+          }
+          break;
+        }
+      }
+    }
+  }
+
+  // Outputs may point at buffers; chase them before sweeping.
+  std::vector<NodeId> outputs = netlist.outputs();
+  for (NodeId& o : outputs) {
+    while (netlist.node(o).type == GateType::kBuf) {
+      o = netlist.node(o).fanins[0];
+    }
+  }
+  netlist.set_outputs(std::move(outputs));
+  netlist.sweep_dead();
+  stats.gates_pruned = before - netlist.node_count();
+  return stats;
+}
+
+}  // namespace ril::netlist

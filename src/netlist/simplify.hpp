@@ -1,0 +1,26 @@
+// Netlist simplification: constant propagation, buffer collapsing,
+// single-input gate folding, and dead-node sweeping.
+//
+// Used after specialize_keys() to measure the *net* silicon the unlocked
+// design actually needs (overhead analysis), and by the removal attack to
+// normalize its reconstruction.
+#pragma once
+
+#include <cstddef>
+
+#include "netlist/netlist.hpp"
+
+namespace ril::netlist {
+
+struct SimplifyStats {
+  std::size_t constants_folded = 0;
+  std::size_t buffers_collapsed = 0;
+  std::size_t gates_pruned = 0;  ///< removed by the final dead sweep
+};
+
+/// Iterates constant propagation + buffer collapsing to a fixed point,
+/// then sweeps dead logic. Preserves the primary input/output interface
+/// (outputs may become constants or inputs). Returns what happened.
+SimplifyStats simplify(Netlist& netlist);
+
+}  // namespace ril::netlist

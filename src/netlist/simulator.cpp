@@ -1,0 +1,136 @@
+#include "netlist/simulator.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace ril::netlist {
+
+Simulator::Simulator(const Netlist& netlist)
+    : netlist_(netlist),
+      order_(netlist.topological_order()),
+      values_(netlist.node_count(), 0),
+      state_(netlist.node_count(), 0) {
+  std::size_t max_arity = 1;
+  for (NodeId id = 0; id < netlist_.node_count(); ++id) {
+    max_arity = std::max(max_arity, netlist_.node(id).fanins.size());
+  }
+  operands_.resize(max_arity);
+}
+
+void Simulator::set_input(NodeId input, std::uint64_t patterns) {
+  if (input >= values_.size() ||
+      netlist_.node(input).type != GateType::kInput) {
+    throw std::invalid_argument("set_input: not a primary input");
+  }
+  values_[input] = patterns;
+}
+
+void Simulator::set_input_all(NodeId input, bool value) {
+  set_input(input, value ? ~std::uint64_t{0} : 0);
+}
+
+void Simulator::evaluate() {
+  std::vector<std::uint64_t>& operands = operands_;
+  for (NodeId id : order_) {
+    const Node& node = netlist_.node(id);
+    switch (node.type) {
+      case GateType::kInput:
+        break;  // already set
+      case GateType::kDff:
+        values_[id] = state_[id];
+        break;
+      case GateType::kMux: {
+        const std::uint64_t s = values_[node.fanins[0]];
+        const std::uint64_t d0 = values_[node.fanins[1]];
+        const std::uint64_t d1 = values_[node.fanins[2]];
+        values_[id] = (s & d1) | (~s & d0);
+        break;
+      }
+      case GateType::kLut: {
+        const std::size_t k = node.fanins.size();
+        std::uint64_t result = 0;
+        const std::uint64_t rows = std::uint64_t{1} << k;
+        for (std::uint64_t row = 0; row < rows; ++row) {
+          if (((node.lut_mask >> row) & 1) == 0) continue;
+          std::uint64_t match = ~std::uint64_t{0};
+          for (std::size_t j = 0; j < k; ++j) {
+            const std::uint64_t v = values_[node.fanins[j]];
+            match &= ((row >> j) & 1) ? v : ~v;
+          }
+          result |= match;
+        }
+        values_[id] = result;
+        break;
+      }
+      default: {
+        for (std::size_t i = 0; i < node.fanins.size(); ++i) {
+          operands[i] = values_[node.fanins[i]];
+        }
+        values_[id] =
+            eval_word(node.type, operands.data(), node.fanins.size());
+      }
+    }
+  }
+}
+
+void Simulator::step() {
+  evaluate();
+  for (NodeId id = 0; id < netlist_.node_count(); ++id) {
+    const Node& node = netlist_.node(id);
+    if (node.type == GateType::kDff) {
+      state_[id] = values_[node.fanins[0]];
+    }
+  }
+}
+
+void Simulator::reset_state() {
+  std::fill(state_.begin(), state_.end(), 0);
+}
+
+std::vector<std::uint64_t> Simulator::output_words() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(netlist_.outputs().size());
+  for (NodeId id : netlist_.outputs()) out.push_back(values_[id]);
+  return out;
+}
+
+std::vector<bool> evaluate_once(const Netlist& netlist,
+                                const std::vector<bool>& input_values) {
+  if (input_values.size() != netlist.inputs().size()) {
+    throw std::invalid_argument("evaluate_once: input count mismatch");
+  }
+  Simulator sim(netlist);
+  for (std::size_t i = 0; i < input_values.size(); ++i) {
+    sim.set_input_all(netlist.inputs()[i], input_values[i]);
+  }
+  sim.evaluate();
+  std::vector<bool> out;
+  out.reserve(netlist.outputs().size());
+  for (NodeId id : netlist.outputs()) out.push_back(sim.value(id) & 1);
+  return out;
+}
+
+std::vector<bool> evaluate_with_key(const Netlist& netlist,
+                                    const std::vector<bool>& data_values,
+                                    const std::vector<bool>& key_values) {
+  const auto data_inputs = netlist.data_inputs();
+  if (data_values.size() != data_inputs.size() ||
+      key_values.size() != netlist.key_inputs().size()) {
+    throw std::invalid_argument("evaluate_with_key: size mismatch");
+  }
+  Simulator sim(netlist);
+  for (std::size_t i = 0; i < data_inputs.size(); ++i) {
+    sim.set_input_all(data_inputs[i], data_values[i]);
+  }
+  for (std::size_t i = 0; i < key_values.size(); ++i) {
+    sim.set_input_all(netlist.key_inputs()[i], key_values[i]);
+  }
+  sim.evaluate();
+  std::vector<bool> out;
+  out.reserve(netlist.outputs().size());
+  for (NodeId id : netlist.outputs()) out.push_back(sim.value(id) & 1);
+  return out;
+}
+
+}  // namespace ril::netlist

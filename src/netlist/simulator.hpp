@@ -1,0 +1,59 @@
+// 64-way bit-parallel logic simulator.
+//
+// Each node value is a 64-bit word: bit p is the node's value under input
+// pattern p, so one sweep evaluates 64 input vectors. Sequential circuits are
+// supported by step(): DFF outputs hold state words updated from their fanin
+// values at the end of each step.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace ril::netlist {
+
+class Simulator {
+ public:
+  explicit Simulator(const Netlist& netlist);
+
+  /// Sets the pattern word of a primary-input node.
+  void set_input(NodeId input, std::uint64_t patterns);
+  /// Sets one input across all 64 patterns to the same value.
+  void set_input_all(NodeId input, bool value);
+
+  /// Combinational evaluation of every node from current input words and
+  /// DFF state.
+  void evaluate();
+  /// evaluate() then latch DFF next-state into DFF outputs.
+  void step();
+  /// Clears DFF state to 0.
+  void reset_state();
+
+  std::uint64_t value(NodeId id) const { return values_[id]; }
+  /// Output words in Netlist::outputs() order (valid after evaluate()).
+  std::vector<std::uint64_t> output_words() const;
+
+  const Netlist& netlist() const { return netlist_; }
+
+ private:
+  const Netlist& netlist_;
+  std::vector<NodeId> order_;
+  std::vector<std::uint64_t> values_;
+  std::vector<std::uint64_t> state_;  // indexed by NodeId, DFFs only
+  std::vector<std::uint64_t> operands_;  // scratch, sized to max fan-in
+};
+
+/// Single-vector convenience wrapper: evaluates the combinational view of
+/// `netlist` on one input assignment (indexed by position in inputs()).
+std::vector<bool> evaluate_once(const Netlist& netlist,
+                                const std::vector<bool>& input_values);
+
+/// Evaluates with separate data/key assignments: data_values follows
+/// data_inputs() order, key_values follows key_inputs() order.
+std::vector<bool> evaluate_with_key(const Netlist& netlist,
+                                    const std::vector<bool>& data_values,
+                                    const std::vector<bool>& key_values);
+
+}  // namespace ril::netlist

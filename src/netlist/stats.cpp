@@ -1,0 +1,30 @@
+#include "netlist/stats.hpp"
+
+#include <sstream>
+
+namespace ril::netlist {
+
+NetlistStats compute_stats(const Netlist& netlist) {
+  NetlistStats stats;
+  stats.inputs = netlist.inputs().size();
+  stats.key_inputs = netlist.key_inputs().size();
+  stats.outputs = netlist.outputs().size();
+  stats.gates = netlist.gate_count();
+  stats.dffs = netlist.dff_count();
+  stats.depth = netlist.depth();
+  for (NodeId id = 0; id < netlist.node_count(); ++id) {
+    ++stats.histogram[netlist.node(id).type];
+  }
+  return stats;
+}
+
+std::string format_stats(const NetlistStats& stats) {
+  std::ostringstream out;
+  out << "pi=" << stats.inputs - stats.key_inputs
+      << " key=" << stats.key_inputs << " po=" << stats.outputs
+      << " gates=" << stats.gates << " dff=" << stats.dffs
+      << " depth=" << stats.depth;
+  return out.str();
+}
+
+}  // namespace ril::netlist

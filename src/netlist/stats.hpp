@@ -1,0 +1,27 @@
+// Structural statistics for netlists (sizes, gate histogram, depth).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace ril::netlist {
+
+struct NetlistStats {
+  std::size_t inputs = 0;
+  std::size_t key_inputs = 0;
+  std::size_t outputs = 0;
+  std::size_t gates = 0;
+  std::size_t dffs = 0;
+  std::size_t depth = 0;
+  std::map<GateType, std::size_t> histogram;
+};
+
+NetlistStats compute_stats(const Netlist& netlist);
+
+/// One-line human-readable summary.
+std::string format_stats(const NetlistStats& stats);
+
+}  // namespace ril::netlist

@@ -1,0 +1,80 @@
+#include "netlist/types.hpp"
+
+#include <cassert>
+
+namespace ril::netlist {
+
+std::string_view to_string(GateType type) {
+  switch (type) {
+    case GateType::kInput: return "INPUT";
+    case GateType::kConst0: return "CONST0";
+    case GateType::kConst1: return "CONST1";
+    case GateType::kBuf: return "BUF";
+    case GateType::kNot: return "NOT";
+    case GateType::kAnd: return "AND";
+    case GateType::kNand: return "NAND";
+    case GateType::kOr: return "OR";
+    case GateType::kNor: return "NOR";
+    case GateType::kXor: return "XOR";
+    case GateType::kXnor: return "XNOR";
+    case GateType::kMux: return "MUX";
+    case GateType::kDff: return "DFF";
+    case GateType::kLut: return "LUT";
+  }
+  return "?";
+}
+
+bool is_variadic(GateType type) { return is_logic_op(type); }
+
+bool is_logic_op(GateType type) {
+  switch (type) {
+    case GateType::kAnd:
+    case GateType::kNand:
+    case GateType::kOr:
+    case GateType::kNor:
+    case GateType::kXor:
+    case GateType::kXnor:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::uint64_t eval_word(GateType type, const std::uint64_t* operands,
+                        std::size_t count) {
+  switch (type) {
+    case GateType::kConst0:
+      return 0;
+    case GateType::kConst1:
+      return ~std::uint64_t{0};
+    case GateType::kBuf:
+      assert(count == 1);
+      return operands[0];
+    case GateType::kNot:
+      assert(count == 1);
+      return ~operands[0];
+    case GateType::kAnd:
+    case GateType::kNand: {
+      std::uint64_t acc = ~std::uint64_t{0};
+      for (std::size_t i = 0; i < count; ++i) acc &= operands[i];
+      return type == GateType::kAnd ? acc : ~acc;
+    }
+    case GateType::kOr:
+    case GateType::kNor: {
+      std::uint64_t acc = 0;
+      for (std::size_t i = 0; i < count; ++i) acc |= operands[i];
+      return type == GateType::kOr ? acc : ~acc;
+    }
+    case GateType::kXor:
+    case GateType::kXnor: {
+      std::uint64_t acc = 0;
+      for (std::size_t i = 0; i < count; ++i) acc ^= operands[i];
+      return type == GateType::kXor ? acc : ~acc;
+    }
+    default:
+      assert(false && "eval_word: unsupported gate type");
+      return 0;
+  }
+}
+
+}  // namespace ril::netlist

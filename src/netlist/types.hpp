@@ -1,0 +1,56 @@
+// Basic node/gate vocabulary shared by the whole netlist layer.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string_view>
+
+namespace ril::netlist {
+
+/// Identifier of a node inside one Netlist. Dense, starts at 0.
+using NodeId = std::uint32_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kNoNode = std::numeric_limits<NodeId>::max();
+
+/// Gate/node kinds supported by the IR.
+///
+/// kMux fanins are ordered [sel, d0, d1] with out = sel ? d1 : d0.
+/// kLut holds up to 6 fanins plus a truth-table mask; bit i of the mask is the
+/// output for the input minterm i, where fanin[0] is the least-significant bit.
+/// kDff has a single fanin (the next-state input); its output is the stored
+/// state. SAT-attack flows cut DFFs into pseudo-PI/PO pairs (see
+/// Netlist::combinational_core()).
+enum class GateType : std::uint8_t {
+  kInput,
+  kConst0,
+  kConst1,
+  kBuf,
+  kNot,
+  kAnd,
+  kNand,
+  kOr,
+  kNor,
+  kXor,
+  kXnor,
+  kMux,
+  kDff,
+  kLut,
+};
+
+/// Human-readable mnemonic used by the .bench writer and debug dumps.
+std::string_view to_string(GateType type);
+
+/// Number of fanins a gate type requires; 0 means "variadic, >= 2" for the
+/// associative gates, and is reported via is_variadic() instead.
+bool is_variadic(GateType type);
+
+/// True for AND/NAND/OR/NOR/XOR/XNOR (accept 2+ fanins).
+bool is_logic_op(GateType type);
+
+/// Evaluate a gate over word-parallel operand values (64 patterns at once).
+/// Only valid for fixed-arity and variadic logic ops, not kLut/kMux/kDff.
+std::uint64_t eval_word(GateType type, const std::uint64_t* operands,
+                        std::size_t count);
+
+}  // namespace ril::netlist

@@ -1,0 +1,27 @@
+// Structural Verilog export/import (gate-level subset).
+//
+// The writer emits synthesizable structural Verilog: primitive gate
+// instantiations for the logic ops, continuous assigns for MUX/LUT/const,
+// and a clocked always block per DFF (a `clk` port is added when the
+// design is sequential). The reader accepts the same subset -- primitive
+// gates, `assign` of ternaries / minterm sums emitted by the writer --
+// which guarantees round-tripping of anything this library produces.
+// Key inputs follow the `keyinput*` naming convention, as in .bench files.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace ril::netlist {
+
+void write_verilog(std::ostream& out, const Netlist& netlist);
+std::string write_verilog_string(const Netlist& netlist);
+void write_verilog_file(const std::string& path, const Netlist& netlist);
+
+Netlist read_verilog(std::istream& in);
+Netlist read_verilog_string(const std::string& text);
+Netlist read_verilog_file(const std::string& path);
+
+}  // namespace ril::netlist

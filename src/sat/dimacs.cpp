@@ -1,0 +1,86 @@
+#include "sat/dimacs.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "sat/solver.hpp"
+
+namespace ril::sat {
+
+CnfFormula read_dimacs(std::istream& in) {
+  CnfFormula formula;
+  std::string token;
+  bool have_header = false;
+  Clause current;
+  while (in >> token) {
+    if (token == "c") {
+      std::string line;
+      std::getline(in, line);
+      continue;
+    }
+    if (token == "p") {
+      std::string kind;
+      std::size_t vars = 0;
+      std::size_t clauses = 0;
+      if (!(in >> kind >> vars >> clauses) || kind != "cnf") {
+        throw std::runtime_error("dimacs: bad header");
+      }
+      formula.num_vars = vars;
+      formula.clauses.reserve(clauses);
+      have_header = true;
+      continue;
+    }
+    long value = 0;
+    try {
+      value = std::stol(token);
+    } catch (const std::exception&) {
+      throw std::runtime_error("dimacs: bad token '" + token + "'");
+    }
+    if (!have_header) throw std::runtime_error("dimacs: literal before header");
+    if (value == 0) {
+      formula.clauses.push_back(current);
+      current.clear();
+    } else {
+      const Var v = static_cast<Var>(std::labs(value) - 1);
+      if (static_cast<std::size_t>(v) >= formula.num_vars) {
+        throw std::runtime_error("dimacs: variable out of range");
+      }
+      current.push_back(Lit::make(v, value < 0));
+    }
+  }
+  if (!current.empty()) throw std::runtime_error("dimacs: unterminated clause");
+  return formula;
+}
+
+CnfFormula read_dimacs_string(const std::string& text) {
+  std::istringstream in(text);
+  return read_dimacs(in);
+}
+
+void write_dimacs(std::ostream& out, const CnfFormula& formula) {
+  out << "p cnf " << formula.num_vars << " " << formula.clauses.size() << "\n";
+  for (const Clause& clause : formula.clauses) {
+    for (Lit l : clause) {
+      out << (l.sign() ? -(l.var() + 1) : (l.var() + 1)) << " ";
+    }
+    out << "0\n";
+  }
+}
+
+std::string write_dimacs_string(const CnfFormula& formula) {
+  std::ostringstream out;
+  write_dimacs(out, formula);
+  return out.str();
+}
+
+bool load_into_solver(const CnfFormula& formula, Solver& solver) {
+  if (formula.num_vars > 0) {
+    solver.ensure_var(static_cast<Var>(formula.num_vars - 1));
+  }
+  for (const Clause& clause : formula.clauses) {
+    if (!solver.add_clause(clause)) return false;
+  }
+  return true;
+}
+
+}  // namespace ril::sat

@@ -1,0 +1,28 @@
+// DIMACS CNF import/export, mainly for debugging and interoperability.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sat/types.hpp"
+
+namespace ril::sat {
+
+struct CnfFormula {
+  std::size_t num_vars = 0;
+  std::vector<Clause> clauses;
+};
+
+/// Parses DIMACS text ("p cnf V C" header plus 0-terminated clauses).
+CnfFormula read_dimacs(std::istream& in);
+CnfFormula read_dimacs_string(const std::string& text);
+
+/// Writes DIMACS text.
+void write_dimacs(std::ostream& out, const CnfFormula& formula);
+std::string write_dimacs_string(const CnfFormula& formula);
+
+/// Loads a formula into a solver. Returns false if root-level UNSAT.
+bool load_into_solver(const CnfFormula& formula, class Solver& solver);
+
+}  // namespace ril::sat

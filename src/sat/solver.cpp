@@ -1,0 +1,617 @@
+#include "sat/solver.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <unordered_map>
+
+namespace ril::sat {
+
+namespace {
+constexpr double kVarDecay = 0.95;
+constexpr double kActivityRescale = 1e100;
+constexpr std::uint64_t kRestartBase = 128;
+}  // namespace
+
+Solver::Solver() { arena_.reserve(1 << 16); }
+
+Var Solver::new_var() {
+  const Var v = static_cast<Var>(assigns_.size());
+  assigns_.push_back(LBool::kUndef);
+  model_.push_back(LBool::kUndef);
+  level_.push_back(0);
+  reason_.push_back(kNoClause);
+  activity_.push_back(0.0);
+  heap_index_.push_back(-1);
+  polarity_.push_back(false);
+  seen_.push_back(false);
+  lbd_stamp_.push_back(0);
+  watches_.emplace_back();
+  watches_.emplace_back();
+  heap_insert(v);
+  return v;
+}
+
+void Solver::ensure_var(Var v) {
+  while (static_cast<Var>(assigns_.size()) <= v) new_var();
+}
+
+Solver::ClauseRef Solver::alloc_clause(const Clause& lits, bool learned) {
+  const ClauseRef cref = static_cast<ClauseRef>(arena_.size());
+  arena_.push_back((static_cast<std::uint32_t>(lits.size()) << 2) |
+                   (learned ? 2u : 0u));
+  arena_.push_back(0);  // lbd
+  for (Lit l : lits) {
+    arena_.push_back(static_cast<std::uint32_t>(l.code));
+  }
+  return cref;
+}
+
+void Solver::attach(ClauseRef cref) {
+  ClauseView c = view(cref);
+  assert(c.size() >= 2);
+  watches_[(~c.lit(0)).code].push_back({cref, c.lit(1)});
+  watches_[(~c.lit(1)).code].push_back({cref, c.lit(0)});
+}
+
+void Solver::detach(ClauseRef cref) {
+  ClauseView c = view(cref);
+  for (int i = 0; i < 2; ++i) {
+    auto& list = watches_[(~c.lit(i)).code];
+    for (std::size_t j = 0; j < list.size(); ++j) {
+      if (list[j].cref == cref) {
+        list[j] = list.back();
+        list.pop_back();
+        break;
+      }
+    }
+  }
+}
+
+bool Solver::add_clause(Clause lits) {
+  if (!ok_) return false;
+  assert(decision_level() == 0);
+  // Root-level simplification: sort, dedup, drop false literals, detect
+  // tautologies and satisfied clauses.
+  std::sort(lits.begin(), lits.end(),
+            [](Lit a, Lit b) { return a.code < b.code; });
+  Clause simplified;
+  Lit prev = kLitUndef;
+  for (Lit l : lits) {
+    ensure_var(l.var());
+    if (value(l) == LBool::kTrue || l == ~prev) return true;  // satisfied/taut
+    if (value(l) == LBool::kFalse || l == prev) continue;     // drop
+    simplified.push_back(l);
+    prev = l;
+  }
+  ++n_problem_clauses_;
+  if (simplified.empty()) {
+    ok_ = false;
+    return false;
+  }
+  if (simplified.size() == 1) {
+    enqueue(simplified[0], kNoClause);
+    ok_ = (propagate() == kNoClause);
+    return ok_;
+  }
+  const ClauseRef cref = alloc_clause(simplified, /*learned=*/false);
+  problem_clauses_.push_back(cref);
+  attach(cref);
+  return true;
+}
+
+void Solver::enqueue(Lit l, ClauseRef reason) {
+  assert(value(l) == LBool::kUndef);
+  const Var v = l.var();
+  assigns_[v] = l.sign() ? LBool::kFalse : LBool::kTrue;
+  level_[v] = decision_level();
+  reason_[v] = reason;
+  trail_.push_back(l);
+}
+
+Solver::ClauseRef Solver::propagate() {
+  ClauseRef conflict = kNoClause;
+  while (propagate_head_ < trail_.size()) {
+    const Lit p = trail_[propagate_head_++];
+    ++stats_.propagations;
+    auto& list = watches_[p.code];
+    std::size_t keep = 0;
+    std::size_t i = 0;
+    for (; i < list.size(); ++i) {
+      const Watcher w = list[i];
+      if (value(w.blocker) == LBool::kTrue) {
+        list[keep++] = w;
+        continue;
+      }
+      ClauseView c = view(w.cref);
+      // Normalize: the false literal (~p) to position 1.
+      const Lit not_p = ~p;
+      if (c.lit(0) == not_p) {
+        c.set_lit(0, c.lit(1));
+        c.set_lit(1, not_p);
+      }
+      assert(c.lit(1) == not_p);
+      const Lit first = c.lit(0);
+      if (first != w.blocker && value(first) == LBool::kTrue) {
+        list[keep++] = {w.cref, first};
+        continue;
+      }
+      // Look for a replacement watch.
+      bool moved = false;
+      for (std::uint32_t k = 2; k < c.size(); ++k) {
+        if (value(c.lit(k)) != LBool::kFalse) {
+          c.set_lit(1, c.lit(k));
+          c.set_lit(k, not_p);
+          watches_[(~c.lit(1)).code].push_back({w.cref, first});
+          moved = true;
+          break;
+        }
+      }
+      if (moved) continue;
+      // Clause is unit or conflicting.
+      list[keep++] = {w.cref, first};
+      if (value(first) == LBool::kFalse) {
+        conflict = w.cref;
+        propagate_head_ = trail_.size();
+        // Keep the remaining watchers.
+        for (++i; i < list.size(); ++i) list[keep++] = list[i];
+        break;
+      }
+      enqueue(first, w.cref);
+    }
+    list.resize(keep);
+    if (conflict != kNoClause) break;
+  }
+  return conflict;
+}
+
+void Solver::cancel_until(int target_level) {
+  if (decision_level() <= target_level) return;
+  const std::uint32_t bound = trail_limits_[target_level];
+  for (std::size_t i = trail_.size(); i-- > bound;) {
+    const Var v = trail_[i].var();
+    polarity_[v] = assigns_[v] == LBool::kTrue;
+    assigns_[v] = LBool::kUndef;
+    reason_[v] = kNoClause;
+    if (!heap_contains(v)) heap_insert(v);
+  }
+  trail_.resize(bound);
+  trail_limits_.resize(target_level);
+  propagate_head_ = trail_.size();
+}
+
+void Solver::analyze(ClauseRef conflict, Clause& out_learned, int& out_level,
+                     std::uint32_t& out_lbd) {
+  out_learned.clear();
+  out_learned.push_back(kLitUndef);  // slot for the asserting literal
+  int path_count = 0;
+  Lit p = kLitUndef;
+  std::size_t index = trail_.size();
+
+  ClauseRef cref = conflict;
+  do {
+    assert(cref != kNoClause);
+    ClauseView c = view(cref);
+    if (c.learned()) clause_bump(c);
+    for (std::uint32_t j = (p == kLitUndef) ? 0 : 1; j < c.size(); ++j) {
+      const Lit q = c.lit(j);
+      const Var v = q.var();
+      if (!seen_[v] && level_[v] > 0) {
+        var_bump(v);
+        seen_[v] = true;
+        analyze_to_clear_.push_back(q);
+        if (level_[v] >= decision_level()) {
+          ++path_count;
+        } else {
+          out_learned.push_back(q);
+        }
+      }
+    }
+    while (!seen_[trail_[index - 1].var()]) --index;
+    --index;
+    p = trail_[index];
+    cref = reason_[p.var()];
+    seen_[p.var()] = false;
+    --path_count;
+  } while (path_count > 0);
+  out_learned[0] = ~p;
+
+  // Recursive minimization.
+  std::uint32_t abstract_levels = 0;
+  for (std::size_t i = 1; i < out_learned.size(); ++i) {
+    abstract_levels |= 1u << (level_[out_learned[i].var()] & 31);
+  }
+  std::size_t kept = 1;
+  for (std::size_t i = 1; i < out_learned.size(); ++i) {
+    const Lit l = out_learned[i];
+    if (reason_[l.var()] == kNoClause ||
+        !literal_redundant(l, abstract_levels)) {
+      out_learned[kept++] = l;
+    } else {
+      ++stats_.minimized_literals;
+    }
+  }
+  out_learned.resize(kept);
+
+  // Find backtrack level and move that literal to slot 1.
+  if (out_learned.size() == 1) {
+    out_level = 0;
+  } else {
+    std::size_t max_i = 1;
+    for (std::size_t i = 2; i < out_learned.size(); ++i) {
+      if (level_[out_learned[i].var()] > level_[out_learned[max_i].var()]) {
+        max_i = i;
+      }
+    }
+    std::swap(out_learned[1], out_learned[max_i]);
+    out_level = level_[out_learned[1].var()];
+  }
+
+  // LBD = number of distinct decision levels in the learned clause.
+  ++lbd_stamp_counter_;
+  out_lbd = 0;
+  for (Lit l : out_learned) {
+    const int lvl = level_[l.var()];
+    if (lvl > 0 &&
+        lbd_stamp_[static_cast<std::size_t>(lvl) % lbd_stamp_.size()] !=
+            lbd_stamp_counter_) {
+      lbd_stamp_[static_cast<std::size_t>(lvl) % lbd_stamp_.size()] =
+          lbd_stamp_counter_;
+      ++out_lbd;
+    }
+  }
+
+  for (Lit l : analyze_to_clear_) seen_[l.var()] = false;
+  analyze_to_clear_.clear();
+}
+
+bool Solver::literal_redundant(Lit l, std::uint32_t abstract_levels) {
+  analyze_stack_.clear();
+  analyze_stack_.push_back(l);
+  const std::size_t top = analyze_to_clear_.size();
+  while (!analyze_stack_.empty()) {
+    const Lit current = analyze_stack_.back();
+    analyze_stack_.pop_back();
+    assert(reason_[current.var()] != kNoClause);
+    ClauseView c = view(reason_[current.var()]);
+    for (std::uint32_t i = 1; i < c.size(); ++i) {
+      const Lit p = c.lit(i);
+      const Var v = p.var();
+      if (!seen_[v] && level_[v] > 0) {
+        if (reason_[v] != kNoClause &&
+            ((1u << (level_[v] & 31)) & abstract_levels) != 0) {
+          seen_[v] = true;
+          analyze_stack_.push_back(p);
+          analyze_to_clear_.push_back(p);
+        } else {
+          for (std::size_t j = top; j < analyze_to_clear_.size(); ++j) {
+            seen_[analyze_to_clear_[j].var()] = false;
+          }
+          analyze_to_clear_.resize(top);
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+void Solver::var_bump(Var v) {
+  activity_[v] += var_inc_;
+  if (activity_[v] > kActivityRescale) {
+    for (double& a : activity_) a *= 1.0 / kActivityRescale;
+    var_inc_ *= 1.0 / kActivityRescale;
+  }
+  if (heap_contains(v)) heap_up(heap_index_[v]);
+}
+
+void Solver::var_decay() { var_inc_ *= 1.0 / kVarDecay; }
+
+void Solver::clause_bump(ClauseView c) {
+  // LBD refresh: recompute is costly; we just age via a small decrement.
+  if (c.lbd() > 2) c.set_lbd(c.lbd() - 1);
+}
+
+void Solver::heap_insert(Var v) {
+  heap_index_[v] = static_cast<std::int32_t>(heap_.size());
+  heap_.push_back(v);
+  heap_up(heap_.size() - 1);
+}
+
+Var Solver::heap_pop() {
+  const Var top = heap_[0];
+  heap_index_[top] = -1;
+  if (heap_.size() > 1) {
+    heap_[0] = heap_.back();
+    heap_index_[heap_[0]] = 0;
+    heap_.pop_back();
+    heap_down(0);
+  } else {
+    heap_.pop_back();
+  }
+  return top;
+}
+
+void Solver::heap_up(std::size_t idx) {
+  const Var v = heap_[idx];
+  while (idx > 0) {
+    const std::size_t parent = (idx - 1) / 2;
+    if (activity_[heap_[parent]] >= activity_[v]) break;
+    heap_[idx] = heap_[parent];
+    heap_index_[heap_[idx]] = static_cast<std::int32_t>(idx);
+    idx = parent;
+  }
+  heap_[idx] = v;
+  heap_index_[v] = static_cast<std::int32_t>(idx);
+}
+
+void Solver::heap_down(std::size_t idx) {
+  const Var v = heap_[idx];
+  while (true) {
+    const std::size_t left = 2 * idx + 1;
+    if (left >= heap_.size()) break;
+    const std::size_t right = left + 1;
+    const std::size_t best =
+        (right < heap_.size() &&
+         activity_[heap_[right]] > activity_[heap_[left]])
+            ? right
+            : left;
+    if (activity_[heap_[best]] <= activity_[v]) break;
+    heap_[idx] = heap_[best];
+    heap_index_[heap_[idx]] = static_cast<std::int32_t>(idx);
+    idx = best;
+  }
+  heap_[idx] = v;
+  heap_index_[v] = static_cast<std::int32_t>(idx);
+}
+
+Lit Solver::pick_branch_literal() {
+  while (!heap_.empty()) {
+    const Var v = heap_pop();
+    if (assigns_[v] == LBool::kUndef) {
+      return Lit::make(v, !polarity_[v]);
+    }
+  }
+  return kLitUndef;
+}
+
+void Solver::reduce_learned_db() {
+  // Keep the better half by (low LBD, then recency implied by order).
+  std::vector<ClauseRef> sorted = learned_clauses_;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [this](ClauseRef a, ClauseRef b) {
+                     return view(a).lbd() < view(b).lbd();
+                   });
+  const std::size_t keep_target = sorted.size() / 2;
+  std::vector<ClauseRef> kept;
+  kept.reserve(sorted.size());
+  std::size_t removed = 0;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    const ClauseRef cref = sorted[i];
+    ClauseView c = view(cref);
+    bool is_reason = false;
+    // A clause is locked if it is the reason of its first literal.
+    const Var v0 = c.lit(0).var();
+    if (reason_[v0] == cref && assigns_[v0] != LBool::kUndef) {
+      is_reason = true;
+    }
+    if (i < keep_target || is_reason || c.lbd() <= 2 || c.size() <= 2) {
+      kept.push_back(cref);
+    } else {
+      detach(cref);
+      c.mark_deleted();
+      garbage_words_ += c.size() + 2;
+      ++removed;
+    }
+  }
+  learned_clauses_ = std::move(kept);
+  stats_.removed_clauses += removed;
+}
+
+void Solver::garbage_collect() {
+  assert(decision_level() == 0);
+  std::vector<std::uint32_t> fresh;
+  fresh.reserve(arena_.size() - garbage_words_);
+  auto move_clause = [&](ClauseRef cref) -> ClauseRef {
+    const ClauseView c = ClauseView{arena_.data() + cref};
+    const ClauseRef moved = static_cast<ClauseRef>(fresh.size());
+    for (std::uint32_t i = 0; i < c.size() + 2; ++i) {
+      fresh.push_back(arena_[cref + i]);
+    }
+    return moved;
+  };
+  // Remap while preserving watch positions (literal order is copied).
+  std::unordered_map<ClauseRef, ClauseRef> remap;
+  std::vector<ClauseRef> live_problem;
+  live_problem.reserve(problem_clauses_.size());
+  for (ClauseRef cref : problem_clauses_) {
+    if (view(cref).deleted()) continue;
+    const ClauseRef moved = move_clause(cref);
+    remap.emplace(cref, moved);
+    live_problem.push_back(moved);
+  }
+  problem_clauses_ = std::move(live_problem);
+  std::vector<ClauseRef> live_learned;
+  live_learned.reserve(learned_clauses_.size());
+  for (ClauseRef cref : learned_clauses_) {
+    if (view(cref).deleted()) continue;
+    const ClauseRef moved = move_clause(cref);
+    remap.emplace(cref, moved);
+    live_learned.push_back(moved);
+  }
+  learned_clauses_ = std::move(live_learned);
+  arena_ = std::move(fresh);
+  garbage_words_ = 0;
+  // Level-0 assignments may carry clause reasons.
+  for (Lit l : trail_) {
+    ClauseRef& reason = reason_[l.var()];
+    if (reason == kNoClause) continue;
+    const auto it = remap.find(reason);
+    reason = it == remap.end() ? kNoClause : it->second;
+  }
+  // Rebuild the watch lists.
+  for (auto& list : watches_) list.clear();
+  for (ClauseRef cref : problem_clauses_) attach(cref);
+  for (ClauseRef cref : learned_clauses_) attach(cref);
+}
+
+bool Solver::time_exhausted() {
+  if (limits_.time_limit_seconds <= 0) return false;
+  const auto now = std::chrono::steady_clock::now();
+  const double elapsed =
+      std::chrono::duration<double>(now - solve_start_).count();
+  return elapsed >= limits_.time_limit_seconds;
+}
+
+std::uint64_t Solver::luby(std::uint64_t i) {
+  // Knuth's formulation of the Luby sequence (1-indexed).
+  std::uint64_t k = 1;
+  while ((std::uint64_t{1} << (k + 1)) <= i + 2) ++k;
+  while (true) {
+    if (i + 2 == (std::uint64_t{1} << k)) {
+      return std::uint64_t{1} << (k - 1);
+    }
+    if (i + 2 < (std::uint64_t{1} << k)) {
+      --k;
+      continue;
+    }
+    i -= (std::uint64_t{1} << k) - 1;
+    k = 1;
+    while ((std::uint64_t{1} << (k + 1)) <= i + 2) ++k;
+  }
+}
+
+Result Solver::solve(const std::vector<Lit>& assumptions) {
+  limit_fired_ = false;
+  if (!ok_) return Result::kUnsat;
+  for (Lit a : assumptions) ensure_var(a.var());
+
+  solve_start_ = std::chrono::steady_clock::now();
+  conflicts_at_solve_start_ = stats_.conflicts;
+  std::uint64_t restart_index = 0;
+  std::uint64_t conflicts_until_restart = luby(0) * kRestartBase;
+  std::uint64_t conflicts_this_restart = 0;
+  time_check_countdown_ = 1024;
+
+  Clause learned;
+  const auto assumption_count = static_cast<int>(assumptions.size());
+
+  while (true) {
+    const ClauseRef conflict = propagate();
+    if (conflict != kNoClause) {
+      ++stats_.conflicts;
+      ++conflicts_this_restart;
+      if (decision_level() == 0) {
+        ok_ = false;
+        cancel_until(0);
+        return Result::kUnsat;
+      }
+      if (decision_level() <= assumption_count) {
+        // Conflict entirely under assumptions: UNSAT under assumptions.
+        cancel_until(0);
+        return Result::kUnsat;
+      }
+      int backtrack_level = 0;
+      std::uint32_t lbd = 0;
+      analyze(conflict, learned, backtrack_level, lbd);
+      // Never undo assumption decisions on learning.
+      cancel_until(std::max(backtrack_level, 0));
+      if (learned.size() == 1) {
+        if (decision_level() > 0 && value(learned[0]) == LBool::kUndef) {
+          enqueue(learned[0], kNoClause);
+        } else if (decision_level() == 0) {
+          if (value(learned[0]) == LBool::kFalse) {
+            ok_ = false;
+            return Result::kUnsat;
+          }
+          if (value(learned[0]) == LBool::kUndef) {
+            enqueue(learned[0], kNoClause);
+          }
+        }
+      } else {
+        const ClauseRef cref = alloc_clause(learned, /*learned=*/true);
+        view(cref).set_lbd(lbd);
+        learned_clauses_.push_back(cref);
+        attach(cref);
+        enqueue(learned[0], cref);
+      }
+      stats_.learned_clauses += 1;
+      stats_.learned_literals += learned.size();
+      var_decay();
+
+      if (limits_.conflict_limit != 0 &&
+          stats_.conflicts - conflicts_at_solve_start_ >=
+              limits_.conflict_limit) {
+        limit_fired_ = true;
+        cancel_until(0);
+        return Result::kUnknown;
+      }
+      if (--time_check_countdown_ == 0) {
+        time_check_countdown_ = 1024;
+        if (time_exhausted()) {
+          limit_fired_ = true;
+          cancel_until(0);
+          return Result::kUnknown;
+        }
+      }
+      continue;
+    }
+
+    // Restart?
+    if (conflicts_this_restart >= conflicts_until_restart) {
+      ++stats_.restarts;
+      ++restart_index;
+      conflicts_until_restart = luby(restart_index) * kRestartBase;
+      conflicts_this_restart = 0;
+      cancel_until(0);
+      if (learned_clauses_.size() > max_learned_) {
+        reduce_learned_db();
+        max_learned_ = max_learned_ + max_learned_ / 10;
+      }
+      if (garbage_words_ > arena_.size() / 2 && garbage_words_ > (1u << 16)) {
+        garbage_collect();
+      }
+      continue;
+    }
+
+    // Periodic time check on long conflict-free stretches.
+    if (--time_check_countdown_ == 0) {
+      time_check_countdown_ = 1024;
+      if (time_exhausted()) {
+        limit_fired_ = true;
+        cancel_until(0);
+        return Result::kUnknown;
+      }
+    }
+
+    // Establish assumptions as pseudo-decisions.
+    Lit next = kLitUndef;
+    while (decision_level() < assumption_count) {
+      const Lit a = assumptions[decision_level()];
+      if (value(a) == LBool::kTrue) {
+        new_decision_level();  // dummy level keeps indices aligned
+      } else if (value(a) == LBool::kFalse) {
+        cancel_until(0);
+        return Result::kUnsat;
+      } else {
+        next = a;
+        break;
+      }
+    }
+
+    if (next == kLitUndef) {
+      next = pick_branch_literal();
+      if (next == kLitUndef) {
+        // All variables assigned: SAT.
+        model_.assign(assigns_.begin(), assigns_.end());
+        cancel_until(0);
+        return Result::kSat;
+      }
+      ++stats_.decisions;
+    }
+    new_decision_level();
+    enqueue(next, kNoClause);
+  }
+}
+
+}  // namespace ril::sat

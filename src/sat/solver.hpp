@@ -1,0 +1,197 @@
+// CDCL SAT solver.
+//
+// Feature set (in the spirit of MiniSat/CaDiCaL-class solvers):
+//  * two-watched-literal propagation with blocker literals
+//  * first-UIP conflict analysis with recursive clause minimization
+//  * VSIDS decision heuristic with phase saving
+//  * Luby restarts
+//  * LBD-guided learned-clause database reduction
+//  * incremental use: clauses may be added between solve() calls, and
+//    solve() accepts assumption literals
+//  * resource limits: wall-clock time and conflict budget; when a limit
+//    fires solve() returns Result::kUnknown
+//
+// The solver is deliberately self-contained (no third-party code) since the
+// paper's SAT-hardness claims are about CDCL search behaviour, which this
+// class reproduces.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "sat/types.hpp"
+
+namespace ril::sat {
+
+struct SolverStats {
+  std::uint64_t decisions = 0;
+  std::uint64_t propagations = 0;
+  std::uint64_t conflicts = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t learned_clauses = 0;
+  std::uint64_t learned_literals = 0;
+  std::uint64_t removed_clauses = 0;
+  std::uint64_t minimized_literals = 0;
+};
+
+struct SolverLimits {
+  /// Wall-clock budget in seconds; <=0 means unlimited.
+  double time_limit_seconds = 0.0;
+  /// Conflict budget; 0 means unlimited.
+  std::uint64_t conflict_limit = 0;
+};
+
+class Solver {
+ public:
+  Solver();
+
+  /// Creates a fresh variable and returns it.
+  Var new_var();
+  /// Ensures variables [0, v] exist.
+  void ensure_var(Var v);
+  std::size_t num_vars() const { return assigns_.size(); }
+  std::size_t num_clauses() const { return n_problem_clauses_; }
+
+  /// Adds a problem clause. Returns false if the formula became trivially
+  /// unsatisfiable at the root level (the solver is then dead).
+  bool add_clause(Clause lits);
+  bool add_clause(std::initializer_list<Lit> lits) {
+    return add_clause(Clause(lits));
+  }
+
+  /// Solves under the given assumptions. Repeatable; clauses may be added
+  /// between calls.
+  Result solve(const std::vector<Lit>& assumptions = {});
+
+  /// Model access, valid after solve() returned kSat.
+  LBool model_value(Var v) const { return model_[v]; }
+  bool model_bool(Var v) const { return model_[v] == LBool::kTrue; }
+
+  const SolverStats& stats() const { return stats_; }
+  /// Clause-arena footprint in 32-bit words (diagnostics / GC tests).
+  std::size_t arena_words() const { return arena_.size(); }
+  void set_limits(const SolverLimits& limits) { limits_ = limits; }
+  /// True if the last solve() stopped due to a resource limit.
+  bool limit_fired() const { return limit_fired_; }
+  bool okay() const { return ok_; }
+
+ private:
+  using ClauseRef = std::uint32_t;
+  static constexpr ClauseRef kNoClause =
+      std::numeric_limits<ClauseRef>::max();
+
+  // --- clause arena -----------------------------------------------------
+  // Layout per clause: [header][lbd][lit0 ... litN-1]
+  //   header = size << 2 | learned << 1 | deleted
+  struct ClauseView {
+    std::uint32_t* raw;
+    std::uint32_t size() const { return raw[0] >> 2; }
+    bool learned() const { return raw[0] & 2; }
+    bool deleted() const { return raw[0] & 1; }
+    void mark_deleted() { raw[0] |= 1; }
+    std::uint32_t lbd() const { return raw[1]; }
+    void set_lbd(std::uint32_t v) { raw[1] = v; }
+    Lit lit(std::uint32_t i) const {
+      return lit_from_code(static_cast<std::int32_t>(raw[2 + i]));
+    }
+    void set_lit(std::uint32_t i, Lit l) {
+      raw[2 + i] = static_cast<std::uint32_t>(l.code);
+    }
+  };
+
+  struct Watcher {
+    ClauseRef cref;
+    Lit blocker;
+  };
+
+  ClauseRef alloc_clause(const Clause& lits, bool learned);
+  ClauseView view(ClauseRef cref) {
+    return ClauseView{arena_.data() + cref};
+  }
+  void attach(ClauseRef cref);
+  void detach(ClauseRef cref);
+
+  // --- assignment / trail ------------------------------------------------
+  LBool value(Lit l) const {
+    const LBool v = assigns_[l.var()];
+    if (v == LBool::kUndef) return LBool::kUndef;
+    return l.sign() ? negate(v) : v;
+  }
+  int level(Var v) const { return level_[v]; }
+  int decision_level() const {
+    return static_cast<int>(trail_limits_.size());
+  }
+  void enqueue(Lit l, ClauseRef reason);
+  ClauseRef propagate();
+  void new_decision_level() {
+    trail_limits_.push_back(static_cast<std::uint32_t>(trail_.size()));
+  }
+  void cancel_until(int target_level);
+
+  // --- conflict analysis ---------------------------------------------------
+  void analyze(ClauseRef conflict, Clause& out_learned, int& out_level,
+               std::uint32_t& out_lbd);
+  bool literal_redundant(Lit l, std::uint32_t abstract_levels);
+
+  // --- heuristics -----------------------------------------------------------
+  void var_bump(Var v);
+  void var_decay();
+  void clause_bump(ClauseView c);
+  Lit pick_branch_literal();
+  void heap_insert(Var v);
+  Var heap_pop();
+  void heap_up(std::size_t idx);
+  void heap_down(std::size_t idx);
+  bool heap_contains(Var v) const { return heap_index_[v] != -1; }
+
+  void reduce_learned_db();
+  /// Compacts the clause arena, dropping deleted clauses (called at
+  /// restarts when more than half the arena is garbage). All ClauseRefs
+  /// (problem/learned lists, reasons, watchers) are remapped.
+  void garbage_collect();
+  bool time_exhausted();
+
+  static std::uint64_t luby(std::uint64_t i);
+
+  // --- state -----------------------------------------------------------------
+  bool ok_ = true;
+  std::vector<std::uint32_t> arena_;
+  std::vector<ClauseRef> problem_clauses_;
+  std::vector<ClauseRef> learned_clauses_;
+  std::size_t n_problem_clauses_ = 0;
+
+  std::vector<std::vector<Watcher>> watches_;  // indexed by lit code
+  std::vector<LBool> assigns_;                 // indexed by var
+  std::vector<LBool> model_;
+  std::vector<int> level_;
+  std::vector<ClauseRef> reason_;
+  std::vector<Lit> trail_;
+  std::vector<std::uint32_t> trail_limits_;
+  std::size_t propagate_head_ = 0;
+
+  std::vector<double> activity_;
+  double var_inc_ = 1.0;
+  std::vector<std::int32_t> heap_index_;  // var -> heap slot or -1
+  std::vector<Var> heap_;
+  std::vector<bool> polarity_;  // saved phase; true = assign false first
+
+  std::vector<bool> seen_;
+  std::vector<Lit> analyze_stack_;
+  std::vector<Lit> analyze_to_clear_;
+  std::vector<std::uint32_t> lbd_stamp_;
+  std::uint32_t lbd_stamp_counter_ = 0;
+
+  std::size_t garbage_words_ = 0;
+  SolverStats stats_;
+  SolverLimits limits_;
+  bool limit_fired_ = false;
+  std::chrono::steady_clock::time_point solve_start_;
+  std::uint64_t conflicts_at_solve_start_ = 0;
+  std::uint64_t time_check_countdown_ = 0;
+
+  std::uint64_t max_learned_ = 8192;
+};
+
+}  // namespace ril::sat

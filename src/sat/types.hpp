@@ -1,0 +1,57 @@
+// Literal / variable vocabulary for the CDCL solver.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ril::sat {
+
+/// Variables are dense non-negative integers handed out by Solver::new_var().
+using Var = std::int32_t;
+
+inline constexpr Var kNoVar = -1;
+
+/// A literal packs (variable, polarity) as var*2 + sign, sign==1 -> negated.
+struct Lit {
+  std::int32_t code = -2;
+
+  constexpr Lit() = default;
+  static constexpr Lit make(Var v, bool negated = false) {
+    return Lit{v * 2 + (negated ? 1 : 0)};
+  }
+  constexpr Var var() const { return code >> 1; }
+  constexpr bool sign() const { return code & 1; }  // true = negated
+  constexpr Lit operator~() const { return Lit{code ^ 1}; }
+  constexpr bool operator==(const Lit&) const = default;
+
+ private:
+  explicit constexpr Lit(std::int32_t c) : code(c) {}
+  friend constexpr Lit lit_from_code(std::int32_t);
+};
+
+constexpr Lit lit_from_code(std::int32_t code) { return Lit{code}; }
+
+inline constexpr Lit kLitUndef = Lit{};
+
+/// Three-valued logic for assignments and model queries.
+enum class LBool : std::int8_t { kFalse = 0, kTrue = 1, kUndef = 2 };
+
+inline LBool lbool_from(bool b) { return b ? LBool::kTrue : LBool::kFalse; }
+inline LBool negate(LBool v) {
+  switch (v) {
+    case LBool::kFalse: return LBool::kTrue;
+    case LBool::kTrue: return LBool::kFalse;
+    default: return LBool::kUndef;
+  }
+}
+
+/// Outcome of a solve() call.
+enum class Result : std::uint8_t {
+  kSat,
+  kUnsat,
+  kUnknown,  // a resource limit fired
+};
+
+using Clause = std::vector<Lit>;
+
+}  // namespace ril::sat

@@ -1,0 +1,77 @@
+// Circuit-level power side-channel analysis of a locked netlist.
+//
+// The single-LUT analysis (power_trace/dpa) isolates the device-level
+// leak; here the victim is a whole locked circuit containing many keyed
+// 2-input LUTs. Each trace applies a random primary-input vector and
+// measures the summed read energy of every keyed LUT cell (each LUT's
+// contribution depends on its output value for SRAM storage and is
+// value-independent for complementary MRAM), plus measurement noise. The
+// attacker targets the LUTs whose data inputs have key-free fan-in cones
+// (computable from the reverse-engineered netlist alone) and runs
+// per-LUT DPA against the global trace -- the other LUTs act as
+// algorithmic noise, as on real silicon.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "sca/power_trace.hpp"
+
+namespace ril::sca {
+
+/// One keyed 2-input LUT found in a locked netlist (the 3-MUX select tree
+/// produced by the RIL/LUT locking passes).
+struct KeyedLutInstance {
+  netlist::NodeId input_a = netlist::kNoNode;
+  netlist::NodeId input_b = netlist::kNoNode;
+  /// Config key inputs in mask order (m00, m10, m01, m11).
+  std::array<netlist::NodeId, 4> key_inputs{};
+  netlist::NodeId output = netlist::kNoNode;
+  /// True if both data inputs are computable without key knowledge.
+  bool attackable = false;
+};
+
+/// Structural detection of keyed-LUT select trees.
+std::vector<KeyedLutInstance> find_keyed_luts(const netlist::Netlist& locked);
+
+struct CircuitTraceOptions {
+  LutTechnology technology = LutTechnology::kSram;
+  std::size_t traces = 4000;
+  double noise_sigma = 0.5e-15;
+  device::MtjParams mtj;
+  device::CmosParams cmos;
+  device::VariationSpec variation;
+  std::uint64_t seed = 5;
+};
+
+struct CircuitTraceSet {
+  LutTechnology technology = LutTechnology::kSram;
+  std::vector<std::vector<bool>> plaintexts;  ///< PI vectors (data inputs)
+  std::vector<double> power;                  ///< total keyed-cell energy [J]
+};
+
+/// Simulates the activated chip (locked netlist + correct key) and collects
+/// power traces over random primary inputs.
+CircuitTraceSet generate_circuit_traces(const netlist::Netlist& locked,
+                                        const std::vector<bool>& key,
+                                        const std::vector<KeyedLutInstance>&
+                                            luts,
+                                        const CircuitTraceOptions& options);
+
+struct CircuitDpaResult {
+  std::size_t attackable_luts = 0;
+  std::size_t recovered_masks = 0;   ///< exact 4-bit config recoveries
+  std::vector<std::uint8_t> guesses;  ///< per attackable LUT
+  std::vector<std::uint8_t> truths;
+};
+
+/// Runs per-LUT DPA on the shared trace. `key` is only used to score the
+/// guesses (the attack itself never reads it).
+CircuitDpaResult run_circuit_dpa(const netlist::Netlist& locked,
+                                 const std::vector<KeyedLutInstance>& luts,
+                                 const CircuitTraceSet& traces,
+                                 const std::vector<bool>& key);
+
+}  // namespace ril::sca

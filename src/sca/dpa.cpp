@@ -1,0 +1,100 @@
+#include "sca/dpa.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace ril::sca {
+
+namespace {
+
+bool predict(std::uint8_t mask, bool a, bool b) {
+  const std::size_t minterm = (a ? 1 : 0) + (b ? 2 : 0);
+  return (mask >> minterm) & 1;
+}
+
+ScaResult finish(std::array<double, 16> scores) {
+  ScaResult result;
+  result.scores = scores;
+  result.best_mask = 0;
+  result.best_score = -std::numeric_limits<double>::infinity();
+  double second = -std::numeric_limits<double>::infinity();
+  double lo = std::numeric_limits<double>::infinity();
+  for (std::size_t m = 0; m < 16; ++m) {
+    if (scores[m] > result.best_score) {
+      second = result.best_score;
+      result.best_score = scores[m];
+      result.best_mask = static_cast<std::uint8_t>(m);
+    } else if (scores[m] > second) {
+      second = scores[m];
+    }
+    if (std::isfinite(scores[m])) lo = std::min(lo, scores[m]);
+  }
+  const double spread = result.best_score - lo;
+  result.margin = spread > 0 ? (result.best_score - second) / spread : 0.0;
+  return result;
+}
+
+}  // namespace
+
+ScaResult run_dpa(const TraceSet& traces) {
+  std::array<double, 16> scores{};
+  for (std::size_t m = 0; m < 16; ++m) {
+    double sum0 = 0;
+    double sum1 = 0;
+    std::size_t n0 = 0;
+    std::size_t n1 = 0;
+    for (std::size_t i = 0; i < traces.power.size(); ++i) {
+      const auto [a, b] = traces.inputs[i];
+      if (predict(static_cast<std::uint8_t>(m), a, b)) {
+        sum1 += traces.power[i];
+        ++n1;
+      } else {
+        sum0 += traces.power[i];
+        ++n0;
+      }
+    }
+    if (n0 == 0 || n1 == 0) {
+      scores[m] = -std::numeric_limits<double>::infinity();
+      continue;
+    }
+    scores[m] = sum0 / n0 - sum1 / n1;  // read-0 costs more on leaky tech
+  }
+  return finish(scores);
+}
+
+ScaResult run_cpa(const TraceSet& traces) {
+  std::array<double, 16> scores{};
+  const std::size_t n = traces.power.size();
+  double p_mean = 0;
+  for (double p : traces.power) p_mean += p;
+  p_mean /= std::max<std::size_t>(1, n);
+  double p_var = 0;
+  for (double p : traces.power) p_var += (p - p_mean) * (p - p_mean);
+
+  for (std::size_t m = 0; m < 16; ++m) {
+    double h_mean = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto [a, b] = traces.inputs[i];
+      h_mean += predict(static_cast<std::uint8_t>(m), a, b) ? 0.0 : 1.0;
+    }
+    h_mean /= std::max<std::size_t>(1, n);
+    double cov = 0;
+    double h_var = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto [a, b] = traces.inputs[i];
+      const double h =
+          (predict(static_cast<std::uint8_t>(m), a, b) ? 0.0 : 1.0) - h_mean;
+      cov += h * (traces.power[i] - p_mean);
+      h_var += h * h;
+    }
+    if (h_var <= 0 || p_var <= 0) {
+      scores[m] = -std::numeric_limits<double>::infinity();
+      continue;
+    }
+    scores[m] = cov / std::sqrt(h_var * p_var);
+  }
+  return finish(scores);
+}
+
+}  // namespace ril::sca

@@ -1,0 +1,35 @@
+// Differential / correlation power analysis against a keyed LUT.
+//
+// Hypothesis space: the 16 possible 4-bit LUT configurations. For each
+// hypothesis the attacker predicts the LUT output on every (known) input
+// and tests whether measured power correlates with the prediction.
+//  * DPA: signed difference of means between predicted-0 and predicted-1
+//    partitions (read-0 is the costlier SRAM operation, so the true key
+//    yields the largest positive difference).
+//  * CPA: Pearson correlation between power and the predicted-0 indicator.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "sca/power_trace.hpp"
+
+namespace ril::sca {
+
+struct ScaResult {
+  std::uint8_t best_mask = 0;
+  double best_score = 0;
+  /// Gap between the best and second-best hypothesis scores, normalized by
+  /// the score spread; ~0 means the attack cannot distinguish keys.
+  double margin = 0;
+  std::array<double, 16> scores{};
+
+  bool recovered(std::uint8_t true_mask) const {
+    return best_mask == (true_mask & 0xF);
+  }
+};
+
+ScaResult run_dpa(const TraceSet& traces);
+ScaResult run_cpa(const TraceSet& traces);
+
+}  // namespace ril::sca

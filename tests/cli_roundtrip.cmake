@@ -1,0 +1,18 @@
+# End-to-end CLI test: gen -> lock -> unlock -> analyze -> attack.
+file(MAKE_DIRECTORY ${WORK_DIR})
+function(run)
+  execute_process(COMMAND ${ARGV} WORKING_DIRECTORY ${WORK_DIR}
+                  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "command failed (${rc}): ${ARGV}\n${out}\n${err}")
+  endif()
+  message(STATUS "${out}")
+endfunction()
+
+run(${RIL_BIN} gen c7552 host.bench --scale 0.05)
+run(${RIL_BIN} lock ril host.bench locked.bench key.txt
+    --blocks 1 --size 4 --output-net --seed 3)
+run(${RIL_BIN} unlock locked.bench key.txt activated.bench)
+run(${RIL_BIN} analyze locked.bench key.txt)
+run(${RIL_BIN} attack sat locked.bench activated.bench --timeout 30)
+run(${RIL_BIN} attack removal locked.bench activated.bench)

@@ -1,0 +1,125 @@
+#include "netlist/bench_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netlist/simulator.hpp"
+
+namespace ril::netlist {
+namespace {
+
+constexpr const char* kSample = R"(
+# c17-like sample
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G22)
+OUTPUT(G23)
+G10 = NAND(G1, G3)
+G11 = NAND(G3, G2)
+G22 = NAND(G10, G11)
+G23 = NAND(G11, G2)
+)";
+
+TEST(BenchIo, ParsesSample) {
+  const Netlist nl = read_bench_string(kSample, "c17ish");
+  EXPECT_EQ(nl.inputs().size(), 3u);
+  EXPECT_EQ(nl.outputs().size(), 2u);
+  EXPECT_EQ(nl.gate_count(), 4u);
+  EXPECT_TRUE(nl.validate().empty());
+}
+
+TEST(BenchIo, KeyInputConvention) {
+  const Netlist nl = read_bench_string(
+      "INPUT(a)\nINPUT(keyinput0)\nOUTPUT(y)\ny = XOR(a, keyinput0)\n");
+  EXPECT_EQ(nl.key_inputs().size(), 1u);
+  EXPECT_EQ(nl.data_inputs().size(), 1u);
+}
+
+TEST(BenchIo, RoundTripPreservesFunction) {
+  const Netlist original = read_bench_string(kSample);
+  const std::string text = write_bench_string(original);
+  const Netlist reparsed = read_bench_string(text);
+  ASSERT_EQ(original.inputs().size(), reparsed.inputs().size());
+  ASSERT_EQ(original.outputs().size(), reparsed.outputs().size());
+  for (unsigned pattern = 0; pattern < 8; ++pattern) {
+    std::vector<bool> in = {static_cast<bool>(pattern & 1),
+                            static_cast<bool>(pattern & 2),
+                            static_cast<bool>(pattern & 4)};
+    EXPECT_EQ(evaluate_once(original, in), evaluate_once(reparsed, in))
+        << "pattern " << pattern;
+  }
+}
+
+TEST(BenchIo, LutExtensionRoundTrip) {
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  const NodeId b = nl.add_input("b");
+  const NodeId lut = nl.add_lut({a, b}, 0b0110, "mylut");
+  nl.mark_output(lut);
+  const Netlist reparsed = read_bench_string(write_bench_string(nl));
+  const NodeId rlut = *reparsed.find("mylut");
+  EXPECT_EQ(reparsed.node(rlut).type, GateType::kLut);
+  EXPECT_EQ(reparsed.node(rlut).lut_mask, 0b0110u);
+}
+
+TEST(BenchIo, MuxExtensionRoundTrip) {
+  Netlist nl;
+  const NodeId s = nl.add_input("s");
+  const NodeId a = nl.add_input("a");
+  const NodeId b = nl.add_input("b");
+  nl.mark_output(nl.add_mux(s, a, b, "m"));
+  const Netlist reparsed = read_bench_string(write_bench_string(nl));
+  EXPECT_EQ(reparsed.node(*reparsed.find("m")).type, GateType::kMux);
+}
+
+TEST(BenchIo, DffAndConstRoundTrip) {
+  const char* text =
+      "INPUT(x)\nOUTPUT(q)\nc1 = vcc\nd = XOR(x, q)\nq = DFF(d)\n";
+  const Netlist nl = read_bench_string(text);
+  EXPECT_EQ(nl.dff_count(), 1u);
+  const Netlist reparsed = read_bench_string(write_bench_string(nl));
+  EXPECT_EQ(reparsed.dff_count(), 1u);
+  EXPECT_TRUE(reparsed.validate().empty());
+}
+
+TEST(BenchIo, OutOfOrderDefinitions) {
+  const char* text =
+      "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(t, b)\nt = OR(a, b)\n";
+  const Netlist nl = read_bench_string(text);
+  EXPECT_EQ(nl.gate_count(), 2u);
+}
+
+TEST(BenchIo, ErrorsCarryLineNumbers) {
+  try {
+    read_bench_string("INPUT(a)\nbogus line\n");
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(BenchIo, UndefinedSignalRejected) {
+  EXPECT_THROW(read_bench_string("INPUT(a)\nOUTPUT(y)\ny = AND(a, ghost)\n"),
+               std::runtime_error);
+}
+
+TEST(BenchIo, CombinationalCycleRejected) {
+  EXPECT_THROW(read_bench_string(
+                   "INPUT(a)\nOUTPUT(y)\ny = AND(a, z)\nz = OR(y, a)\n"),
+               std::runtime_error);
+}
+
+TEST(BenchIo, RedefinitionRejected) {
+  EXPECT_THROW(
+      read_bench_string("INPUT(a)\nOUTPUT(y)\ny = NOT(a)\ny = BUF(a)\n"),
+      std::runtime_error);
+}
+
+TEST(BenchIo, CaseInsensitiveOps) {
+  const Netlist nl = read_bench_string(
+      "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = nand(a, b)\n");
+  EXPECT_EQ(nl.node(*nl.find("y")).type, GateType::kNand);
+}
+
+}  // namespace
+}  // namespace ril::netlist

@@ -1,0 +1,206 @@
+#include "benchgen/arithmetic.hpp"
+#include "benchgen/random_dag.hpp"
+#include "benchgen/suite.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <random>
+
+#include "netlist/bench_io.hpp"
+#include "netlist/simulator.hpp"
+#include "netlist/stats.hpp"
+
+namespace ril::benchgen {
+namespace {
+
+using netlist::Netlist;
+
+std::vector<bool> bits_of(std::uint64_t v, std::size_t width) {
+  std::vector<bool> out(width);
+  for (std::size_t i = 0; i < width; ++i) out[i] = (v >> i) & 1;
+  return out;
+}
+
+std::uint64_t to_word(const std::vector<bool>& bits, std::size_t lo,
+                      std::size_t count) {
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    if (bits[lo + i]) v |= std::uint64_t{1} << i;
+  }
+  return v;
+}
+
+TEST(Arithmetic, RippleAdderCorrect) {
+  const std::size_t w = 10;
+  const Netlist nl = make_ripple_adder(w);
+  std::mt19937_64 rng(1);
+  for (int t = 0; t < 100; ++t) {
+    const std::uint64_t a = rng() & ((1u << w) - 1);
+    const std::uint64_t b = rng() & ((1u << w) - 1);
+    const bool cin = rng() & 1;
+    std::vector<bool> in;
+    auto av = bits_of(a, w);
+    auto bv = bits_of(b, w);
+    in.insert(in.end(), av.begin(), av.end());
+    in.insert(in.end(), bv.begin(), bv.end());
+    in.push_back(cin);
+    const auto out = netlist::evaluate_once(nl, in);
+    const std::uint64_t expect = a + b + cin;
+    EXPECT_EQ(to_word(out, 0, w), expect & ((1u << w) - 1));
+    EXPECT_EQ(out[w], ((expect >> w) & 1) != 0);
+  }
+}
+
+TEST(Arithmetic, ClaMatchesRipple) {
+  // Exhaustive at small width.
+  const Netlist rca = make_ripple_adder(5);
+  const Netlist cla = make_cla_adder(5);
+  for (unsigned a = 0; a < 32; ++a) {
+    for (unsigned b = 0; b < 32; b += 3) {
+      for (int cin = 0; cin < 2; ++cin) {
+        std::vector<bool> in;
+        auto av = bits_of(a, 5);
+        auto bv = bits_of(b, 5);
+        in.insert(in.end(), av.begin(), av.end());
+        in.insert(in.end(), bv.begin(), bv.end());
+        in.push_back(cin);
+        EXPECT_EQ(netlist::evaluate_once(rca, in),
+                  netlist::evaluate_once(cla, in));
+      }
+    }
+  }
+}
+
+TEST(Arithmetic, MultiplierCorrect) {
+  const std::size_t w = 6;
+  const Netlist nl = make_array_multiplier(w);
+  std::mt19937_64 rng(2);
+  for (int t = 0; t < 60; ++t) {
+    const std::uint64_t a = rng() & ((1u << w) - 1);
+    const std::uint64_t b = rng() & ((1u << w) - 1);
+    std::vector<bool> in;
+    auto av = bits_of(a, w);
+    auto bv = bits_of(b, w);
+    in.insert(in.end(), av.begin(), av.end());
+    in.insert(in.end(), bv.begin(), bv.end());
+    const auto out = netlist::evaluate_once(nl, in);
+    EXPECT_EQ(to_word(out, 0, 2 * w), a * b);
+  }
+}
+
+TEST(Arithmetic, AluOps) {
+  const std::size_t w = 8;
+  const Netlist nl = make_alu(w);
+  std::mt19937_64 rng(3);
+  for (int t = 0; t < 40; ++t) {
+    const std::uint64_t a = rng() & 0xFF;
+    const std::uint64_t b = rng() & 0xFF;
+    for (unsigned op = 0; op < 4; ++op) {
+      std::vector<bool> in;
+      auto av = bits_of(a, w);
+      auto bv = bits_of(b, w);
+      in.insert(in.end(), av.begin(), av.end());
+      in.insert(in.end(), bv.begin(), bv.end());
+      in.push_back(op & 1);
+      in.push_back((op >> 1) & 1);
+      const auto out = netlist::evaluate_once(nl, in);
+      std::uint64_t expect = 0;
+      switch (op) {
+        case 0: expect = (a + b) & 0xFF; break;
+        case 1: expect = a & b; break;
+        case 2: expect = a | b; break;
+        case 3: expect = a ^ b; break;
+      }
+      EXPECT_EQ(to_word(out, 0, w), expect) << "op " << op;
+    }
+  }
+}
+
+TEST(Arithmetic, Comparator) {
+  const Netlist nl = make_comparator(6);
+  std::mt19937_64 rng(4);
+  for (int t = 0; t < 80; ++t) {
+    const std::uint64_t a = rng() & 0x3F;
+    const std::uint64_t b = rng() & 0x3F;
+    std::vector<bool> in;
+    auto av = bits_of(a, 6);
+    auto bv = bits_of(b, 6);
+    in.insert(in.end(), av.begin(), av.end());
+    in.insert(in.end(), bv.begin(), bv.end());
+    const auto out = netlist::evaluate_once(nl, in);
+    EXPECT_EQ(out[0], a < b);
+    EXPECT_EQ(out[1], a == b);
+    EXPECT_EQ(out[2], a > b);
+  }
+}
+
+TEST(Arithmetic, ParityTree) {
+  const Netlist nl = make_parity_tree(9);
+  std::mt19937_64 rng(5);
+  for (int t = 0; t < 50; ++t) {
+    const std::uint64_t x = rng() & 0x1FF;
+    const auto out = netlist::evaluate_once(nl, bits_of(x, 9));
+    EXPECT_EQ(out[0], (std::popcount(x) & 1) != 0);
+  }
+}
+
+TEST(RandomDag, Reproducible) {
+  RandomDagParams params;
+  params.seed = 99;
+  const Netlist a = generate_random_dag(params);
+  const Netlist b = generate_random_dag(params);
+  EXPECT_EQ(netlist::write_bench_string(a), netlist::write_bench_string(b));
+}
+
+TEST(RandomDag, MeetsProfile) {
+  RandomDagParams params;
+  params.num_inputs = 40;
+  params.num_outputs = 20;
+  params.num_gates = 800;
+  params.seed = 3;
+  const Netlist nl = generate_random_dag(params);
+  EXPECT_EQ(nl.inputs().size(), 40u);
+  EXPECT_EQ(nl.outputs().size(), 20u);
+  EXPECT_GE(nl.gate_count(), 800u);
+  EXPECT_TRUE(nl.validate().empty());
+  EXPECT_GT(nl.depth(), 5u);
+}
+
+TEST(RandomDag, AllInputsUsed) {
+  RandomDagParams params;
+  params.num_inputs = 33;
+  params.num_gates = 200;
+  params.num_outputs = 10;
+  params.seed = 8;
+  const Netlist nl = generate_random_dag(params);
+  const auto fanouts = nl.fanouts();
+  for (netlist::NodeId id : nl.inputs()) {
+    EXPECT_FALSE(fanouts[id].empty())
+        << "input " << nl.node(id).name << " unused";
+  }
+}
+
+TEST(Suite, AllEntriesBuild) {
+  for (const auto& entry : suite_entries()) {
+    const Netlist nl = make_benchmark(entry.name, /*scale=*/0.05);
+    EXPECT_TRUE(nl.validate().empty()) << entry.name;
+    EXPECT_GT(nl.gate_count(), 0u) << entry.name;
+    EXPECT_FALSE(nl.outputs().empty()) << entry.name;
+  }
+}
+
+TEST(Suite, C7552ProfileAtFullScale) {
+  const Netlist nl = make_benchmark("c7552", 1.0);
+  EXPECT_EQ(nl.inputs().size(), 207u);
+  EXPECT_EQ(nl.outputs().size(), 108u);
+  EXPECT_GE(nl.gate_count(), 3512u);
+}
+
+TEST(Suite, UnknownNameThrows) {
+  EXPECT_THROW(make_benchmark("c17"), std::invalid_argument);
+  EXPECT_THROW(make_benchmark("c7552", 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ril::benchgen

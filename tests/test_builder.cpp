@@ -1,0 +1,156 @@
+#include "netlist/builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "netlist/simulator.hpp"
+
+namespace ril::netlist {
+namespace {
+
+/// Evaluates a builder-produced netlist on integer word inputs.
+/// word_values maps input stem -> value (little-endian bits "<stem>_<i>").
+std::vector<bool> eval_words(
+    const Netlist& nl,
+    const std::vector<std::pair<std::string, std::uint64_t>>& word_values,
+    const std::vector<std::pair<std::string, bool>>& bit_values = {}) {
+  std::vector<bool> in(nl.inputs().size(), false);
+  for (std::size_t i = 0; i < nl.inputs().size(); ++i) {
+    const std::string& name = nl.node(nl.inputs()[i]).name;
+    for (const auto& [stem, value] : word_values) {
+      if (name.rfind(stem + "_", 0) == 0) {
+        const std::size_t bit = std::stoul(name.substr(stem.size() + 1));
+        in[i] = (value >> bit) & 1;
+      }
+    }
+    for (const auto& [bname, bvalue] : bit_values) {
+      if (name == bname) in[i] = bvalue;
+    }
+  }
+  return evaluate_once(nl, in);
+}
+
+std::uint64_t word_of(const Netlist& nl, const std::vector<bool>& outs,
+                      const std::string& stem) {
+  std::uint64_t value = 0;
+  for (std::size_t i = 0; i < nl.outputs().size(); ++i) {
+    const std::string& name = nl.node(nl.outputs()[i]).name;
+    if (name.rfind(stem + "_", 0) == 0) {
+      const std::size_t bit = std::stoul(name.substr(stem.size() + 1));
+      if (outs[i]) value |= std::uint64_t{1} << bit;
+    }
+  }
+  return value;
+}
+
+TEST(Builder, AddWord) {
+  Builder b("add");
+  const auto x = b.input_word("x", 16);
+  const auto y = b.input_word("y", 16);
+  b.output_word(b.add_w(x, y), "s");
+  const Netlist nl = b.take();
+  std::mt19937_64 rng(3);
+  for (int t = 0; t < 50; ++t) {
+    const std::uint64_t xv = rng() & 0xFFFF;
+    const std::uint64_t yv = rng() & 0xFFFF;
+    const auto outs = eval_words(nl, {{"x", xv}, {"y", yv}});
+    EXPECT_EQ(word_of(nl, outs, "s"), (xv + yv) & 0xFFFF);
+  }
+}
+
+TEST(Builder, RotateAndShift) {
+  Builder b("rot");
+  const auto x = b.input_word("x", 32);
+  b.output_word(b.rotr_w(x, 7), "r");
+  b.output_word(b.rotl_w(x, 5), "l");
+  b.output_word(b.shr_w(x, 9), "s");
+  const Netlist nl = b.take();
+  std::mt19937_64 rng(4);
+  for (int t = 0; t < 20; ++t) {
+    const std::uint32_t xv = static_cast<std::uint32_t>(rng());
+    const auto outs = eval_words(nl, {{"x", xv}});
+    EXPECT_EQ(word_of(nl, outs, "r"), ((xv >> 7) | (xv << 25)) & 0xFFFFFFFFull);
+    EXPECT_EQ(word_of(nl, outs, "l"), ((xv << 5) | (xv >> 27)) & 0xFFFFFFFFull);
+    EXPECT_EQ(word_of(nl, outs, "s"), static_cast<std::uint64_t>(xv >> 9));
+  }
+}
+
+TEST(Builder, BitwiseOps) {
+  Builder b("bw");
+  const auto x = b.input_word("x", 8);
+  const auto y = b.input_word("y", 8);
+  b.output_word(b.and_w(x, y), "a");
+  b.output_word(b.or_w(x, y), "o");
+  b.output_word(b.xor_w(x, y), "e");
+  b.output_word(b.not_w(x), "n");
+  const Netlist nl = b.take();
+  const auto outs = eval_words(nl, {{"x", 0xA5}, {"y", 0x3C}});
+  EXPECT_EQ(word_of(nl, outs, "a"), 0xA5u & 0x3Cu);
+  EXPECT_EQ(word_of(nl, outs, "o"), 0xA5u | 0x3Cu);
+  EXPECT_EQ(word_of(nl, outs, "e"), 0xA5u ^ 0x3Cu);
+  EXPECT_EQ(word_of(nl, outs, "n"), (~0xA5u) & 0xFFu);
+}
+
+TEST(Builder, MuxWord) {
+  Builder b("mx");
+  const auto s = b.input("s");
+  const auto x = b.input_word("x", 8);
+  const auto y = b.input_word("y", 8);
+  b.output_word(b.mux_w(s, x, y), "m");
+  const Netlist nl = b.take();
+  auto outs = eval_words(nl, {{"x", 0x12}, {"y", 0x34}}, {{"s", false}});
+  EXPECT_EQ(word_of(nl, outs, "m"), 0x12u);
+  outs = eval_words(nl, {{"x", 0x12}, {"y", 0x34}}, {{"s", true}});
+  EXPECT_EQ(word_of(nl, outs, "m"), 0x34u);
+}
+
+TEST(Builder, ConstantWord) {
+  Builder b("cw");
+  b.output_word(b.constant(12, 0xABC), "c");
+  const Netlist nl = b.take();
+  const auto outs = eval_words(nl, {});
+  EXPECT_EQ(word_of(nl, outs, "c"), 0xABCu);
+}
+
+TEST(Builder, TruthTableArbitraryFunction) {
+  std::mt19937_64 rng(5);
+  for (int arity = 1; arity <= 6; ++arity) {
+    Builder b("tt");
+    std::vector<Builder::Bit> ins;
+    for (int i = 0; i < arity; ++i) {
+      ins.push_back(b.input("x_" + std::to_string(i)));
+    }
+    std::vector<bool> table(1u << arity);
+    for (auto&& v : table) v = rng() & 1;
+    b.output(b.truth_table(ins, table), "y_0");
+    const Netlist nl = b.take();
+    for (std::size_t row = 0; row < table.size(); ++row) {
+      const auto outs = eval_words(nl, {{"x", row}});
+      EXPECT_EQ(outs[0], table[row]) << "arity " << arity << " row " << row;
+    }
+  }
+}
+
+TEST(Builder, TruthTableConstantFolds) {
+  Builder b("ttc");
+  std::vector<Builder::Bit> ins = {b.input("x_0"), b.input("x_1")};
+  const auto y = b.truth_table(ins, {true, true, true, true});
+  b.output(y, "y_0");
+  const Netlist nl = b.take();
+  EXPECT_EQ(eval_words(nl, {{"x", 0}})[0], true);
+  EXPECT_EQ(eval_words(nl, {{"x", 3}})[0], true);
+  // Constant table should not synthesize a MUX tree.
+  EXPECT_LE(nl.gate_count(), 2u);
+}
+
+TEST(Builder, WidthMismatchThrows) {
+  Builder b("err");
+  const auto x = b.input_word("x", 4);
+  const auto y = b.input_word("y", 5);
+  EXPECT_THROW(b.add_w(x, y), std::invalid_argument);
+  EXPECT_THROW(b.xor_w(x, y), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ril::netlist

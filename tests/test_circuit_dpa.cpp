@@ -1,0 +1,117 @@
+#include "sca/circuit_dpa.hpp"
+
+#include <gtest/gtest.h>
+
+#include "benchgen/random_dag.hpp"
+#include "locking/schemes.hpp"
+
+namespace ril::sca {
+namespace {
+
+using netlist::Netlist;
+
+Netlist host_circuit(std::uint64_t seed = 1) {
+  benchgen::RandomDagParams params;
+  params.num_inputs = 16;
+  params.num_outputs = 8;
+  params.num_gates = 180;
+  params.seed = seed;
+  return benchgen::generate_random_dag(params);
+}
+
+CircuitTraceOptions quiet_options(LutTechnology tech, std::size_t traces) {
+  CircuitTraceOptions options;
+  options.technology = tech;
+  options.traces = traces;
+  options.variation.mtj_dim_sigma = 0;
+  options.variation.vth_sigma = 0;
+  options.variation.wl_sigma = 0;
+  return options;
+}
+
+TEST(CircuitDpa, FindsLutLockInstances) {
+  const Netlist host = host_circuit(1);
+  const auto locked = locking::lock_lut(host, 6, 91);
+  const auto luts = find_keyed_luts(locked.netlist);
+  EXPECT_EQ(luts.size(), 6u);
+  for (const auto& lut : luts) {
+    EXPECT_NE(lut.input_a, netlist::kNoNode);
+    EXPECT_NE(lut.input_b, netlist::kNoNode);
+  }
+  // At least some first-layer LUTs have key-free input cones.
+  std::size_t attackable = 0;
+  for (const auto& lut : luts) attackable += lut.attackable;
+  EXPECT_GT(attackable, 0u);
+}
+
+TEST(CircuitDpa, FindsRilLutLayer) {
+  const Netlist host = host_circuit(2);
+  core::RilBlockConfig config;
+  config.size = 8;
+  const auto ril = locking::lock_ril(host, 1, config, 92);
+  const auto luts = find_keyed_luts(ril.locked.netlist);
+  EXPECT_EQ(luts.size(), 8u);
+  // RIL LUT inputs come through the keyed banyan: key-tainted, hence not
+  // directly attackable by input-prediction DPA.
+  for (const auto& lut : luts) {
+    EXPECT_FALSE(lut.attackable);
+  }
+}
+
+TEST(CircuitDpa, NoLutsInPlainCircuits) {
+  const Netlist host = host_circuit(3);
+  EXPECT_TRUE(find_keyed_luts(host).empty());
+  const auto xor_lock = locking::lock_xor(host, 8, 93);
+  EXPECT_TRUE(find_keyed_luts(xor_lock.netlist).empty());
+}
+
+TEST(CircuitDpa, RecoversSramConfigsFromGlobalTrace) {
+  const Netlist host = host_circuit(4);
+  const auto locked = locking::lock_lut(host, 6, 94);
+  const auto luts = find_keyed_luts(locked.netlist);
+  const auto traces = generate_circuit_traces(
+      locked.netlist, locked.key, luts,
+      quiet_options(LutTechnology::kSram, 6000));
+  const auto result =
+      run_circuit_dpa(locked.netlist, luts, traces, locked.key);
+  ASSERT_GT(result.attackable_luts, 0u);
+  // The global trace sums all LUTs, so each target sees algorithmic noise
+  // from the others; most configs must still fall.
+  EXPECT_GE(result.recovered_masks * 2, result.attackable_luts);
+}
+
+TEST(CircuitDpa, MramKeepsConfigsSafe) {
+  const Netlist host = host_circuit(4);
+  const auto locked = locking::lock_lut(host, 6, 94);
+  const auto luts = find_keyed_luts(locked.netlist);
+  const auto traces = generate_circuit_traces(
+      locked.netlist, locked.key, luts,
+      quiet_options(LutTechnology::kMram, 6000));
+  const auto result =
+      run_circuit_dpa(locked.netlist, luts, traces, locked.key);
+  ASSERT_GT(result.attackable_luts, 0u);
+  // Chance-level recovery at best.
+  EXPECT_LT(result.recovered_masks * 2, result.attackable_luts + 2);
+}
+
+TEST(CircuitDpa, TraceShapesAndKeyScoring) {
+  const Netlist host = host_circuit(5);
+  const auto locked = locking::lock_lut(host, 4, 95);
+  const auto luts = find_keyed_luts(locked.netlist);
+  const auto traces = generate_circuit_traces(
+      locked.netlist, locked.key, luts,
+      quiet_options(LutTechnology::kSram, 128));
+  EXPECT_EQ(traces.power.size(), 128u);
+  EXPECT_EQ(traces.plaintexts.size(), 128u);
+  const auto result =
+      run_circuit_dpa(locked.netlist, luts, traces, locked.key);
+  EXPECT_EQ(result.guesses.size(), result.attackable_luts);
+  EXPECT_EQ(result.truths.size(), result.attackable_luts);
+  EXPECT_THROW(
+      generate_circuit_traces(locked.netlist, {}, luts,
+                              quiet_options(LutTechnology::kSram, 8)),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ril::sca

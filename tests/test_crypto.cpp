@@ -1,0 +1,155 @@
+#include "benchgen/crypto.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "netlist/netlist.hpp"
+#include "netlist/simulator.hpp"
+
+namespace ril::benchgen {
+namespace {
+
+using netlist::Netlist;
+using netlist::NodeId;
+using netlist::Simulator;
+
+/// Sets named word inputs ("stem_<i>") on a simulator (single pattern).
+void set_word(Simulator& sim, const Netlist& nl, const std::string& stem,
+              std::uint64_t value, std::size_t width) {
+  for (std::size_t i = 0; i < width; ++i) {
+    const auto id = nl.find(stem + "_" + std::to_string(i));
+    ASSERT_TRUE(id.has_value()) << stem << "_" << i;
+    sim.set_input_all(*id, (value >> i) & 1);
+  }
+}
+
+std::uint64_t get_word(const Simulator& sim, const Netlist& nl,
+                       const std::string& stem, std::size_t width) {
+  std::uint64_t value = 0;
+  for (std::size_t i = 0; i < width; ++i) {
+    const auto id = nl.find(stem + "_" + std::to_string(i));
+    if (!id) return ~0ull;
+    if (sim.value(*id) & 1) value |= std::uint64_t{1} << i;
+  }
+  return value;
+}
+
+TEST(Crypto, AesRoundMatchesReference) {
+  const Netlist nl = make_aes_round();
+  EXPECT_TRUE(nl.validate().empty());
+  std::mt19937_64 rng(7);
+  Simulator sim(nl);
+  for (int t = 0; t < 4; ++t) {
+    std::array<std::uint8_t, 16> state{};
+    std::array<std::uint8_t, 16> key{};
+    for (auto& v : state) v = static_cast<std::uint8_t>(rng());
+    for (auto& v : key) v = static_cast<std::uint8_t>(rng());
+    for (std::size_t j = 0; j < 16; ++j) {
+      set_word(sim, nl, "st" + std::to_string(j), state[j], 8);
+      set_word(sim, nl, "rk" + std::to_string(j), key[j], 8);
+    }
+    sim.evaluate();
+    const auto expect = aes_round_reference(state, key);
+    for (std::size_t j = 0; j < 16; ++j) {
+      EXPECT_EQ(get_word(sim, nl, "out" + std::to_string(j), 8), expect[j])
+          << "byte " << j;
+    }
+  }
+}
+
+TEST(Crypto, AesSboxSpotChecks) {
+  EXPECT_EQ(aes_sbox()[0x00], 0x63);
+  EXPECT_EQ(aes_sbox()[0x53], 0xed);
+  EXPECT_EQ(aes_sbox()[0xff], 0x16);
+}
+
+TEST(Crypto, Sha256RoundsMatchReference) {
+  const std::size_t rounds = 4;
+  const Netlist nl = make_sha256_rounds(rounds);
+  std::mt19937_64 rng(8);
+  Simulator sim(nl);
+  for (int t = 0; t < 4; ++t) {
+    std::array<std::uint32_t, 8> state{};
+    std::array<std::uint32_t, 16> w{};
+    for (auto& v : state) v = static_cast<std::uint32_t>(rng());
+    for (auto& v : w) v = static_cast<std::uint32_t>(rng());
+    const char* names[8] = {"h0", "h1", "h2", "h3", "h4", "h5", "h6", "h7"};
+    for (std::size_t i = 0; i < 8; ++i) {
+      set_word(sim, nl, names[i], state[i], 32);
+    }
+    for (std::size_t i = 0; i < rounds; ++i) {
+      set_word(sim, nl, "w" + std::to_string(i), w[i], 32);
+    }
+    sim.evaluate();
+    const auto expect = sha256_rounds_reference(state, w.data(), rounds);
+    const char* outs[8] = {"a", "b", "c", "d", "e", "f", "g", "h"};
+    for (std::size_t i = 0; i < 8; ++i) {
+      EXPECT_EQ(get_word(sim, nl, outs[i], 32), expect[i]) << outs[i];
+    }
+  }
+}
+
+TEST(Crypto, Md5StepsMatchReference) {
+  const std::size_t steps = 5;
+  const Netlist nl = make_md5_steps(steps);
+  std::mt19937_64 rng(9);
+  Simulator sim(nl);
+  for (int t = 0; t < 4; ++t) {
+    std::array<std::uint32_t, 4> state{};
+    std::array<std::uint32_t, 16> m{};
+    for (auto& v : state) v = static_cast<std::uint32_t>(rng());
+    for (auto& v : m) v = static_cast<std::uint32_t>(rng());
+    set_word(sim, nl, "a", state[0], 32);
+    set_word(sim, nl, "b", state[1], 32);
+    set_word(sim, nl, "c", state[2], 32);
+    set_word(sim, nl, "d", state[3], 32);
+    for (std::size_t i = 0; i < steps; ++i) {
+      set_word(sim, nl, "m" + std::to_string(i), m[i], 32);
+    }
+    sim.evaluate();
+    const auto expect = md5_steps_reference(state, m.data(), steps);
+    EXPECT_EQ(get_word(sim, nl, "out_a", 32), expect[0]);
+    EXPECT_EQ(get_word(sim, nl, "out_b", 32), expect[1]);
+    EXPECT_EQ(get_word(sim, nl, "out_c", 32), expect[2]);
+    EXPECT_EQ(get_word(sim, nl, "out_d", 32), expect[3]);
+  }
+}
+
+TEST(Crypto, GpsCaMatchesReference) {
+  const std::size_t chips = 64;
+  const Netlist nl = make_gps_ca(chips);
+  Simulator sim(nl);
+  // All-ones initial states, the standard C/A bootstrap.
+  set_word(sim, nl, "g1", 0x3FF, 10);
+  set_word(sim, nl, "g2", 0x3FF, 10);
+  sim.evaluate();
+  const auto expect = gps_ca_reference(0x3FF, 0x3FF, chips);
+  for (std::size_t t = 0; t < chips; ++t) {
+    const auto id = nl.find("chip_" + std::to_string(t));
+    ASSERT_TRUE(id.has_value());
+    EXPECT_EQ(static_cast<bool>(sim.value(*id) & 1), expect[t])
+        << "chip " << t;
+  }
+}
+
+TEST(Crypto, GpsCaKnownPrefix) {
+  // PRN-1 C/A code famously starts 1100100000 (octal 1440 in the first 10
+  // chips) with all-ones initialization.
+  const auto chips = gps_ca_reference(0x3FF, 0x3FF, 10);
+  const bool expected[10] = {true, true, false, false, true,
+                             false, false, false, false, false};
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(chips[i], expected[i]) << "chip " << i;
+  }
+}
+
+TEST(Crypto, ParameterValidation) {
+  EXPECT_THROW(make_sha256_rounds(0), std::invalid_argument);
+  EXPECT_THROW(make_sha256_rounds(17), std::invalid_argument);
+  EXPECT_THROW(make_md5_steps(0), std::invalid_argument);
+  EXPECT_THROW(make_gps_ca(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ril::benchgen

@@ -1,0 +1,191 @@
+#include "device/mram_lut.hpp"
+
+#include <gtest/gtest.h>
+
+#include "device/mtj.hpp"
+#include "device/sram_lut.hpp"
+
+namespace ril::device {
+namespace {
+
+MramLut2 nominal_lut(std::mt19937_64& rng) {
+  MtjParams mtj;
+  CmosParams cmos;
+  VariationSpec no_var;
+  no_var.mtj_dim_sigma = 0;
+  no_var.vth_sigma = 0;
+  no_var.wl_sigma = 0;
+  CmosParams quiet = cmos;
+  quiet.sense_offset_sigma = 0;
+  return MramLut2(mtj, quiet, no_var, rng);
+}
+
+TEST(Mtj, ResistanceStates) {
+  MtjParams params;
+  ProcessVariation nominal;
+  Mtj mtj(params, nominal, /*initially_ap=*/false);
+  EXPECT_DOUBLE_EQ(mtj.resistance(), params.r_p);
+  mtj.force_state(true);
+  EXPECT_DOUBLE_EQ(mtj.resistance(), params.r_p * (1.0 + params.tmr));
+}
+
+TEST(Mtj, SwitchingRequiresCriticalCurrent) {
+  MtjParams params;
+  ProcessVariation nominal;
+  Mtj mtj(params, nominal, /*initially_ap=*/false);
+  // Sub-critical pulse: no switch.
+  EXPECT_FALSE(mtj.apply_pulse(params.i_c * 0.5, 10e-9));
+  EXPECT_FALSE(mtj.is_ap());
+  // Super-critical pulse long enough: switches to AP.
+  EXPECT_TRUE(mtj.apply_pulse(params.i_c * 1.5, 10e-9));
+  EXPECT_TRUE(mtj.is_ap());
+  // Back to P (easy direction).
+  EXPECT_TRUE(mtj.apply_pulse(-params.i_c * 1.2, 10e-9));
+  EXPECT_FALSE(mtj.is_ap());
+}
+
+TEST(Mtj, ShortPulseDoesNotSwitch) {
+  MtjParams params;
+  ProcessVariation nominal;
+  Mtj mtj(params, nominal, /*initially_ap=*/false);
+  // Just above critical but far shorter than the switching time.
+  EXPECT_FALSE(mtj.apply_pulse(params.i_c * 1.25, 0.1e-9));
+  EXPECT_FALSE(mtj.is_ap());
+}
+
+TEST(Mtj, HardDirectionNeedsMoreCurrent) {
+  MtjParams params;
+  ProcessVariation nominal;
+  Mtj mtj(params, nominal, false);
+  EXPECT_GT(mtj.critical_current(/*to_ap=*/true),
+            mtj.critical_current(/*to_ap=*/false));
+}
+
+TEST(MramLut, ProgramsAll16Functions) {
+  std::mt19937_64 rng(1);
+  for (unsigned mask = 0; mask < 16; ++mask) {
+    MramLut2 lut = nominal_lut(rng);
+    lut.configure(static_cast<std::uint8_t>(mask));
+    EXPECT_EQ(lut.stored_mask(), mask);
+    for (unsigned m = 0; m < 4; ++m) {
+      const ReadSample r = lut.read_cell(m & 1, (m >> 1) & 1);
+      EXPECT_FALSE(r.error);
+      EXPECT_EQ(r.value, ((mask >> m) & 1) != 0) << "mask " << mask;
+    }
+  }
+}
+
+TEST(MramLut, ScanEnableInvertsWhenSeSet) {
+  std::mt19937_64 rng(2);
+  MramLut2 lut = nominal_lut(rng);
+  lut.configure(0b1000);  // AND
+  lut.write_se(true);
+  EXPECT_TRUE(lut.stored_se());
+  // SE=0: normal AND.
+  EXPECT_FALSE(lut.read_output(true, false, false).value);
+  EXPECT_TRUE(lut.read_output(true, true, false).value);
+  // SE=1 with MTJ_SE=1: inverted (NAND behaviour at the pin).
+  EXPECT_TRUE(lut.read_output(true, false, true).value);
+  EXPECT_FALSE(lut.read_output(true, true, true).value);
+  // MTJ_SE=0: scan mode passes through.
+  lut.write_se(false);
+  EXPECT_TRUE(lut.read_output(true, true, true).value);
+}
+
+TEST(MramLut, ReadEnergyCalibratedToTableIV) {
+  std::mt19937_64 rng(3);
+  MramLut2 lut = nominal_lut(rng);
+  lut.configure(0b1000);
+  const ReadSample r0 = lut.read_cell(false, false);  // stored 0
+  const ReadSample r1 = lut.read_cell(true, true);    // stored 1
+  // Table IV: read "0" = 12.47 fJ, read "1" = 12.50 fJ (within 1%).
+  EXPECT_NEAR(r0.energy, 12.47e-15, 0.13e-15);
+  EXPECT_NEAR(r1.energy, 12.50e-15, 0.13e-15);
+  // Near-symmetric: gap below 0.5%.
+  EXPECT_LT(std::abs(r1.energy - r0.energy) / r0.energy, 0.005);
+}
+
+TEST(MramLut, ReadPowerSymmetric) {
+  // The P-SCA property: divider current identical for stored 0 and 1.
+  std::mt19937_64 rng(4);
+  MramLut2 lut = nominal_lut(rng);
+  lut.configure(0b0110);
+  const ReadSample r0 = lut.read_cell(false, false);
+  const ReadSample r1 = lut.read_cell(true, false);
+  EXPECT_NEAR(r0.power, r1.power, 1e-9);
+  EXPECT_NEAR(r0.current, r1.current, 1e-9);
+}
+
+TEST(MramLut, WriteEnergyCalibratedToTableIV) {
+  std::mt19937_64 rng(5);
+  MramLut2 lut = nominal_lut(rng);
+  const WriteSample w0 = lut.write_cell(0, false);
+  const WriteSample w1 = lut.write_cell(1, true);
+  ASSERT_TRUE(w0.success);
+  ASSERT_TRUE(w1.success);
+  // Table IV: write "0" = 34.45 fJ, write "1" = 34.94 fJ (within ~2%).
+  EXPECT_NEAR(w0.energy, 34.45e-15, 0.8e-15);
+  EXPECT_NEAR(w1.energy, 34.94e-15, 0.8e-15);
+  EXPECT_GT(w1.energy, w0.energy);
+}
+
+TEST(MramLut, StandbyEnergyCalibratedToTableIV) {
+  std::mt19937_64 rng(6);
+  MramLut2 lut = nominal_lut(rng);
+  // Table IV: 36.90 aJ per 1 ns standby window.
+  EXPECT_NEAR(lut.standby_energy(1e-9), 36.90e-18, 0.5e-18);
+}
+
+TEST(MramLut, NoReadDisturbAtNominal) {
+  std::mt19937_64 rng(7);
+  MramLut2 lut = nominal_lut(rng);
+  lut.configure(0b1001);
+  for (int rep = 0; rep < 100; ++rep) {
+    for (unsigned m = 0; m < 4; ++m) {
+      const ReadSample r = lut.read_cell(m & 1, (m >> 1) & 1);
+      EXPECT_FALSE(r.disturbed);
+      EXPECT_FALSE(r.error);
+    }
+  }
+  EXPECT_EQ(lut.stored_mask(), 0b1001);
+}
+
+TEST(MramLut, WideReadMargin) {
+  std::mt19937_64 rng(8);
+  MramLut2 lut = nominal_lut(rng);
+  lut.configure(0b1110);
+  for (unsigned m = 0; m < 4; ++m) {
+    const ReadSample r = lut.read_cell(m & 1, (m >> 1) & 1);
+    // Complementary sensing: margin (46 mV nominal) dwarfs the 8 mV
+    // comparator-offset sigma.
+    EXPECT_GT(r.margin, 0.04);
+  }
+}
+
+TEST(SramLut, AsymmetricReadEnergy) {
+  std::mt19937_64 rng(9);
+  CmosParams cmos;
+  VariationSpec no_var;
+  no_var.vth_sigma = 0;
+  SramLut2 lut(cmos, no_var, rng);
+  lut.configure(0b1000);
+  const auto r0 = lut.read_output(false, false);  // reads a stored 0
+  const auto r1 = lut.read_output(true, true);    // reads a stored 1
+  EXPECT_FALSE(r0.value);
+  EXPECT_TRUE(r1.value);
+  // The exploitable leak: >25% energy gap by data value.
+  EXPECT_GT((r0.energy - r1.energy) / r1.energy, 0.25);
+}
+
+TEST(SramLut, StandbyFarAboveMram) {
+  std::mt19937_64 rng(10);
+  CmosParams cmos;
+  VariationSpec no_var;
+  SramLut2 sram(cmos, no_var, rng);
+  MramLut2 mram = nominal_lut(rng);
+  // Non-volatile MRAM cells: orders of magnitude lower standby power.
+  EXPECT_GT(sram.standby_power() / mram.standby_power(), 10.0);
+}
+
+}  // namespace
+}  // namespace ril::device

@@ -1,0 +1,104 @@
+#include "cnf/equivalence.hpp"
+
+#include <gtest/gtest.h>
+
+#include "benchgen/arithmetic.hpp"
+#include "locking/schemes.hpp"
+#include "netlist/simulator.hpp"
+
+namespace ril::cnf {
+namespace {
+
+using netlist::GateType;
+using netlist::Netlist;
+using netlist::NodeId;
+
+TEST(Equivalence, IdenticalCircuits) {
+  const Netlist a = benchgen::make_ripple_adder(8);
+  const Netlist b = benchgen::make_ripple_adder(8);
+  const auto result = check_equivalence(a, b);
+  EXPECT_TRUE(result.equivalent());
+}
+
+TEST(Equivalence, RippleVsLookahead) {
+  const Netlist a = benchgen::make_ripple_adder(12);
+  const Netlist b = benchgen::make_cla_adder(12);
+  EXPECT_TRUE(check_equivalence(a, b).equivalent());
+}
+
+TEST(Equivalence, DeMorgan) {
+  Netlist a("demorgan_lhs");
+  {
+    const NodeId x = a.add_input("x");
+    const NodeId y = a.add_input("y");
+    a.mark_output(a.add_gate(GateType::kNand, {x, y}));
+  }
+  Netlist b("demorgan_rhs");
+  {
+    const NodeId x = b.add_input("x");
+    const NodeId y = b.add_input("y");
+    const NodeId nx = b.add_gate(GateType::kNot, {x});
+    const NodeId ny = b.add_gate(GateType::kNot, {y});
+    b.mark_output(b.add_gate(GateType::kOr, {nx, ny}));
+  }
+  EXPECT_TRUE(check_equivalence(a, b).equivalent());
+}
+
+TEST(Equivalence, CounterexampleIsReal) {
+  Netlist a("and2");
+  {
+    const NodeId x = a.add_input("x");
+    const NodeId y = a.add_input("y");
+    a.mark_output(a.add_gate(GateType::kAnd, {x, y}));
+  }
+  Netlist b("or2");
+  {
+    const NodeId x = b.add_input("x");
+    const NodeId y = b.add_input("y");
+    b.mark_output(b.add_gate(GateType::kOr, {x, y}));
+  }
+  const auto result = check_equivalence(a, b);
+  ASSERT_EQ(result.status, sat::Result::kSat);
+  ASSERT_EQ(result.counterexample.size(), 2u);
+  const auto ya = netlist::evaluate_once(a, result.counterexample);
+  const auto yb = netlist::evaluate_once(b, result.counterexample);
+  EXPECT_NE(ya, yb);
+}
+
+TEST(Equivalence, LockedWithCorrectKey) {
+  const Netlist host = benchgen::make_ripple_adder(8);
+  const auto locked = locking::lock_xor(host, 12, 42);
+  const auto result =
+      check_equivalence(locked.netlist, host, locked.key, {});
+  EXPECT_TRUE(result.equivalent());
+}
+
+TEST(Equivalence, LockedWithWrongKey) {
+  const Netlist host = benchgen::make_ripple_adder(8);
+  auto locked = locking::lock_xor(host, 12, 42);
+  auto wrong = locked.key;
+  wrong[0] = !wrong[0];
+  const auto result = check_equivalence(locked.netlist, host, wrong, {});
+  EXPECT_EQ(result.status, sat::Result::kSat);
+}
+
+TEST(Equivalence, MismatchedInterfacesThrow) {
+  const Netlist a = benchgen::make_ripple_adder(4);
+  const Netlist b = benchgen::make_ripple_adder(5);
+  EXPECT_THROW(check_equivalence(a, b), std::invalid_argument);
+}
+
+TEST(Equivalence, LimitReturnsUnknown) {
+  const Netlist a = benchgen::make_array_multiplier(12);
+  const Netlist b = benchgen::make_array_multiplier(12);
+  // Multiplier equivalence with a tiny conflict budget cannot finish...
+  sat::SolverLimits limits{.time_limit_seconds = 1e-4};
+  const auto result = check_equivalence(a, b, {}, {}, limits);
+  // ... unless the solver proves it instantly; accept either but require a
+  // definite status value.
+  EXPECT_TRUE(result.status == sat::Result::kUnknown ||
+              result.status == sat::Result::kUnsat);
+}
+
+}  // namespace
+}  // namespace ril::cnf

@@ -1,0 +1,138 @@
+// End-to-end integration tests: miniature versions of the paper's
+// experiment pipelines (lock -> attack -> verify) across module boundaries.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "attacks/appsat.hpp"
+#include "attacks/metrics.hpp"
+#include "attacks/removal.hpp"
+#include "attacks/sat_attack.hpp"
+#include "benchgen/suite.hpp"
+#include "cnf/equivalence.hpp"
+#include "core/polymorphic.hpp"
+#include "locking/schemes.hpp"
+#include "netlist/bench_io.hpp"
+
+namespace ril {
+namespace {
+
+using netlist::Netlist;
+
+TEST(Integration, TableOneMiniature) {
+  // Shrunken Table I: on a scaled c7552 core, SAT-attack effort must grow
+  // with block count and block size.
+  const Netlist host = benchgen::make_benchmark("c7552", 0.06);
+  struct Cell {
+    std::size_t blocks;
+    std::size_t size;
+    std::uint64_t conflicts;
+  };
+  std::vector<Cell> cells = {{1, 2, 0}, {3, 2, 0}, {1, 4, 0}};
+  for (auto& cell : cells) {
+    core::RilBlockConfig config;
+    config.size = cell.size;
+    const auto ril = locking::lock_ril(host, cell.blocks, config, 7);
+    attacks::Oracle oracle(ril.locked.netlist, ril.locked.key);
+    attacks::SatAttackOptions options;
+    options.time_limit_seconds = 20;
+    const auto result =
+        attacks::run_sat_attack(ril.locked.netlist, oracle, options);
+    ASSERT_EQ(result.status, attacks::SatAttackStatus::kKeyFound)
+        << cell.blocks << "x " << config.label();
+    EXPECT_TRUE(cnf::check_equivalence(ril.locked.netlist, host, result.key,
+                                       {})
+                    .equivalent());
+    cell.conflicts = result.conflicts;
+  }
+  // More blocks of the same size must not be dramatically easier (the
+  // clean monotone trend is measured at scale by bench_table1; at this
+  // miniature scale we only guard against order-of-magnitude inversions).
+  EXPECT_GE(cells[1].conflicts * 3 + 200, cells[0].conflicts);
+}
+
+TEST(Integration, BenchRoundTripOfLockedCircuit) {
+  // Locked netlists survive .bench serialization with keys intact.
+  const Netlist host = benchgen::make_benchmark("c7552", 0.04);
+  core::RilBlockConfig config;
+  config.size = 4;
+  config.output_network = true;
+  const auto ril = locking::lock_ril(host, 1, config, 9);
+  const std::string text = netlist::write_bench_string(ril.locked.netlist);
+  const Netlist reparsed = netlist::read_bench_string(text);
+  EXPECT_EQ(reparsed.key_inputs().size(),
+            ril.locked.netlist.key_inputs().size());
+  EXPECT_TRUE(cnf::check_equivalence(reparsed, host, ril.locked.key, {})
+                  .equivalent());
+}
+
+TEST(Integration, Figure1Pipeline) {
+  // MESO-style encoding vs LUT-2 encoding of the same obfuscation: both
+  // attacks recover a working key; the LUT-2 netlist is much smaller.
+  const Netlist host = benchgen::make_benchmark("c7552", 0.04);
+  Netlist meso = host;
+  Netlist lut = host;
+  const auto meso_lock = core::insert_polymorphic_gates(
+      meso, 4, core::PolymorphicEncoding::kMesoStyle, 3);
+  const auto lut_lock = core::insert_polymorphic_gates(
+      lut, 4, core::PolymorphicEncoding::kLut2Style, 3);
+  EXPECT_GT(meso.gate_count(), lut.gate_count());
+
+  attacks::Oracle meso_oracle(meso, meso_lock.key);
+  attacks::Oracle lut_oracle(lut, lut_lock.key);
+  const auto meso_result = attacks::run_sat_attack(meso, meso_oracle);
+  const auto lut_result = attacks::run_sat_attack(lut, lut_oracle);
+  ASSERT_EQ(meso_result.status, attacks::SatAttackStatus::kKeyFound);
+  ASSERT_EQ(lut_result.status, attacks::SatAttackStatus::kKeyFound);
+  EXPECT_TRUE(
+      cnf::check_equivalence(meso, host, meso_result.key, {}).equivalent());
+  EXPECT_TRUE(
+      cnf::check_equivalence(lut, host, lut_result.key, {}).equivalent());
+}
+
+TEST(Integration, DefenseInDepthStack) {
+  // Full RIL stack (routing + LUT + output routing + SE) on a CEP-class
+  // host: removal fails, and the functional key still unlocks.
+  const Netlist host = benchgen::make_benchmark("gps", 0.1);
+  core::RilBlockConfig config;
+  config.size = 4;
+  config.output_network = true;
+  config.scan_obfuscation = true;
+  const auto ril = locking::lock_ril(host, 1, config, 11);
+  EXPECT_TRUE(cnf::check_equivalence(ril.locked.netlist, host,
+                                     ril.info.functional_key, {})
+                  .equivalent());
+  const auto removal = attacks::run_removal_attack(ril.locked.netlist);
+  EXPECT_FALSE(
+      cnf::check_equivalence(removal.recovered, host).equivalent());
+}
+
+TEST(Integration, CryptoHostLockAndVerify) {
+  const Netlist host = benchgen::make_benchmark("sha256", 0.125);  // 1 round
+  core::RilBlockConfig config;
+  config.size = 8;
+  const auto ril = locking::lock_ril(host, 1, config, 13);
+  // SAT equivalence on a SHA-256 round is expensive; use simulation-based
+  // spot checks instead.
+  const double error = attacks::functional_error_rate(
+      ril.locked.netlist, ril.info.functional_key, ril.info.functional_key,
+      256, 3);
+  EXPECT_EQ(error, 0.0);
+  const double corruption = attacks::output_corruptibility(
+      ril.locked.netlist, ril.info.functional_key, 1024, 4);
+  EXPECT_GT(corruption, 0.5);
+
+  // Simulation cross-check against the unlocked host on random vectors.
+  std::mt19937_64 rng(15);
+  const auto data_inputs = ril.locked.netlist.data_inputs();
+  for (int t = 0; t < 32; ++t) {
+    std::vector<bool> x(data_inputs.size());
+    for (auto&& v : x) v = rng() & 1;
+    EXPECT_EQ(netlist::evaluate_with_key(ril.locked.netlist, x,
+                                         ril.info.functional_key),
+              netlist::evaluate_once(host, x));
+  }
+}
+
+}  // namespace
+}  // namespace ril

@@ -1,0 +1,148 @@
+#include "locking/schemes.hpp"
+
+#include <gtest/gtest.h>
+
+#include "attacks/metrics.hpp"
+#include "benchgen/arithmetic.hpp"
+#include "benchgen/random_dag.hpp"
+#include "cnf/equivalence.hpp"
+#include "locking/locked.hpp"
+#include "netlist/simulator.hpp"
+
+namespace ril::locking {
+namespace {
+
+using netlist::Netlist;
+
+Netlist host_circuit(std::uint64_t seed = 1) {
+  benchgen::RandomDagParams params;
+  params.num_inputs = 20;
+  params.num_outputs = 10;
+  params.num_gates = 250;
+  params.seed = seed;
+  return benchgen::generate_random_dag(params);
+}
+
+void expect_correct_key_unlocks(const Netlist& host,
+                                const LockedCircuit& locked) {
+  ASSERT_EQ(locked.key.size(), locked.netlist.key_inputs().size());
+  ASSERT_TRUE(locked.netlist.validate().empty());
+  EXPECT_TRUE(
+      cnf::check_equivalence(locked.netlist, host, locked.key, {})
+          .equivalent())
+      << locked.scheme;
+}
+
+TEST(Locking, XorLock) {
+  const Netlist host = host_circuit(1);
+  const auto locked = lock_xor(host, 16, 101);
+  EXPECT_EQ(locked.key.size(), 16u);
+  expect_correct_key_unlocks(host, locked);
+  // Flipping one key bit must corrupt the function.
+  auto wrong = locked.key;
+  wrong[3] = !wrong[3];
+  EXPECT_FALSE(
+      cnf::check_equivalence(locked.netlist, host, wrong, {}).equivalent());
+}
+
+TEST(Locking, Sarlock) {
+  const Netlist host = host_circuit(2);
+  const auto locked = lock_sarlock(host, 12, 102);
+  expect_correct_key_unlocks(host, locked);
+  // One-point function: wrong keys corrupt at most one input pattern, so
+  // output corruptibility is tiny (the paper's criticism).
+  const double corruption =
+      attacks::output_corruptibility(locked.netlist, locked.key, 4096, 5);
+  EXPECT_LT(corruption, 0.01);
+}
+
+TEST(Locking, SarlockWrongKeyFlipsExactlyMatchingInput) {
+  const Netlist host = host_circuit(3);
+  const auto locked = lock_sarlock(host, 8, 103);
+  // With wrong key k', the flip fires exactly when x[0..8) == k'.
+  auto wrong = locked.key;
+  wrong[0] = !wrong[0];
+  const auto data_inputs = locked.netlist.data_inputs();
+  std::vector<bool> x(data_inputs.size(), false);
+  for (std::size_t i = 0; i < 8; ++i) x[i] = wrong[i];
+  const auto y_locked =
+      netlist::evaluate_with_key(locked.netlist, x, wrong);
+  const auto y_host = netlist::evaluate_once(host, x);
+  EXPECT_NE(y_locked, y_host);  // flipped on the matching pattern
+  x[0] = !x[0];
+  EXPECT_EQ(netlist::evaluate_with_key(locked.netlist, x, wrong),
+            netlist::evaluate_once(host, x));
+}
+
+TEST(Locking, Antisat) {
+  const Netlist host = host_circuit(4);
+  const auto locked = lock_antisat(host, 10, 104);
+  EXPECT_EQ(locked.key.size(), 20u);
+  expect_correct_key_unlocks(host, locked);
+  // Any key with ka == kb is also correct (Anti-SAT property).
+  std::vector<bool> alt(20, true);
+  EXPECT_TRUE(
+      cnf::check_equivalence(locked.netlist, host, alt, {}).equivalent());
+  // ka != kb corrupts exactly one pattern.
+  std::vector<bool> wrong = locked.key;
+  wrong[0] = !wrong[0];
+  EXPECT_FALSE(
+      cnf::check_equivalence(locked.netlist, host, wrong, {}).equivalent());
+}
+
+TEST(Locking, SfllHd0) {
+  const Netlist host = host_circuit(5);
+  const auto locked = lock_sfll_hd0(host, 10, 105);
+  expect_correct_key_unlocks(host, locked);
+  const double corruption =
+      attacks::output_corruptibility(locked.netlist, locked.key, 4096, 6);
+  EXPECT_LT(corruption, 0.02);  // one-point family
+}
+
+TEST(Locking, LutLock) {
+  const Netlist host = host_circuit(6);
+  const auto locked = lock_lut(host, 6, 106);
+  EXPECT_EQ(locked.key.size(), 24u);
+  expect_correct_key_unlocks(host, locked);
+}
+
+TEST(Locking, FullLock) {
+  const Netlist host = host_circuit(7);
+  const auto locked = lock_fulllock(host, 8, 107);
+  EXPECT_EQ(locked.key.size(), 3u * 12u);
+  expect_correct_key_unlocks(host, locked);
+}
+
+TEST(Locking, RilWrapper) {
+  const Netlist host = host_circuit(8);
+  core::RilBlockConfig config;
+  config.size = 8;
+  config.output_network = true;
+  const RilLocked ril = lock_ril(host, 1, config, 108);
+  EXPECT_EQ(ril.locked.scheme, "ril-8x8x8");
+  expect_correct_key_unlocks(host, ril.locked);
+}
+
+TEST(Locking, SpecializeKeys) {
+  const Netlist host = host_circuit(9);
+  const auto locked = lock_xor(host, 8, 109);
+  const Netlist fixed = specialize_keys(locked.netlist, locked.key);
+  EXPECT_TRUE(fixed.key_inputs().empty());
+  EXPECT_TRUE(cnf::check_equivalence(fixed, host).equivalent());
+  EXPECT_THROW(specialize_keys(locked.netlist, {}), std::invalid_argument);
+}
+
+TEST(Locking, RandomKeyDeterministic) {
+  EXPECT_EQ(random_key(32, 5), random_key(32, 5));
+  EXPECT_NE(random_key(32, 5), random_key(32, 6));
+}
+
+TEST(Locking, KeyHammingDistance) {
+  EXPECT_EQ(key_hamming_distance({true, false, true}, {true, true, true}),
+            1u);
+  EXPECT_THROW(key_hamming_distance({true}, {true, false}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ril::locking

@@ -1,0 +1,123 @@
+#include "core/lut2.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "netlist/simulator.hpp"
+
+namespace ril::core {
+namespace {
+
+using netlist::GateType;
+using netlist::Netlist;
+using netlist::NodeId;
+
+TEST(Lut2, GateMasks) {
+  EXPECT_EQ(mask_of_gate(GateType::kAnd), 0b1000);
+  EXPECT_EQ(mask_of_gate(GateType::kNand), 0b0111);
+  EXPECT_EQ(mask_of_gate(GateType::kOr), 0b1110);
+  EXPECT_EQ(mask_of_gate(GateType::kNor), 0b0001);
+  EXPECT_EQ(mask_of_gate(GateType::kXor), 0b0110);
+  EXPECT_EQ(mask_of_gate(GateType::kXnor), 0b1001);
+  EXPECT_THROW(mask_of_gate(GateType::kMux), std::invalid_argument);
+}
+
+TEST(Lut2, SwapOperandsInvolution) {
+  for (unsigned mask = 0; mask < 16; ++mask) {
+    const auto m = static_cast<std::uint8_t>(mask);
+    EXPECT_EQ(swap_operands(swap_operands(m)), m);
+  }
+  EXPECT_EQ(swap_operands(0b0010), 0b0100);  // A AND notB <-> notA AND B
+}
+
+/// Table II of the paper, verbatim: function -> K1 K2 K3 K4.
+struct Table2Row {
+  std::uint8_t mask;
+  bool k1, k2, k3, k4;
+};
+
+class Table2 : public ::testing::TestWithParam<Table2Row> {};
+
+TEST_P(Table2, KeyEncodingMatchesPaper) {
+  const Table2Row row = GetParam();
+  const auto keys = table2_keys_from_mask(row.mask);
+  EXPECT_EQ(keys[0], row.k1);
+  EXPECT_EQ(keys[1], row.k2);
+  EXPECT_EQ(keys[2], row.k3);
+  EXPECT_EQ(keys[3], row.k4);
+  EXPECT_EQ(mask_from_table2_keys({row.k1, row.k2, row.k3, row.k4}),
+            row.mask);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperRows, Table2,
+    ::testing::Values(
+        Table2Row{0b0000, 0, 0, 0, 0},   // constant 0
+        Table2Row{0b1111, 1, 1, 1, 1},   // constant 1
+        Table2Row{0b0001, 0, 0, 0, 1},   // A NOR B
+        Table2Row{0b1110, 1, 1, 1, 0},   // A OR B
+        Table2Row{0b0100, 0, 0, 1, 0},   // notA AND B
+        Table2Row{0b1011, 1, 1, 0, 1},   // notA NAND B
+        Table2Row{0b0101, 0, 0, 1, 1},   // notA
+        Table2Row{0b1010, 1, 1, 0, 0},   // A
+        Table2Row{0b0010, 0, 1, 0, 0},   // A AND notB
+        Table2Row{0b1101, 1, 0, 1, 1},   // A NAND notB
+        Table2Row{0b0011, 0, 1, 0, 1},   // notB
+        Table2Row{0b1100, 1, 0, 1, 0},   // B
+        Table2Row{0b0110, 0, 1, 1, 0},   // A XOR B
+        Table2Row{0b1001, 1, 0, 0, 1},   // A XNOR B
+        Table2Row{0b0111, 0, 1, 1, 1},   // A NAND B
+        Table2Row{0b1000, 1, 0, 0, 0}    // A AND B
+        ));
+
+TEST(Lut2, KeyedLutRealizesAll16Functions) {
+  for (unsigned mask = 0; mask < 16; ++mask) {
+    Netlist nl;
+    const NodeId a = nl.add_input("a");
+    const NodeId b = nl.add_input("b");
+    std::size_t counter = 0;
+    const KeyedLut lut = build_keyed_lut2(nl, a, b, counter, "lut");
+    nl.mark_output(lut.output);
+    EXPECT_EQ(counter, 4u);
+
+    netlist::Simulator sim(nl);
+    const auto keys = lut_key_values(static_cast<std::uint8_t>(mask));
+    for (std::size_t i = 0; i < 4; ++i) {
+      sim.set_input_all(lut.key_inputs[i], keys[i]);
+    }
+    for (unsigned minterm = 0; minterm < 4; ++minterm) {
+      sim.set_input_all(a, minterm & 1);
+      sim.set_input_all(b, (minterm >> 1) & 1);
+      sim.evaluate();
+      EXPECT_EQ(sim.value(lut.output) & 1, (mask >> minterm) & 1)
+          << "mask " << mask << " minterm " << minterm;
+    }
+  }
+}
+
+TEST(Lut2, ThreeMuxStructure) {
+  // The paper's Fig. 1 observation: a LUT-2 encoding needs only 3 MUXes.
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  const NodeId b = nl.add_input("b");
+  std::size_t counter = 0;
+  build_keyed_lut2(nl, a, b, counter, "lut");
+  std::size_t muxes = 0;
+  for (NodeId id = 0; id < nl.node_count(); ++id) {
+    if (nl.node(id).type == GateType::kMux) ++muxes;
+  }
+  EXPECT_EQ(muxes, 3u);
+}
+
+TEST(Lut2, FunctionNamesUnique) {
+  std::set<std::string> names;
+  for (unsigned mask = 0; mask < 16; ++mask) {
+    names.insert(function_name(static_cast<std::uint8_t>(mask)));
+  }
+  EXPECT_EQ(names.size(), 16u);
+}
+
+}  // namespace
+}  // namespace ril::core

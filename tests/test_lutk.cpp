@@ -1,0 +1,152 @@
+#include "core/lutk.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "cnf/equivalence.hpp"
+#include "core/lut2.hpp"
+#include "core/ril_block.hpp"
+#include "benchgen/random_dag.hpp"
+#include "locking/schemes.hpp"
+#include "netlist/simulator.hpp"
+
+namespace ril::core {
+namespace {
+
+using netlist::Netlist;
+using netlist::NodeId;
+
+class LutkArity : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(LutkArity, RealizesRandomMasks) {
+  const std::size_t m = GetParam();
+  std::mt19937_64 rng(m * 17);
+  for (int trial = 0; trial < 6; ++trial) {
+    Netlist nl;
+    std::vector<NodeId> ins;
+    for (std::size_t i = 0; i < m; ++i) {
+      ins.push_back(nl.add_input("x" + std::to_string(i)));
+    }
+    std::size_t counter = 0;
+    const KeyedLutK lut = build_keyed_lutk(nl, ins, counter, "lut");
+    nl.mark_output(lut.output);
+    const std::size_t rows = std::size_t{1} << m;
+    ASSERT_EQ(lut.key_inputs.size(), rows);
+    EXPECT_EQ(counter, rows);
+
+    const std::uint64_t mask =
+        rng() & (rows >= 64 ? ~0ull : ((1ull << rows) - 1));
+    const auto keys = lutk_key_values(mask, m);
+    netlist::Simulator sim(nl);
+    for (std::size_t i = 0; i < rows; ++i) {
+      sim.set_input_all(lut.key_inputs[i], keys[i]);
+    }
+    for (std::size_t row = 0; row < rows; ++row) {
+      for (std::size_t i = 0; i < m; ++i) {
+        sim.set_input_all(ins[i], (row >> i) & 1);
+      }
+      sim.evaluate();
+      EXPECT_EQ(sim.value(lut.output) & 1, (mask >> row) & 1)
+          << "m=" << m << " row=" << row;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Arities, LutkArity,
+                         ::testing::Values(2u, 3u, 4u, 5u));
+
+TEST(Lutk, MuxTreeSize) {
+  for (std::size_t m : {2u, 3u, 4u}) {
+    Netlist nl;
+    std::vector<NodeId> ins;
+    for (std::size_t i = 0; i < m; ++i) {
+      ins.push_back(nl.add_input("x" + std::to_string(i)));
+    }
+    std::size_t counter = 0;
+    build_keyed_lutk(nl, ins, counter, "lut");
+    EXPECT_EQ(nl.gate_count(), (std::size_t{1} << m) - 1) << m;
+  }
+}
+
+TEST(Lutk, MatchesLut2ForAritTwo) {
+  // The generic builder must agree with the Table II 2-input LUT.
+  for (unsigned mask = 0; mask < 16; ++mask) {
+    Netlist nl;
+    const NodeId a = nl.add_input("a");
+    const NodeId b = nl.add_input("b");
+    std::size_t c1 = 0;
+    const KeyedLutK lutk = build_keyed_lutk(nl, {a, b}, c1, "k");
+    netlist::Simulator sim(nl);
+    const auto keys = lutk_key_values(mask, 2);
+    for (std::size_t i = 0; i < 4; ++i) {
+      sim.set_input_all(lutk.key_inputs[i], keys[i]);
+    }
+    for (unsigned row = 0; row < 4; ++row) {
+      sim.set_input_all(a, row & 1);
+      sim.set_input_all(b, (row >> 1) & 1);
+      sim.evaluate();
+      EXPECT_EQ(sim.value(lutk.output) & 1, (mask >> row) & 1);
+    }
+  }
+}
+
+TEST(Lutk, ExpandMask2IgnoresExtraInputs) {
+  // 4-input LUT computing XOR of inputs 0 and 3 must ignore inputs 1, 2.
+  const std::uint64_t mask = lutk_expand_mask2(0b0110, 4, 0, 3);
+  for (std::size_t row = 0; row < 16; ++row) {
+    const bool a = row & 1;
+    const bool b = (row >> 3) & 1;
+    EXPECT_EQ((mask >> row) & 1, static_cast<std::uint64_t>(a ^ b));
+  }
+  EXPECT_THROW(lutk_expand_mask2(0b0110, 4, 2, 2), std::invalid_argument);
+  EXPECT_THROW(lutk_expand_mask2(0b0110, 4, 0, 4), std::invalid_argument);
+}
+
+TEST(Lutk, ArityValidation) {
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  std::size_t counter = 0;
+  EXPECT_THROW(build_keyed_lutk(nl, {a}, counter, "x"),
+               std::invalid_argument);
+}
+
+class RilLutSize : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RilLutSize, FunctionalKeyRestoresCircuit) {
+  const std::size_t m = GetParam();
+  benchgen::RandomDagParams params;
+  params.num_inputs = 20;
+  params.num_outputs = 10;
+  params.num_gates = 260;
+  params.seed = 4;
+  const Netlist host = benchgen::generate_random_dag(params);
+  core::RilBlockConfig config;
+  config.size = 8;
+  config.lut_inputs = m;
+  const auto ril = locking::lock_ril(host, 1, config, 11);
+  // 12 banyan bits + 8 * 2^m LUT bits.
+  EXPECT_EQ(ril.locked.key.size(), 12u + 8u * (std::size_t{1} << m));
+  EXPECT_TRUE(cnf::check_equivalence(ril.locked.netlist, host,
+                                     ril.locked.key, {})
+                  .equivalent())
+      << "lut_inputs=" << m;
+}
+
+INSTANTIATE_TEST_SUITE_P(LutSizes, RilLutSize,
+                         ::testing::Values(2u, 3u, 4u));
+
+TEST(RilLutSize, LabelAndCost) {
+  RilBlockConfig config;
+  config.size = 8;
+  config.lut_inputs = 4;
+  EXPECT_EQ(config.label(), "8x8-lut4");
+  EXPECT_EQ(ril_block_gate_cost(config), 24u + 8u * 15u);
+  config.lut_inputs = 9;
+  Netlist host;  // invalid config must throw before touching the netlist
+  EXPECT_THROW(core::insert_ril_blocks(host, 1, config, 1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ril::core

@@ -1,0 +1,115 @@
+#include "attacks/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "attacks/oracle.hpp"
+#include "benchgen/random_dag.hpp"
+#include "locking/schemes.hpp"
+
+namespace ril::attacks {
+namespace {
+
+using netlist::GateType;
+using netlist::Netlist;
+using netlist::NodeId;
+
+Netlist host_circuit(std::uint64_t seed = 1) {
+  benchgen::RandomDagParams params;
+  params.num_inputs = 14;
+  params.num_outputs = 7;
+  params.num_gates = 150;
+  params.seed = seed;
+  return benchgen::generate_random_dag(params);
+}
+
+TEST(Metrics, CorrectKeyHasZeroError) {
+  const auto locked = locking::lock_xor(host_circuit(1), 8, 71);
+  EXPECT_EQ(functional_error_rate(locked.netlist, locked.key, locked.key,
+                                  1024, 1),
+            0.0);
+}
+
+TEST(Metrics, SingleXorKeyBitFullCorruption) {
+  // y = x XOR k on a single output: every wrong key flips every pattern.
+  Netlist nl;
+  const NodeId x = nl.add_input("x");
+  const NodeId k = nl.add_key_input("keyinput0");
+  nl.mark_output(nl.add_gate(GateType::kXor, {x, k}));
+  EXPECT_DOUBLE_EQ(output_corruptibility(nl, {false}, 512, 2), 1.0);
+  EXPECT_DOUBLE_EQ(
+      functional_error_rate(nl, {true}, {false}, 512, 3), 1.0);
+  EXPECT_DOUBLE_EQ(bit_error_rate(nl, {true}, {false}, 512, 4), 1.0);
+}
+
+TEST(Metrics, OnePointVsRilCorruptibility) {
+  // The paper's Table V story in one assert: RIL corruptibility dwarfs
+  // SARLock's.
+  const Netlist host = host_circuit(2);
+  const auto sar = locking::lock_sarlock(host, 10, 72);
+  core::RilBlockConfig config;
+  config.size = 8;
+  const auto ril = locking::lock_ril(host, 1, config, 73);
+  const double c_sar =
+      output_corruptibility(sar.netlist, sar.key, 4096, 5);
+  const double c_ril =
+      output_corruptibility(ril.locked.netlist, ril.locked.key, 4096, 5);
+  EXPECT_LT(c_sar, 0.01);
+  EXPECT_GT(c_ril, 10 * c_sar);
+}
+
+TEST(Metrics, CircuitErrorRateZeroForIdentical) {
+  const Netlist host = host_circuit(3);
+  EXPECT_EQ(circuit_error_rate(host, host, 1024, 6), 0.0);
+}
+
+TEST(Metrics, ChecksInterfaces) {
+  const Netlist a = host_circuit(4);
+  Netlist b;
+  b.add_input("a");
+  b.mark_output(b.add_gate(GateType::kNot, {0}));
+  EXPECT_THROW(circuit_error_rate(a, b, 16, 1), std::invalid_argument);
+}
+
+TEST(Oracle, MatchesSimulation) {
+  const auto locked = locking::lock_xor(host_circuit(5), 6, 74);
+  Oracle oracle(locked.netlist, locked.key);
+  std::mt19937_64 rng(9);
+  for (int t = 0; t < 20; ++t) {
+    std::vector<bool> x(oracle.num_data_inputs());
+    for (auto&& v : x) v = rng() & 1;
+    EXPECT_EQ(oracle.query(x),
+              netlist::evaluate_with_key(locked.netlist, x, locked.key));
+  }
+  EXPECT_EQ(oracle.query_count(), 20u);
+}
+
+TEST(Oracle, MorphingChangesResponses) {
+  const auto locked = locking::lock_xor(host_circuit(6), 8, 75);
+  Oracle fixed(locked.netlist, locked.key);
+  Oracle morphing(locked.netlist, locked.key);
+  std::vector<std::size_t> positions;
+  for (std::size_t i = 0; i < locked.key.size(); ++i) positions.push_back(i);
+  morphing.enable_morphing(1, positions, 123);
+  std::mt19937_64 rng(10);
+  std::size_t differences = 0;
+  for (int t = 0; t < 64; ++t) {
+    std::vector<bool> x(fixed.num_data_inputs());
+    for (auto&& v : x) v = rng() & 1;
+    if (fixed.query(x) != morphing.query(x)) ++differences;
+  }
+  EXPECT_GT(differences, 0u);
+}
+
+TEST(Oracle, RejectsBadInput) {
+  const auto locked = locking::lock_xor(host_circuit(7), 4, 76);
+  EXPECT_THROW(Oracle(locked.netlist, {}), std::invalid_argument);
+  Oracle oracle(locked.netlist, locked.key);
+  EXPECT_THROW(oracle.query({}), std::invalid_argument);
+  EXPECT_THROW(oracle.enable_morphing(0, {}, 1), std::invalid_argument);
+  EXPECT_THROW(oracle.enable_morphing(2, {999}, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ril::attacks

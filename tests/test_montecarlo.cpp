@@ -1,0 +1,94 @@
+#include "device/montecarlo.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ril::device {
+namespace {
+
+McSummary run_default(std::size_t instances = 100, std::uint64_t seed = 7) {
+  McOptions options;
+  options.instances = instances;
+  options.seed = seed;
+  return run_monte_carlo(options);
+}
+
+TEST(MonteCarlo, HundredInstancesErrorFree) {
+  // The paper: 100 error-free MC instances (read and write errors <0.01%).
+  const McSummary summary = run_default();
+  EXPECT_EQ(summary.instances, 100u);
+  EXPECT_EQ(summary.read_errors, 0u);
+  EXPECT_EQ(summary.write_errors, 0u);
+  EXPECT_EQ(summary.disturbs, 0u);
+}
+
+TEST(MonteCarlo, ReadPowerNearlyIdenticalFor0And1) {
+  // Fig. 6(b): the distributions for reading '0' and '1' overlap almost
+  // perfectly -- the P-SCA mitigation observable.
+  const McSummary summary = run_default();
+  EXPECT_LT(summary.power_asymmetry, 0.01);
+}
+
+TEST(MonteCarlo, ResistanceDistributionsSeparated) {
+  // Fig. 6(c): R_AP and R_P populations must not overlap (wide margin).
+  const McSummary summary = run_default();
+  double min_ap = 1e18;
+  double max_p = 0;
+  for (const auto& s : summary.samples) {
+    min_ap = std::min(min_ap, s.r_ap);
+    max_p = std::max(max_p, s.r_p);
+  }
+  EXPECT_GT(min_ap, max_p);
+  EXPECT_NEAR(summary.mean_r_p, 3.0e3, 0.15e3);
+  EXPECT_NEAR(summary.mean_r_ap, 6.0e3, 0.3e3);
+}
+
+TEST(MonteCarlo, CurrentsSpreadWithVariation) {
+  const McSummary summary = run_default();
+  double lo = 1e9;
+  double hi = 0;
+  for (const auto& s : summary.samples) {
+    lo = std::min(lo, s.read_current_0);
+    hi = std::max(hi, s.read_current_0);
+  }
+  EXPECT_GT(hi, lo);                       // PV creates a distribution
+  EXPECT_NEAR(summary.mean_read_current, 31e-6, 2e-6);
+  EXPECT_LT((hi - lo) / summary.mean_read_current, 0.5);  // but bounded
+}
+
+TEST(MonteCarlo, MarginsStayPositive) {
+  const McSummary summary = run_default();
+  for (const auto& s : summary.samples) {
+    EXPECT_GT(s.min_margin, 0.0);
+  }
+}
+
+TEST(MonteCarlo, DeterministicForSeed) {
+  const McSummary a = run_default(20, 5);
+  const McSummary b = run_default(20, 5);
+  ASSERT_EQ(a.samples.size(), b.samples.size());
+  for (std::size_t i = 0; i < a.samples.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.samples[i].read_power_0, b.samples[i].read_power_0);
+  }
+}
+
+TEST(MonteCarlo, HistogramBinsCoverAll) {
+  const McSummary summary = run_default();
+  std::vector<double> powers;
+  for (const auto& s : summary.samples) powers.push_back(s.read_power_0);
+  const Histogram h = histogram(powers, 10);
+  std::size_t total = 0;
+  for (std::size_t c : h.bins) total += c;
+  EXPECT_EQ(total, powers.size());
+  EXPECT_LE(h.lo, h.hi);
+}
+
+TEST(MonteCarlo, HistogramDegenerateInputs) {
+  EXPECT_TRUE(histogram({}, 4).bins.size() == 4);
+  const Histogram h = histogram({1.0, 1.0, 1.0}, 3);
+  EXPECT_EQ(h.bins[0], 3u);
+}
+
+}  // namespace
+}  // namespace ril::device

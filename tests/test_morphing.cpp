@@ -1,0 +1,128 @@
+#include "core/morphing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "attacks/metrics.hpp"
+#include "attacks/oracle.hpp"
+#include "attacks/sat_attack.hpp"
+#include "benchgen/random_dag.hpp"
+#include "cnf/equivalence.hpp"
+#include "locking/schemes.hpp"
+
+namespace ril::core {
+namespace {
+
+using netlist::Netlist;
+
+Netlist host_circuit(std::uint64_t seed = 1) {
+  benchgen::RandomDagParams params;
+  params.num_inputs = 16;
+  params.num_outputs = 8;
+  params.num_gates = 200;
+  params.seed = seed;
+  return benchgen::generate_random_dag(params);
+}
+
+locking::RilLocked make_lock(bool scan, std::uint64_t seed = 3) {
+  RilBlockConfig config;
+  config.size = 4;
+  config.scan_obfuscation = scan;
+  return locking::lock_ril(host_circuit(seed), 1, config, seed);
+}
+
+TEST(Morphing, EpochZeroIsFunctionalKey) {
+  const auto ril = make_lock(true);
+  const MorphingScheduler scheduler(ril.info, MorphPolicy::kFullScramble, 9);
+  EXPECT_EQ(scheduler.key_for_epoch(0), ril.info.functional_key);
+}
+
+TEST(Morphing, DeterministicPerSeed) {
+  const auto ril = make_lock(true);
+  const MorphingScheduler a(ril.info, MorphPolicy::kFullScramble, 9);
+  const MorphingScheduler b(ril.info, MorphPolicy::kFullScramble, 9);
+  const MorphingScheduler c(ril.info, MorphPolicy::kFullScramble, 10);
+  EXPECT_EQ(a.key_for_epoch(5), b.key_for_epoch(5));
+  EXPECT_NE(a.key_for_epoch(5), c.key_for_epoch(5));
+  // Out-of-order queries agree with in-order schedules.
+  EXPECT_EQ(a.schedule(6)[5], a.key_for_epoch(5));
+}
+
+TEST(Morphing, ScanKeysOnlyTouchesOnlySeBits) {
+  // MTJ_SE morphing: epoch keys differ from the functional key only at SE
+  // positions. Zeroing those positions (= running with SE deasserted, the
+  // functional mode on silicon) recovers the exact functional key, so the
+  // chip's user-visible behaviour is epoch-independent while every
+  // scan-mode response stream changes.
+  const auto ril = make_lock(true);
+  const MorphingScheduler scheduler(ril.info, MorphPolicy::kScanKeysOnly, 4);
+  EXPECT_EQ(scheduler.mutable_positions(), ril.info.se_key_positions);
+  for (std::uint64_t epoch = 1; epoch <= 3; ++epoch) {
+    auto key = scheduler.key_for_epoch(epoch);
+    for (std::size_t i = 0; i < key.size(); ++i) {
+      const bool is_se =
+          std::find(ril.info.se_key_positions.begin(),
+                    ril.info.se_key_positions.end(),
+                    i) != ril.info.se_key_positions.end();
+      if (!is_se) {
+        EXPECT_EQ(key[i], ril.info.functional_key[i]) << "epoch " << epoch;
+      }
+    }
+    for (std::size_t pos : ril.info.se_key_positions) key[pos] = false;
+    EXPECT_EQ(key, ril.info.functional_key);
+  }
+}
+
+TEST(Morphing, FullScrambleCorruptsFunction) {
+  const auto ril = make_lock(true);
+  const MorphingScheduler scheduler(ril.info, MorphPolicy::kFullScramble, 5);
+  std::size_t corrupted = 0;
+  for (std::uint64_t epoch = 1; epoch <= 4; ++epoch) {
+    const double error = attacks::functional_error_rate(
+        ril.locked.netlist, scheduler.key_for_epoch(epoch),
+        ril.info.functional_key, 1024, epoch);
+    if (error > 0) ++corrupted;
+  }
+  EXPECT_GE(corrupted, 3u);
+}
+
+TEST(Morphing, PoliciesPartitionNonSeBits) {
+  const auto ril = make_lock(true);
+  const MorphingScheduler lut(ril.info, MorphPolicy::kLutOnly, 1);
+  const MorphingScheduler routing(ril.info, MorphPolicy::kRoutingOnly, 1);
+  const MorphingScheduler full(ril.info, MorphPolicy::kFullScramble, 1);
+  EXPECT_EQ(lut.mutable_positions().size() +
+                routing.mutable_positions().size(),
+            full.mutable_positions().size());
+  // 4 LUTs x 4 config bits classified as LUT bits.
+  EXPECT_EQ(lut.mutable_positions().size(), 16u);
+  // 4x4 banyan = 4 switch bits classified as routing.
+  EXPECT_EQ(routing.mutable_positions().size(), 4u);
+}
+
+TEST(Morphing, MorphingOracleDefeatsSatAttack) {
+  // Drive the Oracle's morphing from the scheduler's position set: the
+  // attack either derives an inconsistent constraint set or ends with a
+  // functionally wrong key.
+  const auto ril = make_lock(false);
+  const Netlist host = host_circuit(3);
+  attacks::Oracle oracle(ril.locked.netlist, ril.info.functional_key);
+  const MorphingScheduler scheduler(ril.info, MorphPolicy::kFullScramble, 7);
+  oracle.enable_morphing(2, scheduler.mutable_positions(), 7);
+  attacks::SatAttackOptions options;
+  options.time_limit_seconds = 20;
+  options.max_iterations = 200;
+  const auto result =
+      attacks::run_sat_attack(ril.locked.netlist, oracle, options);
+  if (result.status == attacks::SatAttackStatus::kKeyFound) {
+    EXPECT_FALSE(
+        cnf::check_equivalence(ril.locked.netlist, host, result.key, {})
+            .equivalent());
+  } else {
+    SUCCEED();
+  }
+}
+
+}  // namespace
+}  // namespace ril::core

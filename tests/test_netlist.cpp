@@ -1,0 +1,193 @@
+#include "netlist/netlist.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netlist/stats.hpp"
+
+namespace ril::netlist {
+namespace {
+
+Netlist small_circuit() {
+  Netlist nl("small");
+  const NodeId a = nl.add_input("a");
+  const NodeId b = nl.add_input("b");
+  const NodeId c = nl.add_input("c");
+  const NodeId g1 = nl.add_gate(GateType::kAnd, {a, b}, "g1");
+  const NodeId g2 = nl.add_gate(GateType::kOr, {g1, c}, "g2");
+  nl.mark_output(g2);
+  return nl;
+}
+
+TEST(Netlist, BasicConstruction) {
+  Netlist nl = small_circuit();
+  EXPECT_EQ(nl.inputs().size(), 3u);
+  EXPECT_EQ(nl.outputs().size(), 1u);
+  EXPECT_EQ(nl.gate_count(), 2u);
+  EXPECT_TRUE(nl.validate().empty());
+}
+
+TEST(Netlist, FindByName) {
+  Netlist nl = small_circuit();
+  ASSERT_TRUE(nl.find("g1").has_value());
+  EXPECT_EQ(nl.node(*nl.find("g1")).type, GateType::kAnd);
+  EXPECT_FALSE(nl.find("nope").has_value());
+}
+
+TEST(Netlist, DuplicateNameRejected) {
+  Netlist nl;
+  nl.add_input("a");
+  EXPECT_THROW(nl.add_input("a"), std::invalid_argument);
+}
+
+TEST(Netlist, ArityChecked) {
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  EXPECT_THROW(nl.add_gate(GateType::kNot, {a, a}), std::invalid_argument);
+  EXPECT_THROW(nl.add_gate(GateType::kAnd, {a}), std::invalid_argument);
+  EXPECT_THROW(nl.add_gate(GateType::kMux, {a, a}), std::invalid_argument);
+}
+
+TEST(Netlist, KeyInputsTracked) {
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  const NodeId k = nl.add_key_input("keyinput0");
+  EXPECT_TRUE(nl.is_key_input(k));
+  EXPECT_FALSE(nl.is_key_input(a));
+  EXPECT_EQ(nl.key_inputs().size(), 1u);
+  EXPECT_EQ(nl.data_inputs().size(), 1u);
+  EXPECT_EQ(nl.data_inputs()[0], a);
+}
+
+TEST(Netlist, TopologicalOrderRespectsEdges) {
+  Netlist nl = small_circuit();
+  const auto order = nl.topological_order();
+  std::vector<std::size_t> pos(nl.node_count());
+  for (std::size_t i = 0; i < order.size(); ++i) pos[order[i]] = i;
+  for (NodeId id = 0; id < nl.node_count(); ++id) {
+    if (nl.node(id).type == GateType::kDff) continue;
+    for (NodeId f : nl.node(id).fanins) {
+      EXPECT_LT(pos[f], pos[id]);
+    }
+  }
+}
+
+TEST(Netlist, DepthOfChain) {
+  Netlist nl;
+  NodeId prev = nl.add_input("x");
+  for (int i = 0; i < 10; ++i) {
+    prev = nl.add_gate(GateType::kNot, {prev});
+  }
+  nl.mark_output(prev);
+  EXPECT_EQ(nl.depth(), 10u);
+}
+
+TEST(Netlist, ReplaceUses) {
+  Netlist nl = small_circuit();
+  const NodeId a = *nl.find("a");
+  const NodeId c = *nl.find("c");
+  nl.replace_uses(a, c);
+  const NodeId g1 = *nl.find("g1");
+  EXPECT_EQ(nl.node(g1).fanins[0], c);
+}
+
+TEST(Netlist, ReplaceUsesExcept) {
+  Netlist nl = small_circuit();
+  const NodeId a = *nl.find("a");
+  const NodeId c = *nl.find("c");
+  const NodeId g1 = *nl.find("g1");
+  const std::vector<NodeId> except = {g1};
+  nl.replace_uses_except(a, c, except);
+  EXPECT_EQ(nl.node(g1).fanins[0], a);  // untouched
+}
+
+TEST(Netlist, ReplaceUsesUpdatesOutputs) {
+  Netlist nl = small_circuit();
+  const NodeId g2 = *nl.find("g2");
+  const NodeId g1 = *nl.find("g1");
+  nl.replace_uses(g2, g1);
+  EXPECT_EQ(nl.outputs()[0], g1);
+}
+
+TEST(Netlist, SweepDeadRemovesUnreachable) {
+  Netlist nl = small_circuit();
+  const NodeId a = *nl.find("a");
+  const NodeId b = *nl.find("b");
+  nl.add_gate(GateType::kXor, {a, b}, "dead");
+  const std::size_t before = nl.node_count();
+  nl.sweep_dead();
+  EXPECT_EQ(nl.node_count(), before - 1);
+  EXPECT_FALSE(nl.find("dead").has_value());
+  EXPECT_TRUE(nl.validate().empty());
+}
+
+TEST(Netlist, SweepDeadKeepsInputs) {
+  Netlist nl;
+  nl.add_input("unused");
+  const NodeId x = nl.add_input("x");
+  const NodeId g = nl.add_gate(GateType::kNot, {x}, "g");
+  nl.mark_output(g);
+  nl.sweep_dead();
+  EXPECT_TRUE(nl.find("unused").has_value());
+  EXPECT_EQ(nl.inputs().size(), 2u);
+}
+
+TEST(Netlist, CombinationalCoreCutsDffs) {
+  Netlist nl("seq");
+  const NodeId x = nl.add_input("x");
+  // dff feeds itself through an XOR (toggle-ish).
+  const NodeId dff = nl.add_gate(GateType::kDff, {x}, "r1");
+  const NodeId g = nl.add_gate(GateType::kXor, {x, dff}, "g");
+  nl.node(dff).fanins[0] = g;  // close the loop
+  nl.mark_output(g);
+  ASSERT_TRUE(nl.validate().empty());
+
+  const Netlist core = nl.combinational_core();
+  EXPECT_EQ(core.dff_count(), 0u);
+  EXPECT_TRUE(core.find("r1_ppi").has_value());
+  EXPECT_TRUE(core.find("r1_ppo").has_value());
+  EXPECT_EQ(core.inputs().size(), 2u);   // x + pseudo input
+  EXPECT_EQ(core.outputs().size(), 2u);  // g + pseudo output
+  EXPECT_TRUE(core.validate().empty());
+}
+
+TEST(Netlist, ValidateDetectsCycle) {
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  const NodeId g1 = nl.add_gate(GateType::kAnd, {a, a}, "g1");
+  const NodeId g2 = nl.add_gate(GateType::kOr, {g1, a}, "g2");
+  nl.node(g1).fanins[1] = g2;  // introduce combinational cycle
+  EXPECT_FALSE(nl.validate().empty());
+}
+
+TEST(Netlist, LutMaskValidation) {
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  const NodeId b = nl.add_input("b");
+  const NodeId lut = nl.add_lut({a, b}, 0b1000, "lut");
+  nl.mark_output(lut);
+  EXPECT_TRUE(nl.validate().empty());
+  nl.node(lut).lut_mask = 0x1F;  // 5 bits for a 2-input LUT
+  EXPECT_FALSE(nl.validate().empty());
+}
+
+TEST(Netlist, StatsHistogram) {
+  const Netlist nl = small_circuit();
+  const auto stats = compute_stats(nl);
+  EXPECT_EQ(stats.gates, 2u);
+  EXPECT_EQ(stats.histogram.at(GateType::kAnd), 1u);
+  EXPECT_EQ(stats.histogram.at(GateType::kInput), 3u);
+  EXPECT_FALSE(format_stats(stats).empty());
+}
+
+TEST(Netlist, RewriteAsBuf) {
+  Netlist nl = small_circuit();
+  const NodeId g1 = *nl.find("g1");
+  const NodeId c = *nl.find("c");
+  nl.rewrite_as_buf(g1, c);
+  EXPECT_EQ(nl.node(g1).type, GateType::kBuf);
+  EXPECT_EQ(nl.node(g1).fanins.size(), 1u);
+  EXPECT_TRUE(nl.validate().empty());
+}
+
+}  // namespace
+}  // namespace ril::netlist

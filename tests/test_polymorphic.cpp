@@ -1,0 +1,78 @@
+#include "core/polymorphic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "benchgen/random_dag.hpp"
+#include "cnf/equivalence.hpp"
+#include "netlist/netlist.hpp"
+
+namespace ril::core {
+namespace {
+
+using netlist::GateType;
+using netlist::Netlist;
+
+Netlist host_circuit(std::uint64_t seed = 1) {
+  benchgen::RandomDagParams params;
+  params.num_inputs = 16;
+  params.num_outputs = 8;
+  params.num_gates = 120;
+  params.seed = seed;
+  return benchgen::generate_random_dag(params);
+}
+
+TEST(Polymorphic, MesoFunctionTable) {
+  EXPECT_EQ(meso_function(0), GateType::kAnd);
+  EXPECT_EQ(meso_function(5), GateType::kXnor);
+  EXPECT_EQ(meso_function(7), GateType::kNot);
+}
+
+TEST(Polymorphic, MesoStyleCorrectKeyRestores) {
+  const Netlist host = host_circuit(2);
+  Netlist locked = host;
+  const auto lock = insert_polymorphic_gates(
+      locked, 4, PolymorphicEncoding::kMesoStyle, 11);
+  EXPECT_EQ(lock.key.size(), 4u * 3u);  // 3 key bits per device
+  EXPECT_TRUE(locked.validate().empty());
+  EXPECT_TRUE(cnf::check_equivalence(locked, host, lock.key, {})
+                  .equivalent());
+}
+
+TEST(Polymorphic, Lut2StyleCorrectKeyRestores) {
+  const Netlist host = host_circuit(3);
+  Netlist locked = host;
+  const auto lock = insert_polymorphic_gates(
+      locked, 4, PolymorphicEncoding::kLut2Style, 12);
+  EXPECT_EQ(lock.key.size(), 4u * 4u);  // 4 key bits per LUT
+  EXPECT_TRUE(cnf::check_equivalence(locked, host, lock.key, {})
+                  .equivalent());
+}
+
+TEST(Polymorphic, MesoEncodingIsHeavier) {
+  // Fig. 1: MESO formulation = 8 gates + 7 MUXes; LUT-2 = 3 MUXes.
+  Netlist meso = host_circuit(4);
+  Netlist lut = host_circuit(4);
+  const std::size_t base = meso.gate_count();
+  const auto meso_lock =
+      insert_polymorphic_gates(meso, 1, PolymorphicEncoding::kMesoStyle, 1);
+  const auto lut_lock =
+      insert_polymorphic_gates(lut, 1, PolymorphicEncoding::kLut2Style, 1);
+  (void)meso_lock;
+  (void)lut_lock;
+  const std::size_t meso_added = meso.gate_count() - (base - 1);
+  const std::size_t lut_added = lut.gate_count() - (base - 1);
+  EXPECT_EQ(meso_added, 15u);  // 8 function gates + 7 MUXes
+  EXPECT_EQ(lut_added, 3u);    // the LUT select tree
+}
+
+TEST(Polymorphic, NotEnoughGatesThrows) {
+  Netlist tiny("tiny");
+  const auto a = tiny.add_input("a");
+  tiny.mark_output(tiny.add_gate(GateType::kNot, {a}));
+  EXPECT_THROW(
+      insert_polymorphic_gates(tiny, 1, PolymorphicEncoding::kLut2Style, 1),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ril::core

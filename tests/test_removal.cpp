@@ -1,0 +1,83 @@
+#include "attacks/removal.hpp"
+
+#include <gtest/gtest.h>
+
+#include "attacks/metrics.hpp"
+#include "benchgen/random_dag.hpp"
+#include "cnf/equivalence.hpp"
+#include "locking/schemes.hpp"
+
+namespace ril::attacks {
+namespace {
+
+using netlist::Netlist;
+
+Netlist host_circuit(std::uint64_t seed = 1) {
+  benchgen::RandomDagParams params;
+  params.num_inputs = 18;
+  params.num_outputs = 9;
+  params.num_gates = 220;
+  params.seed = seed;
+  return benchgen::generate_random_dag(params);
+}
+
+TEST(Removal, DefeatsSarlock) {
+  const Netlist host = host_circuit(1);
+  const auto locked = locking::lock_sarlock(host, 12, 61);
+  const RemovalResult result = run_removal_attack(locked.netlist);
+  EXPECT_GE(result.cuts, 1u);
+  EXPECT_TRUE(result.recovered.key_inputs().empty());
+  EXPECT_TRUE(cnf::check_equivalence(result.recovered, host).equivalent());
+}
+
+TEST(Removal, DefeatsAntisat) {
+  const Netlist host = host_circuit(2);
+  const auto locked = locking::lock_antisat(host, 10, 62);
+  const RemovalResult result = run_removal_attack(locked.netlist);
+  EXPECT_GE(result.cuts, 1u);
+  EXPECT_TRUE(cnf::check_equivalence(result.recovered, host).equivalent());
+}
+
+TEST(Removal, RecoversSfllStrippedCircuitOnly) {
+  // Removal against SFLL cuts the restore unit, leaving the *stripped*
+  // circuit: correct except on the protected cube (the known SFLL removal
+  // result). Error rate must be tiny but the circuit not exactly host.
+  const Netlist host = host_circuit(3);
+  const auto locked = locking::lock_sfll_hd0(host, 8, 63);
+  const RemovalResult result = run_removal_attack(locked.netlist);
+  const double error = circuit_error_rate(result.recovered, host, 8192, 5);
+  EXPECT_LT(error, 0.05);
+}
+
+TEST(Removal, FailsAgainstRilBlocks) {
+  // RIL-Blocks absorb the replaced gates into key-programmed LUTs: nothing
+  // separable remains and the recovered circuit is badly wrong.
+  const Netlist host = host_circuit(4);
+  core::RilBlockConfig config;
+  config.size = 8;
+  config.output_network = true;
+  const auto ril = locking::lock_ril(host, 2, config, 64);
+  const RemovalResult result = run_removal_attack(ril.locked.netlist);
+  EXPECT_GT(result.grounded_keys, 0u);
+  EXPECT_FALSE(cnf::check_equivalence(result.recovered, host).equivalent());
+  const double error = circuit_error_rate(result.recovered, host, 4096, 6);
+  EXPECT_GT(error, 0.05);
+}
+
+TEST(Removal, FailsAgainstLutLocking) {
+  const Netlist host = host_circuit(5);
+  const auto locked = locking::lock_lut(host, 8, 65);
+  const RemovalResult result = run_removal_attack(locked.netlist);
+  EXPECT_FALSE(cnf::check_equivalence(result.recovered, host).equivalent());
+}
+
+TEST(Removal, UnlockedCircuitPassesThrough) {
+  const Netlist host = host_circuit(6);
+  const RemovalResult result = run_removal_attack(host);
+  EXPECT_EQ(result.cuts, 0u);
+  EXPECT_EQ(result.grounded_keys, 0u);
+  EXPECT_TRUE(cnf::check_equivalence(result.recovered, host).equivalent());
+}
+
+}  // namespace
+}  // namespace ril::attacks

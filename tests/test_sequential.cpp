@@ -1,0 +1,117 @@
+// Sequential-flow integration: random sequential hosts, scan insertion,
+// locking the combinational core, attacking through the scan chain.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "attacks/sat_attack.hpp"
+#include "attacks/scansat.hpp"
+#include "benchgen/random_dag.hpp"
+#include "cnf/equivalence.hpp"
+#include "locking/schemes.hpp"
+#include "netlist/bench_io.hpp"
+#include "netlist/scan_chain.hpp"
+#include "netlist/simulator.hpp"
+
+namespace ril {
+namespace {
+
+using netlist::Netlist;
+
+Netlist make_seq_host(std::uint64_t seed, std::size_t dffs = 12) {
+  benchgen::RandomSequentialParams params;
+  params.combinational.num_inputs = 10;
+  params.combinational.num_outputs = 6;
+  params.combinational.num_gates = 150;
+  params.combinational.seed = seed;
+  params.num_dffs = dffs;
+  return benchgen::generate_random_sequential(params);
+}
+
+TEST(Sequential, GeneratorShape) {
+  const Netlist nl = make_seq_host(1);
+  EXPECT_EQ(nl.dff_count(), 12u);
+  EXPECT_EQ(nl.inputs().size(), 10u);  // pseudo-inputs dropped
+  EXPECT_TRUE(nl.validate().empty());
+  // Deterministic per seed.
+  const Netlist again = make_seq_host(1);
+  EXPECT_EQ(netlist::write_bench_string(nl),
+            netlist::write_bench_string(again));
+}
+
+TEST(Sequential, CoreRoundTrip) {
+  const Netlist nl = make_seq_host(2);
+  const Netlist core = nl.combinational_core();
+  EXPECT_EQ(core.dff_count(), 0u);
+  EXPECT_EQ(core.inputs().size(), 10u + 12u);
+  EXPECT_EQ(core.outputs().size(), nl.outputs().size() + 12u);
+}
+
+TEST(Sequential, StateEvolutionMatchesCore) {
+  // Stepping the sequential netlist must equal iterating the core's
+  // next-state function.
+  const Netlist nl = make_seq_host(3);
+  const Netlist core = nl.combinational_core();
+  std::mt19937_64 rng(5);
+
+  netlist::Simulator sim(nl);
+  sim.reset_state();
+  std::vector<bool> state(12, false);
+  for (int cycle = 0; cycle < 8; ++cycle) {
+    std::vector<bool> pi(10);
+    for (auto&& v : pi) v = rng() & 1;
+    for (std::size_t i = 0; i < pi.size(); ++i) {
+      sim.set_input_all(nl.inputs()[i], pi[i]);
+    }
+    sim.evaluate();
+    std::vector<bool> outs;
+    for (auto id : nl.outputs()) outs.push_back(sim.value(id) & 1);
+    sim.step();
+
+    std::vector<bool> core_in = pi;
+    core_in.insert(core_in.end(), state.begin(), state.end());
+    const auto expect = netlist::evaluate_once(core, core_in);
+    for (std::size_t i = 0; i < outs.size(); ++i) {
+      EXPECT_EQ(outs[i], expect[i]) << "cycle " << cycle;
+    }
+    for (std::size_t i = 0; i < state.size(); ++i) {
+      state[i] = expect[outs.size() + i];
+    }
+  }
+}
+
+TEST(Sequential, FullScanLockAttackFlow) {
+  // Lock the core with a 4x4 RIL block, activate, attack via scan chain.
+  const Netlist seq = make_seq_host(4, 8);
+  const Netlist core = seq.combinational_core();
+  core::RilBlockConfig config;
+  config.size = 4;
+  const auto ril = locking::lock_ril(core, 1, config, 6);
+
+  // The activated chip is sequential: rebuild it by locking the sequential
+  // netlist identically is complex; instead activate the locked core and
+  // check the attack recovers a working key against it.
+  const Netlist activated =
+      locking::specialize_keys(ril.locked.netlist, ril.locked.key);
+  attacks::Oracle oracle(activated, {});
+  const auto result = attacks::run_sat_attack(ril.locked.netlist, oracle);
+  ASSERT_EQ(result.status, attacks::SatAttackStatus::kKeyFound);
+  EXPECT_TRUE(cnf::check_equivalence(ril.locked.netlist, core, result.key,
+                                     {})
+                  .equivalent());
+}
+
+TEST(Sequential, ScanOracleOnRandomSequentialHost) {
+  const Netlist seq = make_seq_host(5, 10);
+  attacks::ScanOracle scan_oracle(seq);
+  const Netlist core = seq.combinational_core();
+  std::mt19937_64 rng(7);
+  for (int t = 0; t < 16; ++t) {
+    std::vector<bool> x(scan_oracle.num_inputs());
+    for (auto&& v : x) v = rng() & 1;
+    EXPECT_EQ(scan_oracle.query(x), netlist::evaluate_once(core, x));
+  }
+}
+
+}  // namespace
+}  // namespace ril

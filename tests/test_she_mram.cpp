@@ -1,0 +1,67 @@
+#include "device/she_mram_lut.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ril::device {
+namespace {
+
+SheMramLut2 nominal_she(std::mt19937_64& rng) {
+  MtjParams mtj;
+  CmosParams cmos;
+  cmos.sense_offset_sigma = 0;
+  SheParams she;
+  VariationSpec no_var{0, 0, 0};
+  return SheMramLut2(mtj, cmos, she, no_var, rng);
+}
+
+TEST(SheMram, ProgramsAllFunctions) {
+  std::mt19937_64 rng(1);
+  for (unsigned mask = 0; mask < 16; ++mask) {
+    SheMramLut2 lut = nominal_she(rng);
+    lut.configure(static_cast<std::uint8_t>(mask));
+    EXPECT_EQ(lut.stored_mask(), mask);
+    for (unsigned m = 0; m < 4; ++m) {
+      EXPECT_EQ(lut.read_cell(m & 1, (m >> 1) & 1).value,
+                ((mask >> m) & 1) != 0);
+    }
+  }
+}
+
+TEST(SheMram, WritesCheaperThanStt) {
+  std::mt19937_64 rng(2);
+  SheMramLut2 she = nominal_she(rng);
+  MtjParams mtj;
+  CmosParams cmos;
+  cmos.sense_offset_sigma = 0;
+  VariationSpec no_var{0, 0, 0};
+  MramLut2 stt(mtj, cmos, no_var, rng);
+
+  const auto w_she = she.write_cell(0, true);
+  const auto w_stt = stt.write_cell(0, true);
+  ASSERT_TRUE(w_she.success);
+  ASSERT_TRUE(w_stt.success);
+  // The SHE write path avoids the tunnel barrier: ~order of magnitude less.
+  EXPECT_LT(w_she.energy, w_stt.energy / 5.0);
+}
+
+TEST(SheMram, ReadPathUnchanged) {
+  std::mt19937_64 rng(3);
+  SheMramLut2 she = nominal_she(rng);
+  she.configure(0b0110);
+  const auto r0 = she.read_cell(false, false);
+  const auto r1 = she.read_cell(true, false);
+  // Same complementary divider: value-independent power, Table IV energy.
+  EXPECT_NEAR(r0.power, r1.power, 1e-9);
+  EXPECT_NEAR(r0.energy, 12.47e-15, 0.15e-15);
+  EXPECT_FALSE(r0.error);
+  EXPECT_FALSE(r1.error);
+}
+
+TEST(SheMram, StandbyMatchesStt) {
+  std::mt19937_64 rng(4);
+  SheMramLut2 she = nominal_she(rng);
+  EXPECT_NEAR(she.standby_power() * 1e-9, 36.9e-18, 1e-18);
+}
+
+}  // namespace
+}  // namespace ril::device

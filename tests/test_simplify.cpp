@@ -1,0 +1,144 @@
+#include "netlist/simplify.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "benchgen/random_dag.hpp"
+#include "cnf/equivalence.hpp"
+#include "locking/locked.hpp"
+#include "locking/schemes.hpp"
+#include "netlist/simulator.hpp"
+
+namespace ril::netlist {
+namespace {
+
+TEST(Simplify, ConstantFoldsThroughGates) {
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  const NodeId one = nl.add_const(true);
+  const NodeId zero = nl.add_const(false);
+  const NodeId g1 = nl.add_gate(GateType::kAnd, {a, one}, "g1");    // = a
+  const NodeId g2 = nl.add_gate(GateType::kOr, {g1, zero}, "g2");   // = a
+  const NodeId g3 = nl.add_gate(GateType::kXor, {g2, one}, "g3");   // = !a
+  const NodeId g4 = nl.add_gate(GateType::kAnd, {g3, zero}, "g4");  // = 0
+  nl.mark_output(g3);
+  nl.mark_output(g4);
+  const auto stats = simplify(nl);
+  EXPECT_GT(stats.constants_folded, 0u);
+  EXPECT_EQ(nl.node(nl.outputs()[1]).type, GateType::kConst0);
+  // g3 must reduce to NOT(a).
+  EXPECT_EQ(nl.node(nl.outputs()[0]).type, GateType::kNot);
+  EXPECT_TRUE(nl.validate().empty());
+}
+
+TEST(Simplify, BufferChainsCollapse) {
+  Netlist nl;
+  NodeId x = nl.add_input("x");
+  NodeId prev = x;
+  for (int i = 0; i < 5; ++i) {
+    prev = nl.add_gate(GateType::kBuf, {prev});
+  }
+  const NodeId g = nl.add_gate(GateType::kNot, {prev}, "g");
+  nl.mark_output(g);
+  simplify(nl);
+  EXPECT_EQ(nl.node(*nl.find("g")).fanins[0], *nl.find("x"));
+  EXPECT_EQ(nl.gate_count(), 1u);
+}
+
+TEST(Simplify, XorCancellation) {
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  const NodeId b = nl.add_input("b");
+  const NodeId g = nl.add_gate(GateType::kXor, {a, b, a}, "g");  // = b
+  nl.mark_output(g);
+  simplify(nl);
+  EXPECT_EQ(nl.outputs()[0], *nl.find("b"));
+}
+
+TEST(Simplify, MuxRules) {
+  Netlist nl;
+  const NodeId s = nl.add_input("s");
+  const NodeId d = nl.add_input("d");
+  const NodeId one = nl.add_const(true);
+  const NodeId zero = nl.add_const(false);
+  nl.mark_output(nl.add_mux(one, d, s, "m1"));    // = s
+  nl.mark_output(nl.add_mux(s, d, d, "m2"));      // = d
+  nl.mark_output(nl.add_mux(s, zero, one, "m3"));  // = s
+  nl.mark_output(nl.add_mux(s, one, zero, "m4"));  // = !s
+  simplify(nl);
+  EXPECT_EQ(nl.outputs()[0], *nl.find("s"));
+  EXPECT_EQ(nl.outputs()[1], *nl.find("d"));
+  EXPECT_EQ(nl.outputs()[2], *nl.find("s"));
+  EXPECT_EQ(nl.node(nl.outputs()[3]).type, GateType::kNot);
+}
+
+TEST(Simplify, LutConstantInput) {
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  const NodeId one = nl.add_const(true);
+  // LUT(a, 1) with AND mask -> a.
+  const NodeId lut = nl.add_lut({a, one}, 0b1000, "lut");
+  nl.mark_output(lut);
+  simplify(nl);
+  EXPECT_EQ(nl.outputs()[0], *nl.find("a"));
+}
+
+TEST(Simplify, PreservesFunction) {
+  // Property: simplify(specialize_keys(locked, key)) == host function.
+  std::mt19937_64 rng(3);
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    benchgen::RandomDagParams params;
+    params.num_inputs = 14;
+    params.num_outputs = 6;
+    params.num_gates = 160;
+    params.seed = seed;
+    const Netlist host = benchgen::generate_random_dag(params);
+    const auto locked = locking::lock_lut(host, 5, seed);
+    Netlist fixed = locking::specialize_keys(locked.netlist, locked.key);
+    const std::size_t before = fixed.gate_count();
+    const auto stats = simplify(fixed);
+    EXPECT_LT(fixed.gate_count(), before);  // the key MUX trees must melt
+    EXPECT_GT(stats.gates_pruned, 0u);
+    EXPECT_TRUE(cnf::check_equivalence(fixed, host).equivalent())
+        << "seed " << seed;
+  }
+}
+
+TEST(Simplify, UnlockedRilMeltsToHostSize) {
+  // After unlocking with the correct key, the RIL MUX fabric should reduce
+  // to within a whisker of the original area (the paper's "reconfigurable
+  // fabric carries the overhead, not the unlocked function").
+  benchgen::RandomDagParams params;
+  params.num_inputs = 20;
+  params.num_outputs = 10;
+  params.num_gates = 260;
+  params.seed = 9;
+  const Netlist host = benchgen::generate_random_dag(params);
+  core::RilBlockConfig config;
+  config.size = 8;
+  config.output_network = true;
+  const auto ril = locking::lock_ril(host, 1, config, 10);
+  Netlist fixed =
+      locking::specialize_keys(ril.locked.netlist, ril.locked.key);
+  simplify(fixed);
+  EXPECT_LE(fixed.gate_count(), host.gate_count() + 4);
+  EXPECT_TRUE(cnf::check_equivalence(fixed, host).equivalent());
+}
+
+TEST(Simplify, SequentialSafe) {
+  Netlist nl;
+  const NodeId x = nl.add_input("x");
+  const NodeId one = nl.add_const(true);
+  const NodeId dff = nl.add_gate(GateType::kDff, {x}, "q");
+  const NodeId g = nl.add_gate(GateType::kAnd, {dff, one}, "g");  // = q
+  const NodeId nxt = nl.add_gate(GateType::kXor, {g, x}, "nxt");
+  nl.node(dff).fanins[0] = nxt;
+  nl.mark_output(g);
+  simplify(nl);
+  EXPECT_EQ(nl.dff_count(), 1u);
+  EXPECT_TRUE(nl.validate().empty());
+}
+
+}  // namespace
+}  // namespace ril::netlist

@@ -1,0 +1,185 @@
+#include "netlist/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <random>
+
+namespace ril::netlist {
+namespace {
+
+TEST(Simulator, AllBasicGates) {
+  struct Case {
+    GateType type;
+    std::uint64_t expect;  // truth over patterns (a,b) = bits of (0..3)
+  };
+  // pattern index p: a = p&1, b = p>>1 (4 patterns packed into word bits).
+  const std::uint64_t a_word = 0b0101;
+  const std::uint64_t b_word = 0b0011;
+  const Case cases[] = {
+      {GateType::kAnd, 0b0001},  {GateType::kNand, 0b1110},
+      {GateType::kOr, 0b0111},   {GateType::kNor, 0b1000},
+      {GateType::kXor, 0b0110},  {GateType::kXnor, 0b1001},
+  };
+  for (const Case& c : cases) {
+    Netlist nl;
+    const NodeId a = nl.add_input("a");
+    const NodeId b = nl.add_input("b");
+    const NodeId g = nl.add_gate(c.type, {a, b}, "g");
+    nl.mark_output(g);
+    Simulator sim(nl);
+    sim.set_input(a, a_word);
+    sim.set_input(b, b_word);
+    sim.evaluate();
+    EXPECT_EQ(sim.value(g) & 0xF, c.expect) << to_string(c.type);
+  }
+}
+
+TEST(Simulator, NotBufConst) {
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  const NodeId n = nl.add_gate(GateType::kNot, {a}, "n");
+  const NodeId bf = nl.add_gate(GateType::kBuf, {a}, "bf");
+  const NodeId c0 = nl.add_const(false);
+  const NodeId c1 = nl.add_const(true);
+  nl.mark_output(n);
+  nl.mark_output(bf);
+  nl.mark_output(c0);
+  nl.mark_output(c1);
+  Simulator sim(nl);
+  sim.set_input(a, 0b10);
+  sim.evaluate();
+  EXPECT_EQ(sim.value(n) & 0b11, 0b01u);
+  EXPECT_EQ(sim.value(bf) & 0b11, 0b10u);
+  EXPECT_EQ(sim.value(c0) & 0b11, 0b00u);
+  EXPECT_EQ(sim.value(c1) & 0b11, 0b11u);
+}
+
+TEST(Simulator, MuxSemantics) {
+  Netlist nl;
+  const NodeId s = nl.add_input("s");
+  const NodeId d0 = nl.add_input("d0");
+  const NodeId d1 = nl.add_input("d1");
+  const NodeId m = nl.add_mux(s, d0, d1, "m");
+  nl.mark_output(m);
+  Simulator sim(nl);
+  // 8 patterns: s d1 d0 as bits of index.
+  std::uint64_t sw = 0, d0w = 0, d1w = 0, expect = 0;
+  for (unsigned p = 0; p < 8; ++p) {
+    const bool sv = p & 1, d0v = p & 2, d1v = p & 4;
+    if (sv) sw |= 1ull << p;
+    if (d0v) d0w |= 1ull << p;
+    if (d1v) d1w |= 1ull << p;
+    if (sv ? d1v : d0v) expect |= 1ull << p;
+  }
+  sim.set_input(s, sw);
+  sim.set_input(d0, d0w);
+  sim.set_input(d1, d1w);
+  sim.evaluate();
+  EXPECT_EQ(sim.value(m) & 0xFF, expect);
+}
+
+TEST(Simulator, LutMatchesMask) {
+  std::mt19937_64 rng(11);
+  for (int arity = 1; arity <= 4; ++arity) {
+    Netlist nl;
+    std::vector<NodeId> ins;
+    for (int i = 0; i < arity; ++i) {
+      ins.push_back(nl.add_input("i" + std::to_string(i)));
+    }
+    const std::uint64_t rows = 1ull << arity;
+    const std::uint64_t mask = rng() & ((rows >= 64) ? ~0ull
+                                                     : ((1ull << rows) - 1));
+    const NodeId lut = nl.add_lut(ins, mask, "lut");
+    nl.mark_output(lut);
+    Simulator sim(nl);
+    // pattern p encodes the input row.
+    for (int i = 0; i < arity; ++i) {
+      std::uint64_t w = 0;
+      for (std::uint64_t p = 0; p < rows; ++p) {
+        if ((p >> i) & 1) w |= 1ull << p;
+      }
+      sim.set_input(ins[i], w);
+    }
+    sim.evaluate();
+    EXPECT_EQ(sim.value(lut) & ((1ull << rows) - 1), mask)
+        << "arity " << arity;
+  }
+}
+
+TEST(Simulator, VariadicGates) {
+  Netlist nl;
+  std::vector<NodeId> ins;
+  for (int i = 0; i < 4; ++i) ins.push_back(nl.add_input("i" + std::to_string(i)));
+  const NodeId g = nl.add_gate(GateType::kXor, ins, "g");
+  nl.mark_output(g);
+  Simulator sim(nl);
+  for (int i = 0; i < 4; ++i) {
+    std::uint64_t w = 0;
+    for (unsigned p = 0; p < 16; ++p) {
+      if ((p >> i) & 1) w |= 1ull << p;
+    }
+    sim.set_input(ins[i], w);
+  }
+  sim.evaluate();
+  for (unsigned p = 0; p < 16; ++p) {
+    EXPECT_EQ((sim.value(g) >> p) & 1,
+              static_cast<std::uint64_t>(std::popcount(p) % 2));
+  }
+}
+
+TEST(Simulator, SequentialToggle) {
+  // q' = XOR(q, 1): toggles every step.
+  Netlist nl;
+  const NodeId one = nl.add_const(true);
+  const NodeId dff = nl.add_gate(GateType::kDff, {one}, "q");
+  const NodeId nxt = nl.add_gate(GateType::kXor, {dff, one}, "nxt");
+  nl.node(dff).fanins[0] = nxt;
+  nl.mark_output(dff);
+  Simulator sim(nl);
+  sim.reset_state();
+  sim.step();  // state becomes 1
+  sim.evaluate();
+  EXPECT_EQ(sim.value(dff) & 1, 1u);
+  sim.step();  // state toggles back to 0
+  sim.evaluate();
+  EXPECT_EQ(sim.value(dff) & 1, 0u);
+}
+
+TEST(Simulator, EvaluateWithKey) {
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  const NodeId k = nl.add_key_input("keyinput0");
+  const NodeId g = nl.add_gate(GateType::kXor, {a, k}, "g");
+  nl.mark_output(g);
+  EXPECT_EQ(evaluate_with_key(nl, {true}, {false})[0], true);
+  EXPECT_EQ(evaluate_with_key(nl, {true}, {true})[0], false);
+}
+
+TEST(Simulator, WideVariadicGates) {
+  // Regression: gates with > 64 fanins (e.g. a full-width Anti-SAT AND
+  // tree) must not overflow the evaluation scratch buffer.
+  Netlist nl;
+  std::vector<NodeId> ins;
+  for (int i = 0; i < 200; ++i) {
+    ins.push_back(nl.add_input("i" + std::to_string(i)));
+  }
+  const NodeId g = nl.add_gate(GateType::kAnd, ins, "wide");
+  nl.mark_output(g);
+  Simulator sim(nl);
+  for (NodeId id : ins) sim.set_input_all(id, true);
+  sim.evaluate();
+  EXPECT_EQ(sim.value(g) & 1, 1u);
+  sim.set_input_all(ins[137], false);
+  sim.evaluate();
+  EXPECT_EQ(sim.value(g) & 1, 0u);
+}
+
+TEST(Simulator, InputWidthChecked) {
+  Netlist nl;
+  nl.add_input("a");
+  EXPECT_THROW(evaluate_once(nl, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ril::netlist

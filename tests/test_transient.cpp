@@ -1,0 +1,71 @@
+#include "device/transient.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ril::device {
+namespace {
+
+TransientOptions nominal_options() {
+  TransientOptions options;
+  options.variation.mtj_dim_sigma = 0;
+  options.variation.vth_sigma = 0;
+  options.variation.wl_sigma = 0;
+  options.cmos.sense_offset_sigma = 0;
+  return options;
+}
+
+TEST(Transient, AndThenNorOutputs) {
+  // Fig. 5(a)/(b): the same LUT implements AND, then is reconfigured to
+  // NOR; read sweeps must match both truth tables.
+  const TransientResult result = simulate_and_to_nor(nominal_options());
+  EXPECT_TRUE(result.all_writes_ok);
+  const std::array<int, 4> and_expected = {0, 0, 0, 1};  // minterm order
+  const std::array<int, 4> nor_expected = {1, 0, 0, 0};
+  EXPECT_EQ(result.and_outputs, and_expected);
+  EXPECT_EQ(result.nor_outputs, nor_expected);
+}
+
+TEST(Transient, ScanEnableInvertsNorPhase) {
+  TransientOptions options = nominal_options();
+  options.scan_enable_reads = true;
+  options.se_value_and = false;  // SE cell 0: scan mode passes through
+  options.se_value_nor = true;   // SE cell 1: scan mode inverts
+  const TransientResult result = simulate_and_to_nor(options);
+  const std::array<int, 4> and_expected = {0, 0, 0, 1};
+  const std::array<int, 4> nor_inverted = {0, 1, 1, 1};  // NOR -> OR
+  EXPECT_EQ(result.and_outputs, and_expected);
+  EXPECT_EQ(result.nor_outputs, nor_inverted);
+}
+
+TEST(Transient, WaveformStructure) {
+  const TransientResult result = simulate_and_to_nor(nominal_options());
+  // 2 config phases x (4 writes + 1 SE write) + 2 read sweeps x 4 reads.
+  ASSERT_EQ(result.waveform.size(), 2u * 5u + 2u * 4u);
+  // Time strictly increases.
+  for (std::size_t i = 1; i < result.waveform.size(); ++i) {
+    EXPECT_GT(result.waveform[i].time_ns, result.waveform[i - 1].time_ns);
+  }
+  // Writes assert WE or KWE; reads assert RE; phases labelled.
+  for (const auto& p : result.waveform) {
+    EXPECT_EQ(p.we + p.kwe + p.re, 1) << "at t=" << p.time_ns;
+    EXPECT_FALSE(p.phase.empty());
+  }
+}
+
+TEST(Transient, SenseVoltageTracksValue) {
+  const TransientResult result = simulate_and_to_nor(nominal_options());
+  for (const auto& p : result.waveform) {
+    if (p.re == 0 || p.se == 1) continue;
+    // Divider midpoint is above V_read/2 exactly when the output is 1.
+    EXPECT_EQ(p.v_sense > 0.2, p.out == 1);
+  }
+}
+
+TEST(Transient, ConfigEnergyAccounted) {
+  const TransientResult result = simulate_and_to_nor(nominal_options());
+  // 10 writes, ~34.7 fJ each.
+  EXPECT_NEAR(result.total_config_energy, 10 * 34.7e-15, 3e-15);
+}
+
+}  // namespace
+}  // namespace ril::device

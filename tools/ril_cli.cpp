@@ -1,0 +1,379 @@
+// `ril` -- command-line front end for the RIL-Blocks tool suite.
+//
+//   ril gen <name> <out.bench> [--scale F]
+//       Emit a benchmark circuit (c7552, b15, s35932, s38584, b20, aes,
+//       sha256, md5, gps).
+//
+//   ril lock <scheme> <in.bench> <out.bench> <key.txt> [options]
+//       Schemes: ril | xor | sarlock | antisat | sfll | lut | fulllock |
+//       routing. RIL options: --blocks N --size N --lutk M --output-net
+//       --scan. Generic: --bits N --seed S. Writes the locked netlist and
+//       the correct key (functional key for RIL; with --scan a second line
+//       carries the oracle scan key).
+//
+//   ril attack <method> <locked.bench> <activated.bench> [--timeout S]
+//       Methods: sat | appsat | onehot | removal | sps | bypass. The
+//       activated netlist (no key inputs) acts as the oracle. Prints the
+//       result and, when a key is recovered, verifies it by SAT CEC.
+//
+//   ril analyze <file.bench> [key.txt]
+//       Structural report: stats, detected routing networks and keyed
+//       LUTs, and (with a key) output corruptibility.
+//
+//   ril unlock <locked.bench> <key.txt> <out.bench>
+//       Specialize the key, simplify, and write the unlocked netlist.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "attacks/appsat.hpp"
+#include "attacks/bypass.hpp"
+#include "attacks/metrics.hpp"
+#include "attacks/oracle.hpp"
+#include "attacks/removal.hpp"
+#include "attacks/routing_encoding.hpp"
+#include "attacks/sat_attack.hpp"
+#include "attacks/sps.hpp"
+#include "benchgen/suite.hpp"
+#include "cnf/equivalence.hpp"
+#include "locking/schemes.hpp"
+#include "netlist/bench_io.hpp"
+#include "netlist/verilog_io.hpp"
+#include "netlist/simplify.hpp"
+#include "netlist/stats.hpp"
+#include "sca/circuit_dpa.hpp"
+
+namespace {
+
+using namespace ril;
+
+[[noreturn]] void usage(const char* message = nullptr) {
+  if (message) std::fprintf(stderr, "error: %s\n", message);
+  std::fprintf(stderr,
+               "usage:\n"
+               "  ril gen <name> <out.bench> [--scale F]\n"
+               "  ril lock <scheme> <in.bench> <out.bench> <key.txt>"
+               " [--blocks N --size N --lutk M --output-net --scan"
+               " --bits N --seed S]\n"
+               "  ril attack <method> <locked.bench> <activated.bench>"
+               " [--timeout S]\n"
+               "  ril analyze <file.bench> [key.txt]\n"
+               "  ril unlock <locked.bench> <key.txt> <out.bench>\n");
+  std::exit(2);
+}
+
+struct Args {
+  std::vector<std::string> positional;
+  double scale = 1.0;
+  double timeout = 60.0;
+  std::size_t blocks = 1;
+  std::size_t size = 8;
+  std::size_t lutk = 2;
+  std::size_t bits = 32;
+  std::uint64_t seed = 1;
+  bool output_net = false;
+  bool scan = false;
+};
+
+Args parse(int argc, char** argv) {
+  Args args;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) usage("missing option value");
+      return argv[++i];
+    };
+    if (arg == "--scale") args.scale = std::atof(value());
+    else if (arg == "--timeout") args.timeout = std::atof(value());
+    else if (arg == "--blocks") args.blocks = std::strtoull(value(), nullptr, 10);
+    else if (arg == "--size") args.size = std::strtoull(value(), nullptr, 10);
+    else if (arg == "--lutk") args.lutk = std::strtoull(value(), nullptr, 10);
+    else if (arg == "--bits") args.bits = std::strtoull(value(), nullptr, 10);
+    else if (arg == "--seed") args.seed = std::strtoull(value(), nullptr, 10);
+    else if (arg == "--output-net") args.output_net = true;
+    else if (arg == "--scan") args.scan = true;
+    else if (arg.rfind("--", 0) == 0) usage(("unknown option " + arg).c_str());
+    else args.positional.push_back(arg);
+  }
+  return args;
+}
+
+bool has_suffix(const std::string& path, const char* suffix) {
+  const std::string s = suffix;
+  return path.size() >= s.size() &&
+         path.compare(path.size() - s.size(), s.size(), s) == 0;
+}
+
+netlist::Netlist read_netlist(const std::string& path) {
+  return has_suffix(path, ".v") ? netlist::read_verilog_file(path)
+                                : netlist::read_bench_file(path);
+}
+
+void write_netlist(const std::string& path, const netlist::Netlist& nl) {
+  if (has_suffix(path, ".v")) {
+    netlist::write_verilog_file(path, nl);
+  } else {
+    netlist::write_bench_file(path, nl);
+  }
+}
+
+std::vector<bool> read_key_line(const std::string& line) {
+  std::vector<bool> key;
+  for (char c : line) {
+    if (c == '0') key.push_back(false);
+    else if (c == '1') key.push_back(true);
+  }
+  return key;
+}
+
+std::vector<bool> read_key_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) usage(("cannot open key file " + path).c_str());
+  std::string line;
+  std::getline(in, line);
+  return read_key_line(line);
+}
+
+void write_key_file(const std::string& path,
+                    const std::vector<bool>& functional,
+                    const std::vector<bool>* scan_key) {
+  std::ofstream out(path);
+  if (!out) usage(("cannot open key file " + path).c_str());
+  for (bool b : functional) out << (b ? '1' : '0');
+  out << "\n";
+  if (scan_key) {
+    for (bool b : *scan_key) out << (b ? '1' : '0');
+    out << "\n";
+  }
+}
+
+int cmd_gen(const Args& args) {
+  if (args.positional.size() != 2) usage("gen needs <name> <out.bench>");
+  const auto nl = benchgen::make_benchmark(args.positional[0], args.scale);
+  write_netlist(args.positional[1], nl);
+  std::printf("%s -> %s (%s)\n", args.positional[0].c_str(),
+              args.positional[1].c_str(),
+              netlist::format_stats(netlist::compute_stats(nl)).c_str());
+  return 0;
+}
+
+int cmd_lock(const Args& args) {
+  if (args.positional.size() != 4) {
+    usage("lock needs <scheme> <in.bench> <out.bench> <key.txt>");
+  }
+  const std::string& scheme = args.positional[0];
+  netlist::Netlist host = read_netlist(args.positional[1]);
+  if (host.dff_count() > 0) {
+    std::printf("note: sequential input; locking the combinational core\n");
+    host = host.combinational_core();
+  }
+
+  netlist::Netlist locked;
+  std::vector<bool> key;
+  const std::vector<bool>* scan_key = nullptr;
+  std::vector<bool> scan_storage;
+  if (scheme == "ril") {
+    core::RilBlockConfig config;
+    config.size = args.size;
+    config.output_network = args.output_net;
+    config.scan_obfuscation = args.scan;
+    config.lut_inputs = args.lutk;
+    auto ril = locking::lock_ril(host, args.blocks, config, args.seed);
+    locked = std::move(ril.locked.netlist);
+    key = ril.info.functional_key;
+    if (args.scan) {
+      scan_storage = ril.info.oracle_scan_key;
+      scan_key = &scan_storage;
+    }
+  } else {
+    locking::LockedCircuit result;
+    if (scheme == "xor") result = locking::lock_xor(host, args.bits, args.seed);
+    else if (scheme == "sarlock") result = locking::lock_sarlock(host, args.bits, args.seed);
+    else if (scheme == "antisat") result = locking::lock_antisat(host, args.bits, args.seed);
+    else if (scheme == "sfll") result = locking::lock_sfll_hd0(host, args.bits, args.seed);
+    else if (scheme == "lut") result = locking::lock_lut(host, args.bits, args.seed);
+    else if (scheme == "fulllock") result = locking::lock_fulllock(host, args.size, args.seed);
+    else if (scheme == "routing") result = locking::lock_banyan_routing(host, args.size, args.seed);
+    else usage(("unknown scheme " + scheme).c_str());
+    locked = std::move(result.netlist);
+    key = std::move(result.key);
+  }
+  write_netlist(args.positional[2], locked);
+  write_key_file(args.positional[3], key, scan_key);
+  std::printf("locked with %s: %s, key width %zu -> %s / %s\n",
+              scheme.c_str(),
+              netlist::format_stats(netlist::compute_stats(locked)).c_str(),
+              key.size(), args.positional[2].c_str(),
+              args.positional[3].c_str());
+  return 0;
+}
+
+int cmd_attack(const Args& args) {
+  if (args.positional.size() != 3) {
+    usage("attack needs <method> <locked.bench> <activated.bench>");
+  }
+  const std::string& method = args.positional[0];
+  const netlist::Netlist locked =
+      read_netlist(args.positional[1]);
+  const netlist::Netlist activated =
+      read_netlist(args.positional[2]);
+  if (!activated.key_inputs().empty()) {
+    usage("activated netlist must not have key inputs (use `ril unlock`)");
+  }
+  attacks::Oracle oracle(activated, {});
+
+  auto verify = [&](const std::vector<bool>& key) {
+    sat::SolverLimits limits{.time_limit_seconds = args.timeout};
+    const auto eq =
+        cnf::check_equivalence(locked, activated, key, {}, limits);
+    return eq.equivalent() ? "correct (CEC UNSAT)"
+           : eq.status == sat::Result::kUnknown ? "unverified (CEC timeout)"
+                                                : "WRONG";
+  };
+
+  if (method == "sat" || method == "appsat" || method == "onehot") {
+    attacks::SatAttackOptions options;
+    options.time_limit_seconds = args.timeout;
+    if (method == "sat") {
+      const auto result = attacks::run_sat_attack(locked, oracle, options);
+      std::printf("sat attack: %s in %.2fs, %zu DIPs, %llu conflicts\n",
+                  to_string(result.status).c_str(), result.seconds,
+                  result.iterations,
+                  static_cast<unsigned long long>(result.conflicts));
+      if (result.status == attacks::SatAttackStatus::kKeyFound) {
+        std::printf("recovered key: ");
+        for (bool b : result.key) std::printf("%c", b ? '1' : '0');
+        std::printf("\nkey check: %s\n", verify(result.key));
+      }
+    } else if (method == "onehot") {
+      const auto result =
+          attacks::run_sat_attack_onehot(locked, oracle, options);
+      std::printf("one-hot attack: %s in %.2fs, %zu DIPs "
+                  "(%zu routing components, %zu key bits -> %zu selectors)\n",
+                  to_string(result.status).c_str(), result.seconds,
+                  result.iterations, result.components,
+                  result.routing_key_bits_replaced, result.selector_bits);
+      if (result.status == attacks::SatAttackStatus::kKeyFound) {
+        sat::SolverLimits limits{.time_limit_seconds = args.timeout};
+        const auto eq = cnf::check_equivalence(result.reconstructed,
+                                               activated, {}, {}, limits);
+        std::printf("reconstruction: %s\n",
+                    eq.equivalent() ? "equivalent to oracle" : "NOT exact");
+      }
+    } else {
+      attacks::AppSatOptions appsat;
+      appsat.time_limit_seconds = args.timeout;
+      const auto result = attacks::run_appsat(locked, oracle, appsat);
+      std::printf("appsat: %s in %.2fs, %zu DIPs, sampled error %.3f\n",
+                  to_string(result.status).c_str(), result.seconds,
+                  result.iterations, result.sampled_error);
+      if (!result.key.empty()) {
+        std::printf("key check: %s\n", verify(result.key));
+      }
+    }
+    return 0;
+  }
+  if (method == "removal") {
+    const auto result = attacks::run_removal_attack(locked);
+    sat::SolverLimits limits{.time_limit_seconds = args.timeout};
+    const auto eq =
+        cnf::check_equivalence(result.recovered, activated, {}, {}, limits);
+    std::printf("removal: cuts=%zu grounded=%zu reconstruction %s\n",
+                result.cuts, result.grounded_keys,
+                eq.equivalent() ? "EQUIVALENT (defense broken)"
+                                : "wrong (defense held)");
+    return 0;
+  }
+  if (method == "sps") {
+    const auto result = attacks::run_sps_attack(locked);
+    sat::SolverLimits limits{.time_limit_seconds = args.timeout};
+    const auto eq =
+        cnf::check_equivalence(result.recovered, activated, {}, {}, limits);
+    std::printf("sps: cuts=%zu max skew=%.3f reconstruction %s\n",
+                result.cuts, result.max_observed_skew,
+                eq.equivalent() ? "EQUIVALENT (defense broken)"
+                                : "wrong (defense held)");
+    return 0;
+  }
+  if (method == "bypass") {
+    attacks::BypassOptions options;
+    options.time_limit_seconds = args.timeout;
+    const auto result = attacks::run_bypass_attack(locked, oracle, options);
+    std::printf("bypass: %s, %zu patterns\n",
+                to_string(result.status).c_str(), result.patterns);
+    if (result.status == attacks::BypassStatus::kBypassed) {
+      sat::SolverLimits limits{.time_limit_seconds = args.timeout};
+      const auto eq =
+          cnf::check_equivalence(result.pirated, activated, {}, {}, limits);
+      std::printf("pirated chip %s\n",
+                  eq.equivalent() ? "EQUIVALENT (defense broken)"
+                                  : "wrong (defense held)");
+    }
+    return 0;
+  }
+  usage(("unknown attack method " + method).c_str());
+}
+
+int cmd_analyze(const Args& args) {
+  if (args.positional.empty()) usage("analyze needs <file.bench>");
+  const netlist::Netlist nl = read_netlist(args.positional[0]);
+  std::printf("%s: %s\n", nl.name().c_str(),
+              netlist::format_stats(netlist::compute_stats(nl)).c_str());
+  const auto components = attacks::find_routing_networks(nl);
+  std::printf("routing networks: %zu\n", components.size());
+  for (const auto& component : components) {
+    std::printf("  %zu-in/%zu-out, %zu switches, terminal=%s\n",
+                component.inputs.size(), component.outputs.size(),
+                component.key_inputs.size(),
+                component.terminal ? "yes" : "no");
+  }
+  const auto luts = sca::find_keyed_luts(nl);
+  std::size_t attackable = 0;
+  for (const auto& lut : luts) attackable += lut.attackable;
+  std::printf("keyed 2-input LUTs: %zu (%zu with key-free input cones)\n",
+              luts.size(), attackable);
+  if (args.positional.size() > 1) {
+    const auto key = read_key_file(args.positional[1]);
+    const double corruption =
+        attacks::output_corruptibility(nl, key, 8192, args.seed);
+    std::printf("output corruptibility: %.4f\n", corruption);
+  }
+  return 0;
+}
+
+int cmd_unlock(const Args& args) {
+  if (args.positional.size() != 3) {
+    usage("unlock needs <locked.bench> <key.txt> <out.bench>");
+  }
+  const netlist::Netlist locked =
+      read_netlist(args.positional[0]);
+  const auto key = read_key_file(args.positional[1]);
+  netlist::Netlist fixed = locking::specialize_keys(locked, key);
+  const auto stats = netlist::simplify(fixed);
+  write_netlist(args.positional[2], fixed);
+  std::printf("unlocked: %s (folded %zu, pruned %zu) -> %s\n",
+              netlist::format_stats(netlist::compute_stats(fixed)).c_str(),
+              stats.constants_folded, stats.gates_pruned,
+              args.positional[2].c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage();
+  const std::string command = argv[1];
+  const Args args = parse(argc, argv);
+  try {
+    if (command == "gen") return cmd_gen(args);
+    if (command == "lock") return cmd_lock(args);
+    if (command == "attack") return cmd_attack(args);
+    if (command == "analyze") return cmd_analyze(args);
+    if (command == "unlock") return cmd_unlock(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  usage(("unknown command " + command).c_str());
+}
