@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_corruption.dir/bench_ablation_corruption.cpp.o"
+  "CMakeFiles/bench_ablation_corruption.dir/bench_ablation_corruption.cpp.o.d"
+  "bench_ablation_corruption"
+  "bench_ablation_corruption.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_corruption.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

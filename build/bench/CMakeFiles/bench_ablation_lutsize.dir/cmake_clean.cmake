@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_lutsize.dir/bench_ablation_lutsize.cpp.o"
+  "CMakeFiles/bench_ablation_lutsize.dir/bench_ablation_lutsize.cpp.o.d"
+  "bench_ablation_lutsize"
+  "bench_ablation_lutsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_lutsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

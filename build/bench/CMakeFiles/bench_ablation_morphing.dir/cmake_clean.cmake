@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_morphing.dir/bench_ablation_morphing.cpp.o"
+  "CMakeFiles/bench_ablation_morphing.dir/bench_ablation_morphing.cpp.o.d"
+  "bench_ablation_morphing"
+  "bench_ablation_morphing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_morphing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

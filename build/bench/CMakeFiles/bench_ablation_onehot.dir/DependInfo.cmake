@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_onehot.cpp" "bench/CMakeFiles/bench_ablation_onehot.dir/bench_ablation_onehot.cpp.o" "gcc" "bench/CMakeFiles/bench_ablation_onehot.dir/bench_ablation_onehot.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/ril_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/ril_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/sat/CMakeFiles/ril_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/cnf/CMakeFiles/ril_cnf.dir/DependInfo.cmake"
+  "/root/repo/build/src/benchgen/CMakeFiles/ril_benchgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ril_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/locking/CMakeFiles/ril_locking.dir/DependInfo.cmake"
+  "/root/repo/build/src/attacks/CMakeFiles/ril_attacks.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/ril_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/sca/CMakeFiles/ril_sca.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_onehot.dir/bench_ablation_onehot.cpp.o"
+  "CMakeFiles/bench_ablation_onehot.dir/bench_ablation_onehot.cpp.o.d"
+  "bench_ablation_onehot"
+  "bench_ablation_onehot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_onehot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_psca.dir/bench_ablation_psca.cpp.o"
+  "CMakeFiles/bench_ablation_psca.dir/bench_ablation_psca.cpp.o.d"
+  "bench_ablation_psca"
+  "bench_ablation_psca.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_psca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

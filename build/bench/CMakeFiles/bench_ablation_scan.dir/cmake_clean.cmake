@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_scan.dir/bench_ablation_scan.cpp.o"
+  "CMakeFiles/bench_ablation_scan.dir/bench_ablation_scan.cpp.o.d"
+  "bench_ablation_scan"
+  "bench_ablation_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

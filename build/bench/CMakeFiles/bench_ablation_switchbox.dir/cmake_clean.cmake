@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_switchbox.dir/bench_ablation_switchbox.cpp.o"
+  "CMakeFiles/bench_ablation_switchbox.dir/bench_ablation_switchbox.cpp.o.d"
+  "bench_ablation_switchbox"
+  "bench_ablation_switchbox.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_switchbox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

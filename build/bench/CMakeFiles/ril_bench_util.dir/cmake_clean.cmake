@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ril_bench_util.dir/bench_util.cpp.o"
+  "CMakeFiles/ril_bench_util.dir/bench_util.cpp.o.d"
+  "libril_bench_util.a"
+  "libril_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ril_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

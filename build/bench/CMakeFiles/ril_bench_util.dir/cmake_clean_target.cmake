@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libril_bench_util.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compare_defenses.dir/compare_defenses.cpp.o"
+  "CMakeFiles/compare_defenses.dir/compare_defenses.cpp.o.d"
+  "compare_defenses"
+  "compare_defenses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compare_defenses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

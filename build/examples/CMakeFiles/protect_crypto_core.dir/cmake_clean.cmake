@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protect_crypto_core.dir/protect_crypto_core.cpp.o"
+  "CMakeFiles/protect_crypto_core.dir/protect_crypto_core.cpp.o.d"
+  "protect_crypto_core"
+  "protect_crypto_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protect_crypto_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

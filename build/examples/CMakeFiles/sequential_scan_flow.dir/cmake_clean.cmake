@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sequential_scan_flow.dir/sequential_scan_flow.cpp.o"
+  "CMakeFiles/sequential_scan_flow.dir/sequential_scan_flow.cpp.o.d"
+  "sequential_scan_flow"
+  "sequential_scan_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sequential_scan_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/attacks/appsat.cpp" "src/attacks/CMakeFiles/ril_attacks.dir/appsat.cpp.o" "gcc" "src/attacks/CMakeFiles/ril_attacks.dir/appsat.cpp.o.d"
+  "/root/repo/src/attacks/bypass.cpp" "src/attacks/CMakeFiles/ril_attacks.dir/bypass.cpp.o" "gcc" "src/attacks/CMakeFiles/ril_attacks.dir/bypass.cpp.o.d"
+  "/root/repo/src/attacks/metrics.cpp" "src/attacks/CMakeFiles/ril_attacks.dir/metrics.cpp.o" "gcc" "src/attacks/CMakeFiles/ril_attacks.dir/metrics.cpp.o.d"
+  "/root/repo/src/attacks/oracle.cpp" "src/attacks/CMakeFiles/ril_attacks.dir/oracle.cpp.o" "gcc" "src/attacks/CMakeFiles/ril_attacks.dir/oracle.cpp.o.d"
+  "/root/repo/src/attacks/removal.cpp" "src/attacks/CMakeFiles/ril_attacks.dir/removal.cpp.o" "gcc" "src/attacks/CMakeFiles/ril_attacks.dir/removal.cpp.o.d"
+  "/root/repo/src/attacks/routing_encoding.cpp" "src/attacks/CMakeFiles/ril_attacks.dir/routing_encoding.cpp.o" "gcc" "src/attacks/CMakeFiles/ril_attacks.dir/routing_encoding.cpp.o.d"
+  "/root/repo/src/attacks/sat_attack.cpp" "src/attacks/CMakeFiles/ril_attacks.dir/sat_attack.cpp.o" "gcc" "src/attacks/CMakeFiles/ril_attacks.dir/sat_attack.cpp.o.d"
+  "/root/repo/src/attacks/scansat.cpp" "src/attacks/CMakeFiles/ril_attacks.dir/scansat.cpp.o" "gcc" "src/attacks/CMakeFiles/ril_attacks.dir/scansat.cpp.o.d"
+  "/root/repo/src/attacks/sensitization.cpp" "src/attacks/CMakeFiles/ril_attacks.dir/sensitization.cpp.o" "gcc" "src/attacks/CMakeFiles/ril_attacks.dir/sensitization.cpp.o.d"
+  "/root/repo/src/attacks/sps.cpp" "src/attacks/CMakeFiles/ril_attacks.dir/sps.cpp.o" "gcc" "src/attacks/CMakeFiles/ril_attacks.dir/sps.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/ril_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/sat/CMakeFiles/ril_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/cnf/CMakeFiles/ril_cnf.dir/DependInfo.cmake"
+  "/root/repo/build/src/locking/CMakeFiles/ril_locking.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ril_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ril_attacks.dir/appsat.cpp.o"
+  "CMakeFiles/ril_attacks.dir/appsat.cpp.o.d"
+  "CMakeFiles/ril_attacks.dir/bypass.cpp.o"
+  "CMakeFiles/ril_attacks.dir/bypass.cpp.o.d"
+  "CMakeFiles/ril_attacks.dir/metrics.cpp.o"
+  "CMakeFiles/ril_attacks.dir/metrics.cpp.o.d"
+  "CMakeFiles/ril_attacks.dir/oracle.cpp.o"
+  "CMakeFiles/ril_attacks.dir/oracle.cpp.o.d"
+  "CMakeFiles/ril_attacks.dir/removal.cpp.o"
+  "CMakeFiles/ril_attacks.dir/removal.cpp.o.d"
+  "CMakeFiles/ril_attacks.dir/routing_encoding.cpp.o"
+  "CMakeFiles/ril_attacks.dir/routing_encoding.cpp.o.d"
+  "CMakeFiles/ril_attacks.dir/sat_attack.cpp.o"
+  "CMakeFiles/ril_attacks.dir/sat_attack.cpp.o.d"
+  "CMakeFiles/ril_attacks.dir/scansat.cpp.o"
+  "CMakeFiles/ril_attacks.dir/scansat.cpp.o.d"
+  "CMakeFiles/ril_attacks.dir/sensitization.cpp.o"
+  "CMakeFiles/ril_attacks.dir/sensitization.cpp.o.d"
+  "CMakeFiles/ril_attacks.dir/sps.cpp.o"
+  "CMakeFiles/ril_attacks.dir/sps.cpp.o.d"
+  "libril_attacks.a"
+  "libril_attacks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ril_attacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/benchgen/arithmetic.cpp" "src/benchgen/CMakeFiles/ril_benchgen.dir/arithmetic.cpp.o" "gcc" "src/benchgen/CMakeFiles/ril_benchgen.dir/arithmetic.cpp.o.d"
+  "/root/repo/src/benchgen/crypto.cpp" "src/benchgen/CMakeFiles/ril_benchgen.dir/crypto.cpp.o" "gcc" "src/benchgen/CMakeFiles/ril_benchgen.dir/crypto.cpp.o.d"
+  "/root/repo/src/benchgen/random_dag.cpp" "src/benchgen/CMakeFiles/ril_benchgen.dir/random_dag.cpp.o" "gcc" "src/benchgen/CMakeFiles/ril_benchgen.dir/random_dag.cpp.o.d"
+  "/root/repo/src/benchgen/suite.cpp" "src/benchgen/CMakeFiles/ril_benchgen.dir/suite.cpp.o" "gcc" "src/benchgen/CMakeFiles/ril_benchgen.dir/suite.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/ril_netlist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

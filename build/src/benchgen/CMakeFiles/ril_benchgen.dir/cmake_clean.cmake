@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ril_benchgen.dir/arithmetic.cpp.o"
+  "CMakeFiles/ril_benchgen.dir/arithmetic.cpp.o.d"
+  "CMakeFiles/ril_benchgen.dir/crypto.cpp.o"
+  "CMakeFiles/ril_benchgen.dir/crypto.cpp.o.d"
+  "CMakeFiles/ril_benchgen.dir/random_dag.cpp.o"
+  "CMakeFiles/ril_benchgen.dir/random_dag.cpp.o.d"
+  "CMakeFiles/ril_benchgen.dir/suite.cpp.o"
+  "CMakeFiles/ril_benchgen.dir/suite.cpp.o.d"
+  "libril_benchgen.a"
+  "libril_benchgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ril_benchgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

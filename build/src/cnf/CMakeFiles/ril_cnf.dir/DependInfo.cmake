@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cnf/equivalence.cpp" "src/cnf/CMakeFiles/ril_cnf.dir/equivalence.cpp.o" "gcc" "src/cnf/CMakeFiles/ril_cnf.dir/equivalence.cpp.o.d"
+  "/root/repo/src/cnf/tseitin.cpp" "src/cnf/CMakeFiles/ril_cnf.dir/tseitin.cpp.o" "gcc" "src/cnf/CMakeFiles/ril_cnf.dir/tseitin.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/ril_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/sat/CMakeFiles/ril_sat.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ril_cnf.dir/equivalence.cpp.o"
+  "CMakeFiles/ril_cnf.dir/equivalence.cpp.o.d"
+  "CMakeFiles/ril_cnf.dir/tseitin.cpp.o"
+  "CMakeFiles/ril_cnf.dir/tseitin.cpp.o.d"
+  "libril_cnf.a"
+  "libril_cnf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ril_cnf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

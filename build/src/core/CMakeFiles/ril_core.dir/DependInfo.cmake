@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/banyan.cpp" "src/core/CMakeFiles/ril_core.dir/banyan.cpp.o" "gcc" "src/core/CMakeFiles/ril_core.dir/banyan.cpp.o.d"
+  "/root/repo/src/core/lut2.cpp" "src/core/CMakeFiles/ril_core.dir/lut2.cpp.o" "gcc" "src/core/CMakeFiles/ril_core.dir/lut2.cpp.o.d"
+  "/root/repo/src/core/lutk.cpp" "src/core/CMakeFiles/ril_core.dir/lutk.cpp.o" "gcc" "src/core/CMakeFiles/ril_core.dir/lutk.cpp.o.d"
+  "/root/repo/src/core/morphing.cpp" "src/core/CMakeFiles/ril_core.dir/morphing.cpp.o" "gcc" "src/core/CMakeFiles/ril_core.dir/morphing.cpp.o.d"
+  "/root/repo/src/core/polymorphic.cpp" "src/core/CMakeFiles/ril_core.dir/polymorphic.cpp.o" "gcc" "src/core/CMakeFiles/ril_core.dir/polymorphic.cpp.o.d"
+  "/root/repo/src/core/ril_block.cpp" "src/core/CMakeFiles/ril_core.dir/ril_block.cpp.o" "gcc" "src/core/CMakeFiles/ril_core.dir/ril_block.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/ril_netlist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

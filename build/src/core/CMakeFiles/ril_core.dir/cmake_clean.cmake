@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ril_core.dir/banyan.cpp.o"
+  "CMakeFiles/ril_core.dir/banyan.cpp.o.d"
+  "CMakeFiles/ril_core.dir/lut2.cpp.o"
+  "CMakeFiles/ril_core.dir/lut2.cpp.o.d"
+  "CMakeFiles/ril_core.dir/lutk.cpp.o"
+  "CMakeFiles/ril_core.dir/lutk.cpp.o.d"
+  "CMakeFiles/ril_core.dir/morphing.cpp.o"
+  "CMakeFiles/ril_core.dir/morphing.cpp.o.d"
+  "CMakeFiles/ril_core.dir/polymorphic.cpp.o"
+  "CMakeFiles/ril_core.dir/polymorphic.cpp.o.d"
+  "CMakeFiles/ril_core.dir/ril_block.cpp.o"
+  "CMakeFiles/ril_core.dir/ril_block.cpp.o.d"
+  "libril_core.a"
+  "libril_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ril_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

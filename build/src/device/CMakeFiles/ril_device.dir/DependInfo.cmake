@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/device/montecarlo.cpp" "src/device/CMakeFiles/ril_device.dir/montecarlo.cpp.o" "gcc" "src/device/CMakeFiles/ril_device.dir/montecarlo.cpp.o.d"
+  "/root/repo/src/device/mram_lut.cpp" "src/device/CMakeFiles/ril_device.dir/mram_lut.cpp.o" "gcc" "src/device/CMakeFiles/ril_device.dir/mram_lut.cpp.o.d"
+  "/root/repo/src/device/mtj.cpp" "src/device/CMakeFiles/ril_device.dir/mtj.cpp.o" "gcc" "src/device/CMakeFiles/ril_device.dir/mtj.cpp.o.d"
+  "/root/repo/src/device/params.cpp" "src/device/CMakeFiles/ril_device.dir/params.cpp.o" "gcc" "src/device/CMakeFiles/ril_device.dir/params.cpp.o.d"
+  "/root/repo/src/device/she_mram_lut.cpp" "src/device/CMakeFiles/ril_device.dir/she_mram_lut.cpp.o" "gcc" "src/device/CMakeFiles/ril_device.dir/she_mram_lut.cpp.o.d"
+  "/root/repo/src/device/sram_lut.cpp" "src/device/CMakeFiles/ril_device.dir/sram_lut.cpp.o" "gcc" "src/device/CMakeFiles/ril_device.dir/sram_lut.cpp.o.d"
+  "/root/repo/src/device/transient.cpp" "src/device/CMakeFiles/ril_device.dir/transient.cpp.o" "gcc" "src/device/CMakeFiles/ril_device.dir/transient.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ril_device.dir/montecarlo.cpp.o"
+  "CMakeFiles/ril_device.dir/montecarlo.cpp.o.d"
+  "CMakeFiles/ril_device.dir/mram_lut.cpp.o"
+  "CMakeFiles/ril_device.dir/mram_lut.cpp.o.d"
+  "CMakeFiles/ril_device.dir/mtj.cpp.o"
+  "CMakeFiles/ril_device.dir/mtj.cpp.o.d"
+  "CMakeFiles/ril_device.dir/params.cpp.o"
+  "CMakeFiles/ril_device.dir/params.cpp.o.d"
+  "CMakeFiles/ril_device.dir/she_mram_lut.cpp.o"
+  "CMakeFiles/ril_device.dir/she_mram_lut.cpp.o.d"
+  "CMakeFiles/ril_device.dir/sram_lut.cpp.o"
+  "CMakeFiles/ril_device.dir/sram_lut.cpp.o.d"
+  "CMakeFiles/ril_device.dir/transient.cpp.o"
+  "CMakeFiles/ril_device.dir/transient.cpp.o.d"
+  "libril_device.a"
+  "libril_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ril_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

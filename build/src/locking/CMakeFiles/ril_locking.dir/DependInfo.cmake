@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/locking/locked.cpp" "src/locking/CMakeFiles/ril_locking.dir/locked.cpp.o" "gcc" "src/locking/CMakeFiles/ril_locking.dir/locked.cpp.o.d"
+  "/root/repo/src/locking/schemes.cpp" "src/locking/CMakeFiles/ril_locking.dir/schemes.cpp.o" "gcc" "src/locking/CMakeFiles/ril_locking.dir/schemes.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/ril_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ril_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ril_locking.dir/locked.cpp.o"
+  "CMakeFiles/ril_locking.dir/locked.cpp.o.d"
+  "CMakeFiles/ril_locking.dir/schemes.cpp.o"
+  "CMakeFiles/ril_locking.dir/schemes.cpp.o.d"
+  "libril_locking.a"
+  "libril_locking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ril_locking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

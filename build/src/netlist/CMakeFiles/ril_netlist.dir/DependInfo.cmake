@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netlist/bench_io.cpp" "src/netlist/CMakeFiles/ril_netlist.dir/bench_io.cpp.o" "gcc" "src/netlist/CMakeFiles/ril_netlist.dir/bench_io.cpp.o.d"
+  "/root/repo/src/netlist/builder.cpp" "src/netlist/CMakeFiles/ril_netlist.dir/builder.cpp.o" "gcc" "src/netlist/CMakeFiles/ril_netlist.dir/builder.cpp.o.d"
+  "/root/repo/src/netlist/netlist.cpp" "src/netlist/CMakeFiles/ril_netlist.dir/netlist.cpp.o" "gcc" "src/netlist/CMakeFiles/ril_netlist.dir/netlist.cpp.o.d"
+  "/root/repo/src/netlist/scan_chain.cpp" "src/netlist/CMakeFiles/ril_netlist.dir/scan_chain.cpp.o" "gcc" "src/netlist/CMakeFiles/ril_netlist.dir/scan_chain.cpp.o.d"
+  "/root/repo/src/netlist/simplify.cpp" "src/netlist/CMakeFiles/ril_netlist.dir/simplify.cpp.o" "gcc" "src/netlist/CMakeFiles/ril_netlist.dir/simplify.cpp.o.d"
+  "/root/repo/src/netlist/simulator.cpp" "src/netlist/CMakeFiles/ril_netlist.dir/simulator.cpp.o" "gcc" "src/netlist/CMakeFiles/ril_netlist.dir/simulator.cpp.o.d"
+  "/root/repo/src/netlist/stats.cpp" "src/netlist/CMakeFiles/ril_netlist.dir/stats.cpp.o" "gcc" "src/netlist/CMakeFiles/ril_netlist.dir/stats.cpp.o.d"
+  "/root/repo/src/netlist/types.cpp" "src/netlist/CMakeFiles/ril_netlist.dir/types.cpp.o" "gcc" "src/netlist/CMakeFiles/ril_netlist.dir/types.cpp.o.d"
+  "/root/repo/src/netlist/verilog_io.cpp" "src/netlist/CMakeFiles/ril_netlist.dir/verilog_io.cpp.o" "gcc" "src/netlist/CMakeFiles/ril_netlist.dir/verilog_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

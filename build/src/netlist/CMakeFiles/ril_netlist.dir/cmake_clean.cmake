@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ril_netlist.dir/bench_io.cpp.o"
+  "CMakeFiles/ril_netlist.dir/bench_io.cpp.o.d"
+  "CMakeFiles/ril_netlist.dir/builder.cpp.o"
+  "CMakeFiles/ril_netlist.dir/builder.cpp.o.d"
+  "CMakeFiles/ril_netlist.dir/netlist.cpp.o"
+  "CMakeFiles/ril_netlist.dir/netlist.cpp.o.d"
+  "CMakeFiles/ril_netlist.dir/scan_chain.cpp.o"
+  "CMakeFiles/ril_netlist.dir/scan_chain.cpp.o.d"
+  "CMakeFiles/ril_netlist.dir/simplify.cpp.o"
+  "CMakeFiles/ril_netlist.dir/simplify.cpp.o.d"
+  "CMakeFiles/ril_netlist.dir/simulator.cpp.o"
+  "CMakeFiles/ril_netlist.dir/simulator.cpp.o.d"
+  "CMakeFiles/ril_netlist.dir/stats.cpp.o"
+  "CMakeFiles/ril_netlist.dir/stats.cpp.o.d"
+  "CMakeFiles/ril_netlist.dir/types.cpp.o"
+  "CMakeFiles/ril_netlist.dir/types.cpp.o.d"
+  "CMakeFiles/ril_netlist.dir/verilog_io.cpp.o"
+  "CMakeFiles/ril_netlist.dir/verilog_io.cpp.o.d"
+  "libril_netlist.a"
+  "libril_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ril_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

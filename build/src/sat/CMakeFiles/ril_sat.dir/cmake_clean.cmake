@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ril_sat.dir/dimacs.cpp.o"
+  "CMakeFiles/ril_sat.dir/dimacs.cpp.o.d"
+  "CMakeFiles/ril_sat.dir/solver.cpp.o"
+  "CMakeFiles/ril_sat.dir/solver.cpp.o.d"
+  "libril_sat.a"
+  "libril_sat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ril_sat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sca/circuit_dpa.cpp" "src/sca/CMakeFiles/ril_sca.dir/circuit_dpa.cpp.o" "gcc" "src/sca/CMakeFiles/ril_sca.dir/circuit_dpa.cpp.o.d"
+  "/root/repo/src/sca/dpa.cpp" "src/sca/CMakeFiles/ril_sca.dir/dpa.cpp.o" "gcc" "src/sca/CMakeFiles/ril_sca.dir/dpa.cpp.o.d"
+  "/root/repo/src/sca/power_trace.cpp" "src/sca/CMakeFiles/ril_sca.dir/power_trace.cpp.o" "gcc" "src/sca/CMakeFiles/ril_sca.dir/power_trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/device/CMakeFiles/ril_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/ril_netlist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ril_sca.dir/circuit_dpa.cpp.o"
+  "CMakeFiles/ril_sca.dir/circuit_dpa.cpp.o.d"
+  "CMakeFiles/ril_sca.dir/dpa.cpp.o"
+  "CMakeFiles/ril_sca.dir/dpa.cpp.o.d"
+  "CMakeFiles/ril_sca.dir/power_trace.cpp.o"
+  "CMakeFiles/ril_sca.dir/power_trace.cpp.o.d"
+  "libril_sca.a"
+  "libril_sca.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ril_sca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ril_sca.
+# This may be replaced when dependencies are built.

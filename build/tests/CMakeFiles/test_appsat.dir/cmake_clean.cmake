@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_appsat.dir/test_appsat.cpp.o"
+  "CMakeFiles/test_appsat.dir/test_appsat.cpp.o.d"
+  "test_appsat"
+  "test_appsat.pdb"
+  "test_appsat[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_appsat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_banyan.dir/test_banyan.cpp.o"
+  "CMakeFiles/test_banyan.dir/test_banyan.cpp.o.d"
+  "test_banyan"
+  "test_banyan.pdb"
+  "test_banyan[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_banyan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bench_io.dir/test_bench_io.cpp.o"
+  "CMakeFiles/test_bench_io.dir/test_bench_io.cpp.o.d"
+  "test_bench_io"
+  "test_bench_io.pdb"
+  "test_bench_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bench_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_benchgen.dir/test_benchgen.cpp.o"
+  "CMakeFiles/test_benchgen.dir/test_benchgen.cpp.o.d"
+  "test_benchgen"
+  "test_benchgen.pdb"
+  "test_benchgen[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_benchgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

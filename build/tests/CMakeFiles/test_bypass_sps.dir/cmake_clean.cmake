@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bypass_sps.dir/test_bypass_sps.cpp.o"
+  "CMakeFiles/test_bypass_sps.dir/test_bypass_sps.cpp.o.d"
+  "test_bypass_sps"
+  "test_bypass_sps.pdb"
+  "test_bypass_sps[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bypass_sps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

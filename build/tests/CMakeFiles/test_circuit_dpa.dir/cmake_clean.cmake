@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_circuit_dpa.dir/test_circuit_dpa.cpp.o"
+  "CMakeFiles/test_circuit_dpa.dir/test_circuit_dpa.cpp.o.d"
+  "test_circuit_dpa"
+  "test_circuit_dpa.pdb"
+  "test_circuit_dpa[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_circuit_dpa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lut2.dir/test_lut2.cpp.o"
+  "CMakeFiles/test_lut2.dir/test_lut2.cpp.o.d"
+  "test_lut2"
+  "test_lut2.pdb"
+  "test_lut2[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lut2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lutk.dir/test_lutk.cpp.o"
+  "CMakeFiles/test_lutk.dir/test_lutk.cpp.o.d"
+  "test_lutk"
+  "test_lutk.pdb"
+  "test_lutk[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lutk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

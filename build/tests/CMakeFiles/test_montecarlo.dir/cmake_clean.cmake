@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_montecarlo.dir/test_montecarlo.cpp.o"
+  "CMakeFiles/test_montecarlo.dir/test_montecarlo.cpp.o.d"
+  "test_montecarlo"
+  "test_montecarlo.pdb"
+  "test_montecarlo[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_montecarlo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_morphing.dir/test_morphing.cpp.o"
+  "CMakeFiles/test_morphing.dir/test_morphing.cpp.o.d"
+  "test_morphing"
+  "test_morphing.pdb"
+  "test_morphing[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_morphing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

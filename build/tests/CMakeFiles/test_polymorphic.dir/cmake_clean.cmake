@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_polymorphic.dir/test_polymorphic.cpp.o"
+  "CMakeFiles/test_polymorphic.dir/test_polymorphic.cpp.o.d"
+  "test_polymorphic"
+  "test_polymorphic.pdb"
+  "test_polymorphic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_polymorphic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

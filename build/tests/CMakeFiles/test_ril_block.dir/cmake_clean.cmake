@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ril_block.dir/test_ril_block.cpp.o"
+  "CMakeFiles/test_ril_block.dir/test_ril_block.cpp.o.d"
+  "test_ril_block"
+  "test_ril_block.pdb"
+  "test_ril_block[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ril_block.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

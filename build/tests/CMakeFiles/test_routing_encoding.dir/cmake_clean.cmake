@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_routing_encoding.dir/test_routing_encoding.cpp.o"
+  "CMakeFiles/test_routing_encoding.dir/test_routing_encoding.cpp.o.d"
+  "test_routing_encoding"
+  "test_routing_encoding.pdb"
+  "test_routing_encoding[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_routing_encoding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sat_attack.dir/test_sat_attack.cpp.o"
+  "CMakeFiles/test_sat_attack.dir/test_sat_attack.cpp.o.d"
+  "test_sat_attack"
+  "test_sat_attack.pdb"
+  "test_sat_attack[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sat_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

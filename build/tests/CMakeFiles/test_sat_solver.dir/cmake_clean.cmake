@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sat_solver.dir/test_sat_solver.cpp.o"
+  "CMakeFiles/test_sat_solver.dir/test_sat_solver.cpp.o.d"
+  "test_sat_solver"
+  "test_sat_solver.pdb"
+  "test_sat_solver[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sat_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sca.dir/test_sca.cpp.o"
+  "CMakeFiles/test_sca.dir/test_sca.cpp.o.d"
+  "test_sca"
+  "test_sca.pdb"
+  "test_sca[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

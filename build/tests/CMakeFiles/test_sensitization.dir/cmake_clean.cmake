@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sensitization.dir/test_sensitization.cpp.o"
+  "CMakeFiles/test_sensitization.dir/test_sensitization.cpp.o.d"
+  "test_sensitization"
+  "test_sensitization.pdb"
+  "test_sensitization[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sensitization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_she_mram.dir/test_she_mram.cpp.o"
+  "CMakeFiles/test_she_mram.dir/test_she_mram.cpp.o.d"
+  "test_she_mram"
+  "test_she_mram.pdb"
+  "test_she_mram[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_she_mram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_transient.dir/test_transient.cpp.o"
+  "CMakeFiles/test_transient.dir/test_transient.cpp.o.d"
+  "test_transient"
+  "test_transient.pdb"
+  "test_transient[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_transient.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tseitin.dir/test_tseitin.cpp.o"
+  "CMakeFiles/test_tseitin.dir/test_tseitin.cpp.o.d"
+  "test_tseitin"
+  "test_tseitin.pdb"
+  "test_tseitin[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tseitin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

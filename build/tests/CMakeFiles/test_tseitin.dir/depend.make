@@ -1,0 +1,2 @@
+# Empty dependencies file for test_tseitin.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_verilog_io.dir/test_verilog_io.cpp.o"
+  "CMakeFiles/test_verilog_io.dir/test_verilog_io.cpp.o.d"
+  "test_verilog_io"
+  "test_verilog_io.pdb"
+  "test_verilog_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_verilog_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ril.dir/ril_cli.cpp.o"
+  "CMakeFiles/ril.dir/ril_cli.cpp.o.d"
+  "ril"
+  "ril.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ril.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
