@@ -72,10 +72,14 @@ int main(int argc, char** argv) {
         const auto ril =
             locking::lock_ril(host, count, config, options.seed + count);
         attacks::Oracle oracle(ril.locked.netlist, ril.locked.key);
-        attacks::SatAttackOptions attack;
-        attack.time_limit_seconds = timeout;
+        const auto attack = options.attack_options(timeout);
         const auto result =
             attacks::run_sat_attack(ril.locked.netlist, oracle, attack);
+        bench::append_solve_stats(options,
+                                  std::to_string(spec.size) + "x" +
+                                      std::to_string(spec.size) + "/" +
+                                      std::to_string(count) + "-blocks",
+                                  result);
         cell = bench::format_attack_seconds(
             result.seconds,
             result.status != attacks::SatAttackStatus::kKeyFound, timeout);

@@ -57,10 +57,12 @@ int main(int argc, char** argv) {
         const auto ril =
             locking::lock_ril(host, blocks, config, options.seed + blocks);
         attacks::Oracle oracle(ril.locked.netlist, ril.locked.key);
-        attacks::SatAttackOptions attack;
-        attack.time_limit_seconds = timeout;
+        const auto attack = options.attack_options(timeout);
         const auto result =
             attacks::run_sat_attack(ril.locked.netlist, oracle, attack);
+        bench::append_solve_stats(
+            options, entry.name + "/" + std::to_string(blocks) + "-blocks",
+            result);
         cell = bench::format_attack_seconds(
             result.seconds,
             result.status != attacks::SatAttackStatus::kKeyFound, timeout);

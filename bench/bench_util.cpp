@@ -1,16 +1,32 @@
 #include "bench_util.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <thread>
 
 namespace ril::bench {
+
+attacks::SatAttackOptions BenchOptions::attack_options(double timeout) const {
+  attacks::SatAttackOptions attack;
+  attack.time_limit_seconds = timeout;
+  attack.jobs = jobs;
+  attack.portfolio_seed = seed;
+  attack.record_solves = jobs > 1 || !stats_path.empty();
+  return attack;
+}
 
 BenchOptions parse_options(int argc, char** argv) {
   BenchOptions options;
   if (const char* env = std::getenv("RIL_BENCH_FULL");
       env && std::strcmp(env, "0") != 0) {
     options.full = true;
+  }
+  if (const char* env = std::getenv("RIL_BENCH_JOBS"); env && *env) {
+    options.jobs =
+        std::max(1u, static_cast<unsigned>(std::strtoul(env, nullptr, 10)));
   }
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -29,9 +45,19 @@ BenchOptions parse_options(int argc, char** argv) {
       options.scale = std::atof(next_value());
     } else if (arg == "--seed") {
       options.seed = std::strtoull(next_value(), nullptr, 10);
+    } else if (arg == "--jobs") {
+      options.jobs = std::max(
+          1u, static_cast<unsigned>(std::strtoul(next_value(), nullptr, 10)));
+    } else if (arg == "--portfolio") {
+      options.jobs = std::thread::hardware_concurrency() > 0
+                         ? std::thread::hardware_concurrency()
+                         : 1;
+    } else if (arg == "--stats") {
+      options.stats_path = next_value();
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
-          "options: --full  --timeout <sec>  --scale <f>  --seed <n>\n");
+          "options: --full  --timeout <sec>  --scale <f>  --seed <n>"
+          "  --jobs <n>  --portfolio  --stats <file>\n");
       std::exit(0);
     } else {
       std::fprintf(stderr, "unknown option %s\n", arg.c_str());
@@ -39,6 +65,21 @@ BenchOptions parse_options(int argc, char** argv) {
     }
   }
   return options;
+}
+
+void append_solve_stats(const BenchOptions& options, const std::string& label,
+                        const attacks::SatAttackResult& result) {
+  if (options.stats_path.empty()) return;
+  std::ofstream out(options.stats_path, std::ios::app);
+  if (!out) {
+    std::fprintf(stderr, "cannot open stats file %s\n",
+                 options.stats_path.c_str());
+    return;
+  }
+  for (const auto& record : result.solve_log) {
+    out << "{\"bench\":\"" << label
+        << "\",\"record\":" << attacks::solve_record_json(record) << "}\n";
+  }
 }
 
 std::string format_attack_seconds(double seconds, bool timed_out,

@@ -11,6 +11,8 @@
 #include <string>
 #include <vector>
 
+#include "attacks/sat_attack.hpp"
+
 namespace ril::bench {
 
 struct BenchOptions {
@@ -18,10 +20,22 @@ struct BenchOptions {
   double timeout_seconds = 0;  ///< SAT budget per attack (0 = preset default)
   double scale = 0;            ///< host scale override (0 = preset default)
   std::uint64_t seed = 1;
+  unsigned jobs = 1;           ///< SAT-portfolio width (--jobs/--portfolio)
+  std::string stats_path;      ///< per-solve JSON records (--stats FILE)
+
+  /// SAT-attack options carrying the portfolio settings.
+  attacks::SatAttackOptions attack_options(double timeout) const;
 };
 
-/// Parses --full / --timeout S / --scale F / --seed N plus RIL_BENCH_FULL.
+/// Parses --full / --timeout S / --scale F / --seed N / --jobs N /
+/// --portfolio / --stats FILE plus RIL_BENCH_FULL and RIL_BENCH_JOBS.
 BenchOptions parse_options(int argc, char** argv);
+
+/// Appends one JSON line per portfolio solve of `result` to
+/// `options.stats_path` (no-op when --stats was not given). `label`
+/// identifies the table cell, e.g. "c1355/2-blocks".
+void append_solve_stats(const BenchOptions& options, const std::string& label,
+                        const attacks::SatAttackResult& result);
 
 /// Formats an attack duration: seconds with 2 decimals, or "TIMEOUT(>Ts)".
 std::string format_attack_seconds(double seconds, bool timed_out,

@@ -4,6 +4,7 @@
 #include <random>
 
 #include "cnf/tseitin.hpp"
+#include "sat/solver.hpp"
 #include "netlist/simulator.hpp"
 
 namespace ril::attacks {

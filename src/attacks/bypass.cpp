@@ -4,6 +4,7 @@
 #include <random>
 
 #include "cnf/tseitin.hpp"
+#include "sat/solver.hpp"
 #include "locking/locked.hpp"
 #include "netlist/simplify.hpp"
 #include "netlist/simulator.hpp"

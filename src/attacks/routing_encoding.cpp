@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "cnf/tseitin.hpp"
+#include "sat/solver.hpp"
 #include "locking/locked.hpp"
 #include "netlist/simplify.hpp"
 

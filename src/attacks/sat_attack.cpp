@@ -1,6 +1,7 @@
 #include "attacks/sat_attack.hpp"
 
 #include <chrono>
+#include <cstdio>
 
 #include "cnf/tseitin.hpp"
 
@@ -9,8 +10,9 @@ namespace ril::attacks {
 using cnf::CircuitEncoding;
 using netlist::Netlist;
 using netlist::NodeId;
+using runtime::SolverPortfolio;
+using sat::ClauseSink;
 using sat::Lit;
-using sat::Solver;
 using sat::Var;
 
 std::string to_string(SatAttackStatus status) {
@@ -27,7 +29,7 @@ namespace {
 
 /// Encodes one circuit copy with every data input fixed to `dip`, keys
 /// bound to `key_vars`, and outputs forced to `response`.
-void add_io_constraint(Solver& solver, const Netlist& locked,
+void add_io_constraint(ClauseSink& solver, const Netlist& locked,
                        const std::vector<NodeId>& data_inputs,
                        const std::vector<Var>& key_vars,
                        const std::vector<bool>& dip,
@@ -61,8 +63,13 @@ SatAttackResult run_sat_attack(const Netlist& locked, QueryOracle& oracle,
   const auto data_inputs = locked.data_inputs();
   const auto& key_inputs = locked.key_inputs();
 
-  // Miter solver: shared X, independent K1 / K2.
-  Solver miter;
+  auto record = [&](const char* phase, const runtime::SolveOutcome& outcome) {
+    if (!options.record_solves) return;
+    result.solve_log.push_back({result.iterations, phase, outcome});
+  };
+
+  // Miter portfolio: shared X, independent K1 / K2 in every member.
+  SolverPortfolio miter(options.jobs, options.portfolio_seed);
   std::vector<Var> x_vars;
   x_vars.reserve(data_inputs.size());
   for (std::size_t i = 0; i < data_inputs.size(); ++i) {
@@ -96,8 +103,8 @@ SatAttackResult run_sat_attack(const Netlist& locked, QueryOracle& oracle,
   }
   cnf::encode_miter(miter, out1, out2);
 
-  // Key-determination solver: single key vector constrained by all DIPs.
-  Solver key_solver;
+  // Key-determination portfolio: one key vector constrained by all DIPs.
+  SolverPortfolio key_solver(options.jobs, options.portfolio_seed + 0x9e37);
   std::vector<Var> key_vars;
   for (std::size_t i = 0; i < key_inputs.size(); ++i) {
     key_vars.push_back(key_solver.new_var());
@@ -117,7 +124,9 @@ SatAttackResult run_sat_attack(const Netlist& locked, QueryOracle& oracle,
       }
       miter.set_limits({.time_limit_seconds = remaining});
     }
-    const sat::Result r = miter.solve();
+    const runtime::SolveOutcome miter_outcome = miter.solve();
+    record("miter", miter_outcome);
+    const sat::Result r = miter_outcome.result;
     if (r == sat::Result::kUnknown) {
       result.status = SatAttackStatus::kTimeout;
       break;
@@ -132,11 +141,46 @@ SatAttackResult run_sat_attack(const Netlist& locked, QueryOracle& oracle,
         }
         key_solver.set_limits({.time_limit_seconds = remaining});
       }
-      const sat::Result kr = key_solver.solve();
+      const runtime::SolveOutcome key_outcome = key_solver.solve();
+      record("key", key_outcome);
+      const sat::Result kr = key_outcome.result;
       if (kr == sat::Result::kSat) {
         result.key.reserve(key_vars.size());
         for (Var v : key_vars) result.key.push_back(key_solver.model_bool(v));
         result.status = SatAttackStatus::kKeyFound;
+        if (options.canonical_key) {
+          // Lexicographic minimization: fix each key bit to 0 when some
+          // consistent key allows it. Every consistent key is functionally
+          // correct here, so the minimum is a valid unlock key and does
+          // not depend on the DIP order (hence not on the jobs count).
+          std::vector<Lit> fixed;
+          fixed.reserve(key_vars.size());
+          bool complete = true;
+          for (std::size_t i = 0; i < key_vars.size(); ++i) {
+            if (options.time_limit_seconds > 0) {
+              const double remaining =
+                  options.time_limit_seconds - elapsed();
+              if (remaining <= 0) {
+                complete = false;
+                break;
+              }
+              key_solver.set_limits({.time_limit_seconds = remaining});
+            }
+            fixed.push_back(Lit::make(key_vars[i], true));  // try bit = 0
+            const runtime::SolveOutcome probe = key_solver.solve(fixed);
+            if (probe.result == sat::Result::kUnsat) {
+              fixed.back() = Lit::make(key_vars[i]);  // forced to 1
+            } else if (probe.result != sat::Result::kSat) {
+              complete = false;  // budget expired; keep the model key
+              break;
+            }
+          }
+          if (complete) {
+            for (std::size_t i = 0; i < key_vars.size(); ++i) {
+              result.key[i] = !fixed[i].sign();
+            }
+          }
+        }
       } else if (kr == sat::Result::kUnsat) {
         result.status = SatAttackStatus::kInconsistent;
       } else {
@@ -160,8 +204,16 @@ SatAttackResult run_sat_attack(const Netlist& locked, QueryOracle& oracle,
   }
 
   result.seconds = elapsed();
-  result.conflicts = miter.stats().conflicts;
+  result.conflicts = miter.total_conflicts();
   return result;
+}
+
+std::string solve_record_json(const SolveRecord& record) {
+  char prefix[96];
+  std::snprintf(prefix, sizeof(prefix),
+                "{\"iteration\":%zu,\"phase\":\"%s\",\"solve\":",
+                record.iteration, record.phase.c_str());
+  return std::string(prefix) + runtime::to_json(record.outcome) + "}";
 }
 
 }  // namespace ril::attacks

@@ -16,6 +16,7 @@
 
 #include "attacks/oracle.hpp"
 #include "netlist/netlist.hpp"
+#include "runtime/portfolio.hpp"
 
 namespace ril::attacks {
 
@@ -24,7 +25,33 @@ struct SatAttackOptions {
   double time_limit_seconds = 0.0;
   /// DIP iteration cap; 0 means unlimited.
   std::size_t max_iterations = 0;
+  /// Portfolio width for every miter / key-determination solve. 1 runs the
+  /// historical serial path bit-for-bit; N > 1 races N diversified solvers
+  /// per solve with first-to-finish-wins (see runtime::SolverPortfolio).
+  unsigned jobs = 1;
+  /// Base seed for portfolio diversification (irrelevant when jobs == 1).
+  std::uint64_t portfolio_seed = 1;
+  /// When true, every portfolio solve is appended to
+  /// SatAttackResult::solve_log (per-solve JSON stats in the CLI/bench).
+  bool record_solves = false;
+  /// Canonicalize the extracted key to the lexicographically smallest
+  /// consistent one. At miter-UNSAT the consistent-key set equals the set
+  /// of functionally correct keys regardless of which DIPs were sampled,
+  /// so the canonical key is identical across jobs counts and portfolio
+  /// races. Costs one cheap assumption-solve per key bit.
+  bool canonical_key = true;
 };
+
+/// One entry of the per-solve log: which solve of the DIP loop it was and
+/// how the portfolio decided it.
+struct SolveRecord {
+  std::size_t iteration = 0;   ///< DIP-loop iteration the solve belongs to
+  std::string phase;           ///< "miter" or "key"
+  runtime::SolveOutcome outcome;
+};
+
+/// Serializes one record as a JSON object (one line, stable key order).
+std::string solve_record_json(const SolveRecord& record);
 
 enum class SatAttackStatus {
   kKeyFound,       ///< miter UNSAT, consistent key extracted
@@ -38,7 +65,11 @@ struct SatAttackResult {
   std::vector<bool> key;          ///< valid iff status == kKeyFound
   std::size_t iterations = 0;     ///< DIPs used
   double seconds = 0.0;
-  std::uint64_t conflicts = 0;    ///< CDCL conflicts in the miter solver
+  /// CDCL conflicts across all miter-portfolio members (equals the single
+  /// miter solver's conflicts when jobs == 1).
+  std::uint64_t conflicts = 0;
+  /// Per-solve portfolio stats; filled when options.record_solves is set.
+  std::vector<SolveRecord> solve_log;
 };
 
 std::string to_string(SatAttackStatus status);

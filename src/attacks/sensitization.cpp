@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "cnf/tseitin.hpp"
+#include "sat/solver.hpp"
 #include "netlist/simulator.hpp"
 
 namespace ril::attacks {

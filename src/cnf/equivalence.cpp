@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "cnf/tseitin.hpp"
+#include "sat/solver.hpp"
 
 namespace ril::cnf {
 

@@ -9,12 +9,12 @@ using netlist::Netlist;
 using netlist::Node;
 using netlist::NodeId;
 using sat::Lit;
-using sat::Solver;
+using sat::ClauseSink;
 using sat::Var;
 
 namespace {
 
-void encode_and_like(Solver& solver, Var y, const std::vector<Var>& inputs,
+void encode_and_like(ClauseSink& solver, Var y, const std::vector<Var>& inputs,
                      bool negate_output) {
   // y' = AND(inputs), y = negate_output ? !y' : y'
   const Lit ly_true = Lit::make(y, negate_output);
@@ -29,7 +29,7 @@ void encode_and_like(Solver& solver, Var y, const std::vector<Var>& inputs,
   solver.add_clause(big);
 }
 
-void encode_or_like(Solver& solver, Var y, const std::vector<Var>& inputs,
+void encode_or_like(ClauseSink& solver, Var y, const std::vector<Var>& inputs,
                     bool negate_output) {
   const Lit ly_true = Lit::make(y, negate_output);
   const Lit ly_false = ~ly_true;
@@ -43,7 +43,7 @@ void encode_or_like(Solver& solver, Var y, const std::vector<Var>& inputs,
   solver.add_clause(big);
 }
 
-void encode_xor2(Solver& solver, Var y, Var a, Var b, bool negate_output) {
+void encode_xor2(ClauseSink& solver, Var y, Var a, Var b, bool negate_output) {
   const Lit ly = Lit::make(y, negate_output);
   const Lit la = Lit::make(a);
   const Lit lb = Lit::make(b);
@@ -53,7 +53,7 @@ void encode_xor2(Solver& solver, Var y, Var a, Var b, bool negate_output) {
   solver.add_clause({ly, la, ~lb});
 }
 
-void encode_mux(Solver& solver, Var y, Var s, Var d0, Var d1) {
+void encode_mux(ClauseSink& solver, Var y, Var s, Var d0, Var d1) {
   const Lit ly = Lit::make(y);
   const Lit ls = Lit::make(s);
   const Lit l0 = Lit::make(d0);
@@ -67,7 +67,7 @@ void encode_mux(Solver& solver, Var y, Var s, Var d0, Var d1) {
   solver.add_clause({l0, l1, ~ly});
 }
 
-void encode_lut(Solver& solver, Var y, const std::vector<Var>& inputs,
+void encode_lut(ClauseSink& solver, Var y, const std::vector<Var>& inputs,
                 std::uint64_t mask) {
   const std::size_t k = inputs.size();
   const std::uint64_t rows = std::uint64_t{1} << k;
@@ -87,7 +87,7 @@ void encode_lut(Solver& solver, Var y, const std::vector<Var>& inputs,
 }  // namespace
 
 CircuitEncoding encode_circuit(
-    const Netlist& circuit, Solver& solver,
+    const Netlist& circuit, ClauseSink& solver,
     const std::unordered_map<NodeId, Var>& bound) {
   CircuitEncoding encoding;
   encoding.node_var.assign(circuit.node_count(), sat::kNoVar);
@@ -108,7 +108,7 @@ CircuitEncoding encode_circuit(
   return encoding;
 }
 
-void encode_node(Solver& solver, const Netlist& circuit, NodeId id,
+void encode_node(ClauseSink& solver, const Netlist& circuit, NodeId id,
                  const std::vector<Var>& node_var) {
   const Node& node = circuit.node(id);
   {
@@ -172,13 +172,13 @@ void encode_node(Solver& solver, const Netlist& circuit, NodeId id,
   }
 }
 
-Var encode_xor(Solver& solver, Var a, Var b) {
+Var encode_xor(ClauseSink& solver, Var a, Var b) {
   const Var y = solver.new_var();
   encode_xor2(solver, y, a, b, false);
   return y;
 }
 
-std::vector<Var> encode_miter(Solver& solver,
+std::vector<Var> encode_miter(ClauseSink& solver,
                               const std::vector<Var>& outputs_a,
                               const std::vector<Var>& outputs_b) {
   if (outputs_a.size() != outputs_b.size()) {

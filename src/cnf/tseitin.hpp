@@ -1,16 +1,18 @@
 // Tseitin encoding of combinational netlists into CNF.
 //
-// encode_circuit() instantiates one copy of a netlist inside a Solver. The
-// caller may pre-bind nodes (typically primary inputs) to existing solver
-// variables, which is how the SAT attack shares the input vector X between
-// two circuit copies while giving each its own key variables.
+// encode_circuit() instantiates one copy of a netlist inside any ClauseSink
+// (a single Solver, or a runtime::SolverPortfolio that mirrors the CNF into
+// N diversified solvers). The caller may pre-bind nodes (typically primary
+// inputs) to existing solver variables, which is how the SAT attack shares
+// the input vector X between two circuit copies while giving each its own
+// key variables.
 #pragma once
 
 #include <unordered_map>
 #include <vector>
 
 #include "netlist/netlist.hpp"
-#include "sat/solver.hpp"
+#include "sat/clause_sink.hpp"
 
 namespace ril::cnf {
 
@@ -28,22 +30,22 @@ struct CircuitEncoding {
 /// `bound` maps NodeIds to pre-existing solver variables; every other node
 /// receives a fresh variable. Throws on DFF nodes.
 CircuitEncoding encode_circuit(
-    const netlist::Netlist& circuit, sat::Solver& solver,
+    const netlist::Netlist& circuit, sat::ClauseSink& solver,
     const std::unordered_map<netlist::NodeId, sat::Var>& bound = {});
 
 /// Low-level: emits the CNF clauses for one node whose own variable and
 /// fanin variables are already present in `node_var`. Primary inputs get
 /// no clauses. Used by custom encoders (e.g. the one-hot routing
 /// re-encoding) that substitute their own treatment for some nodes.
-void encode_node(sat::Solver& solver, const netlist::Netlist& circuit,
+void encode_node(sat::ClauseSink& solver, const netlist::Netlist& circuit,
                  netlist::NodeId id, const std::vector<sat::Var>& node_var);
 
 /// Adds clauses for y <-> (a XOR b) and returns y.
-sat::Var encode_xor(sat::Solver& solver, sat::Var a, sat::Var b);
+sat::Var encode_xor(sat::ClauseSink& solver, sat::Var a, sat::Var b);
 
 /// Adds a constraint that at least one of the given output pairs differs
 /// (the classic miter OR). Returns the per-pair difference variables.
-std::vector<sat::Var> encode_miter(sat::Solver& solver,
+std::vector<sat::Var> encode_miter(sat::ClauseSink& solver,
                                    const std::vector<sat::Var>& outputs_a,
                                    const std::vector<sat::Var>& outputs_b);
 

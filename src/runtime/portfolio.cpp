@@ -1,0 +1,224 @@
+#include "runtime/portfolio.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+namespace ril::runtime {
+
+using sat::Clause;
+using sat::LBool;
+using sat::Lit;
+using sat::Result;
+using sat::Solver;
+using sat::SolverConfig;
+using sat::Var;
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+PortfolioJobConfig diversified_config(unsigned index,
+                                      std::uint64_t base_seed) {
+  PortfolioJobConfig job;
+  SolverConfig& c = job.config;
+  c.seed = splitmix64(base_seed + index);
+  switch (index) {
+    case 0:
+      // Deterministic baseline: default knobs, no randomness consumed.
+      job.name = "baseline";
+      c = SolverConfig{};
+      break;
+    case 1:
+      job.name = "rapid-restart";
+      c.restart_base = 32;
+      c.random_polarity_freq = 0.02;
+      break;
+    case 2:
+      job.name = "deep-dive";
+      c.restart_base = 1024;
+      c.init_phase_true = true;
+      break;
+    case 3:
+      job.name = "random-walk";
+      c.random_branch_freq = 0.05;
+      c.random_polarity_freq = 0.05;
+      break;
+    case 4:
+      job.name = "hoarder";
+      c.max_learned = 32768;
+      c.var_decay = 0.99;
+      c.restart_base = 256;
+      break;
+    case 5:
+      job.name = "purger";
+      c.max_learned = 2048;
+      c.var_decay = 0.85;
+      c.random_polarity_freq = 0.01;
+      break;
+    default: {
+      // Seeded mixture over the knob space for arbitrarily wide portfolios.
+      const std::uint64_t r = splitmix64(c.seed);
+      job.name = "mix-" + std::to_string(index);
+      c.restart_base = 32u << (r % 5);                      // 32..512
+      c.var_decay = 0.85 + 0.02 * ((r >> 8) % 8);           // 0.85..0.99
+      c.random_branch_freq = 0.01 * ((r >> 16) % 6);        // 0..0.05
+      c.random_polarity_freq = 0.005 * ((r >> 24) % 9);     // 0..0.04
+      c.max_learned = 2048u << ((r >> 32) % 5);             // 2k..32k
+      c.init_phase_true = (r >> 40) & 1;
+      break;
+    }
+  }
+  return job;
+}
+
+SolverPortfolio::SolverPortfolio(unsigned jobs, std::uint64_t base_seed) {
+  if (jobs < 1) jobs = 1;
+  if (jobs > 64) jobs = 64;
+  solvers_.reserve(jobs);
+  names_.reserve(jobs);
+  for (unsigned i = 0; i < jobs; ++i) {
+    PortfolioJobConfig job = diversified_config(i, base_seed);
+    auto solver = std::make_unique<Solver>();
+    solver->set_config(job.config);
+    solvers_.push_back(std::move(solver));
+    names_.push_back(std::move(job.name));
+  }
+}
+
+Var SolverPortfolio::new_var() {
+  const Var v = solvers_.front()->new_var();
+  for (std::size_t i = 1; i < solvers_.size(); ++i) solvers_[i]->new_var();
+  return v;
+}
+
+void SolverPortfolio::ensure_var(Var v) {
+  for (auto& solver : solvers_) solver->ensure_var(v);
+}
+
+bool SolverPortfolio::add_clause(Clause lits) {
+  bool ok = true;
+  for (auto& solver : solvers_) {
+    // Members may disagree on *detecting* root unsatisfiability (their
+    // private learned clauses propagate differently), but any detection is
+    // sound, so one dead member proves the shared formula UNSAT.
+    if (!solver->add_clause(lits)) ok = false;
+  }
+  if (!ok) proven_unsat_ = true;
+  return ok;
+}
+
+SolveOutcome SolverPortfolio::solve(const std::vector<Lit>& assumptions) {
+  const auto start = std::chrono::steady_clock::now();
+  SolveOutcome outcome;
+  const std::size_t n = solvers_.size();
+  std::vector<std::uint64_t> conflicts_before(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    conflicts_before[i] = solvers_[i]->stats().conflicts;
+  }
+
+  int winner_index = -1;
+  if (n == 1 || proven_unsat_) {
+    // Serial fast path: run the baseline member on the caller's thread
+    // (bit-identical to pre-portfolio behaviour). A formula already proven
+    // UNSAT at the root is answered by whichever member went dead.
+    std::size_t pick = 0;
+    if (proven_unsat_) {
+      for (std::size_t i = 0; i < n; ++i) {
+        if (!solvers_[i]->okay()) {
+          pick = i;
+          break;
+        }
+      }
+    }
+    Solver& solver = *solvers_[pick];
+    solver.set_limits(limits_);
+    outcome.result = solver.solve(assumptions);
+    winner_index = static_cast<int>(pick);
+  } else {
+    std::atomic<bool> cancel{false};
+    std::atomic<int> claimed{-1};
+    std::vector<Result> results(n, Result::kUnknown);
+    std::vector<std::thread> threads;
+    threads.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      threads.emplace_back([this, i, &assumptions, &cancel, &claimed,
+                            &results] {
+        Solver& solver = *solvers_[i];
+        solver.set_limits(limits_);
+        solver.set_cancel_flag(&cancel);
+        const Result r = solver.solve(assumptions);
+        results[i] = r;
+        if (r != Result::kUnknown) {
+          int expected = -1;
+          if (claimed.compare_exchange_strong(expected,
+                                              static_cast<int>(i))) {
+            cancel.store(true, std::memory_order_release);
+          }
+        }
+      });
+    }
+    for (auto& thread : threads) thread.join();
+    for (auto& solver : solvers_) solver->set_cancel_flag(nullptr);
+    winner_index = claimed.load();
+    if (winner_index >= 0) outcome.result = results[winner_index];
+  }
+
+  if (winner_index >= 0) {
+    last_winner_ = winner_index;
+    outcome.winner = winner_index;
+    outcome.winner_config = names_[winner_index];
+    outcome.winner_seed = solvers_[winner_index]->config().seed;
+    outcome.conflicts = solvers_[winner_index]->stats().conflicts -
+                        conflicts_before[winner_index];
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    outcome.total_conflicts +=
+        solvers_[i]->stats().conflicts - conflicts_before[i];
+  }
+  outcome.seconds = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+  return outcome;
+}
+
+LBool SolverPortfolio::model_value(Var v) const {
+  return solvers_[last_winner_]->model_value(v);
+}
+
+bool SolverPortfolio::model_bool(Var v) const {
+  return solvers_[last_winner_]->model_bool(v);
+}
+
+std::uint64_t SolverPortfolio::total_conflicts() const {
+  std::uint64_t total = 0;
+  for (const auto& solver : solvers_) total += solver->stats().conflicts;
+  return total;
+}
+
+std::string to_json(const SolveOutcome& outcome) {
+  const char* result = outcome.result == Result::kSat     ? "sat"
+                       : outcome.result == Result::kUnsat ? "unsat"
+                                                          : "unknown";
+  char buffer[320];
+  std::snprintf(buffer, sizeof(buffer),
+                "{\"result\":\"%s\",\"winner\":%d,\"config\":\"%s\","
+                "\"seed\":%llu,\"conflicts\":%llu,"
+                "\"total_conflicts\":%llu,\"seconds\":%.6f}",
+                result, outcome.winner, outcome.winner_config.c_str(),
+                static_cast<unsigned long long>(outcome.winner_seed),
+                static_cast<unsigned long long>(outcome.conflicts),
+                static_cast<unsigned long long>(outcome.total_conflicts),
+                outcome.seconds);
+  return buffer;
+}
+
+}  // namespace ril::runtime

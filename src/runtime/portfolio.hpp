@@ -1,0 +1,99 @@
+// Parallel portfolio execution layer over the CDCL solver.
+//
+// A SolverPortfolio keeps N diversified Solver instances in lock-step:
+// every variable and clause added through the ClauseSink interface is
+// mirrored into all members, so at any point each member holds the same
+// formula (plus its own private learned clauses) and a solve() can race
+// them. solve() runs the members on std::threads with first-to-finish-wins
+// semantics: the first decisive (SAT/UNSAT) member raises a shared
+// std::atomic<bool> cancellation token that the losers observe on their
+// periodic stop-check path and unwind. Because members are incremental,
+// learned clauses survive across calls — each DIP iteration of the SAT
+// attack resumes N warm solvers, not N cold ones.
+//
+// Job 0 always runs the deterministic baseline configuration, and with
+// jobs == 1 solve() calls it synchronously on the caller's thread, so a
+// single-job portfolio is bit-identical to the historical serial code.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sat/clause_sink.hpp"
+#include "sat/solver.hpp"
+
+namespace ril::runtime {
+
+/// A named solver configuration for one portfolio member.
+struct PortfolioJobConfig {
+  std::string name;
+  sat::SolverConfig config;
+};
+
+/// Diversified configuration for job `index`. Index 0 is the deterministic
+/// baseline; 1..5 are hand-picked classic portfolio roles (rapid/slow
+/// restarts, phase inversion, random walk, clause hoarding/purging);
+/// higher indices derive seeded random mixtures from `base_seed`.
+PortfolioJobConfig diversified_config(unsigned index,
+                                      std::uint64_t base_seed);
+
+/// Outcome of one portfolio solve call.
+struct SolveOutcome {
+  sat::Result result = sat::Result::kUnknown;
+  /// Member that decided the call (-1 when no member finished in time).
+  int winner = -1;
+  std::string winner_config;
+  std::uint64_t winner_seed = 0;
+  /// Conflicts spent by the winner on this call.
+  std::uint64_t conflicts = 0;
+  /// Conflicts spent across all members on this call (total work).
+  std::uint64_t total_conflicts = 0;
+  double seconds = 0.0;
+};
+
+/// Serializes an outcome as a JSON object (stable key order).
+std::string to_json(const SolveOutcome& outcome);
+
+class SolverPortfolio : public sat::ClauseSink {
+ public:
+  /// `jobs` is clamped to [1, 64]; `base_seed` diversifies members >= 1.
+  explicit SolverPortfolio(unsigned jobs = 1, std::uint64_t base_seed = 1);
+
+  unsigned jobs() const { return static_cast<unsigned>(solvers_.size()); }
+
+  // ClauseSink: mirrored into every member.
+  sat::Var new_var() override;
+  void ensure_var(sat::Var v) override;
+  bool add_clause(sat::Clause lits) override;
+  using sat::ClauseSink::add_clause;
+
+  /// Per-call resource limits, applied to every member at the next solve.
+  void set_limits(const sat::SolverLimits& limits) { limits_ = limits; }
+
+  /// Races the members under the current limits. First decisive member
+  /// wins and cancels the rest; if every member hits its limit the result
+  /// is kUnknown (deadline/conflict budget expired).
+  SolveOutcome solve(const std::vector<sat::Lit>& assumptions = {});
+
+  /// Model access, valid after solve() returned kSat (winner's model).
+  sat::LBool model_value(sat::Var v) const;
+  bool model_bool(sat::Var v) const;
+
+  std::size_t num_vars() const { return solvers_.front()->num_vars(); }
+  std::uint64_t total_conflicts() const;
+  const sat::Solver& member(unsigned index) const { return *solvers_[index]; }
+  const std::string& member_name(unsigned index) const {
+    return names_[index];
+  }
+
+ private:
+  std::vector<std::unique_ptr<sat::Solver>> solvers_;
+  std::vector<std::string> names_;
+  sat::SolverLimits limits_;
+  int last_winner_ = 0;
+  bool proven_unsat_ = false;
+};
+
+}  // namespace ril::runtime

@@ -1,0 +1,33 @@
+// Abstract CNF construction interface.
+//
+// Encoders (Tseitin, miters, one-hot re-encodings, I/O constraints) only
+// need three operations: allocate variables and add clauses. Routing them
+// through this interface lets the same encoding code target either a single
+// Solver or a runtime::SolverPortfolio that mirrors every variable and
+// clause into N diversified solver instances kept in lock-step.
+#pragma once
+
+#include <initializer_list>
+
+#include "sat/types.hpp"
+
+namespace ril::sat {
+
+class ClauseSink {
+ public:
+  virtual ~ClauseSink() = default;
+
+  /// Creates a fresh variable and returns it.
+  virtual Var new_var() = 0;
+  /// Ensures variables [0, v] exist.
+  virtual void ensure_var(Var v) = 0;
+  /// Adds a problem clause. Returns false if the formula became trivially
+  /// unsatisfiable at the root level.
+  virtual bool add_clause(Clause lits) = 0;
+
+  bool add_clause(std::initializer_list<Lit> lits) {
+    return add_clause(Clause(lits));
+  }
+};
+
+}  // namespace ril::sat

@@ -8,12 +8,17 @@
 namespace ril::sat {
 
 namespace {
-constexpr double kVarDecay = 0.95;
 constexpr double kActivityRescale = 1e100;
-constexpr std::uint64_t kRestartBase = 128;
 }  // namespace
 
 Solver::Solver() { arena_.reserve(1 << 16); }
+
+void Solver::set_config(const SolverConfig& config) {
+  config_ = config;
+  max_learned_ = config.max_learned;
+  // A zero xorshift state would be absorbing; mix the seed instead.
+  rng_state_ = config.seed * 0x9e3779b97f4a7c15ull + 0x2545f4914f6cdd1dull;
+}
 
 Var Solver::new_var() {
   const Var v = static_cast<Var>(assigns_.size());
@@ -23,7 +28,7 @@ Var Solver::new_var() {
   reason_.push_back(kNoClause);
   activity_.push_back(0.0);
   heap_index_.push_back(-1);
-  polarity_.push_back(false);
+  polarity_.push_back(config_.init_phase_true);
   seen_.push_back(false);
   lbd_stamp_.push_back(0);
   watches_.emplace_back();
@@ -305,7 +310,7 @@ void Solver::var_bump(Var v) {
   if (heap_contains(v)) heap_up(heap_index_[v]);
 }
 
-void Solver::var_decay() { var_inc_ *= 1.0 / kVarDecay; }
+void Solver::var_decay() { var_inc_ *= 1.0 / config_.var_decay; }
 
 void Solver::clause_bump(ClauseView c) {
   // LBD refresh: recompute is costly; we just age via a small decrement.
@@ -366,13 +371,46 @@ void Solver::heap_down(std::size_t idx) {
 }
 
 Lit Solver::pick_branch_literal() {
-  while (!heap_.empty()) {
-    const Var v = heap_pop();
-    if (assigns_[v] == LBool::kUndef) {
-      return Lit::make(v, !polarity_[v]);
+  Var v = kNoVar;
+  // Diversification: occasionally branch on a random heap entry instead of
+  // the VSIDS maximum. The entry stays in the heap; later pops skip it
+  // while it is assigned, and backtracking re-inserts only if absent.
+  if (config_.random_branch_freq > 0 && !heap_.empty() &&
+      random_chance(config_.random_branch_freq)) {
+    const Var candidate =
+        heap_[next_random() % heap_.size()];
+    if (assigns_[candidate] == LBool::kUndef) {
+      v = candidate;
+      ++stats_.random_decisions;
     }
   }
-  return kLitUndef;
+  while (v == kNoVar && !heap_.empty()) {
+    const Var top = heap_pop();
+    if (assigns_[top] == LBool::kUndef) v = top;
+  }
+  if (v == kNoVar) return kLitUndef;
+  bool phase = polarity_[v];
+  if (config_.random_polarity_freq > 0 &&
+      random_chance(config_.random_polarity_freq)) {
+    phase = next_random() & 1;
+  }
+  return Lit::make(v, !phase);
+}
+
+std::uint64_t Solver::next_random() {
+  // xorshift64* (Marsaglia / Vigna).
+  std::uint64_t x = rng_state_;
+  x ^= x >> 12;
+  x ^= x << 25;
+  x ^= x >> 27;
+  rng_state_ = x;
+  return x * 0x2545f4914f6cdd1dull;
+}
+
+bool Solver::random_chance(double freq) {
+  return static_cast<double>(next_random() >> 11) *
+             (1.0 / 9007199254740992.0) <
+         freq;
 }
 
 void Solver::reduce_learned_db() {
@@ -463,6 +501,14 @@ bool Solver::time_exhausted() {
   return elapsed >= limits_.time_limit_seconds;
 }
 
+bool Solver::should_stop() {
+  if (cancel_ && cancel_->load(std::memory_order_relaxed)) {
+    cancelled_ = true;
+    return true;
+  }
+  return time_exhausted();
+}
+
 std::uint64_t Solver::luby(std::uint64_t i) {
   // Knuth's formulation of the Luby sequence (1-indexed).
   std::uint64_t k = 1;
@@ -483,13 +529,19 @@ std::uint64_t Solver::luby(std::uint64_t i) {
 
 Result Solver::solve(const std::vector<Lit>& assumptions) {
   limit_fired_ = false;
+  cancelled_ = false;
   if (!ok_) return Result::kUnsat;
+  if (cancel_ && cancel_->load(std::memory_order_relaxed)) {
+    cancelled_ = true;
+    limit_fired_ = true;
+    return Result::kUnknown;
+  }
   for (Lit a : assumptions) ensure_var(a.var());
 
   solve_start_ = std::chrono::steady_clock::now();
   conflicts_at_solve_start_ = stats_.conflicts;
   std::uint64_t restart_index = 0;
-  std::uint64_t conflicts_until_restart = luby(0) * kRestartBase;
+  std::uint64_t conflicts_until_restart = luby(0) * config_.restart_base;
   std::uint64_t conflicts_this_restart = 0;
   time_check_countdown_ = 1024;
 
@@ -548,7 +600,7 @@ Result Solver::solve(const std::vector<Lit>& assumptions) {
       }
       if (--time_check_countdown_ == 0) {
         time_check_countdown_ = 1024;
-        if (time_exhausted()) {
+        if (should_stop()) {
           limit_fired_ = true;
           cancel_until(0);
           return Result::kUnknown;
@@ -561,7 +613,7 @@ Result Solver::solve(const std::vector<Lit>& assumptions) {
     if (conflicts_this_restart >= conflicts_until_restart) {
       ++stats_.restarts;
       ++restart_index;
-      conflicts_until_restart = luby(restart_index) * kRestartBase;
+      conflicts_until_restart = luby(restart_index) * config_.restart_base;
       conflicts_this_restart = 0;
       cancel_until(0);
       if (learned_clauses_.size() > max_learned_) {
@@ -574,10 +626,10 @@ Result Solver::solve(const std::vector<Lit>& assumptions) {
       continue;
     }
 
-    // Periodic time check on long conflict-free stretches.
+    // Periodic stop check on long conflict-free stretches.
     if (--time_check_countdown_ == 0) {
       time_check_countdown_ = 1024;
-      if (time_exhausted()) {
+      if (should_stop()) {
         limit_fired_ = true;
         cancel_until(0);
         return Result::kUnknown;

@@ -16,17 +16,20 @@
 // class reproduces.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <limits>
 #include <vector>
 
+#include "sat/clause_sink.hpp"
 #include "sat/types.hpp"
 
 namespace ril::sat {
 
 struct SolverStats {
   std::uint64_t decisions = 0;
+  std::uint64_t random_decisions = 0;
   std::uint64_t propagations = 0;
   std::uint64_t conflicts = 0;
   std::uint64_t restarts = 0;
@@ -43,23 +46,44 @@ struct SolverLimits {
   std::uint64_t conflict_limit = 0;
 };
 
-class Solver {
+/// Diversification knobs for portfolio solving. The default-constructed
+/// config is the deterministic baseline: it consumes no randomness and
+/// reproduces the solver's historical behaviour bit-for-bit, which is what
+/// keeps `--jobs 1` runs identical to the pre-portfolio serial code.
+struct SolverConfig {
+  /// Seed for the solver-local xorshift RNG (only consumed when one of the
+  /// random frequencies below is non-zero).
+  std::uint64_t seed = 0;
+  /// Probability of branching on a uniformly random unassigned variable
+  /// instead of the VSIDS maximum (MiniSat's random_var_freq).
+  double random_branch_freq = 0.0;
+  /// Probability of choosing a random phase instead of the saved one.
+  double random_polarity_freq = 0.0;
+  /// Luby restart unit in conflicts.
+  std::uint64_t restart_base = 128;
+  /// VSIDS activity decay factor (0 < decay < 1).
+  double var_decay = 0.95;
+  /// Initial learned-clause cap before the first DB reduction.
+  std::uint64_t max_learned = 8192;
+  /// Initial saved phase for fresh variables: true = branch true first.
+  bool init_phase_true = false;
+};
+
+class Solver : public ClauseSink {
  public:
   Solver();
 
   /// Creates a fresh variable and returns it.
-  Var new_var();
+  Var new_var() override;
   /// Ensures variables [0, v] exist.
-  void ensure_var(Var v);
+  void ensure_var(Var v) override;
   std::size_t num_vars() const { return assigns_.size(); }
   std::size_t num_clauses() const { return n_problem_clauses_; }
 
   /// Adds a problem clause. Returns false if the formula became trivially
   /// unsatisfiable at the root level (the solver is then dead).
-  bool add_clause(Clause lits);
-  bool add_clause(std::initializer_list<Lit> lits) {
-    return add_clause(Clause(lits));
-  }
+  bool add_clause(Clause lits) override;
+  using ClauseSink::add_clause;
 
   /// Solves under the given assumptions. Repeatable; clauses may be added
   /// between calls.
@@ -73,8 +97,19 @@ class Solver {
   /// Clause-arena footprint in 32-bit words (diagnostics / GC tests).
   std::size_t arena_words() const { return arena_.size(); }
   void set_limits(const SolverLimits& limits) { limits_ = limits; }
+  /// Installs diversification knobs. Call before the first new_var() so
+  /// `init_phase_true` applies to every variable.
+  void set_config(const SolverConfig& config);
+  const SolverConfig& config() const { return config_; }
+  /// Installs a cooperative cancellation token. While solving, the flag is
+  /// polled on the same countdown path as the wall-clock check; when it
+  /// reads true, solve() unwinds to the root level and returns kUnknown.
+  /// Pass nullptr to detach. The pointee must outlive the solve.
+  void set_cancel_flag(const std::atomic<bool>* flag) { cancel_ = flag; }
   /// True if the last solve() stopped due to a resource limit.
   bool limit_fired() const { return limit_fired_; }
+  /// True if the last solve() stopped because the cancel flag was raised.
+  bool cancelled() const { return cancelled_; }
   bool okay() const { return ok_; }
 
  private:
@@ -152,6 +187,12 @@ class Solver {
   /// (problem/learned lists, reasons, watchers) are remapped.
   void garbage_collect();
   bool time_exhausted();
+  /// Combined stop check: cancellation token, then wall clock.
+  bool should_stop();
+  /// Solver-local xorshift64* step; only invoked when a random frequency
+  /// is enabled, so the deterministic baseline consumes no randomness.
+  std::uint64_t next_random();
+  bool random_chance(double freq);
 
   static std::uint64_t luby(std::uint64_t i);
 
@@ -186,7 +227,11 @@ class Solver {
   std::size_t garbage_words_ = 0;
   SolverStats stats_;
   SolverLimits limits_;
+  SolverConfig config_;
   bool limit_fired_ = false;
+  bool cancelled_ = false;
+  const std::atomic<bool>* cancel_ = nullptr;
+  std::uint64_t rng_state_ = 0x9e3779b97f4a7c15ull;
   std::chrono::steady_clock::time_point solve_start_;
   std::uint64_t conflicts_at_solve_start_ = 0;
   std::uint64_t time_check_countdown_ = 0;

@@ -5,6 +5,7 @@
 #include "benchgen/arithmetic.hpp"
 #include "locking/schemes.hpp"
 #include "netlist/simulator.hpp"
+#include "sat/solver.hpp"
 
 namespace ril::cnf {
 namespace {

@@ -6,6 +6,7 @@
 
 #include "benchgen/random_dag.hpp"
 #include "netlist/simulator.hpp"
+#include "sat/solver.hpp"
 
 namespace ril::cnf {
 namespace {

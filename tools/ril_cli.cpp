@@ -12,9 +12,14 @@
 //       carries the oracle scan key).
 //
 //   ril attack <method> <locked.bench> <activated.bench> [--timeout S]
+//              [--jobs N | --portfolio] [--stats out.json]
 //       Methods: sat | appsat | onehot | removal | sps | bypass. The
 //       activated netlist (no key inputs) acts as the oracle. Prints the
 //       result and, when a key is recovered, verifies it by SAT CEC.
+//       --jobs N races N diversified CDCL configurations per solve
+//       (first-to-finish-wins, losers cancelled); --portfolio uses all
+//       hardware threads; --stats writes per-solve JSON records (seed,
+//       winning configuration, conflicts, wall time).
 //
 //   ril analyze <file.bench> [key.txt]
 //       Structural report: stats, detected routing networks and keyed
@@ -22,10 +27,13 @@
 //
 //   ril unlock <locked.bench> <key.txt> <out.bench>
 //       Specialize the key, simplify, and write the unlocked netlist.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <string>
+#include <thread>
 
 #include "attacks/appsat.hpp"
 #include "attacks/bypass.hpp"
@@ -57,7 +65,7 @@ using namespace ril;
                " [--blocks N --size N --lutk M --output-net --scan"
                " --bits N --seed S]\n"
                "  ril attack <method> <locked.bench> <activated.bench>"
-               " [--timeout S]\n"
+               " [--timeout S --jobs N --portfolio --stats out.json]\n"
                "  ril analyze <file.bench> [key.txt]\n"
                "  ril unlock <locked.bench> <key.txt> <out.bench>\n");
   std::exit(2);
@@ -72,6 +80,8 @@ struct Args {
   std::size_t lutk = 2;
   std::size_t bits = 32;
   std::uint64_t seed = 1;
+  unsigned jobs = 1;
+  std::string stats_path;
   bool output_net = false;
   bool scan = false;
 };
@@ -91,6 +101,9 @@ Args parse(int argc, char** argv) {
     else if (arg == "--lutk") args.lutk = std::strtoull(value(), nullptr, 10);
     else if (arg == "--bits") args.bits = std::strtoull(value(), nullptr, 10);
     else if (arg == "--seed") args.seed = std::strtoull(value(), nullptr, 10);
+    else if (arg == "--jobs") args.jobs = std::max(1u, static_cast<unsigned>(std::strtoul(value(), nullptr, 10)));
+    else if (arg == "--portfolio") args.jobs = std::max(1u, std::thread::hardware_concurrency());
+    else if (arg == "--stats") args.stats_path = value();
     else if (arg == "--output-net") args.output_net = true;
     else if (arg == "--scan") args.scan = true;
     else if (arg.rfind("--", 0) == 0) usage(("unknown option " + arg).c_str());
@@ -235,12 +248,43 @@ int cmd_attack(const Args& args) {
   if (method == "sat" || method == "appsat" || method == "onehot") {
     attacks::SatAttackOptions options;
     options.time_limit_seconds = args.timeout;
+    options.jobs = args.jobs;
+    options.portfolio_seed = args.seed;
+    options.record_solves = args.jobs > 1 || !args.stats_path.empty();
     if (method == "sat") {
       const auto result = attacks::run_sat_attack(locked, oracle, options);
-      std::printf("sat attack: %s in %.2fs, %zu DIPs, %llu conflicts\n",
+      std::printf("sat attack: %s in %.2fs, %zu DIPs, %llu conflicts"
+                  " (%u jobs)\n",
                   to_string(result.status).c_str(), result.seconds,
                   result.iterations,
-                  static_cast<unsigned long long>(result.conflicts));
+                  static_cast<unsigned long long>(result.conflicts),
+                  args.jobs);
+      if (!result.solve_log.empty()) {
+        std::map<std::string, std::size_t> wins;
+        for (const auto& record : result.solve_log) {
+          if (record.outcome.winner >= 0) ++wins[record.outcome.winner_config];
+        }
+        std::printf("portfolio wins:");
+        for (const auto& [config, count] : wins) {
+          std::printf(" %s=%zu", config.c_str(), count);
+        }
+        std::printf("\n");
+      }
+      if (!args.stats_path.empty()) {
+        std::ofstream stats(args.stats_path);
+        if (!stats) usage(("cannot open stats file " + args.stats_path).c_str());
+        stats << "{\"attack\":\"sat\",\"jobs\":" << args.jobs
+              << ",\"status\":\"" << to_string(result.status)
+              << "\",\"iterations\":" << result.iterations
+              << ",\"seconds\":" << result.seconds
+              << ",\"conflicts\":" << result.conflicts << ",\"solves\":[\n";
+        for (std::size_t i = 0; i < result.solve_log.size(); ++i) {
+          stats << attacks::solve_record_json(result.solve_log[i])
+                << (i + 1 < result.solve_log.size() ? ",\n" : "\n");
+        }
+        stats << "]}\n";
+        std::printf("per-solve stats -> %s\n", args.stats_path.c_str());
+      }
       if (result.status == attacks::SatAttackStatus::kKeyFound) {
         std::printf("recovered key: ");
         for (bool b : result.key) std::printf("%c", b ? '1' : '0');
