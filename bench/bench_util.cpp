@@ -18,6 +18,15 @@ attacks::SatAttackOptions BenchOptions::attack_options(double timeout) const {
   return attack;
 }
 
+attacks::AppSatOptions BenchOptions::appsat_options(double timeout) const {
+  attacks::AppSatOptions appsat;
+  appsat.time_limit_seconds = timeout;
+  appsat.jobs = jobs;
+  appsat.portfolio_seed = seed;
+  appsat.record_solves = jobs > 1 || !stats_path.empty();
+  return appsat;
+}
+
 BenchOptions parse_options(int argc, char** argv) {
   BenchOptions options;
   if (const char* env = std::getenv("RIL_BENCH_FULL");
@@ -69,6 +78,11 @@ BenchOptions parse_options(int argc, char** argv) {
 
 void append_solve_stats(const BenchOptions& options, const std::string& label,
                         const attacks::SatAttackResult& result) {
+  append_solve_stats(options, label, result.solve_log);
+}
+
+void append_solve_stats(const BenchOptions& options, const std::string& label,
+                        const std::vector<attacks::SolveRecord>& log) {
   if (options.stats_path.empty()) return;
   std::ofstream out(options.stats_path, std::ios::app);
   if (!out) {
@@ -76,7 +90,7 @@ void append_solve_stats(const BenchOptions& options, const std::string& label,
                  options.stats_path.c_str());
     return;
   }
-  for (const auto& record : result.solve_log) {
+  for (const auto& record : log) {
     out << "{\"bench\":\"" << label
         << "\",\"record\":" << attacks::solve_record_json(record) << "}\n";
   }

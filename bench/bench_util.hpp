@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "attacks/appsat.hpp"
 #include "attacks/sat_attack.hpp"
 
 namespace ril::bench {
@@ -25,6 +26,8 @@ struct BenchOptions {
 
   /// SAT-attack options carrying the portfolio settings.
   attacks::SatAttackOptions attack_options(double timeout) const;
+  /// AppSAT options carrying the same portfolio settings.
+  attacks::AppSatOptions appsat_options(double timeout) const;
 };
 
 /// Parses --full / --timeout S / --scale F / --seed N / --jobs N /
@@ -36,6 +39,8 @@ BenchOptions parse_options(int argc, char** argv);
 /// identifies the table cell, e.g. "c1355/2-blocks".
 void append_solve_stats(const BenchOptions& options, const std::string& label,
                         const attacks::SatAttackResult& result);
+void append_solve_stats(const BenchOptions& options, const std::string& label,
+                        const std::vector<attacks::SolveRecord>& log);
 
 /// Formats an attack duration: seconds with 2 decimals, or "TIMEOUT(>Ts)".
 std::string format_attack_seconds(double seconds, bool timed_out,

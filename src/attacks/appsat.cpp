@@ -1,19 +1,16 @@
 #include "attacks/appsat.hpp"
 
-#include <chrono>
 #include <random>
 
-#include "cnf/tseitin.hpp"
-#include "sat/solver.hpp"
+#include "attacks/engine/dip_encoder.hpp"
+#include "attacks/engine/miter_context.hpp"
+#include "attacks/metrics.hpp"
 #include "netlist/simulator.hpp"
 
 namespace ril::attacks {
 
-using cnf::CircuitEncoding;
 using netlist::Netlist;
-using netlist::NodeId;
-using sat::Lit;
-using sat::Solver;
+using runtime::SolverPortfolio;
 using sat::Var;
 
 std::string to_string(AppSatStatus status) {
@@ -27,129 +24,47 @@ std::string to_string(AppSatStatus status) {
   return "?";
 }
 
-namespace {
-
-void add_io_constraint(Solver& solver, const Netlist& locked,
-                       const std::vector<NodeId>& data_inputs,
-                       const std::vector<Var>& key_vars,
-                       const std::vector<bool>& dip,
-                       const std::vector<bool>& response) {
-  std::unordered_map<NodeId, Var> bound;
-  for (std::size_t i = 0; i < key_vars.size(); ++i) {
-    bound.emplace(locked.key_inputs()[i], key_vars[i]);
-  }
-  const CircuitEncoding enc = cnf::encode_circuit(locked, solver, bound);
-  for (std::size_t i = 0; i < data_inputs.size(); ++i) {
-    solver.add_clause({Lit::make(enc.var_of(data_inputs[i]), !dip[i])});
-  }
-  const auto& outputs = locked.outputs();
-  for (std::size_t i = 0; i < outputs.size(); ++i) {
-    solver.add_clause({Lit::make(enc.var_of(outputs[i]), !response[i])});
-  }
-}
-
-}  // namespace
-
 AppSatResult run_appsat(const Netlist& locked, QueryOracle& oracle,
                         const AppSatOptions& options) {
-  const auto start = std::chrono::steady_clock::now();
-  auto elapsed = [&] {
-    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                         start)
-        .count();
-  };
+  engine::AttackBudget budget(options.time_limit_seconds, options.cancel);
+  budget.enable_recording(options.record_solves);
   std::mt19937_64 rng(options.seed);
 
   AppSatResult result;
-  const auto data_inputs = locked.data_inputs();
-  const auto& key_inputs = locked.key_inputs();
 
-  Solver miter;
-  std::vector<Var> x_vars;
-  for (std::size_t i = 0; i < data_inputs.size(); ++i) {
-    x_vars.push_back(miter.new_var());
-  }
-  std::vector<Var> k1;
-  std::vector<Var> k2;
-  for (std::size_t i = 0; i < key_inputs.size(); ++i) k1.push_back(miter.new_var());
-  for (std::size_t i = 0; i < key_inputs.size(); ++i) k2.push_back(miter.new_var());
-  auto bind = [&](const std::vector<Var>& keys) {
-    std::unordered_map<NodeId, Var> bound;
-    for (std::size_t i = 0; i < data_inputs.size(); ++i) {
-      bound.emplace(data_inputs[i], x_vars[i]);
-    }
-    for (std::size_t i = 0; i < key_inputs.size(); ++i) {
-      bound.emplace(key_inputs[i], keys[i]);
-    }
-    return bound;
+  SolverPortfolio miter(options.jobs, options.portfolio_seed);
+  miter.set_external_stop(budget.stop_flag());
+  const engine::MiterContext ctx(locked, miter);
+
+  SolverPortfolio key_solver(options.jobs, options.portfolio_seed + 0x9e37);
+  key_solver.set_external_stop(budget.stop_flag());
+  const std::vector<Var> key_vars =
+      engine::make_vars(key_solver, locked.key_inputs().size());
+
+  engine::DipConstraintEncoder dips(locked, options.specialize_dips);
+  netlist::Simulator sim(locked);  // reused across every settle step
+
+  // Pins locked(x, K) == y in both miter copies and the key solver.
+  auto reinforce = [&](const std::vector<bool>& x,
+                       const std::vector<bool>& y) {
+    engine::ConstraintStats stats =
+        dips.add_constraint(miter, ctx.copy(0).key_vars, x, y);
+    stats += dips.add_constraint(miter, ctx.copy(1).key_vars, x, y);
+    stats += dips.add_constraint(key_solver, key_vars, x, y);
+    budget.add_constraints(stats);
   };
-  const CircuitEncoding enc1 = cnf::encode_circuit(locked, miter, bind(k1));
-  const CircuitEncoding enc2 = cnf::encode_circuit(locked, miter, bind(k2));
-  std::vector<Var> out1;
-  std::vector<Var> out2;
-  for (NodeId id : locked.outputs()) {
-    out1.push_back(enc1.var_of(id));
-    out2.push_back(enc2.var_of(id));
-  }
-  cnf::encode_miter(miter, out1, out2);
-
-  Solver key_solver;
-  std::vector<Var> key_vars;
-  for (std::size_t i = 0; i < key_inputs.size(); ++i) {
-    key_vars.push_back(key_solver.new_var());
-  }
 
   auto extract_candidate = [&](std::vector<bool>& key) -> sat::Result {
-    if (options.time_limit_seconds > 0) {
-      key_solver.set_limits(
-          {.time_limit_seconds = options.time_limit_seconds - elapsed()});
+    if (budget.limited() || budget.cancelled()) {
+      key_solver.set_limits(budget.limits());
     }
-    const sat::Result kr = key_solver.solve();
-    if (kr == sat::Result::kSat) {
+    const runtime::SolveOutcome outcome = key_solver.solve();
+    budget.record(result.iterations, "key", outcome);
+    if (outcome.result == sat::Result::kSat) {
       key.clear();
       for (Var v : key_vars) key.push_back(key_solver.model_bool(v));
     }
-    return kr;
-  };
-
-  auto random_vector = [&](std::size_t width) {
-    std::vector<bool> v(width);
-    for (std::size_t i = 0; i < width; ++i) v[i] = rng() & 1;
-    return v;
-  };
-
-  // Reinforcement + error estimation over random queries.
-  auto settle = [&](const std::vector<bool>& key) -> double {
-    netlist::Simulator sim(locked);
-    for (std::size_t i = 0; i < key.size(); ++i) {
-      sim.set_input_all(key_inputs[i], key[i]);
-    }
-    std::size_t mismatches = 0;
-    for (std::size_t q = 0; q < options.random_queries; ++q) {
-      const auto x = random_vector(data_inputs.size());
-      const auto y = oracle.query(x);
-      for (std::size_t i = 0; i < data_inputs.size(); ++i) {
-        sim.set_input_all(data_inputs[i], x[i]);
-      }
-      sim.evaluate();
-      bool differs = false;
-      for (std::size_t i = 0; i < locked.outputs().size(); ++i) {
-        if (static_cast<bool>(sim.value(locked.outputs()[i]) & 1) != y[i]) {
-          differs = true;
-          break;
-        }
-      }
-      if (differs) {
-        ++mismatches;
-        // Reinforce: pin this counterexample in both solvers.
-        add_io_constraint(miter, locked, data_inputs, k1, x, y);
-        add_io_constraint(miter, locked, data_inputs, k2, x, y);
-        add_io_constraint(key_solver, locked, data_inputs, key_vars, x, y);
-      }
-    }
-    return options.random_queries == 0
-               ? 1.0
-               : static_cast<double>(mismatches) / options.random_queries;
+    return outcome.result;
   };
 
   while (true) {
@@ -158,16 +73,16 @@ AppSatResult run_appsat(const Netlist& locked, QueryOracle& oracle,
       result.status = AppSatStatus::kIterationLimit;
       break;
     }
-    if (options.time_limit_seconds > 0 &&
-        elapsed() >= options.time_limit_seconds) {
+    if (budget.expired()) {
       result.status = AppSatStatus::kTimeout;
       break;
     }
-    if (options.time_limit_seconds > 0) {
-      miter.set_limits(
-          {.time_limit_seconds = options.time_limit_seconds - elapsed()});
+    if (budget.limited() || budget.cancelled()) {
+      miter.set_limits(budget.limits());
     }
-    const sat::Result r = miter.solve();
+    const runtime::SolveOutcome miter_outcome = miter.solve();
+    budget.record(result.iterations, "miter", miter_outcome);
+    const sat::Result r = miter_outcome.result;
     if (r == sat::Result::kUnknown) {
       result.status = AppSatStatus::kTimeout;
       break;
@@ -185,13 +100,10 @@ AppSatResult run_appsat(const Netlist& locked, QueryOracle& oracle,
       break;
     }
 
-    std::vector<bool> dip;
-    for (Var v : x_vars) dip.push_back(miter.model_bool(v));
-    const auto response = oracle.query(dip);
-    add_io_constraint(miter, locked, data_inputs, k1, dip, response);
-    add_io_constraint(miter, locked, data_inputs, k2, dip, response);
-    add_io_constraint(key_solver, locked, data_inputs, key_vars, dip,
-                      response);
+    const std::vector<bool> dip =
+        ctx.extract_dip([&](Var v) { return miter.model_bool(v); });
+    const std::vector<bool> response = oracle.query(dip);
+    reinforce(dip, response);
     ++result.iterations;
 
     if (result.iterations % options.settle_interval == 0) {
@@ -205,7 +117,15 @@ AppSatResult run_appsat(const Netlist& locked, QueryOracle& oracle,
         result.status = AppSatStatus::kTimeout;
         break;
       }
-      const double error = settle(candidate);
+      // Reinforcement + error estimation over random queries.
+      const auto mismatches = sample_key_mismatches(
+          sim, candidate, oracle, options.random_queries, rng);
+      for (const auto& [x, y] : mismatches) reinforce(x, y);
+      const double error =
+          options.random_queries == 0
+              ? 1.0
+              : static_cast<double>(mismatches.size()) /
+                    options.random_queries;
       if (error <= options.error_threshold) {
         result.status = AppSatStatus::kApproximate;
         result.key = candidate;
@@ -215,7 +135,12 @@ AppSatResult run_appsat(const Netlist& locked, QueryOracle& oracle,
     }
   }
 
-  result.seconds = elapsed();
+  result.seconds = budget.elapsed();
+  result.conflicts = miter.total_conflicts();
+  const engine::ConstraintStats totals = budget.constraint_totals();
+  result.encoded_clauses = totals.encoded_clauses;
+  result.saved_clauses = totals.saved_clauses;
+  result.solve_log = budget.take_log();
   return result;
 }
 

@@ -9,9 +9,11 @@
 // column of Table III.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
+#include "attacks/engine/attack_budget.hpp"
 #include "attacks/oracle.hpp"
 #include "netlist/netlist.hpp"
 
@@ -26,7 +28,19 @@ struct AppSatOptions {
   std::size_t random_queries = 32;
   /// Terminate when the sampled error rate is below this threshold.
   double error_threshold = 0.01;
+  /// Seed for the random-query generator.
   std::uint64_t seed = 1;
+  /// Portfolio width for the miter / candidate-key solves; 1 reproduces
+  /// the historical single-solver behaviour bit-for-bit.
+  unsigned jobs = 1;
+  /// Base seed for portfolio diversification (irrelevant when jobs == 1).
+  std::uint64_t portfolio_seed = 1;
+  /// Append every portfolio solve to AppSatResult::solve_log.
+  bool record_solves = false;
+  /// Cone-specialized I/O-constraint encoding (see SatAttackOptions).
+  bool specialize_dips = true;
+  /// Optional caller-owned cancellation flag (reported as kTimeout).
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 enum class AppSatStatus {
@@ -44,6 +58,13 @@ struct AppSatResult {
   double sampled_error = 1.0;
   std::size_t iterations = 0;
   double seconds = 0.0;
+  /// CDCL conflicts across all miter-portfolio members.
+  std::uint64_t conflicts = 0;
+  /// Constraint-clause totals (see SatAttackResult).
+  std::size_t encoded_clauses = 0;
+  std::size_t saved_clauses = 0;
+  /// Per-solve portfolio stats; filled when options.record_solves is set.
+  std::vector<engine::SolveRecord> solve_log;
 };
 
 std::string to_string(AppSatStatus status);

@@ -1,10 +1,9 @@
 #include "attacks/bypass.hpp"
 
-#include <chrono>
 #include <random>
 
-#include "cnf/tseitin.hpp"
-#include "sat/solver.hpp"
+#include "attacks/engine/attack_budget.hpp"
+#include "attacks/engine/miter_context.hpp"
 #include "locking/locked.hpp"
 #include "netlist/simplify.hpp"
 #include "netlist/simulator.hpp"
@@ -14,8 +13,8 @@ namespace ril::attacks {
 using netlist::GateType;
 using netlist::Netlist;
 using netlist::NodeId;
+using runtime::SolverPortfolio;
 using sat::Lit;
-using sat::Solver;
 using sat::Var;
 
 std::string to_string(BypassStatus status) {
@@ -71,12 +70,7 @@ void stitch_bypass(Netlist& nl, const std::vector<bool>& pattern,
 
 BypassResult run_bypass_attack(const Netlist& locked, QueryOracle& oracle,
                                const BypassOptions& options) {
-  const auto start = std::chrono::steady_clock::now();
-  auto elapsed = [&] {
-    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                         start)
-        .count();
-  };
+  engine::AttackBudget budget(options.time_limit_seconds, options.cancel);
   std::mt19937_64 rng(options.seed);
   BypassResult result;
 
@@ -90,82 +84,42 @@ BypassResult run_bypass_attack(const Netlist& locked, QueryOracle& oracle,
 
   // Miter between the two wrongly-keyed copies: every witness is an input
   // where at least one of them is corrupted.
-  Solver solver;
-  const auto data_inputs = locked.data_inputs();
-  std::vector<Var> x_vars;
-  for (std::size_t i = 0; i < data_inputs.size(); ++i) {
-    x_vars.push_back(solver.new_var());
-  }
-  auto bind_with_key = [&](const std::vector<bool>& key) {
-    std::unordered_map<NodeId, Var> bound;
-    for (std::size_t i = 0; i < data_inputs.size(); ++i) {
-      bound.emplace(data_inputs[i], x_vars[i]);
-    }
-    const auto enc = cnf::encode_circuit(locked, solver, bound);
-    for (std::size_t i = 0; i < key_width; ++i) {
-      solver.add_clause(
-          {Lit::make(enc.var_of(locked.key_inputs()[i]), !key[i])});
-    }
-    return enc;
-  };
-  const auto enc1 = bind_with_key(k1);
-  const auto enc2 = bind_with_key(k2);
-  std::vector<Var> out1;
-  std::vector<Var> out2;
-  for (NodeId id : locked.outputs()) {
-    out1.push_back(enc1.var_of(id));
-    out2.push_back(enc2.var_of(id));
-  }
-  cnf::encode_miter(solver, out1, out2);
+  SolverPortfolio solver(options.jobs, options.portfolio_seed);
+  solver.set_external_stop(budget.stop_flag());
+  const engine::MiterContext ctx(locked, solver, k1, k2);
+  const std::vector<Var>& x_vars = ctx.input_vars();
 
-  // Simulators for the two candidate keys.
-  netlist::Simulator sim1(locked);
-  netlist::Simulator sim2(locked);
-  for (std::size_t i = 0; i < key_width; ++i) {
-    sim1.set_input_all(locked.key_inputs()[i], k1[i]);
-    sim2.set_input_all(locked.key_inputs()[i], k2[i]);
-  }
-  auto eval_with = [&](netlist::Simulator& sim, const std::vector<bool>& x) {
-    for (std::size_t i = 0; i < x.size(); ++i) {
-      sim.set_input_all(data_inputs[i], x[i]);
-    }
-    sim.evaluate();
-    std::vector<bool> y;
-    y.reserve(locked.outputs().size());
-    for (NodeId id : locked.outputs()) y.push_back(sim.value(id) & 1);
-    return y;
-  };
+  // Simulator for the copy-1 candidate key, reused across every witness.
+  netlist::Simulator sim(locked);
 
   // Patterns where copy 1 must be patched.
   std::vector<std::pair<std::vector<bool>, std::vector<bool>>> fixes;
   while (true) {
-    if (options.time_limit_seconds > 0) {
-      const double remaining = options.time_limit_seconds - elapsed();
-      if (remaining <= 0) {
+    if (budget.limited() || budget.cancelled()) {
+      if (budget.expired()) {
         result.status = BypassStatus::kTimeout;
-        result.seconds = elapsed();
+        result.seconds = budget.elapsed();
         return result;
       }
-      solver.set_limits({.time_limit_seconds = remaining});
+      solver.set_limits(budget.limits());
     }
-    const sat::Result r = solver.solve();
+    const sat::Result r = solver.solve().result;
     if (r == sat::Result::kUnknown) {
       result.status = BypassStatus::kTimeout;
-      result.seconds = elapsed();
+      result.seconds = budget.elapsed();
       return result;
     }
     if (r == sat::Result::kUnsat) break;  // copies agree everywhere else
-    std::vector<bool> x;
-    for (Var v : x_vars) x.push_back(solver.model_bool(v));
+    const std::vector<bool> x =
+        ctx.extract_dip([&](Var v) { return solver.model_bool(v); });
     const auto y_true = oracle.query(x);
-    const auto y1 = eval_with(sim1, x);
-    if (y1 != y_true) {
+    if (netlist::evaluate_with_key(sim, x, k1) != y_true) {
       fixes.emplace_back(x, y_true);
     }
     ++result.patterns;
     if (result.patterns > options.max_patterns) {
       result.status = BypassStatus::kTooManyPatterns;
-      result.seconds = elapsed();
+      result.seconds = budget.elapsed();
       return result;
     }
     // Block this input pattern and continue enumerating.
@@ -181,6 +135,8 @@ BypassResult run_bypass_attack(const Netlist& locked, QueryOracle& oracle,
   netlist::simplify(result.pirated);
   std::size_t tag = 0;
   for (const auto& [x, y_true] : fixes) {
+    // Fresh evaluation each round: the pirated netlist mutates as bypass
+    // units are stitched in, so a reused Simulator would go stale.
     const auto y1 = netlist::evaluate_once(result.pirated, x);
     std::vector<std::size_t> flip_bits;
     for (std::size_t i = 0; i < y1.size(); ++i) {
@@ -189,7 +145,7 @@ BypassResult run_bypass_attack(const Netlist& locked, QueryOracle& oracle,
     stitch_bypass(result.pirated, x, flip_bits, tag++);
   }
   result.status = BypassStatus::kBypassed;
-  result.seconds = elapsed();
+  result.seconds = budget.elapsed();
   return result;
 }
 

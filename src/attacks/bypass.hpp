@@ -9,6 +9,7 @@
 // exponential number of patterns -- enumeration never terminates.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -23,6 +24,13 @@ struct BypassOptions {
   std::size_t max_patterns = 64;
   double time_limit_seconds = 30.0;
   std::uint64_t seed = 1;
+  /// Portfolio width for the pattern-enumeration solves; 1 reproduces the
+  /// historical single-solver behaviour bit-for-bit.
+  unsigned jobs = 1;
+  /// Base seed for portfolio diversification (irrelevant when jobs == 1).
+  std::uint64_t portfolio_seed = 1;
+  /// Optional caller-owned cancellation flag (reported as kTimeout).
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 enum class BypassStatus {

@@ -1,0 +1,96 @@
+// Shared attack-run budget: wall-clock deadline, cooperative cancellation,
+// and the per-solve stats log.
+//
+// Every SAT-family attack used to carry its own `elapsed()` lambda and its
+// own (or no) solve log. AttackBudget centralizes all of it: the attack
+// loop asks expired() between solves, hands limits() to the solver or
+// portfolio before each solve so an in-flight search respects the same
+// deadline, and wires stop_flag() into SolverPortfolio::set_external_stop
+// so a caller on another thread can cancel a long-running attack (the
+// attack then reports its timeout status). When recording is enabled, each
+// portfolio solve and the clause cost of each encoded I/O constraint land
+// in the SolveRecord log that surfaces as per-solve JSON in the CLI and
+// bench stats files.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "runtime/portfolio.hpp"
+#include "sat/solver.hpp"
+
+namespace ril::attacks::engine {
+
+/// Clause accounting for one encoded I/O constraint (or a sum of them).
+/// saved_clauses is how many clauses a full circuit re-encoding would have
+/// added on top of what the cone-specialized encoding actually added.
+struct ConstraintStats {
+  std::size_t encoded_clauses = 0;
+  std::size_t saved_clauses = 0;
+
+  ConstraintStats& operator+=(const ConstraintStats& other) {
+    encoded_clauses += other.encoded_clauses;
+    saved_clauses += other.saved_clauses;
+    return *this;
+  }
+};
+
+/// One entry of the per-solve log: which solve of the attack loop it was,
+/// how the portfolio decided it, and what the iteration's I/O constraints
+/// cost in clauses.
+struct SolveRecord {
+  std::size_t iteration = 0;  ///< attack-loop iteration the solve belongs to
+  std::string phase;          ///< "miter" or "key"
+  runtime::SolveOutcome outcome;
+  std::size_t encoded_clauses = 0;  ///< constraint clauses added after it
+  std::size_t saved_clauses = 0;    ///< clauses avoided by specialization
+};
+
+/// Serializes one record as a JSON object (one line, stable key order).
+std::string solve_record_json(const SolveRecord& record);
+
+class AttackBudget {
+ public:
+  /// `time_limit_seconds` <= 0 means unlimited. `cancel` is an optional
+  /// caller-owned flag; raising it makes expired() true and (when wired
+  /// into the solver/portfolio via stop_flag()) unwinds in-flight solves.
+  explicit AttackBudget(double time_limit_seconds,
+                        const std::atomic<bool>* cancel = nullptr);
+
+  double elapsed() const;
+  bool limited() const { return limit_ > 0; }
+  /// Seconds left of the deadline; meaningful only when limited().
+  double remaining() const { return limit_ - elapsed(); }
+  bool cancelled() const;
+  /// Deadline passed or cancellation raised.
+  bool expired() const;
+  /// Per-solve limits carrying the remaining deadline (no limit otherwise).
+  sat::SolverLimits limits() const;
+  /// The cancellation flag to hand to SolverPortfolio::set_external_stop /
+  /// Solver::set_cancel_flag; may be null when the caller provided none.
+  const std::atomic<bool>* stop_flag() const { return cancel_; }
+
+  // ----- per-solve stats ----------------------------------------------
+  void enable_recording(bool on) { recording_ = on; }
+  bool recording() const { return recording_; }
+  void record(std::size_t iteration, const char* phase,
+              const runtime::SolveOutcome& outcome);
+  /// Accounts constraint clauses toward the run totals and attaches them
+  /// to the most recent record (the solve that produced the witness).
+  void add_constraints(const ConstraintStats& stats);
+  const ConstraintStats& constraint_totals() const { return totals_; }
+  std::vector<SolveRecord> take_log() { return std::move(log_); }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+  double limit_ = 0.0;
+  const std::atomic<bool>* cancel_ = nullptr;
+  bool recording_ = false;
+  std::vector<SolveRecord> log_;
+  ConstraintStats totals_;
+};
+
+}  // namespace ril::attacks::engine

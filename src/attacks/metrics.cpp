@@ -156,4 +156,21 @@ double bit_error_rate(const Netlist& locked, const std::vector<bool>& key,
   return denom == 0 ? 0.0 : static_cast<double>(bit_diffs) / denom;
 }
 
+std::vector<std::pair<std::vector<bool>, std::vector<bool>>>
+sample_key_mismatches(Simulator& sim, const std::vector<bool>& key,
+                      QueryOracle& oracle, std::size_t queries,
+                      std::mt19937_64& rng) {
+  const auto data_inputs = sim.netlist().data_inputs();
+  std::vector<std::pair<std::vector<bool>, std::vector<bool>>> mismatches;
+  for (std::size_t q = 0; q < queries; ++q) {
+    std::vector<bool> x(data_inputs.size());
+    for (std::size_t i = 0; i < x.size(); ++i) x[i] = rng() & 1;
+    const std::vector<bool> y = oracle.query(x);
+    if (netlist::evaluate_with_key(sim, x, key) != y) {
+      mismatches.emplace_back(std::move(x), y);
+    }
+  }
+  return mismatches;
+}
+
 }  // namespace ril::attacks

@@ -2,8 +2,12 @@
 #pragma once
 
 #include <cstdint>
+#include <random>
+#include <utility>
 
+#include "attacks/oracle.hpp"
 #include "netlist/netlist.hpp"
+#include "netlist/simulator.hpp"
 
 namespace ril::attacks {
 
@@ -32,5 +36,15 @@ double bit_error_rate(const netlist::Netlist& locked,
                       const std::vector<bool>& key,
                       const std::vector<bool>& reference_key,
                       std::size_t trials, std::uint64_t seed);
+
+/// Draws `queries` random input vectors (one rng() & 1 per data bit, in
+/// query order) and compares the candidate `key` on the caller-owned
+/// simulator against the oracle. Returns the (input, oracle response)
+/// pairs where they disagree, in query order -- AppSAT's reinforcement
+/// counterexamples and its sampled-error numerator.
+std::vector<std::pair<std::vector<bool>, std::vector<bool>>>
+sample_key_mismatches(netlist::Simulator& sim, const std::vector<bool>& key,
+                      QueryOracle& oracle, std::size_t queries,
+                      std::mt19937_64& rng);
 
 }  // namespace ril::attacks

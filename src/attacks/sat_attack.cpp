@@ -1,17 +1,12 @@
 #include "attacks/sat_attack.hpp"
 
-#include <chrono>
-#include <cstdio>
-
-#include "cnf/tseitin.hpp"
+#include "attacks/engine/dip_encoder.hpp"
+#include "attacks/engine/miter_context.hpp"
 
 namespace ril::attacks {
 
-using cnf::CircuitEncoding;
 using netlist::Netlist;
-using netlist::NodeId;
 using runtime::SolverPortfolio;
-using sat::ClauseSink;
 using sat::Lit;
 using sat::Var;
 
@@ -25,90 +20,25 @@ std::string to_string(SatAttackStatus status) {
   return "?";
 }
 
-namespace {
-
-/// Encodes one circuit copy with every data input fixed to `dip`, keys
-/// bound to `key_vars`, and outputs forced to `response`.
-void add_io_constraint(ClauseSink& solver, const Netlist& locked,
-                       const std::vector<NodeId>& data_inputs,
-                       const std::vector<Var>& key_vars,
-                       const std::vector<bool>& dip,
-                       const std::vector<bool>& response) {
-  std::unordered_map<NodeId, Var> bound;
-  for (std::size_t i = 0; i < key_vars.size(); ++i) {
-    bound.emplace(locked.key_inputs()[i], key_vars[i]);
-  }
-  const CircuitEncoding enc = cnf::encode_circuit(locked, solver, bound);
-  for (std::size_t i = 0; i < data_inputs.size(); ++i) {
-    solver.add_clause({Lit::make(enc.var_of(data_inputs[i]), !dip[i])});
-  }
-  const auto& outputs = locked.outputs();
-  for (std::size_t i = 0; i < outputs.size(); ++i) {
-    solver.add_clause({Lit::make(enc.var_of(outputs[i]), !response[i])});
-  }
-}
-
-}  // namespace
-
 SatAttackResult run_sat_attack(const Netlist& locked, QueryOracle& oracle,
                                const SatAttackOptions& options) {
-  const auto start = std::chrono::steady_clock::now();
-  auto elapsed = [&] {
-    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                         start)
-        .count();
-  };
+  engine::AttackBudget budget(options.time_limit_seconds, options.cancel);
+  budget.enable_recording(options.record_solves);
 
   SatAttackResult result;
-  const auto data_inputs = locked.data_inputs();
-  const auto& key_inputs = locked.key_inputs();
-
-  auto record = [&](const char* phase, const runtime::SolveOutcome& outcome) {
-    if (!options.record_solves) return;
-    result.solve_log.push_back({result.iterations, phase, outcome});
-  };
 
   // Miter portfolio: shared X, independent K1 / K2 in every member.
   SolverPortfolio miter(options.jobs, options.portfolio_seed);
-  std::vector<Var> x_vars;
-  x_vars.reserve(data_inputs.size());
-  for (std::size_t i = 0; i < data_inputs.size(); ++i) {
-    x_vars.push_back(miter.new_var());
-  }
-  std::vector<Var> k1;
-  std::vector<Var> k2;
-  for (std::size_t i = 0; i < key_inputs.size(); ++i) {
-    k1.push_back(miter.new_var());
-  }
-  for (std::size_t i = 0; i < key_inputs.size(); ++i) {
-    k2.push_back(miter.new_var());
-  }
-  auto bind = [&](const std::vector<Var>& keys) {
-    std::unordered_map<NodeId, Var> bound;
-    for (std::size_t i = 0; i < data_inputs.size(); ++i) {
-      bound.emplace(data_inputs[i], x_vars[i]);
-    }
-    for (std::size_t i = 0; i < key_inputs.size(); ++i) {
-      bound.emplace(key_inputs[i], keys[i]);
-    }
-    return bound;
-  };
-  const CircuitEncoding enc1 = cnf::encode_circuit(locked, miter, bind(k1));
-  const CircuitEncoding enc2 = cnf::encode_circuit(locked, miter, bind(k2));
-  std::vector<Var> out1;
-  std::vector<Var> out2;
-  for (NodeId id : locked.outputs()) {
-    out1.push_back(enc1.var_of(id));
-    out2.push_back(enc2.var_of(id));
-  }
-  cnf::encode_miter(miter, out1, out2);
+  miter.set_external_stop(budget.stop_flag());
+  const engine::MiterContext ctx(locked, miter);
 
   // Key-determination portfolio: one key vector constrained by all DIPs.
   SolverPortfolio key_solver(options.jobs, options.portfolio_seed + 0x9e37);
-  std::vector<Var> key_vars;
-  for (std::size_t i = 0; i < key_inputs.size(); ++i) {
-    key_vars.push_back(key_solver.new_var());
-  }
+  key_solver.set_external_stop(budget.stop_flag());
+  const std::vector<Var> key_vars =
+      engine::make_vars(key_solver, locked.key_inputs().size());
+
+  engine::DipConstraintEncoder dips(locked, options.specialize_dips);
 
   while (true) {
     if (options.max_iterations != 0 &&
@@ -116,16 +46,15 @@ SatAttackResult run_sat_attack(const Netlist& locked, QueryOracle& oracle,
       result.status = SatAttackStatus::kIterationLimit;
       break;
     }
-    if (options.time_limit_seconds > 0) {
-      const double remaining = options.time_limit_seconds - elapsed();
-      if (remaining <= 0) {
+    if (budget.limited() || budget.cancelled()) {
+      if (budget.expired()) {
         result.status = SatAttackStatus::kTimeout;
         break;
       }
-      miter.set_limits({.time_limit_seconds = remaining});
+      miter.set_limits(budget.limits());
     }
     const runtime::SolveOutcome miter_outcome = miter.solve();
-    record("miter", miter_outcome);
+    budget.record(result.iterations, "miter", miter_outcome);
     const sat::Result r = miter_outcome.result;
     if (r == sat::Result::kUnknown) {
       result.status = SatAttackStatus::kTimeout;
@@ -133,16 +62,15 @@ SatAttackResult run_sat_attack(const Netlist& locked, QueryOracle& oracle,
     }
     if (r == sat::Result::kUnsat) {
       // No DIP remains: extract any consistent key.
-      if (options.time_limit_seconds > 0) {
-        const double remaining = options.time_limit_seconds - elapsed();
-        if (remaining <= 0) {
+      if (budget.limited() || budget.cancelled()) {
+        if (budget.expired()) {
           result.status = SatAttackStatus::kTimeout;
           break;
         }
-        key_solver.set_limits({.time_limit_seconds = remaining});
+        key_solver.set_limits(budget.limits());
       }
       const runtime::SolveOutcome key_outcome = key_solver.solve();
-      record("key", key_outcome);
+      budget.record(result.iterations, "key", key_outcome);
       const sat::Result kr = key_outcome.result;
       if (kr == sat::Result::kSat) {
         result.key.reserve(key_vars.size());
@@ -157,14 +85,12 @@ SatAttackResult run_sat_attack(const Netlist& locked, QueryOracle& oracle,
           fixed.reserve(key_vars.size());
           bool complete = true;
           for (std::size_t i = 0; i < key_vars.size(); ++i) {
-            if (options.time_limit_seconds > 0) {
-              const double remaining =
-                  options.time_limit_seconds - elapsed();
-              if (remaining <= 0) {
+            if (budget.limited() || budget.cancelled()) {
+              if (budget.expired()) {
                 complete = false;
                 break;
               }
-              key_solver.set_limits({.time_limit_seconds = remaining});
+              key_solver.set_limits(budget.limits());
             }
             fixed.push_back(Lit::make(key_vars[i], true));  // try bit = 0
             const runtime::SolveOutcome probe = key_solver.solve(fixed);
@@ -190,30 +116,24 @@ SatAttackResult run_sat_attack(const Netlist& locked, QueryOracle& oracle,
     }
 
     // SAT: extract a DIP, query the oracle, constrain both copies.
-    std::vector<bool> dip;
-    dip.reserve(x_vars.size());
-    for (Var v : x_vars) dip.push_back(miter.model_bool(v));
+    const std::vector<bool> dip =
+        ctx.extract_dip([&](Var v) { return miter.model_bool(v); });
     const std::vector<bool> response = oracle.query(dip);
-    add_io_constraint(miter, locked, data_inputs,
-                      std::vector<Var>(k1.begin(), k1.end()), dip, response);
-    add_io_constraint(miter, locked, data_inputs,
-                      std::vector<Var>(k2.begin(), k2.end()), dip, response);
-    add_io_constraint(key_solver, locked, data_inputs, key_vars, dip,
-                      response);
+    engine::ConstraintStats stats =
+        dips.add_constraint(miter, ctx.copy(0).key_vars, dip, response);
+    stats += dips.add_constraint(miter, ctx.copy(1).key_vars, dip, response);
+    stats += dips.add_constraint(key_solver, key_vars, dip, response);
+    budget.add_constraints(stats);
     ++result.iterations;
   }
 
-  result.seconds = elapsed();
+  result.seconds = budget.elapsed();
   result.conflicts = miter.total_conflicts();
+  const engine::ConstraintStats totals = budget.constraint_totals();
+  result.encoded_clauses = totals.encoded_clauses;
+  result.saved_clauses = totals.saved_clauses;
+  result.solve_log = budget.take_log();
   return result;
-}
-
-std::string solve_record_json(const SolveRecord& record) {
-  char prefix[96];
-  std::snprintf(prefix, sizeof(prefix),
-                "{\"iteration\":%zu,\"phase\":\"%s\",\"solve\":",
-                record.iteration, record.phase.c_str());
-  return std::string(prefix) + runtime::to_json(record.outcome) + "}";
 }
 
 }  // namespace ril::attacks

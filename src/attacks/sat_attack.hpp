@@ -10,10 +10,12 @@
 // dynamic morphing break exactly that premise.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "attacks/engine/attack_budget.hpp"
 #include "attacks/oracle.hpp"
 #include "netlist/netlist.hpp"
 #include "runtime/portfolio.hpp"
@@ -40,18 +42,19 @@ struct SatAttackOptions {
   /// so the canonical key is identical across jobs counts and portfolio
   /// races. Costs one cheap assumption-solve per key bit.
   bool canonical_key = true;
+  /// Encode each I/O constraint over the DIP-specialized key cone instead
+  /// of re-encoding the whole circuit (engine::DipConstraintEncoder).
+  /// Same verdict and canonical key, typically an order of magnitude fewer
+  /// clauses per DIP; false reproduces the historical encoding bit-for-bit.
+  bool specialize_dips = true;
+  /// Optional caller-owned cancellation flag: raise it from any thread to
+  /// unwind the attack cooperatively (reported as kTimeout).
+  const std::atomic<bool>* cancel = nullptr;
 };
 
-/// One entry of the per-solve log: which solve of the DIP loop it was and
-/// how the portfolio decided it.
-struct SolveRecord {
-  std::size_t iteration = 0;   ///< DIP-loop iteration the solve belongs to
-  std::string phase;           ///< "miter" or "key"
-  runtime::SolveOutcome outcome;
-};
-
-/// Serializes one record as a JSON object (one line, stable key order).
-std::string solve_record_json(const SolveRecord& record);
+/// Per-solve log entry (shared across the attack engine).
+using SolveRecord = engine::SolveRecord;
+using engine::solve_record_json;
 
 enum class SatAttackStatus {
   kKeyFound,       ///< miter UNSAT, consistent key extracted
@@ -68,6 +71,10 @@ struct SatAttackResult {
   /// CDCL conflicts across all miter-portfolio members (equals the single
   /// miter solver's conflicts when jobs == 1).
   std::uint64_t conflicts = 0;
+  /// Total I/O-constraint clauses added across the run, and the clauses a
+  /// full re-encoding would have added on top (0 unless specialize_dips).
+  std::size_t encoded_clauses = 0;
+  std::size_t saved_clauses = 0;
   /// Per-solve portfolio stats; filled when options.record_solves is set.
   std::vector<SolveRecord> solve_log;
 };

@@ -37,4 +37,18 @@ std::vector<bool> ScanOracle::query(const std::vector<bool>& inputs) {
   return response;
 }
 
+SatAttackResult run_scansat_attack(const Netlist& locked_core,
+                                   ScanOracle& oracle,
+                                   const SatAttackOptions& options) {
+  if (locked_core.data_inputs().size() != oracle.num_inputs()) {
+    throw std::invalid_argument(
+        "run_scansat_attack: core input width does not match scan oracle");
+  }
+  if (locked_core.outputs().size() != oracle.num_outputs()) {
+    throw std::invalid_argument(
+        "run_scansat_attack: core output width does not match scan oracle");
+  }
+  return run_sat_attack(locked_core, oracle, options);
+}
+
 }  // namespace ril::attacks

@@ -10,8 +10,9 @@
 
 #include <vector>
 
-#include "netlist/netlist.hpp"
 #include "attacks/oracle.hpp"
+#include "attacks/sat_attack.hpp"
+#include "netlist/netlist.hpp"
 #include "netlist/scan_chain.hpp"
 
 namespace ril::attacks {
@@ -39,5 +40,13 @@ class ScanOracle : public QueryOracle {
   std::size_t primary_outputs_ = 0;
   std::size_t query_count_ = 0;
 };
+
+/// Runs the SAT attack on a combinational core against a scan oracle,
+/// validating that the core's pseudo-PI/PO interface matches the oracle's
+/// scan-chain view before handing off to run_sat_attack(). `locked_core`
+/// is typically locked.combinational_core().
+SatAttackResult run_scansat_attack(const netlist::Netlist& locked_core,
+                                   ScanOracle& oracle,
+                                   const SatAttackOptions& options = {});
 
 }  // namespace ril::attacks

@@ -1,54 +1,20 @@
 #include "attacks/sensitization.hpp"
 
-#include <chrono>
-
-#include "cnf/tseitin.hpp"
+#include "attacks/engine/attack_budget.hpp"
+#include "attacks/engine/miter_context.hpp"
 #include "sat/solver.hpp"
-#include "netlist/simulator.hpp"
 
 namespace ril::attacks {
 
 using netlist::Netlist;
-using netlist::NodeId;
 using sat::Lit;
 using sat::Solver;
 using sat::Var;
 
-namespace {
-
-/// Encodes one circuit copy with data inputs bound to `x_vars`, key bit
-/// `target` fixed to `target_value`, and the remaining key bits fixed to
-/// the assignment `rest` (aligned with key_inputs(), target slot ignored).
-sat::Var encode_copy_output(Solver& solver, const Netlist& locked,
-                            const std::vector<Var>& x_vars,
-                            std::size_t target, bool target_value,
-                            const std::vector<bool>& rest,
-                            std::size_t output_index) {
-  const auto data_inputs = locked.data_inputs();
-  std::unordered_map<NodeId, Var> bound;
-  for (std::size_t i = 0; i < data_inputs.size(); ++i) {
-    bound.emplace(data_inputs[i], x_vars[i]);
-  }
-  const auto enc = cnf::encode_circuit(locked, solver, bound);
-  for (std::size_t i = 0; i < locked.key_inputs().size(); ++i) {
-    const bool value = i == target ? target_value : rest[i];
-    solver.add_clause(
-        {Lit::make(enc.var_of(locked.key_inputs()[i]), !value)});
-  }
-  return enc.var_of(locked.outputs()[output_index]);
-}
-
-}  // namespace
-
 SensitizationResult run_sensitization_attack(
     const Netlist& locked, QueryOracle& oracle,
     const SensitizationOptions& options) {
-  const auto start = std::chrono::steady_clock::now();
-  auto elapsed = [&] {
-    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                         start)
-        .count();
-  };
+  engine::AttackBudget budget(options.time_limit_seconds, options.cancel);
 
   const std::size_t key_width = locked.key_inputs().size();
   const auto data_inputs = locked.data_inputs();
@@ -56,10 +22,22 @@ SensitizationResult run_sensitization_attack(
   result.key.assign(key_width, false);
   result.resolved.assign(key_width, false);
 
-  netlist::Simulator reference(locked);
+  // Encodes one circuit copy with data inputs bound to `x_vars`, key bit
+  // `target` fixed to `target_value`, and the remaining key bits fixed to
+  // the assignment `rest` (aligned with key_inputs(), target slot ignored).
+  auto encode_copy_output = [&](Solver& solver, const std::vector<Var>& x_vars,
+                                std::size_t target, bool target_value,
+                                const std::vector<bool>& rest,
+                                std::size_t output_index) -> Var {
+    const engine::CircuitCopy copy = engine::encode_copy(locked, solver, x_vars);
+    std::vector<bool> values(rest);
+    values[target] = target_value;
+    engine::fix_vars(solver, copy.key_vars, values);
+    return copy.output_vars[output_index];
+  };
 
   for (std::size_t bit = 0; bit < key_width; ++bit) {
-    if (elapsed() >= options.time_limit_seconds) break;
+    if (budget.expired()) break;
     bool done = false;
     for (std::size_t out = 0; out < locked.outputs().size() && !done;
          ++out) {
@@ -69,23 +47,21 @@ SensitizationResult run_sensitization_attack(
       std::vector<std::vector<bool>> samples = {
           std::vector<bool>(key_width, false)};
       for (int round = 0; round < 6 && !done; ++round) {
-        if (elapsed() >= options.time_limit_seconds) break;
+        if (budget.expired()) break;
         // Candidate: outputs under every sample must agree per polarity
         // and differ across polarities (w.r.t. sample 0).
         Solver cand;
-        cand.set_limits({.time_limit_seconds =
-                             options.time_limit_seconds - elapsed()});
-        std::vector<Var> x_vars;
-        for (std::size_t i = 0; i < data_inputs.size(); ++i) {
-          x_vars.push_back(cand.new_var());
-        }
+        cand.set_limits(budget.limits());
+        cand.set_cancel_flag(budget.stop_flag());
+        const std::vector<Var> x_vars =
+            engine::make_vars(cand, data_inputs.size());
         std::vector<Var> out0;
         std::vector<Var> out1;
         for (const auto& sample : samples) {
-          out0.push_back(encode_copy_output(cand, locked, x_vars, bit,
-                                            false, sample, out));
-          out1.push_back(encode_copy_output(cand, locked, x_vars, bit,
-                                            true, sample, out));
+          out0.push_back(
+              encode_copy_output(cand, x_vars, bit, false, sample, out));
+          out1.push_back(
+              encode_copy_output(cand, x_vars, bit, true, sample, out));
         }
         for (std::size_t s = 1; s < samples.size(); ++s) {
           // out0[s] == out0[0], out1[s] == out1[0]
@@ -108,34 +84,24 @@ SensitizationResult run_sensitization_attack(
         bool golden = true;
         for (int polarity = 0; polarity < 2 && golden; ++polarity) {
           Solver verify;
-          verify.set_limits({.time_limit_seconds =
-                                 options.time_limit_seconds - elapsed()});
-          std::vector<Var> x_fixed;
-          for (std::size_t i = 0; i < data_inputs.size(); ++i) {
-            const Var v = verify.new_var();
-            verify.add_clause({Lit::make(v, !x[i])});
-            x_fixed.push_back(v);
-          }
+          verify.set_limits(budget.limits());
+          verify.set_cancel_flag(budget.stop_flag());
+          const std::vector<Var> x_fixed = engine::make_fixed_vars(verify, x);
           // One copy with free rest keys.
-          std::unordered_map<NodeId, Var> bound;
-          for (std::size_t i = 0; i < data_inputs.size(); ++i) {
-            bound.emplace(data_inputs[i], x_fixed[i]);
-          }
-          const auto enc = cnf::encode_circuit(locked, verify, bound);
-          verify.add_clause({Lit::make(
-              enc.var_of(locked.key_inputs()[bit]), polarity == 0)});
+          const engine::CircuitCopy copy =
+              engine::encode_copy(locked, verify, x_fixed);
+          verify.add_clause(
+              {Lit::make(copy.key_vars[bit], polarity == 0)});
           // Ask for an assignment where the output deviates from the
           // candidate's constant.
           const bool expect = polarity == 0 ? c0 : !c0;
-          verify.add_clause(
-              {Lit::make(enc.var_of(locked.outputs()[out]), expect)});
+          verify.add_clause({Lit::make(copy.output_vars[out], expect)});
           const sat::Result vr = verify.solve();
           if (vr == sat::Result::kSat) {
             // Counterexample rest-key; refine the candidate.
             std::vector<bool> sample(key_width);
             for (std::size_t i = 0; i < key_width; ++i) {
-              sample[i] = verify.model_bool(
-                  enc.var_of(locked.key_inputs()[i]));
+              sample[i] = verify.model_bool(copy.key_vars[i]);
             }
             samples.push_back(std::move(sample));
             golden = false;
@@ -156,7 +122,7 @@ SensitizationResult run_sensitization_attack(
       }
     }
   }
-  result.seconds = elapsed();
+  result.seconds = budget.elapsed();
   return result;
 }
 

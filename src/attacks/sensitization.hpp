@@ -10,6 +10,7 @@
 // key-controlled routing -- defeats the per-bit search.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -19,7 +20,11 @@
 namespace ril::attacks {
 
 struct SensitizationOptions {
+  /// Whole-attack wall-clock budget in seconds; <= 0 means unlimited.
   double time_limit_seconds = 30.0;
+  /// Optional caller-owned cancellation flag: raising it stops the per-bit
+  /// search, leaving the remaining bits unresolved.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 struct SensitizationResult {

@@ -172,6 +172,26 @@ void encode_node(ClauseSink& solver, const Netlist& circuit, NodeId id,
   }
 }
 
+SpecializedEncoding encode_specialized(const Netlist& cone,
+                                       ClauseSink& solver,
+                                       const std::vector<Var>& key_vars) {
+  if (key_vars.size() != cone.key_inputs().size()) {
+    throw std::invalid_argument("encode_specialized: key width mismatch");
+  }
+  SpecializedEncoding out;
+  sat::CountingSink counting(&solver);
+  std::unordered_map<NodeId, Var> bound;
+  bound.reserve(key_vars.size());
+  for (std::size_t i = 0; i < key_vars.size(); ++i) {
+    bound.emplace(cone.key_inputs()[i], key_vars[i]);
+  }
+  out.enc = encode_circuit(cone, counting, bound);
+  out.outputs.reserve(cone.outputs().size());
+  for (NodeId id : cone.outputs()) out.outputs.push_back(out.enc.var_of(id));
+  out.clauses = counting.clauses();
+  return out;
+}
+
 Var encode_xor(ClauseSink& solver, Var a, Var b) {
   const Var y = solver.new_var();
   encode_xor2(solver, y, a, b, false);

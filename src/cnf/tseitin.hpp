@@ -40,6 +40,26 @@ CircuitEncoding encode_circuit(
 void encode_node(sat::ClauseSink& solver, const netlist::Netlist& circuit,
                  netlist::NodeId id, const std::vector<sat::Var>& node_var);
 
+/// Result of encoding a DIP-specialized cone (see encode_specialized).
+struct SpecializedEncoding {
+  /// Node -> variable map over the *cone* netlist's ids.
+  CircuitEncoding enc;
+  /// Cone output variables, in the original output order.
+  std::vector<sat::Var> outputs;
+  /// Clauses submitted to the sink by this encoding.
+  std::size_t clauses = 0;
+};
+
+/// Encodes a cone produced by netlist::specialize_inputs + simplify into
+/// `solver`, binding the cone's surviving key inputs positionally to
+/// `key_vars`. Both passes preserve key-input and output order, so index i
+/// of the cone's key_inputs()/outputs() corresponds to index i of the
+/// original circuit's -- which is what makes the per-DIP cone encoding a
+/// drop-in replacement for a full circuit re-encoding in I/O constraints.
+SpecializedEncoding encode_specialized(const netlist::Netlist& cone,
+                                       sat::ClauseSink& solver,
+                                       const std::vector<sat::Var>& key_vars);
+
 /// Adds clauses for y <-> (a XOR b) and returns y.
 sat::Var encode_xor(sat::ClauseSink& solver, sat::Var a, sat::Var b);
 

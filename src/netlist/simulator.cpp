@@ -97,10 +97,23 @@ std::vector<std::uint64_t> Simulator::output_words() const {
 
 std::vector<bool> evaluate_once(const Netlist& netlist,
                                 const std::vector<bool>& input_values) {
+  Simulator sim(netlist);
+  return evaluate_once(sim, input_values);
+}
+
+std::vector<bool> evaluate_with_key(const Netlist& netlist,
+                                    const std::vector<bool>& data_values,
+                                    const std::vector<bool>& key_values) {
+  Simulator sim(netlist);
+  return evaluate_with_key(sim, data_values, key_values);
+}
+
+std::vector<bool> evaluate_once(Simulator& sim,
+                                const std::vector<bool>& input_values) {
+  const Netlist& netlist = sim.netlist();
   if (input_values.size() != netlist.inputs().size()) {
     throw std::invalid_argument("evaluate_once: input count mismatch");
   }
-  Simulator sim(netlist);
   for (std::size_t i = 0; i < input_values.size(); ++i) {
     sim.set_input_all(netlist.inputs()[i], input_values[i]);
   }
@@ -111,15 +124,15 @@ std::vector<bool> evaluate_once(const Netlist& netlist,
   return out;
 }
 
-std::vector<bool> evaluate_with_key(const Netlist& netlist,
+std::vector<bool> evaluate_with_key(Simulator& sim,
                                     const std::vector<bool>& data_values,
                                     const std::vector<bool>& key_values) {
+  const Netlist& netlist = sim.netlist();
   const auto data_inputs = netlist.data_inputs();
   if (data_values.size() != data_inputs.size() ||
       key_values.size() != netlist.key_inputs().size()) {
     throw std::invalid_argument("evaluate_with_key: size mismatch");
   }
-  Simulator sim(netlist);
   for (std::size_t i = 0; i < data_inputs.size(); ++i) {
     sim.set_input_all(data_inputs[i], data_values[i]);
   }

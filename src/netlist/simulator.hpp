@@ -47,12 +47,25 @@ class Simulator {
 
 /// Single-vector convenience wrapper: evaluates the combinational view of
 /// `netlist` on one input assignment (indexed by position in inputs()).
+/// Constructs a throwaway Simulator; for repeated evaluation of the same
+/// netlist prefer the Simulator-reusing overloads below, which skip the
+/// per-call topological sort and allocations.
 std::vector<bool> evaluate_once(const Netlist& netlist,
                                 const std::vector<bool>& input_values);
 
 /// Evaluates with separate data/key assignments: data_values follows
 /// data_inputs() order, key_values follows key_inputs() order.
 std::vector<bool> evaluate_with_key(const Netlist& netlist,
+                                    const std::vector<bool>& data_values,
+                                    const std::vector<bool>& key_values);
+
+/// As evaluate_once(netlist, ...) but reuses a caller-owned Simulator
+/// (which fixes the netlist being evaluated).
+std::vector<bool> evaluate_once(Simulator& sim,
+                                const std::vector<bool>& input_values);
+
+/// As evaluate_with_key(netlist, ...) but reuses a caller-owned Simulator.
+std::vector<bool> evaluate_with_key(Simulator& sim,
                                     const std::vector<bool>& data_values,
                                     const std::vector<bool>& key_values);
 

@@ -1,0 +1,83 @@
+#include "netlist/specialize.hpp"
+
+#include <stdexcept>
+
+namespace ril::netlist {
+
+Netlist specialize_inputs(const Netlist& circuit,
+                          const std::vector<NodeId>& fixed_inputs,
+                          const std::vector<bool>& values) {
+  if (fixed_inputs.size() != values.size()) {
+    throw std::invalid_argument("specialize_inputs: value count mismatch");
+  }
+  // Constant per node id, fixed inputs only.
+  std::vector<int> fixed_value(circuit.node_count(), -1);
+  std::vector<char> is_key(circuit.node_count(), 0);
+  for (NodeId id : circuit.key_inputs()) is_key[id] = 1;
+  for (std::size_t i = 0; i < fixed_inputs.size(); ++i) {
+    const NodeId id = fixed_inputs[i];
+    if (id >= circuit.node_count() ||
+        circuit.node(id).type != GateType::kInput) {
+      throw std::invalid_argument("specialize_inputs: not a primary input");
+    }
+    if (is_key[id]) {
+      throw std::invalid_argument(
+          "specialize_inputs: key inputs must stay symbolic");
+    }
+    fixed_value[id] = values[i] ? 1 : 0;
+  }
+
+  Netlist out(circuit.name() + "_cofactor");
+  std::vector<NodeId> remap(circuit.node_count(), kNoNode);
+  // Preserve the primary-input order; fixed inputs become constants.
+  for (NodeId id : circuit.inputs()) {
+    if (fixed_value[id] >= 0) {
+      remap[id] = out.add_const(fixed_value[id] == 1);
+      out.rename(remap[id], circuit.node(id).name + "_fixed");
+    } else if (is_key[id]) {
+      remap[id] = out.add_key_input(circuit.node(id).name);
+    } else {
+      remap[id] = out.add_input(circuit.node(id).name);
+    }
+  }
+  // DFFs are topological sources; fanins are patched at the end.
+  NodeId placeholder = kNoNode;
+  for (NodeId id = 0; id < circuit.node_count(); ++id) {
+    if (circuit.node(id).type != GateType::kDff) continue;
+    if (placeholder == kNoNode) placeholder = out.add_const(false);
+    remap[id] =
+        out.add_gate(GateType::kDff, {placeholder}, circuit.node(id).name);
+  }
+  for (NodeId id : circuit.topological_order()) {
+    const Node& node = circuit.node(id);
+    if (remap[id] != kNoNode) continue;
+    switch (node.type) {
+      case GateType::kInput:
+        break;  // handled above
+      case GateType::kConst0:
+      case GateType::kConst1:
+        remap[id] = out.add_const(node.type == GateType::kConst1);
+        out.rename(remap[id], node.name);
+        break;
+      default: {
+        std::vector<NodeId> fanins;
+        fanins.reserve(node.fanins.size());
+        for (NodeId f : node.fanins) fanins.push_back(remap[f]);
+        if (node.type == GateType::kLut) {
+          remap[id] = out.add_lut(std::move(fanins), node.lut_mask, node.name);
+        } else {
+          remap[id] = out.add_gate(node.type, std::move(fanins), node.name);
+        }
+      }
+    }
+  }
+  for (NodeId id = 0; id < circuit.node_count(); ++id) {
+    if (circuit.node(id).type == GateType::kDff) {
+      out.node(remap[id]).fanins[0] = remap[circuit.node(id).fanins[0]];
+    }
+  }
+  for (NodeId id : circuit.outputs()) out.mark_output(remap[id]);
+  return out;
+}
+
+}  // namespace ril::netlist

@@ -1,0 +1,27 @@
+// Non-destructive input specialization (cofactoring).
+//
+// specialize_inputs() copies a netlist with a chosen subset of its primary
+// inputs replaced by constants. Every other input -- in particular the key
+// inputs -- survives with its order and name preserved, so positional
+// interfaces (oracles, key binding, equivalence checks) keep working on the
+// cofactor. Combined with simplify(), this is how the attack engine shrinks
+// a DIP-fixed circuit down to its key-dependent cone before Tseitin
+// encoding an I/O constraint.
+#pragma once
+
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace ril::netlist {
+
+/// Returns a copy of `circuit` with each input in `fixed_inputs` replaced
+/// by the constant in `values` (positional). Fixed nodes must be primary
+/// inputs; key inputs may not be fixed (specialize a key with
+/// locking::specialize_keys instead). Output count and order are
+/// preserved. Throws std::invalid_argument on interface violations.
+Netlist specialize_inputs(const Netlist& circuit,
+                          const std::vector<NodeId>& fixed_inputs,
+                          const std::vector<bool>& values);
+
+}  // namespace ril::netlist

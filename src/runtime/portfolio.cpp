@@ -141,17 +141,20 @@ SolveOutcome SolverPortfolio::solve(const std::vector<Lit>& assumptions) {
     }
     Solver& solver = *solvers_[pick];
     solver.set_limits(limits_);
+    solver.set_cancel_flag(external_stop_);
     outcome.result = solver.solve(assumptions);
+    solver.set_cancel_flag(nullptr);
     winner_index = static_cast<int>(pick);
   } else {
     std::atomic<bool> cancel{false};
     std::atomic<int> claimed{-1};
+    std::atomic<std::size_t> finished{0};
     std::vector<Result> results(n, Result::kUnknown);
     std::vector<std::thread> threads;
     threads.reserve(n);
     for (std::size_t i = 0; i < n; ++i) {
       threads.emplace_back([this, i, &assumptions, &cancel, &claimed,
-                            &results] {
+                            &results, &finished] {
         Solver& solver = *solvers_[i];
         solver.set_limits(limits_);
         solver.set_cancel_flag(&cancel);
@@ -164,7 +167,19 @@ SolveOutcome SolverPortfolio::solve(const std::vector<Lit>& assumptions) {
             cancel.store(true, std::memory_order_release);
           }
         }
+        finished.fetch_add(1, std::memory_order_release);
       });
+    }
+    // Relay an external stop into the members' shared cancel flag; the
+    // members themselves only poll the per-call token.
+    if (external_stop_) {
+      while (finished.load(std::memory_order_acquire) < n) {
+        if (external_stop_->load(std::memory_order_relaxed)) {
+          cancel.store(true, std::memory_order_release);
+          break;
+        }
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      }
     }
     for (auto& thread : threads) thread.join();
     for (auto& solver : solvers_) solver->set_cancel_flag(nullptr);

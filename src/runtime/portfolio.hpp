@@ -16,6 +16,7 @@
 // single-job portfolio is bit-identical to the historical serial code.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -72,6 +73,14 @@ class SolverPortfolio : public sat::ClauseSink {
   /// Per-call resource limits, applied to every member at the next solve.
   void set_limits(const sat::SolverLimits& limits) { limits_ = limits; }
 
+  /// Optional external stop flag (e.g. an attack-level cancellation token).
+  /// When the flag becomes true, an in-flight solve() unwinds cooperatively
+  /// and returns kUnknown, and the portfolio stays usable afterwards.
+  /// Pass nullptr (the default) to clear it.
+  void set_external_stop(const std::atomic<bool>* stop) {
+    external_stop_ = stop;
+  }
+
   /// Races the members under the current limits. First decisive member
   /// wins and cancels the rest; if every member hits its limit the result
   /// is kUnknown (deadline/conflict budget expired).
@@ -92,6 +101,7 @@ class SolverPortfolio : public sat::ClauseSink {
   std::vector<std::unique_ptr<sat::Solver>> solvers_;
   std::vector<std::string> names_;
   sat::SolverLimits limits_;
+  const std::atomic<bool>* external_stop_ = nullptr;
   int last_winner_ = 0;
   bool proven_unsat_ = false;
 };

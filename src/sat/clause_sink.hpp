@@ -7,7 +7,9 @@
 // clause into N diversified solver instances kept in lock-step.
 #pragma once
 
+#include <cstddef>
 #include <initializer_list>
+#include <utility>
 
 #include "sat/types.hpp"
 
@@ -28,6 +30,43 @@ class ClauseSink {
   bool add_clause(std::initializer_list<Lit> lits) {
     return add_clause(Clause(lits));
   }
+};
+
+/// Decorator that counts the variables and clauses flowing through it.
+/// With a null inner sink it becomes a pure dry-run counter (allocating
+/// its own variable numbers and discarding clauses), which is how the
+/// attack engine prices a full circuit encoding without touching a solver.
+/// Counts are clauses as *submitted*; a receiving solver may still drop
+/// satisfied or tautological ones at the root.
+class CountingSink final : public ClauseSink {
+ public:
+  explicit CountingSink(ClauseSink* inner = nullptr) : inner_(inner) {}
+
+  Var new_var() override {
+    ++vars_;
+    return inner_ ? inner_->new_var() : next_var_++;
+  }
+  void ensure_var(Var v) override {
+    if (inner_) {
+      inner_->ensure_var(v);
+    } else if (v >= next_var_) {
+      next_var_ = v + 1;
+    }
+  }
+  bool add_clause(Clause lits) override {
+    ++clauses_;
+    return inner_ ? inner_->add_clause(std::move(lits)) : true;
+  }
+  using ClauseSink::add_clause;
+
+  std::size_t vars() const { return vars_; }
+  std::size_t clauses() const { return clauses_; }
+
+ private:
+  ClauseSink* inner_ = nullptr;
+  Var next_var_ = 0;
+  std::size_t vars_ = 0;
+  std::size_t clauses_ = 0;
 };
 
 }  // namespace ril::sat

@@ -9,10 +9,37 @@ function(run)
   message(STATUS "${out}")
 endfunction()
 
+# Expects a nonzero exit and an error message on stderr (the CLI must fail
+# cleanly on bad input instead of crashing or silently succeeding).
+function(expect_fail)
+  execute_process(COMMAND ${ARGV} WORKING_DIRECTORY ${WORK_DIR}
+                  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+  if(rc EQUAL 0)
+    message(FATAL_ERROR "command unexpectedly succeeded: ${ARGV}\n${out}")
+  endif()
+  if(err STREQUAL "")
+    message(FATAL_ERROR "command failed silently (${rc}): ${ARGV}")
+  endif()
+  message(STATUS "rejected as expected (${rc}): ${err}")
+endfunction()
+
 run(${RIL_BIN} gen c7552 host.bench --scale 0.05)
 run(${RIL_BIN} lock ril host.bench locked.bench key.txt
     --blocks 1 --size 4 --output-net --seed 3)
 run(${RIL_BIN} unlock locked.bench key.txt activated.bench)
 run(${RIL_BIN} analyze locked.bench key.txt)
 run(${RIL_BIN} attack sat locked.bench activated.bench --timeout 30)
+run(${RIL_BIN} attack sat locked.bench activated.bench --timeout 30
+    --no-specialize)
 run(${RIL_BIN} attack removal locked.bench activated.bench)
+
+# Error hardening: corrupt and missing inputs exit nonzero with a one-line
+# diagnostic instead of crashing.
+file(WRITE ${WORK_DIR}/corrupt.bench "this is not ( a bench file }{\n")
+file(WRITE ${WORK_DIR}/empty.bench "# comment only, no gates\n")
+expect_fail(${RIL_BIN} lock ril corrupt.bench out.bench key2.txt)
+expect_fail(${RIL_BIN} attack sat empty.bench activated.bench)
+expect_fail(${RIL_BIN} analyze does_not_exist.bench key.txt)
+expect_fail(${RIL_BIN} lock nosuchscheme host.bench out.bench key2.txt)
+expect_fail(${RIL_BIN} frobnicate host.bench)
+expect_fail(${RIL_BIN} attack sat locked.bench activated.bench --timeout)

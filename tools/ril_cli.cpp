@@ -12,14 +12,16 @@
 //       carries the oracle scan key).
 //
 //   ril attack <method> <locked.bench> <activated.bench> [--timeout S]
-//              [--jobs N | --portfolio] [--stats out.json]
+//              [--jobs N | --portfolio] [--stats out.json] [--no-specialize]
 //       Methods: sat | appsat | onehot | removal | sps | bypass. The
 //       activated netlist (no key inputs) acts as the oracle. Prints the
 //       result and, when a key is recovered, verifies it by SAT CEC.
 //       --jobs N races N diversified CDCL configurations per solve
 //       (first-to-finish-wins, losers cancelled); --portfolio uses all
 //       hardware threads; --stats writes per-solve JSON records (seed,
-//       winning configuration, conflicts, wall time).
+//       winning configuration, conflicts, wall time, constraint clause
+//       costs); --no-specialize reverts the SAT/AppSAT I/O constraints to
+//       the historical full-circuit re-encoding.
 //
 //   ril analyze <file.bench> [key.txt]
 //       Structural report: stats, detected routing networks and keyed
@@ -32,6 +34,7 @@
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <stdexcept>
 #include <string>
 #include <thread>
 
@@ -65,7 +68,8 @@ using namespace ril;
                " [--blocks N --size N --lutk M --output-net --scan"
                " --bits N --seed S]\n"
                "  ril attack <method> <locked.bench> <activated.bench>"
-               " [--timeout S --jobs N --portfolio --stats out.json]\n"
+               " [--timeout S --jobs N --portfolio --stats out.json"
+               " --no-specialize]\n"
                "  ril analyze <file.bench> [key.txt]\n"
                "  ril unlock <locked.bench> <key.txt> <out.bench>\n");
   std::exit(2);
@@ -84,6 +88,7 @@ struct Args {
   std::string stats_path;
   bool output_net = false;
   bool scan = false;
+  bool specialize = true;
 };
 
 Args parse(int argc, char** argv) {
@@ -106,6 +111,7 @@ Args parse(int argc, char** argv) {
     else if (arg == "--stats") args.stats_path = value();
     else if (arg == "--output-net") args.output_net = true;
     else if (arg == "--scan") args.scan = true;
+    else if (arg == "--no-specialize") args.specialize = false;
     else if (arg.rfind("--", 0) == 0) usage(("unknown option " + arg).c_str());
     else args.positional.push_back(arg);
   }
@@ -119,8 +125,17 @@ bool has_suffix(const std::string& path, const char* suffix) {
 }
 
 netlist::Netlist read_netlist(const std::string& path) {
-  return has_suffix(path, ".v") ? netlist::read_verilog_file(path)
-                                : netlist::read_bench_file(path);
+  netlist::Netlist nl = has_suffix(path, ".v")
+                            ? netlist::read_verilog_file(path)
+                            : netlist::read_bench_file(path);
+  // The parsers accept a file with no recognizable statements as an empty
+  // netlist; surface that as an error instead of attacking thin air.
+  if (nl.node_count() == 0 || nl.outputs().empty()) {
+    throw std::runtime_error(path +
+                             ": no usable netlist parsed (missing gates or "
+                             "outputs; corrupt input?)");
+  }
+  return nl;
 }
 
 void write_netlist(const std::string& path, const netlist::Netlist& nl) {
@@ -159,6 +174,42 @@ void write_key_file(const std::string& path,
     for (bool b : *scan_key) out << (b ? '1' : '0');
     out << "\n";
   }
+}
+
+/// Prints the per-configuration win tally of a recorded portfolio run.
+void print_portfolio_wins(const std::vector<attacks::SolveRecord>& log) {
+  if (log.empty()) return;
+  std::map<std::string, std::size_t> wins;
+  for (const auto& record : log) {
+    if (record.outcome.winner >= 0) ++wins[record.outcome.winner_config];
+  }
+  std::printf("portfolio wins:");
+  for (const auto& [config, count] : wins) {
+    std::printf(" %s=%zu", config.c_str(), count);
+  }
+  std::printf("\n");
+}
+
+/// Writes the attack-level + per-solve stats JSON shared by sat/appsat.
+void write_stats_file(const std::string& path, const char* attack,
+                      const Args& args, const std::string& status,
+                      std::size_t iterations, double seconds,
+                      std::uint64_t conflicts, std::size_t encoded_clauses,
+                      std::size_t saved_clauses,
+                      const std::vector<attacks::SolveRecord>& log) {
+  std::ofstream stats(path);
+  if (!stats) usage(("cannot open stats file " + path).c_str());
+  stats << "{\"attack\":\"" << attack << "\",\"jobs\":" << args.jobs
+        << ",\"status\":\"" << status << "\",\"iterations\":" << iterations
+        << ",\"seconds\":" << seconds << ",\"conflicts\":" << conflicts
+        << ",\"encoded_clauses\":" << encoded_clauses
+        << ",\"saved_clauses\":" << saved_clauses << ",\"solves\":[\n";
+  for (std::size_t i = 0; i < log.size(); ++i) {
+    stats << attacks::solve_record_json(log[i])
+          << (i + 1 < log.size() ? ",\n" : "\n");
+  }
+  stats << "]}\n";
+  std::printf("per-solve stats -> %s\n", path.c_str());
 }
 
 int cmd_gen(const Args& args) {
@@ -251,6 +302,7 @@ int cmd_attack(const Args& args) {
     options.jobs = args.jobs;
     options.portfolio_seed = args.seed;
     options.record_solves = args.jobs > 1 || !args.stats_path.empty();
+    options.specialize_dips = args.specialize;
     if (method == "sat") {
       const auto result = attacks::run_sat_attack(locked, oracle, options);
       std::printf("sat attack: %s in %.2fs, %zu DIPs, %llu conflicts"
@@ -259,31 +311,18 @@ int cmd_attack(const Args& args) {
                   result.iterations,
                   static_cast<unsigned long long>(result.conflicts),
                   args.jobs);
-      if (!result.solve_log.empty()) {
-        std::map<std::string, std::size_t> wins;
-        for (const auto& record : result.solve_log) {
-          if (record.outcome.winner >= 0) ++wins[record.outcome.winner_config];
-        }
-        std::printf("portfolio wins:");
-        for (const auto& [config, count] : wins) {
-          std::printf(" %s=%zu", config.c_str(), count);
-        }
-        std::printf("\n");
+      if (result.saved_clauses > 0) {
+        std::printf("constraint clauses: %zu encoded, %zu saved by cone"
+                    " specialization\n",
+                    result.encoded_clauses, result.saved_clauses);
       }
+      print_portfolio_wins(result.solve_log);
       if (!args.stats_path.empty()) {
-        std::ofstream stats(args.stats_path);
-        if (!stats) usage(("cannot open stats file " + args.stats_path).c_str());
-        stats << "{\"attack\":\"sat\",\"jobs\":" << args.jobs
-              << ",\"status\":\"" << to_string(result.status)
-              << "\",\"iterations\":" << result.iterations
-              << ",\"seconds\":" << result.seconds
-              << ",\"conflicts\":" << result.conflicts << ",\"solves\":[\n";
-        for (std::size_t i = 0; i < result.solve_log.size(); ++i) {
-          stats << attacks::solve_record_json(result.solve_log[i])
-                << (i + 1 < result.solve_log.size() ? ",\n" : "\n");
-        }
-        stats << "]}\n";
-        std::printf("per-solve stats -> %s\n", args.stats_path.c_str());
+        write_stats_file(args.stats_path, "sat", args,
+                         to_string(result.status), result.iterations,
+                         result.seconds, result.conflicts,
+                         result.encoded_clauses, result.saved_clauses,
+                         result.solve_log);
       }
       if (result.status == attacks::SatAttackStatus::kKeyFound) {
         std::printf("recovered key: ");
@@ -308,10 +347,30 @@ int cmd_attack(const Args& args) {
     } else {
       attacks::AppSatOptions appsat;
       appsat.time_limit_seconds = args.timeout;
+      appsat.jobs = args.jobs;
+      appsat.portfolio_seed = args.seed;
+      appsat.record_solves = options.record_solves;
+      appsat.specialize_dips = args.specialize;
       const auto result = attacks::run_appsat(locked, oracle, appsat);
-      std::printf("appsat: %s in %.2fs, %zu DIPs, sampled error %.3f\n",
+      std::printf("appsat: %s in %.2fs, %zu DIPs, sampled error %.3f,"
+                  " %llu conflicts (%u jobs)\n",
                   to_string(result.status).c_str(), result.seconds,
-                  result.iterations, result.sampled_error);
+                  result.iterations, result.sampled_error,
+                  static_cast<unsigned long long>(result.conflicts),
+                  args.jobs);
+      if (result.saved_clauses > 0) {
+        std::printf("constraint clauses: %zu encoded, %zu saved by cone"
+                    " specialization\n",
+                    result.encoded_clauses, result.saved_clauses);
+      }
+      print_portfolio_wins(result.solve_log);
+      if (!args.stats_path.empty()) {
+        write_stats_file(args.stats_path, "appsat", args,
+                         to_string(result.status), result.iterations,
+                         result.seconds, result.conflicts,
+                         result.encoded_clauses, result.saved_clauses,
+                         result.solve_log);
+      }
       if (!result.key.empty()) {
         std::printf("key check: %s\n", verify(result.key));
       }
@@ -343,6 +402,8 @@ int cmd_attack(const Args& args) {
   if (method == "bypass") {
     attacks::BypassOptions options;
     options.time_limit_seconds = args.timeout;
+    options.jobs = args.jobs;
+    options.portfolio_seed = args.seed;
     const auto result = attacks::run_bypass_attack(locked, oracle, options);
     std::printf("bypass: %s, %zu patterns\n",
                 to_string(result.status).c_str(), result.patterns);
@@ -408,16 +469,19 @@ int cmd_unlock(const Args& args) {
 int main(int argc, char** argv) {
   if (argc < 2) usage();
   const std::string command = argv[1];
-  const Args args = parse(argc, argv);
   try {
+    const Args args = parse(argc, argv);
     if (command == "gen") return cmd_gen(args);
     if (command == "lock") return cmd_lock(args);
     if (command == "attack") return cmd_attack(args);
     if (command == "analyze") return cmd_analyze(args);
     if (command == "unlock") return cmd_unlock(args);
+    usage(("unknown command " + command).c_str());
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
+  } catch (...) {
+    std::fprintf(stderr, "error: unexpected failure\n");
+    return 1;
   }
-  usage(("unknown command " + command).c_str());
 }
