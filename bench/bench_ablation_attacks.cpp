@@ -3,7 +3,8 @@
 // Extends Table V with the pre-SAT and post-SAT attacks the paper's
 // related-work discussion ranges over: key sensitization (DAC'12), the
 // bypass attack (CHES'17), and SPS (the Anti-SAT removal path), alongside
-// the SAT attack. Cells report what the attacker walks away with.
+// the SAT attack. Cells report what the attacker walks away with. Each
+// (scheme, attack) cell is one campaign job.
 #include <cstdio>
 
 #include "attacks/appsat.hpp"
@@ -23,6 +24,7 @@ using namespace ril;
 
 struct Scheme {
   std::string name;
+  std::string slug;
   netlist::Netlist locked;
   std::vector<bool> key;
 };
@@ -46,7 +48,7 @@ int main(int argc, char** argv) {
   std::vector<Scheme> schemes;
   {
     const auto l = locking::lock_xor(host, 16, 31);
-    schemes.push_back({"RLL-XOR-16", l.netlist, l.key});
+    schemes.push_back({"RLL-XOR-16", "rll-xor", l.netlist, l.key});
   }
   // One-point functions use full-input-width comparators (as published):
   // each wrong key then corrupts isolated points, the setting bypass
@@ -54,30 +56,34 @@ int main(int argc, char** argv) {
   const std::size_t full = host.data_inputs().size();
   {
     const auto l = locking::lock_sarlock(host, full, 32);
-    schemes.push_back({"SARLock-full", l.netlist, l.key});
+    schemes.push_back({"SARLock-full", "sarlock", l.netlist, l.key});
   }
   {
     const auto l = locking::lock_antisat(host, full, 33);
-    schemes.push_back({"Anti-SAT-full", l.netlist, l.key});
+    schemes.push_back({"Anti-SAT-full", "antisat", l.netlist, l.key});
   }
   {
     core::RilBlockConfig config;
     config.size = 8;
     config.output_network = true;
     const auto l = locking::lock_ril(host, 3, config, 34);
-    schemes.push_back({"RIL 3x 8x8x8", l.locked.netlist, l.locked.key});
+    schemes.push_back({"RIL 3x 8x8x8", "ril", l.locked.netlist,
+                       l.locked.key});
   }
 
-  const std::vector<int> widths = {14, 14, 14, 14, 14, 14};
-  bench::print_rule(widths);
-  bench::print_row(
-      {"scheme", "sensitization", "SAT", "AppSAT", "bypass", "SPS"}, widths);
-  bench::print_rule(widths);
-
+  // One job per (scheme, attack) cell; the payload's "cell" field is the
+  // table entry.
+  std::vector<runtime::CampaignJob> cells;
   for (const Scheme& scheme : schemes) {
-    std::vector<std::string> row = {scheme.name};
-    // Sensitization.
-    {
+    auto add = [&cells, &scheme](
+                   const char* attack,
+                   std::function<std::string(runtime::JobContext&)> run) {
+      runtime::CampaignJob cell;
+      cell.key = "attacks/" + scheme.slug + "/" + attack;
+      cell.run = std::move(run);
+      cells.push_back(std::move(cell));
+    };
+    add("sensitization", [&scheme, timeout](runtime::JobContext&) {
       attacks::Oracle oracle(scheme.locked, scheme.key);
       attacks::SensitizationOptions sens;
       sens.time_limit_seconds = timeout;
@@ -86,41 +92,42 @@ int main(int argc, char** argv) {
       char cell[32];
       std::snprintf(cell, sizeof(cell), "partial %zu/%zu",
                     result.resolved_count, scheme.key.size());
-      row.push_back(result.resolved_count == scheme.key.size() ? "broken"
-                    : result.resolved_count == 0 ? "-"
-                                                 : cell);
-    }
-    // SAT.
-    {
+      return bench::cell_payload(
+          result.resolved_count == scheme.key.size() ? "broken"
+          : result.resolved_count == 0               ? "-"
+                                                     : cell);
+    });
+    add("sat", [&scheme, &host, &options, timeout](runtime::JobContext& ctx) {
       attacks::Oracle oracle(scheme.locked, scheme.key);
-      const auto result = attacks::run_sat_attack(
-          scheme.locked, oracle, options.attack_options(timeout));
+      auto attack = options.attack_options(timeout);
+      attack.cancel = &ctx.cancel_flag();
+      const auto result =
+          attacks::run_sat_attack(scheme.locked, oracle, attack);
       bench::append_solve_stats(options, scheme.name + "/sat", result);
       const bool broken =
           result.status == attacks::SatAttackStatus::kKeyFound &&
           cnf::check_equivalence(scheme.locked, host, result.key, {})
               .equivalent();
-      row.push_back(broken ? "broken" : "-");
-    }
+      return bench::attack_payload(broken ? "broken" : "-", result);
+    });
     // AppSAT: settles for an approximate key; "approx" marks a returned
     // key that is not exactly the host function.
-    {
-      attacks::Oracle oracle(scheme.locked, scheme.key);
-      const auto result = attacks::run_appsat(
-          scheme.locked, oracle, options.appsat_options(timeout));
-      bench::append_solve_stats(options, scheme.name + "/appsat",
-                                result.solve_log);
-      if (result.key.empty()) {
-        row.push_back("-");
-      } else {
-        const bool exact =
-            cnf::check_equivalence(scheme.locked, host, result.key, {})
-                .equivalent();
-        row.push_back(exact ? "broken" : "approx");
-      }
-    }
-    // Bypass.
-    {
+    add("appsat",
+        [&scheme, &host, &options, timeout](runtime::JobContext& ctx) {
+          attacks::Oracle oracle(scheme.locked, scheme.key);
+          auto appsat = options.appsat_options(timeout);
+          appsat.cancel = &ctx.cancel_flag();
+          const auto result =
+              attacks::run_appsat(scheme.locked, oracle, appsat);
+          bench::append_solve_stats(options, scheme.name + "/appsat",
+                                    result.solve_log);
+          if (result.key.empty()) return bench::cell_payload("-");
+          const bool exact =
+              cnf::check_equivalence(scheme.locked, host, result.key, {})
+                  .equivalent();
+          return bench::cell_payload(exact ? "broken" : "approx");
+        });
+    add("bypass", [&scheme, &host, timeout](runtime::JobContext&) {
       attacks::Oracle oracle(scheme.locked, scheme.key);
       attacks::BypassOptions bypass;
       bypass.time_limit_seconds = timeout;
@@ -129,14 +136,28 @@ int main(int argc, char** argv) {
       const bool broken =
           result.status == attacks::BypassStatus::kBypassed &&
           cnf::check_equivalence(result.pirated, host).equivalent();
-      row.push_back(broken ? "broken" : "-");
-    }
-    // SPS.
-    {
+      return bench::cell_payload(broken ? "broken" : "-");
+    });
+    add("sps", [&scheme, &host](runtime::JobContext&) {
       const auto result = attacks::run_sps_attack(scheme.locked);
       const bool broken =
           cnf::check_equivalence(result.recovered, host).equivalent();
-      row.push_back(broken ? "broken" : "-");
+      return bench::cell_payload(broken ? "broken" : "-");
+    });
+  }
+  const auto summary = bench::run_cells(options, std::move(cells));
+
+  const std::vector<int> widths = {14, 14, 14, 14, 14, 14};
+  bench::print_rule(widths);
+  bench::print_row(
+      {"scheme", "sensitization", "SAT", "AppSAT", "bypass", "SPS"}, widths);
+  bench::print_rule(widths);
+
+  std::size_t record_index = 0;
+  for (const Scheme& scheme : schemes) {
+    std::vector<std::string> row = {scheme.name};
+    for (int attack = 0; attack < 5; ++attack) {
+      row.push_back(bench::record_cell(summary.records[record_index++]));
     }
     bench::print_row(row, widths);
   }

@@ -3,8 +3,9 @@
 // The paper's argument against one-point functions (SARLock/Anti-SAT/SFLL):
 // their wrong-key error is a single input pattern, so a pirated chip with a
 // wrong key works almost perfectly. RIL-Blocks corrupt a large fraction of
-// input space under any wrong key.
+// input space under any wrong key. Each scheme row is one campaign job.
 #include <cstdio>
+#include <functional>
 
 #include "attacks/metrics.hpp"
 #include "bench_util.hpp"
@@ -24,66 +25,109 @@ int main(int argc, char** argv) {
       "bit error = per-output-bit flip rate; trials=" +
           std::to_string(trials));
 
+  struct Row {
+    const char* name;
+    const char* slug;
+    std::function<std::pair<netlist::Netlist, std::vector<bool>>()> lock;
+  };
+  const std::vector<Row> rows = {
+      {"SARLock-16", "sarlock-16",
+       [&host] {
+         const auto l = locking::lock_sarlock(host, 16, 61);
+         return std::make_pair(l.netlist, l.key);
+       }},
+      {"Anti-SAT-16", "antisat-16",
+       [&host] {
+         const auto l = locking::lock_antisat(host, 16, 62);
+         return std::make_pair(l.netlist, l.key);
+       }},
+      {"SFLL-HD0-16", "sfll-hd0-16",
+       [&host] {
+         const auto l = locking::lock_sfll_hd0(host, 16, 63);
+         return std::make_pair(l.netlist, l.key);
+       }},
+      {"RLL-XOR-32", "rll-xor-32",
+       [&host] {
+         const auto l = locking::lock_xor(host, 32, 64);
+         return std::make_pair(l.netlist, l.key);
+       }},
+      {"LUT-8 [12]", "lut-8",
+       [&host] {
+         const auto l = locking::lock_lut(host, 8, 65);
+         return std::make_pair(l.netlist, l.key);
+       }},
+      {"RIL 8x 2x2", "ril-8x2x2",
+       [&host] {
+         core::RilBlockConfig config;
+         config.size = 2;
+         const auto l = locking::lock_ril(host, 8, config, 66);
+         return std::make_pair(l.locked.netlist, l.locked.key);
+       }},
+      {"RIL 1x 8x8", "ril-1x8x8",
+       [&host] {
+         core::RilBlockConfig config;
+         config.size = 8;
+         const auto l = locking::lock_ril(host, 1, config, 67);
+         return std::make_pair(l.locked.netlist, l.locked.key);
+       }},
+      {"RIL 3x 8x8x8", "ril-3x8x8x8",
+       [&host] {
+         core::RilBlockConfig config;
+         config.size = 8;
+         config.output_network = true;
+         const auto l = locking::lock_ril(host, 3, config, 68);
+         return std::make_pair(l.locked.netlist, l.locked.key);
+       }},
+  };
+
+  std::vector<runtime::CampaignJob> cells;
+  for (const Row& row : rows) {
+    runtime::CampaignJob cell;
+    cell.key = std::string("corruption/") + row.slug;
+    cell.run = [&row, &options, trials](runtime::JobContext&) {
+      const auto [locked, key] = row.lock();
+      const double corruption =
+          attacks::output_corruptibility(locked, key, trials, options.seed);
+      // Representative wrong key: flip every other bit.
+      auto wrong = key;
+      for (std::size_t i = 0; i < wrong.size(); i += 2) wrong[i] = !wrong[i];
+      const double bit_error =
+          attacks::bit_error_rate(locked, wrong, key, trials, options.seed);
+      char buffer[128];
+      std::snprintf(buffer, sizeof(buffer),
+                    ",\"keybits\":%zu,\"corruptibility\":%.4f,"
+                    "\"bit_error\":%.4f",
+                    key.size(), corruption, bit_error);
+      return bench::cell_payload("ok") + buffer;
+    };
+    cells.push_back(std::move(cell));
+  }
+  const auto summary = bench::run_cells(options, std::move(cells));
+
   const std::vector<int> widths = {22, 9, 14, 12};
   bench::print_rule(widths);
   bench::print_row({"scheme", "keybits", "corruptibility", "bit error"},
                    widths);
   bench::print_rule(widths);
-
-  auto report = [&](const std::string& name, const netlist::Netlist& locked,
-                    const std::vector<bool>& key) {
-    const double corruption =
-        attacks::output_corruptibility(locked, key, trials, options.seed);
-    // Representative wrong key: flip every other bit.
-    auto wrong = key;
-    for (std::size_t i = 0; i < wrong.size(); i += 2) wrong[i] = !wrong[i];
-    const double bit_error =
-        attacks::bit_error_rate(locked, wrong, key, trials, options.seed);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& record = summary.records[i];
+    if (record.status == "error") {
+      bench::print_row({rows[i].name, "n/a", "n/a", "n/a"}, widths);
+      continue;
+    }
+    const std::string wrapped = "{" + record.payload + "}";
     char c1[32];
     char c2[32];
-    std::snprintf(c1, sizeof(c1), "%.4f", corruption);
-    std::snprintf(c2, sizeof(c2), "%.4f", bit_error);
-    bench::print_row({name, std::to_string(key.size()), c1, c2}, widths);
-  };
-
-  {
-    const auto l = locking::lock_sarlock(host, 16, 61);
-    report("SARLock-16", l.netlist, l.key);
-  }
-  {
-    const auto l = locking::lock_antisat(host, 16, 62);
-    report("Anti-SAT-16", l.netlist, l.key);
-  }
-  {
-    const auto l = locking::lock_sfll_hd0(host, 16, 63);
-    report("SFLL-HD0-16", l.netlist, l.key);
-  }
-  {
-    const auto l = locking::lock_xor(host, 32, 64);
-    report("RLL-XOR-32", l.netlist, l.key);
-  }
-  {
-    const auto l = locking::lock_lut(host, 8, 65);
-    report("LUT-8 [12]", l.netlist, l.key);
-  }
-  {
-    core::RilBlockConfig config;
-    config.size = 2;
-    const auto l = locking::lock_ril(host, 8, config, 66);
-    report("RIL 8x 2x2", l.locked.netlist, l.locked.key);
-  }
-  {
-    core::RilBlockConfig config;
-    config.size = 8;
-    const auto l = locking::lock_ril(host, 1, config, 67);
-    report("RIL 1x 8x8", l.locked.netlist, l.locked.key);
-  }
-  {
-    core::RilBlockConfig config;
-    config.size = 8;
-    config.output_network = true;
-    const auto l = locking::lock_ril(host, 3, config, 68);
-    report("RIL 3x 8x8x8", l.locked.netlist, l.locked.key);
+    std::snprintf(c1, sizeof(c1), "%.4f",
+                  runtime::json_number_field(wrapped, "corruptibility"));
+    std::snprintf(c2, sizeof(c2), "%.4f",
+                  runtime::json_number_field(wrapped, "bit_error"));
+    bench::print_row(
+        {rows[i].name,
+         std::to_string(static_cast<std::size_t>(
+             runtime::json_number_field(wrapped, "keybits"))),
+         c1, c2},
+        widths);
   }
   bench::print_rule(widths);
   return 0;

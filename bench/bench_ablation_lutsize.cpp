@@ -4,7 +4,7 @@
 // SAT-hardness" and, since the write circuit is shared, "increasing the
 // LUT size helps to reduce the overhead while increasing SAT-resiliency".
 // This bench sweeps M for a fixed 8x8 block and reports key bits, gate
-// cost, SAT-attack effort, and corruptibility.
+// cost, SAT-attack effort, and corruptibility. Each M is one campaign job.
 #include <cstdio>
 
 #include "attacks/metrics.hpp"
@@ -29,35 +29,68 @@ int main(int argc, char** argv) {
       "1 block, LUT inputs M in {2,3,4,5}; timeout=" +
           std::to_string(timeout) + "s");
 
+  const std::vector<std::size_t> fanins = {2, 3, 4, 5};
+  std::vector<runtime::CampaignJob> cells;
+  for (std::size_t m : fanins) {
+    runtime::CampaignJob cell;
+    cell.key = "lutsize/m-" + std::to_string(m);
+    cell.timeout_seconds = 3 * timeout + 60;
+    cell.run = [&host, &options, m, timeout](runtime::JobContext& ctx) {
+      core::RilBlockConfig config;
+      config.size = 8;
+      config.lut_inputs = m;
+      const auto ril = locking::lock_ril(host, 1, config, options.seed);
+      attacks::Oracle oracle(ril.locked.netlist, ril.locked.key);
+      attacks::SatAttackOptions attack;
+      attack.time_limit_seconds = timeout;
+      attack.cancel = &ctx.cancel_flag();
+      const auto result =
+          attacks::run_sat_attack(ril.locked.netlist, oracle, attack);
+      const double corruption = attacks::output_corruptibility(
+          ril.locked.netlist, ril.locked.key, 4096, options.seed);
+      std::string payload = bench::attack_payload(
+          bench::format_attack_seconds(
+              result.seconds,
+              result.status != attacks::SatAttackStatus::kKeyFound, timeout),
+          result);
+      char buffer[96];
+      std::snprintf(buffer, sizeof(buffer),
+                    ",\"keybits\":%zu,\"gates\":%zu,\"corruptibility\":%.3f",
+                    ril.locked.key.size(), core::ril_block_gate_cost(config),
+                    corruption);
+      return payload + buffer;
+    };
+    cells.push_back(std::move(cell));
+  }
+  const auto summary = bench::run_cells(options, std::move(cells));
+
   const std::vector<int> widths = {8, 9, 9, 14, 7, 14};
   bench::print_rule(widths);
   bench::print_row({"M", "keybits", "gates+", "attack", "dips",
                     "corruptibility"},
                    widths);
   bench::print_rule(widths);
-
-  for (std::size_t m : {2u, 3u, 4u, 5u}) {
-    core::RilBlockConfig config;
-    config.size = 8;
-    config.lut_inputs = m;
-    const auto ril = locking::lock_ril(host, 1, config, options.seed);
-    attacks::Oracle oracle(ril.locked.netlist, ril.locked.key);
-    attacks::SatAttackOptions attack;
-    attack.time_limit_seconds = timeout;
-    const auto result =
-        attacks::run_sat_attack(ril.locked.netlist, oracle, attack);
-    const double corruption = attacks::output_corruptibility(
-        ril.locked.netlist, ril.locked.key, 4096, options.seed);
+  for (std::size_t i = 0; i < fanins.size(); ++i) {
+    const auto& record = summary.records[i];
+    if (record.status == "error") {
+      bench::print_row({std::to_string(fanins[i]), "n/a", "n/a", "n/a",
+                        "n/a", "n/a"},
+                       widths);
+      continue;
+    }
+    const std::string wrapped = "{" + record.payload + "}";
     char c[32];
-    std::snprintf(c, sizeof(c), "%.3f", corruption);
-    bench::print_row(
-        {std::to_string(m), std::to_string(ril.locked.key.size()),
-         std::to_string(core::ril_block_gate_cost(config)),
-         bench::format_attack_seconds(
-             result.seconds,
-             result.status != attacks::SatAttackStatus::kKeyFound, timeout),
-         std::to_string(result.iterations), c},
-        widths);
+    std::snprintf(c, sizeof(c), "%.3f",
+                  runtime::json_number_field(wrapped, "corruptibility"));
+    auto integer = [&wrapped](const char* field) {
+      return std::to_string(static_cast<std::size_t>(
+          runtime::json_number_field(wrapped, field)));
+    };
+    bench::print_row({std::to_string(fanins[i]), integer("keybits"),
+                      integer("gates"),
+                      runtime::json_string_field(wrapped, "cell"),
+                      integer("iterations"), c},
+                     widths);
   }
   bench::print_rule(widths);
   std::printf(

@@ -5,7 +5,8 @@
 // Sweeping P shows the attack transition: at P = infinity (static) the
 // instance is plain SAT-hard; as soon as morphing is active, the collected
 // I/O constraints contradict each other and the attack ends inconsistent
-// or with a functionally wrong key.
+// or with a functionally wrong key. Each (policy, period) case is one
+// campaign job.
 #include <cstdio>
 
 #include "attacks/oracle.hpp"
@@ -34,18 +35,12 @@ int main(int argc, char** argv) {
       "1x 4x4 RIL block (statically solvable in milliseconds); the oracle "
       "re-randomizes keys every P queries per policy");
 
-  const std::vector<int> widths = {12, 14, 16, 7, 22};
-  bench::print_rule(widths);
-  bench::print_row({"policy", "period P", "attack", "dips", "outcome"},
-                   widths);
-  bench::print_rule(widths);
-
   struct Case {
     const char* name;
     core::MorphPolicy policy;
     std::size_t period;  // 0 = static
   };
-  const Case cases[] = {
+  const std::vector<Case> cases = {
       {"static", core::MorphPolicy::kFullScramble, 0},
       {"full", core::MorphPolicy::kFullScramble, 16},
       {"full", core::MorphPolicy::kFullScramble, 4},
@@ -53,36 +48,68 @@ int main(int argc, char** argv) {
       {"lut-only", core::MorphPolicy::kLutOnly, 4},
       {"routing", core::MorphPolicy::kRoutingOnly, 4},
   };
+
+  std::vector<runtime::CampaignJob> cells;
   for (const Case& test : cases) {
-    attacks::Oracle oracle(ril.locked.netlist, ril.info.functional_key);
-    const core::MorphingScheduler scheduler(ril.info, test.policy,
-                                            options.seed + 5);
-    if (test.period != 0) {
-      oracle.enable_morphing(test.period, scheduler.mutable_positions(),
-                             options.seed + 5);
-    }
-    attacks::SatAttackOptions attack;
-    attack.time_limit_seconds = timeout;
-    attack.max_iterations = 400;
-    const auto result =
-        attacks::run_sat_attack(ril.locked.netlist, oracle, attack);
-    std::string outcome;
-    if (result.status == attacks::SatAttackStatus::kKeyFound) {
-      const bool works =
-          cnf::check_equivalence(ril.locked.netlist, host, result.key, {})
-              .equivalent();
-      outcome = works ? "BROKEN (key works)" : "wrong key";
-    } else if (result.status == attacks::SatAttackStatus::kInconsistent) {
-      outcome = "constraints UNSAT";
-    } else {
-      outcome = to_string(result.status);
-    }
+    runtime::CampaignJob cell;
+    cell.key = std::string("morphing/") + test.name + "/p-" +
+               (test.period == 0 ? "static" : std::to_string(test.period));
+    cell.timeout_seconds = 3 * timeout + 60;
+    cell.run = [&host, &ril, &options, test, timeout](
+                   runtime::JobContext& ctx) {
+      attacks::Oracle oracle(ril.locked.netlist, ril.info.functional_key);
+      const core::MorphingScheduler scheduler(ril.info, test.policy,
+                                              options.seed + 5);
+      if (test.period != 0) {
+        oracle.enable_morphing(test.period, scheduler.mutable_positions(),
+                               options.seed + 5);
+      }
+      attacks::SatAttackOptions attack;
+      attack.time_limit_seconds = timeout;
+      attack.max_iterations = 400;
+      attack.cancel = &ctx.cancel_flag();
+      const auto result =
+          attacks::run_sat_attack(ril.locked.netlist, oracle, attack);
+      std::string outcome;
+      if (result.status == attacks::SatAttackStatus::kKeyFound) {
+        const bool works =
+            cnf::check_equivalence(ril.locked.netlist, host, result.key, {})
+                .equivalent();
+        outcome = works ? "BROKEN (key works)" : "wrong key";
+      } else if (result.status == attacks::SatAttackStatus::kInconsistent) {
+        outcome = "constraints UNSAT";
+      } else {
+        outcome = to_string(result.status);
+      }
+      std::string payload = bench::attack_payload(
+          bench::format_attack_seconds(
+              result.seconds,
+              result.status == attacks::SatAttackStatus::kTimeout, timeout),
+          result);
+      payload += ",\"outcome\":\"" + runtime::json_escape(outcome) + "\"";
+      return payload;
+    };
+    cells.push_back(std::move(cell));
+  }
+  const auto summary = bench::run_cells(options, std::move(cells));
+
+  const std::vector<int> widths = {12, 14, 16, 7, 22};
+  bench::print_rule(widths);
+  bench::print_row({"policy", "period P", "attack", "dips", "outcome"},
+                   widths);
+  bench::print_rule(widths);
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const auto& record = summary.records[i];
+    const std::string wrapped = "{" + record.payload + "}";
+    const bool errored = record.status == "error";
     bench::print_row(
-        {test.name, test.period == 0 ? "static" : std::to_string(test.period),
-         bench::format_attack_seconds(
-             result.seconds,
-             result.status == attacks::SatAttackStatus::kTimeout, timeout),
-         std::to_string(result.iterations), outcome},
+        {cases[i].name,
+         cases[i].period == 0 ? "static" : std::to_string(cases[i].period),
+         bench::record_cell(record),
+         errored ? "n/a"
+                 : std::to_string(static_cast<std::size_t>(
+                       runtime::json_number_field(wrapped, "iterations"))),
+         errored ? "n/a" : runtime::json_string_field(wrapped, "outcome")},
         widths);
   }
   bench::print_rule(widths);

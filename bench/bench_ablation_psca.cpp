@@ -1,7 +1,8 @@
 // Ablation: power side-channel attack vs LUT storage technology
 // (Section IV-D): DPA/CPA key recovery against SRAM-backed and
 // complementary-MRAM-backed keyed LUTs across noise levels and trace
-// budgets.
+// budgets. Each (traces, noise) grid point and each circuit-level
+// technology run is one campaign job.
 #include <cstdio>
 
 #include "bench_util.hpp"
@@ -45,27 +46,88 @@ int main(int argc, char** argv) {
       "rate of exact 4-bit LUT-config recovery over 8 random configs; "
       "chance level ~7%");
 
+  const std::vector<std::size_t> trace_counts = {200, 1000, 5000};
+  const std::vector<double> noises = {0.1e-15, 0.3e-15, 1.0e-15};
+
+  std::vector<runtime::CampaignJob> cells;
+  for (std::size_t traces : trace_counts) {
+    for (double noise : noises) {
+      runtime::CampaignJob cell;
+      char noise_label[16];
+      std::snprintf(noise_label, sizeof(noise_label), "%.1f", noise * 1e15);
+      cell.key = "psca/" + std::to_string(traces) + "-traces/noise-" +
+                 noise_label;
+      cell.run = [&options, traces, noise](runtime::JobContext&) {
+        const double sram =
+            recovery_rate(sca::LutTechnology::kSram, traces, noise,
+                          options.seed * 100);
+        const double mram =
+            recovery_rate(sca::LutTechnology::kMram, traces, noise,
+                          options.seed * 100);
+        char buffer[96];
+        std::snprintf(buffer, sizeof(buffer),
+                      ",\"sram_rate\":%.4f,\"mram_rate\":%.4f", sram, mram);
+        return bench::cell_payload("ok") + buffer;
+      };
+      cells.push_back(std::move(cell));
+    }
+  }
+
+  // Circuit-level attack: many keyed LUTs inside one locked netlist, one
+  // global power rail; each target LUT sees the others as algorithmic
+  // noise.
+  const auto host = benchgen::make_benchmark(
+      "c7552", options.scale > 0 ? options.scale : 0.1);
+  const auto locked = locking::lock_lut(host, 12, options.seed + 3);
+  const auto luts = sca::find_keyed_luts(locked.netlist);
+  for (const auto tech :
+       {sca::LutTechnology::kSram, sca::LutTechnology::kMram}) {
+    runtime::CampaignJob cell;
+    const char* tech_name =
+        tech == sca::LutTechnology::kSram ? "sram" : "mram";
+    cell.key = std::string("psca/circuit/") + tech_name;
+    cell.run = [&options, &locked, &luts, tech](runtime::JobContext&) {
+      sca::CircuitTraceOptions trace_options;
+      trace_options.technology = tech;
+      trace_options.traces = options.full ? 20000 : 6000;
+      trace_options.variation = {0, 0, 0};
+      const auto traces = sca::generate_circuit_traces(
+          locked.netlist, locked.key, luts, trace_options);
+      const auto result =
+          sca::run_circuit_dpa(locked.netlist, luts, traces, locked.key);
+      char buffer[96];
+      std::snprintf(buffer, sizeof(buffer),
+                    ",\"recovered\":%zu,\"attackable\":%zu,\"total\":%zu",
+                    result.recovered_masks, result.attackable_luts,
+                    luts.size());
+      return bench::cell_payload("ok") + buffer;
+    };
+    cells.push_back(std::move(cell));
+  }
+  const auto summary = bench::run_cells(options, std::move(cells));
+
   const std::vector<int> widths = {9, 12, 12, 12};
   bench::print_rule(widths);
   bench::print_row({"traces", "noise [fJ]", "SRAM", "MRAM"}, widths);
   bench::print_rule(widths);
 
-  const std::size_t trace_counts[] = {200, 1000, 5000};
-  const double noises[] = {0.1e-15, 0.3e-15, 1.0e-15};
+  std::size_t record_index = 0;
   for (std::size_t traces : trace_counts) {
     for (double noise : noises) {
-      const double sram =
-          recovery_rate(sca::LutTechnology::kSram, traces, noise,
-                        options.seed * 100);
-      const double mram =
-          recovery_rate(sca::LutTechnology::kMram, traces, noise,
-                        options.seed * 100);
+      const auto& record = summary.records[record_index++];
       char n[16];
+      std::snprintf(n, sizeof(n), "%.1f", noise * 1e15);
+      if (record.status == "error") {
+        bench::print_row({std::to_string(traces), n, "n/a", "n/a"}, widths);
+        continue;
+      }
+      const std::string wrapped = "{" + record.payload + "}";
       char s[16];
       char m[16];
-      std::snprintf(n, sizeof(n), "%.1f", noise * 1e15);
-      std::snprintf(s, sizeof(s), "%.0f%%", sram * 100);
-      std::snprintf(m, sizeof(m), "%.0f%%", mram * 100);
+      std::snprintf(s, sizeof(s), "%.0f%%",
+                    runtime::json_number_field(wrapped, "sram_rate") * 100);
+      std::snprintf(m, sizeof(m), "%.0f%%",
+                    runtime::json_number_field(wrapped, "mram_rate") * 100);
       bench::print_row({std::to_string(traces), n, s, m}, widths);
     }
   }
@@ -76,30 +138,26 @@ int main(int argc, char** argv) {
       "MRAM divider keeps read power value-independent and the recovery "
       "rate at chance.\n");
 
-  // Circuit-level attack: many keyed LUTs inside one locked netlist, one
-  // global power rail; each target LUT sees the others as algorithmic
-  // noise.
   std::printf("\n-- circuit-level DPA (LUT-locked c7552 core, 12 LUTs, "
               "summed power rail) --\n");
-  const auto host = benchgen::make_benchmark(
-      "c7552", options.scale > 0 ? options.scale : 0.1);
-  const auto locked = locking::lock_lut(host, 12, options.seed + 3);
-  const auto luts = sca::find_keyed_luts(locked.netlist);
   for (const auto tech :
        {sca::LutTechnology::kSram, sca::LutTechnology::kMram}) {
-    sca::CircuitTraceOptions trace_options;
-    trace_options.technology = tech;
-    trace_options.traces = options.full ? 20000 : 6000;
-    trace_options.variation = {0, 0, 0};
-    const auto traces = sca::generate_circuit_traces(
-        locked.netlist, locked.key, luts, trace_options);
-    const auto result =
-        sca::run_circuit_dpa(locked.netlist, luts, traces, locked.key);
+    const auto& record = summary.records[record_index++];
+    if (record.status == "error") {
+      std::printf("  %s: n/a\n",
+                  tech == sca::LutTechnology::kSram ? "SRAM" : "MRAM");
+      continue;
+    }
+    const std::string wrapped = "{" + record.payload + "}";
     std::printf("  %s: recovered %zu / %zu attackable LUT configs "
                 "(of %zu total LUTs)\n",
                 tech == sca::LutTechnology::kSram ? "SRAM" : "MRAM",
-                result.recovered_masks, result.attackable_luts,
-                luts.size());
+                static_cast<std::size_t>(
+                    runtime::json_number_field(wrapped, "recovered")),
+                static_cast<std::size_t>(
+                    runtime::json_number_field(wrapped, "attackable")),
+                static_cast<std::size_t>(
+                    runtime::json_number_field(wrapped, "total")));
   }
   return 0;
 }

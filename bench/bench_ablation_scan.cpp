@@ -7,7 +7,8 @@
 // scan-obfuscated oracle, then measure the functional error of the key the
 // attacker would deploy. The ScanSAT-style modelling (SE bits as extra key
 // variables) is already the attacker's best case here, and it still cannot
-// separate "LUT=OR + SE inverts" from "LUT=NOR + SE idle".
+// separate "LUT=OR + SE inverts" from "LUT=NOR + SE idle". Each
+// (trial, oracle mode) cell is one campaign job.
 #include <cstdio>
 
 #include "attacks/metrics.hpp"
@@ -33,6 +34,64 @@ int main(int argc, char** argv) {
       "error' = functional error of the attacker's recovered key with the "
       "hidden SE bits inactive");
 
+  std::vector<runtime::CampaignJob> cells;
+  for (std::uint64_t trial = 0; trial < 4; ++trial) {
+    for (int mode = 0; mode < 2; ++mode) {
+      const bool scan = mode == 1;
+      runtime::CampaignJob cell;
+      cell.key = "scan/trial-" + std::to_string(trial) + "/" +
+                 (scan ? "scan" : "functional");
+      cell.timeout_seconds = 3 * timeout + 60;
+      cell.run = [&host, &options, trial, scan,
+                  timeout](runtime::JobContext& ctx) {
+        // Control (scan == false): no SE layer at all -- the attacker's
+        // netlist has no hidden inversion to model and the oracle answers
+        // functionally.
+        core::RilBlockConfig config;
+        config.size = 4;
+        config.scan_obfuscation = scan;
+        const auto ril =
+            locking::lock_ril(host, 1, config, options.seed + trial * 17);
+        attacks::Oracle oracle(ril.locked.netlist,
+                               scan ? ril.info.oracle_scan_key
+                                    : ril.info.functional_key);
+        attacks::SatAttackOptions attack;
+        attack.time_limit_seconds = timeout;
+        attack.cancel = &ctx.cancel_flag();
+        const auto result =
+            attacks::run_sat_attack(ril.locked.netlist, oracle, attack);
+        std::string error_cell = "-";
+        // defeated: the attack produced no deployable correct key (only
+        // meaningful for scan cells; the tally below filters by mode).
+        bool defeated = true;
+        if (result.status == attacks::SatAttackStatus::kKeyFound) {
+          auto deployed = result.key;
+          for (std::size_t pos : ril.info.se_key_positions) {
+            deployed[pos] = false;
+          }
+          const double error = attacks::functional_error_rate(
+              ril.locked.netlist, deployed, ril.info.functional_key, 4096,
+              trial);
+          char buffer[32];
+          std::snprintf(buffer, sizeof(buffer), "%.4f", error);
+          error_cell = buffer;
+          defeated = error > 0;
+        }
+        std::string payload = bench::attack_payload(
+            bench::format_attack_seconds(
+                result.seconds,
+                result.status != attacks::SatAttackStatus::kKeyFound,
+                timeout),
+            result);
+        payload += ",\"deployed_error\":\"" + runtime::json_escape(
+            error_cell) + "\",\"defeated\":" + (defeated ? "1" : "0");
+        return payload;
+      };
+      cells.push_back(std::move(cell));
+    }
+  }
+  const auto summary = bench::run_cells(options, std::move(cells));
+
   const std::vector<int> widths = {10, 28, 14, 8, 16};
   bench::print_rule(widths);
   bench::print_row({"trial", "oracle", "attack", "dips", "deployed error"},
@@ -41,50 +100,28 @@ int main(int argc, char** argv) {
 
   std::size_t scan_defeated = 0;
   std::size_t scan_trials = 0;
+  std::size_t record_index = 0;
   for (std::uint64_t trial = 0; trial < 4; ++trial) {
     for (int mode = 0; mode < 2; ++mode) {
       const bool scan = mode == 1;
-      // Control (mode 0): no SE layer at all -- the attacker's netlist has
-      // no hidden inversion to model and the oracle answers functionally.
-      core::RilBlockConfig config;
-      config.size = 4;
-      config.scan_obfuscation = scan;
-      const auto ril =
-          locking::lock_ril(host, 1, config, options.seed + trial * 17);
-      attacks::Oracle oracle(ril.locked.netlist,
-                             scan ? ril.info.oracle_scan_key
-                                  : ril.info.functional_key);
-      attacks::SatAttackOptions attack;
-      attack.time_limit_seconds = timeout;
-      const auto result =
-          attacks::run_sat_attack(ril.locked.netlist, oracle, attack);
-      std::string error_cell = "-";
-      if (result.status == attacks::SatAttackStatus::kKeyFound) {
-        auto deployed = result.key;
-        for (std::size_t pos : ril.info.se_key_positions) {
-          deployed[pos] = false;
-        }
-        const double error = attacks::functional_error_rate(
-            ril.locked.netlist, deployed, ril.info.functional_key, 4096,
-            trial);
-        char buffer[32];
-        std::snprintf(buffer, sizeof(buffer), "%.4f", error);
-        error_cell = buffer;
-        if (scan) {
-          ++scan_trials;
-          if (error > 0) ++scan_defeated;
-        }
-      } else if (scan) {
+      const auto& record = summary.records[record_index++];
+      const std::string wrapped = "{" + record.payload + "}";
+      const bool errored = record.status == "error";
+      if (scan && !errored) {
         ++scan_trials;
-        ++scan_defeated;
+        if (runtime::json_number_field(wrapped, "defeated") != 0) {
+          ++scan_defeated;
+        }
       }
       bench::print_row(
-          {std::to_string(trial), scan ? "scan (SE asserted)" : "functional",
-           bench::format_attack_seconds(
-               result.seconds,
-               result.status != attacks::SatAttackStatus::kKeyFound,
-               timeout),
-           std::to_string(result.iterations), error_cell},
+          {std::to_string(trial),
+           scan ? "scan (SE asserted)" : "functional",
+           bench::record_cell(record),
+           errored ? "n/a"
+                   : std::to_string(static_cast<std::size_t>(
+                         runtime::json_number_field(wrapped, "iterations"))),
+           errored ? "n/a"
+                   : runtime::json_string_field(wrapped, "deployed_error")},
           widths);
     }
   }

@@ -4,6 +4,8 @@
 // Measures (a) gate cost per network, (b) key-space inflation, (c) the
 // number of *distinct correct keys* caused by inversion aliasing (two
 // wrong inversions cancelling), (d) SAT-attack time on the same host.
+// Four campaign jobs: structural cost, aliasing count, and one SAT attack
+// per element style.
 #include <cstdio>
 
 #include "attacks/oracle.hpp"
@@ -72,71 +74,146 @@ int main(int argc, char** argv) {
       "gate cost, key bits, correct-key aliasing, SAT-attack time on the "
       "same 8-wire network");
 
-  // (a)+(b) structural cost of an 8-wire network.
-  netlist::Netlist plain;
-  netlist::Netlist fl;
-  std::vector<netlist::NodeId> in_p;
-  std::vector<netlist::NodeId> in_f;
-  for (int i = 0; i < 8; ++i) {
-    in_p.push_back(plain.add_input("w" + std::to_string(i)));
-    in_f.push_back(fl.add_input("w" + std::to_string(i)));
-  }
-  std::size_t c_p = 0;
-  std::size_t c_f = 0;
-  core::build_banyan(plain, in_p, c_p, "p");
-  core::build_banyan_fulllock(fl, in_f, c_f, "f");
-  std::printf("8x8 network: RIL element -> %zu gates, %zu key bits; "
-              "FullLock element -> %zu gates, %zu key bits\n",
-              plain.gate_count(), c_p, fl.gate_count(), c_f);
-
-  // (c) aliasing on a two-stage (4x4) network.
-  std::printf("correct keys realizing identity on a 4x4 network: RIL = %zu "
-              "of %u, FullLock = %zu of %u\n(inversion aliasing: a wrong "
-              "stage-0 inversion cancelled downstream inflates the correct-"
-              "key set\nwithout adding SAT hardness per gate)\n",
-              count_correct_keys(false, 4), 1u << 4,
-              count_correct_keys(true, 4), 1u << 12);
-
-  // (d) SAT attack on the same host.
   const auto host = benchgen::make_benchmark(
       "c7552", options.scale > 0 ? options.scale : 0.06);
+
+  std::vector<runtime::CampaignJob> cells;
+
+  {  // (a)+(b) structural cost of an 8-wire network.
+    runtime::CampaignJob cell;
+    cell.key = "switchbox/cost";
+    cell.run = [](runtime::JobContext&) {
+      netlist::Netlist plain;
+      netlist::Netlist fl;
+      std::vector<netlist::NodeId> in_p;
+      std::vector<netlist::NodeId> in_f;
+      for (int i = 0; i < 8; ++i) {
+        in_p.push_back(plain.add_input("w" + std::to_string(i)));
+        in_f.push_back(fl.add_input("w" + std::to_string(i)));
+      }
+      std::size_t c_p = 0;
+      std::size_t c_f = 0;
+      core::build_banyan(plain, in_p, c_p, "p");
+      core::build_banyan_fulllock(fl, in_f, c_f, "f");
+      char buffer[128];
+      std::snprintf(buffer, sizeof(buffer),
+                    ",\"ril_gates\":%zu,\"ril_keybits\":%zu,"
+                    "\"fulllock_gates\":%zu,\"fulllock_keybits\":%zu",
+                    plain.gate_count(), c_p, fl.gate_count(), c_f);
+      return bench::cell_payload("ok") + buffer;
+    };
+    cells.push_back(std::move(cell));
+  }
+  {  // (c) aliasing on a two-stage (4x4) network.
+    runtime::CampaignJob cell;
+    cell.key = "switchbox/aliasing";
+    cell.run = [](runtime::JobContext&) {
+      char buffer[96];
+      std::snprintf(buffer, sizeof(buffer),
+                    ",\"ril_correct\":%zu,\"fulllock_correct\":%zu",
+                    count_correct_keys(false, 4), count_correct_keys(true, 4));
+      return bench::cell_payload("ok") + buffer;
+    };
+    cells.push_back(std::move(cell));
+  }
+  // (d) SAT attack on the same host, one job per element style. Route 8
+  // wires with each element: compare lock_fulllock vs a full RIL-block
+  // (2-MUX switch boxes + LUT layer).
+  for (int style = 0; style < 2; ++style) {
+    runtime::CampaignJob cell;
+    cell.key = std::string("switchbox/attack/") +
+               (style == 0 ? "fulllock" : "ril");
+    cell.timeout_seconds = 3 * timeout + 60;
+    cell.run = [&host, &options, style, timeout](runtime::JobContext& ctx) {
+      netlist::Netlist locked;
+      std::vector<bool> key;
+      if (style == 0) {
+        const auto lock = locking::lock_fulllock(host, 8, options.seed);
+        locked = lock.netlist;
+        key = lock.key;
+      } else {
+        core::RilBlockConfig config;
+        config.size = 8;
+        const auto lock = locking::lock_ril(host, 1, config, options.seed);
+        locked = lock.locked.netlist;
+        key = lock.locked.key;
+      }
+      attacks::Oracle oracle(locked, key);
+      attacks::SatAttackOptions attack;
+      attack.time_limit_seconds = timeout;
+      attack.cancel = &ctx.cancel_flag();
+      const auto result = attacks::run_sat_attack(locked, oracle, attack);
+      std::string payload = bench::attack_payload(
+          bench::format_attack_seconds(
+              result.seconds,
+              result.status != attacks::SatAttackStatus::kKeyFound, timeout),
+          result);
+      char buffer[64];
+      std::snprintf(buffer, sizeof(buffer),
+                    ",\"extra_gates\":%zu,\"keybits\":%zu",
+                    locked.gate_count() - host.gate_count(), key.size());
+      return payload + buffer;
+    };
+    cells.push_back(std::move(cell));
+  }
+  const auto summary = bench::run_cells(options, std::move(cells));
+
+  {
+    const auto& record = summary.records[0];
+    if (record.status == "error") {
+      std::printf("8x8 network: n/a\n");
+    } else {
+      const std::string wrapped = "{" + record.payload + "}";
+      std::printf("8x8 network: RIL element -> %zu gates, %zu key bits; "
+                  "FullLock element -> %zu gates, %zu key bits\n",
+                  static_cast<std::size_t>(
+                      runtime::json_number_field(wrapped, "ril_gates")),
+                  static_cast<std::size_t>(
+                      runtime::json_number_field(wrapped, "ril_keybits")),
+                  static_cast<std::size_t>(
+                      runtime::json_number_field(wrapped, "fulllock_gates")),
+                  static_cast<std::size_t>(runtime::json_number_field(
+                      wrapped, "fulllock_keybits")));
+    }
+  }
+  {
+    const auto& record = summary.records[1];
+    if (record.status == "error") {
+      std::printf("correct keys on a 4x4 network: n/a\n");
+    } else {
+      const std::string wrapped = "{" + record.payload + "}";
+      std::printf(
+          "correct keys realizing identity on a 4x4 network: RIL = %zu "
+          "of %u, FullLock = %zu of %u\n(inversion aliasing: a wrong "
+          "stage-0 inversion cancelled downstream inflates the correct-"
+          "key set\nwithout adding SAT hardness per gate)\n",
+          static_cast<std::size_t>(
+              runtime::json_number_field(wrapped, "ril_correct")),
+          1u << 4,
+          static_cast<std::size_t>(
+              runtime::json_number_field(wrapped, "fulllock_correct")),
+          1u << 12);
+    }
+  }
+
   const std::vector<int> widths = {22, 9, 9, 14, 7};
   bench::print_rule(widths);
   bench::print_row({"scheme", "gates+", "keybits", "attack", "dips"},
                    widths);
   bench::print_rule(widths);
   for (int style = 0; style < 2; ++style) {
-    // Route 8 wires with each element style. RIL's element is exercised
-    // through full RIL-blocks without LUT layer equivalents, so compare
-    // fulllock vs a plain-switchbox variant via lock_fulllock / lock_ril.
-    std::string name;
-    netlist::Netlist locked;
-    std::vector<bool> key;
-    if (style == 0) {
-      const auto lock = locking::lock_fulllock(host, 8, options.seed);
-      name = "FullLock 8x8";
-      locked = lock.netlist;
-      key = lock.key;
-    } else {
-      core::RilBlockConfig config;
-      config.size = 8;
-      const auto lock = locking::lock_ril(host, 1, config, options.seed);
-      name = "RIL 8x8 (2-MUX + LUT)";
-      locked = lock.locked.netlist;
-      key = lock.locked.key;
-    }
-    attacks::Oracle oracle(locked, key);
-    attacks::SatAttackOptions attack;
-    attack.time_limit_seconds = timeout;
-    const auto result = attacks::run_sat_attack(locked, oracle, attack);
-    bench::print_row(
-        {name, std::to_string(locked.gate_count() - host.gate_count()),
-         std::to_string(key.size()),
-         bench::format_attack_seconds(
-             result.seconds,
-             result.status != attacks::SatAttackStatus::kKeyFound, timeout),
-         std::to_string(result.iterations)},
-        widths);
+    const auto& record = summary.records[2 + style];
+    const std::string wrapped = "{" + record.payload + "}";
+    const bool errored = record.status == "error";
+    auto integer = [&wrapped, errored](const char* field) -> std::string {
+      if (errored) return "n/a";
+      return std::to_string(static_cast<std::size_t>(
+          runtime::json_number_field(wrapped, field)));
+    };
+    bench::print_row({style == 0 ? "FullLock 8x8" : "RIL 8x8 (2-MUX + LUT)",
+                      integer("extra_gates"), integer("keybits"),
+                      bench::record_cell(record), integer("iterations")},
+                     widths);
   }
   bench::print_rule(widths);
   return 0;

@@ -4,7 +4,9 @@
 // the 5-day timeout with as few as 3 blocks, while the same gate budget in
 // 2x2 blocks needs ~75 blocks -- at ~3x the area. Defaults use a scaled
 // C7552 core and a short timeout; --full uses the published host profile
-// and the full count sweep.
+// and the full count sweep. Each (size, count) cell is one campaign job:
+// --jobs N attacks N cells concurrently, --out/--resume checkpoint the
+// sweep.
 #include <cstdio>
 
 #include "attacks/oracle.hpp"
@@ -49,30 +51,26 @@ int main(int argc, char** argv) {
     counts = {1, 2, 3, 4, 5, 10, 25, 50, 75, 100};
   }
 
-  const std::vector<int> widths = {10, 16, 16, 16, 10};
-  bench::print_rule(widths);
-  bench::print_row({"RIL-Blocks", "2x2", "8x8", "8x8x8", "overhead*"},
-                   widths);
-  bench::print_rule(widths);
-
+  // One campaign job per (count, size) cell. Larger sweeps of big blocks
+  // exhaust eligible gates on scaled hosts; those cells throw inside the
+  // job and come back as "error" -> printed n/a.
+  std::vector<runtime::CampaignJob> cells;
   for (std::size_t count : counts) {
-    std::vector<std::string> row = {std::to_string(count)};
-    std::size_t cost_2x2 = 0;
     for (const SizeSpec& spec : sizes) {
-      core::RilBlockConfig config;
-      config.size = spec.size;
-      config.output_network = spec.output_network;
-      if (spec.size == 2) {
-        cost_2x2 = count * core::ril_block_gate_cost(config);
-      }
-      // Larger sweeps of big blocks exhaust eligible gates on scaled
-      // hosts; report n/a for infeasible cells.
-      std::string cell;
-      try {
+      runtime::CampaignJob cell;
+      cell.key = "table1/" + std::string(spec.label) + "/" +
+                 std::to_string(count) + "-blocks";
+      cell.timeout_seconds = 4 * timeout + 60;  // lock + attack + slack
+      cell.run = [&host, &options, spec, count,
+                  timeout](runtime::JobContext& ctx) {
+        core::RilBlockConfig config;
+        config.size = spec.size;
+        config.output_network = spec.output_network;
         const auto ril =
             locking::lock_ril(host, count, config, options.seed + count);
         attacks::Oracle oracle(ril.locked.netlist, ril.locked.key);
-        const auto attack = options.attack_options(timeout);
+        auto attack = options.attack_options(timeout);
+        attack.cancel = &ctx.cancel_flag();
         const auto result =
             attacks::run_sat_attack(ril.locked.netlist, oracle, attack);
         bench::append_solve_stats(options,
@@ -80,15 +78,35 @@ int main(int argc, char** argv) {
                                       std::to_string(spec.size) + "/" +
                                       std::to_string(count) + "-blocks",
                                   result);
-        cell = bench::format_attack_seconds(
-            result.seconds,
-            result.status != attacks::SatAttackStatus::kKeyFound, timeout);
-      } catch (const std::exception&) {
-        cell = "n/a";
-      }
-      row.push_back(cell);
+        return bench::attack_payload(
+            bench::format_attack_seconds(
+                result.seconds,
+                result.status != attacks::SatAttackStatus::kKeyFound,
+                timeout),
+            result);
+      };
+      cells.push_back(std::move(cell));
     }
-    row.push_back(std::to_string(cost_2x2) + "g");
+  }
+  const auto summary = bench::run_cells(options, std::move(cells));
+
+  const std::vector<int> widths = {10, 16, 16, 16, 10};
+  bench::print_rule(widths);
+  bench::print_row({"RIL-Blocks", "2x2", "8x8", "8x8x8", "overhead*"},
+                   widths);
+  bench::print_rule(widths);
+
+  std::size_t record_index = 0;
+  for (std::size_t count : counts) {
+    std::vector<std::string> row = {std::to_string(count)};
+    for (const SizeSpec& spec : sizes) {
+      row.push_back(bench::record_cell(summary.records[record_index++]));
+      (void)spec;
+    }
+    core::RilBlockConfig cost_config;
+    cost_config.size = 2;
+    row.push_back(
+        std::to_string(count * core::ril_block_gate_cost(cost_config)) + "g");
     bench::print_row(row, widths);
   }
   bench::print_rule(widths);

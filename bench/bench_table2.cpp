@@ -1,6 +1,7 @@
 // Table II: configuration key bits for the 16 Boolean functions of the
 // 2-input MRAM LUT -- verified three ways: the Table II encoding, the
 // gate-level keyed-LUT netlist, and the device-level MRAM LUT model.
+// Each function row is one campaign job.
 #include <cstdio>
 #include <random>
 
@@ -12,62 +13,89 @@
 
 int main(int argc, char** argv) {
   using namespace ril;
-  (void)bench::parse_options(argc, argv);
+  const bench::BenchOptions options = bench::parse_options(argc, argv);
   bench::print_banner(
       "Table II -- configuration keys for all 16 two-input functions",
       "K1..K4 address minterms AB = 11, 10, 01, 00 (paper ordering); each "
       "row verified on the 3-MUX netlist and the MRAM device model");
+
+  std::vector<runtime::CampaignJob> cells;
+  for (unsigned mask = 0; mask < 16; ++mask) {
+    runtime::CampaignJob cell;
+    cell.key = "table2/mask-" + std::to_string(mask);
+    cell.run = [mask](runtime::JobContext&) {
+      const auto m = static_cast<std::uint8_t>(mask);
+      const auto keys = core::table2_keys_from_mask(m);
+
+      // Gate-level verification.
+      netlist::Netlist nl;
+      const auto a = nl.add_input("a");
+      const auto b = nl.add_input("b");
+      std::size_t counter = 0;
+      const auto lut = core::build_keyed_lut2(nl, a, b, counter, "lut");
+      nl.mark_output(lut.output);
+      netlist::Simulator sim(nl);
+      const auto key_vals = core::lut_key_values(m);
+      for (std::size_t i = 0; i < 4; ++i) {
+        sim.set_input_all(lut.key_inputs[i], key_vals[i]);
+      }
+      bool netlist_ok = true;
+      for (unsigned minterm = 0; minterm < 4; ++minterm) {
+        sim.set_input_all(a, minterm & 1);
+        sim.set_input_all(b, (minterm >> 1) & 1);
+        sim.evaluate();
+        netlist_ok &= ((sim.value(lut.output) & 1) != 0) ==
+                      (((mask >> minterm) & 1) != 0);
+      }
+
+      // Device-level verification (variation off: rng draws are inert).
+      std::mt19937_64 rng(1);
+      device::MtjParams mtj;
+      device::CmosParams cmos;
+      device::VariationSpec no_var{0, 0, 0};
+      cmos.sense_offset_sigma = 0;
+      device::MramLut2 dev(mtj, cmos, no_var, rng);
+      dev.configure(m);
+      bool device_ok = dev.stored_mask() == m;
+      for (unsigned minterm = 0; minterm < 4; ++minterm) {
+        const auto r = dev.read_cell(minterm & 1, (minterm >> 1) & 1);
+        device_ok &= r.value == (((mask >> minterm) & 1) != 0);
+      }
+
+      std::string payload =
+          bench::cell_payload(netlist_ok && device_ok ? "ok" : "FAIL");
+      payload += ",\"function\":\"" +
+                 runtime::json_escape(core::function_name(m)) + "\"";
+      payload += ",\"keys\":\"";
+      for (bool k : keys) payload += k ? '1' : '0';
+      payload += "\",\"netlist\":\"";
+      payload += netlist_ok ? "ok" : "FAIL";
+      payload += "\",\"device\":\"";
+      payload += device_ok ? "ok" : "FAIL";
+      payload += "\"";
+      return payload;
+    };
+    cells.push_back(std::move(cell));
+  }
+  const auto summary = bench::run_cells(options, std::move(cells));
 
   const std::vector<int> widths = {14, 3, 3, 3, 3, 9, 7};
   bench::print_rule(widths);
   bench::print_row({"Function", "K1", "K2", "K3", "K4", "netlist", "device"},
                    widths);
   bench::print_rule(widths);
-
-  std::mt19937_64 rng(1);
-  for (unsigned mask = 0; mask < 16; ++mask) {
-    const auto m = static_cast<std::uint8_t>(mask);
-    const auto keys = core::table2_keys_from_mask(m);
-
-    // Gate-level verification.
-    netlist::Netlist nl;
-    const auto a = nl.add_input("a");
-    const auto b = nl.add_input("b");
-    std::size_t counter = 0;
-    const auto lut = core::build_keyed_lut2(nl, a, b, counter, "lut");
-    nl.mark_output(lut.output);
-    netlist::Simulator sim(nl);
-    const auto key_vals = core::lut_key_values(m);
-    for (std::size_t i = 0; i < 4; ++i) {
-      sim.set_input_all(lut.key_inputs[i], key_vals[i]);
-    }
-    bool netlist_ok = true;
-    for (unsigned minterm = 0; minterm < 4; ++minterm) {
-      sim.set_input_all(a, minterm & 1);
-      sim.set_input_all(b, (minterm >> 1) & 1);
-      sim.evaluate();
-      netlist_ok &= ((sim.value(lut.output) & 1) != 0) ==
-                    (((mask >> minterm) & 1) != 0);
-    }
-
-    // Device-level verification.
-    device::MtjParams mtj;
-    device::CmosParams cmos;
-    device::VariationSpec no_var{0, 0, 0};
-    cmos.sense_offset_sigma = 0;
-    device::MramLut2 dev(mtj, cmos, no_var, rng);
-    dev.configure(m);
-    bool device_ok = dev.stored_mask() == m;
-    for (unsigned minterm = 0; minterm < 4; ++minterm) {
-      const auto r = dev.read_cell(minterm & 1, (minterm >> 1) & 1);
-      device_ok &= r.value == (((mask >> minterm) & 1) != 0);
-    }
-
-    bench::print_row({core::function_name(m), keys[0] ? "1" : "0",
-                      keys[1] ? "1" : "0", keys[2] ? "1" : "0",
-                      keys[3] ? "1" : "0", netlist_ok ? "ok" : "FAIL",
-                      device_ok ? "ok" : "FAIL"},
-                     widths);
+  for (const auto& record : summary.records) {
+    const std::string wrapped = "{" + record.payload + "}";
+    const std::string keys = runtime::json_string_field(wrapped, "keys");
+    bench::print_row(
+        {runtime::json_string_field(wrapped, "function"),
+         keys.size() == 4 ? std::string(1, keys[0]) : "?",
+         keys.size() == 4 ? std::string(1, keys[1]) : "?",
+         keys.size() == 4 ? std::string(1, keys[2]) : "?",
+         keys.size() == 4 ? std::string(1, keys[3]) : "?",
+         runtime::json_string_field(wrapped, "netlist"),
+         runtime::json_string_field(wrapped, "device")},
+        widths);
   }
   bench::print_rule(widths);
   return 0;

@@ -6,6 +6,7 @@
 // only on the smaller hosts, three blocks time out everywhere, and AppSAT
 // fails (returns a functionally wrong key, marked "x") for every circuit
 // once the scan-enabled obfuscation corrupts the oracle's responses.
+// Each (circuit, column) cell is one campaign job.
 #include <cstdio>
 
 #include "attacks/appsat.hpp"
@@ -34,66 +35,79 @@ int main(int argc, char** argv) {
           "s; AppSAT column runs against the Scan-Enable-obfuscated "
           "oracle (x = fails: no functionally correct key)");
 
-  const std::vector<int> widths = {18, 9, 7, 14, 14, 14, 9};
-  bench::print_rule(widths);
-  bench::print_row(
-      {"circuit", "suite", "gates", "1 block", "2 blocks", "3 blocks",
-       "AppSAT"},
-      widths);
-  bench::print_rule(widths);
-
+  // Hosts are built once up front (the jobs capture references; the vector
+  // is fully populated before any job runs).
+  struct CircuitRow {
+    std::string name;
+    std::string suite;
+    netlist::Netlist host;
+  };
+  std::vector<CircuitRow> circuits;
   for (const auto& entry : benchgen::suite_entries()) {
     if (entry.name == "c7552") continue;  // Table I's host
-    const auto host = benchgen::make_benchmark(entry.name, scale);
-    std::vector<std::string> row = {entry.name, entry.suite,
-                                    std::to_string(host.gate_count())};
+    circuits.push_back(
+        {entry.name, entry.suite, benchgen::make_benchmark(entry.name, scale)});
+  }
 
-    core::RilBlockConfig config;
-    config.size = 8;
-    config.output_network = true;
+  std::vector<runtime::CampaignJob> cells;
+  for (const CircuitRow& circuit : circuits) {
     for (std::size_t blocks = 1; blocks <= 3; ++blocks) {
-      std::string cell;
-      try {
-        const auto ril =
-            locking::lock_ril(host, blocks, config, options.seed + blocks);
+      runtime::CampaignJob cell;
+      cell.key = "table3/" + circuit.name + "/" + std::to_string(blocks) +
+                 "-blocks";
+      cell.timeout_seconds = 4 * timeout + 60;
+      cell.run = [&circuit, &options, blocks,
+                  timeout](runtime::JobContext& ctx) {
+        core::RilBlockConfig config;
+        config.size = 8;
+        config.output_network = true;
+        const auto ril = locking::lock_ril(circuit.host, blocks, config,
+                                           options.seed + blocks);
         attacks::Oracle oracle(ril.locked.netlist, ril.locked.key);
-        const auto attack = options.attack_options(timeout);
+        auto attack = options.attack_options(timeout);
+        attack.cancel = &ctx.cancel_flag();
         const auto result =
             attacks::run_sat_attack(ril.locked.netlist, oracle, attack);
         bench::append_solve_stats(
-            options, entry.name + "/" + std::to_string(blocks) + "-blocks",
+            options, circuit.name + "/" + std::to_string(blocks) + "-blocks",
             result);
-        cell = bench::format_attack_seconds(
-            result.seconds,
-            result.status != attacks::SatAttackStatus::kKeyFound, timeout);
-      } catch (const std::exception&) {
-        cell = "n/a";
-      }
-      row.push_back(cell);
+        return bench::attack_payload(
+            bench::format_attack_seconds(
+                result.seconds,
+                result.status != attacks::SatAttackStatus::kKeyFound, timeout),
+            result);
+      };
+      cells.push_back(std::move(cell));
     }
 
     // AppSAT under Scan-Enable obfuscation: success only if the key it
     // returns is functionally correct for the real (SE-inactive) circuit.
-    std::string appsat_cell = "x";
-    try {
-      core::RilBlockConfig se_config = config;
+    runtime::CampaignJob appsat_cell;
+    appsat_cell.key = "table3/" + circuit.name + "/appsat";
+    appsat_cell.timeout_seconds = 6 * timeout + 60;  // attack + equivalence
+    appsat_cell.run = [&circuit, &options, timeout](runtime::JobContext& ctx) {
+      core::RilBlockConfig se_config;
+      se_config.size = 8;
+      se_config.output_network = true;
       se_config.scan_obfuscation = true;
       // The designer programs the MTJ_SE bits; re-roll degenerate all-zero
       // draws (a real designer would, too).
-      auto ril = locking::lock_ril(host, 1, se_config, options.seed);
+      auto ril = locking::lock_ril(circuit.host, 1, se_config, options.seed);
       for (std::uint64_t reroll = 1;
-           ril.info.oracle_scan_key == ril.info.functional_key &&
-           reroll < 16;
+           ril.info.oracle_scan_key == ril.info.functional_key && reroll < 16;
            ++reroll) {
-        ril = locking::lock_ril(host, 1, se_config, options.seed + reroll);
+        ril = locking::lock_ril(circuit.host, 1, se_config,
+                                options.seed + reroll);
       }
       attacks::Oracle scan_oracle(ril.locked.netlist,
                                   ril.info.oracle_scan_key);
       attacks::AppSatOptions appsat;
       appsat.time_limit_seconds = timeout;
       appsat.max_iterations = 64;
+      appsat.cancel = &ctx.cancel_flag();
       const auto result =
           attacks::run_appsat(ril.locked.netlist, scan_oracle, appsat);
+      std::string verdict = "x";
       if (!result.key.empty()) {
         auto deployed = result.key;
         for (std::size_t pos : ril.info.se_key_positions) {
@@ -102,14 +116,33 @@ int main(int argc, char** argv) {
         // Success only if the deployed key is *provably* equivalent.
         sat::SolverLimits limits;
         limits.time_limit_seconds = timeout;
-        const auto eq = cnf::check_equivalence(
-            ril.locked.netlist, host, deployed, {}, limits);
-        appsat_cell = eq.equivalent() ? "ok" : "x";
+        const auto eq = cnf::check_equivalence(ril.locked.netlist,
+                                               circuit.host, deployed, {},
+                                               limits);
+        verdict = eq.equivalent() ? "ok" : "x";
       }
-    } catch (const std::exception&) {
-      appsat_cell = "n/a";
+      return bench::cell_payload(verdict);
+    };
+    cells.push_back(std::move(appsat_cell));
+  }
+  const auto summary = bench::run_cells(options, std::move(cells));
+
+  const std::vector<int> widths = {18, 9, 7, 14, 14, 14, 9};
+  bench::print_rule(widths);
+  bench::print_row(
+      {"circuit", "suite", "gates", "1 block", "2 blocks", "3 blocks",
+       "AppSAT"},
+      widths);
+  bench::print_rule(widths);
+
+  std::size_t record_index = 0;
+  for (const CircuitRow& circuit : circuits) {
+    std::vector<std::string> row = {circuit.name, circuit.suite,
+                                    std::to_string(circuit.host.gate_count())};
+    for (std::size_t blocks = 1; blocks <= 3; ++blocks) {
+      row.push_back(bench::record_cell(summary.records[record_index++]));
     }
-    row.push_back(appsat_cell);
+    row.push_back(bench::record_cell(summary.records[record_index++]));
     bench::print_row(row, widths);
   }
   bench::print_rule(widths);

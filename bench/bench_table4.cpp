@@ -1,6 +1,7 @@
 // Table IV: energy consumption of the proposed MRAM-based LUT
 // (read / write / standby for logic '0' and '1'), plus the SRAM-LUT
-// comparison the paper discusses in Section IV-E.
+// comparison the paper discusses in Section IV-E. Two campaign jobs:
+// the MRAM table and the SRAM reference.
 #include <cmath>
 #include <cstdio>
 #include <random>
@@ -9,70 +10,116 @@
 #include "device/mram_lut.hpp"
 #include "device/sram_lut.hpp"
 
+namespace {
+
+std::string fj(double joules) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.2f fJ", joules * 1e15);
+  return buffer;
+}
+
+std::string aj(double joules) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.2f aJ", joules * 1e18);
+  return buffer;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace ril;
-  (void)bench::parse_options(argc, argv);
+  const bench::BenchOptions options = bench::parse_options(argc, argv);
   bench::print_banner(
       "Table IV -- energy consumption of the MRAM-based LUT",
       "nominal device, AND-configured; paper: read 12.47/12.50 fJ, write "
       "34.45/34.94 fJ, standby 36.90 aJ (per 1 ns)");
 
-  std::mt19937_64 rng(1);
-  device::MtjParams mtj;
-  device::CmosParams cmos;
-  cmos.sense_offset_sigma = 0;
-  device::VariationSpec no_var{0, 0, 0};
-  device::MramLut2 lut(mtj, cmos, no_var, rng);
+  std::vector<runtime::CampaignJob> cells;
 
-  // Write energies (fresh cells per polarity).
-  const auto w0 = lut.write_cell(0, false);
-  const auto w1 = lut.write_cell(3, true);
-  lut.configure(0b1000);  // AND
-  const auto r0 = lut.read_cell(false, false);
-  const auto r1 = lut.read_cell(true, true);
-  const double standby = lut.standby_energy(1e-9);
+  runtime::CampaignJob mram_job;
+  mram_job.key = "table4/mram";
+  mram_job.run = [](runtime::JobContext&) {
+    std::mt19937_64 rng(1);
+    device::MtjParams mtj;
+    device::CmosParams cmos;
+    cmos.sense_offset_sigma = 0;
+    device::VariationSpec no_var{0, 0, 0};
+    device::MramLut2 lut(mtj, cmos, no_var, rng);
 
-  auto fj = [](double joules) {
-    char buffer[32];
-    std::snprintf(buffer, sizeof(buffer), "%.2f fJ", joules * 1e15);
-    return std::string(buffer);
+    // Write energies (fresh cells per polarity).
+    const auto w0 = lut.write_cell(0, false);
+    const auto w1 = lut.write_cell(3, true);
+    lut.configure(0b1000);  // AND
+    const auto r0 = lut.read_cell(false, false);
+    const auto r1 = lut.read_cell(true, true);
+    const double standby = lut.standby_energy(1e-9);
+
+    char buffer[256];
+    std::snprintf(buffer, sizeof(buffer),
+                  ",\"read0_j\":%.6e,\"read1_j\":%.6e,\"write0_j\":%.6e,"
+                  "\"write1_j\":%.6e,\"standby_j\":%.6e,\"symmetry_pct\":%.4f",
+                  r0.energy, r1.energy, w0.energy, w1.energy, standby,
+                  100.0 * std::abs(r1.energy - r0.energy) /
+                      ((r1.energy + r0.energy) / 2));
+    return bench::cell_payload("ok") + buffer;
   };
-  auto aj = [](double joules) {
-    char buffer[32];
-    std::snprintf(buffer, sizeof(buffer), "%.2f aJ", joules * 1e18);
-    return std::string(buffer);
+  cells.push_back(std::move(mram_job));
+
+  runtime::CampaignJob sram_job;
+  sram_job.key = "table4/sram";
+  sram_job.run = [](runtime::JobContext&) {
+    std::mt19937_64 rng(1);
+    device::CmosParams cmos;
+    cmos.sense_offset_sigma = 0;
+    device::VariationSpec no_var{0, 0, 0};
+    device::SramLut2 sram(cmos, no_var, rng);
+    sram.configure(0b1000);
+    const auto s0 = sram.read_output(false, false);
+    const auto s1 = sram.read_output(true, true);
+    char buffer[256];
+    std::snprintf(buffer, sizeof(buffer),
+                  ",\"read0_j\":%.6e,\"read1_j\":%.6e,\"write_j\":%.6e,"
+                  "\"standby_j\":%.6e,\"standby_vs_mram\":%.0f",
+                  s0.energy, s1.energy, sram.write_energy(),
+                  sram.standby_energy(1e-9),
+                  sram.standby_power() / (36.9e-9));
+    return bench::cell_payload("ok") + buffer;
   };
+  cells.push_back(std::move(sram_job));
+
+  const auto summary = bench::run_cells(options, std::move(cells));
+  const std::string mram = "{" + summary.records[0].payload + "}";
+  const std::string sram = "{" + summary.records[1].payload + "}";
+  auto num = [](const std::string& json, const char* field) {
+    return runtime::json_number_field(json, field);
+  };
+
+  const double r0 = num(mram, "read0_j"), r1 = num(mram, "read1_j");
+  const double w0 = num(mram, "write0_j"), w1 = num(mram, "write1_j");
+  const double standby = num(mram, "standby_j");
 
   const std::vector<int> widths = {22, 12, 12, 12};
   bench::print_rule(widths);
   bench::print_row({"MRAM-based LUT", "Read", "Write", "Standby"}, widths);
   bench::print_rule(widths);
-  bench::print_row({"Logic \"0\"", fj(r0.energy), fj(w0.energy),
+  bench::print_row({"Logic \"0\"", fj(r0), fj(w0), aj(standby)}, widths);
+  bench::print_row({"Logic \"1\"", fj(r1), fj(w1), aj(standby)}, widths);
+  bench::print_row({"Average", fj((r0 + r1) / 2), fj((w0 + w1) / 2),
                     aj(standby)},
-                   widths);
-  bench::print_row({"Logic \"1\"", fj(r1.energy), fj(w1.energy),
-                    aj(standby)},
-                   widths);
-  bench::print_row({"Average", fj((r0.energy + r1.energy) / 2),
-                    fj((w0.energy + w1.energy) / 2), aj(standby)},
                    widths);
   bench::print_rule(widths);
 
   // SRAM comparison (Section IV-E discussion).
-  device::SramLut2 sram(cmos, no_var, rng);
-  sram.configure(0b1000);
-  const auto s0 = sram.read_output(false, false);
-  const auto s1 = sram.read_output(true, true);
   std::printf("\nSRAM-LUT reference: read0=%s read1=%s (asymmetric, the "
               "P-SCA leak), write=%s, standby=%s per ns (%.0fx MRAM)\n",
-              fj(s0.energy).c_str(), fj(s1.energy).c_str(),
-              fj(sram.write_energy()).c_str(),
-              aj(sram.standby_energy(1e-9)).c_str(),
-              sram.standby_power() / (36.9e-9));
+              fj(num(sram, "read0_j")).c_str(),
+              fj(num(sram, "read1_j")).c_str(),
+              fj(num(sram, "write_j")).c_str(),
+              aj(num(sram, "standby_j")).c_str(),
+              num(sram, "standby_vs_mram"));
   std::printf("Read-path symmetry (MRAM): |E1-E0|/E = %.3f%%  -- near-zero "
               "power variation in the output.\n",
-              100.0 * std::abs(r1.energy - r0.energy) /
-                  ((r1.energy + r0.energy) / 2));
+              num(mram, "symmetry_pct"));
   std::printf("Cell cost: 2-input MRAM LUT = 32 MOS + 4x2 MTJ (stacked "
               "above CMOS); SRAM LUT = 24 MOS in area-dominant 6T cells.\n");
   return 0;

@@ -14,6 +14,7 @@
 // MESO-style polymorphic gates; InterLock -> FullLock-style routing bank
 // (4-MUX+inversion switch boxes); CAS-Lock -> Anti-SAT-family cascaded
 // block; LUT [12] -> plain LUT-2 replacement; Proposed -> RIL 8x8x8 + SE.
+// Each primitive row is one campaign job.
 #include <cstdio>
 
 #include "attacks/appsat.hpp"
@@ -33,7 +34,6 @@ namespace {
 using namespace ril;
 
 struct SchemeResult {
-  std::string name;
   bool sat_resilient = false;
   bool appsat_resilient = false;
   bool psca_resilient = false;
@@ -44,21 +44,24 @@ struct SchemeResult {
 
 bool sat_attack_fails(const netlist::Netlist& locked,
                       const std::vector<bool>& key,
-                      const netlist::Netlist& host, double timeout) {
+                      const netlist::Netlist& host, double timeout,
+                      const std::atomic<bool>* cancel) {
   attacks::Oracle oracle(locked, key);
   attacks::SatAttackOptions options;
   options.time_limit_seconds = timeout;
+  options.cancel = cancel;
   const auto result = attacks::run_sat_attack(locked, oracle, options);
   if (result.status != attacks::SatAttackStatus::kKeyFound) return true;
   return !cnf::check_equivalence(locked, host, result.key, {}).equivalent();
 }
 
 bool appsat_fails(const netlist::Netlist& locked, const std::vector<bool>& key,
-                  double timeout) {
+                  double timeout, const std::atomic<bool>* cancel) {
   attacks::Oracle oracle(locked, key);
   attacks::AppSatOptions options;
   options.time_limit_seconds = timeout;
   options.max_iterations = 64;
+  options.cancel = cancel;
   const auto result = attacks::run_appsat(locked, oracle, options);
   if (result.key.empty()) return true;
   // The paper counts AppSAT as defeated unless it recovers the *exact*
@@ -95,6 +98,24 @@ bool dpa_fails(sca::LutTechnology technology) {
 
 const char* mark(bool resilient) { return resilient ? "yes" : "-"; }
 
+std::string scheme_payload(const SchemeResult& r) {
+  std::string payload = bench::cell_payload("ok");
+  auto field = [&payload](const char* name, bool resilient) {
+    payload += ",\"";
+    payload += name;
+    payload += "\":\"";
+    payload += mark(resilient);
+    payload += "\"";
+  };
+  field("sat", r.sat_resilient);
+  field("appsat", r.appsat_resilient);
+  field("psca", r.psca_resilient);
+  field("removal", r.removal_resilient);
+  field("scan", r.scan_resilient);
+  field("morphing", r.dynamic_morphing);
+  return payload;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -111,109 +132,143 @@ int main(int argc, char** argv) {
       "host=c7552 core, timeout=" + std::to_string(timeout) +
           "s; 'yes' = attack failed (resilient), '-' = attack succeeded");
 
-  std::vector<SchemeResult> rows;
+  struct SchemeSpec {
+    const char* name;
+    const char* slug;
+    std::function<SchemeResult(runtime::JobContext&)> measure;
+  };
+  const std::vector<SchemeSpec> schemes = {
+      {"SFLL [3]", "sfll",
+       [&host, timeout](runtime::JobContext& ctx) {
+         SchemeResult r;
+         const auto locked = locking::lock_sfll_hd0(host, 16, 51);
+         r.sat_resilient = sat_attack_fails(locked.netlist, locked.key, host,
+                                            timeout, &ctx.cancel_flag());
+         r.appsat_resilient = appsat_fails(locked.netlist, locked.key,
+                                           timeout, &ctx.cancel_flag());
+         r.psca_resilient = dpa_fails(sca::LutTechnology::kSram);
+         r.removal_resilient = removal_fails(locked.netlist, host);
+         r.scan_resilient = false;
+         r.dynamic_morphing = false;
+         return r;
+       }},
+      {"GHSE/MESO [9,19]", "ghse-meso",
+       [&host, timeout](runtime::JobContext& ctx) {
+         // Statically programmed polymorphic gates.
+         SchemeResult r;
+         netlist::Netlist locked = host;
+         const auto lock = core::insert_polymorphic_gates(
+             locked, 8, core::PolymorphicEncoding::kMesoStyle, 52);
+         r.sat_resilient = sat_attack_fails(locked, lock.key, host, timeout,
+                                            &ctx.cancel_flag());
+         r.appsat_resilient =
+             appsat_fails(locked, lock.key, timeout, &ctx.cancel_flag());
+         r.psca_resilient = dpa_fails(sca::LutTechnology::kMram);
+         r.removal_resilient = true;   // gates absorbed into the device
+         r.scan_resilient = false;
+         r.dynamic_morphing = true;    // limited to error-tolerant apps
+         return r;
+       }},
+      {"InterLock [11]", "interlock",
+       [&host, timeout](runtime::JobContext& ctx) {
+         // Paper-like width: InterLock uses a large routing bank; 32 wires
+         // through 4-MUX switch boxes (240 key bits) already stalls short
+         // timeouts.
+         SchemeResult r;
+         const auto locked = locking::lock_fulllock(host, 32, 53);
+         r.sat_resilient = sat_attack_fails(locked.netlist, locked.key, host,
+                                            timeout, &ctx.cancel_flag());
+         r.appsat_resilient = appsat_fails(locked.netlist, locked.key,
+                                           timeout, &ctx.cancel_flag());
+         r.psca_resilient = dpa_fails(sca::LutTechnology::kSram);
+         r.removal_resilient = removal_fails(locked.netlist, host);
+         r.scan_resilient = false;
+         r.dynamic_morphing = false;
+         return r;
+       }},
+      {"CAS-Lock [6]", "caslock",
+       [&host, timeout](runtime::JobContext& ctx) {
+         // Cascaded Anti-SAT family.
+         SchemeResult r;
+         const auto locked = locking::lock_antisat(host, 16, 54);
+         r.sat_resilient = sat_attack_fails(locked.netlist, locked.key, host,
+                                            timeout, &ctx.cancel_flag());
+         r.appsat_resilient = appsat_fails(locked.netlist, locked.key,
+                                           timeout, &ctx.cancel_flag());
+         r.psca_resilient = dpa_fails(sca::LutTechnology::kSram);
+         r.removal_resilient = removal_fails(locked.netlist, host);
+         r.scan_resilient = false;
+         r.dynamic_morphing = false;
+         return r;
+       }},
+      {"LUT [12]", "lut",
+       [&host, timeout](runtime::JobContext& ctx) {
+         SchemeResult r;
+         const auto locked = locking::lock_lut(host, 12, 55);
+         r.sat_resilient = sat_attack_fails(locked.netlist, locked.key, host,
+                                            timeout, &ctx.cancel_flag());
+         r.appsat_resilient = appsat_fails(locked.netlist, locked.key,
+                                           timeout, &ctx.cancel_flag());
+         r.psca_resilient = dpa_fails(sca::LutTechnology::kSram);
+         r.removal_resilient = removal_fails(locked.netlist, host);
+         r.scan_resilient = true;  // per the paper's Table V
+         r.dynamic_morphing = false;
+         return r;
+       }},
+      {"RIL-Block (ours)", "ril",
+       [&host, timeout](runtime::JobContext& ctx) {
+         // Proposed: 8x8x8 + Scan-Enable obfuscation, MRAM key storage.
+         SchemeResult r;
+         core::RilBlockConfig config;
+         config.size = 8;
+         config.output_network = true;
+         config.scan_obfuscation = true;
+         const auto ril = locking::lock_ril(host, 3, config, 56);
+         r.sat_resilient =
+             sat_attack_fails(ril.locked.netlist, ril.info.functional_key,
+                              host, timeout, &ctx.cancel_flag());
+         r.appsat_resilient =
+             appsat_fails(ril.locked.netlist, ril.info.oracle_scan_key,
+                          timeout, &ctx.cancel_flag());
+         r.psca_resilient = dpa_fails(sca::LutTechnology::kMram);
+         r.removal_resilient = removal_fails(ril.locked.netlist, host);
+         // ScanSAT view: attack through the scan oracle, deploy without the
+         // SE bits.
+         attacks::Oracle scan_oracle(ril.locked.netlist,
+                                     ril.info.oracle_scan_key);
+         attacks::SatAttackOptions sat_options;
+         sat_options.time_limit_seconds = timeout;
+         sat_options.cancel = &ctx.cancel_flag();
+         const auto result = attacks::run_sat_attack(ril.locked.netlist,
+                                                     scan_oracle, sat_options);
+         if (result.status != attacks::SatAttackStatus::kKeyFound) {
+           r.scan_resilient = true;
+         } else {
+           auto deployed = result.key;
+           for (std::size_t pos : ril.info.se_key_positions) {
+             deployed[pos] = false;
+           }
+           r.scan_resilient = !cnf::check_equivalence(ril.locked.netlist,
+                                                      host, deployed, {})
+                                   .equivalent();
+         }
+         r.dynamic_morphing = true;
+         return r;
+       }},
+  };
 
-  {  // SFLL-HD0
-    SchemeResult r{"SFLL [3]"};
-    const auto locked = locking::lock_sfll_hd0(host, 16, 51);
-    r.sat_resilient = sat_attack_fails(locked.netlist, locked.key, host,
-                                       timeout);
-    r.appsat_resilient = appsat_fails(locked.netlist, locked.key, timeout);
-    r.psca_resilient = dpa_fails(sca::LutTechnology::kSram);
-    r.removal_resilient = removal_fails(locked.netlist, host);
-    r.scan_resilient = false;
-    r.dynamic_morphing = false;
-    rows.push_back(r);
+  std::vector<runtime::CampaignJob> cells;
+  for (const SchemeSpec& scheme : schemes) {
+    runtime::CampaignJob cell;
+    cell.key = std::string("table5/") + scheme.slug;
+    // Six attacks per row, several of them timeout-bounded.
+    cell.timeout_seconds = 16 * timeout + 120;
+    cell.run = [&scheme](runtime::JobContext& ctx) {
+      return scheme_payload(scheme.measure(ctx));
+    };
+    cells.push_back(std::move(cell));
   }
-  {  // GHSE / MESO (statically programmed polymorphic gates)
-    SchemeResult r{"GHSE/MESO [9,19]"};
-    netlist::Netlist locked = host;
-    const auto lock = core::insert_polymorphic_gates(
-        locked, 8, core::PolymorphicEncoding::kMesoStyle, 52);
-    r.sat_resilient = sat_attack_fails(locked, lock.key, host, timeout);
-    r.appsat_resilient = appsat_fails(locked, lock.key, timeout);
-    r.psca_resilient = dpa_fails(sca::LutTechnology::kMram);
-    r.removal_resilient = true;   // gates absorbed into the device
-    r.scan_resilient = false;
-    r.dynamic_morphing = true;    // limited to error-tolerant applications
-    rows.push_back(r);
-  }
-  {  // InterLock / FullLock-style routing bank
-    SchemeResult r{"InterLock [11]"};
-    // Paper-like width: InterLock uses a large routing bank; 32 wires
-    // through 4-MUX switch boxes (240 key bits) already stalls short
-    // timeouts.
-    const auto locked = locking::lock_fulllock(host, 32, 53);
-    r.sat_resilient = sat_attack_fails(locked.netlist, locked.key, host,
-                                       timeout);
-    r.appsat_resilient = appsat_fails(locked.netlist, locked.key, timeout);
-    r.psca_resilient = dpa_fails(sca::LutTechnology::kSram);
-    r.removal_resilient = removal_fails(locked.netlist, host);
-    r.scan_resilient = false;
-    r.dynamic_morphing = false;
-    rows.push_back(r);
-  }
-  {  // CAS-Lock family (cascaded Anti-SAT)
-    SchemeResult r{"CAS-Lock [6]"};
-    const auto locked = locking::lock_antisat(host, 16, 54);
-    r.sat_resilient = sat_attack_fails(locked.netlist, locked.key, host,
-                                       timeout);
-    r.appsat_resilient = appsat_fails(locked.netlist, locked.key, timeout);
-    r.psca_resilient = dpa_fails(sca::LutTechnology::kSram);
-    r.removal_resilient = removal_fails(locked.netlist, host);
-    r.scan_resilient = false;
-    r.dynamic_morphing = false;
-    rows.push_back(r);
-  }
-  {  // LUT-based obfuscation [12]
-    SchemeResult r{"LUT [12]"};
-    const auto locked = locking::lock_lut(host, 12, 55);
-    r.sat_resilient = sat_attack_fails(locked.netlist, locked.key, host,
-                                       timeout);
-    r.appsat_resilient = appsat_fails(locked.netlist, locked.key, timeout);
-    r.psca_resilient = dpa_fails(sca::LutTechnology::kSram);
-    r.removal_resilient = removal_fails(locked.netlist, host);
-    r.scan_resilient = true;  // per the paper's Table V
-    r.dynamic_morphing = false;
-    rows.push_back(r);
-  }
-  {  // Proposed RIL-Blocks (8x8x8 + Scan-Enable obfuscation, MRAM)
-    SchemeResult r{"RIL-Block (ours)"};
-    core::RilBlockConfig config;
-    config.size = 8;
-    config.output_network = true;
-    config.scan_obfuscation = true;
-    const auto ril = locking::lock_ril(host, 3, config, 56);
-    r.sat_resilient = sat_attack_fails(ril.locked.netlist,
-                                       ril.info.functional_key, host,
-                                       timeout);
-    r.appsat_resilient =
-        appsat_fails(ril.locked.netlist, ril.info.oracle_scan_key, timeout);
-    r.psca_resilient = dpa_fails(sca::LutTechnology::kMram);
-    r.removal_resilient = removal_fails(ril.locked.netlist, host);
-    // ScanSAT view: attack through the scan oracle, deploy without SE bits.
-    {
-      attacks::Oracle scan_oracle(ril.locked.netlist,
-                                  ril.info.oracle_scan_key);
-      attacks::SatAttackOptions sat_options;
-      sat_options.time_limit_seconds = timeout;
-      const auto result = attacks::run_sat_attack(ril.locked.netlist,
-                                                  scan_oracle, sat_options);
-      if (result.status != attacks::SatAttackStatus::kKeyFound) {
-        r.scan_resilient = true;
-      } else {
-        auto deployed = result.key;
-        for (std::size_t pos : ril.info.se_key_positions) {
-          deployed[pos] = false;
-        }
-        r.scan_resilient = !cnf::check_equivalence(ril.locked.netlist, host,
-                                                   deployed, {})
-                                .equivalent();
-      }
-    }
-    r.dynamic_morphing = true;
-    rows.push_back(r);
-  }
+  const auto summary = bench::run_cells(options, std::move(cells));
 
   const std::vector<int> widths = {18, 5, 7, 6, 8, 8, 9};
   bench::print_rule(widths);
@@ -221,11 +276,17 @@ int main(int argc, char** argv) {
                     "ScanSAT", "Morphing"},
                    widths);
   bench::print_rule(widths);
-  for (const SchemeResult& r : rows) {
-    bench::print_row({r.name, mark(r.sat_resilient),
-                      mark(r.appsat_resilient), mark(r.psca_resilient),
-                      mark(r.removal_resilient), mark(r.scan_resilient),
-                      mark(r.dynamic_morphing)},
+  for (std::size_t i = 0; i < schemes.size(); ++i) {
+    const auto& record = summary.records[i];
+    const std::string wrapped = "{" + record.payload + "}";
+    auto cell = [&wrapped, &record](const char* field) -> std::string {
+      if (record.status == "error") return "n/a";
+      const std::string value = runtime::json_string_field(wrapped, field);
+      return value.empty() ? "n/a" : value;
+    };
+    bench::print_row({schemes[i].name, cell("sat"), cell("appsat"),
+                      cell("psca"), cell("removal"), cell("scan"),
+                      cell("morphing")},
                      widths);
   }
   bench::print_rule(widths);

@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <mutex>
 #include <thread>
 
 namespace ril::bench {
@@ -12,18 +13,18 @@ namespace ril::bench {
 attacks::SatAttackOptions BenchOptions::attack_options(double timeout) const {
   attacks::SatAttackOptions attack;
   attack.time_limit_seconds = timeout;
-  attack.jobs = jobs;
+  attack.jobs = solver_jobs;
   attack.portfolio_seed = seed;
-  attack.record_solves = jobs > 1 || !stats_path.empty();
+  attack.record_solves = solver_jobs > 1 || !stats_path.empty();
   return attack;
 }
 
 attacks::AppSatOptions BenchOptions::appsat_options(double timeout) const {
   attacks::AppSatOptions appsat;
   appsat.time_limit_seconds = timeout;
-  appsat.jobs = jobs;
+  appsat.jobs = solver_jobs;
   appsat.portfolio_seed = seed;
-  appsat.record_solves = jobs > 1 || !stats_path.empty();
+  appsat.record_solves = solver_jobs > 1 || !stats_path.empty();
   return appsat;
 }
 
@@ -57,16 +58,28 @@ BenchOptions parse_options(int argc, char** argv) {
     } else if (arg == "--jobs") {
       options.jobs = std::max(
           1u, static_cast<unsigned>(std::strtoul(next_value(), nullptr, 10)));
+    } else if (arg == "--solver-jobs") {
+      options.solver_jobs = std::max(
+          1u, static_cast<unsigned>(std::strtoul(next_value(), nullptr, 10)));
     } else if (arg == "--portfolio") {
-      options.jobs = std::thread::hardware_concurrency() > 0
-                         ? std::thread::hardware_concurrency()
-                         : 1;
+      options.solver_jobs = std::thread::hardware_concurrency() > 0
+                                ? std::thread::hardware_concurrency()
+                                : 1;
     } else if (arg == "--stats") {
       options.stats_path = next_value();
+    } else if (arg == "--out") {
+      options.out_path = next_value();
+    } else if (arg == "--resume") {
+      options.resume = true;
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
-          "options: --full  --timeout <sec>  --scale <f>  --seed <n>"
-          "  --jobs <n>  --portfolio  --stats <file>\n");
+          "options: --full  --timeout <sec>  --scale <f>  --seed <n>\n"
+          "         --jobs <n>        run n table cells concurrently\n"
+          "         --out <file>      stream one JSON line per cell\n"
+          "         --resume          skip cells already in --out\n"
+          "         --solver-jobs <n> SAT-portfolio width per solve\n"
+          "         --portfolio       solver portfolio on all threads\n"
+          "         --stats <file>    per-solve JSON records\n");
       std::exit(0);
     } else {
       std::fprintf(stderr, "unknown option %s\n", arg.c_str());
@@ -74,6 +87,47 @@ BenchOptions parse_options(int argc, char** argv) {
     }
   }
   return options;
+}
+
+runtime::CampaignSummary run_cells(const BenchOptions& options,
+                                   std::vector<runtime::CampaignJob> cells) {
+  runtime::CampaignOptions campaign;
+  campaign.jobs = options.jobs;
+  campaign.out_path = options.out_path;
+  campaign.resume = options.resume;
+  const auto summary = runtime::run_campaign(cells, campaign);
+  if (!options.out_path.empty()) {
+    std::fprintf(stderr,
+                 "campaign: %zu cells ran, %zu resumed, %zu errors in "
+                 "%.2fs -> %s\n",
+                 summary.completed, summary.cached, summary.errors,
+                 summary.seconds, options.out_path.c_str());
+  }
+  return summary;
+}
+
+std::string record_cell(const runtime::JobRecord& record) {
+  if (record.status == "error") return "n/a";
+  const std::string cell = runtime::json_string_field(
+      "{" + record.payload + "}", "cell");
+  return cell.empty() ? "n/a" : cell;
+}
+
+std::string cell_payload(const std::string& cell) {
+  return "\"cell\":\"" + runtime::json_escape(cell) + "\"";
+}
+
+std::string attack_payload(const std::string& cell,
+                           const attacks::SatAttackResult& result) {
+  char buffer[192];
+  std::snprintf(buffer, sizeof(buffer),
+                ",\"iterations\":%zu,\"conflicts\":%llu,"
+                "\"encoded_clauses\":%zu,\"saved_clauses\":%zu,"
+                "\"attack_seconds\":%.3f",
+                result.iterations,
+                static_cast<unsigned long long>(result.conflicts),
+                result.encoded_clauses, result.saved_clauses, result.seconds);
+  return cell_payload(cell) + buffer;
 }
 
 void append_solve_stats(const BenchOptions& options, const std::string& label,
@@ -84,6 +138,9 @@ void append_solve_stats(const BenchOptions& options, const std::string& label,
 void append_solve_stats(const BenchOptions& options, const std::string& label,
                         const std::vector<attacks::SolveRecord>& log) {
   if (options.stats_path.empty()) return;
+  // Campaign cells call this concurrently; serialize whole-line appends.
+  static std::mutex stats_mutex;
+  std::lock_guard<std::mutex> lock(stats_mutex);
   std::ofstream out(options.stats_path, std::ios::app);
   if (!out) {
     std::fprintf(stderr, "cannot open stats file %s\n",

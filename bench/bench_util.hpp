@@ -5,6 +5,13 @@
 // minutes; pass --full (or set RIL_BENCH_FULL=1) for paper-scale runs, and
 // --timeout <sec> to change the SAT-attack budget (the paper used 5 days;
 // `TIMEOUT` rows correspond to the paper's "infinity" entries).
+//
+// The table/ablation binaries enumerate their cells as campaign jobs
+// (runtime::run_campaign): `--jobs N` runs N cells concurrently, `--out
+// results.jsonl` streams one JSON record per cell, and `--resume` skips
+// cells already present in that stream — a killed sweep restarts where it
+// died. Cells derive everything from their own seeds, so verdicts are
+// identical at any --jobs width; only the wall clock changes.
 #pragma once
 
 #include <cstdint>
@@ -13,6 +20,7 @@
 
 #include "attacks/appsat.hpp"
 #include "attacks/sat_attack.hpp"
+#include "runtime/campaign.hpp"
 
 namespace ril::bench {
 
@@ -21,8 +29,11 @@ struct BenchOptions {
   double timeout_seconds = 0;  ///< SAT budget per attack (0 = preset default)
   double scale = 0;            ///< host scale override (0 = preset default)
   std::uint64_t seed = 1;
-  unsigned jobs = 1;           ///< SAT-portfolio width (--jobs/--portfolio)
-  std::string stats_path;      ///< per-solve JSON records (--stats FILE)
+  unsigned jobs = 1;         ///< campaign workers (--jobs, RIL_BENCH_JOBS)
+  unsigned solver_jobs = 1;  ///< SAT-portfolio width (--solver-jobs)
+  std::string stats_path;    ///< per-solve JSON records (--stats FILE)
+  std::string out_path;      ///< per-cell JSONL stream (--out FILE)
+  bool resume = false;       ///< skip cells already in out_path (--resume)
 
   /// SAT-attack options carrying the portfolio settings.
   attacks::SatAttackOptions attack_options(double timeout) const;
@@ -31,12 +42,32 @@ struct BenchOptions {
 };
 
 /// Parses --full / --timeout S / --scale F / --seed N / --jobs N /
-/// --portfolio / --stats FILE plus RIL_BENCH_FULL and RIL_BENCH_JOBS.
+/// --solver-jobs N / --portfolio / --stats FILE / --out FILE / --resume
+/// plus RIL_BENCH_FULL and RIL_BENCH_JOBS (campaign workers).
 BenchOptions parse_options(int argc, char** argv);
+
+/// Runs the cells as a campaign with the binary's --jobs/--out/--resume
+/// settings and prints a one-line summary to stderr when checkpointing.
+/// Records come back in submission order, so tables index by position.
+runtime::CampaignSummary run_cells(const BenchOptions& options,
+                                   std::vector<runtime::CampaignJob> cells);
+
+/// The "cell" field of a record, or "n/a" for cells that errored (a cell
+/// infeasible on scaled hosts, e.g. not enough eligible gates).
+std::string record_cell(const runtime::JobRecord& record);
+
+/// Payload fragment `"cell":"..."` (the minimum a table cell reports).
+std::string cell_payload(const std::string& cell);
+
+/// Payload fragment with the cell plus the attack telemetry the JSONL
+/// trajectory files need (iterations, conflicts, clause stats, seconds).
+std::string attack_payload(const std::string& cell,
+                           const attacks::SatAttackResult& result);
 
 /// Appends one JSON line per portfolio solve of `result` to
 /// `options.stats_path` (no-op when --stats was not given). `label`
-/// identifies the table cell, e.g. "c1355/2-blocks".
+/// identifies the table cell, e.g. "c1355/2-blocks". Thread-safe: campaign
+/// cells append concurrently.
 void append_solve_stats(const BenchOptions& options, const std::string& label,
                         const attacks::SatAttackResult& result);
 void append_solve_stats(const BenchOptions& options, const std::string& label,

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "core/morphing.hpp"
+
 namespace ril::attacks {
 
 using netlist::Netlist;
@@ -35,23 +37,26 @@ void Oracle::enable_morphing(std::size_t period,
   }
   morph_period_ = period;
   morph_positions_ = std::move(positions);
-  morph_state_ = seed | 1;
+  morph_seed_ = seed;
+  morph_epoch_ = 0;
 }
 
 std::vector<bool> Oracle::query(const std::vector<bool>& data) {
   if (data.size() != data_inputs_.size()) {
     throw std::invalid_argument("Oracle: data width mismatch");
   }
-  if (morph_period_ != 0 && query_count_ != 0 &&
-      query_count_ % morph_period_ == 0) {
-    // xorshift64 over the morphing positions.
-    for (std::size_t p : morph_positions_) {
-      morph_state_ ^= morph_state_ << 13;
-      morph_state_ ^= morph_state_ >> 7;
-      morph_state_ ^= morph_state_ << 17;
-      key_[p] = morph_state_ & 1;
+  if (morph_period_ != 0) {
+    // Epoch e answers queries [e*period, (e+1)*period); epoch 0 keeps the
+    // constructor key, later epochs use the canonical derivation shared
+    // with core::MorphingScheduler (see enable_morphing).
+    const std::uint64_t epoch = query_count_ / morph_period_;
+    if (epoch != morph_epoch_) {
+      for (std::size_t p : morph_positions_) {
+        key_[p] = core::morph_key_bit(morph_seed_, epoch, p);
+      }
+      morph_epoch_ = epoch;
+      load_key();
     }
-    load_key();
   }
   ++query_count_;
   for (std::size_t i = 0; i < data.size(); ++i) {

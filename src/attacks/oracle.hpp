@@ -32,8 +32,13 @@ class Oracle : public QueryOracle {
   /// `locked` is copied; `key` (key_inputs() order) defines the responses.
   Oracle(const netlist::Netlist& locked, std::vector<bool> key);
 
-  /// Enables dynamic morphing: every `period` queries the key bits at
-  /// `positions` are re-randomized.
+  /// Enables dynamic morphing: queries [e*period, (e+1)*period) are
+  /// answered with the epoch-e key, where epoch 0 is the constructor key
+  /// and epoch e >= 1 re-derives the bits at `positions` via the canonical
+  /// core::morph_key_bit(seed, e, position) sequence. The same
+  /// (seed, positions) pair therefore yields exactly the key schedule of a
+  /// core::MorphingScheduler built with that seed over the same base key —
+  /// the designer and the silicon agree on every epoch.
   void enable_morphing(std::size_t period, std::vector<std::size_t> positions,
                        std::uint64_t seed);
 
@@ -58,7 +63,8 @@ class Oracle : public QueryOracle {
   // Morphing state.
   std::size_t morph_period_ = 0;
   std::vector<std::size_t> morph_positions_;
-  std::uint64_t morph_state_ = 0;
+  std::uint64_t morph_seed_ = 0;
+  std::uint64_t morph_epoch_ = 0;
 };
 
 }  // namespace ril::attacks

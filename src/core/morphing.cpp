@@ -4,19 +4,6 @@
 
 namespace ril::core {
 
-namespace {
-
-/// splitmix64: cheap, stateless per-(epoch, position) bit derivation so
-/// epochs can be queried out of order.
-std::uint64_t mix(std::uint64_t x) {
-  x += 0x9e3779b97f4a7c15ull;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
-  return x ^ (x >> 31);
-}
-
-}  // namespace
-
 MorphingScheduler::MorphingScheduler(const RilLockResult& lock,
                                      MorphPolicy policy, std::uint64_t seed)
     : base_key_(lock.functional_key), seed_(seed) {
@@ -45,7 +32,7 @@ std::vector<bool> MorphingScheduler::key_for_epoch(
   std::vector<bool> key = base_key_;
   if (epoch == 0) return key;
   for (std::size_t pos : positions_) {
-    key[pos] = mix(seed_ ^ (epoch * 0x100000001b3ull) ^ pos) & 1;
+    key[pos] = morph_key_bit(seed_, epoch, pos);
   }
   return key;
 }

@@ -20,6 +20,22 @@
 
 namespace ril::core {
 
+/// The canonical morph-bit derivation shared by MorphingScheduler and
+/// attacks::Oracle: splitmix64 over seed ^ epoch*FNV-prime ^ position —
+/// cheap, stateless, and queryable out of order. Epoch 0 is by convention
+/// the base (functional) key and never derived through this function, so
+/// the same (seed, positions) pair yields exactly one key sequence on both
+/// the scheduler (designer) side and the oracle (silicon) side.
+inline bool morph_key_bit(std::uint64_t seed, std::uint64_t epoch,
+                          std::uint64_t position) {
+  std::uint64_t x = seed ^ (epoch * 0x100000001b3ull) ^ position;
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return (x & 1) != 0;
+}
+
 enum class MorphPolicy : std::uint8_t {
   /// Scramble every non-SE key bit (maximal inconsistency; chip unusable
   /// during the morph window). The paper's anti-SAT-attack mode.

@@ -125,18 +125,39 @@ Netlist read_bench(std::istream& in, std::string name) {
       std::string rest = trim(rhs.substr(3));
       const auto open = rest.find('(');
       const auto close = rest.rfind(')');
-      if (open == std::string::npos || close == std::string::npos) {
-        fail(line_no, "malformed LUT");
+      if (open == std::string::npos || close == std::string::npos ||
+          close < open) {
+        fail(line_no,
+             "malformed LUT (expected 'LUT <mask> (a, b, ...)'; check "
+             "parentheses)");
       }
       const std::string mask_text = trim(rest.substr(0, open));
       gate.op = "LUT";
+      std::size_t mask_len = 0;
       try {
-        gate.lut_mask = std::stoull(mask_text, nullptr, 0);
+        gate.lut_mask = std::stoull(mask_text, &mask_len, 0);
       } catch (const std::exception&) {
         fail(line_no, "bad LUT mask '" + mask_text + "'");
       }
+      if (mask_len != mask_text.size()) {
+        fail(line_no, "bad LUT mask '" + mask_text +
+                          "' (trailing junk after the number)");
+      }
       gate.fanins =
           split_args(rest.substr(open + 1, close - open - 1), line_no);
+      const std::size_t arity = gate.fanins.size();
+      if (arity == 0 || arity > 6) {
+        fail(line_no, "LUT arity must be 1..6, got " + std::to_string(arity));
+      }
+      if (arity < 6) {
+        const std::uint64_t rows = std::uint64_t{1} << arity;
+        if ((gate.lut_mask >> rows) != 0) {
+          fail(line_no, "LUT mask '" + mask_text + "' needs more than 2^" +
+                            std::to_string(arity) + " = " +
+                            std::to_string(rows) + " truth-table rows for " +
+                            std::to_string(arity) + " fanins");
+        }
+      }
       gates.push_back(std::move(gate));
       continue;
     }

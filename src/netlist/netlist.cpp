@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
 #include <stdexcept>
 
 namespace ril::netlist {
@@ -105,6 +106,18 @@ NodeId Netlist::add_lut(std::vector<NodeId> fanins, std::uint64_t mask,
                         std::string name) {
   if (fanins.empty() || fanins.size() > 6) {
     throw std::invalid_argument("add_lut: arity must be 1..6");
+  }
+  // Reject masks wider than the truth table up front: the simulator and
+  // Tseitin paths index rows [0, 2^k) and would silently ignore high bits.
+  if (fanins.size() < 6) {
+    const std::uint64_t rows = std::uint64_t{1} << fanins.size();
+    if ((mask >> rows) != 0) {
+      char buffer[80];
+      std::snprintf(buffer, sizeof(buffer),
+                    "add_lut: mask 0x%llx wider than 2^%zu truth-table rows",
+                    static_cast<unsigned long long>(mask), fanins.size());
+      throw std::invalid_argument(buffer);
+    }
   }
   for (NodeId f : fanins) {
     if (f >= nodes_.size()) throw std::invalid_argument("add_lut: bad fanin");

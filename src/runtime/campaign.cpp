@@ -1,0 +1,309 @@
+#include "runtime/campaign.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace ril::runtime {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+std::string format_seconds(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.6f", value);
+  return buffer;
+}
+
+}  // namespace
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Position just past `"field":` in `line`, or npos.
+std::size_t find_field_value(const std::string& line,
+                             const std::string& field) {
+  const std::string needle = "\"" + field + "\":";
+  const auto pos = line.find(needle);
+  if (pos == std::string::npos) return std::string::npos;
+  return pos + needle.size();
+}
+
+}  // namespace
+
+std::string json_string_field(const std::string& line,
+                              const std::string& field) {
+  auto pos = find_field_value(line, field);
+  if (pos == std::string::npos || pos >= line.size() || line[pos] != '"') {
+    return {};
+  }
+  ++pos;
+  std::string out;
+  while (pos < line.size()) {
+    const char c = line[pos];
+    if (c == '"') return out;
+    if (c == '\\' && pos + 1 < line.size()) {
+      const char next = line[++pos];
+      switch (next) {
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        default: out += next;
+      }
+    } else {
+      out += c;
+    }
+    ++pos;
+  }
+  return {};  // unterminated string
+}
+
+double json_number_field(const std::string& line, const std::string& field,
+                         double fallback) {
+  const auto pos = find_field_value(line, field);
+  if (pos == std::string::npos) return fallback;
+  try {
+    return std::stod(line.substr(pos));
+  } catch (const std::exception&) {
+    return fallback;
+  }
+}
+
+std::string json_object_field(const std::string& line,
+                              const std::string& field) {
+  auto pos = find_field_value(line, field);
+  if (pos == std::string::npos || pos >= line.size() || line[pos] != '{') {
+    return {};
+  }
+  const std::size_t body_start = pos + 1;
+  int depth = 0;
+  bool in_string = false;
+  for (std::size_t i = pos; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_string) {
+      if (c == '\\') ++i;
+      else if (c == '"') in_string = false;
+      continue;
+    }
+    if (c == '"') in_string = true;
+    else if (c == '{') ++depth;
+    else if (c == '}') {
+      if (--depth == 0) return line.substr(body_start, i - body_start);
+    }
+  }
+  return {};  // unbalanced
+}
+
+std::string job_record_json(const JobRecord& record) {
+  std::string out = "{\"key\":\"" + json_escape(record.key) +
+                    "\",\"status\":\"" + json_escape(record.status) +
+                    "\",\"queue_seconds\":" +
+                    format_seconds(record.queue_seconds) +
+                    ",\"run_seconds\":" + format_seconds(record.run_seconds);
+  if (!record.error.empty()) {
+    out += ",\"error\":\"" + json_escape(record.error) + "\"";
+  }
+  if (!record.payload.empty()) {
+    out += ",\"data\":{" + record.payload + "}";
+  }
+  out += "}";
+  return out;
+}
+
+/// Shared mutable state of one run_campaign() invocation; owns the slot
+/// table the watchdog scans and the serialized JSONL stream.
+struct CampaignState {
+  std::mutex slots_mutex;
+  std::vector<JobContext*> active;  // one slot per worker, null when idle
+
+  std::mutex out_mutex;
+  std::ofstream out;
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> errors{0};
+  std::atomic<bool> done{false};
+
+  void arm(unsigned slot, JobContext* ctx, double timeout) {
+    std::lock_guard<std::mutex> lock(slots_mutex);
+    ctx->timeout_ = timeout;
+    if (timeout > 0) {
+      ctx->deadline_ = Clock::now() + std::chrono::duration_cast<
+          Clock::duration>(std::chrono::duration<double>(timeout));
+      ctx->has_deadline_ = true;
+    }
+    active[slot] = ctx;
+  }
+
+  void disarm(unsigned slot) {
+    std::lock_guard<std::mutex> lock(slots_mutex);
+    active[slot] = nullptr;
+  }
+
+  void watchdog_tick() {
+    std::lock_guard<std::mutex> lock(slots_mutex);
+    const auto now = Clock::now();
+    for (JobContext* ctx : active) {
+      if (ctx && ctx->has_deadline_ && now >= ctx->deadline_) {
+        ctx->cancel_.store(true, std::memory_order_relaxed);
+      }
+    }
+  }
+
+  void checkpoint(const JobRecord& record) {
+    if (!out.is_open()) return;
+    std::lock_guard<std::mutex> lock(out_mutex);
+    out << job_record_json(record) << "\n";
+    out.flush();  // survive a kill mid-campaign
+  }
+};
+
+CampaignSummary run_campaign(const std::vector<CampaignJob>& jobs,
+                             const CampaignOptions& options) {
+  {
+    std::unordered_set<std::string> keys;
+    for (const CampaignJob& job : jobs) {
+      if (!keys.insert(job.key).second) {
+        throw std::invalid_argument("run_campaign: duplicate job key '" +
+                                    job.key + "'");
+      }
+    }
+  }
+
+  CampaignSummary summary;
+  summary.records.resize(jobs.size());
+  const auto campaign_start = Clock::now();
+
+  // Restore terminal records from a previous (possibly killed) run.
+  std::unordered_map<std::string, JobRecord> restored;
+  if (options.resume && !options.out_path.empty()) {
+    std::ifstream in(options.out_path);
+    std::string line;
+    while (std::getline(in, line)) {
+      const std::string key = json_string_field(line, "key");
+      const std::string status = json_string_field(line, "status");
+      if (key.empty() || (status != "ok" && status != "error")) continue;
+      JobRecord record;
+      record.key = key;
+      record.status = "cached";
+      record.error = json_string_field(line, "error");
+      record.payload = json_object_field(line, "data");
+      record.queue_seconds = json_number_field(line, "queue_seconds");
+      record.run_seconds = json_number_field(line, "run_seconds");
+      restored[key] = std::move(record);  // last line wins
+    }
+  }
+
+  std::vector<std::size_t> pending;
+  pending.reserve(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const auto it = restored.find(jobs[i].key);
+    if (it != restored.end()) {
+      summary.records[i] = it->second;
+      ++summary.cached;
+    } else {
+      pending.push_back(i);
+    }
+  }
+
+  CampaignState state;
+  if (!options.out_path.empty()) {
+    state.out.open(options.out_path, std::ios::app);
+    if (!state.out) {
+      throw std::runtime_error("run_campaign: cannot open " +
+                               options.out_path);
+    }
+  }
+
+  const unsigned workers = std::max<unsigned>(
+      1, std::min<unsigned>(std::min<unsigned>(options.jobs, 256),
+                            std::max<std::size_t>(pending.size(), 1)));
+  state.active.assign(workers, nullptr);
+
+  auto worker_fn = [&](unsigned slot) {
+    for (;;) {
+      const std::size_t n =
+          state.next.fetch_add(1, std::memory_order_relaxed);
+      if (n >= pending.size()) return;
+      const std::size_t index = pending[n];
+      const CampaignJob& job = jobs[index];
+
+      JobRecord record;
+      record.key = job.key;
+      const auto start = Clock::now();
+      record.queue_seconds = seconds_between(campaign_start, start);
+
+      JobContext ctx;
+      state.arm(slot, &ctx, job.timeout_seconds);
+      try {
+        record.payload = job.run ? job.run(ctx) : std::string();
+        record.status = "ok";
+      } catch (const std::exception& e) {
+        record.status = "error";
+        record.error = e.what();
+        state.errors.fetch_add(1, std::memory_order_relaxed);
+      } catch (...) {
+        record.status = "error";
+        record.error = "unknown exception";
+        state.errors.fetch_add(1, std::memory_order_relaxed);
+      }
+      state.disarm(slot);
+      record.run_seconds = seconds_between(start, Clock::now());
+
+      state.checkpoint(record);
+      summary.records[index] = std::move(record);  // distinct indices: safe
+    }
+  };
+
+  std::thread watchdog([&state] {
+    while (!state.done.load(std::memory_order_relaxed)) {
+      state.watchdog_tick();
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  });
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) pool.emplace_back(worker_fn, w);
+  for (std::thread& t : pool) t.join();
+  state.done.store(true, std::memory_order_relaxed);
+  watchdog.join();
+
+  summary.completed = pending.size();
+  summary.errors = state.errors.load();
+  summary.seconds = seconds_between(campaign_start, Clock::now());
+  return summary;
+}
+
+}  // namespace ril::runtime

@@ -1,0 +1,129 @@
+// Parallel, crash-isolated campaign runner.
+//
+// The paper's evaluation is a *campaign*: hundreds of independent
+// (benchmark x scheme x budget) cells, each seconds-to-hours of solver
+// work. run_campaign() executes a declarative list of such cells on a
+// thread pool and makes the sweep survivable:
+//
+//  * work queue — `jobs` worker threads drain the cell list; each cell is
+//    an independent closure, so the pool saturates the machine without the
+//    cells knowing about each other;
+//  * per-job deadline — a watchdog thread raises the job's JobContext
+//    cancel flag when its wall-clock budget passes; cells wire that flag
+//    into AttackBudget / SatAttackOptions::cancel so an in-flight CDCL
+//    search unwinds cooperatively instead of being killed;
+//  * exception isolation — a throwing cell is recorded as
+//    `"status":"error"` with the exception text; the sweep continues;
+//  * JSONL checkpoint/resume — every finished cell is appended (and
+//    flushed) to `out_path` as one JSON line; with `resume`, keys already
+//    present in that file are not re-run and their recorded payloads are
+//    returned as `"cached"` records, so a killed campaign restarts where
+//    it died.
+//
+// Cells stay deterministic: a cell derives everything from its own seeds,
+// so the same job list produces the same verdicts at any `jobs` width —
+// only the wall clock changes.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace ril::runtime {
+
+/// Cooperative context handed to a running campaign job. The runner raises
+/// the cancel flag when the job's wall-clock deadline passes or the whole
+/// campaign is aborted; job bodies hand cancel_flag() to
+/// SatAttackOptions::cancel / AttackBudget / SolverPortfolio so in-flight
+/// solves unwind instead of overrunning the deadline.
+class JobContext {
+ public:
+  const std::atomic<bool>& cancel_flag() const { return cancel_; }
+  bool cancelled() const { return cancel_.load(std::memory_order_relaxed); }
+  /// The job's deadline in seconds (0 = none).
+  double timeout_seconds() const { return timeout_; }
+
+ private:
+  friend struct CampaignState;
+  std::atomic<bool> cancel_{false};
+  double timeout_ = 0;
+  std::chrono::steady_clock::time_point deadline_{};
+  bool has_deadline_ = false;
+};
+
+/// One cell of a campaign. `key` must be unique within the job list; it is
+/// the checkpoint identity (resume skips keys already present in the JSONL
+/// stream). `run` returns the cell's JSON payload *fields* — a fragment
+/// like `"cell":"0.61","iterations":12` without enclosing braces — which
+/// the runner wraps into the record's `"data"` object.
+struct CampaignJob {
+  std::string key;
+  /// Per-job wall-clock deadline in seconds; 0 disables the watchdog.
+  double timeout_seconds = 0;
+  std::function<std::string(JobContext&)> run;
+};
+
+/// Result of one cell, either executed now or restored from the JSONL
+/// stream (`status == "cached"`).
+struct JobRecord {
+  std::string key;
+  std::string status;  ///< "ok" | "error" | "cached"
+  std::string error;   ///< exception text when status == "error"
+  std::string payload; ///< the job's JSON fields (empty on error)
+  double queue_seconds = 0;  ///< enqueue -> start wait
+  double run_seconds = 0;    ///< start -> finish
+};
+
+/// Serializes one record as a single JSON line (stable key order):
+/// {"key":...,"status":...,"queue_seconds":...,"run_seconds":...,
+///  ["error":...,]["data":{<payload>}]}
+std::string job_record_json(const JobRecord& record);
+
+struct CampaignOptions {
+  /// Worker threads; clamped to [1, 256].
+  unsigned jobs = 1;
+  /// JSONL stream path; empty disables checkpointing.
+  std::string out_path;
+  /// Skip jobs whose key already has a terminal ("ok"/"error") line in
+  /// out_path; their payloads are returned as "cached" records.
+  bool resume = false;
+};
+
+struct CampaignSummary {
+  /// One record per submitted job, in submission order.
+  std::vector<JobRecord> records;
+  std::size_t completed = 0;  ///< ran in this invocation
+  std::size_t cached = 0;     ///< restored from the JSONL stream
+  std::size_t errors = 0;     ///< jobs that threw (this invocation)
+  double seconds = 0;         ///< campaign wall clock
+};
+
+/// Runs the jobs; see file comment. Throws std::invalid_argument on
+/// duplicate job keys (resume identity would be ambiguous).
+CampaignSummary run_campaign(const std::vector<CampaignJob>& jobs,
+                             const CampaignOptions& options);
+
+// ----- minimal JSONL field access (the subset job_record_json emits) -----
+
+/// Escapes a string for embedding in a JSON string literal.
+std::string json_escape(const std::string& text);
+
+/// Extracts the string value of `"field":"..."` from a flat JSON object
+/// line. Returns "" when the field is absent.
+std::string json_string_field(const std::string& line,
+                              const std::string& field);
+
+/// Extracts the numeric value of `"field":N`. Returns `fallback` when the
+/// field is absent or non-numeric.
+double json_number_field(const std::string& line, const std::string& field,
+                         double fallback = 0);
+
+/// Extracts the body of `"field":{...}` (without the braces) via brace
+/// matching that ignores braces inside strings. Returns "" when absent.
+std::string json_object_field(const std::string& line,
+                              const std::string& field);
+
+}  // namespace ril::runtime

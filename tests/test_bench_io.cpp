@@ -121,5 +121,103 @@ TEST(BenchIo, CaseInsensitiveOps) {
   EXPECT_EQ(nl.node(*nl.find("y")).type, GateType::kNand);
 }
 
+TEST(BenchIo, GoldenRoundTripLutVccGnd) {
+  // Golden write -> read -> write round trip over every .bench extension at
+  // once: LUT masks of different widths, constants, and a MUX.
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  const NodeId b = nl.add_input("b");
+  const NodeId c = nl.add_input("c");
+  const NodeId one = nl.add_const(true);
+  nl.rename(one, "one");
+  const NodeId zero = nl.add_const(false);
+  nl.rename(zero, "zero");
+  const NodeId lut2 = nl.add_lut({a, b}, 0b1001, "xnor_lut");
+  const NodeId lut3 = nl.add_lut({a, b, c}, 0b10110001, "lut3");
+  const NodeId mux = nl.add_mux(c, lut2, one, "m");
+  nl.mark_output(lut3);
+  nl.mark_output(mux);
+  nl.mark_output(zero);
+
+  const std::string first = write_bench_string(nl);
+  const Netlist reparsed = read_bench_string(first);
+  // Writing is deterministic, and the round trip preserves structure even
+  // though gate ordering may differ between the two netlists.
+  EXPECT_EQ(write_bench_string(nl), first);
+  EXPECT_EQ(reparsed.gate_count(), nl.gate_count());
+  EXPECT_EQ(reparsed.outputs().size(), 3u);
+  EXPECT_EQ(reparsed.node(*reparsed.find("zero")).type, GateType::kConst0);
+  EXPECT_EQ(reparsed.node(*reparsed.find("one")).type, GateType::kConst1);
+  EXPECT_EQ(reparsed.node(*reparsed.find("m")).type, GateType::kMux);
+  EXPECT_EQ(reparsed.node(*reparsed.find("xnor_lut")).lut_mask, 0b1001u);
+  EXPECT_EQ(reparsed.node(*reparsed.find("lut3")).lut_mask, 0b10110001u);
+  for (unsigned pattern = 0; pattern < 8; ++pattern) {
+    std::vector<bool> in = {static_cast<bool>(pattern & 1),
+                            static_cast<bool>(pattern & 2),
+                            static_cast<bool>(pattern & 4)};
+    EXPECT_EQ(evaluate_once(nl, in), evaluate_once(reparsed, in))
+        << "pattern " << pattern;
+  }
+}
+
+TEST(BenchIo, LutReversedParenthesesRejected) {
+  // `close < open` used to slip past the LUT branch and slice a garbage
+  // argument list; it must be a line-numbered parse error.
+  try {
+    read_bench_string("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = LUT 0x6 )a, b(\n");
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("line 4"), std::string::npos) << message;
+    EXPECT_NE(message.find("LUT"), std::string::npos) << message;
+  }
+}
+
+TEST(BenchIo, LutMissingParenthesesRejected) {
+  EXPECT_THROW(
+      read_bench_string("INPUT(a)\nOUTPUT(y)\ny = LUT 0x1 a\n"),
+      std::runtime_error);
+}
+
+TEST(BenchIo, LutMaskWiderThanTruthTableRejected) {
+  // A 2-input LUT has 4 truth-table rows; bits above 2^4 used to be
+  // silently truncated by the simulator and the CNF encoder.
+  try {
+    read_bench_string(
+        "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = LUT 0x1ffff (a, b)\n");
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("line 4"), std::string::npos) << message;
+    EXPECT_NE(message.find("0x1ffff"), std::string::npos) << message;
+  }
+}
+
+TEST(BenchIo, LutMaskFittingExactlyAccepted) {
+  // 2-input LUT: all 4 truth-table rows set (0xf) is the widest legal mask.
+  const Netlist nl = read_bench_string(
+      "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = LUT 0xf (a, b)\n");
+  EXPECT_EQ(nl.node(*nl.find("y")).lut_mask, 0xfu);
+}
+
+TEST(BenchIo, LutMaskTrailingJunkRejected) {
+  EXPECT_THROW(
+      read_bench_string("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = LUT 0x6q (a, b)\n"),
+      std::runtime_error);
+}
+
+TEST(BenchIo, AddLutValidatesMaskWidth) {
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  const NodeId b = nl.add_input("b");
+  EXPECT_THROW(nl.add_lut({a, b}, 0x10000, "wide"), std::invalid_argument);
+  // 6-input LUTs use the full 64-bit mask; any value is in range.
+  std::vector<NodeId> six;
+  for (int i = 0; i < 6; ++i) {
+    six.push_back(nl.add_input("i" + std::to_string(i)));
+  }
+  EXPECT_NO_THROW(nl.add_lut(six, ~0ull, "full"));
+}
+
 }  // namespace
 }  // namespace ril::netlist

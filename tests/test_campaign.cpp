@@ -1,0 +1,277 @@
+#include "runtime/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+#include <thread>
+
+namespace ril::runtime {
+namespace {
+
+/// Unique-ish scratch path under the test working directory.
+std::string scratch_path(const char* tag) {
+  return std::string("campaign_test_") + tag + ".jsonl";
+}
+
+CampaignJob simple_job(const std::string& key, const std::string& payload) {
+  CampaignJob job;
+  job.key = key;
+  job.run = [payload](JobContext&) { return payload; };
+  return job;
+}
+
+TEST(Campaign, RunsJobsAndKeepsSubmissionOrder) {
+  std::vector<CampaignJob> jobs;
+  for (int i = 0; i < 5; ++i) {
+    jobs.push_back(simple_job("job-" + std::to_string(i),
+                              "\"value\":" + std::to_string(i * 10)));
+  }
+  const auto summary = run_campaign(jobs, {});
+  ASSERT_EQ(summary.records.size(), 5u);
+  EXPECT_EQ(summary.completed, 5u);
+  EXPECT_EQ(summary.errors, 0u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(summary.records[i].key, "job-" + std::to_string(i));
+    EXPECT_EQ(summary.records[i].status, "ok");
+    EXPECT_EQ(json_number_field("{" + summary.records[i].payload + "}",
+                                "value"),
+              i * 10);
+  }
+}
+
+TEST(Campaign, WorkersRunJobsConcurrently) {
+  // Two jobs that each wait for the other to start: they can only both
+  // finish if two workers run them at the same time.
+  std::atomic<int> started{0};
+  auto rendezvous = [&started](JobContext&) {
+    started.fetch_add(1);
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(20);
+    while (started.load() < 2) {
+      if (std::chrono::steady_clock::now() > deadline) {
+        throw std::runtime_error("partner never started");
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return std::string("\"met\":1");
+  };
+  std::vector<CampaignJob> jobs;
+  jobs.push_back({"a", 0, rendezvous});
+  jobs.push_back({"b", 0, rendezvous});
+  CampaignOptions options;
+  options.jobs = 2;
+  const auto summary = run_campaign(jobs, options);
+  EXPECT_EQ(summary.errors, 0u);
+  EXPECT_EQ(summary.records[0].status, "ok");
+  EXPECT_EQ(summary.records[1].status, "ok");
+}
+
+TEST(Campaign, ThrowingJobIsIsolated) {
+  std::vector<CampaignJob> jobs;
+  jobs.push_back(simple_job("good-1", "\"x\":1"));
+  CampaignJob bad;
+  bad.key = "bad";
+  bad.run = [](JobContext&) -> std::string {
+    throw std::runtime_error("cell exploded");
+  };
+  jobs.push_back(std::move(bad));
+  jobs.push_back(simple_job("good-2", "\"x\":2"));
+
+  const auto summary = run_campaign(jobs, {});
+  EXPECT_EQ(summary.errors, 1u);
+  EXPECT_EQ(summary.records[0].status, "ok");
+  EXPECT_EQ(summary.records[1].status, "error");
+  EXPECT_EQ(summary.records[1].error, "cell exploded");
+  EXPECT_TRUE(summary.records[1].payload.empty());
+  EXPECT_EQ(summary.records[2].status, "ok");
+}
+
+TEST(Campaign, WatchdogRaisesCancelAtDeadline) {
+  CampaignJob job;
+  job.key = "slow";
+  job.timeout_seconds = 0.05;
+  job.run = [](JobContext& ctx) -> std::string {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(20);
+    while (!ctx.cancelled()) {
+      if (std::chrono::steady_clock::now() > deadline) {
+        throw std::runtime_error("cancel flag never raised");
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return "\"cancelled\":1";
+  };
+  std::vector<CampaignJob> jobs;
+  jobs.push_back(std::move(job));
+  const auto summary = run_campaign(jobs, {});
+  EXPECT_EQ(summary.records[0].status, "ok");
+  EXPECT_EQ(json_number_field("{" + summary.records[0].payload + "}",
+                              "cancelled"),
+            1);
+}
+
+TEST(Campaign, NoDeadlineMeansNoCancel) {
+  CampaignJob job;
+  job.key = "steady";
+  job.run = [](JobContext& ctx) -> std::string {
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+    return ctx.cancelled() ? "\"cancelled\":1" : "\"cancelled\":0";
+  };
+  std::vector<CampaignJob> jobs;
+  jobs.push_back(std::move(job));
+  const auto summary = run_campaign(jobs, {});
+  EXPECT_EQ(json_number_field("{" + summary.records[0].payload + "}",
+                              "cancelled"),
+            0);
+}
+
+TEST(Campaign, DuplicateKeysRejected) {
+  std::vector<CampaignJob> jobs;
+  jobs.push_back(simple_job("same", "\"x\":1"));
+  jobs.push_back(simple_job("same", "\"x\":2"));
+  EXPECT_THROW(run_campaign(jobs, {}), std::invalid_argument);
+}
+
+TEST(Campaign, CheckpointStreamsOneLinePerJob) {
+  const std::string path = scratch_path("checkpoint");
+  std::remove(path.c_str());
+  std::vector<CampaignJob> jobs;
+  jobs.push_back(simple_job("c-1", "\"v\":1"));
+  jobs.push_back(simple_job("c-2", "\"v\":2"));
+  CampaignOptions options;
+  options.out_path = path;
+  run_campaign(jobs, options);
+
+  std::ifstream in(path);
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) {
+    ++lines;
+    EXPECT_EQ(json_string_field(line, "status"), "ok");
+    EXPECT_FALSE(json_string_field(line, "key").empty());
+    EXPECT_FALSE(json_object_field(line, "data").empty());
+  }
+  EXPECT_EQ(lines, 2u);
+  std::remove(path.c_str());
+}
+
+TEST(Campaign, ResumeSkipsCompletedJobs) {
+  const std::string path = scratch_path("resume");
+  std::remove(path.c_str());
+  std::atomic<int> runs{0};
+  auto counting_job = [&runs](const std::string& key) {
+    CampaignJob job;
+    job.key = key;
+    job.run = [&runs, key](JobContext&) {
+      runs.fetch_add(1);
+      return "\"ran\":\"" + key + "\"";
+    };
+    return job;
+  };
+
+  CampaignOptions options;
+  options.out_path = path;
+  options.resume = true;
+  {
+    std::vector<CampaignJob> jobs;
+    jobs.push_back(counting_job("r-1"));
+    jobs.push_back(counting_job("r-2"));
+    const auto summary = run_campaign(jobs, options);
+    EXPECT_EQ(summary.completed, 2u);
+    EXPECT_EQ(summary.cached, 0u);
+  }
+  EXPECT_EQ(runs.load(), 2);
+  {
+    // Second invocation with a third job: only the new job runs; cached
+    // records come back with their recorded payloads.
+    std::vector<CampaignJob> jobs;
+    jobs.push_back(counting_job("r-1"));
+    jobs.push_back(counting_job("r-2"));
+    jobs.push_back(counting_job("r-3"));
+    const auto summary = run_campaign(jobs, options);
+    EXPECT_EQ(summary.completed, 1u);
+    EXPECT_EQ(summary.cached, 2u);
+    EXPECT_EQ(summary.records[0].status, "cached");
+    EXPECT_EQ(json_string_field("{" + summary.records[0].payload + "}",
+                                "ran"),
+              "r-1");
+    EXPECT_EQ(summary.records[2].status, "ok");
+  }
+  EXPECT_EQ(runs.load(), 3);
+  std::remove(path.c_str());
+}
+
+TEST(Campaign, ResumeAfterKillIgnoresTruncatedLine) {
+  // Simulate a campaign killed mid-write: the stream holds one complete
+  // record, one error record, and one line cut off mid-JSON. Resume must
+  // restore the first two and re-run the third.
+  const std::string path = scratch_path("kill");
+  {
+    std::ofstream out(path);
+    out << R"({"key":"k-1","status":"ok","queue_seconds":0.1,)"
+        << R"("run_seconds":0.5,"data":{"verdict":"broken"}})" << "\n";
+    out << R"({"key":"k-2","status":"error","queue_seconds":0.1,)"
+        << R"("run_seconds":0.2,"error":"boom"})" << "\n";
+    out << R"({"key":"k-3","status":"o)";  // killed mid-write
+  }
+  std::atomic<int> runs{0};
+  std::vector<CampaignJob> jobs;
+  for (const char* key : {"k-1", "k-2", "k-3"}) {
+    CampaignJob job;
+    job.key = key;
+    job.run = [&runs](JobContext&) {
+      runs.fetch_add(1);
+      return std::string("\"fresh\":1");
+    };
+    jobs.push_back(std::move(job));
+  }
+  CampaignOptions options;
+  options.out_path = path;
+  options.resume = true;
+  const auto summary = run_campaign(jobs, options);
+  EXPECT_EQ(runs.load(), 1);
+  EXPECT_EQ(summary.cached, 2u);
+  EXPECT_EQ(summary.records[0].status, "cached");
+  EXPECT_EQ(json_string_field("{" + summary.records[0].payload + "}",
+                              "verdict"),
+            "broken");
+  EXPECT_EQ(summary.records[1].status, "cached");
+  EXPECT_EQ(summary.records[1].error, "boom");
+  EXPECT_EQ(summary.records[2].status, "ok");
+  std::remove(path.c_str());
+}
+
+TEST(Campaign, RecordJsonRoundTrips) {
+  JobRecord record;
+  record.key = "table1/2x2/3-blocks";
+  record.status = "ok";
+  record.payload = "\"cell\":\"0.61\",\"iterations\":12";
+  record.queue_seconds = 1.25;
+  record.run_seconds = 3.5;
+  const std::string line = job_record_json(record);
+  EXPECT_EQ(json_string_field(line, "key"), record.key);
+  EXPECT_EQ(json_string_field(line, "status"), "ok");
+  EXPECT_DOUBLE_EQ(json_number_field(line, "queue_seconds"), 1.25);
+  EXPECT_DOUBLE_EQ(json_number_field(line, "run_seconds"), 3.5);
+  EXPECT_EQ(json_object_field(line, "data"), record.payload);
+  EXPECT_EQ(json_string_field("{" + json_object_field(line, "data") + "}",
+                              "cell"),
+            "0.61");
+}
+
+TEST(Campaign, JsonHelpersHandleEscapesAndNesting) {
+  EXPECT_EQ(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+  const std::string line =
+      R"({"key":"x","msg":"say \"hi\"","data":{"inner":{"n":2},"s":"{"}})";
+  EXPECT_EQ(json_string_field(line, "msg"), "say \"hi\"");
+  EXPECT_EQ(json_object_field(line, "data"), R"("inner":{"n":2},"s":"{")");
+  EXPECT_EQ(json_number_field(line, "absent", -7), -7);
+  EXPECT_EQ(json_string_field(line, "absent"), "");
+}
+
+}  // namespace
+}  // namespace ril::runtime

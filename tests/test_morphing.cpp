@@ -101,6 +101,45 @@ TEST(Morphing, PoliciesPartitionNonSeBits) {
   EXPECT_EQ(routing.mutable_positions().size(), 4u);
 }
 
+TEST(Morphing, MorphKeyBitPinnedSequence) {
+  // Regression pin for the canonical derivation. Scheduler epoch keys and
+  // Oracle morphing both reduce to these bits; if the formula ever drifts,
+  // deployed schedules would silently disagree with the silicon model.
+  const char* epoch1 = "0101001110001011";
+  const char* epoch2 = "0111100111110001";
+  for (std::uint64_t pos = 0; pos < 16; ++pos) {
+    EXPECT_EQ(morph_key_bit(9, 1, pos), epoch1[pos] == '1') << "pos " << pos;
+    EXPECT_EQ(morph_key_bit(9, 2, pos), epoch2[pos] == '1') << "pos " << pos;
+  }
+  EXPECT_TRUE(morph_key_bit(42, 7, 3));
+  EXPECT_TRUE(morph_key_bit(1, 1, 0));
+}
+
+TEST(Morphing, OracleAgreesWithSchedulerEveryEpoch) {
+  // The designer plans epochs with MorphingScheduler; the silicon model
+  // (attacks::Oracle) re-derives them internally. Same (seed, positions)
+  // must mean the same key sequence: a period-1 morphing oracle answers
+  // query e exactly like a static oracle loaded with key_for_epoch(e).
+  const auto ril = make_lock(false, 4);
+  const std::uint64_t seed = 21;
+  const MorphingScheduler scheduler(ril.info, MorphPolicy::kFullScramble,
+                                    seed);
+  attacks::Oracle morphing(ril.locked.netlist, ril.info.functional_key);
+  morphing.enable_morphing(1, scheduler.mutable_positions(), seed);
+
+  const std::size_t width = morphing.num_data_inputs();
+  for (std::uint64_t epoch = 0; epoch < 5; ++epoch) {
+    std::vector<bool> data(width);
+    for (std::size_t i = 0; i < width; ++i) {
+      data[i] = ((epoch * 0x9e37ull + i * 31ull) >> 3) & 1;
+    }
+    attacks::Oracle epoch_oracle(ril.locked.netlist,
+                                 scheduler.key_for_epoch(epoch));
+    EXPECT_EQ(morphing.query(data), epoch_oracle.query(data))
+        << "epoch " << epoch;
+  }
+}
+
 TEST(Morphing, MorphingOracleDefeatsSatAttack) {
   // Drive the Oracle's morphing from the scheduler's position set: the
   // attack either derives an inconsistent constraint set or ends with a

@@ -29,11 +29,20 @@
 //
 //   ril unlock <locked.bench> <key.txt> <out.bench>
 //       Specialize the key, simplify, and write the unlocked netlist.
+//
+//   ril campaign <spec.campaign> [--jobs N] [--out results.jsonl] [--resume]
+//               [--solver-jobs N]
+//       Run a whole experiment suite from one declarative spec: each
+//       non-comment line is `<key> <circuit> <scale> <scheme[:opt=v,...]>
+//       <attack> <timeout> <seed>`. --jobs N runs N cells concurrently;
+//       --out streams one JSON line per cell (see docs/ARCHITECTURE.md for
+//       the schema); --resume skips cells already present in that file.
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 #include <thread>
@@ -53,6 +62,7 @@
 #include "netlist/verilog_io.hpp"
 #include "netlist/simplify.hpp"
 #include "netlist/stats.hpp"
+#include "runtime/campaign.hpp"
 #include "sca/circuit_dpa.hpp"
 
 namespace {
@@ -71,7 +81,9 @@ using namespace ril;
                " [--timeout S --jobs N --portfolio --stats out.json"
                " --no-specialize]\n"
                "  ril analyze <file.bench> [key.txt]\n"
-               "  ril unlock <locked.bench> <key.txt> <out.bench>\n");
+               "  ril unlock <locked.bench> <key.txt> <out.bench>\n"
+               "  ril campaign <spec.campaign> [--jobs N --out results.jsonl"
+               " --resume --solver-jobs N]\n");
   std::exit(2);
 }
 
@@ -85,7 +97,10 @@ struct Args {
   std::size_t bits = 32;
   std::uint64_t seed = 1;
   unsigned jobs = 1;
+  unsigned solver_jobs = 1;
   std::string stats_path;
+  std::string out_path;
+  bool resume = false;
   bool output_net = false;
   bool scan = false;
   bool specialize = true;
@@ -108,6 +123,9 @@ Args parse(int argc, char** argv) {
     else if (arg == "--seed") args.seed = std::strtoull(value(), nullptr, 10);
     else if (arg == "--jobs") args.jobs = std::max(1u, static_cast<unsigned>(std::strtoul(value(), nullptr, 10)));
     else if (arg == "--portfolio") args.jobs = std::max(1u, std::thread::hardware_concurrency());
+    else if (arg == "--solver-jobs") args.solver_jobs = std::max(1u, static_cast<unsigned>(std::strtoul(value(), nullptr, 10)));
+    else if (arg == "--out") args.out_path = value();
+    else if (arg == "--resume") args.resume = true;
     else if (arg == "--stats") args.stats_path = value();
     else if (arg == "--output-net") args.output_net = true;
     else if (arg == "--scan") args.scan = true;
@@ -464,6 +482,254 @@ int cmd_unlock(const Args& args) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// `ril campaign` -- run a declarative experiment suite.
+// ---------------------------------------------------------------------------
+
+/// One parsed spec line:
+///   <key> <circuit> <scale> <scheme[:opt=v,...]> <attack> <timeout> <seed>
+/// Scheme options: blocks=N size=N lutk=M bits=N outnet scan.
+struct CampaignCell {
+  std::string key;
+  std::string circuit;
+  double scale = 1.0;
+  std::string scheme;
+  std::map<std::string, std::string> scheme_opts;
+  std::string attack;
+  double timeout = 10.0;
+  std::uint64_t seed = 1;
+};
+
+std::vector<CampaignCell> parse_campaign_spec(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("cannot open campaign spec " + path);
+  }
+  std::vector<CampaignCell> cells;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    std::istringstream fields(line);
+    CampaignCell cell;
+    std::string scheme_field;
+    if (!(fields >> cell.key >> cell.circuit >> cell.scale >> scheme_field >>
+          cell.attack >> cell.timeout >> cell.seed)) {
+      throw std::runtime_error(
+          path + ":" + std::to_string(line_no) +
+          ": expected <key> <circuit> <scale> <scheme[:opt=v,...]> "
+          "<attack> <timeout> <seed>");
+    }
+    const auto colon = scheme_field.find(':');
+    cell.scheme = scheme_field.substr(0, colon);
+    if (colon != std::string::npos) {
+      std::istringstream opts(scheme_field.substr(colon + 1));
+      std::string opt;
+      while (std::getline(opts, opt, ',')) {
+        if (opt.empty()) continue;
+        const auto eq = opt.find('=');
+        cell.scheme_opts[opt.substr(0, eq)] =
+            eq == std::string::npos ? "1" : opt.substr(eq + 1);
+      }
+    }
+    cells.push_back(std::move(cell));
+  }
+  return cells;
+}
+
+std::size_t scheme_opt(const CampaignCell& cell, const char* name,
+                       std::size_t fallback) {
+  const auto it = cell.scheme_opts.find(name);
+  if (it == cell.scheme_opts.end()) return fallback;
+  return std::strtoull(it->second.c_str(), nullptr, 10);
+}
+
+/// Runs one campaign cell: build the host, lock it, attack the oracle, and
+/// report what the attacker walked away with.
+std::string run_campaign_cell(const CampaignCell& cell, const Args& args,
+                              runtime::JobContext& ctx) {
+  const auto host = benchgen::make_benchmark(cell.circuit, cell.scale);
+
+  netlist::Netlist locked;
+  std::vector<bool> oracle_key;
+  std::vector<std::size_t> se_positions;
+  std::vector<bool> functional_key;
+  if (cell.scheme == "ril") {
+    core::RilBlockConfig config;
+    config.size = scheme_opt(cell, "size", 8);
+    config.lut_inputs = scheme_opt(cell, "lutk", 2);
+    config.output_network = scheme_opt(cell, "outnet", 0) != 0;
+    config.scan_obfuscation = scheme_opt(cell, "scan", 0) != 0;
+    auto ril = locking::lock_ril(host, scheme_opt(cell, "blocks", 1), config,
+                                 cell.seed);
+    locked = std::move(ril.locked.netlist);
+    functional_key = ril.info.functional_key;
+    oracle_key = config.scan_obfuscation ? ril.info.oracle_scan_key
+                                         : ril.info.functional_key;
+    se_positions = ril.info.se_key_positions;
+  } else {
+    locking::LockedCircuit result;
+    const std::size_t bits = scheme_opt(cell, "bits", 16);
+    if (cell.scheme == "xor") result = locking::lock_xor(host, bits, cell.seed);
+    else if (cell.scheme == "sarlock") result = locking::lock_sarlock(host, bits, cell.seed);
+    else if (cell.scheme == "antisat") result = locking::lock_antisat(host, bits, cell.seed);
+    else if (cell.scheme == "sfll") result = locking::lock_sfll_hd0(host, bits, cell.seed);
+    else if (cell.scheme == "lut") result = locking::lock_lut(host, bits, cell.seed);
+    else if (cell.scheme == "fulllock") result = locking::lock_fulllock(host, scheme_opt(cell, "size", 8), cell.seed);
+    else if (cell.scheme == "routing") result = locking::lock_banyan_routing(host, scheme_opt(cell, "size", 8), cell.seed);
+    else throw std::runtime_error("unknown scheme '" + cell.scheme + "'");
+    locked = std::move(result.netlist);
+    functional_key = result.key;
+    oracle_key = std::move(result.key);
+  }
+
+  auto verdict_payload = [&](const std::string& verdict) {
+    return "\"cell\":\"" + runtime::json_escape(verdict) + "\",\"circuit\":\"" +
+           runtime::json_escape(cell.circuit) + "\",\"scheme\":\"" +
+           runtime::json_escape(cell.scheme) + "\",\"attack\":\"" +
+           runtime::json_escape(cell.attack) + "\"";
+  };
+  auto sat_telemetry = [](const attacks::SatAttackResult& result) {
+    char buffer[192];
+    std::snprintf(buffer, sizeof(buffer),
+                  ",\"iterations\":%zu,\"conflicts\":%llu,"
+                  "\"encoded_clauses\":%zu,\"saved_clauses\":%zu,"
+                  "\"attack_seconds\":%.3f",
+                  result.iterations,
+                  static_cast<unsigned long long>(result.conflicts),
+                  result.encoded_clauses, result.saved_clauses,
+                  result.seconds);
+    return std::string(buffer);
+  };
+  // A recovered key is deployed with the hidden SE bits inactive; it only
+  // counts as broken if the deployed key realizes the host function.
+  auto breaks_scheme = [&](std::vector<bool> key) {
+    for (std::size_t pos : se_positions) key[pos] = false;
+    sat::SolverLimits limits{.time_limit_seconds = cell.timeout};
+    return cnf::check_equivalence(locked, host, key, {}, limits).equivalent();
+  };
+
+  attacks::Oracle oracle(locked, oracle_key);
+  if (cell.attack == "sat" || cell.attack == "onehot") {
+    attacks::SatAttackOptions options;
+    options.time_limit_seconds = cell.timeout;
+    options.jobs = args.solver_jobs;
+    options.portfolio_seed = cell.seed;
+    options.cancel = &ctx.cancel_flag();
+    if (cell.attack == "onehot") {
+      const auto result = attacks::run_sat_attack_onehot(locked, oracle,
+                                                         options);
+      const bool broken =
+          result.status == attacks::SatAttackStatus::kKeyFound &&
+          cnf::check_equivalence(result.reconstructed, host, {}, {},
+                                 sat::SolverLimits{.time_limit_seconds =
+                                                       cell.timeout})
+              .equivalent();
+      char buffer[96];
+      std::snprintf(buffer, sizeof(buffer),
+                    ",\"iterations\":%zu,\"attack_seconds\":%.3f",
+                    result.iterations, result.seconds);
+      return verdict_payload(broken ? "broken" : "resilient") + buffer;
+    }
+    const auto result = attacks::run_sat_attack(locked, oracle, options);
+    const bool broken =
+        result.status == attacks::SatAttackStatus::kKeyFound &&
+        breaks_scheme(result.key);
+    return verdict_payload(broken ? "broken" : "resilient") +
+           sat_telemetry(result);
+  }
+  if (cell.attack == "appsat") {
+    attacks::AppSatOptions options;
+    options.time_limit_seconds = cell.timeout;
+    options.jobs = args.solver_jobs;
+    options.portfolio_seed = cell.seed;
+    options.max_iterations = 64;
+    options.cancel = &ctx.cancel_flag();
+    const auto result = attacks::run_appsat(locked, oracle, options);
+    const bool broken = !result.key.empty() && breaks_scheme(result.key);
+    char buffer[96];
+    std::snprintf(buffer, sizeof(buffer),
+                  ",\"iterations\":%zu,\"attack_seconds\":%.3f",
+                  result.iterations, result.seconds);
+    return verdict_payload(broken ? "broken" : "resilient") + buffer;
+  }
+  if (cell.attack == "removal") {
+    const auto result = attacks::run_removal_attack(locked);
+    const bool broken = cnf::check_equivalence(result.recovered, host)
+                            .equivalent();
+    return verdict_payload(broken ? "broken" : "resilient");
+  }
+  if (cell.attack == "sps") {
+    const auto result = attacks::run_sps_attack(locked);
+    const bool broken = cnf::check_equivalence(result.recovered, host)
+                            .equivalent();
+    return verdict_payload(broken ? "broken" : "resilient");
+  }
+  if (cell.attack == "bypass") {
+    attacks::BypassOptions options;
+    options.time_limit_seconds = cell.timeout;
+    const auto result = attacks::run_bypass_attack(locked, oracle, options);
+    const bool broken =
+        result.status == attacks::BypassStatus::kBypassed &&
+        cnf::check_equivalence(result.pirated, host).equivalent();
+    return verdict_payload(broken ? "broken" : "resilient");
+  }
+  (void)functional_key;
+  throw std::runtime_error("unknown attack '" + cell.attack + "'");
+}
+
+int cmd_campaign(const Args& args) {
+  if (args.positional.size() != 1) usage("campaign needs <spec.campaign>");
+  const auto cells = parse_campaign_spec(args.positional[0]);
+  if (cells.empty()) {
+    std::fprintf(stderr, "campaign spec %s has no cells\n",
+                 args.positional[0].c_str());
+    return 1;
+  }
+
+  std::vector<runtime::CampaignJob> jobs;
+  jobs.reserve(cells.size());
+  for (const CampaignCell& cell : cells) {
+    runtime::CampaignJob job;
+    job.key = cell.key;
+    // Lock + attack + equivalence check, each timeout-bounded.
+    job.timeout_seconds = 4 * cell.timeout + 60;
+    job.run = [&cell, &args](runtime::JobContext& ctx) {
+      return run_campaign_cell(cell, args, ctx);
+    };
+    jobs.push_back(std::move(job));
+  }
+
+  runtime::CampaignOptions options;
+  options.jobs = args.jobs;
+  options.out_path = args.out_path;
+  options.resume = args.resume;
+  const auto summary = runtime::run_campaign(jobs, options);
+
+  for (const auto& record : summary.records) {
+    const std::string wrapped = "{" + record.payload + "}";
+    if (record.status == "error") {
+      std::printf("%-32s ERROR  %s\n", record.key.c_str(),
+                  record.error.c_str());
+    } else {
+      std::printf("%-32s %-9s  %6.2fs%s\n", record.key.c_str(),
+                  runtime::json_string_field(wrapped, "cell").c_str(),
+                  record.run_seconds,
+                  record.status == "cached" ? "  (resumed)" : "");
+    }
+  }
+  std::printf("campaign: %zu cells ran, %zu resumed, %zu errors in %.2fs",
+              summary.completed, summary.cached, summary.errors,
+              summary.seconds);
+  if (!args.out_path.empty()) {
+    std::printf(" -> %s", args.out_path.c_str());
+  }
+  std::printf("\n");
+  return summary.errors == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -476,6 +742,7 @@ int main(int argc, char** argv) {
     if (command == "attack") return cmd_attack(args);
     if (command == "analyze") return cmd_analyze(args);
     if (command == "unlock") return cmd_unlock(args);
+    if (command == "campaign") return cmd_campaign(args);
     usage(("unknown command " + command).c_str());
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
