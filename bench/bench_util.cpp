@@ -16,6 +16,7 @@ attacks::SatAttackOptions BenchOptions::attack_options(double timeout) const {
   attack.jobs = solver_jobs;
   attack.portfolio_seed = seed;
   attack.record_solves = solver_jobs > 1 || !stats_path.empty();
+  attack.certify = certify;
   return attack;
 }
 
@@ -71,6 +72,8 @@ BenchOptions parse_options(int argc, char** argv) {
       options.out_path = next_value();
     } else if (arg == "--resume") {
       options.resume = true;
+    } else if (arg == "--certify") {
+      options.certify = true;
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "options: --full  --timeout <sec>  --scale <f>  --seed <n>\n"
@@ -79,7 +82,8 @@ BenchOptions parse_options(int argc, char** argv) {
           "         --resume          skip cells already in --out\n"
           "         --solver-jobs <n> SAT-portfolio width per solve\n"
           "         --portfolio       solver portfolio on all threads\n"
-          "         --stats <file>    per-solve JSON records\n");
+          "         --stats <file>    per-solve JSON records\n"
+          "         --certify         DRAT-certify every SAT verdict\n");
       std::exit(0);
     } else {
       std::fprintf(stderr, "unknown option %s\n", arg.c_str());
@@ -127,7 +131,15 @@ std::string attack_payload(const std::string& cell,
                 result.iterations,
                 static_cast<unsigned long long>(result.conflicts),
                 result.encoded_clauses, result.saved_clauses, result.seconds);
-  return cell_payload(cell) + buffer;
+  std::string payload = cell_payload(cell) + buffer;
+  // Certification telemetry rides along only when requested so existing
+  // trajectory consumers keep seeing the legacy record shape.
+  if (result.proof_status != attacks::ProofStatus::kNotRequested) {
+    payload += ",\"proof\":\"" + attacks::to_string(result.proof_status) +
+               "\",\"proof_steps\":" + std::to_string(result.proof_steps) +
+               ",\"models_ok\":" + (result.models_verified ? "true" : "false");
+  }
+  return payload;
 }
 
 void append_solve_stats(const BenchOptions& options, const std::string& label,

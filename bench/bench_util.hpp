@@ -34,6 +34,7 @@ struct BenchOptions {
   std::string stats_path;    ///< per-solve JSON records (--stats FILE)
   std::string out_path;      ///< per-cell JSONL stream (--out FILE)
   bool resume = false;       ///< skip cells already in out_path (--resume)
+  bool certify = false;      ///< DRAT-certify every SAT verdict (--certify)
 
   /// SAT-attack options carrying the portfolio settings.
   attacks::SatAttackOptions attack_options(double timeout) const;
@@ -42,8 +43,8 @@ struct BenchOptions {
 };
 
 /// Parses --full / --timeout S / --scale F / --seed N / --jobs N /
-/// --solver-jobs N / --portfolio / --stats FILE / --out FILE / --resume
-/// plus RIL_BENCH_FULL and RIL_BENCH_JOBS (campaign workers).
+/// --solver-jobs N / --portfolio / --stats FILE / --out FILE / --resume /
+/// --certify plus RIL_BENCH_FULL and RIL_BENCH_JOBS (campaign workers).
 BenchOptions parse_options(int argc, char** argv);
 
 /// Runs the cells as a campaign with the binary's --jobs/--out/--resume
@@ -60,7 +61,8 @@ std::string record_cell(const runtime::JobRecord& record);
 std::string cell_payload(const std::string& cell);
 
 /// Payload fragment with the cell plus the attack telemetry the JSONL
-/// trajectory files need (iterations, conflicts, clause stats, seconds).
+/// trajectory files need (iterations, conflicts, clause stats, seconds;
+/// under --certify also the proof verdict, trace size, and model checks).
 std::string attack_payload(const std::string& cell,
                            const attacks::SatAttackResult& result);
 

@@ -2,6 +2,7 @@
 
 #include "attacks/engine/dip_encoder.hpp"
 #include "attacks/engine/miter_context.hpp"
+#include "sat/drat_check.hpp"
 
 namespace ril::attacks {
 
@@ -9,6 +10,16 @@ using netlist::Netlist;
 using runtime::SolverPortfolio;
 using sat::Lit;
 using sat::Var;
+
+std::string to_string(ProofStatus status) {
+  switch (status) {
+    case ProofStatus::kNotRequested: return "not-requested";
+    case ProofStatus::kValid: return "valid";
+    case ProofStatus::kInvalid: return "invalid";
+    case ProofStatus::kMissing: return "missing";
+  }
+  return "?";
+}
 
 std::string to_string(SatAttackStatus status) {
   switch (status) {
@@ -30,6 +41,11 @@ SatAttackResult run_sat_attack(const Netlist& locked, QueryOracle& oracle,
   // Miter portfolio: shared X, independent K1 / K2 in every member.
   SolverPortfolio miter(options.jobs, options.portfolio_seed);
   miter.set_external_stop(budget.stop_flag());
+  // Certification: proof logging must precede the miter encoding so every
+  // member's trace carries the full axiom stream. Only the miter verdict
+  // is certified -- the UNSAT that terminates the DIP loop is the claim
+  // the paper's iteration counts rest on.
+  if (options.certify) miter.enable_proof();
   const engine::MiterContext ctx(locked, miter);
 
   // Key-determination portfolio: one key vector constrained by all DIPs.
@@ -55,12 +71,28 @@ SatAttackResult run_sat_attack(const Netlist& locked, QueryOracle& oracle,
     }
     const runtime::SolveOutcome miter_outcome = miter.solve();
     budget.record(result.iterations, "miter", miter_outcome);
+    if (miter_outcome.model_verified == 0) result.models_verified = false;
     const sat::Result r = miter_outcome.result;
     if (r == sat::Result::kUnknown) {
       result.status = SatAttackStatus::kTimeout;
       break;
     }
     if (r == sat::Result::kUnsat) {
+      if (options.certify) {
+        // The winner's trace is the certificate; validate it with the
+        // independent checker before trusting the verdict.
+        const sat::DratTrace* trace = miter.winner_trace();
+        if (trace != nullptr && trace->closed()) {
+          auto certificate = std::make_shared<sat::DratTrace>(*trace);
+          result.proof_steps = certificate->size();
+          result.proof_status = sat::check_refutation(*certificate).valid
+                                    ? ProofStatus::kValid
+                                    : ProofStatus::kInvalid;
+          result.proof_trace = std::move(certificate);
+        } else {
+          result.proof_status = ProofStatus::kMissing;
+        }
+      }
       // No DIP remains: extract any consistent key.
       if (budget.limited() || budget.cancelled()) {
         if (budget.expired()) {
@@ -127,6 +159,10 @@ SatAttackResult run_sat_attack(const Netlist& locked, QueryOracle& oracle,
     ++result.iterations;
   }
 
+  if (options.certify &&
+      result.proof_status == ProofStatus::kNotRequested) {
+    result.proof_status = ProofStatus::kMissing;  // no UNSAT was reached
+  }
   result.seconds = budget.elapsed();
   result.conflicts = miter.total_conflicts();
   const engine::ConstraintStats totals = budget.constraint_totals();

@@ -12,6 +12,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -19,6 +20,7 @@
 #include "attacks/oracle.hpp"
 #include "netlist/netlist.hpp"
 #include "runtime/portfolio.hpp"
+#include "sat/proof.hpp"
 
 namespace ril::attacks {
 
@@ -50,7 +52,23 @@ struct SatAttackOptions {
   /// Optional caller-owned cancellation flag: raise it from any thread to
   /// unwind the attack cooperatively (reported as kTimeout).
   const std::atomic<bool>* cancel = nullptr;
+  /// Certify the verdict: log a DRAT trace in every miter-portfolio
+  /// member, self-check each SAT model, and on miter-UNSAT validate the
+  /// winner's trace with the independent RUP checker. The certificate is
+  /// returned in SatAttackResult::proof_trace. Off by default; the search
+  /// itself is bit-identical either way.
+  bool certify = false;
 };
+
+/// Certification verdict for a whole attack run.
+enum class ProofStatus {
+  kNotRequested,  ///< options.certify was false
+  kValid,         ///< UNSAT trace validated by sat::check_refutation
+  kInvalid,       ///< trace rejected (solver unsoundness!)
+  kMissing,       ///< certify requested but no closed UNSAT trace exists
+};
+
+std::string to_string(ProofStatus status);
 
 /// Per-solve log entry (shared across the attack engine).
 using SolveRecord = engine::SolveRecord;
@@ -77,6 +95,16 @@ struct SatAttackResult {
   std::size_t saved_clauses = 0;
   /// Per-solve portfolio stats; filled when options.record_solves is set.
   std::vector<SolveRecord> solve_log;
+  /// --- certification (options.certify) ---------------------------------
+  ProofStatus proof_status = ProofStatus::kNotRequested;
+  /// Steps in the final miter certificate (originals + derivations +
+  /// deletions), 0 unless a certificate was produced.
+  std::uint64_t proof_steps = 0;
+  /// The winning miter member's DRAT trace; ends with the empty clause
+  /// when the miter went UNSAT. Null unless options.certify.
+  std::shared_ptr<const sat::DratTrace> proof_trace;
+  /// False iff some SAT model failed the replay self-check (unsound SAT).
+  bool models_verified = true;
 };
 
 std::string to_string(SatAttackStatus status);

@@ -133,6 +133,13 @@ Netlist read_bench(std::istream& in, std::string name) {
       }
       const std::string mask_text = trim(rest.substr(0, open));
       gate.op = "LUT";
+      // stoull silently accepts a sign prefix: "-1" wraps to the all-ones
+      // mask and "+1" parses as 1, both hiding writer bugs. A truth-table
+      // mask is a plain non-negative bit pattern, so reject signs outright.
+      if (mask_text.empty() || mask_text[0] == '-' || mask_text[0] == '+') {
+        fail(line_no, "bad LUT mask '" + mask_text +
+                          "' (mask must be an unsigned number)");
+      }
       std::size_t mask_len = 0;
       try {
         gate.lut_mask = std::stoull(mask_text, &mask_len, 0);

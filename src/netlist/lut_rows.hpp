@@ -1,0 +1,32 @@
+// Shared truth-table row expansion for k-input LUT masks.
+//
+// A LUT mask stores one output bit per input row: row r (0 <= r < 2^k) is
+// the assignment where fanin j reads bit ((r >> j) & 1). Everything that
+// expands a mask into its set rows -- the word-parallel simulator, the
+// Verilog sum-of-products writer -- must agree on that bit order, or the
+// same .bench file means different functions in different backends. This
+// header is the single definition of that order.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ril::netlist {
+
+/// Invokes fn(row) for every set truth-table row (minterm) of a k-input
+/// LUT mask, in ascending row order. k must be <= 6 (mask fits 64 bits);
+/// bits of `mask` above row 2^k - 1 are ignored.
+template <typename Fn>
+inline void for_each_lut_minterm(std::uint64_t mask, std::size_t k, Fn&& fn) {
+  const std::uint64_t rows = std::uint64_t{1} << k;
+  for (std::uint64_t row = 0; row < rows; ++row) {
+    if ((mask >> row) & 1) fn(row);
+  }
+}
+
+/// True iff fanin j appears positive (uncomplemented) in minterm `row`.
+inline bool lut_fanin_positive(std::uint64_t row, std::size_t j) {
+  return ((row >> j) & 1) != 0;
+}
+
+}  // namespace ril::netlist

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "netlist/lut_rows.hpp"
+
 namespace ril::netlist {
 
 Simulator::Simulator(const Netlist& netlist)
@@ -50,16 +52,14 @@ void Simulator::evaluate() {
       case GateType::kLut: {
         const std::size_t k = node.fanins.size();
         std::uint64_t result = 0;
-        const std::uint64_t rows = std::uint64_t{1} << k;
-        for (std::uint64_t row = 0; row < rows; ++row) {
-          if (((node.lut_mask >> row) & 1) == 0) continue;
+        for_each_lut_minterm(node.lut_mask, k, [&](std::uint64_t row) {
           std::uint64_t match = ~std::uint64_t{0};
           for (std::size_t j = 0; j < k; ++j) {
             const std::uint64_t v = values_[node.fanins[j]];
-            match &= ((row >> j) & 1) ? v : ~v;
+            match &= lut_fanin_positive(row, j) ? v : ~v;
           }
           result |= match;
-        }
+        });
         values_[id] = result;
         break;
       }

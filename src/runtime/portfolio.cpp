@@ -94,6 +94,20 @@ SolverPortfolio::SolverPortfolio(unsigned jobs, std::uint64_t base_seed) {
   }
 }
 
+void SolverPortfolio::enable_proof() {
+  if (!traces_.empty()) return;
+  traces_.reserve(solvers_.size());
+  for (auto& solver : solvers_) {
+    traces_.push_back(std::make_unique<sat::DratTrace>());
+    solver->set_proof(traces_.back().get());
+  }
+}
+
+const sat::DratTrace* SolverPortfolio::winner_trace() const {
+  if (traces_.empty()) return nullptr;
+  return traces_[last_winner_].get();
+}
+
 Var SolverPortfolio::new_var() {
   const Var v = solvers_.front()->new_var();
   for (std::size_t i = 1; i < solvers_.size(); ++i) solvers_[i]->new_var();
@@ -194,6 +208,13 @@ SolveOutcome SolverPortfolio::solve(const std::vector<Lit>& assumptions) {
     outcome.winner_seed = solvers_[winner_index]->config().seed;
     outcome.conflicts = solvers_[winner_index]->stats().conflicts -
                         conflicts_before[winner_index];
+    if (!traces_.empty()) {
+      outcome.proof_steps = traces_[winner_index]->size();
+      if (outcome.result == Result::kSat) {
+        outcome.model_verified =
+            solvers_[winner_index]->verify_model(assumptions) ? 1 : 0;
+      }
+    }
   }
   for (std::size_t i = 0; i < n; ++i) {
     outcome.total_conflicts +=
@@ -227,13 +248,24 @@ std::string to_json(const SolveOutcome& outcome) {
   std::snprintf(buffer, sizeof(buffer),
                 "{\"result\":\"%s\",\"winner\":%d,\"config\":\"%s\","
                 "\"seed\":%llu,\"conflicts\":%llu,"
-                "\"total_conflicts\":%llu,\"seconds\":%.6f}",
+                "\"total_conflicts\":%llu,\"seconds\":%.6f",
                 result, outcome.winner, outcome.winner_config.c_str(),
                 static_cast<unsigned long long>(outcome.winner_seed),
                 static_cast<unsigned long long>(outcome.conflicts),
                 static_cast<unsigned long long>(outcome.total_conflicts),
                 outcome.seconds);
-  return buffer;
+  std::string json(buffer);
+  // Certification fields only appear when proof logging was active, so
+  // consumers of the historical shape are unaffected.
+  if (outcome.proof_steps != 0 || outcome.model_verified >= 0) {
+    json += ",\"proof_steps\":" + std::to_string(outcome.proof_steps);
+    if (outcome.model_verified >= 0) {
+      json += std::string(",\"model_ok\":") +
+              (outcome.model_verified == 1 ? "true" : "false");
+    }
+  }
+  json += "}";
+  return json;
 }
 
 }  // namespace ril::runtime

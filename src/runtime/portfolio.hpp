@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "sat/clause_sink.hpp"
+#include "sat/proof.hpp"
 #include "sat/solver.hpp"
 
 namespace ril::runtime {
@@ -52,6 +53,13 @@ struct SolveOutcome {
   /// Conflicts spent across all members on this call (total work).
   std::uint64_t total_conflicts = 0;
   double seconds = 0.0;
+  /// Size of the winner's proof trace after this call (0 unless proof
+  /// logging is enabled via SolverPortfolio::enable_proof).
+  std::uint64_t proof_steps = 0;
+  /// Model self-check verdict for a kSat result when proof logging is on:
+  /// 1 = model replays against every problem clause, 0 = it does not
+  /// (solver unsoundness), -1 = not checked.
+  int model_verified = -1;
 };
 
 /// Serializes an outcome as a JSON object (stable key order).
@@ -81,6 +89,18 @@ class SolverPortfolio : public sat::ClauseSink {
     external_stop_ = stop;
   }
 
+  /// Turns on per-member DRAT proof logging plus the post-SAT model
+  /// self-check. Call before the first add_clause so every member's trace
+  /// carries the complete axiom stream (each member records originals as
+  /// the mirrored add_clause reaches it, and its own private learned
+  /// clauses; the winner's trace is therefore self-contained). Idempotent.
+  void enable_proof();
+  bool proof_enabled() const { return !traces_.empty(); }
+  /// The decisive member's trace after solve() (nullptr when proof
+  /// logging is off). For an UNSAT verdict with no assumptions the trace
+  /// is a closed refutation checkable by sat::check_refutation.
+  const sat::DratTrace* winner_trace() const;
+
   /// Races the members under the current limits. First decisive member
   /// wins and cancels the rest; if every member hits its limit the result
   /// is kUnknown (deadline/conflict budget expired).
@@ -99,6 +119,7 @@ class SolverPortfolio : public sat::ClauseSink {
 
  private:
   std::vector<std::unique_ptr<sat::Solver>> solvers_;
+  std::vector<std::unique_ptr<sat::DratTrace>> traces_;
   std::vector<std::string> names_;
   sat::SolverLimits limits_;
   const std::atomic<bool>* external_stop_ = nullptr;

@@ -1,0 +1,44 @@
+// Independent forward RUP checker for DratTrace refutations.
+//
+// check_refutation replays a proof trace in order, maintaining its own
+// clause database, two-watched-literal scheme, and unit propagation --
+// sharing no code with the Solver, which is the point: a soundness bug in
+// the solver's watch repair, GC remapping, or assumption handling cannot
+// also hide here. Each 'a' step is verified to be RUP (assume the negation
+// of the clause on top of the accumulated unit-propagation fixpoint; the
+// result must be a conflict); 'o' steps extend the axiom set; 'd' steps
+// remove one matching clause. The trace certifies UNSAT of the logged
+// axiom stream iff the empty clause is derived with a successful RUP
+// check. Deletions of clauses that currently anchor a persistent
+// (top-level) unit are ignored, the standard guard that keeps forward
+// checking sound in the presence of DRAT deletion lines.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "sat/proof.hpp"
+
+namespace ril::sat {
+
+struct DratCheckStats {
+  std::size_t originals = 0;    ///< 'o' steps ingested
+  std::size_t derivations = 0;  ///< 'a' steps RUP-checked
+  std::size_t deletions = 0;    ///< 'd' steps applied
+  std::size_t ignored_deletions = 0;  ///< 'd' steps skipped (unit reasons)
+  std::uint64_t propagations = 0;     ///< checker-side propagation count
+};
+
+struct DratCheckResult {
+  /// True iff the trace is a complete, step-by-step verified refutation.
+  bool valid = false;
+  /// Empty when valid; otherwise names the first failing step.
+  std::string error;
+  DratCheckStats stats;
+};
+
+/// Verifies that `trace` is a refutation of its own 'o'-line axioms.
+DratCheckResult check_refutation(const DratTrace& trace);
+
+}  // namespace ril::sat

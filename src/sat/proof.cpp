@@ -1,0 +1,109 @@
+#include "sat/proof.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace ril::sat {
+
+namespace {
+
+char step_tag(ProofStepKind kind) {
+  switch (kind) {
+    case ProofStepKind::kOriginal: return 'o';
+    case ProofStepKind::kDerive: return 'a';
+    case ProofStepKind::kErase: return 'd';
+  }
+  return '?';
+}
+
+[[noreturn]] void fail(std::size_t line_no, const std::string& what) {
+  throw std::runtime_error("proof trace line " + std::to_string(line_no) +
+                           ": " + what);
+}
+
+}  // namespace
+
+void write_trace(std::ostream& out, const DratTrace& trace) {
+  for (const ProofStep& step : trace.steps()) {
+    out << step_tag(step.kind);
+    for (Lit l : step.lits) {
+      const long long dimacs =
+          (l.sign() ? -1ll : 1ll) * (static_cast<long long>(l.var()) + 1);
+      out << ' ' << dimacs;
+    }
+    out << " 0\n";
+  }
+}
+
+std::string write_trace_string(const DratTrace& trace) {
+  std::ostringstream out;
+  write_trace(out, trace);
+  return out.str();
+}
+
+void write_trace_file(const std::string& path, const DratTrace& trace) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open " + path);
+  write_trace(out, trace);
+}
+
+DratTrace read_trace(std::istream& in) {
+  DratTrace trace;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::istringstream fields(line);
+    std::string tag;
+    if (!(fields >> tag)) continue;  // blank line
+    if (tag == "c") continue;
+    ProofStepKind kind;
+    if (tag == "o") {
+      kind = ProofStepKind::kOriginal;
+    } else if (tag == "a") {
+      kind = ProofStepKind::kDerive;
+    } else if (tag == "d") {
+      kind = ProofStepKind::kErase;
+    } else {
+      fail(line_no, "unknown step tag '" + tag + "'");
+    }
+    Clause lits;
+    long long dimacs = 0;
+    bool terminated = false;
+    while (fields >> dimacs) {
+      if (dimacs == 0) {
+        terminated = true;
+        break;
+      }
+      const long long magnitude = dimacs < 0 ? -dimacs : dimacs;
+      if (magnitude > 0x3fffffff) fail(line_no, "literal out of range");
+      lits.push_back(
+          Lit::make(static_cast<Var>(magnitude - 1), dimacs < 0));
+    }
+    if (!terminated) fail(line_no, "missing 0 terminator");
+    std::string trailing;
+    if (fields >> trailing) fail(line_no, "junk after 0 terminator");
+    switch (kind) {
+      case ProofStepKind::kOriginal: trace.original(lits); break;
+      case ProofStepKind::kDerive: trace.derive(lits); break;
+      case ProofStepKind::kErase: trace.erase(lits); break;
+    }
+  }
+  return trace;
+}
+
+DratTrace read_trace_string(const std::string& text) {
+  std::istringstream in(text);
+  return read_trace(in);
+}
+
+DratTrace read_trace_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  return read_trace(in);
+}
+
+}  // namespace ril::sat

@@ -1,0 +1,102 @@
+// DRAT-style proof logging for the CDCL solver.
+//
+// A ProofTracer is an optional sink the Solver writes clause events into:
+//  * original(c)  -- a problem clause as handed to add_clause (an axiom);
+//  * derive(c)    -- a clause the solver claims is implied by everything
+//                    logged before it (learned clauses, root-simplified
+//                    units, and the final empty clause of a refutation);
+//  * erase(c)     -- a clause removed from the database (DB reduction).
+//
+// Because the solver is incremental, one trace interleaves original and
+// derived clauses chronologically; a checker replays the stream in order,
+// so clauses added between solve() calls are in scope exactly from the
+// point they appeared. Every derived clause is expected to be RUP
+// (reverse-unit-propagation) with respect to the live clause set at its
+// position in the stream -- the property drat_check.hpp verifies. A trace
+// whose last derivation is the empty clause is a closed refutation: a
+// machine-checkable certificate that the logged axioms are UNSAT.
+//
+// The solver holds a plain `ProofTracer*` that is nullptr by default; all
+// emission sites are off the propagation hot path, so disabled tracing
+// costs nothing (see docs/ARCHITECTURE.md, "Certified verdicts").
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sat/types.hpp"
+
+namespace ril::sat {
+
+/// Abstract clause-event sink the Solver emits into.
+class ProofTracer {
+ public:
+  virtual ~ProofTracer() = default;
+  virtual void original(const Clause& lits) = 0;
+  virtual void derive(const Clause& lits) = 0;
+  virtual void erase(const Clause& lits) = 0;
+};
+
+enum class ProofStepKind : std::uint8_t {
+  kOriginal,  ///< axiom ('o' line)
+  kDerive,    ///< claimed-RUP addition ('a' line)
+  kErase,     ///< deletion ('d' line)
+};
+
+struct ProofStep {
+  ProofStepKind kind;
+  Clause lits;
+};
+
+/// In-memory proof trace: records the event stream verbatim.
+class DratTrace final : public ProofTracer {
+ public:
+  void original(const Clause& lits) override {
+    steps_.push_back({ProofStepKind::kOriginal, lits});
+  }
+  void derive(const Clause& lits) override {
+    closed_ = closed_ || lits.empty();
+    steps_.push_back({ProofStepKind::kDerive, lits});
+  }
+  void erase(const Clause& lits) override {
+    steps_.push_back({ProofStepKind::kErase, lits});
+  }
+
+  const std::vector<ProofStep>& steps() const { return steps_; }
+  std::size_t size() const { return steps_.size(); }
+  bool empty() const { return steps_.empty(); }
+  /// True once the empty clause has been derived: the trace is a complete
+  /// refutation candidate (checkable end-to-end by drat_check).
+  bool closed() const { return closed_; }
+  void clear() {
+    steps_.clear();
+    closed_ = false;
+  }
+
+ private:
+  std::vector<ProofStep> steps_;
+  bool closed_ = false;
+};
+
+// --- text serialization ----------------------------------------------------
+// One step per line, DIMACS literal numbering (var 0 <-> 1, negation <-> -):
+//   o <lits> 0     original clause
+//   a <lits> 0     derived (claimed-RUP) clause
+//   d <lits> 0     deletion
+// Lines starting with 'c' are comments. This is standard DRAT extended
+// with 'o' lines so an incremental trace carries its own axiom stream.
+
+void write_trace(std::ostream& out, const DratTrace& trace);
+std::string write_trace_string(const DratTrace& trace);
+void write_trace_file(const std::string& path, const DratTrace& trace);
+
+/// Parses a trace; throws std::runtime_error with a line number on
+/// malformed input.
+DratTrace read_trace(std::istream& in);
+DratTrace read_trace_string(const std::string& text);
+DratTrace read_trace_file(const std::string& path);
+
+}  // namespace ril::sat

@@ -5,6 +5,8 @@
 #include <cmath>
 #include <unordered_map>
 
+#include "sat/proof.hpp"
+
 namespace ril::sat {
 
 namespace {
@@ -76,6 +78,9 @@ void Solver::detach(ClauseRef cref) {
 bool Solver::add_clause(Clause lits) {
   if (!ok_) return false;
   assert(decision_level() == 0);
+  // The as-given clause is an axiom of the trace; the checker replays the
+  // same root simplification through its own unit propagation.
+  if (proof_) proof_->original(lits);
   // Root-level simplification: sort, dedup, drop false literals, detect
   // tautologies and satisfied clauses.
   std::sort(lits.begin(), lits.end(),
@@ -92,16 +97,44 @@ bool Solver::add_clause(Clause lits) {
   ++n_problem_clauses_;
   if (simplified.empty()) {
     ok_ = false;
+    if (proof_) proof_->derive({});
     return false;
   }
   if (simplified.size() == 1) {
     enqueue(simplified[0], kNoClause);
     ok_ = (propagate() == kNoClause);
+    if (!ok_ && proof_) proof_->derive({});
     return ok_;
   }
   const ClauseRef cref = alloc_clause(simplified, /*learned=*/false);
   problem_clauses_.push_back(cref);
   attach(cref);
+  return true;
+}
+
+bool Solver::verify_model(const std::vector<Lit>& assumptions) const {
+  // Replays the last model against the stored problem clauses. Clauses
+  // dropped at add_clause time were satisfied by root-level assignments,
+  // which the model snapshot includes, so checking the stored set plus
+  // the assumptions covers the full formula.
+  auto model_true = [this](Lit l) {
+    if (l.var() >= static_cast<Var>(model_.size())) return false;
+    const LBool v = model_[l.var()];
+    return (l.sign() ? negate(v) : v) == LBool::kTrue;
+  };
+  for (Lit a : assumptions) {
+    if (!model_true(a)) return false;
+  }
+  for (const ClauseRef cref : problem_clauses_) {
+    const ClauseView c = ClauseView{
+        const_cast<std::uint32_t*>(arena_.data()) + cref};
+    if (c.deleted()) continue;
+    bool satisfied = false;
+    for (std::uint32_t i = 0; i < c.size() && !satisfied; ++i) {
+      satisfied = model_true(c.lit(i));
+    }
+    if (!satisfied) return false;
+  }
   return true;
 }
 
@@ -436,6 +469,14 @@ void Solver::reduce_learned_db() {
     if (i < keep_target || is_reason || c.lbd() <= 2 || c.size() <= 2) {
       kept.push_back(cref);
     } else {
+      if (proof_) {
+        Clause removed_lits;
+        removed_lits.reserve(c.size());
+        for (std::uint32_t j = 0; j < c.size(); ++j) {
+          removed_lits.push_back(c.lit(j));
+        }
+        proof_->erase(removed_lits);
+      }
       detach(cref);
       c.mark_deleted();
       garbage_words_ += c.size() + 2;
@@ -555,17 +596,22 @@ Result Solver::solve(const std::vector<Lit>& assumptions) {
       ++conflicts_this_restart;
       if (decision_level() == 0) {
         ok_ = false;
+        if (proof_) proof_->derive({});
         cancel_until(0);
         return Result::kUnsat;
       }
       if (decision_level() <= assumption_count) {
         // Conflict entirely under assumptions: UNSAT under assumptions.
+        // No emission -- this verdict is relative to the assumptions, not
+        // a refutation of the formula, so the trace stays open.
         cancel_until(0);
         return Result::kUnsat;
       }
       int backtrack_level = 0;
       std::uint32_t lbd = 0;
       analyze(conflict, learned, backtrack_level, lbd);
+      // The 1-UIP clause (after minimization) is RUP by construction.
+      if (proof_) proof_->derive(learned);
       // Never undo assumption decisions on learning.
       cancel_until(std::max(backtrack_level, 0));
       if (learned.size() == 1) {
@@ -574,6 +620,7 @@ Result Solver::solve(const std::vector<Lit>& assumptions) {
         } else if (decision_level() == 0) {
           if (value(learned[0]) == LBool::kFalse) {
             ok_ = false;
+            if (proof_) proof_->derive({});
             return Result::kUnsat;
           }
           if (value(learned[0]) == LBool::kUndef) {

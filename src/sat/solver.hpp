@@ -27,6 +27,8 @@
 
 namespace ril::sat {
 
+class ProofTracer;
+
 struct SolverStats {
   std::uint64_t decisions = 0;
   std::uint64_t random_decisions = 0;
@@ -111,6 +113,21 @@ class Solver : public ClauseSink {
   /// True if the last solve() stopped because the cancel flag was raised.
   bool cancelled() const { return cancelled_; }
   bool okay() const { return ok_; }
+
+  /// Installs a proof sink (see sat/proof.hpp). Every problem clause,
+  /// learned clause, root-level unit, DB deletion, and the empty clause of
+  /// a refutation is emitted into it, in order. Attach before the first
+  /// add_clause so the trace carries the complete axiom stream. Pass
+  /// nullptr (the default) to disable; a null sink costs nothing -- no
+  /// emission site sits on the propagation hot path, and the search
+  /// itself is bit-identical with tracing on or off.
+  void set_proof(ProofTracer* proof) { proof_ = proof; }
+  ProofTracer* proof() const { return proof_; }
+
+  /// Cheap post-SAT self-check: replays the last model against every
+  /// stored problem clause (and the given assumptions). A sound solver
+  /// always returns true; call it after solve() == kSat.
+  bool verify_model(const std::vector<Lit>& assumptions = {}) const;
 
  private:
   using ClauseRef = std::uint32_t;
@@ -237,6 +254,7 @@ class Solver : public ClauseSink {
   std::uint64_t time_check_countdown_ = 0;
 
   std::uint64_t max_learned_ = 8192;
+  ProofTracer* proof_ = nullptr;
 };
 
 }  // namespace ril::sat

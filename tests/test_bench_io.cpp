@@ -206,6 +206,43 @@ TEST(BenchIo, LutMaskTrailingJunkRejected) {
       std::runtime_error);
 }
 
+TEST(BenchIo, LutMaskNegativeRejected) {
+  // stoull accepts a leading '-' and wraps: "-1" used to parse as the
+  // all-ones 64-bit mask and, on a 6-input LUT (where no width check
+  // applies), silently invert the intended function.
+  try {
+    read_bench_string("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = LUT -1 (a, b)\n");
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("line 4"), std::string::npos) << message;
+    EXPECT_NE(message.find("-1"), std::string::npos) << message;
+  }
+}
+
+TEST(BenchIo, LutMaskSignPrefixRejected) {
+  EXPECT_THROW(
+      read_bench_string("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = LUT +6 (a, b)\n"),
+      std::runtime_error);
+  EXPECT_THROW(
+      read_bench_string(
+          "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = LUT -0x6 (a, b)\n"),
+      std::runtime_error);
+}
+
+TEST(BenchIo, LutMaskOutOfRangeRejected) {
+  // Wider than 64 bits: stoull throws out_of_range; must surface as a
+  // line-numbered parse error, not an uncaught exception.
+  try {
+    read_bench_string(
+        "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = LUT 0x1ffffffffffffffff (a, b)\n");
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("line 4"), std::string::npos) << message;
+  }
+}
+
 TEST(BenchIo, AddLutValidatesMaskWidth) {
   Netlist nl;
   const NodeId a = nl.add_input("a");

@@ -1,0 +1,381 @@
+// Verdict certification: DRAT proof logging in the solver/portfolio, the
+// independent forward RUP checker, the model self-check, and the certified
+// end-to-end SAT attack.
+#include "sat/drat_check.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "attacks/oracle.hpp"
+#include "attacks/sat_attack.hpp"
+#include "benchgen/random_dag.hpp"
+#include "cnf/equivalence.hpp"
+#include "core/ril_block.hpp"
+#include "locking/schemes.hpp"
+#include "runtime/portfolio.hpp"
+#include "sat/proof.hpp"
+#include "sat/solver.hpp"
+
+namespace ril::sat {
+namespace {
+
+using runtime::SolverPortfolio;
+
+void add_pigeonhole(ClauseSink& sink, int pigeons, int holes) {
+  auto var = [&](int p, int h) { return p * holes + h; };
+  sink.ensure_var(pigeons * holes - 1);
+  for (int p = 0; p < pigeons; ++p) {
+    Clause somewhere;
+    for (int h = 0; h < holes; ++h) somewhere.push_back(Lit::make(var(p, h)));
+    sink.add_clause(somewhere);
+  }
+  for (int h = 0; h < holes; ++h) {
+    for (int p1 = 0; p1 < pigeons; ++p1) {
+      for (int p2 = p1 + 1; p2 < pigeons; ++p2) {
+        sink.add_clause(
+            {Lit::make(var(p1, h), true), Lit::make(var(p2, h), true)});
+      }
+    }
+  }
+}
+
+// --- trace serialization ---------------------------------------------------
+
+TEST(ProofTrace, TextRoundTrip) {
+  DratTrace trace;
+  trace.original({Lit::make(0), Lit::make(1, true)});
+  trace.derive({Lit::make(2)});
+  trace.erase({Lit::make(0), Lit::make(1, true)});
+  trace.derive({});
+  EXPECT_TRUE(trace.closed());
+
+  const std::string text = write_trace_string(trace);
+  EXPECT_EQ(text, "o 1 -2 0\na 3 0\nd 1 -2 0\na 0\n");
+  const DratTrace reparsed = read_trace_string(text);
+  ASSERT_EQ(reparsed.size(), trace.size());
+  EXPECT_TRUE(reparsed.closed());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(reparsed.steps()[i].kind, trace.steps()[i].kind);
+    EXPECT_EQ(reparsed.steps()[i].lits, trace.steps()[i].lits);
+  }
+}
+
+TEST(ProofTrace, ParserRejectsMalformedInput) {
+  EXPECT_THROW(read_trace_string("x 1 0\n"), std::runtime_error);
+  EXPECT_THROW(read_trace_string("a 1 2\n"), std::runtime_error);  // no 0
+  EXPECT_THROW(read_trace_string("a 1 0 junk\n"), std::runtime_error);
+  // Comments and blank lines are fine.
+  EXPECT_EQ(read_trace_string("c a comment\n\na 0\n").size(), 1u);
+}
+
+// --- checker on hand-written traces ---------------------------------------
+
+TEST(DratCheck, AcceptsMinimalRefutation) {
+  const DratTrace trace = read_trace_string("o 1 0\no -1 0\na 0\n");
+  const DratCheckResult result = check_refutation(trace);
+  EXPECT_TRUE(result.valid) << result.error;
+  EXPECT_EQ(result.stats.originals, 2u);
+}
+
+TEST(DratCheck, AcceptsResolutionChain) {
+  // (x1 | x2) (x1 | -x2) (-x1 | x3) (-x1 | -x3) with the derived units.
+  const DratTrace trace = read_trace_string(
+      "o 1 2 0\no 1 -2 0\no -1 3 0\no -1 -3 0\na 1 0\na 0\n");
+  EXPECT_TRUE(check_refutation(trace).valid);
+}
+
+TEST(DratCheck, RejectsOpenTrace) {
+  const DratTrace trace = read_trace_string("o 1 0\no -1 0\n");
+  const DratCheckResult result = check_refutation(trace);
+  EXPECT_FALSE(result.valid);
+  EXPECT_NE(result.error.find("empty clause"), std::string::npos);
+}
+
+TEST(DratCheck, RejectsNonRupDerivation) {
+  const DratTrace trace = read_trace_string("o 1 2 0\na 1 0\na 0\n");
+  const DratCheckResult result = check_refutation(trace);
+  EXPECT_FALSE(result.valid);
+  EXPECT_NE(result.error.find("not RUP"), std::string::npos);
+}
+
+TEST(DratCheck, RejectsUnfoundedEmptyClause) {
+  const DratTrace trace = read_trace_string("o 1 0\na 0\n");
+  EXPECT_FALSE(check_refutation(trace).valid);
+}
+
+TEST(DratCheck, RejectsDeletionOfUnknownClause) {
+  const DratTrace trace =
+      read_trace_string("o 1 0\no -1 0\nd 2 3 0\na 0\n");
+  const DratCheckResult result = check_refutation(trace);
+  EXPECT_FALSE(result.valid);
+  EXPECT_NE(result.error.find("deletion"), std::string::npos);
+}
+
+TEST(DratCheck, DeletionRemovesPropagationPower) {
+  // Without the deletion the final unit is RUP; after deleting the clause
+  // that provided it, the derivation must be rejected.
+  const DratTrace ok =
+      read_trace_string("o 1 2 0\no -2 0\na 1 0\no -1 0\na 0\n");
+  EXPECT_TRUE(check_refutation(ok).valid);
+  const DratTrace broken =
+      read_trace_string("o 1 2 0\nd 1 2 0\no -2 0\na 1 0\no -1 0\na 0\n");
+  EXPECT_FALSE(check_refutation(broken).valid);
+}
+
+TEST(DratCheck, HandlesTautologyAndDuplicateLiterals) {
+  const DratTrace trace = read_trace_string(
+      "o 1 -1 0\no 2 2 0\no -2 0\na 0\n");
+  EXPECT_TRUE(check_refutation(trace).valid);
+}
+
+// --- solver-emitted proofs -------------------------------------------------
+
+TEST(SolverProof, PigeonholeRefutationChecks) {
+  Solver solver;
+  DratTrace trace;
+  solver.set_proof(&trace);
+  add_pigeonhole(solver, 4, 3);
+  ASSERT_EQ(solver.solve(), Result::kUnsat);
+  ASSERT_TRUE(trace.closed());
+  const DratCheckResult result = check_refutation(trace);
+  EXPECT_TRUE(result.valid) << result.error;
+  EXPECT_GT(result.stats.derivations, 0u);
+}
+
+TEST(SolverProof, SurvivesTextRoundTripAndRejectsMutations) {
+  Solver solver;
+  DratTrace trace;
+  solver.set_proof(&trace);
+  add_pigeonhole(solver, 5, 4);
+  ASSERT_EQ(solver.solve(), Result::kUnsat);
+  const std::string text = write_trace_string(trace);
+  ASSERT_TRUE(check_refutation(read_trace_string(text)).valid);
+
+  // Corruption 1: drop the closing empty clause.
+  const std::string open = text.substr(0, text.rfind("a 0\n"));
+  EXPECT_FALSE(check_refutation(read_trace_string(open)).valid);
+
+  // Corruption 2: drop an axiom -- some later step loses its support.
+  std::string weaker = text;
+  const auto first_o = weaker.find("o ");
+  weaker.erase(first_o, weaker.find('\n', first_o) - first_o + 1);
+  EXPECT_FALSE(check_refutation(read_trace_string(weaker)).valid);
+}
+
+TEST(SolverProof, DbReductionDeletionsStayCheckable) {
+  // A tiny learned-clause cap forces reduce_learned_db (hence deletion
+  // lines) many times before the refutation completes.
+  Solver solver;
+  SolverConfig config;
+  config.max_learned = 32;
+  config.restart_base = 16;
+  solver.set_config(config);
+  DratTrace trace;
+  solver.set_proof(&trace);
+  add_pigeonhole(solver, 7, 6);
+  ASSERT_EQ(solver.solve(), Result::kUnsat);
+  std::size_t deletions = 0;
+  for (const ProofStep& step : trace.steps()) {
+    deletions += step.kind == ProofStepKind::kErase;
+  }
+  EXPECT_GT(deletions, 0u) << "cap never triggered a DB reduction";
+  const DratCheckResult result = check_refutation(trace);
+  EXPECT_TRUE(result.valid) << result.error;
+}
+
+TEST(SolverProof, IncrementalSolvesShareOneTrace) {
+  Solver solver;
+  DratTrace trace;
+  solver.set_proof(&trace);
+  for (int i = 0; i < 6; ++i) solver.new_var();
+  Clause any;
+  for (int i = 0; i < 6; ++i) any.push_back(Lit::make(i));
+  solver.add_clause(any);
+  ASSERT_EQ(solver.solve(), Result::kSat);
+  EXPECT_FALSE(trace.closed());
+  EXPECT_TRUE(solver.verify_model());
+  for (int i = 0; i < 6; ++i) {
+    solver.add_clause({Lit::make(i, true)});
+  }
+  ASSERT_EQ(solver.solve(), Result::kUnsat);
+  ASSERT_TRUE(trace.closed());
+  const DratCheckResult result = check_refutation(trace);
+  EXPECT_TRUE(result.valid) << result.error;
+}
+
+TEST(SolverProof, UnsatUnderAssumptionsLeavesTraceOpen) {
+  Solver solver;
+  DratTrace trace;
+  solver.set_proof(&trace);
+  solver.ensure_var(1);
+  solver.add_clause({Lit::make(0), Lit::make(1)});
+  ASSERT_EQ(solver.solve({Lit::make(0, true), Lit::make(1, true)}),
+            Result::kUnsat);
+  EXPECT_FALSE(trace.closed());
+  EXPECT_FALSE(check_refutation(trace).valid);
+  // The formula itself is satisfiable and stays usable.
+  ASSERT_EQ(solver.solve(), Result::kSat);
+  EXPECT_TRUE(solver.verify_model());
+}
+
+TEST(SolverProof, RootConflictFromAddClauseIsCertified) {
+  Solver solver;
+  DratTrace trace;
+  solver.set_proof(&trace);
+  solver.ensure_var(0);
+  EXPECT_TRUE(solver.add_clause({Lit::make(0)}));
+  EXPECT_FALSE(solver.add_clause({Lit::make(0, true)}));
+  EXPECT_FALSE(solver.okay());
+  ASSERT_TRUE(trace.closed());
+  EXPECT_TRUE(check_refutation(trace).valid);
+}
+
+TEST(SolverProof, VerifyModelCoversAssumptions) {
+  Solver solver;
+  solver.ensure_var(1);
+  solver.add_clause({Lit::make(0), Lit::make(1)});
+  ASSERT_EQ(solver.solve({Lit::make(0)}), Result::kSat);
+  EXPECT_TRUE(solver.verify_model({Lit::make(0)}));
+  // A literal the model falsifies must fail the check.
+  const Lit forced = solver.model_bool(0) ? Lit::make(0, true) : Lit::make(0);
+  EXPECT_FALSE(solver.verify_model({forced}));
+}
+
+// --- portfolio certification ----------------------------------------------
+
+TEST(PortfolioProof, WinnerTraceIsACertificate) {
+  for (const unsigned jobs : {1u, 3u}) {
+    SolverPortfolio portfolio(jobs, 7);
+    portfolio.enable_proof();
+    add_pigeonhole(portfolio, 6, 5);
+    const runtime::SolveOutcome outcome = portfolio.solve();
+    ASSERT_EQ(outcome.result, Result::kUnsat) << jobs << " jobs";
+    EXPECT_GT(outcome.proof_steps, 0u);
+    const DratTrace* trace = portfolio.winner_trace();
+    ASSERT_NE(trace, nullptr);
+    ASSERT_TRUE(trace->closed());
+    const DratCheckResult result = check_refutation(*trace);
+    EXPECT_TRUE(result.valid) << jobs << " jobs: " << result.error;
+  }
+}
+
+TEST(PortfolioProof, SatModelsSelfCheck) {
+  SolverPortfolio portfolio(3, 9);
+  portfolio.enable_proof();
+  add_pigeonhole(portfolio, 5, 5);
+  const runtime::SolveOutcome outcome = portfolio.solve();
+  ASSERT_EQ(outcome.result, Result::kSat);
+  EXPECT_EQ(outcome.model_verified, 1);
+  const std::string json = runtime::to_json(outcome);
+  EXPECT_NE(json.find("\"model_ok\":true"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"proof_steps\":"), std::string::npos) << json;
+}
+
+TEST(PortfolioProof, JsonShapeUnchangedWithoutProof) {
+  SolverPortfolio portfolio(1, 1);
+  portfolio.ensure_var(0);
+  portfolio.add_clause({Lit::make(0)});
+  const runtime::SolveOutcome outcome = portfolio.solve();
+  ASSERT_EQ(outcome.result, Result::kSat);
+  const std::string json = runtime::to_json(outcome);
+  EXPECT_EQ(json.find("proof_steps"), std::string::npos) << json;
+  EXPECT_EQ(json.find("model_ok"), std::string::npos) << json;
+}
+
+// --- certified end-to-end attack -------------------------------------------
+
+TEST(CertifiedAttack, RilBlockAttackProducesCheckableCertificate) {
+  // A banyan+LUT RIL-Block from benchgen, attacked in portfolio mode with
+  // certification on: the final miter-UNSAT trace must validate, and the
+  // recovered key must unlock the circuit.
+  benchgen::RandomDagParams params;
+  params.num_inputs = 12;
+  params.num_outputs = 6;
+  params.num_gates = 120;
+  params.seed = 17;
+  const netlist::Netlist host = benchgen::generate_random_dag(params);
+  core::RilBlockConfig config;
+  config.size = 4;
+  const auto ril = locking::lock_ril(host, 1, config, 33);
+
+  attacks::Oracle oracle(ril.locked.netlist, ril.locked.key);
+  attacks::SatAttackOptions options;
+  options.jobs = 2;  // a real portfolio race, as the acceptance bar asks
+  options.certify = true;
+  const auto result =
+      attacks::run_sat_attack(ril.locked.netlist, oracle, options);
+  ASSERT_EQ(result.status, attacks::SatAttackStatus::kKeyFound);
+  EXPECT_TRUE(result.models_verified);
+  ASSERT_EQ(result.proof_status, attacks::ProofStatus::kValid);
+  ASSERT_NE(result.proof_trace, nullptr);
+  EXPECT_TRUE(result.proof_trace->closed());
+  EXPECT_EQ(result.proof_steps, result.proof_trace->size());
+
+  // The recovered key passes the oracle (functional equivalence).
+  EXPECT_TRUE(cnf::check_equivalence(ril.locked.netlist, host, result.key, {})
+                  .equivalent());
+
+  // A deliberately corrupted trace is rejected: flip one literal in a
+  // random derivation step of the serialized certificate.
+  std::string text = write_trace_string(*result.proof_trace);
+  DratTrace mutated = read_trace_string(text);
+  ASSERT_TRUE(check_refutation(mutated).valid);
+  std::mt19937 rng(1234);
+  std::vector<std::size_t> derivation_steps;
+  for (std::size_t i = 0; i < mutated.steps().size(); ++i) {
+    const ProofStep& step = mutated.steps()[i];
+    if (step.kind == ProofStepKind::kDerive && step.lits.size() >= 2) {
+      derivation_steps.push_back(i);
+    }
+  }
+  ASSERT_FALSE(derivation_steps.empty());
+  bool any_rejected = false;
+  for (int trial = 0; trial < 4 && !any_rejected; ++trial) {
+    const std::size_t at =
+        derivation_steps[rng() % derivation_steps.size()];
+    DratTrace corrupt;
+    for (std::size_t i = 0; i < mutated.steps().size(); ++i) {
+      ProofStep step = mutated.steps()[i];
+      if (i == at) {
+        const std::size_t victim = rng() % step.lits.size();
+        step.lits[victim] = ~step.lits[rng() % step.lits.size()];
+      }
+      switch (step.kind) {
+        case ProofStepKind::kOriginal: corrupt.original(step.lits); break;
+        case ProofStepKind::kDerive: corrupt.derive(step.lits); break;
+        case ProofStepKind::kErase: corrupt.erase(step.lits); break;
+      }
+    }
+    any_rejected = !check_refutation(corrupt).valid;
+  }
+  EXPECT_TRUE(any_rejected)
+      << "no corrupted variant of the certificate was rejected";
+}
+
+TEST(CertifiedAttack, CertifyOffByDefaultAndTimeoutReportsMissing) {
+  benchgen::RandomDagParams params;
+  params.num_inputs = 10;
+  params.num_outputs = 5;
+  params.num_gates = 80;
+  params.seed = 3;
+  const netlist::Netlist host = benchgen::generate_random_dag(params);
+  const auto locked = locking::lock_xor(host, 8, 11);
+  attacks::Oracle oracle(locked.netlist, locked.key);
+
+  attacks::SatAttackOptions options;
+  const auto plain = attacks::run_sat_attack(locked.netlist, oracle, options);
+  EXPECT_EQ(plain.proof_status, attacks::ProofStatus::kNotRequested);
+  EXPECT_EQ(plain.proof_trace, nullptr);
+
+  attacks::Oracle oracle2(locked.netlist, locked.key);
+  options.certify = true;
+  options.max_iterations = 1;  // stop before any UNSAT can be reached
+  const auto cut = attacks::run_sat_attack(locked.netlist, oracle2, options);
+  if (cut.status == attacks::SatAttackStatus::kIterationLimit) {
+    EXPECT_EQ(cut.proof_status, attacks::ProofStatus::kMissing);
+  }
+}
+
+}  // namespace
+}  // namespace ril::sat

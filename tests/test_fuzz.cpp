@@ -1,6 +1,7 @@
 // Cross-module property tests ("fuzz" sweeps over seeds).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <random>
 
 #include "attacks/oracle.hpp"
@@ -12,6 +13,10 @@
 #include "netlist/bench_io.hpp"
 #include "netlist/simplify.hpp"
 #include "netlist/simulator.hpp"
+#include "runtime/portfolio.hpp"
+#include "sat/drat_check.hpp"
+#include "sat/proof.hpp"
+#include "sat/solver.hpp"
 
 namespace ril {
 namespace {
@@ -122,6 +127,185 @@ TEST_P(SeedSweep, SimulatorAgreesWithSingleVectorEvaluation) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep,
                          ::testing::Values(1, 2, 3, 4, 5));
+
+// ---------------------------------------------------------------------------
+// Solver fuzz-and-check: every verdict on a random CNF is independently
+// audited. SAT answers must pass the model replay self-check and agree with
+// brute force; UNSAT answers must come with a DRAT trace the from-scratch
+// RUP checker accepts. Incremental adds, assumptions, conflict limits firing
+// mid-solve, and portfolio cancellation are all in the fuzz surface because
+// each has its own soundness-relevant bookkeeping.
+// ---------------------------------------------------------------------------
+
+struct RandomCnf {
+  int num_vars = 0;
+  std::vector<sat::Clause> clauses;
+};
+
+RandomCnf make_random_cnf(std::mt19937_64& rng, int max_vars) {
+  RandomCnf cnf;
+  cnf.num_vars = 3 + static_cast<int>(rng() % max_vars);
+  // Clause density around the 3-SAT phase transition keeps both verdicts
+  // common; short clauses mixed in exercise the unit / binary paths.
+  const std::size_t num_clauses =
+      static_cast<std::size_t>(cnf.num_vars) * (3 + rng() % 3);
+  for (std::size_t c = 0; c < num_clauses; ++c) {
+    const std::size_t width = 1 + rng() % 4;
+    sat::Clause clause;
+    for (std::size_t i = 0; i < width; ++i) {
+      const auto v = static_cast<sat::Var>(rng() % cnf.num_vars);
+      clause.push_back(sat::Lit::make(v, rng() % 2 == 0));
+    }
+    cnf.clauses.push_back(std::move(clause));
+  }
+  return cnf;
+}
+
+/// Exhaustive satisfiability of a small CNF under fixed assumptions.
+bool brute_force_sat(const RandomCnf& cnf,
+                     const std::vector<sat::Lit>& assumptions) {
+  for (std::uint64_t bits = 0; bits < (std::uint64_t{1} << cnf.num_vars);
+       ++bits) {
+    auto lit_true = [&](sat::Lit lit) {
+      const bool value = (bits >> lit.var()) & 1;
+      return lit.sign() ? !value : value;
+    };
+    bool ok = std::all_of(assumptions.begin(), assumptions.end(), lit_true);
+    for (const auto& clause : cnf.clauses) {
+      if (!ok) break;
+      ok = std::any_of(clause.begin(), clause.end(), lit_true);
+    }
+    if (ok) return true;
+  }
+  return false;
+}
+
+class SolverFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SolverFuzz, IncrementalVerdictsAreCertified) {
+  std::mt19937_64 rng(GetParam() * 0x9e3779b9ull + 1);
+  for (int round = 0; round < 12; ++round) {
+    const RandomCnf cnf = make_random_cnf(rng, 13);
+    sat::Solver solver;
+    sat::DratTrace trace;
+    solver.set_proof(&trace);
+    for (int v = 0; v < cnf.num_vars; ++v) solver.new_var();
+
+    // Feed the formula in 1..3 batches with a solve between batches, under
+    // randomized assumptions; finish with an unconstrained solve.
+    const std::size_t batches = 1 + rng() % 3;
+    std::size_t fed = 0;
+    RandomCnf so_far;
+    so_far.num_vars = cnf.num_vars;
+    bool dead = false;  // add_clause reported root-level UNSAT
+    for (std::size_t b = 0; b < batches && !dead; ++b) {
+      const std::size_t upto = (b + 1 == batches)
+                                   ? cnf.clauses.size()
+                                   : (b + 1) * cnf.clauses.size() / batches;
+      for (; fed < upto; ++fed) {
+        so_far.clauses.push_back(cnf.clauses[fed]);
+        if (!solver.add_clause(cnf.clauses[fed])) dead = true;
+      }
+      std::vector<sat::Lit> assumptions;
+      if (rng() % 2 == 0) {
+        for (std::size_t i = 0; i < 1 + rng() % 3; ++i) {
+          const auto v = static_cast<sat::Var>(rng() % cnf.num_vars);
+          assumptions.push_back(sat::Lit::make(v, rng() % 2 == 0));
+        }
+      }
+      const sat::Result r = dead ? sat::Result::kUnsat
+                                 : solver.solve(assumptions);
+      const bool expected = brute_force_sat(so_far, assumptions);
+      if (r == sat::Result::kSat) {
+        ASSERT_TRUE(expected) << "seed " << GetParam() << " round " << round;
+        ASSERT_TRUE(solver.verify_model(assumptions))
+            << "seed " << GetParam() << " round " << round;
+      } else {
+        ASSERT_EQ(r, sat::Result::kUnsat);
+        ASSERT_FALSE(expected) << "seed " << GetParam() << " round " << round;
+      }
+    }
+
+    // Unconstrained final verdict: UNSAT must yield a closed, checkable
+    // refutation of exactly the clauses added so far.
+    const sat::Result final_r =
+        dead ? sat::Result::kUnsat : solver.solve();
+    ASSERT_EQ(final_r == sat::Result::kSat, brute_force_sat(so_far, {}));
+    if (final_r == sat::Result::kUnsat) {
+      ASSERT_TRUE(trace.closed());
+      const auto check = sat::check_refutation(trace);
+      ASSERT_TRUE(check.valid)
+          << "seed " << GetParam() << " round " << round << ": "
+          << check.error;
+    } else {
+      ASSERT_TRUE(solver.verify_model());
+    }
+  }
+}
+
+TEST_P(SolverFuzz, ConflictLimitsDoNotCorruptLaterVerdicts) {
+  std::mt19937_64 rng(GetParam() * 0x517cc1b7ull + 3);
+  for (int round = 0; round < 8; ++round) {
+    const RandomCnf cnf = make_random_cnf(rng, 14);
+    sat::Solver solver;
+    sat::DratTrace trace;
+    solver.set_proof(&trace);
+    for (int v = 0; v < cnf.num_vars; ++v) solver.new_var();
+    bool dead = false;
+    for (const auto& clause : cnf.clauses) {
+      if (!solver.add_clause(clause)) dead = true;
+    }
+    // A tiny conflict budget may abort mid-search (kUnknown); the verdict
+    // after lifting the limit must still be correct and certified.
+    if (!dead) {
+      solver.set_limits({.conflict_limit = 1 + rng() % 4});
+      (void)solver.solve();
+      solver.set_limits({});
+    }
+    const sat::Result r = dead ? sat::Result::kUnsat : solver.solve();
+    ASSERT_EQ(r == sat::Result::kSat, brute_force_sat(cnf, {}))
+        << "seed " << GetParam() << " round " << round;
+    if (r == sat::Result::kUnsat) {
+      ASSERT_TRUE(trace.closed());
+      ASSERT_TRUE(sat::check_refutation(trace).valid)
+          << "seed " << GetParam() << " round " << round;
+    } else {
+      ASSERT_TRUE(solver.verify_model());
+    }
+  }
+}
+
+TEST_P(SolverFuzz, PortfolioVerdictsMatchBruteForceAndCertify) {
+  std::mt19937_64 rng(GetParam() * 0x2545f491ull + 7);
+  for (int round = 0; round < 6; ++round) {
+    const RandomCnf cnf = make_random_cnf(rng, 12);
+    runtime::SolverPortfolio portfolio(1 + rng() % 3, GetParam() + round);
+    portfolio.enable_proof();
+    for (int v = 0; v < cnf.num_vars; ++v) portfolio.new_var();
+    bool dead = false;
+    for (const auto& clause : cnf.clauses) {
+      if (!portfolio.add_clause(clause)) dead = true;
+    }
+    const runtime::SolveOutcome outcome = portfolio.solve();
+    const bool expected = brute_force_sat(cnf, {});
+    if (dead || outcome.result == sat::Result::kUnsat) {
+      ASSERT_FALSE(expected) << "seed " << GetParam() << " round " << round;
+      const sat::DratTrace* trace = portfolio.winner_trace();
+      ASSERT_NE(trace, nullptr);
+      ASSERT_TRUE(trace->closed());
+      ASSERT_TRUE(sat::check_refutation(*trace).valid)
+          << "seed " << GetParam() << " round " << round;
+    } else {
+      ASSERT_EQ(outcome.result, sat::Result::kSat);
+      ASSERT_TRUE(expected) << "seed " << GetParam() << " round " << round;
+      // Portfolio SAT verdicts carry the winner's replayed model check.
+      ASSERT_EQ(outcome.model_verified, 1);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SolverFuzz,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
 
 }  // namespace
 }  // namespace ril

@@ -13,6 +13,7 @@
 //
 //   ril attack <method> <locked.bench> <activated.bench> [--timeout S]
 //              [--jobs N | --portfolio] [--stats out.json] [--no-specialize]
+//              [--certify [--proof out.drat]]
 //       Methods: sat | appsat | onehot | removal | sps | bypass. The
 //       activated netlist (no key inputs) acts as the oracle. Prints the
 //       result and, when a key is recovered, verifies it by SAT CEC.
@@ -21,7 +22,14 @@
 //       hardware threads; --stats writes per-solve JSON records (seed,
 //       winning configuration, conflicts, wall time, constraint clause
 //       costs); --no-specialize reverts the SAT/AppSAT I/O constraints to
-//       the historical full-circuit re-encoding.
+//       the historical full-circuit re-encoding; --certify (sat only)
+//       DRAT-logs every miter solve, self-checks SAT models, validates the
+//       final UNSAT certificate with the independent RUP checker, and with
+//       --proof writes the certificate for offline `ril check-proof`.
+//
+//   ril check-proof <trace.drat>
+//       Re-validate a previously written certificate with the forward RUP
+//       checker (exit 0 iff the trace is a complete refutation).
 //
 //   ril analyze <file.bench> [key.txt]
 //       Structural report: stats, detected routing networks and keyed
@@ -63,6 +71,8 @@
 #include "netlist/simplify.hpp"
 #include "netlist/stats.hpp"
 #include "runtime/campaign.hpp"
+#include "sat/drat_check.hpp"
+#include "sat/proof.hpp"
 #include "sca/circuit_dpa.hpp"
 
 namespace {
@@ -79,11 +89,12 @@ using namespace ril;
                " --bits N --seed S]\n"
                "  ril attack <method> <locked.bench> <activated.bench>"
                " [--timeout S --jobs N --portfolio --stats out.json"
-               " --no-specialize]\n"
+               " --no-specialize --certify --proof out.drat]\n"
+               "  ril check-proof <trace.drat>\n"
                "  ril analyze <file.bench> [key.txt]\n"
                "  ril unlock <locked.bench> <key.txt> <out.bench>\n"
                "  ril campaign <spec.campaign> [--jobs N --out results.jsonl"
-               " --resume --solver-jobs N]\n");
+               " --resume --solver-jobs N --certify]\n");
   std::exit(2);
 }
 
@@ -100,10 +111,12 @@ struct Args {
   unsigned solver_jobs = 1;
   std::string stats_path;
   std::string out_path;
+  std::string proof_path;
   bool resume = false;
   bool output_net = false;
   bool scan = false;
   bool specialize = true;
+  bool certify = false;
 };
 
 Args parse(int argc, char** argv) {
@@ -130,6 +143,8 @@ Args parse(int argc, char** argv) {
     else if (arg == "--output-net") args.output_net = true;
     else if (arg == "--scan") args.scan = true;
     else if (arg == "--no-specialize") args.specialize = false;
+    else if (arg == "--certify") args.certify = true;
+    else if (arg == "--proof") args.proof_path = value();
     else if (arg.rfind("--", 0) == 0) usage(("unknown option " + arg).c_str());
     else args.positional.push_back(arg);
   }
@@ -214,20 +229,31 @@ void write_stats_file(const std::string& path, const char* attack,
                       std::size_t iterations, double seconds,
                       std::uint64_t conflicts, std::size_t encoded_clauses,
                       std::size_t saved_clauses,
-                      const std::vector<attacks::SolveRecord>& log) {
+                      const std::vector<attacks::SolveRecord>& log,
+                      const std::string& extra_fields = "") {
   std::ofstream stats(path);
   if (!stats) usage(("cannot open stats file " + path).c_str());
   stats << "{\"attack\":\"" << attack << "\",\"jobs\":" << args.jobs
         << ",\"status\":\"" << status << "\",\"iterations\":" << iterations
         << ",\"seconds\":" << seconds << ",\"conflicts\":" << conflicts
         << ",\"encoded_clauses\":" << encoded_clauses
-        << ",\"saved_clauses\":" << saved_clauses << ",\"solves\":[\n";
+        << ",\"saved_clauses\":" << saved_clauses << extra_fields
+        << ",\"solves\":[\n";
   for (std::size_t i = 0; i < log.size(); ++i) {
     stats << attacks::solve_record_json(log[i])
           << (i + 1 < log.size() ? ",\n" : "\n");
   }
   stats << "]}\n";
   std::printf("per-solve stats -> %s\n", path.c_str());
+}
+
+/// JSON fragment describing the certification outcome. Empty unless the
+/// attack was run with --certify so the legacy telemetry shape is untouched.
+std::string certification_fields(const attacks::SatAttackResult& result) {
+  if (result.proof_status == attacks::ProofStatus::kNotRequested) return "";
+  return ",\"proof\":\"" + attacks::to_string(result.proof_status) +
+         "\",\"proof_steps\":" + std::to_string(result.proof_steps) +
+         ",\"models_ok\":" + (result.models_verified ? "true" : "false");
 }
 
 int cmd_gen(const Args& args) {
@@ -321,6 +347,7 @@ int cmd_attack(const Args& args) {
     options.portfolio_seed = args.seed;
     options.record_solves = args.jobs > 1 || !args.stats_path.empty();
     options.specialize_dips = args.specialize;
+    options.certify = args.certify || !args.proof_path.empty();
     if (method == "sat") {
       const auto result = attacks::run_sat_attack(locked, oracle, options);
       std::printf("sat attack: %s in %.2fs, %zu DIPs, %llu conflicts"
@@ -334,13 +361,27 @@ int cmd_attack(const Args& args) {
                     " specialization\n",
                     result.encoded_clauses, result.saved_clauses);
       }
+      if (options.certify) {
+        std::printf("certificate: %s (%llu steps), models %s\n",
+                    to_string(result.proof_status).c_str(),
+                    static_cast<unsigned long long>(result.proof_steps),
+                    result.models_verified ? "self-checked" : "UNSOUND");
+        if (!args.proof_path.empty()) {
+          if (result.proof_trace) {
+            sat::write_trace_file(args.proof_path, *result.proof_trace);
+            std::printf("proof trace -> %s\n", args.proof_path.c_str());
+          } else {
+            std::printf("proof trace not written: no UNSAT certificate\n");
+          }
+        }
+      }
       print_portfolio_wins(result.solve_log);
       if (!args.stats_path.empty()) {
         write_stats_file(args.stats_path, "sat", args,
                          to_string(result.status), result.iterations,
                          result.seconds, result.conflicts,
                          result.encoded_clauses, result.saved_clauses,
-                         result.solve_log);
+                         result.solve_log, certification_fields(result));
       }
       if (result.status == attacks::SatAttackStatus::kKeyFound) {
         std::printf("recovered key: ");
@@ -601,7 +642,7 @@ std::string run_campaign_cell(const CampaignCell& cell, const Args& args,
                   static_cast<unsigned long long>(result.conflicts),
                   result.encoded_clauses, result.saved_clauses,
                   result.seconds);
-    return std::string(buffer);
+    return std::string(buffer) + certification_fields(result);
   };
   // A recovered key is deployed with the hidden SE bits inactive; it only
   // counts as broken if the deployed key realizes the host function.
@@ -618,6 +659,7 @@ std::string run_campaign_cell(const CampaignCell& cell, const Args& args,
     options.jobs = args.solver_jobs;
     options.portfolio_seed = cell.seed;
     options.cancel = &ctx.cancel_flag();
+    options.certify = args.certify;
     if (cell.attack == "onehot") {
       const auto result = attacks::run_sat_attack_onehot(locked, oracle,
                                                          options);
@@ -680,6 +722,26 @@ std::string run_campaign_cell(const CampaignCell& cell, const Args& args,
   throw std::runtime_error("unknown attack '" + cell.attack + "'");
 }
 
+/// Re-validates a DRAT certificate written by `ril attack sat --proof`.
+int cmd_check_proof(const Args& args) {
+  if (args.positional.size() != 1) usage("check-proof needs <trace.drat>");
+  const sat::DratTrace trace = sat::read_trace_file(args.positional[0]);
+  const sat::DratCheckResult check = sat::check_refutation(trace);
+  std::printf("%s: %zu steps (%llu originals, %llu derivations,"
+              " %llu deletions, %llu propagations)\n",
+              args.positional[0].c_str(), trace.size(),
+              static_cast<unsigned long long>(check.stats.originals),
+              static_cast<unsigned long long>(check.stats.derivations),
+              static_cast<unsigned long long>(check.stats.deletions),
+              static_cast<unsigned long long>(check.stats.propagations));
+  if (check.valid) {
+    std::printf("proof VALID: complete RUP refutation\n");
+    return 0;
+  }
+  std::printf("proof INVALID: %s\n", check.error.c_str());
+  return 1;
+}
+
 int cmd_campaign(const Args& args) {
   if (args.positional.size() != 1) usage("campaign needs <spec.campaign>");
   const auto cells = parse_campaign_spec(args.positional[0]);
@@ -740,6 +802,7 @@ int main(int argc, char** argv) {
     if (command == "gen") return cmd_gen(args);
     if (command == "lock") return cmd_lock(args);
     if (command == "attack") return cmd_attack(args);
+    if (command == "check-proof") return cmd_check_proof(args);
     if (command == "analyze") return cmd_analyze(args);
     if (command == "unlock") return cmd_unlock(args);
     if (command == "campaign") return cmd_campaign(args);
