@@ -1,0 +1,594 @@
+// Solver-core performance trajectory: preprocessing on vs off.
+//
+// Runs the Table-V miter workloads (one SAT attack per locking scheme on a
+// scaled c7552 host) plus raw solver kernels (random 3-SAT, a CEC identity
+// miter) twice each -- SatELite-style preprocessing off, then on -- and
+// writes the paired measurements to a schema'd JSON file
+// (`BENCH_solver.json`, schema "ril-bench-solver/1"; see docs/BENCHMARKS.md).
+// The checked-in copy at the repo root is the tracked perf trajectory:
+// regenerate it when the solver core changes and commit the diff.
+//
+// Modes:
+//   (default)        workloads sized for ~1-2 minutes total
+//   --smoke          tiny workloads for CI (~seconds); same schema
+//   --full           paper-scale workloads
+//   --out FILE       where to write the JSON (default BENCH_solver.json)
+//   --check FILE     validate an existing file against the schema and exit
+//
+// Attack workloads report wall time, CDCL conflicts, and DIP iterations;
+// kernel workloads additionally report propagations/sec (the attack API
+// does not expose propagation counts). The preprocessing block on each
+// "on" record carries the simplifier's clause/variable deltas, so one file
+// answers both "is the preprocessor shrinking the formula?" and "is it
+// paying for itself in wall time?".
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <random>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "attacks/oracle.hpp"
+#include "attacks/sat_attack.hpp"
+#include "bench_util.hpp"
+#include "benchgen/suite.hpp"
+#include "cnf/tseitin.hpp"
+#include "locking/schemes.hpp"
+#include "runtime/campaign.hpp"
+#include "runtime/portfolio.hpp"
+
+namespace {
+
+using namespace ril;
+
+constexpr const char* kSchema = "ril-bench-solver/1";
+
+// --- measurement records ----------------------------------------------------
+
+struct RunStats {
+  std::string status;
+  double seconds = 0;
+  std::uint64_t conflicts = 0;
+  /// Kernels only; the attack API does not expose propagation counts.
+  std::uint64_t propagations = 0;
+  /// Attacks only: DIPs used.
+  std::size_t iterations = 0;
+  bool has_prep = false;
+  sat::PreprocessStats prep;
+
+  bool completed() const {
+    return status != "timeout" && status != "unknown";
+  }
+};
+
+struct WorkloadResult {
+  std::string name;
+  std::string kind;  // "attack" | "kernel"
+  RunStats off;
+  RunStats on;
+
+  bool comparable() const { return off.completed() && on.completed(); }
+  double speedup() const { return on.seconds > 0 ? off.seconds / on.seconds : 0; }
+  double clause_reduction() const {
+    if (!on.has_prep || on.prep.clauses_before == 0) return 0;
+    return 1.0 - static_cast<double>(on.prep.clauses_after) /
+                     static_cast<double>(on.prep.clauses_before);
+  }
+};
+
+// --- workload sizing --------------------------------------------------------
+
+struct Sizes {
+  const char* mode;
+  double scale;            // c7552 host scale
+  double attack_timeout;   // per-attack budget (seconds)
+  double kernel_timeout;   // per-kernel budget (seconds)
+  std::size_t xor_bits;
+  std::size_t sfll_cube;
+  std::size_t antisat_n;
+  std::size_t lut_count;
+  std::size_t fulllock_wires;
+  std::size_t ril_blocks;
+  std::size_t ril_size;
+  std::size_t sat_vars, sat_clauses;      // random 3-SAT, satisfiable region
+  std::size_t unsat_vars, unsat_clauses;  // random 3-SAT, unsat region
+};
+
+// fulllock_wires must be a power of two (banyan network constraint).
+Sizes smoke_sizes() {
+  return {"smoke", 0.03, 10, 5, 16, 5, 5, 6, 4, 1, 4, 80, 300, 60, 300};
+}
+Sizes default_sizes() {
+  return {"default", 0.12, 120, 30, 48, 8, 8, 16, 8, 2, 4,
+          180, 750, 140, 700};
+}
+Sizes full_sizes() {
+  return {"full", 0.4, 600, 120, 64, 10, 10, 24, 16, 3, 4,
+          260, 1090, 200, 1000};
+}
+
+// --- runners ----------------------------------------------------------------
+
+RunStats run_attack(const netlist::Netlist& locked,
+                    const std::vector<bool>& key, double timeout,
+                    std::uint64_t seed, bool preprocess) {
+  attacks::Oracle oracle(locked, key);
+  attacks::SatAttackOptions options;
+  options.time_limit_seconds = timeout;
+  options.portfolio_seed = seed;
+  options.preprocess = preprocess;
+  const auto result = attacks::run_sat_attack(locked, oracle, options);
+  RunStats stats;
+  stats.status = attacks::to_string(result.status);
+  stats.seconds = result.seconds;
+  stats.conflicts = result.conflicts;
+  stats.iterations = result.iterations;
+  if (result.preprocessed) {
+    stats.has_prep = true;
+    stats.prep = result.preprocess;
+  }
+  return stats;
+}
+
+/// One portfolio solve of a pre-built formula; `build` fills the portfolio.
+RunStats run_kernel(double timeout, std::uint64_t seed, bool preprocess,
+                    const std::function<void(runtime::SolverPortfolio&)>& build) {
+  runtime::SolverPortfolio portfolio(1, seed);
+  if (preprocess) portfolio.enable_preprocessing();
+  build(portfolio);
+  sat::SolverLimits limits;
+  limits.time_limit_seconds = timeout;
+  portfolio.set_limits(limits);
+  const auto start = std::chrono::steady_clock::now();
+  const auto outcome = portfolio.solve();
+  const auto stop = std::chrono::steady_clock::now();
+  RunStats stats;
+  stats.status = outcome.result == sat::Result::kSat     ? "sat"
+                 : outcome.result == sat::Result::kUnsat ? "unsat"
+                                                         : "unknown";
+  // Wall time includes the lazy preprocessing pass inside the first solve,
+  // so the "on" record pays for its own simplification.
+  stats.seconds = std::chrono::duration<double>(stop - start).count();
+  stats.conflicts = portfolio.member(0).stats().conflicts;
+  stats.propagations = portfolio.member(0).stats().propagations;
+  if (const sat::PreprocessStats* prep = portfolio.preprocess_stats()) {
+    stats.has_prep = true;
+    stats.prep = *prep;
+  }
+  return stats;
+}
+
+void build_random3sat(runtime::SolverPortfolio& portfolio, std::size_t vars,
+                      std::size_t clauses, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  portfolio.ensure_var(static_cast<sat::Var>(vars - 1));
+  std::uniform_int_distribution<std::size_t> pick(0, vars - 1);
+  for (std::size_t i = 0; i < clauses; ++i) {
+    sat::Clause clause;
+    while (clause.size() < 3) {
+      const auto v = static_cast<sat::Var>(pick(rng));
+      bool fresh = true;
+      for (const sat::Lit lit : clause) fresh = fresh && lit.var() != v;
+      if (fresh) clause.push_back(sat::Lit::make(v, rng() & 1));
+    }
+    portfolio.add_clause(clause);
+  }
+}
+
+/// Two copies of `host` over shared inputs, outputs pairwise XORed, at
+/// least one difference asserted: UNSAT by construction (identity miter).
+void build_cec_miter(runtime::SolverPortfolio& portfolio,
+                     const netlist::Netlist& host) {
+  const auto enc_a = cnf::encode_circuit(host, portfolio);
+  std::unordered_map<netlist::NodeId, sat::Var> bound;
+  for (netlist::NodeId id : host.data_inputs()) bound[id] = enc_a.var_of(id);
+  const auto enc_b = cnf::encode_circuit(host, portfolio, bound);
+  sat::Clause any_diff;
+  for (netlist::NodeId id : host.outputs()) {
+    const sat::Lit a = enc_a.lit_of(id);
+    const sat::Lit b = enc_b.lit_of(id);
+    const sat::Lit d = sat::Lit::make(portfolio.new_var(), false);
+    portfolio.add_clause({~a, b, d});
+    portfolio.add_clause({a, ~b, d});
+    portfolio.add_clause({a, b, ~d});
+    portfolio.add_clause({~a, ~b, ~d});
+    any_diff.push_back(d);
+  }
+  portfolio.add_clause(any_diff);
+}
+
+// --- JSON emission ----------------------------------------------------------
+
+std::string fmt(const char* format, double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), format, value);
+  return buffer;
+}
+
+void append_prep(std::ostream& out, const sat::PreprocessStats& prep) {
+  out << ",\"preprocess\":{"
+      << "\"vars_before\":" << prep.vars_before
+      << ",\"vars_after\":" << prep.vars_after
+      << ",\"clauses_before\":" << prep.clauses_before
+      << ",\"clauses_after\":" << prep.clauses_after
+      << ",\"literals_before\":" << prep.literals_before
+      << ",\"literals_after\":" << prep.literals_after
+      << ",\"eliminated_vars\":" << prep.eliminated_vars
+      << ",\"subsumed_clauses\":" << prep.subsumed_clauses
+      << ",\"strengthened_literals\":" << prep.strengthened_literals
+      << ",\"resolvents_added\":" << prep.resolvents_added
+      << ",\"rounds\":" << prep.rounds << "}";
+}
+
+void append_run(std::ostream& out, const char* label, const RunStats& run,
+                bool kernel) {
+  out << "\"" << label << "\":{\"status\":\"" << run.status << "\""
+      << ",\"seconds\":" << fmt("%.4f", run.seconds)
+      << ",\"conflicts\":" << run.conflicts;
+  if (kernel) {
+    const double props_per_sec =
+        run.seconds > 0 ? static_cast<double>(run.propagations) / run.seconds
+                        : 0;
+    out << ",\"propagations\":" << run.propagations
+        << ",\"props_per_sec\":" << fmt("%.0f", props_per_sec);
+  } else {
+    out << ",\"iterations\":" << run.iterations;
+  }
+  if (run.has_prep) append_prep(out, run.prep);
+  out << "}";
+}
+
+double median(std::vector<double> values) {
+  if (values.empty()) return 0;
+  std::sort(values.begin(), values.end());
+  const std::size_t mid = values.size() / 2;
+  if (values.size() % 2 == 1) return values[mid];
+  return (values[mid - 1] + values[mid]) / 2;
+}
+
+bool write_json(const std::string& path, const Sizes& sizes,
+                std::uint64_t seed, const std::vector<WorkloadResult>& results,
+                double total_seconds) {
+  std::vector<double> table5_speedups;
+  std::vector<double> reductions;
+  for (const WorkloadResult& w : results) {
+    if (w.comparable() && w.name.rfind("table5/", 0) == 0) {
+      table5_speedups.push_back(w.speedup());
+    }
+    if (w.on.has_prep) reductions.push_back(w.clause_reduction());
+  }
+
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  // Compact "field":value form throughout: the runtime JSON field helpers
+  // (and hence --check) do not skip whitespace after the colon.
+  out << "{\n  \"schema\":\"" << kSchema << "\",\n"
+      << "  \"mode\":\"" << sizes.mode << "\",\n"
+      << "  \"seed\":" << seed << ",\n"
+      << "  \"host_scale\":" << fmt("%.3f", sizes.scale) << ",\n"
+      << "  \"workloads\":[\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const WorkloadResult& w = results[i];
+    out << "    {\"name\":\"" << w.name << "\",\"kind\":\"" << w.kind << "\",";
+    append_run(out, "off", w.off, w.kind == "kernel");
+    out << ",";
+    append_run(out, "on", w.on, w.kind == "kernel");
+    if (w.comparable()) {
+      out << ",\"speedup\":" << fmt("%.3f", w.speedup());
+    }
+    if (w.on.has_prep) {
+      out << ",\"clause_reduction\":" << fmt("%.4f", w.clause_reduction());
+    }
+    out << "}" << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n"
+      << "  \"summary\":{\n"
+      << "    \"workloads\":" << results.size() << ",\n"
+      << "    \"table5_compared\":" << table5_speedups.size() << ",\n"
+      << "    \"median_speedup\":" << fmt("%.3f", median(table5_speedups))
+      << ",\n"
+      << "    \"median_clause_reduction\":"
+      << fmt("%.4f", median(reductions)) << ",\n"
+      << "    \"total_seconds\":" << fmt("%.1f", total_seconds) << "\n"
+      << "  }\n}\n";
+  return true;
+}
+
+// --- schema validation (--check) --------------------------------------------
+
+/// Splits the top-level JSON objects out of an array body, ignoring braces
+/// inside strings.
+std::vector<std::string> split_objects(const std::string& body) {
+  std::vector<std::string> objects;
+  int depth = 0;
+  bool in_string = false;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i < body.size(); ++i) {
+    const char c = body[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+    } else if (c == '{') {
+      if (depth == 0) start = i;
+      ++depth;
+    } else if (c == '}') {
+      if (--depth == 0) objects.push_back(body.substr(start, i - start + 1));
+    }
+  }
+  return objects;
+}
+
+/// Extracts the body of `"field":[...]` (without the brackets).
+std::string json_array_field(const std::string& text,
+                             const std::string& field) {
+  const std::string needle = "\"" + field + "\"";
+  std::size_t pos = text.find(needle);
+  if (pos == std::string::npos) return "";
+  pos = text.find('[', pos + needle.size());
+  if (pos == std::string::npos) return "";
+  int depth = 0;
+  bool in_string = false;
+  for (std::size_t i = pos; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') in_string = true;
+    else if (c == '[') ++depth;
+    else if (c == ']' && --depth == 0) {
+      return text.substr(pos + 1, i - pos - 1);
+    }
+  }
+  return "";
+}
+
+int check_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "%s: cannot read\n", path.c_str());
+    return 1;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+
+  auto fail = [&path](const std::string& what) {
+    std::fprintf(stderr, "%s: schema violation: %s\n", path.c_str(),
+                 what.c_str());
+    return 1;
+  };
+
+  if (runtime::json_string_field(text, "schema") != kSchema) {
+    return fail(std::string("schema field != ") + kSchema);
+  }
+  if (runtime::json_string_field(text, "mode").empty()) {
+    return fail("missing mode");
+  }
+  const std::string workloads_body = json_array_field(text, "workloads");
+  if (workloads_body.empty()) return fail("missing workloads array");
+  const auto workloads = split_objects(workloads_body);
+  if (workloads.empty()) return fail("empty workloads array");
+
+  std::size_t with_prep = 0;
+  for (const std::string& w : workloads) {
+    const std::string name = runtime::json_string_field(w, "name");
+    if (name.empty()) return fail("workload without name");
+    const std::string kind = runtime::json_string_field(w, "kind");
+    if (kind != "attack" && kind != "kernel") {
+      return fail(name + ": kind must be attack|kernel");
+    }
+    for (const char* side : {"off", "on"}) {
+      const std::string run = runtime::json_object_field(w, side);
+      if (run.empty()) return fail(name + ": missing " + side + " record");
+      if (runtime::json_string_field(run, "status").empty()) {
+        return fail(name + "/" + side + ": missing status");
+      }
+      if (runtime::json_number_field(run, "seconds", -1) < 0) {
+        return fail(name + "/" + side + ": missing seconds");
+      }
+    }
+    const std::string on = runtime::json_object_field(w, "on");
+    const std::string prep = runtime::json_object_field(on, "preprocess");
+    if (!prep.empty()) {
+      ++with_prep;
+      const double before =
+          runtime::json_number_field(prep, "clauses_before", -1);
+      const double after = runtime::json_number_field(prep, "clauses_after", -1);
+      if (before < 0 || after < 0 || after > before) {
+        return fail(name + ": inconsistent preprocess clause counts");
+      }
+    }
+  }
+  if (with_prep == 0) {
+    return fail("no workload carries a preprocess block");
+  }
+
+  const std::string summary = runtime::json_object_field(text, "summary");
+  if (summary.empty()) return fail("missing summary");
+  const double speedup =
+      runtime::json_number_field(summary, "median_speedup", -1);
+  const double reduction =
+      runtime::json_number_field(summary, "median_clause_reduction", -1);
+  if (speedup < 0 || reduction < 0) {
+    return fail("summary missing median_speedup/median_clause_reduction");
+  }
+  if (speedup < 1.0) {
+    // Valid file, questionable solver: the trajectory should show
+    // preprocessing paying for itself. Warn, don't fail -- smoke-sized
+    // workloads are noise-dominated.
+    std::fprintf(stderr,
+                 "%s: warning: median_speedup %.3f < 1 "
+                 "(preprocessing not paying for itself)\n",
+                 path.c_str(), speedup);
+  }
+  std::printf("%s: schema OK (%zu workloads, median speedup %.3f, median "
+              "clause reduction %.1f%%)\n",
+              path.c_str(), workloads.size(), speedup, reduction * 100);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Strip bench_solver-specific flags before delegating to parse_options
+  // (which rejects unknown arguments).
+  bool smoke = false;
+  std::string check_path;
+  std::string out_path = "BENCH_solver.json";
+  std::vector<char*> passthrough = {argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--check") == 0 && i + 1 < argc) {
+      check_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  if (!check_path.empty()) return check_file(check_path);
+
+  const bench::BenchOptions options = bench::parse_options(
+      static_cast<int>(passthrough.size()), passthrough.data());
+  Sizes sizes = smoke          ? smoke_sizes()
+                : options.full ? full_sizes()
+                               : default_sizes();
+  if (options.scale > 0) sizes.scale = options.scale;
+  if (options.timeout_seconds > 0) sizes.attack_timeout = options.timeout_seconds;
+
+  const auto host = benchgen::make_benchmark("c7552", sizes.scale);
+  bench::print_banner(
+      "Solver-core trajectory -- SatELite preprocessing on vs off",
+      std::string("mode=") + sizes.mode + ", host=c7552 x " +
+          fmt("%.2f", sizes.scale) + ", seed=" + std::to_string(options.seed) +
+          "; schema " + kSchema + " -> " + out_path);
+
+  struct AttackSpec {
+    const char* name;
+    std::function<locking::LockedCircuit()> lock;
+  };
+  const std::vector<AttackSpec> attack_specs = {
+      {"table5/xor",
+       [&] { return locking::lock_xor(host, sizes.xor_bits, 64); }},
+      {"table5/sfll",
+       [&] { return locking::lock_sfll_hd0(host, sizes.sfll_cube, 51); }},
+      {"table5/caslock",
+       [&] { return locking::lock_antisat(host, sizes.antisat_n, 54); }},
+      {"table5/lut",
+       [&] { return locking::lock_lut(host, sizes.lut_count, 55); }},
+      {"table5/interlock",
+       [&] { return locking::lock_fulllock(host, sizes.fulllock_wires, 53); }},
+      {"table5/ril",
+       [&] {
+         core::RilBlockConfig config;
+         config.size = sizes.ril_size;
+         config.output_network = true;
+         config.scan_obfuscation = false;
+         return locking::lock_ril(host, sizes.ril_blocks, config, 56).locked;
+       }},
+  };
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  std::vector<WorkloadResult> results;
+  for (const AttackSpec& spec : attack_specs) {
+    WorkloadResult w;
+    w.name = spec.name;
+    w.kind = "attack";
+    const auto locked = spec.lock();
+    w.off = run_attack(locked.netlist, locked.key, sizes.attack_timeout,
+                       options.seed, false);
+    w.on = run_attack(locked.netlist, locked.key, sizes.attack_timeout,
+                      options.seed, true);
+    std::fprintf(stderr, "  %-18s off %8.3fs (%s)   on %8.3fs (%s)\n",
+                 w.name.c_str(), w.off.seconds, w.off.status.c_str(),
+                 w.on.seconds, w.on.status.c_str());
+    results.push_back(std::move(w));
+  }
+
+  struct KernelSpec {
+    const char* name;
+    std::function<void(runtime::SolverPortfolio&)> build;
+  };
+  const std::vector<KernelSpec> kernel_specs = {
+      {"kernel/random3sat-sat",
+       [&](runtime::SolverPortfolio& p) {
+         build_random3sat(p, sizes.sat_vars, sizes.sat_clauses,
+                          options.seed * 2 + 1);
+       }},
+      {"kernel/random3sat-unsat",
+       [&](runtime::SolverPortfolio& p) {
+         build_random3sat(p, sizes.unsat_vars, sizes.unsat_clauses,
+                          options.seed * 2 + 2);
+       }},
+      {"kernel/cec-miter",
+       [&](runtime::SolverPortfolio& p) { build_cec_miter(p, host); }},
+  };
+  for (const KernelSpec& spec : kernel_specs) {
+    WorkloadResult w;
+    w.name = spec.name;
+    w.kind = "kernel";
+    w.off = run_kernel(sizes.kernel_timeout, options.seed, false, spec.build);
+    w.on = run_kernel(sizes.kernel_timeout, options.seed, true, spec.build);
+    std::fprintf(stderr, "  %-18s off %8.3fs (%s)   on %8.3fs (%s)\n",
+                 w.name.c_str(), w.off.seconds, w.off.status.c_str(),
+                 w.on.seconds, w.on.status.c_str());
+    results.push_back(std::move(w));
+  }
+  const double total_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+
+  const std::vector<int> widths = {20, 10, 10, 8, 9, 8, 8};
+  bench::print_rule(widths);
+  bench::print_row({"Workload", "off (s)", "on (s)", "speedup", "clauses-",
+                    "vars-", "status"},
+                   widths);
+  bench::print_rule(widths);
+  for (const WorkloadResult& w : results) {
+    std::string speedup = w.comparable() ? fmt("%.2fx", w.speedup()) : "n/a";
+    std::string clauses = "n/a";
+    std::string vars = "n/a";
+    if (w.on.has_prep) {
+      clauses = fmt("%.1f%%", 100 * w.clause_reduction());
+      if (w.on.prep.vars_before > 0) {
+        vars = fmt("%.1f%%",
+                   100.0 * static_cast<double>(w.on.prep.eliminated_vars) /
+                       static_cast<double>(w.on.prep.vars_before));
+      }
+    }
+    bench::print_row({w.name, fmt("%.3f", w.off.seconds),
+                      fmt("%.3f", w.on.seconds), speedup, clauses, vars,
+                      w.on.status},
+                     widths);
+  }
+  bench::print_rule(widths);
+
+  if (!write_json(out_path, sizes, options.seed, results, total_seconds)) {
+    return 1;
+  }
+  std::printf("\nwrote %s (validate with --check %s)\n", out_path.c_str(),
+              out_path.c_str());
+  return 0;
+}

@@ -17,6 +17,7 @@ attacks::SatAttackOptions BenchOptions::attack_options(double timeout) const {
   attack.portfolio_seed = seed;
   attack.record_solves = solver_jobs > 1 || !stats_path.empty();
   attack.certify = certify;
+  attack.preprocess = preprocess;
   return attack;
 }
 
@@ -26,6 +27,7 @@ attacks::AppSatOptions BenchOptions::appsat_options(double timeout) const {
   appsat.jobs = solver_jobs;
   appsat.portfolio_seed = seed;
   appsat.record_solves = solver_jobs > 1 || !stats_path.empty();
+  appsat.preprocess = preprocess;
   return appsat;
 }
 
@@ -74,6 +76,10 @@ BenchOptions parse_options(int argc, char** argv) {
       options.resume = true;
     } else if (arg == "--certify") {
       options.certify = true;
+    } else if (arg == "--preprocess") {
+      options.preprocess = true;
+    } else if (arg == "--no-preprocess") {
+      options.preprocess = false;
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "options: --full  --timeout <sec>  --scale <f>  --seed <n>\n"
@@ -83,7 +89,8 @@ BenchOptions parse_options(int argc, char** argv) {
           "         --solver-jobs <n> SAT-portfolio width per solve\n"
           "         --portfolio       solver portfolio on all threads\n"
           "         --stats <file>    per-solve JSON records\n"
-          "         --certify         DRAT-certify every SAT verdict\n");
+          "         --certify         DRAT-certify every SAT verdict\n"
+          "         --preprocess      SatELite-style CNF preprocessing\n");
       std::exit(0);
     } else {
       std::fprintf(stderr, "unknown option %s\n", arg.c_str());

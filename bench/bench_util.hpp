@@ -35,6 +35,8 @@ struct BenchOptions {
   std::string out_path;      ///< per-cell JSONL stream (--out FILE)
   bool resume = false;       ///< skip cells already in out_path (--resume)
   bool certify = false;      ///< DRAT-certify every SAT verdict (--certify)
+  bool preprocess = false;   ///< SatELite-style CNF preprocessing
+                             ///< (--preprocess / --no-preprocess)
 
   /// SAT-attack options carrying the portfolio settings.
   attacks::SatAttackOptions attack_options(double timeout) const;
@@ -44,7 +46,8 @@ struct BenchOptions {
 
 /// Parses --full / --timeout S / --scale F / --seed N / --jobs N /
 /// --solver-jobs N / --portfolio / --stats FILE / --out FILE / --resume /
-/// --certify plus RIL_BENCH_FULL and RIL_BENCH_JOBS (campaign workers).
+/// --certify / --preprocess / --no-preprocess plus RIL_BENCH_FULL and
+/// RIL_BENCH_JOBS (campaign workers).
 BenchOptions parse_options(int argc, char** argv);
 
 /// Runs the cells as a campaign with the binary's --jobs/--out/--resume

@@ -39,6 +39,9 @@ struct AppSatOptions {
   bool record_solves = false;
   /// Cone-specialized I/O-constraint encoding (see SatAttackOptions).
   bool specialize_dips = true;
+  /// SatELite-style preprocessing of the miter / key formulas before their
+  /// first solve (see SatAttackOptions::preprocess).
+  bool preprocess = false;
   /// Optional caller-owned cancellation flag (reported as kTimeout).
   const std::atomic<bool>* cancel = nullptr;
 };

@@ -46,13 +46,23 @@ SatAttackResult run_sat_attack(const Netlist& locked, QueryOracle& oracle,
   // is certified -- the UNSAT that terminates the DIP loop is the claim
   // the paper's iteration counts rest on.
   if (options.certify) miter.enable_proof();
+  if (options.preprocess) miter.enable_preprocessing();
   const engine::MiterContext ctx(locked, miter);
+  if (options.preprocess) {
+    // The DIP loop reads X from each model and adds constraints over both
+    // key vectors, so those variables must survive elimination.
+    miter.freeze(ctx.input_vars());
+    miter.freeze(ctx.copy(0).key_vars);
+    miter.freeze(ctx.copy(1).key_vars);
+  }
 
   // Key-determination portfolio: one key vector constrained by all DIPs.
   SolverPortfolio key_solver(options.jobs, options.portfolio_seed + 0x9e37);
   key_solver.set_external_stop(budget.stop_flag());
+  if (options.preprocess) key_solver.enable_preprocessing();
   const std::vector<Var> key_vars =
       engine::make_vars(key_solver, locked.key_inputs().size());
+  if (options.preprocess) key_solver.freeze(key_vars);
 
   engine::DipConstraintEncoder dips(locked, options.specialize_dips);
 
@@ -165,6 +175,10 @@ SatAttackResult run_sat_attack(const Netlist& locked, QueryOracle& oracle,
   }
   result.seconds = budget.elapsed();
   result.conflicts = miter.total_conflicts();
+  if (const sat::PreprocessStats* prep = miter.preprocess_stats()) {
+    result.preprocessed = true;
+    result.preprocess = *prep;
+  }
   const engine::ConstraintStats totals = budget.constraint_totals();
   result.encoded_clauses = totals.encoded_clauses;
   result.saved_clauses = totals.saved_clauses;

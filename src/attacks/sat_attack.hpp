@@ -58,6 +58,15 @@ struct SatAttackOptions {
   /// returned in SatAttackResult::proof_trace. Off by default; the search
   /// itself is bit-identical either way.
   bool certify = false;
+  /// SatELite-style preprocessing (subsumption, self-subsuming resolution,
+  /// bounded variable elimination) of the miter and key-determination
+  /// formulas before their first solve. Input and key variables are frozen
+  /// so DIP extraction, I/O constraints, and key canonicalization keep
+  /// working; composes with certify (elimination steps are replayed into
+  /// the DRAT trace). Off by default: preprocessing changes the search
+  /// trajectory, so --jobs 1 runs are no longer bit-identical to the
+  /// historical serial path when enabled.
+  bool preprocess = false;
 };
 
 /// Certification verdict for a whole attack run.
@@ -105,6 +114,11 @@ struct SatAttackResult {
   std::shared_ptr<const sat::DratTrace> proof_trace;
   /// False iff some SAT model failed the replay self-check (unsound SAT).
   bool models_verified = true;
+  /// --- preprocessing (options.preprocess) ------------------------------
+  /// True when the miter formula went through the preprocessor; `preprocess`
+  /// then holds the miter-side simplification statistics.
+  bool preprocessed = false;
+  sat::PreprocessStats preprocess;
 };
 
 std::string to_string(SatAttackStatus status);

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <stdexcept>
 #include <thread>
 
 namespace ril::runtime {
@@ -108,17 +109,77 @@ const sat::DratTrace* SolverPortfolio::winner_trace() const {
   return traces_[last_winner_].get();
 }
 
+void SolverPortfolio::enable_preprocessing(
+    const sat::PreprocessConfig& config) {
+  if (prep_) return;
+  if (solvers_.front()->num_vars() != 0 ||
+      solvers_.front()->num_clauses() != 0) {
+    throw std::logic_error(
+        "SolverPortfolio::enable_preprocessing: call before the first "
+        "new_var/add_clause");
+  }
+  prep_ = std::make_unique<sat::Preprocessor>(config);
+}
+
+void SolverPortfolio::freeze(Var v) {
+  if (!prep_) return;  // harmless without preprocessing
+  if (prep_done_) {
+    throw std::logic_error(
+        "SolverPortfolio::freeze: preprocessing already ran (freeze before "
+        "the first solve)");
+  }
+  prep_->freeze(v);
+}
+
+void SolverPortfolio::freeze(const std::vector<Var>& vars) {
+  for (const Var v : vars) freeze(v);
+}
+
+void SolverPortfolio::check_not_eliminated(const Clause& lits) const {
+  for (const Lit l : lits) {
+    if (prep_->is_eliminated(l.var())) {
+      throw std::logic_error(
+          "SolverPortfolio: variable " + std::to_string(l.var()) +
+          " was eliminated by preprocessing; freeze() it before the first "
+          "solve");
+    }
+  }
+}
+
 Var SolverPortfolio::new_var() {
-  const Var v = solvers_.front()->new_var();
+  if (prep_ && !prep_done_) return prep_->new_var();
+  const Var inner = solvers_.front()->new_var();
   for (std::size_t i = 1; i < solvers_.size(); ++i) solvers_[i]->new_var();
-  return v;
+  if (!prep_) return inner;
+  // Post-preprocessing variables exist on both sides of the remap.
+  const Var outer = prep_->new_var();
+  remap_.append(outer, inner);
+  return outer;
 }
 
 void SolverPortfolio::ensure_var(Var v) {
+  if (prep_ && !prep_done_) {
+    prep_->ensure_var(v);
+    return;
+  }
+  if (prep_) {
+    while (prep_->num_vars() <= static_cast<std::size_t>(v)) new_var();
+    return;
+  }
   for (auto& solver : solvers_) solver->ensure_var(v);
 }
 
 bool SolverPortfolio::add_clause(Clause lits) {
+  if (prep_ && !prep_done_) {
+    // Staged: the members see the clause (simplified) at the first solve.
+    return prep_->add_clause(std::move(lits));
+  }
+  if (prep_) {
+    check_not_eliminated(lits);
+    Clause inner;
+    remap_.clause_to_inner(lits, inner);
+    lits = std::move(inner);
+  }
   bool ok = true;
   for (auto& solver : solvers_) {
     // Members may disagree on *detecting* root unsatisfiability (their
@@ -130,8 +191,97 @@ bool SolverPortfolio::add_clause(Clause lits) {
   return ok;
 }
 
+void SolverPortfolio::finish_preprocessing(
+    const std::vector<Lit>& assumptions) {
+  prep_done_ = true;
+  // The first solve's assumption variables must survive elimination; later
+  // solves may only assume variables the caller froze explicitly.
+  for (const Lit a : assumptions) prep_->freeze(a.var());
+  const bool proof = !traces_.empty();
+  if (proof) prep_->enable_proof();
+  prep_->run();
+
+  const std::size_t outer_count = prep_->num_vars();
+  if (proof) {
+    // Identity numbering keeps the trace replayable without a translation
+    // table (eliminated vars stay as unconstrained member variables; the
+    // reconstructed model overrides them).
+    remap_ = sat::Remapper::identity(outer_count);
+  } else {
+    std::vector<bool> keep(outer_count);
+    for (std::size_t v = 0; v < outer_count; ++v) {
+      keep[v] = !prep_->is_eliminated(static_cast<Var>(v));
+    }
+    remap_ = sat::Remapper::compacting(keep);
+  }
+
+  const std::vector<Clause> simplified = prep_->clauses();
+  for (std::size_t i = 0; i < solvers_.size(); ++i) {
+    sat::Solver& solver = *solvers_[i];
+    if (proof) {
+      // The trace's axiom set is the *original* formula; the prep steps
+      // derive the simplified one, and the members are then fed silently
+      // so they do not re-log the simplified clauses as axioms.
+      sat::DratTrace& trace = *traces_[i];
+      for (const Clause& original : prep_->originals()) {
+        trace.original(original);
+      }
+      for (const sat::ProofStep& step : prep_->trace().steps()) {
+        switch (step.kind) {
+          case sat::ProofStepKind::kOriginal:
+            trace.original(step.lits);
+            break;
+          case sat::ProofStepKind::kDerive:
+            trace.derive(step.lits);
+            break;
+          case sat::ProofStepKind::kErase:
+            trace.erase(step.lits);
+            break;
+        }
+      }
+      solver.set_proof(nullptr);
+    }
+    if (remap_.inner_count() > 0) {
+      solver.ensure_var(static_cast<Var>(remap_.inner_count()) - 1);
+    }
+    bool ok = !prep_->contradiction();
+    if (!ok) {
+      solver.add_clause(Clause{});
+    } else {
+      Clause inner;
+      for (const Clause& c : simplified) {
+        remap_.clause_to_inner(c, inner);
+        if (!solver.add_clause(inner)) {
+          ok = false;
+          break;
+        }
+      }
+    }
+    if (proof) {
+      // A member that went dead during the silent feed derived UNSAT by
+      // root unit propagation over the live set, so the empty clause is
+      // RUP here; prep-detected contradictions already closed the trace.
+      sat::DratTrace& trace = *traces_[i];
+      if (!ok && !trace.closed()) trace.derive({});
+      solver.set_proof(&trace);
+    }
+    if (!ok) proven_unsat_ = true;
+  }
+}
+
 SolveOutcome SolverPortfolio::solve(const std::vector<Lit>& assumptions) {
   const auto start = std::chrono::steady_clock::now();
+  if (prep_ && !prep_done_) finish_preprocessing(assumptions);
+  std::vector<Lit> mapped_assumptions;
+  const std::vector<Lit>* effective = &assumptions;
+  if (prep_) {
+    check_not_eliminated(assumptions);
+    mapped_assumptions.reserve(assumptions.size());
+    for (const Lit a : assumptions) {
+      mapped_assumptions.push_back(remap_.lit_to_inner(a));
+    }
+    effective = &mapped_assumptions;
+  }
   SolveOutcome outcome;
   const std::size_t n = solvers_.size();
   std::vector<std::uint64_t> conflicts_before(n);
@@ -156,7 +306,7 @@ SolveOutcome SolverPortfolio::solve(const std::vector<Lit>& assumptions) {
     Solver& solver = *solvers_[pick];
     solver.set_limits(limits_);
     solver.set_cancel_flag(external_stop_);
-    outcome.result = solver.solve(assumptions);
+    outcome.result = solver.solve(*effective);
     solver.set_cancel_flag(nullptr);
     winner_index = static_cast<int>(pick);
   } else {
@@ -167,12 +317,12 @@ SolveOutcome SolverPortfolio::solve(const std::vector<Lit>& assumptions) {
     std::vector<std::thread> threads;
     threads.reserve(n);
     for (std::size_t i = 0; i < n; ++i) {
-      threads.emplace_back([this, i, &assumptions, &cancel, &claimed,
+      threads.emplace_back([this, i, effective, &cancel, &claimed,
                             &results, &finished] {
         Solver& solver = *solvers_[i];
         solver.set_limits(limits_);
         solver.set_cancel_flag(&cancel);
-        const Result r = solver.solve(assumptions);
+        const Result r = solver.solve(*effective);
         results[i] = r;
         if (r != Result::kUnknown) {
           int expected = -1;
@@ -208,11 +358,31 @@ SolveOutcome SolverPortfolio::solve(const std::vector<Lit>& assumptions) {
     outcome.winner_seed = solvers_[winner_index]->config().seed;
     outcome.conflicts = solvers_[winner_index]->stats().conflicts -
                         conflicts_before[winner_index];
+    if (prep_ && outcome.result == Result::kSat) {
+      // Reconstruct the outer model: copy surviving variables from the
+      // winner, then replay the elimination stack.
+      ext_model_.assign(prep_->num_vars(), LBool::kUndef);
+      const Solver& winner = *solvers_[winner_index];
+      for (std::size_t v = 0; v < ext_model_.size(); ++v) {
+        const Var outer = static_cast<Var>(v);
+        if (prep_->is_eliminated(outer)) continue;
+        const Var inner = remap_.to_inner(outer);
+        if (inner != sat::kNoVar &&
+            static_cast<std::size_t>(inner) < winner.num_vars()) {
+          ext_model_[v] = winner.model_value(inner);
+        }
+      }
+      prep_->extend_model(ext_model_);
+    }
     if (!traces_.empty()) {
       outcome.proof_steps = traces_[winner_index]->size();
       if (outcome.result == Result::kSat) {
-        outcome.model_verified =
-            solvers_[winner_index]->verify_model(assumptions) ? 1 : 0;
+        // With preprocessing the member check covers the simplified
+        // formula plus post-prep clauses; the preprocessor check replays
+        // the reconstructed model against every *original* clause.
+        bool verified = solvers_[winner_index]->verify_model(*effective);
+        if (prep_) verified = verified && prep_->verify_model(ext_model_);
+        outcome.model_verified = verified ? 1 : 0;
       }
     }
   }
@@ -227,11 +397,17 @@ SolveOutcome SolverPortfolio::solve(const std::vector<Lit>& assumptions) {
 }
 
 LBool SolverPortfolio::model_value(Var v) const {
+  if (prep_) {
+    if (v >= 0 && static_cast<std::size_t>(v) < ext_model_.size()) {
+      return ext_model_[v];
+    }
+    return LBool::kUndef;
+  }
   return solvers_[last_winner_]->model_value(v);
 }
 
 bool SolverPortfolio::model_bool(Var v) const {
-  return solvers_[last_winner_]->model_bool(v);
+  return model_value(v) == LBool::kTrue;
 }
 
 std::uint64_t SolverPortfolio::total_conflicts() const {

@@ -23,7 +23,9 @@
 #include <vector>
 
 #include "sat/clause_sink.hpp"
+#include "sat/preprocessor.hpp"
 #include "sat/proof.hpp"
+#include "sat/remapper.hpp"
 #include "sat/solver.hpp"
 
 namespace ril::runtime {
@@ -96,6 +98,36 @@ class SolverPortfolio : public sat::ClauseSink {
   /// clauses; the winner's trace is therefore self-contained). Idempotent.
   void enable_proof();
   bool proof_enabled() const { return !traces_.empty(); }
+
+  /// Turns on SatELite-style preprocessing (sat/preprocessor.hpp). Must be
+  /// called before the first new_var/add_clause. Variables and clauses are
+  /// then staged in a Preprocessor instead of the members; the first
+  /// solve() freezes its assumption variables, simplifies the staged
+  /// formula, and feeds the result (variables packed by a sat::Remapper)
+  /// into every member. Callers own the freeze obligation: every variable
+  /// referenced by later add_clause / assumption / model_value calls must
+  /// be frozen before that first solve, or those calls throw
+  /// std::logic_error when they hit an eliminated variable.
+  ///
+  /// Composes with enable_proof(): the preprocessor's elimination and
+  /// strengthening steps are replayed into each member's trace (originals
+  /// first, so the axiom set stays the unsimplified formula), variable
+  /// numbering stays identity, and the simplified clauses are fed with
+  /// member-side logging detached -- the resulting traces still pass
+  /// sat::check_refutation. Models are reconstructed against the original
+  /// formula via Preprocessor::extend_model before the self-check runs.
+  void enable_preprocessing(
+      const sat::PreprocessConfig& config = sat::PreprocessConfig{});
+  bool preprocessing_enabled() const { return prep_ != nullptr; }
+  /// Protects a variable from elimination; only meaningful between
+  /// enable_preprocessing() and the first solve().
+  void freeze(sat::Var v);
+  void freeze(const std::vector<sat::Var>& vars);
+  /// Preprocessing statistics; nullptr until the first solve() after
+  /// enable_preprocessing() has run the simplifier.
+  const sat::PreprocessStats* preprocess_stats() const {
+    return prep_ && prep_done_ ? &prep_->stats() : nullptr;
+  }
   /// The decisive member's trace after solve() (nullptr when proof
   /// logging is off). For an UNSAT verdict with no assumptions the trace
   /// is a closed refutation checkable by sat::check_refutation.
@@ -110,7 +142,9 @@ class SolverPortfolio : public sat::ClauseSink {
   sat::LBool model_value(sat::Var v) const;
   bool model_bool(sat::Var v) const;
 
-  std::size_t num_vars() const { return solvers_.front()->num_vars(); }
+  std::size_t num_vars() const {
+    return prep_ ? prep_->num_vars() : solvers_.front()->num_vars();
+  }
   std::uint64_t total_conflicts() const;
   const sat::Solver& member(unsigned index) const { return *solvers_[index]; }
   const std::string& member_name(unsigned index) const {
@@ -118,6 +152,11 @@ class SolverPortfolio : public sat::ClauseSink {
   }
 
  private:
+  /// Runs the staged preprocessor and feeds the members (first solve()).
+  void finish_preprocessing(const std::vector<sat::Lit>& assumptions);
+  /// Throws if a literal of `lits` lost its variable to elimination.
+  void check_not_eliminated(const sat::Clause& lits) const;
+
   std::vector<std::unique_ptr<sat::Solver>> solvers_;
   std::vector<std::unique_ptr<sat::DratTrace>> traces_;
   std::vector<std::string> names_;
@@ -125,6 +164,13 @@ class SolverPortfolio : public sat::ClauseSink {
   const std::atomic<bool>* external_stop_ = nullptr;
   int last_winner_ = 0;
   bool proven_unsat_ = false;
+
+  std::unique_ptr<sat::Preprocessor> prep_;
+  sat::Remapper remap_;
+  /// Model over the outer (pre-preprocessing) numbering, reconstructed
+  /// after a kSat solve with preprocessing on.
+  std::vector<sat::LBool> ext_model_;
+  bool prep_done_ = false;
 };
 
 }  // namespace ril::runtime

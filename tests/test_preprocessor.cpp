@@ -1,0 +1,411 @@
+// Preprocessor / remapper unit tests plus portfolio-level integration:
+// preprocess-on/off verdict agreement (random CNF and locked miters),
+// model reconstruction against the *original* clauses, DRAT certification
+// surviving preprocessing, and incremental solving over frozen variables.
+#include "sat/preprocessor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <stdexcept>
+
+#include "attacks/engine/miter_context.hpp"
+#include "attacks/sat_attack.hpp"
+#include "benchgen/random_dag.hpp"
+#include "cnf/equivalence.hpp"
+#include "locking/schemes.hpp"
+#include "runtime/portfolio.hpp"
+#include "sat/drat_check.hpp"
+#include "sat/remapper.hpp"
+#include "sat/solver.hpp"
+
+namespace ril::sat {
+namespace {
+
+Lit pos(Var v) { return Lit::make(v); }
+Lit neg(Var v) { return Lit::make(v, true); }
+
+// --- Remapper --------------------------------------------------------------
+
+TEST(Remapper, IdentityRoundTrip) {
+  const Remapper map = Remapper::identity(5);
+  EXPECT_EQ(map.outer_count(), 5u);
+  EXPECT_EQ(map.inner_count(), 5u);
+  for (Var v = 0; v < 5; ++v) {
+    EXPECT_TRUE(map.maps(v));
+    EXPECT_EQ(map.to_inner(v), v);
+    EXPECT_EQ(map.to_outer(v), v);
+  }
+}
+
+TEST(Remapper, CompactingSkipsEliminated) {
+  const Remapper map = Remapper::compacting({true, false, true, false, true});
+  EXPECT_EQ(map.outer_count(), 5u);
+  EXPECT_EQ(map.inner_count(), 3u);
+  EXPECT_EQ(map.to_inner(0), 0);
+  EXPECT_FALSE(map.maps(1));
+  EXPECT_EQ(map.to_inner(2), 1);
+  EXPECT_EQ(map.to_inner(4), 2);
+  EXPECT_EQ(map.to_outer(2), 4);
+  EXPECT_EQ(map.lit_to_inner(neg(4)), neg(2));
+  EXPECT_EQ(map.lit_to_outer(pos(1)), pos(2));
+  Clause inner;
+  EXPECT_TRUE(map.clause_to_inner({pos(0), neg(4)}, inner));
+  EXPECT_EQ(inner, Clause({pos(0), neg(2)}));
+  EXPECT_FALSE(map.clause_to_inner({pos(1)}, inner));
+}
+
+TEST(Remapper, AppendExtends) {
+  Remapper map = Remapper::compacting({true, false, true});
+  map.append(3, 2);
+  EXPECT_TRUE(map.maps(3));
+  EXPECT_EQ(map.to_inner(3), 2);
+  EXPECT_EQ(map.to_outer(2), 3);
+}
+
+// --- Preprocessor units ----------------------------------------------------
+
+TEST(Preprocessor, SubsumptionRemovesSuperset) {
+  Preprocessor prep;
+  const Var a = prep.new_var();
+  const Var b = prep.new_var();
+  const Var c = prep.new_var();
+  prep.freeze({a, b, c});
+  prep.add_clause({pos(a), pos(b)});
+  prep.add_clause({pos(a), pos(b), pos(c)});
+  prep.run();
+  EXPECT_GE(prep.stats().subsumed_clauses, 1u);
+  EXPECT_EQ(prep.stats().clauses_after, 1u);
+  EXPECT_EQ(prep.clauses().front(), Clause({pos(a), pos(b)}));
+}
+
+TEST(Preprocessor, SelfSubsumptionStrengthens) {
+  Preprocessor prep;
+  const Var a = prep.new_var();
+  const Var b = prep.new_var();
+  const Var c = prep.new_var();
+  prep.freeze({a, b, c});
+  prep.add_clause({pos(a), pos(b)});
+  prep.add_clause({neg(a), pos(b), pos(c)});
+  prep.run();
+  EXPECT_GE(prep.stats().strengthened_literals, 1u);
+  // {a,b} and {~a,b,c} resolve on a to {b,c}, which replaces the superset.
+  bool found = false;
+  for (const Clause& cl : prep.clauses()) {
+    if (cl == Clause({pos(b), pos(c)})) found = true;
+    EXPECT_NE(cl, Clause({neg(a), pos(b), pos(c)}));
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Preprocessor, EliminatesChainAndReconstructsModel) {
+  // x0 -> x1 -> x2 -> x3 as equivalences; only the endpoints are frozen.
+  Preprocessor prep;
+  std::vector<Var> x;
+  for (int i = 0; i < 4; ++i) x.push_back(prep.new_var());
+  prep.freeze(x.front());
+  prep.freeze(x.back());
+  for (int i = 0; i + 1 < 4; ++i) {
+    prep.add_clause({neg(x[i]), pos(x[i + 1])});
+    prep.add_clause({pos(x[i]), neg(x[i + 1])});
+  }
+  prep.run();
+  EXPECT_GE(prep.stats().eliminated_vars, 1u);
+  EXPECT_FALSE(prep.is_eliminated(x.front()));
+  EXPECT_FALSE(prep.is_eliminated(x.back()));
+
+  // A model of the simplified formula extends to one of the original.
+  std::vector<LBool> model(prep.num_vars(), LBool::kUndef);
+  model[x.front()] = LBool::kTrue;
+  model[x.back()] = LBool::kTrue;
+  for (int i = 1; i < 3; ++i) {
+    if (!prep.is_eliminated(x[i])) model[x[i]] = LBool::kTrue;
+  }
+  prep.extend_model(model);
+  EXPECT_TRUE(prep.verify_model(model));
+}
+
+TEST(Preprocessor, FrozenVariablesSurvive) {
+  Preprocessor prep;
+  const Var a = prep.new_var();
+  const Var b = prep.new_var();
+  prep.freeze(a);
+  prep.freeze(b);
+  prep.add_clause({neg(a), pos(b)});
+  prep.add_clause({pos(a), neg(b)});
+  prep.run();
+  EXPECT_EQ(prep.stats().eliminated_vars, 0u);
+}
+
+TEST(Preprocessor, PureLiteralEliminationIsFree) {
+  Preprocessor prep;
+  const Var a = prep.new_var();
+  const Var b = prep.new_var();
+  prep.freeze(b);
+  prep.add_clause({pos(a), pos(b)});  // a occurs only positively
+  prep.run();
+  EXPECT_TRUE(prep.is_eliminated(a));
+  EXPECT_EQ(prep.stats().resolvents_added, 0u);
+  std::vector<LBool> model(prep.num_vars(), LBool::kUndef);
+  model[b] = LBool::kFalse;
+  prep.extend_model(model);
+  EXPECT_EQ(model[a], LBool::kTrue);
+  EXPECT_TRUE(prep.verify_model(model));
+}
+
+TEST(Preprocessor, ContradictionByStrengthening) {
+  Preprocessor prep;
+  const Var a = prep.new_var();
+  prep.freeze(a);
+  prep.enable_proof();
+  prep.add_clause({pos(a)});
+  prep.add_clause({neg(a)});
+  prep.run();
+  EXPECT_TRUE(prep.contradiction());
+  EXPECT_TRUE(prep.trace().closed());
+}
+
+// --- Portfolio integration -------------------------------------------------
+
+Clause random_clause(std::mt19937_64& rng, int num_vars) {
+  std::uniform_int_distribution<int> var_dist(0, num_vars - 1);
+  std::uniform_int_distribution<int> sign_dist(0, 1);
+  Clause c;
+  while (c.size() < 3) {
+    const Var v = var_dist(rng);
+    bool fresh = true;
+    for (const Lit l : c) fresh = fresh && l.var() != v;
+    if (fresh) c.push_back(Lit::make(v, sign_dist(rng) == 1));
+  }
+  return c;
+}
+
+bool model_satisfies(const std::vector<Clause>& clauses,
+                     const runtime::SolverPortfolio& portfolio) {
+  for (const Clause& c : clauses) {
+    bool satisfied = false;
+    for (const Lit l : c) {
+      if (portfolio.model_bool(l.var()) != l.sign()) {
+        satisfied = true;
+        break;
+      }
+    }
+    if (!satisfied) return false;
+  }
+  return true;
+}
+
+TEST(PortfolioPreprocess, RandomCnfVerdictAgreement) {
+  // Fuzz sweep near the 3-SAT threshold: preprocessing must never flip a
+  // verdict, and reconstructed models must satisfy the original clauses.
+  const int kVars = 30;
+  const int kClauses = 128;  // ratio ~4.3
+  int sat_seen = 0;
+  int unsat_seen = 0;
+  for (std::uint64_t seed = 0; seed < 24; ++seed) {
+    std::mt19937_64 rng(seed * 7919 + 1);
+    std::vector<Clause> clauses;
+    clauses.reserve(kClauses);
+    for (int i = 0; i < kClauses; ++i) {
+      clauses.push_back(random_clause(rng, kVars));
+    }
+
+    Solver reference;
+    runtime::SolverPortfolio prep_portfolio(1);
+    prep_portfolio.enable_preprocessing();
+    for (int v = 0; v < kVars; ++v) {
+      reference.new_var();
+      prep_portfolio.new_var();
+    }
+    for (const Clause& c : clauses) {
+      reference.add_clause(c);
+      prep_portfolio.add_clause(c);
+    }
+    const Result expected = reference.solve();
+    const runtime::SolveOutcome outcome = prep_portfolio.solve();
+    ASSERT_EQ(outcome.result, expected) << "seed " << seed;
+    if (expected == Result::kSat) {
+      ++sat_seen;
+      EXPECT_TRUE(model_satisfies(clauses, prep_portfolio))
+          << "seed " << seed;
+      const sat::PreprocessStats* stats =
+          prep_portfolio.preprocess_stats();
+      ASSERT_NE(stats, nullptr);
+    } else {
+      ++unsat_seen;
+    }
+  }
+  // The sweep must actually exercise both verdicts.
+  EXPECT_GT(sat_seen, 0);
+  EXPECT_GT(unsat_seen, 0);
+}
+
+TEST(PortfolioPreprocess, CertifiedUnsatPassesChecker) {
+  // With proof logging AND preprocessing on, UNSAT traces must still pass
+  // the independent RUP checker, and SAT models must pass the self-check
+  // against the original formula.
+  const int kVars = 24;
+  const int kClauses = 116;
+  int unsat_seen = 0;
+  for (std::uint64_t seed = 100; seed < 116; ++seed) {
+    std::mt19937_64 rng(seed);
+    runtime::SolverPortfolio portfolio(1);
+    portfolio.enable_proof();
+    portfolio.enable_preprocessing();
+    for (int v = 0; v < kVars; ++v) portfolio.new_var();
+    for (int i = 0; i < kClauses; ++i) {
+      portfolio.add_clause(random_clause(rng, kVars));
+    }
+    const runtime::SolveOutcome outcome = portfolio.solve();
+    if (outcome.result == Result::kUnsat) {
+      ++unsat_seen;
+      const DratTrace* trace = portfolio.winner_trace();
+      ASSERT_NE(trace, nullptr);
+      ASSERT_TRUE(trace->closed());
+      const DratCheckResult check = check_refutation(*trace);
+      EXPECT_TRUE(check.valid) << "seed " << seed << ": " << check.error;
+    } else if (outcome.result == Result::kSat) {
+      EXPECT_EQ(outcome.model_verified, 1) << "seed " << seed;
+    }
+  }
+  EXPECT_GT(unsat_seen, 0);
+}
+
+TEST(PortfolioPreprocess, IncrementalSolvesOverFrozenVars) {
+  // Assumption solving and clause addition after preprocessing, restricted
+  // to frozen variables, must agree with an unpreprocessed reference.
+  runtime::SolverPortfolio portfolio(1);
+  portfolio.enable_preprocessing();
+  Solver reference;
+  std::vector<Var> x;
+  for (int i = 0; i < 8; ++i) {
+    x.push_back(portfolio.new_var());
+    reference.new_var();
+  }
+  // Chain x0 -> ... -> x7; interior vars eliminate unless frozen.
+  for (int i = 0; i + 1 < 8; ++i) {
+    portfolio.add_clause({neg(x[i]), pos(x[i + 1])});
+    reference.add_clause({neg(x[i]), pos(x[i + 1])});
+  }
+  portfolio.freeze(x.front());
+  portfolio.freeze(x.back());
+
+  // First solve: assumptions freeze their own variables automatically.
+  const runtime::SolveOutcome first =
+      portfolio.solve({pos(x.front()), neg(x.back())});
+  EXPECT_EQ(first.result,
+            reference.solve({pos(x.front()), neg(x.back())}));
+
+  // Post-preprocessing clause over frozen vars, then new variables.
+  portfolio.add_clause({pos(x.front())});
+  reference.add_clause({pos(x.front())});
+  const Var fresh_p = portfolio.new_var();
+  const Var fresh_r = reference.new_var();
+  portfolio.add_clause({neg(x.back()), pos(fresh_p)});
+  reference.add_clause({neg(x.back()), pos(fresh_r)});
+  const runtime::SolveOutcome second = portfolio.solve();
+  EXPECT_EQ(second.result, reference.solve());
+  EXPECT_EQ(second.result, Result::kSat);
+  EXPECT_TRUE(portfolio.model_bool(x.front()));
+  // The implication chain forces every interior (eliminated) variable.
+  for (const Var v : x) EXPECT_TRUE(portfolio.model_bool(v));
+  EXPECT_TRUE(portfolio.model_bool(fresh_p));
+
+  // A clause over an eliminated variable is a caller bug and throws.
+  runtime::SolverPortfolio strict(1);
+  strict.enable_preprocessing();
+  std::vector<Var> y;
+  for (int i = 0; i < 4; ++i) y.push_back(strict.new_var());
+  for (int i = 0; i + 1 < 4; ++i) {
+    strict.add_clause({neg(y[i]), pos(y[i + 1])});
+  }
+  strict.freeze(y.front());
+  strict.solve({pos(y.front())});
+  ASSERT_TRUE(strict.preprocess_stats() != nullptr);
+  if (strict.preprocess_stats()->eliminated_vars > 0) {
+    EXPECT_THROW(strict.add_clause({pos(y[1])}), std::logic_error);
+  }
+}
+
+// --- Locked-miter integration ---------------------------------------------
+
+netlist::Netlist host_circuit(std::uint64_t seed) {
+  benchgen::RandomDagParams params;
+  params.num_inputs = 12;
+  params.num_outputs = 6;
+  params.num_gates = 120;
+  params.seed = seed;
+  return benchgen::generate_random_dag(params);
+}
+
+TEST(PortfolioPreprocess, LockedMiterVerdictAgreement) {
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    const netlist::Netlist host = host_circuit(seed);
+    const locking::LockedCircuit locked =
+        locking::lock_xor(host, 8, 40 + seed);
+
+    runtime::SolverPortfolio plain(1);
+    const attacks::engine::MiterContext plain_ctx(locked.netlist, plain);
+
+    runtime::SolverPortfolio prepped(1);
+    prepped.enable_preprocessing();
+    const attacks::engine::MiterContext prep_ctx(locked.netlist, prepped);
+    prepped.freeze(prep_ctx.input_vars());
+    prepped.freeze(prep_ctx.copy(0).key_vars);
+    prepped.freeze(prep_ctx.copy(1).key_vars);
+
+    const runtime::SolveOutcome plain_out = plain.solve();
+    const runtime::SolveOutcome prep_out = prepped.solve();
+    ASSERT_EQ(prep_out.result, plain_out.result) << "seed " << seed;
+    const sat::PreprocessStats* stats = prepped.preprocess_stats();
+    ASSERT_NE(stats, nullptr);
+    EXPECT_LT(stats->clauses_after, stats->clauses_before);
+    EXPECT_GT(stats->eliminated_vars, 0u);
+  }
+}
+
+TEST(SatAttackPreprocess, SameKeySameVerdict) {
+  const netlist::Netlist host = host_circuit(7);
+  const locking::LockedCircuit locked = locking::lock_xor(host, 10, 77);
+  attacks::Oracle oracle_a(locked.netlist, locked.key);
+  attacks::Oracle oracle_b(locked.netlist, locked.key);
+
+  attacks::SatAttackOptions off;
+  attacks::SatAttackOptions on;
+  on.preprocess = true;
+  const attacks::SatAttackResult r_off =
+      attacks::run_sat_attack(locked.netlist, oracle_a, off);
+  const attacks::SatAttackResult r_on =
+      attacks::run_sat_attack(locked.netlist, oracle_b, on);
+  ASSERT_EQ(r_off.status, attacks::SatAttackStatus::kKeyFound);
+  ASSERT_EQ(r_on.status, attacks::SatAttackStatus::kKeyFound);
+  // Canonical keys are DIP-order independent, so they must match exactly.
+  EXPECT_EQ(r_on.key, r_off.key);
+  EXPECT_TRUE(r_on.preprocessed);
+  EXPECT_FALSE(r_off.preprocessed);
+  EXPECT_LT(r_on.preprocess.clauses_after, r_on.preprocess.clauses_before);
+  EXPECT_TRUE(
+      cnf::check_equivalence(locked.netlist, host, r_on.key, {})
+          .equivalent());
+}
+
+TEST(SatAttackPreprocess, CertifiedAttackStillValidates) {
+  const netlist::Netlist host = host_circuit(9);
+  const locking::LockedCircuit locked = locking::lock_xor(host, 8, 99);
+  attacks::Oracle oracle(locked.netlist, locked.key);
+
+  attacks::SatAttackOptions options;
+  options.preprocess = true;
+  options.certify = true;
+  const attacks::SatAttackResult result =
+      attacks::run_sat_attack(locked.netlist, oracle, options);
+  ASSERT_EQ(result.status, attacks::SatAttackStatus::kKeyFound);
+  EXPECT_EQ(result.proof_status, attacks::ProofStatus::kValid);
+  EXPECT_TRUE(result.models_verified);
+  ASSERT_NE(result.proof_trace, nullptr);
+  const DratCheckResult check = check_refutation(*result.proof_trace);
+  EXPECT_TRUE(check.valid) << check.error;
+}
+
+}  // namespace
+}  // namespace ril::sat

@@ -13,7 +13,7 @@
 //
 //   ril attack <method> <locked.bench> <activated.bench> [--timeout S]
 //              [--jobs N | --portfolio] [--stats out.json] [--no-specialize]
-//              [--certify [--proof out.drat]]
+//              [--preprocess] [--certify [--proof out.drat]]
 //       Methods: sat | appsat | onehot | removal | sps | bypass. The
 //       activated netlist (no key inputs) acts as the oracle. Prints the
 //       result and, when a key is recovered, verifies it by SAT CEC.
@@ -22,10 +22,15 @@
 //       hardware threads; --stats writes per-solve JSON records (seed,
 //       winning configuration, conflicts, wall time, constraint clause
 //       costs); --no-specialize reverts the SAT/AppSAT I/O constraints to
-//       the historical full-circuit re-encoding; --certify (sat only)
-//       DRAT-logs every miter solve, self-checks SAT models, validates the
-//       final UNSAT certificate with the independent RUP checker, and with
-//       --proof writes the certificate for offline `ril check-proof`.
+//       the historical full-circuit re-encoding; --preprocess (sat/appsat)
+//       runs SatELite-style simplification (subsumption, self-subsuming
+//       resolution, bounded variable elimination) on the miter and key
+//       formulas before their first solve (--no-preprocess is the
+//       default); --certify (sat only) DRAT-logs every miter solve,
+//       self-checks SAT models, validates the final UNSAT certificate
+//       with the independent RUP checker, and with --proof writes the
+//       certificate for offline `ril check-proof`. --preprocess composes
+//       with --certify: elimination steps are emitted into the trace.
 //
 //   ril check-proof <trace.drat>
 //       Re-validate a previously written certificate with the forward RUP
@@ -39,7 +44,7 @@
 //       Specialize the key, simplify, and write the unlocked netlist.
 //
 //   ril campaign <spec.campaign> [--jobs N] [--out results.jsonl] [--resume]
-//               [--solver-jobs N]
+//               [--solver-jobs N] [--preprocess]
 //       Run a whole experiment suite from one declarative spec: each
 //       non-comment line is `<key> <circuit> <scale> <scheme[:opt=v,...]>
 //       <attack> <timeout> <seed>`. --jobs N runs N cells concurrently;
@@ -89,12 +94,12 @@ using namespace ril;
                " --bits N --seed S]\n"
                "  ril attack <method> <locked.bench> <activated.bench>"
                " [--timeout S --jobs N --portfolio --stats out.json"
-               " --no-specialize --certify --proof out.drat]\n"
+               " --no-specialize --preprocess --certify --proof out.drat]\n"
                "  ril check-proof <trace.drat>\n"
                "  ril analyze <file.bench> [key.txt]\n"
                "  ril unlock <locked.bench> <key.txt> <out.bench>\n"
                "  ril campaign <spec.campaign> [--jobs N --out results.jsonl"
-               " --resume --solver-jobs N --certify]\n");
+               " --resume --solver-jobs N --preprocess --certify]\n");
   std::exit(2);
 }
 
@@ -116,6 +121,7 @@ struct Args {
   bool output_net = false;
   bool scan = false;
   bool specialize = true;
+  bool preprocess = false;
   bool certify = false;
 };
 
@@ -143,6 +149,8 @@ Args parse(int argc, char** argv) {
     else if (arg == "--output-net") args.output_net = true;
     else if (arg == "--scan") args.scan = true;
     else if (arg == "--no-specialize") args.specialize = false;
+    else if (arg == "--preprocess") args.preprocess = true;
+    else if (arg == "--no-preprocess") args.preprocess = false;
     else if (arg == "--certify") args.certify = true;
     else if (arg == "--proof") args.proof_path = value();
     else if (arg.rfind("--", 0) == 0) usage(("unknown option " + arg).c_str());
@@ -347,6 +355,7 @@ int cmd_attack(const Args& args) {
     options.portfolio_seed = args.seed;
     options.record_solves = args.jobs > 1 || !args.stats_path.empty();
     options.specialize_dips = args.specialize;
+    options.preprocess = args.preprocess;
     options.certify = args.certify || !args.proof_path.empty();
     if (method == "sat") {
       const auto result = attacks::run_sat_attack(locked, oracle, options);
@@ -356,6 +365,14 @@ int cmd_attack(const Args& args) {
                   result.iterations,
                   static_cast<unsigned long long>(result.conflicts),
                   args.jobs);
+      if (result.preprocessed) {
+        const sat::PreprocessStats& p = result.preprocess;
+        std::printf("preprocess: miter %zu -> %zu clauses, %zu -> %zu vars"
+                    " (%zu eliminated, %zu subsumed, %zu strengthened)\n",
+                    p.clauses_before, p.clauses_after, p.vars_before,
+                    p.vars_after, p.eliminated_vars, p.subsumed_clauses,
+                    p.strengthened_literals);
+      }
       if (result.saved_clauses > 0) {
         std::printf("constraint clauses: %zu encoded, %zu saved by cone"
                     " specialization\n",
@@ -410,6 +427,7 @@ int cmd_attack(const Args& args) {
       appsat.portfolio_seed = args.seed;
       appsat.record_solves = options.record_solves;
       appsat.specialize_dips = args.specialize;
+      appsat.preprocess = args.preprocess;
       const auto result = attacks::run_appsat(locked, oracle, appsat);
       std::printf("appsat: %s in %.2fs, %zu DIPs, sampled error %.3f,"
                   " %llu conflicts (%u jobs)\n",
@@ -660,6 +678,7 @@ std::string run_campaign_cell(const CampaignCell& cell, const Args& args,
     options.portfolio_seed = cell.seed;
     options.cancel = &ctx.cancel_flag();
     options.certify = args.certify;
+    options.preprocess = args.preprocess;
     if (cell.attack == "onehot") {
       const auto result = attacks::run_sat_attack_onehot(locked, oracle,
                                                          options);
@@ -688,6 +707,7 @@ std::string run_campaign_cell(const CampaignCell& cell, const Args& args,
     options.jobs = args.solver_jobs;
     options.portfolio_seed = cell.seed;
     options.max_iterations = 64;
+    options.preprocess = args.preprocess;
     options.cancel = &ctx.cancel_flag();
     const auto result = attacks::run_appsat(locked, oracle, options);
     const bool broken = !result.key.empty() && breaks_scheme(result.key);
