@@ -49,7 +49,7 @@ int main() {
   const netlist::ScanInsertion scan = netlist::insert_scan_chain(seq);
   std::printf("scan chain inserted: %zu flops, SCAN_IN -> %s -> SCAN_OUT\n",
               scan.chain.size(),
-              scan.netlist.node(scan.chain[0]).name.c_str());
+              scan.netlist.name_of(scan.chain[0]).c_str());
 
   // Demonstrate ATE-style access on the unlocked chip.
   netlist::ScanTester tester(scan);

@@ -74,8 +74,7 @@ SpsResult run_sps_attack(const Netlist& locked, std::size_t patterns,
         const bool idle = probabilities[keyed] >= 0.5;
         const bool inverts = (node.type == GateType::kXor) == idle;
         if (inverts) {
-          work.node(id).type = GateType::kNot;
-          work.node(id).fanins = {clean};
+          work.rewrite_as_not(id, clean);
         } else {
           work.rewrite_as_buf(id, clean);
         }

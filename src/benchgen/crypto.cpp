@@ -74,23 +74,11 @@ std::uint32_t rotr32(std::uint32_t x, int n) {
   return (x >> n) | (x << (32 - n));
 }
 
-}  // namespace
-
-const std::array<std::uint8_t, 256>& aes_sbox() { return kAesSbox; }
-
-Netlist make_aes_round() {
-  Builder b("aes");
-  // 16 bytes, column-major: byte index 4*col + row. Bit i of byte j is
-  // input st_{8j+i}.
-  std::vector<Builder::Word> state(16);
-  for (std::size_t j = 0; j < 16; ++j) {
-    state[j] = b.input_word("st" + std::to_string(j), 8);
-  }
-  std::vector<Builder::Word> rk(16);
-  for (std::size_t j = 0; j < 16; ++j) {
-    rk[j] = b.input_word("rk" + std::to_string(j), 8);
-  }
-
+/// One AES round (SubBytes, ShiftRows, MixColumns, AddRoundKey) over 16
+/// byte words in column-major order. Returns the new state.
+std::vector<Builder::Word> aes_round_words(
+    Builder& b, const std::vector<Builder::Word>& state,
+    const std::vector<Builder::Word>& rk) {
   // SubBytes.
   std::vector<Builder::Word> sub(16);
   for (std::size_t j = 0; j < 16; ++j) {
@@ -104,6 +92,7 @@ Netlist make_aes_round() {
     }
   }
   // MixColumns + AddRoundKey.
+  std::vector<Builder::Word> next(16);
   for (std::size_t c = 0; c < 4; ++c) {
     const auto& a0 = shifted[4 * c + 0];
     const auto& a1 = shifted[4 * c + 1];
@@ -124,9 +113,54 @@ Netlist make_aes_round() {
         b.xor_w(b.xor_w(x0, a0), b.xor_w(a1, b.xor_w(a2, x3)));
     const std::array<Builder::Word, 4> outs = {out0, out1, out2, out3};
     for (std::size_t r = 0; r < 4; ++r) {
-      b.output_word(b.xor_w(outs[r], rk[4 * c + r]),
-                    "out" + std::to_string(4 * c + r));
+      next[4 * c + r] = b.xor_w(outs[r], rk[4 * c + r]);
     }
+  }
+  return next;
+}
+
+}  // namespace
+
+const std::array<std::uint8_t, 256>& aes_sbox() { return kAesSbox; }
+
+Netlist make_aes_round() {
+  Builder b("aes");
+  // 16 bytes, column-major: byte index 4*col + row. Bit i of byte j is
+  // input st_{8j+i}.
+  std::vector<Builder::Word> state(16);
+  for (std::size_t j = 0; j < 16; ++j) {
+    state[j] = b.input_word("st" + std::to_string(j), 8);
+  }
+  std::vector<Builder::Word> rk(16);
+  for (std::size_t j = 0; j < 16; ++j) {
+    rk[j] = b.input_word("rk" + std::to_string(j), 8);
+  }
+  const auto next = aes_round_words(b, state, rk);
+  for (std::size_t j = 0; j < 16; ++j) {
+    b.output_word(next[j], "out" + std::to_string(j));
+  }
+  return b.take();
+}
+
+Netlist make_aes_deep(std::size_t rounds) {
+  if (rounds == 0 || rounds > 512) {
+    throw std::invalid_argument("make_aes_deep: rounds must be 1..512");
+  }
+  Builder b("aes_deep");
+  std::vector<Builder::Word> state(16);
+  for (std::size_t j = 0; j < 16; ++j) {
+    state[j] = b.input_word("st" + std::to_string(j), 8);
+  }
+  for (std::size_t r = 0; r < rounds; ++r) {
+    std::vector<Builder::Word> rk(16);
+    for (std::size_t j = 0; j < 16; ++j) {
+      rk[j] = b.input_word("rk" + std::to_string(r) + "_" + std::to_string(j),
+                           8);
+    }
+    state = aes_round_words(b, state, rk);
+  }
+  for (std::size_t j = 0; j < 16; ++j) {
+    b.output_word(state[j], "out" + std::to_string(j));
   }
   return b.take();
 }

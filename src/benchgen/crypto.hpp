@@ -22,6 +22,12 @@ const std::array<std::uint8_t, 256>& aes_sbox();
 /// Bit i of byte j is st_{8*j+i}; bytes are column-major as in FIPS-197.
 netlist::Netlist make_aes_round();
 
+/// `rounds` chained AES-128 rounds over one 128-bit state ("st_*"), with an
+/// independent 128-bit round-key input per round ("rk{r}_{byte}_{bit}").
+/// This is the million-gate-class datapath host: ~7k gates per round after
+/// structural hashing, so rounds≈140 crosses 1M gates. rounds <= 512.
+netlist::Netlist make_aes_deep(std::size_t rounds);
+
 /// One AES column slice (4 S-boxes + MixColumn + AddRoundKey over 32 bits):
 /// the scaled-down AES host used when a full round is too large for short
 /// bench timeouts. Inputs "st0".."st3", "rk0".."rk3"; outputs "out0..3".

@@ -1,0 +1,98 @@
+#include "benchgen/fabric.hpp"
+
+#include <algorithm>
+#include <random>
+#include <stdexcept>
+#include <vector>
+
+namespace ril::benchgen {
+
+using netlist::GateType;
+using netlist::Netlist;
+using netlist::NodeId;
+
+Netlist make_lut_fabric(const LutFabricParams& params) {
+  if (params.width == 0 || params.depth == 0 || params.inputs < 2 ||
+      params.outputs == 0) {
+    throw std::invalid_argument("make_lut_fabric: degenerate parameters");
+  }
+  if (params.k < 2 || params.k > 6) {
+    throw std::invalid_argument("make_lut_fabric: k must be 2..6");
+  }
+  if (params.outputs > params.width) {
+    throw std::invalid_argument("make_lut_fabric: outputs > width");
+  }
+  if (params.inputs > params.width * params.k) {
+    throw std::invalid_argument(
+        "make_lut_fabric: layer 0 cannot consume every input (inputs > "
+        "width * k)");
+  }
+  std::mt19937_64 rng(params.seed);
+  Netlist nl(params.name);
+  nl.set_structural_hashing(true);
+  nl.reserve(params.inputs + params.width * params.depth + 1,
+             params.width * params.depth * params.k);
+
+  std::vector<NodeId> previous;
+  previous.reserve(std::max(params.inputs, params.width));
+  for (std::size_t i = 0; i < params.inputs; ++i) {
+    previous.push_back(nl.add_input("in" + std::to_string(i)));
+  }
+  // All signals ever produced, for long-range feedthrough taps.
+  std::vector<NodeId> all = previous;
+  all.reserve(params.inputs + params.width * params.depth);
+
+  const std::uint64_t rows = std::uint64_t{1} << params.k;
+  const std::uint64_t full =
+      rows >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << rows) - 1);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+
+  std::vector<NodeId> layer;
+  std::vector<NodeId> fanins(params.k);
+  for (std::size_t d = 0; d < params.depth; ++d) {
+    layer.clear();
+    for (std::size_t c = 0; c < params.width; ++c) {
+      // Map this cell's column onto the previous layer, then route each
+      // fanin either inside the local window or as a long-range tap.
+      const std::size_t anchor = c * previous.size() / params.width;
+      for (std::size_t j = 0; j < params.k; ++j) {
+        if (d == 0 && c * params.k + j < params.inputs) {
+          // Layer 0 consumes every primary input before routing randomly.
+          fanins[j] = previous[c * params.k + j];
+        } else if (unit(rng) < params.local_fraction) {
+          const std::size_t lo =
+              anchor > params.window ? anchor - params.window : 0;
+          const std::size_t hi =
+              std::min(previous.size() - 1, anchor + params.window);
+          fanins[j] = previous[lo + rng() % (hi - lo + 1)];
+        } else {
+          fanins[j] = all[rng() % all.size()];
+        }
+      }
+      // Non-constant mask so no cell collapses to a tie cell.
+      std::uint64_t mask = rng() & full;
+      if (mask == 0 || mask == full) mask = 0x6;  // XOR-ish fallback
+      layer.push_back(
+          nl.add_lut(std::span<const NodeId>(fanins.data(), params.k), mask));
+    }
+    all.insert(all.end(), layer.begin(), layer.end());
+    previous = layer;
+  }
+
+  // Outputs: evenly spaced cells of the last layer. Structural hashing can
+  // merge identical cells, so probe forward past already-chosen ids.
+  std::vector<char> taken(nl.node_count(), 0);
+  std::size_t named = 0;
+  for (std::size_t o = 0; o < params.outputs && named < previous.size();
+       ++o) {
+    std::size_t idx = o * previous.size() / params.outputs;
+    while (taken[previous[idx]]) idx = (idx + 1) % previous.size();
+    const NodeId cell = previous[idx];
+    taken[cell] = 1;
+    nl.rename(cell, "out" + std::to_string(named++));
+    nl.mark_output(cell);
+  }
+  return nl;
+}
+
+}  // namespace ril::benchgen

@@ -1,0 +1,44 @@
+// eASIC-style LUT-fabric host generator (after the zero-trust eASIC flow
+// of arXiv:2207.05413): a rectangular fabric of k-input LUT cells wired in
+// layers, each cell reading from the previous layer through a local
+// routing window with occasional long-range feedthroughs. The result is a
+// pure kLut netlist whose size is width x depth cells -- the scalable
+// million-gate host class for the IR and encoder benchmarks, structurally
+// unlike the gate-level crypto datapaths.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace ril::benchgen {
+
+struct LutFabricParams {
+  std::string name = "lut_fabric";
+  /// LUT cells per layer.
+  std::size_t width = 64;
+  /// Number of layers; total cells = width * depth.
+  std::size_t depth = 16;
+  /// Primary inputs feeding layer 0.
+  std::size_t inputs = 64;
+  /// Primary outputs drawn from the last layer.
+  std::size_t outputs = 64;
+  /// LUT arity, 2..6.
+  std::size_t k = 4;
+  /// Fraction of fanins routed within the local window of the previous
+  /// layer; the rest are long-range taps on any earlier signal.
+  double local_fraction = 0.85;
+  /// Local routing window, in cells, around the same column one layer up.
+  std::size_t window = 8;
+  std::uint64_t seed = 1;
+};
+
+/// Generates the fabric. Cells are unnamed (lazy auto-names materialize
+/// only if the netlist is written out), masks are seeded-random and never
+/// constant, and every primary input is consumed by layer 0. Throws on
+/// degenerate parameters.
+netlist::Netlist make_lut_fabric(const LutFabricParams& params);
+
+}  // namespace ril::benchgen

@@ -16,6 +16,10 @@ Netlist generate_random_dag(const RandomDagParams& params) {
   }
   std::mt19937_64 rng(params.seed);
   Netlist netlist(params.name);
+  // Every gate below carries an explicit name, so hashing never merges
+  // nodes here (profile gate counts stay exact); it only primes the table
+  // so later unnamed additions (locking helpers, fabric growth) dedupe.
+  netlist.set_structural_hashing(true);
 
   std::vector<NodeId> pool;
   pool.reserve(params.num_inputs + params.num_gates);

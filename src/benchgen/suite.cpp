@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "benchgen/crypto.hpp"
+#include "benchgen/fabric.hpp"
 #include "benchgen/random_dag.hpp"
 
 namespace ril::benchgen {
@@ -54,7 +55,7 @@ std::vector<SuiteEntry> suite_entries() {
 }
 
 Netlist make_benchmark(const std::string& name, double scale) {
-  if (scale <= 0.0 || scale > 4.0) {
+  if (scale <= 0.0 || scale > 16.0) {
     throw std::invalid_argument("make_benchmark: scale out of range");
   }
   // Published profiles: PI (incl. pseudo-PI from cut DFFs), PO, gate count.
@@ -88,6 +89,27 @@ Netlist make_benchmark(const std::string& name, double scale) {
     const std::size_t chips = std::max<std::size_t>(
         16, static_cast<std::size_t>(std::llround(256 * scale)));
     return make_gps_ca(chips);
+  }
+  // Million-gate-class hosts (not part of the paper's tables; used by the
+  // scaling benchmarks and the large-host CI smoke). scale 1.0 targets
+  // ~1M gates for both.
+  if (name == "aes-deep") {
+    return make_aes_deep(std::clamp<std::size_t>(
+        static_cast<std::size_t>(std::llround(140 * scale)), 1, 512));
+  }
+  if (name == "lut-fabric") {
+    LutFabricParams params;
+    params.name = "lut_fabric";
+    // Cells = width * depth; scale the area, keep a 4:1 aspect ratio.
+    const double cells = 1048576.0 * scale;
+    params.width = std::max<std::size_t>(
+        16, static_cast<std::size_t>(std::llround(std::sqrt(cells * 4.0))));
+    params.depth = std::max<std::size_t>(
+        4, static_cast<std::size_t>(std::llround(cells / params.width)));
+    params.inputs = 64;
+    params.outputs = std::min<std::size_t>(64, params.width);
+    params.seed = 0xfab41c;
+    return make_lut_fabric(params);
   }
   throw std::invalid_argument("make_benchmark: unknown benchmark '" + name +
                               "'");

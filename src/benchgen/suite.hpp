@@ -26,7 +26,9 @@ struct SuiteEntry {
 std::vector<SuiteEntry> suite_entries();
 
 /// Builds a named benchmark circuit (combinational). Throws on unknown name.
-/// Valid names: c7552, b15, s35932, s38584, b20, aes, sha256, md5, gps.
+/// Valid names: c7552, b15, s35932, s38584, b20, aes, sha256, md5, gps,
+/// plus the million-gate-class scaling hosts aes-deep and lut-fabric
+/// (~1M gates at scale 1.0).
 netlist::Netlist make_benchmark(const std::string& name, double scale = 1.0);
 
 }  // namespace ril::benchgen

@@ -6,81 +6,149 @@ namespace ril::cnf {
 
 using netlist::GateType;
 using netlist::Netlist;
-using netlist::Node;
 using netlist::NodeId;
-using sat::Lit;
+using sat::ClauseBatch;
 using sat::ClauseSink;
+using sat::Lit;
 using sat::Var;
 
 namespace {
 
-void encode_and_like(ClauseSink& solver, Var y, const std::vector<Var>& inputs,
-                     bool negate_output) {
+/// Literal budget per streamed chunk. At ~3 literals per clause this is a
+/// few thousand clauses per flush -- big enough to amortize the virtual
+/// add_clauses call and the portfolio's per-chunk thread fan-out, small
+/// enough that the batch buffer stays cache-resident and peak memory is
+/// independent of circuit size.
+constexpr std::size_t kChunkLits = std::size_t{1} << 15;
+
+void emit_and_like(ClauseBatch& out, Var y, const std::vector<Var>& inputs,
+                   bool negate_output) {
   // y' = AND(inputs), y = negate_output ? !y' : y'
   const Lit ly_true = Lit::make(y, negate_output);
   const Lit ly_false = ~ly_true;
-  sat::Clause big;
-  big.reserve(inputs.size() + 1);
-  big.push_back(ly_true);
-  for (Var a : inputs) {
-    solver.add_clause({ly_false, Lit::make(a)});
-    big.push_back(Lit::make(a, true));
-  }
-  solver.add_clause(big);
+  for (Var a : inputs) out.add({ly_false, Lit::make(a)});
+  out.push(ly_true);
+  for (Var a : inputs) out.push(Lit::make(a, true));
+  out.seal();
 }
 
-void encode_or_like(ClauseSink& solver, Var y, const std::vector<Var>& inputs,
-                    bool negate_output) {
+void emit_or_like(ClauseBatch& out, Var y, const std::vector<Var>& inputs,
+                  bool negate_output) {
   const Lit ly_true = Lit::make(y, negate_output);
   const Lit ly_false = ~ly_true;
-  sat::Clause big;
-  big.reserve(inputs.size() + 1);
-  big.push_back(ly_false);
-  for (Var a : inputs) {
-    solver.add_clause({ly_true, Lit::make(a, true)});
-    big.push_back(Lit::make(a));
-  }
-  solver.add_clause(big);
+  for (Var a : inputs) out.add({ly_true, Lit::make(a, true)});
+  out.push(ly_false);
+  for (Var a : inputs) out.push(Lit::make(a));
+  out.seal();
 }
 
-void encode_xor2(ClauseSink& solver, Var y, Var a, Var b, bool negate_output) {
+void emit_xor2(ClauseBatch& out, Var y, Var a, Var b, bool negate_output) {
   const Lit ly = Lit::make(y, negate_output);
   const Lit la = Lit::make(a);
   const Lit lb = Lit::make(b);
-  solver.add_clause({~ly, la, lb});
-  solver.add_clause({~ly, ~la, ~lb});
-  solver.add_clause({ly, ~la, lb});
-  solver.add_clause({ly, la, ~lb});
+  out.add({~ly, la, lb});
+  out.add({~ly, ~la, ~lb});
+  out.add({ly, ~la, lb});
+  out.add({ly, la, ~lb});
 }
 
-void encode_mux(ClauseSink& solver, Var y, Var s, Var d0, Var d1) {
+void emit_mux(ClauseBatch& out, Var y, Var s, Var d0, Var d1) {
   const Lit ly = Lit::make(y);
   const Lit ls = Lit::make(s);
   const Lit l0 = Lit::make(d0);
   const Lit l1 = Lit::make(d1);
-  solver.add_clause({~ls, ~l1, ly});
-  solver.add_clause({~ls, l1, ~ly});
-  solver.add_clause({ls, ~l0, ly});
-  solver.add_clause({ls, l0, ~ly});
+  out.add({~ls, ~l1, ly});
+  out.add({~ls, l1, ~ly});
+  out.add({ls, ~l0, ly});
+  out.add({ls, l0, ~ly});
   // Redundant but propagation-strengthening clauses.
-  solver.add_clause({~l0, ~l1, ly});
-  solver.add_clause({l0, l1, ~ly});
+  out.add({~l0, ~l1, ly});
+  out.add({l0, l1, ~ly});
 }
 
-void encode_lut(ClauseSink& solver, Var y, const std::vector<Var>& inputs,
-                std::uint64_t mask) {
+void emit_lut(ClauseBatch& out, Var y, const std::vector<Var>& inputs,
+              std::uint64_t mask) {
   const std::size_t k = inputs.size();
   const std::uint64_t rows = std::uint64_t{1} << k;
   for (std::uint64_t row = 0; row < rows; ++row) {
-    const bool out = (mask >> row) & 1;
-    sat::Clause clause;
-    clause.reserve(k + 1);
+    const bool set = (mask >> row) & 1;
     for (std::size_t j = 0; j < k; ++j) {
       // Literal true when input j differs from row bit j.
-      clause.push_back(Lit::make(inputs[j], (row >> j) & 1));
+      out.push(Lit::make(inputs[j], (row >> j) & 1));
     }
-    clause.push_back(Lit::make(y, !out));
-    solver.add_clause(clause);
+    out.push(Lit::make(y, !set));
+    out.seal();
+  }
+}
+
+bool needs_xor_chain(const Netlist& circuit, NodeId id) {
+  const GateType type = circuit.type(id);
+  return (type == GateType::kXor || type == GateType::kXnor) &&
+         circuit.fanin_count(id) > 2;
+}
+
+/// Emits the clauses for one node into `out`. `chain_base` is the first of
+/// the fanin_count-2 consecutive helper variables for a wide XOR/XNOR
+/// chain (kNoVar when the node needs none). `fanin_scratch` is caller
+/// scratch so the per-node fanin-variable gather allocates nothing.
+void emit_node(ClauseBatch& out, const Netlist& circuit, NodeId id,
+               const std::vector<Var>& node_var, Var chain_base,
+               std::vector<Var>& fanin_scratch) {
+  const Var y = node_var[id];
+  fanin_scratch.clear();
+  for (NodeId f : circuit.fanins(id)) fanin_scratch.push_back(node_var[f]);
+
+  switch (circuit.type(id)) {
+    case GateType::kInput:
+      break;
+    case GateType::kConst0:
+      out.add({Lit::make(y, true)});
+      break;
+    case GateType::kConst1:
+      out.add({Lit::make(y)});
+      break;
+    case GateType::kBuf:
+      out.add({Lit::make(y, true), Lit::make(fanin_scratch[0])});
+      out.add({Lit::make(y), Lit::make(fanin_scratch[0], true)});
+      break;
+    case GateType::kNot:
+      out.add({Lit::make(y, true), Lit::make(fanin_scratch[0], true)});
+      out.add({Lit::make(y), Lit::make(fanin_scratch[0])});
+      break;
+    case GateType::kAnd:
+      emit_and_like(out, y, fanin_scratch, false);
+      break;
+    case GateType::kNand:
+      emit_and_like(out, y, fanin_scratch, true);
+      break;
+    case GateType::kOr:
+      emit_or_like(out, y, fanin_scratch, false);
+      break;
+    case GateType::kNor:
+      emit_or_like(out, y, fanin_scratch, true);
+      break;
+    case GateType::kXor:
+    case GateType::kXnor: {
+      // Chain through pre-numbered helper variables for arity > 2.
+      Var acc = fanin_scratch[0];
+      Var next = chain_base;
+      for (std::size_t i = 1; i + 1 < fanin_scratch.size(); ++i) {
+        const Var t = next++;
+        emit_xor2(out, t, acc, fanin_scratch[i], false);
+        acc = t;
+      }
+      emit_xor2(out, y, acc, fanin_scratch.back(),
+                circuit.type(id) == GateType::kXnor);
+      break;
+    }
+    case GateType::kMux:
+      emit_mux(out, y, fanin_scratch[0], fanin_scratch[1], fanin_scratch[2]);
+      break;
+    case GateType::kLut:
+      emit_lut(out, y, fanin_scratch, circuit.lut_mask(id));
+      break;
+    case GateType::kDff:
+      throw std::invalid_argument("encode_node: DFF not encodable");
   }
 }
 
@@ -94,82 +162,65 @@ CircuitEncoding encode_circuit(
   for (const auto& [node, var] : bound) {
     encoding.node_var.at(node) = var;
   }
-  for (NodeId id : circuit.topological_order()) {
-    if (circuit.node(id).type == GateType::kDff) {
+  const std::vector<NodeId> topo = circuit.topological_order();
+
+  // Pass 1: deterministic numbering. Walking the topological order and
+  // handing each unbound node its variable first, then the helper
+  // variables of a wide XOR/XNOR chain, reproduces exactly the sequence
+  // the historical encoder produced with interleaved new_var() calls --
+  // downstream CNF baselines are bit-for-bit against that numbering. One
+  // bulk new_vars() reserve replaces O(nodes) virtual calls.
+  std::size_t fresh = 0;
+  for (NodeId id : topo) {
+    if (circuit.type(id) == GateType::kDff) {
       throw std::invalid_argument(
           "encode_circuit: sequential netlist; call combinational_core() "
           "first");
     }
-    if (encoding.node_var[id] == sat::kNoVar) {
-      encoding.node_var[id] = solver.new_var();
-    }
-    encode_node(solver, circuit, id, encoding.node_var);
+    if (encoding.node_var[id] == sat::kNoVar) ++fresh;
+    if (needs_xor_chain(circuit, id)) fresh += circuit.fanin_count(id) - 2;
   }
+  std::vector<Var> chain_base(circuit.node_count(), sat::kNoVar);
+  if (fresh > 0) {
+    Var next = solver.new_vars(fresh);
+    for (NodeId id : topo) {
+      if (encoding.node_var[id] == sat::kNoVar) encoding.node_var[id] = next++;
+      if (needs_xor_chain(circuit, id)) {
+        chain_base[id] = next;
+        next += static_cast<Var>(circuit.fanin_count(id) - 2);
+      }
+    }
+  }
+
+  // Pass 2: stream the clauses in topological chunks. The per-node clause
+  // order is unchanged, so the concatenated stream is identical to the
+  // historical per-clause emission.
+  ClauseBatch batch;
+  std::vector<Var> fanin_scratch;
+  for (NodeId id : topo) {
+    emit_node(batch, circuit, id, encoding.node_var, chain_base[id],
+              fanin_scratch);
+    if (batch.lit_count() >= kChunkLits) {
+      solver.add_clauses(batch);
+      batch.clear();
+    }
+  }
+  if (!batch.empty()) solver.add_clauses(batch);
   return encoding;
 }
 
 void encode_node(ClauseSink& solver, const Netlist& circuit, NodeId id,
                  const std::vector<Var>& node_var) {
-  const Node& node = circuit.node(id);
-  {
-    const Var y = node_var[id];
-    std::vector<Var> fanin_vars;
-    fanin_vars.reserve(node.fanins.size());
-    for (NodeId f : node.fanins) fanin_vars.push_back(node_var[f]);
-
-    switch (node.type) {
-      case GateType::kInput:
-        break;
-      case GateType::kConst0:
-        solver.add_clause({Lit::make(y, true)});
-        break;
-      case GateType::kConst1:
-        solver.add_clause({Lit::make(y)});
-        break;
-      case GateType::kBuf:
-        solver.add_clause({Lit::make(y, true), Lit::make(fanin_vars[0])});
-        solver.add_clause({Lit::make(y), Lit::make(fanin_vars[0], true)});
-        break;
-      case GateType::kNot:
-        solver.add_clause({Lit::make(y, true),
-                           Lit::make(fanin_vars[0], true)});
-        solver.add_clause({Lit::make(y), Lit::make(fanin_vars[0])});
-        break;
-      case GateType::kAnd:
-        encode_and_like(solver, y, fanin_vars, false);
-        break;
-      case GateType::kNand:
-        encode_and_like(solver, y, fanin_vars, true);
-        break;
-      case GateType::kOr:
-        encode_or_like(solver, y, fanin_vars, false);
-        break;
-      case GateType::kNor:
-        encode_or_like(solver, y, fanin_vars, true);
-        break;
-      case GateType::kXor:
-      case GateType::kXnor: {
-        // Chain through intermediates for arity > 2.
-        Var acc = fanin_vars[0];
-        for (std::size_t i = 1; i + 1 < fanin_vars.size(); ++i) {
-          const Var t = solver.new_var();
-          encode_xor2(solver, t, acc, fanin_vars[i], false);
-          acc = t;
-        }
-        encode_xor2(solver, y, acc, fanin_vars.back(),
-                    node.type == GateType::kXnor);
-        break;
-      }
-      case GateType::kMux:
-        encode_mux(solver, y, fanin_vars[0], fanin_vars[1], fanin_vars[2]);
-        break;
-      case GateType::kLut:
-        encode_lut(solver, y, fanin_vars, node.lut_mask);
-        break;
-      case GateType::kDff:
-        throw std::invalid_argument("encode_node: DFF not encodable");
-    }
+  // Helper variables for a wide XOR chain are allocated up front; they get
+  // the same numbers the historical interleaved new_var() calls produced.
+  Var chain_base = sat::kNoVar;
+  if (needs_xor_chain(circuit, id)) {
+    chain_base = solver.new_vars(circuit.fanin_count(id) - 2);
   }
+  ClauseBatch batch;
+  std::vector<Var> fanin_scratch;
+  emit_node(batch, circuit, id, node_var, chain_base, fanin_scratch);
+  if (!batch.empty()) solver.add_clauses(batch);
 }
 
 SpecializedEncoding encode_specialized(const Netlist& cone,
@@ -194,7 +245,9 @@ SpecializedEncoding encode_specialized(const Netlist& cone,
 
 Var encode_xor(ClauseSink& solver, Var a, Var b) {
   const Var y = solver.new_var();
-  encode_xor2(solver, y, a, b, false);
+  ClauseBatch batch;
+  emit_xor2(batch, y, a, b, false);
+  solver.add_clauses(batch);
   return y;
 }
 

@@ -6,6 +6,13 @@
 // inputs) to existing solver variables, which is how the SAT attack shares
 // the input vector X between two circuit copies while giving each its own
 // key variables.
+//
+// The encoder streams: a numbering pre-pass reserves every variable with
+// one bulk new_vars() call, then clauses flow to the sink in topological
+// ClauseBatch chunks (ClauseSink::add_clauses), which the portfolio fans
+// out to its members on one thread each. Variable numbers and the clause
+// stream are bit-identical to the historical per-clause emission, so DRAT
+// certificates and recorded CNF baselines are unaffected.
 #pragma once
 
 #include <unordered_map>

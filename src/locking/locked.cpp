@@ -25,9 +25,9 @@ Netlist specialize_keys(const Netlist& locked, const std::vector<bool>& key) {
   for (NodeId id : locked.inputs()) {
     if (key_value[id] >= 0) {
       remap[id] = out.add_const(key_value[id] == 1);
-      out.rename(remap[id], locked.node(id).name + "_fixed");
+      out.rename(remap[id], locked.name_of(id) + "_fixed");
     } else {
-      remap[id] = out.add_input(locked.node(id).name);
+      remap[id] = out.add_input(locked.name_of(id));
     }
   }
   // DFFs next (they are topological sources); fanins patched at the end.
@@ -36,7 +36,7 @@ Netlist specialize_keys(const Netlist& locked, const std::vector<bool>& key) {
     if (locked.node(id).type != GateType::kDff) continue;
     if (placeholder == netlist::kNoNode) placeholder = out.add_const(false);
     remap[id] =
-        out.add_gate(GateType::kDff, {placeholder}, locked.node(id).name);
+        out.add_gate(GateType::kDff, {placeholder}, locked.name_of(id));
   }
   for (NodeId id : locked.topological_order()) {
     const netlist::Node& node = locked.node(id);
@@ -47,23 +47,23 @@ Netlist specialize_keys(const Netlist& locked, const std::vector<bool>& key) {
       case GateType::kConst0:
       case GateType::kConst1:
         remap[id] = out.add_const(node.type == GateType::kConst1);
-        out.rename(remap[id], node.name);
+        out.rename(remap[id], node.name());
         break;
       default: {
         std::vector<NodeId> fanins;
         fanins.reserve(node.fanins.size());
         for (NodeId f : node.fanins) fanins.push_back(remap[f]);
         if (node.type == GateType::kLut) {
-          remap[id] = out.add_lut(std::move(fanins), node.lut_mask, node.name);
+          remap[id] = out.add_lut(std::move(fanins), node.lut_mask, node.name());
         } else {
-          remap[id] = out.add_gate(node.type, std::move(fanins), node.name);
+          remap[id] = out.add_gate(node.type, std::move(fanins), node.name());
         }
       }
     }
   }
   for (NodeId id = 0; id < locked.node_count(); ++id) {
     if (locked.node(id).type == GateType::kDff) {
-      out.node(remap[id]).fanins[0] = remap[locked.node(id).fanins[0]];
+      out.set_fanin(remap[id], 0, remap[locked.fanin(id, 0)]);
     }
   }
   for (NodeId id : locked.outputs()) out.mark_output(remap[id]);

@@ -109,6 +109,7 @@ LockedCircuit lock_xor(const Netlist& host, std::size_t key_bits,
   std::mt19937_64 rng(seed);
   LockedCircuit result{host, {}, "xor"};
   Netlist& nl = result.netlist;
+  nl.set_structural_hashing(true);
   auto wires = wire_candidates(nl);
   if (wires.size() < key_bits) {
     throw std::invalid_argument("lock_xor: not enough wires");
@@ -135,6 +136,7 @@ LockedCircuit lock_sarlock(const Netlist& host, std::size_t key_width,
                            std::uint64_t seed) {
   LockedCircuit result{host, {}, "sarlock"};
   Netlist& nl = result.netlist;
+  nl.set_structural_hashing(true);
   const auto data = nl.data_inputs();
   if (key_width == 0 || key_width > data.size() || nl.outputs().empty()) {
     throw std::invalid_argument("lock_sarlock: bad key width");
@@ -163,6 +165,7 @@ LockedCircuit lock_antisat(const Netlist& host, std::size_t n,
                            std::uint64_t seed) {
   LockedCircuit result{host, {}, "antisat"};
   Netlist& nl = result.netlist;
+  nl.set_structural_hashing(true);
   const auto data = nl.data_inputs();
   if (n == 0 || n > data.size() || nl.outputs().empty()) {
     throw std::invalid_argument("lock_antisat: bad block width");
@@ -215,6 +218,7 @@ LockedCircuit lock_sfll_hd0(const Netlist& host, std::size_t cube_width,
                             std::uint64_t seed) {
   LockedCircuit result{host, {}, "sfll-hd0"};
   Netlist& nl = result.netlist;
+  nl.set_structural_hashing(true);
   const auto data = nl.data_inputs();
   if (cube_width == 0 || cube_width > data.size() || nl.outputs().empty()) {
     throw std::invalid_argument("lock_sfll_hd0: bad cube width");
@@ -258,6 +262,7 @@ LockedCircuit lock_routing_impl(const Netlist& host,
   std::mt19937_64 rng(seed);
   LockedCircuit result{host, {}, scheme};
   Netlist& nl = result.netlist;
+  nl.set_structural_hashing(true);
   auto wires = wire_candidates(nl);
   if (wires.size() < network_size) {
     throw std::invalid_argument("lock_routing: not enough wires");

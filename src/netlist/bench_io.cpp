@@ -3,33 +3,57 @@
 #include <algorithm>
 #include <cctype>
 #include <fstream>
-#include <map>
+#include <queue>
 #include <sstream>
 #include <stdexcept>
+#include <string_view>
+#include <unordered_map>
 
 namespace ril::netlist {
 
 namespace {
 
-std::string trim(std::string s) {
-  auto not_space = [](unsigned char c) { return !std::isspace(c); };
-  s.erase(s.begin(), std::find_if(s.begin(), s.end(), not_space));
-  s.erase(std::find_if(s.rbegin(), s.rend(), not_space).base(), s.end());
+// The reader is a single-pass streaming tokenizer: the whole file is read
+// into one buffer and every signal name below is a string_view into it, so
+// million-line files do not allocate per-line temporaries. Gate creation
+// uses waiter-list dependency resolution (O(edges log nodes)) instead of
+// repeated full passes.
+
+std::string_view trim_view(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
   return s;
 }
 
-std::string upper(std::string s) {
-  std::transform(s.begin(), s.end(), s.begin(),
-                 [](unsigned char c) { return std::toupper(c); });
-  return s;
+/// Case-insensitive equality against an uppercase literal.
+bool ieq(std::string_view s, std::string_view upper_ref) {
+  if (s.size() != upper_ref.size()) return false;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (std::toupper(static_cast<unsigned char>(s[i])) != upper_ref[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Case-insensitive prefix test against an uppercase literal.
+bool istarts_with(std::string_view s, std::string_view upper_prefix) {
+  return s.size() >= upper_prefix.size() &&
+         ieq(s.substr(0, upper_prefix.size()), upper_prefix);
 }
 
 struct PendingGate {
-  std::string name;
-  std::string op;
+  std::string_view name;
+  GateType type = GateType::kConst0;
+  bool is_lut = false;
   std::uint64_t lut_mask = 0;
-  std::vector<std::string> fanins;
-  std::size_t line = 0;
+  std::uint32_t fanin_begin = 0;  // slice of the shared fanin-name pool
+  std::uint32_t fanin_count = 0;
+  std::uint32_t line = 0;
 };
 
 [[noreturn]] void fail(std::size_t line, const std::string& message) {
@@ -37,26 +61,8 @@ struct PendingGate {
                            message);
 }
 
-std::vector<std::string> split_args(const std::string& args, std::size_t line) {
-  std::vector<std::string> result;
-  std::string current;
-  for (char c : args) {
-    if (c == ',') {
-      result.push_back(trim(current));
-      current.clear();
-    } else {
-      current += c;
-    }
-  }
-  if (!trim(current).empty()) result.push_back(trim(current));
-  for (const std::string& a : result) {
-    if (a.empty()) fail(line, "empty argument");
-  }
-  return result;
-}
-
-GateType op_to_type(const std::string& op, std::size_t line) {
-  static const std::map<std::string, GateType> kOps = {
+GateType op_to_type(std::string_view op, std::size_t line) {
+  static const std::unordered_map<std::string_view, GateType> kOps = {
       {"AND", GateType::kAnd},   {"NAND", GateType::kNand},
       {"OR", GateType::kOr},     {"NOR", GateType::kNor},
       {"XOR", GateType::kXor},   {"XNOR", GateType::kXnor},
@@ -66,73 +72,117 @@ GateType op_to_type(const std::string& op, std::size_t line) {
       {"VCC", GateType::kConst1},{"GND", GateType::kConst0},
       {"CONST1", GateType::kConst1}, {"CONST0", GateType::kConst0},
   };
-  auto it = kOps.find(op);
-  if (it == kOps.end()) fail(line, "unknown op '" + op + "'");
+  char upper[8];
+  if (op.size() >= sizeof(upper)) fail(line, "unknown op '" + std::string(op) + "'");
+  for (std::size_t i = 0; i < op.size(); ++i) {
+    upper[i] = static_cast<char>(std::toupper(static_cast<unsigned char>(op[i])));
+  }
+  auto it = kOps.find(std::string_view(upper, op.size()));
+  if (it == kOps.end()) fail(line, "unknown op '" + std::string(op) + "'");
   return it->second;
 }
 
-}  // namespace
-
-Netlist read_bench(std::istream& in, std::string name) {
-  std::vector<std::string> input_names;
-  std::vector<std::string> output_names;
-  std::vector<PendingGate> gates;
-
-  std::string raw;
-  std::size_t line_no = 0;
-  while (std::getline(in, raw)) {
-    ++line_no;
-    std::string line = raw;
-    if (auto hash = line.find('#'); hash != std::string::npos) {
-      line.resize(hash);
+/// Splits a comma-separated argument list into the shared name pool.
+/// Mirrors the historical splitter: a trailing empty segment is dropped,
+/// an interior empty segment is an error.
+void split_args(std::string_view args, std::size_t line,
+                std::vector<std::string_view>& pool) {
+  const std::size_t first = pool.size();
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= args.size(); ++i) {
+    if (i == args.size() || args[i] == ',') {
+      std::string_view piece = trim_view(args.substr(start, i - start));
+      if (i == args.size() && piece.empty() && pool.size() > first) {
+        break;  // trailing comma
+      }
+      if (i == args.size() && piece.empty()) break;  // "()" -> no args
+      pool.push_back(piece);
+      start = i + 1;
     }
-    line = trim(line);
-    if (line.empty()) continue;
+  }
+  for (std::size_t i = first; i < pool.size(); ++i) {
+    if (pool[i].empty()) fail(line, "empty argument");
+  }
+}
 
-    const std::string uline = upper(line);
-    if (uline.rfind("INPUT", 0) == 0 || uline.rfind("OUTPUT", 0) == 0) {
-      const bool is_input = uline.rfind("INPUT", 0) == 0;
+Netlist parse_bench(std::string_view text, std::string name) {
+  std::vector<std::string_view> input_names;
+  std::vector<std::string_view> output_names;
+  std::vector<PendingGate> gates;
+  std::vector<std::string_view> fanin_names;
+
+  // Rough up-front reserves from one cheap scan: most lines are gates with
+  // a couple of fanins.
+  const std::size_t approx_lines =
+      static_cast<std::size_t>(std::count(text.begin(), text.end(), '\n')) + 1;
+  gates.reserve(approx_lines);
+  fanin_names.reserve(approx_lines * 2 +
+                      static_cast<std::size_t>(
+                          std::count(text.begin(), text.end(), ',')));
+
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = std::min(text.find('\n', pos), text.size());
+    std::string_view line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    ++line_no;
+    if (auto hash = line.find('#'); hash != std::string_view::npos) {
+      line = line.substr(0, hash);
+    }
+    line = trim_view(line);
+    if (line.empty()) {
+      if (eol == text.size()) break;
+      continue;
+    }
+
+    if (istarts_with(line, "INPUT") || istarts_with(line, "OUTPUT")) {
+      const bool is_input = istarts_with(line, "INPUT");
       const auto open = line.find('(');
       const auto close = line.rfind(')');
-      if (open == std::string::npos || close == std::string::npos ||
+      if (open == std::string_view::npos || close == std::string_view::npos ||
           close < open) {
         fail(line_no, "malformed INPUT/OUTPUT");
       }
-      const std::string sig = trim(line.substr(open + 1, close - open - 1));
+      const std::string_view sig =
+          trim_view(line.substr(open + 1, close - open - 1));
       if (sig.empty()) fail(line_no, "empty signal name");
       (is_input ? input_names : output_names).push_back(sig);
+      if (eol == text.size()) break;
       continue;
     }
 
     const auto eq = line.find('=');
-    if (eq == std::string::npos) fail(line_no, "expected '='");
+    if (eq == std::string_view::npos) fail(line_no, "expected '='");
     PendingGate gate;
-    gate.name = trim(line.substr(0, eq));
-    gate.line = line_no;
-    std::string rhs = trim(line.substr(eq + 1));
+    gate.name = trim_view(line.substr(0, eq));
+    gate.line = static_cast<std::uint32_t>(line_no);
+    std::string_view rhs = trim_view(line.substr(eq + 1));
     if (gate.name.empty() || rhs.empty()) fail(line_no, "malformed assignment");
 
-    const std::string urhs = upper(rhs);
-    if (urhs == "VCC" || urhs == "GND" || urhs == "CONST0" ||
-        urhs == "CONST1") {
-      gate.op = urhs;
-      gates.push_back(std::move(gate));
+    if (ieq(rhs, "VCC") || ieq(rhs, "GND") || ieq(rhs, "CONST0") ||
+        ieq(rhs, "CONST1")) {
+      gate.type = (ieq(rhs, "VCC") || ieq(rhs, "CONST1")) ? GateType::kConst1
+                                                          : GateType::kConst0;
+      gates.push_back(gate);
+      if (eol == text.size()) break;
       continue;
     }
 
-    if (urhs.rfind("LUT", 0) == 0) {
+    if (istarts_with(rhs, "LUT")) {
       // name = LUT 0xMASK (a, b, ...)
-      std::string rest = trim(rhs.substr(3));
+      std::string_view rest = trim_view(rhs.substr(3));
       const auto open = rest.find('(');
       const auto close = rest.rfind(')');
-      if (open == std::string::npos || close == std::string::npos ||
+      if (open == std::string_view::npos || close == std::string_view::npos ||
           close < open) {
         fail(line_no,
              "malformed LUT (expected 'LUT <mask> (a, b, ...)'; check "
              "parentheses)");
       }
-      const std::string mask_text = trim(rest.substr(0, open));
-      gate.op = "LUT";
+      const std::string mask_text{trim_view(rest.substr(0, open))};
+      gate.is_lut = true;
+      gate.type = GateType::kLut;
       // stoull silently accepts a sign prefix: "-1" wraps to the all-ones
       // mask and "+1" parses as 1, both hiding writer bugs. A truth-table
       // mask is a plain non-negative bit pattern, so reject signs outright.
@@ -150,9 +200,12 @@ Netlist read_bench(std::istream& in, std::string name) {
         fail(line_no, "bad LUT mask '" + mask_text +
                           "' (trailing junk after the number)");
       }
-      gate.fanins =
-          split_args(rest.substr(open + 1, close - open - 1), line_no);
-      const std::size_t arity = gate.fanins.size();
+      gate.fanin_begin = static_cast<std::uint32_t>(fanin_names.size());
+      split_args(rest.substr(open + 1, close - open - 1), line_no,
+                 fanin_names);
+      gate.fanin_count =
+          static_cast<std::uint32_t>(fanin_names.size()) - gate.fanin_begin;
+      const std::size_t arity = gate.fanin_count;
       if (arity == 0 || arity > 6) {
         fail(line_no, "LUT arity must be 1..6, got " + std::to_string(arity));
       }
@@ -165,125 +218,142 @@ Netlist read_bench(std::istream& in, std::string name) {
                             std::to_string(arity) + " fanins");
         }
       }
-      gates.push_back(std::move(gate));
+      gates.push_back(gate);
+      if (eol == text.size()) break;
       continue;
     }
 
     const auto open = rhs.find('(');
     const auto close = rhs.rfind(')');
-    if (open == std::string::npos || close == std::string::npos ||
+    if (open == std::string_view::npos || close == std::string_view::npos ||
         close < open) {
       fail(line_no, "malformed gate expression");
     }
-    gate.op = upper(trim(rhs.substr(0, open)));
-    gate.fanins = split_args(rhs.substr(open + 1, close - open - 1), line_no);
-    gates.push_back(std::move(gate));
+    gate.type = op_to_type(trim_view(rhs.substr(0, open)), line_no);
+    gate.fanin_begin = static_cast<std::uint32_t>(fanin_names.size());
+    split_args(rhs.substr(open + 1, close - open - 1), line_no, fanin_names);
+    gate.fanin_count =
+        static_cast<std::uint32_t>(fanin_names.size()) - gate.fanin_begin;
+    gates.push_back(gate);
+    if (eol == text.size()) break;
   }
 
   Netlist netlist(std::move(name));
-  for (const std::string& in_name : input_names) {
-    if (in_name.rfind("keyinput", 0) == 0) {
-      netlist.add_key_input(in_name);
+  netlist.reserve(input_names.size() + gates.size() + 1,
+                  fanin_names.size() + gates.size());
+  for (std::string_view in_name : input_names) {
+    if (in_name.substr(0, 8) == "keyinput") {
+      netlist.add_key_input(std::string(in_name));
     } else {
-      netlist.add_input(in_name);
+      netlist.add_input(std::string(in_name));
     }
   }
 
-  // Two passes: DFF outputs may be referenced before definition, and gates
-  // may appear in any order. First create placeholder ids in dependency
-  // order via iterative resolution.
-  std::unordered_map<std::string, std::size_t> gate_by_name;
+  std::unordered_map<std::string_view, std::size_t> gate_by_name;
+  gate_by_name.reserve(gates.size());
   for (std::size_t i = 0; i < gates.size(); ++i) {
-    if (gate_by_name.contains(gates[i].name)) {
-      fail(gates[i].line, "redefinition of '" + gates[i].name + "'");
+    if (!gate_by_name.emplace(gates[i].name, i).second) {
+      fail(gates[i].line, "redefinition of '" + std::string(gates[i].name) +
+                              "'");
     }
-    gate_by_name.emplace(gates[i].name, i);
   }
 
   std::vector<NodeId> created(gates.size(), kNoNode);
-  // DFFs first (as state sources) so cycles through DFFs resolve.
-  // They share one temporary const fanin (reserved name that cannot clash
-  // with any signal in this file), patched below.
+  // DFFs first (as state sources) so cycles through DFFs resolve. They
+  // share one temporary const fanin (reserved name that cannot clash with
+  // any signal in this file), patched below.
   std::vector<std::size_t> dffs;
   NodeId placeholder = kNoNode;
   for (std::size_t i = 0; i < gates.size(); ++i) {
-    if (upper(gates[i].op) == "DFF") {
+    if (gates[i].type == GateType::kDff && !gates[i].is_lut) {
       if (placeholder == kNoNode) {
         placeholder = netlist.add_const(false);
         std::string ph_name = "__bench_dff_ph";
         int suffix = 0;
-        while (gate_by_name.contains(ph_name) || netlist.find(ph_name)) {
+        while (gate_by_name.contains(std::string_view(ph_name)) ||
+               netlist.find(ph_name)) {
           ph_name = "__bench_dff_ph" + std::to_string(suffix++);
         }
         netlist.rename(placeholder, ph_name);
       }
-      created[i] = netlist.add_gate(GateType::kDff, {placeholder},
-                                    gates[i].name);
+      created[i] =
+          netlist.add_gate(GateType::kDff, {placeholder}, gates[i].name);
       dffs.push_back(i);
     }
   }
 
-  // Iteratively create remaining gates when all fanins are known.
-  auto lookup = [&](const std::string& signal) -> NodeId {
+  // Waiter-list resolution: each gate counts its not-yet-created fanins;
+  // creating a signal wakes the gates waiting on it. The ready heap pops
+  // the smallest file index first, which reproduces the historical
+  // forward-sweep creation order on any file whose definitions precede
+  // uses (in particular everything write_bench emits).
+  auto lookup = [&](std::string_view signal) -> NodeId {
     if (auto id = netlist.find(signal)) return *id;
     return kNoNode;
   };
-  bool progress = true;
-  std::size_t remaining =
-      std::count(created.begin(), created.end(), kNoNode);
-  while (remaining > 0 && progress) {
-    progress = false;
-    for (std::size_t i = 0; i < gates.size(); ++i) {
-      if (created[i] != kNoNode) continue;
-      const PendingGate& gate = gates[i];
-      std::vector<NodeId> fanins;
-      fanins.reserve(gate.fanins.size());
-      bool ready = true;
-      for (const std::string& f : gate.fanins) {
-        const NodeId id = lookup(f);
-        if (id == kNoNode) {
-          ready = false;
-          break;
-        }
-        fanins.push_back(id);
+  std::unordered_map<std::string_view, std::vector<std::uint32_t>> waiters;
+  std::vector<std::uint32_t> missing(gates.size(), 0);
+  std::priority_queue<std::uint32_t, std::vector<std::uint32_t>,
+                      std::greater<>>
+      ready;
+  for (std::size_t i = 0; i < gates.size(); ++i) {
+    if (created[i] != kNoNode) continue;
+    for (std::uint32_t k = 0; k < gates[i].fanin_count; ++k) {
+      const std::string_view f = fanin_names[gates[i].fanin_begin + k];
+      if (lookup(f) != kNoNode) continue;  // input or pre-created DFF
+      waiters[f].push_back(static_cast<std::uint32_t>(i));
+      ++missing[i];
+    }
+    if (missing[i] == 0) ready.push(static_cast<std::uint32_t>(i));
+  }
+  std::vector<NodeId> fanins;
+  while (!ready.empty()) {
+    const std::uint32_t i = ready.top();
+    ready.pop();
+    const PendingGate& gate = gates[i];
+    fanins.clear();
+    for (std::uint32_t k = 0; k < gate.fanin_count; ++k) {
+      const NodeId id = lookup(fanin_names[gate.fanin_begin + k]);
+      fanins.push_back(id);
+    }
+    if (gate.is_lut) {
+      created[i] = netlist.add_lut(std::span<const NodeId>(fanins),
+                                   gate.lut_mask, gate.name);
+    } else if (gate.type == GateType::kConst0 ||
+               gate.type == GateType::kConst1) {
+      created[i] = netlist.add_const(gate.type == GateType::kConst1);
+      netlist.rename(created[i], std::string(gate.name));
+    } else {
+      created[i] = netlist.add_gate(gate.type, std::span<const NodeId>(fanins),
+                                    gate.name);
+    }
+    if (auto it = waiters.find(gate.name); it != waiters.end()) {
+      for (std::uint32_t waiter : it->second) {
+        if (--missing[waiter] == 0) ready.push(waiter);
       }
-      if (!ready) continue;
-      if (gate.op == "LUT") {
-        created[i] = netlist.add_lut(std::move(fanins), gate.lut_mask,
-                                     gate.name);
-      } else {
-        const GateType type = op_to_type(gate.op, gate.line);
-        if (type == GateType::kConst0 || type == GateType::kConst1) {
-          created[i] = netlist.add_const(type == GateType::kConst1);
-          netlist.rename(created[i], gate.name);
-        } else {
-          created[i] = netlist.add_gate(type, std::move(fanins), gate.name);
-        }
-      }
-      --remaining;
-      progress = true;
+      waiters.erase(it);
     }
   }
-  if (remaining > 0) {
-    for (std::size_t i = 0; i < gates.size(); ++i) {
-      if (created[i] == kNoNode) {
-        fail(gates[i].line,
-             "unresolved fanin (undefined signal or combinational cycle)");
-      }
+  for (std::size_t i = 0; i < gates.size(); ++i) {
+    if (created[i] == kNoNode) {
+      fail(gates[i].line,
+           "unresolved fanin (undefined signal or combinational cycle)");
     }
   }
 
   // Patch DFF fanins.
   for (std::size_t i : dffs) {
-    const NodeId src = lookup(gates[i].fanins.at(0));
+    if (gates[i].fanin_count != 1) fail(gates[i].line, "DFF needs one fanin");
+    const NodeId src = lookup(fanin_names[gates[i].fanin_begin]);
     if (src == kNoNode) fail(gates[i].line, "DFF fanin undefined");
-    netlist.node(created[i]).fanins[0] = src;
+    netlist.set_fanin(created[i], 0, src);
   }
 
-  for (const std::string& out_name : output_names) {
+  for (std::string_view out_name : output_names) {
     const NodeId id = lookup(out_name);
     if (id == kNoNode) {
-      throw std::runtime_error(".bench: OUTPUT(" + out_name + ") undefined");
+      throw std::runtime_error(".bench: OUTPUT(" + std::string(out_name) +
+                               ") undefined");
     }
     netlist.mark_output(id);
   }
@@ -294,13 +364,20 @@ Netlist read_bench(std::istream& in, std::string name) {
   return netlist;
 }
 
+}  // namespace
+
+Netlist read_bench(std::istream& in, std::string name) {
+  std::string text{std::istreambuf_iterator<char>(in),
+                   std::istreambuf_iterator<char>()};
+  return parse_bench(text, std::move(name));
+}
+
 Netlist read_bench_string(const std::string& text, std::string name) {
-  std::istringstream in(text);
-  return read_bench(in, std::move(name));
+  return parse_bench(text, std::move(name));
 }
 
 Netlist read_bench_file(const std::string& path) {
-  std::ifstream in(path);
+  std::ifstream in(path, std::ios::binary);
   if (!in) throw std::runtime_error("cannot open " + path);
   std::string name = path;
   if (auto slash = name.find_last_of('/'); slash != std::string::npos) {
@@ -319,37 +396,38 @@ void write_bench(std::ostream& out, const Netlist& netlist) {
       << " outputs=" << netlist.outputs().size()
       << " keys=" << netlist.key_inputs().size() << "\n";
   for (NodeId id : netlist.inputs()) {
-    out << "INPUT(" << netlist.node(id).name << ")\n";
+    out << "INPUT(" << netlist.name_of(id) << ")\n";
   }
   for (NodeId id : netlist.outputs()) {
-    out << "OUTPUT(" << netlist.node(id).name << ")\n";
+    out << "OUTPUT(" << netlist.name_of(id) << ")\n";
   }
   for (NodeId id : netlist.topological_order()) {
-    const Node& node = netlist.node(id);
-    switch (node.type) {
+    const GateType type = netlist.type(id);
+    const auto fanins = netlist.fanins(id);
+    switch (type) {
       case GateType::kInput:
         break;
       case GateType::kConst0:
-        out << node.name << " = gnd\n";
+        out << netlist.name_of(id) << " = gnd\n";
         break;
       case GateType::kConst1:
-        out << node.name << " = vcc\n";
+        out << netlist.name_of(id) << " = vcc\n";
         break;
       case GateType::kLut: {
-        out << node.name << " = LUT 0x" << std::hex << node.lut_mask
-            << std::dec << " (";
-        for (std::size_t i = 0; i < node.fanins.size(); ++i) {
+        out << netlist.name_of(id) << " = LUT 0x" << std::hex
+            << netlist.lut_mask(id) << std::dec << " (";
+        for (std::size_t i = 0; i < fanins.size(); ++i) {
           if (i) out << ", ";
-          out << netlist.node(node.fanins[i]).name;
+          out << netlist.name_of(fanins[i]);
         }
         out << ")\n";
         break;
       }
       default: {
-        out << node.name << " = " << to_string(node.type) << "(";
-        for (std::size_t i = 0; i < node.fanins.size(); ++i) {
+        out << netlist.name_of(id) << " = " << to_string(type) << "(";
+        for (std::size_t i = 0; i < fanins.size(); ++i) {
           if (i) out << ", ";
-          out << netlist.node(node.fanins[i]).name;
+          out << netlist.name_of(fanins[i]);
         }
         out << ")\n";
       }

@@ -18,7 +18,13 @@ class Builder {
   using Bit = NodeId;
   using Word = std::vector<NodeId>;
 
-  explicit Builder(std::string name) : netlist_(std::move(name)) {}
+  /// Datapath construction generates heavy structural duplication (shared
+  /// S-box subtrees, repeated carry logic), so structural hashing is on by
+  /// default; pass false to keep every requested gate distinct.
+  explicit Builder(std::string name, bool structural_hashing = true)
+      : netlist_(std::move(name)) {
+    netlist_.set_structural_hashing(structural_hashing);
+  }
 
   // ----- interface ------------------------------------------------------
   Bit input(const std::string& name) { return netlist_.add_input(name); }

@@ -26,19 +26,64 @@ std::size_t fixed_arity(GateType type) {
   }
 }
 
+bool commutative(GateType type) {
+  switch (type) {
+    case GateType::kAnd:
+    case GateType::kNand:
+    case GateType::kOr:
+    case GateType::kNor:
+    case GateType::kXor:
+    case GateType::kXnor:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
 }  // namespace
 
-NodeId Netlist::add_node(Node node) {
-  if (node.name.empty()) {
-    node.name = fresh_name("__n");
+std::uint32_t Netlist::intern_name(std::string_view name, NodeId id) const {
+  if (by_name_.contains(name)) {
+    throw std::invalid_argument("Netlist: duplicate node name '" +
+                                std::string(name) + "'");
   }
-  if (by_name_.contains(node.name)) {
-    throw std::invalid_argument("Netlist: duplicate node name '" + node.name +
-                                "'");
+  const std::uint32_t index = static_cast<std::uint32_t>(name_table_.size());
+  name_table_.emplace_back(name);
+  by_name_.emplace(std::string_view(name_table_.back()), id);
+  return index;
+}
+
+void Netlist::check_fanins(std::span<const NodeId> fanins,
+                           const char* what) const {
+  for (NodeId f : fanins) {
+    if (f >= types_.size()) {
+      throw std::invalid_argument(std::string(what) + ": bad fanin");
+    }
   }
-  const NodeId id = static_cast<NodeId>(nodes_.size());
-  by_name_.emplace(node.name, id);
-  nodes_.push_back(std::move(node));
+}
+
+NodeId Netlist::append_node(GateType type, std::span<const NodeId> fanins,
+                            std::uint64_t lut_mask, std::string_view name) {
+  const NodeId id = static_cast<NodeId>(types_.size());
+  std::uint32_t ref;
+  if (name.empty()) {
+    ref = kAutoFlag | auto_counter_++;
+  } else {
+    ref = intern_name(name, id);
+  }
+  types_.push_back(type);
+  fanin_offset_.push_back(static_cast<std::uint32_t>(fanin_pool_.size()));
+  fanin_count_.push_back(static_cast<std::uint32_t>(fanins.size()));
+  lut_mask_.push_back(lut_mask);
+  name_ref_.push_back(ref);
+  fanin_pool_.insert(fanin_pool_.end(), fanins.begin(), fanins.end());
   is_key_.push_back(false);
   return id;
 }
@@ -51,11 +96,27 @@ std::string Netlist::fresh_name(std::string_view stem) {
   return candidate;
 }
 
+const std::string& Netlist::name_of(NodeId id) const {
+  std::uint32_t ref = name_ref_[id];
+  if (ref & kAutoFlag) {
+    // Materialize the auto-name now, deduping against user-supplied names
+    // through the interned table (a file may legitimately contain "__n_7").
+    const std::uint32_t seq = ref & ~kAutoFlag;
+    std::string candidate = "__n_" + std::to_string(seq);
+    for (std::uint32_t probe = 0; by_name_.contains(candidate); ++probe) {
+      candidate = "__n_" + std::to_string(seq) + "__r" + std::to_string(probe);
+    }
+    ref = intern_name(candidate, id);
+    name_ref_[id] = ref;
+  }
+  return name_table_[ref];
+}
+
 NodeId Netlist::add_input(const std::string& name) {
-  Node node;
-  node.type = GateType::kInput;
-  node.name = name;
-  const NodeId id = add_node(std::move(node));
+  if (name.empty()) {
+    throw std::invalid_argument("add_input: inputs need explicit names");
+  }
+  const NodeId id = append_node(GateType::kInput, {}, 0, name);
   inputs_.push_back(id);
   return id;
 }
@@ -68,14 +129,18 @@ NodeId Netlist::add_key_input(const std::string& name) {
 }
 
 NodeId Netlist::add_const(bool value) {
-  Node node;
-  node.type = value ? GateType::kConst1 : GateType::kConst0;
-  node.name = fresh_name(value ? "__const1" : "__const0");
-  return add_node(std::move(node));
+  const GateType type = value ? GateType::kConst1 : GateType::kConst0;
+  if (strash_enabled_) {
+    if (auto hit = strash_lookup(type, 0, {})) return *hit;
+  }
+  const NodeId id =
+      append_node(type, {}, 0, fresh_name(value ? "__const1" : "__const0"));
+  if (strash_enabled_) strash_insert(id);
+  return id;
 }
 
-NodeId Netlist::add_gate(GateType type, std::vector<NodeId> fanins,
-                         std::string name) {
+NodeId Netlist::add_gate(GateType type, std::span<const NodeId> fanins,
+                         std::string_view name) {
   if (type == GateType::kInput || type == GateType::kLut) {
     throw std::invalid_argument("add_gate: use add_input/add_lut");
   }
@@ -88,22 +153,27 @@ NodeId Netlist::add_gate(GateType type, std::vector<NodeId> fanins,
   } else if (fanins.size() < 2) {
     throw std::invalid_argument("add_gate: variadic gate needs >= 2 fanins");
   }
-  for (NodeId f : fanins) {
-    if (f >= nodes_.size()) throw std::invalid_argument("add_gate: bad fanin");
+  check_fanins(fanins, "add_gate");
+  if (strash_enabled_ && name.empty() && dedupable(type)) {
+    if (auto hit = strash_lookup(type, 0, fanins)) {
+      ++strash_hits_;
+      return *hit;
+    }
+    const NodeId id = append_node(type, fanins, 0, name);
+    strash_insert(id);
+    return id;
   }
-  Node node;
-  node.type = type;
-  node.fanins = std::move(fanins);
-  node.name = std::move(name);
-  return add_node(std::move(node));
+  return append_node(type, fanins, 0, name);
 }
 
-NodeId Netlist::add_mux(NodeId sel, NodeId d0, NodeId d1, std::string name) {
-  return add_gate(GateType::kMux, {sel, d0, d1}, std::move(name));
+NodeId Netlist::add_mux(NodeId sel, NodeId d0, NodeId d1,
+                        std::string_view name) {
+  const NodeId fanins[3] = {sel, d0, d1};
+  return add_gate(GateType::kMux, std::span<const NodeId>(fanins, 3), name);
 }
 
-NodeId Netlist::add_lut(std::vector<NodeId> fanins, std::uint64_t mask,
-                        std::string name) {
+NodeId Netlist::add_lut(std::span<const NodeId> fanins, std::uint64_t mask,
+                        std::string_view name) {
   if (fanins.empty() || fanins.size() > 6) {
     throw std::invalid_argument("add_lut: arity must be 1..6");
   }
@@ -119,69 +189,235 @@ NodeId Netlist::add_lut(std::vector<NodeId> fanins, std::uint64_t mask,
       throw std::invalid_argument(buffer);
     }
   }
-  for (NodeId f : fanins) {
-    if (f >= nodes_.size()) throw std::invalid_argument("add_lut: bad fanin");
+  check_fanins(fanins, "add_lut");
+  if (strash_enabled_ && name.empty()) {
+    if (auto hit = strash_lookup(GateType::kLut, mask, fanins)) {
+      ++strash_hits_;
+      return *hit;
+    }
+    const NodeId id = append_node(GateType::kLut, fanins, mask, name);
+    strash_insert(id);
+    return id;
   }
-  Node node;
-  node.type = GateType::kLut;
-  node.fanins = std::move(fanins);
-  node.lut_mask = mask;
-  node.name = std::move(name);
-  return add_node(std::move(node));
+  return append_node(GateType::kLut, fanins, mask, name);
 }
 
 void Netlist::mark_output(NodeId id) {
-  if (id >= nodes_.size()) throw std::invalid_argument("mark_output: bad id");
+  if (id >= types_.size()) throw std::invalid_argument("mark_output: bad id");
   outputs_.push_back(id);
 }
 
 void Netlist::set_outputs(std::vector<NodeId> outputs) {
   for (NodeId id : outputs) {
-    if (id >= nodes_.size()) throw std::invalid_argument("set_outputs: bad id");
+    if (id >= types_.size()) throw std::invalid_argument("set_outputs: bad id");
   }
   outputs_ = std::move(outputs);
 }
 
+void Netlist::reserve(std::size_t nodes, std::size_t fanin_edges) {
+  types_.reserve(nodes);
+  fanin_offset_.reserve(nodes);
+  fanin_count_.reserve(nodes);
+  lut_mask_.reserve(nodes);
+  name_ref_.reserve(nodes);
+  is_key_.reserve(nodes);
+  fanin_pool_.reserve(fanin_edges);
+}
+
+// ----- structural hashing ---------------------------------------------
+
+void Netlist::set_structural_hashing(bool enabled) {
+  strash_enabled_ = enabled;
+  if (enabled) {
+    strash_rebuild();
+  } else {
+    strash_.clear();
+  }
+}
+
+std::uint64_t Netlist::strash_hash(GateType type, std::uint64_t mask,
+                                   std::span<const NodeId> sorted) const {
+  std::uint64_t h = mix64(static_cast<std::uint64_t>(type) * 0x100 + 1);
+  h ^= mix64(mask + 0x51ed2701);
+  for (NodeId f : sorted) h = mix64(h ^ (f + 0x9e37));
+  return h;
+}
+
+std::span<const NodeId> Netlist::strash_canon(GateType type,
+                                              std::span<const NodeId> fanins) {
+  if (!commutative(type) || std::is_sorted(fanins.begin(), fanins.end())) {
+    return fanins;
+  }
+  strash_scratch_.assign(fanins.begin(), fanins.end());
+  std::sort(strash_scratch_.begin(), strash_scratch_.end());
+  return strash_scratch_;
+}
+
+std::optional<NodeId> Netlist::strash_lookup(GateType type, std::uint64_t mask,
+                                             std::span<const NodeId> fanins) {
+  if (strash_dirty_) strash_rebuild();
+  const auto canon = strash_canon(type, fanins);
+  const std::uint64_t h = strash_hash(type, mask, canon);
+  auto [begin, end] = strash_.equal_range(h);
+  std::optional<NodeId> best;
+  std::vector<NodeId> candidate;
+  for (auto it = begin; it != end; ++it) {
+    const NodeId id = it->second;
+    if (types_[id] != type || lut_mask_[id] != mask) continue;
+    const auto cf = this->fanins(id);
+    if (cf.size() != canon.size()) continue;
+    candidate.assign(cf.begin(), cf.end());
+    if (commutative(type)) std::sort(candidate.begin(), candidate.end());
+    if (!std::equal(candidate.begin(), candidate.end(), canon.begin())) {
+      continue;
+    }
+    // Deterministic winner regardless of hash-table iteration order.
+    if (!best || id < *best) best = id;
+  }
+  return best;
+}
+
+void Netlist::strash_insert(NodeId id) {
+  // Canonicalize through a copy: strash_canon may use strash_scratch_.
+  const auto canon = strash_canon(types_[id], fanins(id));
+  strash_.emplace(strash_hash(types_[id], lut_mask_[id], canon), id);
+}
+
+void Netlist::strash_rebuild() {
+  strash_.clear();
+  strash_dirty_ = false;
+  for (NodeId id = 0; id < types_.size(); ++id) {
+    if (dedupable(types_[id])) strash_insert(id);
+  }
+}
+
+// ----- mutation --------------------------------------------------------
+
 void Netlist::replace_uses(NodeId from, NodeId to) {
-  replace_uses_except(from, to, {});
+  // Fast path: one scan over the flat pool (orphaned slices are rewritten
+  // too, harmlessly -- nothing reads them).
+  for (NodeId& f : fanin_pool_) {
+    if (f == from) f = to;
+  }
+  for (NodeId& o : outputs_) {
+    if (o == from) o = to;
+  }
+  strash_dirty_ = true;
 }
 
 void Netlist::replace_uses_except(NodeId from, NodeId to,
                                   std::span<const NodeId> except) {
-  for (NodeId id = 0; id < nodes_.size(); ++id) {
+  if (except.empty()) {
+    replace_uses(from, to);
+    return;
+  }
+  for (NodeId id = 0; id < types_.size(); ++id) {
     if (std::find(except.begin(), except.end(), id) != except.end()) continue;
-    for (NodeId& f : nodes_[id].fanins) {
-      if (f == from) f = to;
+    const std::uint32_t off = fanin_offset_[id];
+    for (std::uint32_t k = 0; k < fanin_count_[id]; ++k) {
+      if (fanin_pool_[off + k] == from) fanin_pool_[off + k] = to;
     }
   }
   for (NodeId& o : outputs_) {
     if (o == from) o = to;
   }
+  strash_dirty_ = true;
 }
 
 void Netlist::rewrite_as_buf(NodeId id, NodeId src) {
-  if (id >= nodes_.size() || src >= nodes_.size()) {
+  if (id >= types_.size() || src >= types_.size()) {
     throw std::invalid_argument("rewrite_as_buf: bad id");
   }
-  Node& node = nodes_[id];
-  if (node.type == GateType::kInput) {
+  if (types_[id] == GateType::kInput) {
     throw std::invalid_argument("rewrite_as_buf: cannot rewrite an input");
   }
-  node.type = GateType::kBuf;
-  node.fanins = {src};
-  node.lut_mask = 0;
+  types_[id] = GateType::kBuf;
+  lut_mask_[id] = 0;
+  set_fanins(id, std::span<const NodeId>(&src, 1));
+}
+
+void Netlist::rewrite_as_not(NodeId id, NodeId src) {
+  if (id >= types_.size() || src >= types_.size()) {
+    throw std::invalid_argument("rewrite_as_not: bad id");
+  }
+  if (types_[id] == GateType::kInput) {
+    throw std::invalid_argument("rewrite_as_not: cannot rewrite an input");
+  }
+  types_[id] = GateType::kNot;
+  lut_mask_[id] = 0;
+  set_fanins(id, std::span<const NodeId>(&src, 1));
+}
+
+void Netlist::fold_to_const(NodeId id, bool value) {
+  if (id >= types_.size()) throw std::invalid_argument("fold_to_const: bad id");
+  if (types_[id] == GateType::kInput) {
+    throw std::invalid_argument("fold_to_const: cannot fold an input");
+  }
+  types_[id] = value ? GateType::kConst1 : GateType::kConst0;
+  lut_mask_[id] = 0;
+  fanin_count_[id] = 0;
+  strash_dirty_ = true;
+}
+
+void Netlist::set_fanin(NodeId id, std::size_t index, NodeId fanin) {
+  if (id >= types_.size() || fanin >= types_.size() ||
+      index >= fanin_count_[id]) {
+    throw std::invalid_argument("set_fanin: bad id/index");
+  }
+  fanin_pool_[fanin_offset_[id] + index] = fanin;
+  strash_dirty_ = true;
+}
+
+void Netlist::set_fanins(NodeId id, std::span<const NodeId> fanins) {
+  if (id >= types_.size()) throw std::invalid_argument("set_fanins: bad id");
+  check_fanins(fanins, "set_fanins");
+  if (fanins.size() <= fanin_count_[id]) {
+    // Shrink (or same size) in place.
+    std::copy(fanins.begin(), fanins.end(),
+              fanin_pool_.begin() + fanin_offset_[id]);
+    fanin_count_[id] = static_cast<std::uint32_t>(fanins.size());
+  } else {
+    // Growth relocates to the end of the pool; the old slice is orphaned
+    // until the next sweep_dead compaction.
+    fanin_offset_[id] = static_cast<std::uint32_t>(fanin_pool_.size());
+    fanin_count_[id] = static_cast<std::uint32_t>(fanins.size());
+    fanin_pool_.insert(fanin_pool_.end(), fanins.begin(), fanins.end());
+  }
+  strash_dirty_ = true;
+}
+
+void Netlist::set_gate_type(NodeId id, GateType type) {
+  if (id >= types_.size()) throw std::invalid_argument("set_gate_type: bad id");
+  types_[id] = type;
+  strash_dirty_ = true;
+}
+
+void Netlist::set_lut_mask(NodeId id, std::uint64_t mask) {
+  if (id >= types_.size()) throw std::invalid_argument("set_lut_mask: bad id");
+  lut_mask_[id] = mask;
+  strash_dirty_ = true;
 }
 
 void Netlist::rename(NodeId id, const std::string& name) {
-  if (id >= nodes_.size()) throw std::invalid_argument("rename: bad id");
-  if (nodes_[id].name == name) return;  // renaming to itself is a no-op
-  if (by_name_.contains(name)) {
+  if (id >= types_.size()) throw std::invalid_argument("rename: bad id");
+  auto it = by_name_.find(name);
+  if (it != by_name_.end()) {
+    if (it->second == id) return;  // renaming to itself is a no-op
     throw std::invalid_argument("rename: name exists: " + name);
   }
-  by_name_.erase(nodes_[id].name);
-  nodes_[id].name = name;
-  by_name_.emplace(name, id);
+  const std::uint32_t ref = name_ref_[id];
+  if (ref & kAutoFlag) {
+    name_ref_[id] = intern_name(name, id);
+    return;
+  }
+  // Reuse the intern slot: drop the old index entry first so the
+  // string_view key never dangles while we overwrite the storage.
+  by_name_.erase(std::string_view(name_table_[ref]));
+  name_table_[ref] = name;
+  by_name_.emplace(std::string_view(name_table_[ref]), id);
 }
+
+// ----- queries ---------------------------------------------------------
 
 std::vector<NodeId> Netlist::data_inputs() const {
   std::vector<NodeId> result;
@@ -196,7 +432,7 @@ bool Netlist::is_key_input(NodeId id) const {
   return id < is_key_.size() && is_key_[id];
 }
 
-std::optional<NodeId> Netlist::find(const std::string& name) const {
+std::optional<NodeId> Netlist::find(std::string_view name) const {
   auto it = by_name_.find(name);
   if (it == by_name_.end()) return std::nullopt;
   return it->second;
@@ -204,17 +440,20 @@ std::optional<NodeId> Netlist::find(const std::string& name) const {
 
 std::vector<NodeId> Netlist::topological_order() const {
   // Kahn's algorithm; DFF fanin edges are ignored so sequential loops do
-  // not create cycles (DFF outputs act as sources).
-  std::vector<std::uint32_t> pending(nodes_.size(), 0);
-  for (NodeId id = 0; id < nodes_.size(); ++id) {
-    if (nodes_[id].type == GateType::kDff) continue;
-    pending[id] = static_cast<std::uint32_t>(nodes_[id].fanins.size());
+  // not create cycles (DFF outputs act as sources). The traversal order is
+  // identical to the historical array-of-structs implementation, which
+  // downstream encoders rely on for bit-exact CNF.
+  const std::size_t n = types_.size();
+  std::vector<std::uint32_t> pending(n, 0);
+  for (NodeId id = 0; id < n; ++id) {
+    if (types_[id] == GateType::kDff) continue;
+    pending[id] = fanin_count_[id];
   }
-  auto fo = fanouts();
+  const FanoutMap fo = fanouts();
   std::vector<NodeId> order;
-  order.reserve(nodes_.size());
+  order.reserve(n);
   std::vector<NodeId> ready;
-  for (NodeId id = 0; id < nodes_.size(); ++id) {
+  for (NodeId id = 0; id < n; ++id) {
     if (pending[id] == 0) ready.push_back(id);
   }
   while (!ready.empty()) {
@@ -222,28 +461,38 @@ std::vector<NodeId> Netlist::topological_order() const {
     ready.pop_back();
     order.push_back(id);
     for (NodeId user : fo[id]) {
-      if (nodes_[user].type == GateType::kDff) continue;
+      if (types_[user] == GateType::kDff) continue;
       if (--pending[user] == 0) ready.push_back(user);
     }
   }
-  if (order.size() != nodes_.size()) {
+  if (order.size() != n) {
     throw std::runtime_error("topological_order: combinational cycle");
   }
   return order;
 }
 
-std::vector<std::vector<NodeId>> Netlist::fanouts() const {
-  std::vector<std::vector<NodeId>> fo(nodes_.size());
-  for (NodeId id = 0; id < nodes_.size(); ++id) {
-    for (NodeId f : nodes_[id].fanins) fo[f].push_back(id);
+FanoutMap Netlist::fanouts() const {
+  // Counting sort into one flat pool: consumers end up in ascending id
+  // order per driver, matching the old vector-of-vectors construction.
+  const std::size_t n = types_.size();
+  FanoutMap fo;
+  fo.offset_.assign(n + 1, 0);
+  for (NodeId id = 0; id < n; ++id) {
+    for (NodeId f : fanins(id)) ++fo.offset_[f + 1];
+  }
+  for (std::size_t i = 1; i <= n; ++i) fo.offset_[i] += fo.offset_[i - 1];
+  fo.pool_.resize(fo.offset_[n]);
+  std::vector<std::uint32_t> cursor(fo.offset_.begin(), fo.offset_.end() - 1);
+  for (NodeId id = 0; id < n; ++id) {
+    for (NodeId f : fanins(id)) fo.pool_[cursor[f]++] = id;
   }
   return fo;
 }
 
 std::size_t Netlist::gate_count() const {
   std::size_t count = 0;
-  for (const Node& node : nodes_) {
-    switch (node.type) {
+  for (GateType type : types_) {
+    switch (type) {
       case GateType::kInput:
       case GateType::kConst0:
       case GateType::kConst1:
@@ -257,54 +506,61 @@ std::size_t Netlist::gate_count() const {
 
 std::size_t Netlist::dff_count() const {
   std::size_t count = 0;
-  for (const Node& node : nodes_) {
-    if (node.type == GateType::kDff) ++count;
+  for (GateType type : types_) {
+    if (type == GateType::kDff) ++count;
   }
   return count;
 }
 
 std::size_t Netlist::depth() const {
-  std::vector<std::size_t> level(nodes_.size(), 0);
+  std::vector<std::size_t> level(types_.size(), 0);
   std::size_t max_level = 0;
   for (NodeId id : topological_order()) {
-    const Node& node = nodes_[id];
-    if (node.type == GateType::kDff) continue;
+    if (types_[id] == GateType::kDff) continue;
     std::size_t lvl = 0;
-    for (NodeId f : node.fanins) lvl = std::max(lvl, level[f] + 1);
+    for (NodeId f : fanins(id)) lvl = std::max(lvl, level[f] + 1);
     level[id] = lvl;
     max_level = std::max(max_level, lvl);
   }
   return max_level;
 }
 
+std::size_t Netlist::approx_bytes() const {
+  return types_.capacity() * sizeof(GateType) +
+         fanin_offset_.capacity() * sizeof(std::uint32_t) +
+         fanin_count_.capacity() * sizeof(std::uint32_t) +
+         lut_mask_.capacity() * sizeof(std::uint64_t) +
+         name_ref_.capacity() * sizeof(std::uint32_t) +
+         fanin_pool_.capacity() * sizeof(NodeId) + is_key_.capacity() / 8;
+}
+
 std::string Netlist::validate() const {
-  for (NodeId id = 0; id < nodes_.size(); ++id) {
-    const Node& node = nodes_[id];
-    for (NodeId f : node.fanins) {
-      if (f >= nodes_.size()) return "node " + node.name + ": fanin oob";
+  for (NodeId id = 0; id < types_.size(); ++id) {
+    const auto node_fanins = fanins(id);
+    for (NodeId f : node_fanins) {
+      if (f >= types_.size()) return "node " + name_of(id) + ": fanin oob";
     }
-    const std::size_t arity = fixed_arity(node.type);
-    if (arity != static_cast<std::size_t>(-1) &&
-        node.fanins.size() != arity) {
-      return "node " + node.name + ": bad arity";
+    const std::size_t arity = fixed_arity(types_[id]);
+    if (arity != static_cast<std::size_t>(-1) && node_fanins.size() != arity) {
+      return "node " + name_of(id) + ": bad arity";
     }
-    if (is_logic_op(node.type) && node.fanins.size() < 2) {
-      return "node " + node.name + ": variadic gate with < 2 fanins";
+    if (is_logic_op(types_[id]) && node_fanins.size() < 2) {
+      return "node " + name_of(id) + ": variadic gate with < 2 fanins";
     }
-    if (node.type == GateType::kLut) {
-      if (node.fanins.empty() || node.fanins.size() > 6) {
-        return "node " + node.name + ": LUT arity out of range";
+    if (types_[id] == GateType::kLut) {
+      if (node_fanins.empty() || node_fanins.size() > 6) {
+        return "node " + name_of(id) + ": LUT arity out of range";
       }
-      if (node.fanins.size() < 6) {
-        const std::uint64_t width = std::uint64_t{1} << node.fanins.size();
-        if (width < 64 && (node.lut_mask >> width) != 0) {
-          return "node " + node.name + ": LUT mask wider than 2^arity";
+      if (node_fanins.size() < 6) {
+        const std::uint64_t width = std::uint64_t{1} << node_fanins.size();
+        if (width < 64 && (lut_mask_[id] >> width) != 0) {
+          return "node " + name_of(id) + ": LUT mask wider than 2^arity";
         }
       }
     }
   }
   for (NodeId id : outputs_) {
-    if (id >= nodes_.size()) return "output id oob";
+    if (id >= types_.size()) return "output id oob";
   }
   try {
     (void)topological_order();
@@ -316,54 +572,54 @@ std::string Netlist::validate() const {
 
 Netlist Netlist::combinational_core() const {
   Netlist core(name_ + "_comb");
-  std::vector<NodeId> remap(nodes_.size(), kNoNode);
+  core.reserve(types_.size() + dff_count(), fanin_pool_.size());
+  std::vector<NodeId> remap(types_.size(), kNoNode);
   // Inputs (and DFF outputs as pseudo-inputs) first.
-  for (NodeId id = 0; id < nodes_.size(); ++id) {
-    const Node& node = nodes_[id];
-    if (node.type == GateType::kInput) {
-      remap[id] = is_key_[id] ? core.add_key_input(node.name)
-                              : core.add_input(node.name);
-    } else if (node.type == GateType::kDff) {
-      remap[id] = core.add_input(node.name + "_ppi");
+  for (NodeId id = 0; id < types_.size(); ++id) {
+    if (types_[id] == GateType::kInput) {
+      remap[id] = is_key_[id] ? core.add_key_input(name_of(id))
+                              : core.add_input(name_of(id));
+    } else if (types_[id] == GateType::kDff) {
+      remap[id] = core.add_input(name_of(id) + "_ppi");
     }
   }
+  std::vector<NodeId> mapped;
   for (NodeId id : topological_order()) {
-    const Node& node = nodes_[id];
     if (remap[id] != kNoNode) continue;  // inputs / dffs done
-    std::vector<NodeId> fanins;
-    fanins.reserve(node.fanins.size());
-    for (NodeId f : node.fanins) {
+    mapped.clear();
+    for (NodeId f : fanins(id)) {
       assert(remap[f] != kNoNode);
-      fanins.push_back(remap[f]);
+      mapped.push_back(remap[f]);
     }
-    switch (node.type) {
+    switch (types_[id]) {
       case GateType::kConst0:
       case GateType::kConst1:
-        remap[id] = core.add_const(node.type == GateType::kConst1);
-        core.rename(remap[id], node.name);
+        remap[id] = core.add_const(types_[id] == GateType::kConst1);
+        core.rename(remap[id], name_of(id));
         break;
       case GateType::kLut:
-        remap[id] = core.add_lut(std::move(fanins), node.lut_mask, node.name);
+        remap[id] = core.add_lut(std::span<const NodeId>(mapped), lut_mask_[id],
+                                 name_of(id));
         break;
       default:
-        remap[id] = core.add_gate(node.type, std::move(fanins), node.name);
+        remap[id] = core.add_gate(types_[id], std::span<const NodeId>(mapped),
+                                  name_of(id));
     }
   }
   for (NodeId id : outputs_) core.mark_output(remap[id]);
   // DFF inputs become pseudo-outputs.
-  for (NodeId id = 0; id < nodes_.size(); ++id) {
-    const Node& node = nodes_[id];
-    if (node.type != GateType::kDff) continue;
-    const NodeId src = remap[node.fanins[0]];
-    const NodeId buf =
-        core.add_gate(GateType::kBuf, {src}, node.name + "_ppo");
+  for (NodeId id = 0; id < types_.size(); ++id) {
+    if (types_[id] != GateType::kDff) continue;
+    const NodeId src = remap[fanin(id, 0)];
+    const NodeId buf = core.add_gate(GateType::kBuf, {src}, name_of(id) + "_ppo");
     core.mark_output(buf);
   }
   return core;
 }
 
 std::vector<NodeId> Netlist::sweep_dead(bool keep_all_inputs) {
-  std::vector<bool> live(nodes_.size(), false);
+  const std::size_t n = types_.size();
+  std::vector<bool> live(n, false);
   std::vector<NodeId> stack(outputs_.begin(), outputs_.end());
   if (keep_all_inputs) {
     for (NodeId id : inputs_) {
@@ -375,7 +631,7 @@ std::vector<NodeId> Netlist::sweep_dead(bool keep_all_inputs) {
     stack.pop_back();
     if (live[id]) continue;
     live[id] = true;
-    for (NodeId f : nodes_[id].fanins) {
+    for (NodeId f : fanins(id)) {
       if (!live[f]) stack.push_back(f);
     }
   }
@@ -384,38 +640,60 @@ std::vector<NodeId> Netlist::sweep_dead(bool keep_all_inputs) {
   bool changed = true;
   while (changed) {
     changed = false;
-    for (NodeId id = 0; id < nodes_.size(); ++id) {
-      if (!live[id] || nodes_[id].type != GateType::kDff) continue;
-      std::vector<NodeId> work = {nodes_[id].fanins[0]};
+    for (NodeId id = 0; id < n; ++id) {
+      if (!live[id] || types_[id] != GateType::kDff) continue;
+      std::vector<NodeId> work = {fanin(id, 0)};
       while (!work.empty()) {
         const NodeId w = work.back();
         work.pop_back();
         if (live[w]) continue;
         live[w] = true;
         changed = true;
-        for (NodeId f : nodes_[w].fanins) work.push_back(f);
+        for (NodeId f : fanins(w)) work.push_back(f);
       }
     }
   }
 
-  std::vector<NodeId> remap(nodes_.size(), kNoNode);
-  std::vector<Node> kept;
-  std::vector<bool> kept_is_key;
-  kept.reserve(nodes_.size());
-  for (NodeId id = 0; id < nodes_.size(); ++id) {
+  // Compact every parallel array and the fanin pool in one pass. Fanin
+  // values can reference later ids (patched DFF feedback), so remap the
+  // pool contents in a second pass once the full mapping exists.
+  std::vector<NodeId> remap(n, kNoNode);
+  std::vector<GateType> types;
+  std::vector<std::uint32_t> offset;
+  std::vector<std::uint32_t> count;
+  std::vector<std::uint64_t> masks;
+  std::vector<std::uint32_t> refs;
+  std::vector<NodeId> pool;
+  std::vector<bool> keep_is_key;
+  for (NodeId id = 0; id < n; ++id) {
     if (!live[id]) continue;
-    remap[id] = static_cast<NodeId>(kept.size());
-    kept.push_back(std::move(nodes_[id]));
-    kept_is_key.push_back(is_key_[id]);
+    remap[id] = static_cast<NodeId>(types.size());
+    types.push_back(types_[id]);
+    offset.push_back(static_cast<std::uint32_t>(pool.size()));
+    count.push_back(fanin_count_[id]);
+    masks.push_back(lut_mask_[id]);
+    refs.push_back(name_ref_[id]);
+    const auto f = fanins(id);
+    pool.insert(pool.end(), f.begin(), f.end());
+    keep_is_key.push_back(is_key_[id]);
   }
-  for (Node& node : kept) {
-    for (NodeId& f : node.fanins) f = remap[f];
-  }
-  nodes_ = std::move(kept);
-  is_key_ = std::move(kept_is_key);
+  for (NodeId& f : pool) f = remap[f];
+  types_ = std::move(types);
+  fanin_offset_ = std::move(offset);
+  fanin_count_ = std::move(count);
+  lut_mask_ = std::move(masks);
+  name_ref_ = std::move(refs);
+  fanin_pool_ = std::move(pool);
+  is_key_ = std::move(keep_is_key);
+  // Rebuild the name index for surviving explicit names. Intern-table
+  // strings of dropped nodes stay allocated (bounded by the pre-sweep
+  // size) but are no longer reachable through the index.
   by_name_.clear();
-  for (NodeId id = 0; id < nodes_.size(); ++id) {
-    by_name_.emplace(nodes_[id].name, id);
+  for (NodeId id = 0; id < types_.size(); ++id) {
+    const std::uint32_t ref = name_ref_[id];
+    if (!(ref & kAutoFlag)) {
+      by_name_.emplace(std::string_view(name_table_[ref]), id);
+    }
   }
   auto remap_list = [&](std::vector<NodeId>& list) {
     for (NodeId& id : list) id = remap[id];
@@ -424,6 +702,7 @@ std::vector<NodeId> Netlist::sweep_dead(bool keep_all_inputs) {
   remap_list(inputs_);
   remap_list(outputs_);
   remap_list(key_inputs_);
+  strash_dirty_ = true;
   return remap;
 }
 

@@ -1,15 +1,28 @@
 // Gate-level netlist IR.
 //
-// A Netlist is a DAG of Nodes. Each node produces exactly one signal; primary
+// A Netlist is a DAG of nodes. Each node produces exactly one signal; primary
 // outputs are references to producing nodes. Key inputs (the locking key bits)
 // are primary inputs additionally recorded in key_inputs(); by convention they
 // carry a "keyinput" name prefix so they round-trip through .bench files.
+//
+// Storage is struct-of-arrays so million-gate hosts stay memory-lean: gate
+// types, LUT masks, and name references live in parallel arrays indexed by
+// NodeId, and every fanin list is a slice of one flat CSR-style pool
+// (fanin_offset_/fanin_count_ into fanin_pool_, all 32-bit). Names live in an
+// interned side table; auto-generated names ("__n_<seq>") are materialized
+// lazily on first query so build/encode paths never touch strings.
+//
+// node(id) returns a lightweight by-value view (Node). Mutation goes through
+// explicit mutators (set_fanin, set_fanins, fold_to_const, ...) so the
+// structural-hash table and name index can stay consistent.
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <optional>
 #include <span>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -17,12 +30,40 @@
 
 namespace ril::netlist {
 
+class Netlist;
+
+/// Read-only view of one node. Cheap to copy; `fanins` points into the
+/// netlist's fanin pool and is invalidated by any node-adding or
+/// fanin-growing mutation (same hazard as holding a reference across a
+/// vector reallocation in the old array-of-structs layout).
 struct Node {
   GateType type = GateType::kConst0;
-  std::vector<NodeId> fanins;
   /// Truth table for kLut (bit i = output for minterm i, fanin[0] = LSB).
   std::uint64_t lut_mask = 0;
-  std::string name;
+  std::span<const NodeId> fanins;
+
+  /// Node name; materializes a lazy auto-name on first access.
+  const std::string& name() const;
+
+ private:
+  friend class Netlist;
+  const Netlist* netlist_ = nullptr;
+  NodeId id_ = kNoNode;
+};
+
+/// CSR fanout map: fanouts[id] = consumers of id (gate fanin references
+/// only), in ascending consumer id, one entry per fanin reference.
+class FanoutMap {
+ public:
+  std::span<const NodeId> operator[](NodeId id) const {
+    return {pool_.data() + offset_[id], offset_[id + 1] - offset_[id]};
+  }
+  std::size_t size() const { return offset_.empty() ? 0 : offset_.size() - 1; }
+
+ private:
+  friend class Netlist;
+  std::vector<std::uint32_t> offset_;  // node_count + 1 entries
+  std::vector<NodeId> pool_;
 };
 
 class Netlist {
@@ -35,16 +76,39 @@ class Netlist {
   NodeId add_key_input(const std::string& name);
   NodeId add_const(bool value);
   /// Adds a gate; fixed-arity types are arity-checked. Empty name -> auto.
-  NodeId add_gate(GateType type, std::vector<NodeId> fanins,
-                  std::string name = {});
+  NodeId add_gate(GateType type, std::span<const NodeId> fanins,
+                  std::string_view name = {});
+  NodeId add_gate(GateType type, std::initializer_list<NodeId> fanins,
+                  std::string_view name = {}) {
+    return add_gate(type, std::span<const NodeId>(fanins.begin(), fanins.size()),
+                    name);
+  }
   /// Adds a MUX node: out = sel ? d1 : d0.
-  NodeId add_mux(NodeId sel, NodeId d0, NodeId d1, std::string name = {});
+  NodeId add_mux(NodeId sel, NodeId d0, NodeId d1, std::string_view name = {});
   /// Adds a LUT node over `fanins` (<= 6) with the given truth-table mask.
-  NodeId add_lut(std::vector<NodeId> fanins, std::uint64_t mask,
-                 std::string name = {});
+  NodeId add_lut(std::span<const NodeId> fanins, std::uint64_t mask,
+                 std::string_view name = {});
+  NodeId add_lut(std::initializer_list<NodeId> fanins, std::uint64_t mask,
+                 std::string_view name = {}) {
+    return add_lut(std::span<const NodeId>(fanins.begin(), fanins.size()), mask,
+                   name);
+  }
   void mark_output(NodeId id);
   /// Replaces the output list wholesale (used by netlist transforms).
   void set_outputs(std::vector<NodeId> outputs);
+  /// Pre-sizes the node arrays and the fanin pool (perf only).
+  void reserve(std::size_t nodes, std::size_t fanin_edges);
+
+  // ----- structural hashing -------------------------------------------
+  /// When enabled, add_gate/add_lut with an empty name (and add_const)
+  /// return an existing structurally identical node instead of creating a
+  /// duplicate. Commutative gate fanins are canonicalized by sorting; DFFs
+  /// and inputs never dedupe. Mutations invalidate the hash table; it is
+  /// rebuilt lazily on the next hashed add.
+  void set_structural_hashing(bool enabled);
+  bool structural_hashing() const { return strash_enabled_; }
+  /// Number of adds answered from the hash table since construction.
+  std::size_t strash_hits() const { return strash_hits_; }
 
   // ----- mutation ------------------------------------------------------
   /// Redirects every fanin reference of `from` (in gates and the output
@@ -57,33 +121,77 @@ class Netlist {
                            std::span<const NodeId> except);
   /// Rewrites node `id` in place to a BUF of `src` (absorbs a gate).
   void rewrite_as_buf(NodeId id, NodeId src);
+  /// Rewrites node `id` in place to a NOT of `src`.
+  void rewrite_as_not(NodeId id, NodeId src);
+  /// Rewrites node `id` in place to a constant (keeps the name).
+  void fold_to_const(NodeId id, bool value);
+  /// Replaces fanin slot `index` of node `id`.
+  void set_fanin(NodeId id, std::size_t index, NodeId fanin);
+  /// Replaces the whole fanin list. Shrinks reuse the node's pool slice;
+  /// growth relocates the slice to the end of the pool (the old slice is
+  /// left unused until the next sweep_dead compaction).
+  void set_fanins(NodeId id, std::span<const NodeId> fanins);
+  /// Overwrites the gate type without touching fanins (e.g. kXor<->kXnor).
+  void set_gate_type(NodeId id, GateType type);
+  /// Overwrites a LUT mask. Deliberately unvalidated so tests can inject
+  /// malformed masks; validate() reports them.
+  void set_lut_mask(NodeId id, std::uint64_t mask);
   /// Renames a node, keeping the name index consistent.
   void rename(NodeId id, const std::string& name);
 
   // ----- queries -------------------------------------------------------
   const std::string& name() const { return name_; }
   void set_name(std::string n) { name_ = std::move(n); }
-  std::size_t node_count() const { return nodes_.size(); }
-  const Node& node(NodeId id) const { return nodes_[id]; }
-  Node& node(NodeId id) { return nodes_[id]; }
+  std::size_t node_count() const { return types_.size(); }
+  Node node(NodeId id) const {
+    Node view;
+    view.type = types_[id];
+    view.lut_mask = lut_mask_[id];
+    view.fanins = fanins(id);
+    view.netlist_ = this;
+    view.id_ = id;
+    return view;
+  }
+  GateType type(NodeId id) const { return types_[id]; }
+  std::uint64_t lut_mask(NodeId id) const { return lut_mask_[id]; }
+  std::span<const NodeId> fanins(NodeId id) const {
+    return {fanin_pool_.data() + fanin_offset_[id], fanin_count_[id]};
+  }
+  std::size_t fanin_count(NodeId id) const { return fanin_count_[id]; }
+  NodeId fanin(NodeId id, std::size_t index) const {
+    return fanin_pool_[fanin_offset_[id] + index];
+  }
+  /// Node name; materializes a lazy auto-name ("__n_<seq>", deduped against
+  /// user names through the interned table) on first access.
+  const std::string& name_of(NodeId id) const;
+  /// True while the node still carries an unmaterialized auto-name. Clones
+  /// that exist only to be encoded (cofactors) can skip copying such names.
+  bool is_auto_named(NodeId id) const {
+    return (name_ref_[id] & kAutoFlag) != 0;
+  }
   const std::vector<NodeId>& inputs() const { return inputs_; }
   const std::vector<NodeId>& outputs() const { return outputs_; }
   const std::vector<NodeId>& key_inputs() const { return key_inputs_; }
   /// Primary inputs that are not key inputs.
   std::vector<NodeId> data_inputs() const;
   bool is_key_input(NodeId id) const;
-  std::optional<NodeId> find(const std::string& name) const;
+  std::optional<NodeId> find(std::string_view name) const;
 
   /// Nodes in a topological order (fanins before uses). DFF outputs are
   /// treated as sources (their fanin edge is ignored for ordering).
   std::vector<NodeId> topological_order() const;
-  /// fanouts()[id] = consumers of id (gate fanin references only).
-  std::vector<std::vector<NodeId>> fanouts() const;
+  /// CSR fanout map (one flat pool; no per-node vectors).
+  FanoutMap fanouts() const;
   /// Number of gates (everything but inputs/consts).
   std::size_t gate_count() const;
   std::size_t dff_count() const;
   /// Logic depth (levels over the topological order, DFFs as sources).
   std::size_t depth() const;
+  /// Total fanin references (pool entries in use, including slices
+  /// orphaned by shrinking rewrites until the next sweep_dead).
+  std::size_t fanin_pool_size() const { return fanin_pool_.size(); }
+  /// Approximate heap bytes of the IR arrays (names excluded).
+  std::size_t approx_bytes() const;
 
   /// Checks structural sanity (acyclic, arities, fanin ids in range,
   /// LUT arity vs mask width). Returns an error description or empty.
@@ -101,17 +209,63 @@ class Netlist {
   std::vector<NodeId> sweep_dead(bool keep_all_inputs = true);
 
  private:
-  NodeId add_node(Node node);
+  static constexpr std::uint32_t kAutoFlag = 0x8000'0000u;
+
+  NodeId append_node(GateType type, std::span<const NodeId> fanins,
+                     std::uint64_t lut_mask, std::string_view name);
   std::string fresh_name(std::string_view stem);
+  /// Copies `name` into the intern table and registers it; returns the
+  /// table index. Throws on duplicates.
+  std::uint32_t intern_name(std::string_view name, NodeId id) const;
+  void check_fanins(std::span<const NodeId> fanins, const char* what) const;
+
+  // Structural hashing helpers.
+  bool dedupable(GateType type) const {
+    return type != GateType::kInput && type != GateType::kDff;
+  }
+  std::uint64_t strash_hash(GateType type, std::uint64_t mask,
+                            std::span<const NodeId> sorted_fanins) const;
+  /// Canonicalizes fanins into strash_scratch_ (sorts commutative ops).
+  std::span<const NodeId> strash_canon(GateType type,
+                                       std::span<const NodeId> fanins);
+  std::optional<NodeId> strash_lookup(GateType type, std::uint64_t mask,
+                                      std::span<const NodeId> fanins);
+  void strash_insert(NodeId id);
+  void strash_rebuild();
 
   std::string name_ = "top";
-  std::vector<Node> nodes_;
+
+  // --- struct-of-arrays node storage (parallel, indexed by NodeId) ---
+  std::vector<GateType> types_;
+  std::vector<std::uint32_t> fanin_offset_;
+  std::vector<std::uint32_t> fanin_count_;
+  std::vector<std::uint64_t> lut_mask_;
+  /// Explicit: index into name_table_. Auto: kAutoFlag | sequence number.
+  mutable std::vector<std::uint32_t> name_ref_;
+  std::vector<NodeId> fanin_pool_;
+
   std::vector<NodeId> inputs_;
   std::vector<NodeId> outputs_;
   std::vector<NodeId> key_inputs_;
   std::vector<bool> is_key_;
-  std::unordered_map<std::string, NodeId> by_name_;
-  std::uint64_t name_counter_ = 0;
+
+  // Interned names. The deque gives stable string storage so by_name_ can
+  // key on string_views into it. Lazy auto-name materialization mutates
+  // these from const accessors (hence mutable); concurrent name queries on
+  // the same Netlist are not thread-safe, everything else is const-safe.
+  mutable std::deque<std::string> name_table_;
+  mutable std::unordered_map<std::string_view, NodeId> by_name_;
+  std::uint64_t name_counter_ = 0;  // feeds fresh_name (consts)
+  std::uint32_t auto_counter_ = 0;  // feeds lazy "__n_<seq>" names
+
+  // Structural hashing (opt-in). Maps canonical hash -> candidate ids.
+  bool strash_enabled_ = false;
+  bool strash_dirty_ = false;
+  std::size_t strash_hits_ = 0;
+  std::unordered_multimap<std::uint64_t, NodeId> strash_;
+  std::vector<NodeId> strash_scratch_;
 };
+
+inline const std::string& Node::name() const { return netlist_->name_of(id_); }
 
 }  // namespace ril::netlist

@@ -23,10 +23,10 @@ ScanInsertion insert_scan_chain(const Netlist& sequential) {
   NodeId previous = result.scan_in;
   for (std::size_t i = 0; i < result.chain.size(); ++i) {
     const NodeId dff = result.chain[i];
-    const NodeId functional_d = nl.node(dff).fanins[0];
+    const NodeId functional_d = nl.fanin(dff, 0);
     const NodeId mux = nl.add_mux(result.scan_enable, functional_d, previous,
                                   "scan_mux_" + std::to_string(i));
-    nl.node(dff).fanins[0] = mux;
+    nl.set_fanin(dff, 0, mux);
     previous = dff;  // next flop shifts from this one's output
   }
   result.scan_out =

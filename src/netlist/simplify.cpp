@@ -1,34 +1,17 @@
 #include "netlist/simplify.hpp"
 
 #include <algorithm>
+#include <vector>
 
 namespace ril::netlist {
 
 namespace {
 
-bool is_const(const Node& node) {
-  return node.type == GateType::kConst0 || node.type == GateType::kConst1;
+bool is_const_type(GateType type) {
+  return type == GateType::kConst0 || type == GateType::kConst1;
 }
 
-bool const_value(const Node& node) { return node.type == GateType::kConst1; }
-
-void make_const(Node& node, bool value) {
-  node.type = value ? GateType::kConst1 : GateType::kConst0;
-  node.fanins.clear();
-  node.lut_mask = 0;
-}
-
-void make_buf(Node& node, NodeId src) {
-  node.type = GateType::kBuf;
-  node.fanins = {src};
-  node.lut_mask = 0;
-}
-
-void make_not(Node& node, NodeId src) {
-  node.type = GateType::kNot;
-  node.fanins = {src};
-  node.lut_mask = 0;
-}
+bool const_value(GateType type) { return type == GateType::kConst1; }
 
 }  // namespace
 
@@ -36,21 +19,28 @@ SimplifyStats simplify(Netlist& netlist) {
   SimplifyStats stats;
   const std::size_t before = netlist.node_count();
 
+  std::vector<NodeId> scratch;  // chased fanins of the current node
+  std::vector<NodeId> kept;
   bool changed = true;
   while (changed) {
     changed = false;
     for (NodeId id : netlist.topological_order()) {
-      Node& node = netlist.node(id);
+      const GateType type = netlist.type(id);
       // Chase buffer chains on every fanin (also applies to DFF inputs).
-      for (NodeId& f : node.fanins) {
-        while (netlist.node(f).type == GateType::kBuf) {
-          f = netlist.node(f).fanins[0];
+      const auto fanins = netlist.fanins(id);
+      scratch.assign(fanins.begin(), fanins.end());
+      bool chased = false;
+      for (NodeId& f : scratch) {
+        while (netlist.type(f) == GateType::kBuf) {
+          f = netlist.fanin(f, 0);
           ++stats.buffers_collapsed;
+          chased = true;
           changed = true;
         }
       }
+      if (chased) netlist.set_fanins(id, scratch);  // same arity, in place
 
-      switch (node.type) {
+      switch (type) {
         case GateType::kInput:
         case GateType::kConst0:
         case GateType::kConst1:
@@ -58,9 +48,9 @@ SimplifyStats simplify(Netlist& netlist) {
         case GateType::kDff:
           break;
         case GateType::kNot: {
-          const Node& a = netlist.node(node.fanins[0]);
-          if (is_const(a)) {
-            make_const(node, !const_value(a));
+          const GateType a = netlist.type(scratch[0]);
+          if (is_const_type(a)) {
+            netlist.fold_to_const(id, !const_value(a));
             ++stats.constants_folded;
             changed = true;
           }
@@ -70,17 +60,17 @@ SimplifyStats simplify(Netlist& netlist) {
         case GateType::kNand:
         case GateType::kOr:
         case GateType::kNor: {
-          const bool is_and_like = node.type == GateType::kAnd ||
-                                   node.type == GateType::kNand;
-          const bool inverted = node.type == GateType::kNand ||
-                                node.type == GateType::kNor;
+          const bool is_and_like =
+              type == GateType::kAnd || type == GateType::kNand;
+          const bool inverted =
+              type == GateType::kNand || type == GateType::kNor;
           // Dominant / neutral constants.
           const bool dominant = !is_and_like;  // 1 dominates OR, 0 AND
           bool saturated = false;
-          std::vector<NodeId> kept;
-          for (NodeId f : node.fanins) {
-            const Node& fan = netlist.node(f);
-            if (is_const(fan)) {
+          kept.clear();
+          for (NodeId f : scratch) {
+            const GateType fan = netlist.type(f);
+            if (is_const_type(fan)) {
               if (const_value(fan) == dominant) saturated = true;
               // neutral constants dropped
               continue;
@@ -91,23 +81,23 @@ SimplifyStats simplify(Netlist& netlist) {
           std::sort(kept.begin(), kept.end());
           kept.erase(std::unique(kept.begin(), kept.end()), kept.end());
           if (saturated) {
-            make_const(node, dominant != inverted);
+            netlist.fold_to_const(id, dominant != inverted);
             ++stats.constants_folded;
             changed = true;
           } else if (kept.empty()) {
-            make_const(node, !dominant != inverted);
+            netlist.fold_to_const(id, !dominant != inverted);
             ++stats.constants_folded;
             changed = true;
           } else if (kept.size() == 1) {
             if (inverted) {
-              make_not(node, kept[0]);
+              netlist.rewrite_as_not(id, kept[0]);
             } else {
-              make_buf(node, kept[0]);
+              netlist.rewrite_as_buf(id, kept[0]);
             }
             ++stats.constants_folded;
             changed = true;
-          } else if (kept.size() != node.fanins.size()) {
-            node.fanins = std::move(kept);
+          } else if (kept.size() != scratch.size()) {
+            netlist.set_fanins(id, kept);
             ++stats.constants_folded;
             changed = true;
           }
@@ -115,11 +105,11 @@ SimplifyStats simplify(Netlist& netlist) {
         }
         case GateType::kXor:
         case GateType::kXnor: {
-          bool parity = node.type == GateType::kXnor;
-          std::vector<NodeId> kept;
-          for (NodeId f : node.fanins) {
-            const Node& fan = netlist.node(f);
-            if (is_const(fan)) {
+          bool parity = type == GateType::kXnor;
+          kept.clear();
+          for (NodeId f : scratch) {
+            const GateType fan = netlist.type(f);
+            if (is_const_type(fan)) {
               parity ^= const_value(fan);
               continue;
             }
@@ -137,48 +127,49 @@ SimplifyStats simplify(Netlist& netlist) {
             }
           }
           if (reduced.empty()) {
-            make_const(node, parity);
+            netlist.fold_to_const(id, parity);
             ++stats.constants_folded;
             changed = true;
           } else if (reduced.size() == 1) {
             if (parity) {
-              make_not(node, reduced[0]);
+              netlist.rewrite_as_not(id, reduced[0]);
             } else {
-              make_buf(node, reduced[0]);
+              netlist.rewrite_as_buf(id, reduced[0]);
             }
             ++stats.constants_folded;
             changed = true;
-          } else if (reduced.size() != node.fanins.size() ||
-                     parity != (node.type == GateType::kXnor)) {
-            node.type = parity ? GateType::kXnor : GateType::kXor;
-            node.fanins = std::move(reduced);
+          } else if (reduced.size() != scratch.size() ||
+                     parity != (type == GateType::kXnor)) {
+            netlist.set_gate_type(id,
+                                  parity ? GateType::kXnor : GateType::kXor);
+            netlist.set_fanins(id, reduced);
             ++stats.constants_folded;
             changed = true;
           }
           break;
         }
         case GateType::kMux: {
-          const NodeId sel = node.fanins[0];
-          const NodeId d0 = node.fanins[1];
-          const NodeId d1 = node.fanins[2];
-          const Node& sel_node = netlist.node(sel);
-          const Node& d0_node = netlist.node(d0);
-          const Node& d1_node = netlist.node(d1);
-          if (is_const(sel_node)) {
-            make_buf(node, const_value(sel_node) ? d1 : d0);
+          const NodeId sel = scratch[0];
+          const NodeId d0 = scratch[1];
+          const NodeId d1 = scratch[2];
+          const GateType sel_type = netlist.type(sel);
+          const GateType d0_type = netlist.type(d0);
+          const GateType d1_type = netlist.type(d1);
+          if (is_const_type(sel_type)) {
+            netlist.rewrite_as_buf(id, const_value(sel_type) ? d1 : d0);
             ++stats.constants_folded;
             changed = true;
           } else if (d0 == d1) {
-            make_buf(node, d0);
+            netlist.rewrite_as_buf(id, d0);
             ++stats.constants_folded;
             changed = true;
-          } else if (is_const(d0_node) && is_const(d1_node)) {
-            if (!const_value(d0_node) && const_value(d1_node)) {
-              make_buf(node, sel);
-            } else if (const_value(d0_node) && !const_value(d1_node)) {
-              make_not(node, sel);
+          } else if (is_const_type(d0_type) && is_const_type(d1_type)) {
+            if (!const_value(d0_type) && const_value(d1_type)) {
+              netlist.rewrite_as_buf(id, sel);
+            } else if (const_value(d0_type) && !const_value(d1_type)) {
+              netlist.rewrite_as_not(id, sel);
             } else {
-              make_const(node, const_value(d0_node));
+              netlist.fold_to_const(id, const_value(d0_type));
             }
             ++stats.constants_folded;
             changed = true;
@@ -188,50 +179,53 @@ SimplifyStats simplify(Netlist& netlist) {
         case GateType::kLut: {
           // Substitute constant fanins into the mask.
           bool shrunk = false;
-          for (std::size_t i = 0; i < node.fanins.size();) {
-            const Node& fan = netlist.node(node.fanins[i]);
-            if (!is_const(fan)) {
+          std::uint64_t mask = netlist.lut_mask(id);
+          for (std::size_t i = 0; i < scratch.size();) {
+            const GateType fan = netlist.type(scratch[i]);
+            if (!is_const_type(fan)) {
               ++i;
               continue;
             }
             const bool v = const_value(fan);
-            const std::size_t k = node.fanins.size();
+            const std::size_t k = scratch.size();
             std::uint64_t new_mask = 0;
             std::size_t out_row = 0;
             for (std::uint64_t row = 0; row < (std::uint64_t{1} << k);
                  ++row) {
               if ((((row >> i) & 1) != 0) != v) continue;
-              if ((node.lut_mask >> row) & 1) {
+              if ((mask >> row) & 1) {
                 new_mask |= std::uint64_t{1} << out_row;
               }
               ++out_row;
             }
-            node.lut_mask = new_mask;
-            node.fanins.erase(node.fanins.begin() +
-                              static_cast<std::ptrdiff_t>(i));
+            mask = new_mask;
+            scratch.erase(scratch.begin() + static_cast<std::ptrdiff_t>(i));
             shrunk = true;
           }
-          if (node.fanins.empty()) {
-            make_const(node, node.lut_mask & 1);
+          if (shrunk) {
+            netlist.set_lut_mask(id, mask);
+            netlist.set_fanins(id, scratch);
+          }
+          if (scratch.empty()) {
+            netlist.fold_to_const(id, mask & 1);
             ++stats.constants_folded;
             changed = true;
             break;
           }
-          const std::size_t k = node.fanins.size();
+          const std::size_t k = scratch.size();
           const std::uint64_t rows = std::uint64_t{1} << k;
           const std::uint64_t full =
-              rows >= 64 ? ~std::uint64_t{0}
-                         : ((std::uint64_t{1} << rows) - 1);
-          const std::uint64_t mask = node.lut_mask & full;
-          if (mask == 0 || mask == full) {
-            make_const(node, mask != 0);
+              rows >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << rows) - 1);
+          const std::uint64_t trimmed = mask & full;
+          if (trimmed == 0 || trimmed == full) {
+            netlist.fold_to_const(id, trimmed != 0);
             ++stats.constants_folded;
             changed = true;
           } else if (k == 1) {
-            if (mask == 0b10) {
-              make_buf(node, node.fanins[0]);
+            if (trimmed == 0b10) {
+              netlist.rewrite_as_buf(id, scratch[0]);
             } else {
-              make_not(node, node.fanins[0]);
+              netlist.rewrite_as_not(id, scratch[0]);
             }
             ++stats.constants_folded;
             changed = true;
@@ -248,8 +242,8 @@ SimplifyStats simplify(Netlist& netlist) {
   // Outputs may point at buffers; chase them before sweeping.
   std::vector<NodeId> outputs = netlist.outputs();
   for (NodeId& o : outputs) {
-    while (netlist.node(o).type == GateType::kBuf) {
-      o = netlist.node(o).fanins[0];
+    while (netlist.type(o) == GateType::kBuf) {
+      o = netlist.fanin(o, 0);
     }
   }
   netlist.set_outputs(std::move(outputs));

@@ -17,7 +17,7 @@ Netlist specialize_inputs(const Netlist& circuit,
   for (std::size_t i = 0; i < fixed_inputs.size(); ++i) {
     const NodeId id = fixed_inputs[i];
     if (id >= circuit.node_count() ||
-        circuit.node(id).type != GateType::kInput) {
+        circuit.type(id) != GateType::kInput) {
       throw std::invalid_argument("specialize_inputs: not a primary input");
     }
     if (is_key[id]) {
@@ -28,52 +28,62 @@ Netlist specialize_inputs(const Netlist& circuit,
   }
 
   Netlist out(circuit.name() + "_cofactor");
+  out.reserve(circuit.node_count() + 1, circuit.fanin_pool_size());
   std::vector<NodeId> remap(circuit.node_count(), kNoNode);
   // Preserve the primary-input order; fixed inputs become constants.
   for (NodeId id : circuit.inputs()) {
     if (fixed_value[id] >= 0) {
       remap[id] = out.add_const(fixed_value[id] == 1);
-      out.rename(remap[id], circuit.node(id).name + "_fixed");
+      out.rename(remap[id], circuit.name_of(id) + "_fixed");
     } else if (is_key[id]) {
-      remap[id] = out.add_key_input(circuit.node(id).name);
+      remap[id] = out.add_key_input(circuit.name_of(id));
     } else {
-      remap[id] = out.add_input(circuit.node(id).name);
+      remap[id] = out.add_input(circuit.name_of(id));
     }
   }
   // DFFs are topological sources; fanins are patched at the end.
   NodeId placeholder = kNoNode;
   for (NodeId id = 0; id < circuit.node_count(); ++id) {
-    if (circuit.node(id).type != GateType::kDff) continue;
+    if (circuit.type(id) != GateType::kDff) continue;
     if (placeholder == kNoNode) placeholder = out.add_const(false);
     remap[id] =
-        out.add_gate(GateType::kDff, {placeholder}, circuit.node(id).name);
+        out.add_gate(GateType::kDff, {placeholder}, circuit.name_of(id));
   }
+  // Cofactors exist to be encoded, not written out: nodes still carrying a
+  // lazy auto-name are cloned unnamed so no string work happens here.
+  std::vector<NodeId> fanins;
   for (NodeId id : circuit.topological_order()) {
-    const Node& node = circuit.node(id);
     if (remap[id] != kNoNode) continue;
-    switch (node.type) {
+    const GateType type = circuit.type(id);
+    switch (type) {
       case GateType::kInput:
         break;  // handled above
       case GateType::kConst0:
       case GateType::kConst1:
-        remap[id] = out.add_const(node.type == GateType::kConst1);
-        out.rename(remap[id], node.name);
+        remap[id] = out.add_const(type == GateType::kConst1);
+        if (!circuit.is_auto_named(id)) {
+          out.rename(remap[id], circuit.name_of(id));
+        }
         break;
       default: {
-        std::vector<NodeId> fanins;
-        fanins.reserve(node.fanins.size());
-        for (NodeId f : node.fanins) fanins.push_back(remap[f]);
-        if (node.type == GateType::kLut) {
-          remap[id] = out.add_lut(std::move(fanins), node.lut_mask, node.name);
+        fanins.clear();
+        for (NodeId f : circuit.fanins(id)) fanins.push_back(remap[f]);
+        const std::string_view name =
+            circuit.is_auto_named(id) ? std::string_view{}
+                                      : std::string_view(circuit.name_of(id));
+        if (type == GateType::kLut) {
+          remap[id] = out.add_lut(std::span<const NodeId>(fanins),
+                                  circuit.lut_mask(id), name);
         } else {
-          remap[id] = out.add_gate(node.type, std::move(fanins), node.name);
+          remap[id] =
+              out.add_gate(type, std::span<const NodeId>(fanins), name);
         }
       }
     }
   }
   for (NodeId id = 0; id < circuit.node_count(); ++id) {
-    if (circuit.node(id).type == GateType::kDff) {
-      out.node(remap[id]).fanins[0] = remap[circuit.node(id).fanins[0]];
+    if (circuit.type(id) == GateType::kDff) {
+      out.set_fanin(remap[id], 0, remap[circuit.fanin(id, 0)]);
     }
   }
   for (NodeId id : circuit.outputs()) out.mark_output(remap[id]);

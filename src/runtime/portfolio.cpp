@@ -191,6 +191,35 @@ bool SolverPortfolio::add_clause(Clause lits) {
   return ok;
 }
 
+bool SolverPortfolio::add_clauses(const sat::ClauseBatch& batch) {
+  // Below this size the thread fan-out costs more than it saves; the
+  // preprocessing paths (staging and post-simplify remapping) stay serial
+  // because they funnel through shared Preprocessor/Remapper state.
+  constexpr std::size_t kParallelBatchMin = 512;
+  if (prep_ || solvers_.size() == 1 || batch.size() < kParallelBatchMin) {
+    return ClauseSink::add_clauses(batch);
+  }
+  std::vector<char> member_ok(solvers_.size(), 1);
+  const auto feed = [this, &batch, &member_ok](std::size_t m) {
+    sat::Solver& solver = *solvers_[m];
+    bool ok = true;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const auto c = batch.clause(i);
+      if (!solver.add_clause(Clause(c.begin(), c.end()))) ok = false;
+    }
+    if (!ok) member_ok[m] = 0;
+  };
+  std::vector<std::thread> workers;
+  workers.reserve(solvers_.size() - 1);
+  for (std::size_t m = 1; m < solvers_.size(); ++m) workers.emplace_back(feed, m);
+  feed(0);
+  for (auto& w : workers) w.join();
+  bool ok = true;
+  for (const char okm : member_ok) ok = ok && (okm != 0);
+  if (!ok) proven_unsat_ = true;
+  return ok;
+}
+
 void SolverPortfolio::finish_preprocessing(
     const std::vector<Lit>& assumptions) {
   prep_done_ = true;

@@ -78,6 +78,12 @@ class SolverPortfolio : public sat::ClauseSink {
   sat::Var new_var() override;
   void ensure_var(sat::Var v) override;
   bool add_clause(sat::Clause lits) override;
+  /// Chunk-parallel mirroring: a large batch is fed to the members from
+  /// one worker thread per member (each member is an independent solver,
+  /// including its private proof trace, so the fan-out needs no locking).
+  /// Small batches and preprocessing-staged formulas take the serial
+  /// per-clause path, which is bit-identical.
+  bool add_clauses(const sat::ClauseBatch& batch) override;
   using sat::ClauseSink::add_clause;
 
   /// Per-call resource limits, applied to every member at the next solve.

@@ -8,12 +8,47 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <initializer_list>
+#include <span>
 #include <utility>
 
 #include "sat/types.hpp"
 
 namespace ril::sat {
+
+/// A chunk of clauses in one flat buffer: `lits` holds the concatenated
+/// literals and `ends[i]` is the end offset of clause i, so clause i spans
+/// lits[ends[i-1] .. ends[i]) (with ends[-1] read as 0). Streaming encoders
+/// fill a batch and hand it to ClauseSink::add_clauses, which moves a whole
+/// topological chunk across the virtual-call boundary at once instead of
+/// one heap-allocated Clause per gate clause.
+struct ClauseBatch {
+  std::vector<Lit> lits;
+  std::vector<std::uint32_t> ends;
+
+  /// Appends one literal of the clause currently being built.
+  void push(Lit l) { lits.push_back(l); }
+  /// Terminates the clause currently being built.
+  void seal() { ends.push_back(static_cast<std::uint32_t>(lits.size())); }
+  /// Appends a complete clause.
+  void add(std::initializer_list<Lit> clause) {
+    lits.insert(lits.end(), clause);
+    seal();
+  }
+
+  std::size_t size() const { return ends.size(); }
+  bool empty() const { return ends.empty(); }
+  std::size_t lit_count() const { return lits.size(); }
+  void clear() {
+    lits.clear();
+    ends.clear();
+  }
+  std::span<const Lit> clause(std::size_t i) const {
+    const std::uint32_t begin = i == 0 ? 0 : ends[i - 1];
+    return {lits.data() + begin, ends[i] - begin};
+  }
+};
 
 class ClauseSink {
  public:
@@ -26,6 +61,31 @@ class ClauseSink {
   /// Adds a problem clause. Returns false if the formula became trivially
   /// unsatisfiable at the root level.
   virtual bool add_clause(Clause lits) = 0;
+
+  /// Allocates `n` fresh consecutive variables and returns the first
+  /// (kNoVar when n == 0). Observably equivalent to n new_var() calls --
+  /// every sink hands out dense consecutive numbers -- but a bulk reserve
+  /// lets encoders pre-number a whole netlist in O(1) virtual calls.
+  virtual Var new_vars(std::size_t n) {
+    if (n == 0) return kNoVar;
+    const Var first = new_var();
+    if (n > 1) ensure_var(first + static_cast<Var>(n) - 1);
+    return first;
+  }
+
+  /// Adds every clause of `batch` in order. Returns false if any clause
+  /// made the formula trivially unsatisfiable at the root. The default
+  /// forwards clause by clause (bit-identical to looping add_clause);
+  /// sinks that fan out to several receivers (the portfolio) override it
+  /// to move whole chunks at once.
+  virtual bool add_clauses(const ClauseBatch& batch) {
+    bool ok = true;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const auto c = batch.clause(i);
+      if (!add_clause(Clause(c.begin(), c.end()))) ok = false;
+    }
+    return ok;
+  }
 
   bool add_clause(std::initializer_list<Lit> lits) {
     return add_clause(Clause(lits));
@@ -56,6 +116,18 @@ class CountingSink final : public ClauseSink {
   bool add_clause(Clause lits) override {
     ++clauses_;
     return inner_ ? inner_->add_clause(std::move(lits)) : true;
+  }
+  Var new_vars(std::size_t n) override {
+    vars_ += n;
+    if (inner_) return inner_->new_vars(n);
+    if (n == 0) return kNoVar;
+    const Var first = next_var_;
+    next_var_ += static_cast<Var>(n);
+    return first;
+  }
+  bool add_clauses(const ClauseBatch& batch) override {
+    clauses_ += batch.size();
+    return inner_ ? inner_->add_clauses(batch) : true;
   }
   using ClauseSink::add_clause;
 

@@ -177,7 +177,7 @@ TEST(RandomDag, AllInputsUsed) {
   const auto fanouts = nl.fanouts();
   for (netlist::NodeId id : nl.inputs()) {
     EXPECT_FALSE(fanouts[id].empty())
-        << "input " << nl.node(id).name << " unused";
+        << "input " << nl.name_of(id) << " unused";
   }
 }
 

@@ -17,7 +17,7 @@ std::vector<bool> eval_words(
     const std::vector<std::pair<std::string, bool>>& bit_values = {}) {
   std::vector<bool> in(nl.inputs().size(), false);
   for (std::size_t i = 0; i < nl.inputs().size(); ++i) {
-    const std::string& name = nl.node(nl.inputs()[i]).name;
+    const std::string& name = nl.name_of(nl.inputs()[i]);
     for (const auto& [stem, value] : word_values) {
       if (name.rfind(stem + "_", 0) == 0) {
         const std::size_t bit = std::stoul(name.substr(stem.size() + 1));
@@ -35,7 +35,7 @@ std::uint64_t word_of(const Netlist& nl, const std::vector<bool>& outs,
                       const std::string& stem) {
   std::uint64_t value = 0;
   for (std::size_t i = 0; i < nl.outputs().size(); ++i) {
-    const std::string& name = nl.node(nl.outputs()[i]).name;
+    const std::string& name = nl.name_of(nl.outputs()[i]);
     if (name.rfind(stem + "_", 0) == 0) {
       const std::size_t bit = std::stoul(name.substr(stem.size() + 1));
       if (outs[i]) value |= std::uint64_t{1} << bit;

@@ -137,7 +137,7 @@ TEST(Netlist, CombinationalCoreCutsDffs) {
   // dff feeds itself through an XOR (toggle-ish).
   const NodeId dff = nl.add_gate(GateType::kDff, {x}, "r1");
   const NodeId g = nl.add_gate(GateType::kXor, {x, dff}, "g");
-  nl.node(dff).fanins[0] = g;  // close the loop
+  nl.set_fanin(dff, 0, g);  // close the loop
   nl.mark_output(g);
   ASSERT_TRUE(nl.validate().empty());
 
@@ -155,7 +155,7 @@ TEST(Netlist, ValidateDetectsCycle) {
   const NodeId a = nl.add_input("a");
   const NodeId g1 = nl.add_gate(GateType::kAnd, {a, a}, "g1");
   const NodeId g2 = nl.add_gate(GateType::kOr, {g1, a}, "g2");
-  nl.node(g1).fanins[1] = g2;  // introduce combinational cycle
+  nl.set_fanin(g1, 1, g2);  // introduce combinational cycle
   EXPECT_FALSE(nl.validate().empty());
 }
 
@@ -166,7 +166,7 @@ TEST(Netlist, LutMaskValidation) {
   const NodeId lut = nl.add_lut({a, b}, 0b1000, "lut");
   nl.mark_output(lut);
   EXPECT_TRUE(nl.validate().empty());
-  nl.node(lut).lut_mask = 0x1F;  // 5 bits for a 2-input LUT
+  nl.set_lut_mask(lut, 0x1F);  // 5 bits for a 2-input LUT
   EXPECT_FALSE(nl.validate().empty());
 }
 

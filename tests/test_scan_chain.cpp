@@ -28,7 +28,7 @@ Netlist make_sequential(std::size_t bits = 4) {
     const NodeId prev = dffs[(i + bits - 1) % bits];
     const NodeId d = nl.add_gate(GateType::kXor, {prev, x},
                                  "d" + std::to_string(i));
-    nl.node(dffs[i]).fanins[0] = d;
+    nl.set_fanin(dffs[i], 0, d);
   }
   nl.mark_output(nl.add_gate(GateType::kXor, {dffs[0], dffs[2]}, "y"));
   return nl;
@@ -117,11 +117,11 @@ TEST(ScanChain, GpsLfsrThroughScan) {
   fb2 = nl.add_gate(GateType::kXor, {fb2, g2[7]}, "fb2c");
   fb2 = nl.add_gate(GateType::kXor, {fb2, g2[8]}, "fb2d");
   fb2 = nl.add_gate(GateType::kXor, {fb2, g2[9]}, "fb2e");
-  nl.node(g1[0]).fanins[0] = fb1;
-  nl.node(g2[0]).fanins[0] = fb2;
+  nl.set_fanin(g1[0], 0, fb1);
+  nl.set_fanin(g2[0], 0, fb2);
   for (int i = 1; i < 10; ++i) {
-    nl.node(g1[i]).fanins[0] = g1[i - 1];
-    nl.node(g2[i]).fanins[0] = g2[i - 1];
+    nl.set_fanin(g1[i], 0, g1[i - 1]);
+    nl.set_fanin(g2[i], 0, g2[i - 1]);
   }
   const NodeId tap = nl.add_gate(GateType::kXor, {g2[1], g2[5]}, "tap");
   nl.mark_output(nl.add_gate(GateType::kXor, {g1[9], tap}, "chip"));

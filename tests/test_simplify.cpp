@@ -133,7 +133,7 @@ TEST(Simplify, SequentialSafe) {
   const NodeId dff = nl.add_gate(GateType::kDff, {x}, "q");
   const NodeId g = nl.add_gate(GateType::kAnd, {dff, one}, "g");  // = q
   const NodeId nxt = nl.add_gate(GateType::kXor, {g, x}, "nxt");
-  nl.node(dff).fanins[0] = nxt;
+  nl.set_fanin(dff, 0, nxt);
   nl.mark_output(g);
   simplify(nl);
   EXPECT_EQ(nl.dff_count(), 1u);

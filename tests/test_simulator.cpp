@@ -134,7 +134,7 @@ TEST(Simulator, SequentialToggle) {
   const NodeId one = nl.add_const(true);
   const NodeId dff = nl.add_gate(GateType::kDff, {one}, "q");
   const NodeId nxt = nl.add_gate(GateType::kXor, {dff, one}, "nxt");
-  nl.node(dff).fanins[0] = nxt;
+  nl.set_fanin(dff, 0, nxt);
   nl.mark_output(dff);
   Simulator sim(nl);
   sim.reset_state();

@@ -114,7 +114,7 @@ TEST(VerilogIo, SequentialRoundTrip) {
   const NodeId q0 = nl.add_gate(GateType::kDff, {x}, "q0");
   const NodeId q1 = nl.add_gate(GateType::kDff, {q0}, "q1");
   const NodeId nxt = nl.add_gate(GateType::kXor, {q1, x}, "nxt");
-  nl.node(q0).fanins[0] = nxt;
+  nl.set_fanin(q0, 0, nxt);
   nl.mark_output(q1);
   const std::string text = write_verilog_string(nl);
   EXPECT_NE(text.find("always @(posedge clk)"), std::string::npos);

@@ -94,7 +94,8 @@ using namespace ril;
                " --bits N --seed S]\n"
                "  ril attack <method> <locked.bench> <activated.bench>"
                " [--timeout S --jobs N --portfolio --stats out.json"
-               " --no-specialize --preprocess --certify --proof out.drat]\n"
+               " --no-specialize --preprocess --certify --proof out.drat"
+               " --max-iterations N]\n"
                "  ril check-proof <trace.drat>\n"
                "  ril analyze <file.bench> [key.txt]\n"
                "  ril unlock <locked.bench> <key.txt> <out.bench>\n"
@@ -111,6 +112,7 @@ struct Args {
   std::size_t size = 8;
   std::size_t lutk = 2;
   std::size_t bits = 32;
+  std::size_t max_iterations = 0;
   std::uint64_t seed = 1;
   unsigned jobs = 1;
   unsigned solver_jobs = 1;
@@ -139,6 +141,7 @@ Args parse(int argc, char** argv) {
     else if (arg == "--size") args.size = std::strtoull(value(), nullptr, 10);
     else if (arg == "--lutk") args.lutk = std::strtoull(value(), nullptr, 10);
     else if (arg == "--bits") args.bits = std::strtoull(value(), nullptr, 10);
+    else if (arg == "--max-iterations") args.max_iterations = std::strtoull(value(), nullptr, 10);
     else if (arg == "--seed") args.seed = std::strtoull(value(), nullptr, 10);
     else if (arg == "--jobs") args.jobs = std::max(1u, static_cast<unsigned>(std::strtoul(value(), nullptr, 10)));
     else if (arg == "--portfolio") args.jobs = std::max(1u, std::thread::hardware_concurrency());
@@ -351,6 +354,7 @@ int cmd_attack(const Args& args) {
   if (method == "sat" || method == "appsat" || method == "onehot") {
     attacks::SatAttackOptions options;
     options.time_limit_seconds = args.timeout;
+    options.max_iterations = args.max_iterations;
     options.jobs = args.jobs;
     options.portfolio_seed = args.seed;
     options.record_solves = args.jobs > 1 || !args.stats_path.empty();
