@@ -1,11 +1,16 @@
 // Netlist-layer performance: build / hash / encode / simulate throughput
 // and peak RSS on the million-gate scaling hosts (aes-deep, lut-fabric),
-// plus the end-to-end acceptance stage: generate a ~1M-gate host, lock it,
-// round-trip it through .bench I/O, and run one certified SAT-attack
-// iteration -- the whole process staying under a fixed RSS budget.
+// plus two acceptance stages: (1) end-to-end -- generate a ~1M-gate host,
+// lock it, round-trip it through .bench I/O, and stream-encode it under a
+// fixed RSS budget; (2) certified attack -- run an iteration-capped SAT
+// attack on a 238k-gate b20 host uncertified, then again with the DRAT
+// proof streamed to disk, and require identical verdicts, a
+// checker-accepted trace (an open certificate: the whole-miter refutation
+// at 238k gates is beyond the CDCL core, see docs/SCALING.md), and a
+// certified/uncertified peak-RSS ratio within 1.25x.
 //
 // Writes a schema'd JSON file (`BENCH_netlist.json`, schema
-// "ril-bench-netlist/1"; see docs/BENCHMARKS.md). The checked-in copy at
+// "ril-bench-netlist/2"; see docs/BENCHMARKS.md). The checked-in copy at
 // the repo root is the tracked trajectory for the struct-of-arrays IR and
 // the streaming Tseitin encoder: regenerate it when the netlist or CNF
 // layer changes and commit the diff.
@@ -38,13 +43,17 @@
 #include "netlist/simulator.hpp"
 #include "runtime/campaign.hpp"
 #include "runtime/portfolio.hpp"
+#include "sat/drat_check.hpp"
 
 namespace {
 
 using namespace ril;
 
-constexpr const char* kSchema = "ril-bench-netlist/1";
+constexpr const char* kSchema = "ril-bench-netlist/2";
 constexpr double kRssBudgetMb = 4096.0;
+/// Certified-with-streaming peak RSS must stay within this factor of the
+/// uncertified baseline run (the acceptance bound for disk-backed proofs).
+constexpr double kCertifiedRssRatioBudget = 1.25;
 
 double now_peak_rss_mb() {
   struct rusage usage{};
@@ -195,10 +204,9 @@ ScalingStats measure_encode_scaling(const std::string& name, double scale,
 // The acceptance pipeline from ISSUE 7: a >= 1M-gate host must round-trip
 // build -> structural hash -> .bench I/O -> lock -> streaming Tseitin
 // encode into mirrored portfolio sinks with peak RSS under the budget.
-// The certified SAT-attack iteration is measured separately on the CI
-// smoke scale (~200k gates): a certified *solve* grows an in-memory DRAT
-// trace with every learned clause, so its footprint is a property of the
-// solver run, not of the IR/encoder under test here.
+// The certified SAT attack is measured separately (next section): with
+// proofs streamed to disk its footprint is the solver run itself, which
+// the uncertified/certified RSS ratio makes explicit.
 
 struct EndToEndStats {
   std::string host;
@@ -253,6 +261,25 @@ EndToEndStats run_end_to_end(const std::string& name, double scale,
 }
 
 // --- certified attack stage -------------------------------------------------
+//
+// The acceptance claim for disk-backed certification: a certified SAT
+// attack with on-disk proof streaming must (a) reach the same verdict and
+// key as the uncertified run, (b) stay within kCertifiedRssRatioBudget of
+// its peak RSS, and (c) publish a trace the independent streaming checker
+// accepts. Both legs are capped at kAttackIterations DIPs so the ratio is
+// measured at the true 238k-gate scale in bounded time: the final
+// whole-miter UNSAT there is beyond the CDCL core (the miter carries two
+// full circuit copies), so the published trace is an open certificate --
+// every derivation RUP-checks, no empty clause -- validated with
+// check_derivations_file, exactly what `ril check-proof --open` accepts.
+// The uncertified baseline runs FIRST -- ru_maxrss is a process
+// high-water mark, so running it second would fold the certified peak into
+// the baseline and make the ratio vacuous.
+
+/// DIP cap for both legs of the paired attack. Two iterations exercise
+/// the full loop (miter SAT -> DIP -> oracle -> constraint, twice) and
+/// stream a multi-hundred-MB trace at the default b20 x 10 scale.
+constexpr std::size_t kAttackIterations = 2;
 
 struct AttackStats {
   std::string host;
@@ -260,17 +287,31 @@ struct AttackStats {
   std::size_t gates = 0;
   std::size_t key_bits = 0;
   double lock_seconds = 0;
+  // Run A: uncertified baseline.
+  double uncertified_seconds = 0;
+  std::string uncertified_status;
+  std::size_t uncertified_iterations = 0;
+  double uncertified_rss_mb = 0;
+  // Run B: certified with streamed on-disk proof.
   double attack_seconds = 0;
   std::size_t iterations = 0;
   std::string status;
   bool models_verified = false;
   std::uint64_t conflicts = 0;
   std::size_t encoded_clauses = 0;
+  std::string proof_status;
+  std::uint64_t proof_steps = 0;
+  std::uint64_t proof_bytes = 0;
+  bool proof_checked = false;  ///< streaming checker re-read the file
+  bool verdicts_match = false;  ///< status + iterations + key identical
   double peak_rss_mb = 0;
+  double rss_ratio = 0;  ///< certified peak / uncertified peak
+  bool rss_ratio_ok = false;
 };
 
 AttackStats run_certified_attack(const std::string& name, double scale,
-                                 std::size_t key_bits, std::uint64_t seed) {
+                                 std::size_t key_bits, std::uint64_t seed,
+                                 const std::string& proof_path) {
   AttackStats stats;
   stats.host = name;
   stats.scale = scale;
@@ -284,9 +325,20 @@ AttackStats run_certified_attack(const std::string& name, double scale,
 
   attacks::Oracle oracle(locked.netlist, locked.key);
   attacks::SatAttackOptions options;
-  options.max_iterations = 1;
-  options.certify = true;
   options.portfolio_seed = seed;
+  options.max_iterations = kAttackIterations;
+
+  options.certify = false;
+  start = std::chrono::steady_clock::now();
+  const attacks::SatAttackResult baseline =
+      attacks::run_sat_attack(locked.netlist, oracle, options);
+  stats.uncertified_seconds = seconds_since(start);
+  stats.uncertified_status = attacks::to_string(baseline.status);
+  stats.uncertified_iterations = baseline.iterations;
+  stats.uncertified_rss_mb = now_peak_rss_mb();
+
+  options.certify = true;
+  options.proof_file = proof_path;
   start = std::chrono::steady_clock::now();
   const attacks::SatAttackResult result =
       attacks::run_sat_attack(locked.netlist, oracle, options);
@@ -296,7 +348,27 @@ AttackStats run_certified_attack(const std::string& name, double scale,
   stats.models_verified = result.models_verified;
   stats.conflicts = result.conflicts;
   stats.encoded_clauses = result.encoded_clauses;
+  stats.proof_status = attacks::to_string(result.proof_status);
+  stats.proof_steps = result.proof_steps;
+  stats.proof_bytes = result.proof_bytes;
+  if (!result.proof_path.empty()) {
+    // Independent acceptance pass: re-read the published file with the
+    // streaming checker (the attack's own validation already ran, but this
+    // checks the bytes that actually landed on disk). check_derivations
+    // because the capped run publishes an open certificate; a complete
+    // refutation passes the same check.
+    stats.proof_checked =
+        sat::check_derivations_file(result.proof_path).valid;
+  }
+  stats.verdicts_match = result.status == baseline.status &&
+                         result.iterations == baseline.iterations &&
+                         result.key == baseline.key;
   stats.peak_rss_mb = now_peak_rss_mb();
+  stats.rss_ratio = stats.uncertified_rss_mb > 0
+                        ? stats.peak_rss_mb / stats.uncertified_rss_mb
+                        : 0;
+  stats.rss_ratio_ok =
+      stats.rss_ratio > 0 && stats.rss_ratio <= kCertifiedRssRatioBudget;
   return stats;
 }
 
@@ -367,13 +439,25 @@ bool write_json(const std::string& path, const char* mode, std::uint64_t seed,
       << "\",\"scale\":" << fmt("%.4f", attack.scale)
       << ",\"gates\":" << attack.gates << ",\"key_bits\":" << attack.key_bits
       << ",\"lock_seconds\":" << fmt("%.4f", attack.lock_seconds)
+      << ",\"uncertified_seconds\":" << fmt("%.4f", attack.uncertified_seconds)
+      << ",\"uncertified_status\":\"" << attack.uncertified_status
+      << "\",\"uncertified_iterations\":" << attack.uncertified_iterations
+      << ",\"uncertified_rss_mb\":" << fmt("%.1f", attack.uncertified_rss_mb)
       << ",\"attack_seconds\":" << fmt("%.4f", attack.attack_seconds)
       << ",\"iterations\":" << attack.iterations << ",\"status\":\""
       << attack.status
       << "\",\"models_verified\":" << (attack.models_verified ? 1 : 0)
       << ",\"conflicts\":" << attack.conflicts
       << ",\"encoded_clauses\":" << attack.encoded_clauses
-      << ",\"peak_rss_mb\":" << fmt("%.1f", attack.peak_rss_mb) << "}}\n";
+      << ",\"proof_status\":\"" << attack.proof_status
+      << "\",\"proof_steps\":" << attack.proof_steps
+      << ",\"proof_bytes\":" << attack.proof_bytes
+      << ",\"proof_checked\":" << (attack.proof_checked ? 1 : 0)
+      << ",\"verdicts_match\":" << (attack.verdicts_match ? 1 : 0)
+      << ",\"peak_rss_mb\":" << fmt("%.1f", attack.peak_rss_mb)
+      << ",\"rss_ratio\":" << fmt("%.3f", attack.rss_ratio)
+      << ",\"rss_ratio_budget\":" << fmt("%.2f", kCertifiedRssRatioBudget)
+      << ",\"rss_ratio_ok\":" << (attack.rss_ratio_ok ? 1 : 0) << "}}\n";
   return out.good();
 }
 
@@ -498,6 +582,32 @@ int check_file(const std::string& path) {
   if (runtime::json_number_field(attack, "models_verified", 0) != 1) {
     return fail("certified_attack SAT models not verified");
   }
+  // The iteration-capped paired run publishes an open certificate
+  // ("open"); a run that happens to reach miter-UNSAT within the cap
+  // publishes a complete refutation ("valid"). Both are checker-accepted.
+  const std::string proof_status =
+      runtime::json_string_field(attack, "proof_status");
+  if (proof_status != "valid" && proof_status != "open") {
+    return fail("certified_attack proof not valid/open");
+  }
+  if (runtime::json_number_field(attack, "proof_bytes", 0) <= 0) {
+    return fail("certified_attack streamed no proof bytes");
+  }
+  if (runtime::json_number_field(attack, "proof_checked", 0) != 1) {
+    return fail("certified_attack streamed proof failed the re-check");
+  }
+  if (runtime::json_number_field(attack, "verdicts_match", 0) != 1) {
+    return fail("certified/uncertified attack verdicts differ");
+  }
+  // The RSS-ratio bound is a claim about scale: at the 238k-gate default
+  // host the baseline peaks >1 GB and the checker's clause database is
+  // noise, but at the ~24k-gate smoke host that fixed overhead dominates
+  // a ~50 MB baseline and the ratio says nothing about streaming. Smoke
+  // files record the ratio; only committed-scale files must pass it.
+  if (mode != "smoke" &&
+      runtime::json_number_field(attack, "rss_ratio_ok", 0) != 1) {
+    return fail("certified attack exceeded the RSS ratio budget");
+  }
 
   if (mode != "smoke") {
     // The committed (default/full) file is the 1M-gate acceptance proof.
@@ -545,30 +655,36 @@ int main(int argc, char** argv) {
 
   const char* mode = smoke ? "smoke" : full ? "full" : "default";
   // Host sweep scales; the last entry of each list is the acceptance host.
-  // The certified attack runs on a ~240k-gate b20 profile host rather than
-  // the crypto datapaths: a first-DIP miter through >3 AES rounds (or a
-  // deep random-LUT fabric) is cryptographically hard for CDCL regardless
-  // of gate count, while the random-DAG profile stays tractable at any
-  // scale — and a certified solve's DRAT trace grows with conflicts, so
-  // the attack stage should measure the pipeline, not solver blow-up.
+  // The certified attack measures the paired RSS ratio on a b20 profile
+  // host rather than the crypto datapaths: a miter through >3 AES rounds
+  // (or a deep random-LUT fabric) is cryptographically hard for CDCL
+  // regardless of gate count, while the random-DAG profile keeps each
+  // individual DIP solve tractable at any scale. Both legs are capped at
+  // kAttackIterations DIPs (the whole-miter UNSAT at 238k gates is beyond
+  // the CDCL core), so what bounds the run is the per-DIP solve time, not
+  // the key width; xor-16 keeps every solve fast at every scale.
   std::vector<double> aes_scales, fabric_scales;
   double e2e_scale, attack_scale;
+  std::size_t attack_bits;
   const char* attack_host = "b20";
   if (smoke) {
     aes_scales = {0.02};
     fabric_scales = {0.02};
     e2e_scale = 0.02;
     attack_scale = 1.0;
+    attack_bits = 16;
   } else if (full) {
     aes_scales = {0.05, 0.25, 1.0, 2.0};
     fabric_scales = {0.05, 0.25, 1.0, 2.0};
     e2e_scale = 1.0;
     attack_scale = 10.0;
+    attack_bits = 16;
   } else {
     aes_scales = {0.05, 0.25, 1.0};
     fabric_scales = {0.05, 0.25, 1.0};
     e2e_scale = 1.0;
     attack_scale = 10.0;
+    attack_bits = 16;
   }
 
   bench::print_banner(
@@ -629,17 +745,32 @@ int main(int argc, char** argv) {
                e2e.peak_rss_mb, kRssBudgetMb, e2e.rss_ok ? "OK" : "EXCEEDED");
 
   std::fprintf(stderr,
-               "  certified attack: %s x %.2f, lock + 1 certified "
-               "iteration...\n",
-               attack_host, attack_scale);
-  const AttackStats attack =
-      run_certified_attack(attack_host, attack_scale, 64, seed);
+               "  certified attack: %s x %.2f, xor-%zu, %zu-DIP cap, "
+               "uncertified run then certified run with streamed on-disk "
+               "proof...\n",
+               attack_host, attack_scale, attack_bits, kAttackIterations);
+  const std::string proof_path = out_path + ".drat";
+  const AttackStats attack = run_certified_attack(
+      attack_host, attack_scale, attack_bits, seed, proof_path);
   std::fprintf(stderr,
-               "  certified attack: %zu gates, %.2fs (%s, %zu iter, models "
-               "%s), peak RSS %.0f MB\n",
-               attack.gates, attack.attack_seconds, attack.status.c_str(),
-               attack.iterations, attack.models_verified ? "verified" : "NOT "
-               "verified", attack.peak_rss_mb);
+               "  uncertified: %.2fs (%s, %zu iter), peak RSS %.0f MB\n",
+               attack.uncertified_seconds, attack.uncertified_status.c_str(),
+               attack.uncertified_iterations, attack.uncertified_rss_mb);
+  std::fprintf(stderr,
+               "  certified:   %.2fs (%s, %zu iter, models %s), proof %s "
+               "(%llu steps, %llu bytes, re-check %s), peak RSS %.0f MB "
+               "(ratio %.3f <= %.2f %s, verdicts %s)\n",
+               attack.attack_seconds, attack.status.c_str(),
+               attack.iterations,
+               attack.models_verified ? "verified" : "NOT verified",
+               attack.proof_status.c_str(),
+               static_cast<unsigned long long>(attack.proof_steps),
+               static_cast<unsigned long long>(attack.proof_bytes),
+               attack.proof_checked ? "ok" : "FAILED", attack.peak_rss_mb,
+               attack.rss_ratio, kCertifiedRssRatioBudget,
+               attack.rss_ratio_ok ? "OK" : "EXCEEDED",
+               attack.verdicts_match ? "match" : "DIFFER");
+  std::remove(proof_path.c_str());  // scratch trace; the JSON is the record
 
   const double total_seconds = seconds_since(wall_start);
   if (!write_json(out_path, mode, seed, hosts, scaling, e2e, attack,

@@ -4,9 +4,13 @@
 // scaled c7552 host) plus raw solver kernels (random 3-SAT, a CEC identity
 // miter) twice each -- SatELite-style preprocessing off, then on -- and
 // writes the paired measurements to a schema'd JSON file
-// (`BENCH_solver.json`, schema "ril-bench-solver/1"; see docs/BENCHMARKS.md).
-// The checked-in copy at the repo root is the tracked perf trajectory:
-// regenerate it when the solver core changes and commit the diff.
+// (`BENCH_solver.json`, schema "ril-bench-solver/2"; see docs/BENCHMARKS.md).
+// Every run record carries the process peak RSS at its end, and a final
+// "certified" block re-runs the xor workload with the DRAT proof streamed
+// to disk (proof_bytes + checker verdict), tracking the cost of certified
+// solves alongside the raw trajectory. The checked-in copy at the repo
+// root is the tracked perf trajectory: regenerate it when the solver core
+// changes and commit the diff.
 //
 // Modes:
 //   (default)        workloads sized for ~1-2 minutes total
@@ -21,6 +25,8 @@
 // "on" record carries the simplifier's clause/variable deltas, so one file
 // answers both "is the preprocessor shrinking the formula?" and "is it
 // paying for itself in wall time?".
+#include <sys/resource.h>
+
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -41,12 +47,19 @@
 #include "locking/schemes.hpp"
 #include "runtime/campaign.hpp"
 #include "runtime/portfolio.hpp"
+#include "sat/drat_check.hpp"
 
 namespace {
 
 using namespace ril;
 
-constexpr const char* kSchema = "ril-bench-solver/1";
+constexpr const char* kSchema = "ril-bench-solver/2";
+
+double now_peak_rss_mb() {
+  struct rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;  // Linux: KiB
+}
 
 // --- measurement records ----------------------------------------------------
 
@@ -58,6 +71,9 @@ struct RunStats {
   std::uint64_t propagations = 0;
   /// Attacks only: DIPs used.
   std::size_t iterations = 0;
+  /// Process peak RSS when the run finished (ru_maxrss; monotone across
+  /// the process, so later runs inherit earlier high-water marks).
+  double peak_rss_mb = 0;
   bool has_prep = false;
   sat::PreprocessStats prep;
 
@@ -122,12 +138,16 @@ RunStats run_attack(const netlist::Netlist& locked,
   options.time_limit_seconds = timeout;
   options.portfolio_seed = seed;
   options.preprocess = preprocess;
+  // This benchmark measures preprocessing on vs off explicitly; the
+  // gate-count auto-enable must not decide for it.
+  options.preprocess_auto = false;
   const auto result = attacks::run_sat_attack(locked, oracle, options);
   RunStats stats;
   stats.status = attacks::to_string(result.status);
   stats.seconds = result.seconds;
   stats.conflicts = result.conflicts;
   stats.iterations = result.iterations;
+  stats.peak_rss_mb = now_peak_rss_mb();
   if (result.preprocessed) {
     stats.has_prep = true;
     stats.prep = result.preprocess;
@@ -156,10 +176,52 @@ RunStats run_kernel(double timeout, std::uint64_t seed, bool preprocess,
   stats.seconds = std::chrono::duration<double>(stop - start).count();
   stats.conflicts = portfolio.member(0).stats().conflicts;
   stats.propagations = portfolio.member(0).stats().propagations;
+  stats.peak_rss_mb = now_peak_rss_mb();
   if (const sat::PreprocessStats* prep = portfolio.preprocess_stats()) {
     stats.has_prep = true;
     stats.prep = *prep;
   }
+  return stats;
+}
+
+/// One certified xor-workload attack with the proof streamed to disk: the
+/// schema's proof-bytes / checker-verdict record. The scratch trace is
+/// removed after the independent re-check.
+struct CertifiedStats {
+  std::string status;
+  double seconds = 0;
+  std::size_t iterations = 0;
+  std::string proof_status;
+  std::uint64_t proof_steps = 0;
+  std::uint64_t proof_bytes = 0;
+  bool proof_checked = false;
+  double peak_rss_mb = 0;
+};
+
+CertifiedStats run_certified_streaming(const netlist::Netlist& locked,
+                                       const std::vector<bool>& key,
+                                       double timeout, std::uint64_t seed,
+                                       const std::string& proof_path) {
+  attacks::Oracle oracle(locked, key);
+  attacks::SatAttackOptions options;
+  options.time_limit_seconds = timeout;
+  options.portfolio_seed = seed;
+  options.preprocess_auto = false;
+  options.certify = true;
+  options.proof_file = proof_path;
+  const auto result = attacks::run_sat_attack(locked, oracle, options);
+  CertifiedStats stats;
+  stats.status = attacks::to_string(result.status);
+  stats.seconds = result.seconds;
+  stats.iterations = result.iterations;
+  stats.proof_status = attacks::to_string(result.proof_status);
+  stats.proof_steps = result.proof_steps;
+  stats.proof_bytes = result.proof_bytes;
+  if (!result.proof_path.empty()) {
+    stats.proof_checked = sat::check_refutation_file(result.proof_path).valid;
+    std::remove(result.proof_path.c_str());
+  }
+  stats.peak_rss_mb = now_peak_rss_mb();
   return stats;
 }
 
@@ -239,6 +301,7 @@ void append_run(std::ostream& out, const char* label, const RunStats& run,
   } else {
     out << ",\"iterations\":" << run.iterations;
   }
+  out << ",\"peak_rss_mb\":" << fmt("%.1f", run.peak_rss_mb);
   if (run.has_prep) append_prep(out, run.prep);
   out << "}";
 }
@@ -253,7 +316,7 @@ double median(std::vector<double> values) {
 
 bool write_json(const std::string& path, const Sizes& sizes,
                 std::uint64_t seed, const std::vector<WorkloadResult>& results,
-                double total_seconds) {
+                const CertifiedStats& certified, double total_seconds) {
   std::vector<double> table5_speedups;
   std::vector<double> reductions;
   for (const WorkloadResult& w : results) {
@@ -290,6 +353,14 @@ bool write_json(const std::string& path, const Sizes& sizes,
     out << "}" << (i + 1 < results.size() ? "," : "") << "\n";
   }
   out << "  ],\n"
+      << "  \"certified\":{\"workload\":\"table5/xor\",\"status\":\""
+      << certified.status << "\",\"seconds\":" << fmt("%.4f", certified.seconds)
+      << ",\"iterations\":" << certified.iterations
+      << ",\"proof_status\":\"" << certified.proof_status
+      << "\",\"proof_steps\":" << certified.proof_steps
+      << ",\"proof_bytes\":" << certified.proof_bytes
+      << ",\"proof_checked\":" << (certified.proof_checked ? 1 : 0)
+      << ",\"peak_rss_mb\":" << fmt("%.1f", certified.peak_rss_mb) << "},\n"
       << "  \"summary\":{\n"
       << "    \"workloads\":" << results.size() << ",\n"
       << "    \"table5_compared\":" << table5_speedups.size() << ",\n"
@@ -406,6 +477,9 @@ int check_file(const std::string& path) {
       if (runtime::json_number_field(run, "seconds", -1) < 0) {
         return fail(name + "/" + side + ": missing seconds");
       }
+      if (runtime::json_number_field(run, "peak_rss_mb", -1) < 0) {
+        return fail(name + "/" + side + ": missing peak_rss_mb");
+      }
     }
     const std::string on = runtime::json_object_field(w, "on");
     const std::string prep = runtime::json_object_field(on, "preprocess");
@@ -421,6 +495,21 @@ int check_file(const std::string& path) {
   }
   if (with_prep == 0) {
     return fail("no workload carries a preprocess block");
+  }
+
+  const std::string certified = runtime::json_object_field(text, "certified");
+  if (certified.empty()) return fail("missing certified block");
+  if (runtime::json_string_field(certified, "proof_status") != "valid") {
+    return fail("certified proof not valid");
+  }
+  if (runtime::json_number_field(certified, "proof_bytes", 0) <= 0) {
+    return fail("certified streamed no proof bytes");
+  }
+  if (runtime::json_number_field(certified, "proof_checked", 0) != 1) {
+    return fail("certified streamed proof failed the re-check");
+  }
+  if (runtime::json_number_field(certified, "peak_rss_mb", -1) < 0) {
+    return fail("certified missing peak_rss_mb");
   }
 
   const std::string summary = runtime::json_object_field(text, "summary");
@@ -555,6 +644,21 @@ int main(int argc, char** argv) {
                  w.on.seconds, w.on.status.c_str());
     results.push_back(std::move(w));
   }
+
+  const locking::LockedCircuit cert_locked =
+      locking::lock_xor(host, sizes.xor_bits, 64);
+  const CertifiedStats certified = run_certified_streaming(
+      cert_locked.netlist, cert_locked.key, sizes.attack_timeout, options.seed,
+      out_path + ".drat");
+  std::fprintf(stderr,
+               "  certified/xor      %8.3fs (%s), proof %s: %llu steps, "
+               "%llu bytes streamed, re-check %s\n",
+               certified.seconds, certified.status.c_str(),
+               certified.proof_status.c_str(),
+               static_cast<unsigned long long>(certified.proof_steps),
+               static_cast<unsigned long long>(certified.proof_bytes),
+               certified.proof_checked ? "ok" : "FAILED");
+
   const double total_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     wall_start)
@@ -585,7 +689,8 @@ int main(int argc, char** argv) {
   }
   bench::print_rule(widths);
 
-  if (!write_json(out_path, sizes, options.seed, results, total_seconds)) {
+  if (!write_json(out_path, sizes, options.seed, results, certified,
+                  total_seconds)) {
     return 1;
   }
   std::printf("\nwrote %s (validate with --check %s)\n", out_path.c_str(),

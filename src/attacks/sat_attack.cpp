@@ -15,6 +15,7 @@ std::string to_string(ProofStatus status) {
   switch (status) {
     case ProofStatus::kNotRequested: return "not-requested";
     case ProofStatus::kValid: return "valid";
+    case ProofStatus::kOpen: return "open";
     case ProofStatus::kInvalid: return "invalid";
     case ProofStatus::kMissing: return "missing";
   }
@@ -38,6 +39,15 @@ SatAttackResult run_sat_attack(const Netlist& locked, QueryOracle& oracle,
 
   SatAttackResult result;
 
+  // Preprocessing is explicit opt-in on small hosts (keeps --jobs 1 runs
+  // bit-identical to the historical path) and automatic at scale, where
+  // the miter is large enough for BVE/subsumption to pay off.
+  const bool preprocess =
+      options.preprocess ||
+      (options.preprocess_auto &&
+       locked.gate_count() >= options.preprocess_auto_min_gates);
+  const bool stream_proof = options.certify && !options.proof_file.empty();
+
   // Miter portfolio: shared X, independent K1 / K2 in every member.
   SolverPortfolio miter(options.jobs, options.portfolio_seed);
   miter.set_external_stop(budget.stop_flag());
@@ -45,10 +55,16 @@ SatAttackResult run_sat_attack(const Netlist& locked, QueryOracle& oracle,
   // member's trace carries the full axiom stream. Only the miter verdict
   // is certified -- the UNSAT that terminates the DIP loop is the claim
   // the paper's iteration counts rest on.
-  if (options.certify) miter.enable_proof();
-  if (options.preprocess) miter.enable_preprocessing();
+  if (options.certify) {
+    if (stream_proof) {
+      miter.enable_proof_files(options.proof_file);
+    } else {
+      miter.enable_proof();
+    }
+  }
+  if (preprocess) miter.enable_preprocessing();
   const engine::MiterContext ctx(locked, miter);
-  if (options.preprocess) {
+  if (preprocess) {
     // The DIP loop reads X from each model and adds constraints over both
     // key vectors, so those variables must survive elimination.
     miter.freeze(ctx.input_vars());
@@ -59,10 +75,10 @@ SatAttackResult run_sat_attack(const Netlist& locked, QueryOracle& oracle,
   // Key-determination portfolio: one key vector constrained by all DIPs.
   SolverPortfolio key_solver(options.jobs, options.portfolio_seed + 0x9e37);
   key_solver.set_external_stop(budget.stop_flag());
-  if (options.preprocess) key_solver.enable_preprocessing();
+  if (preprocess) key_solver.enable_preprocessing();
   const std::vector<Var> key_vars =
       engine::make_vars(key_solver, locked.key_inputs().size());
-  if (options.preprocess) key_solver.freeze(key_vars);
+  if (preprocess) key_solver.freeze(key_vars);
 
   engine::DipConstraintEncoder dips(locked, options.specialize_dips);
 
@@ -91,16 +107,34 @@ SatAttackResult run_sat_attack(const Netlist& locked, QueryOracle& oracle,
       if (options.certify) {
         // The winner's trace is the certificate; validate it with the
         // independent checker before trusting the verdict.
-        const sat::DratTrace* trace = miter.winner_trace();
-        if (trace != nullptr && trace->closed()) {
-          auto certificate = std::make_shared<sat::DratTrace>(*trace);
-          result.proof_steps = certificate->size();
-          result.proof_status = sat::check_refutation(*certificate).valid
-                                    ? ProofStatus::kValid
-                                    : ProofStatus::kInvalid;
-          result.proof_trace = std::move(certificate);
+        if (stream_proof) {
+          const sat::FileProofTracer* trace = miter.winner_file_trace();
+          if (trace != nullptr && trace->closed()) {
+            result.proof_steps = trace->steps();
+            result.proof_bytes =
+                miter.promote_winner_trace(options.proof_file);
+            result.proof_path = options.proof_file;
+            // Single streaming pass over the published file -- the
+            // certificate is re-read from disk, never rebuilt in memory.
+            result.proof_status =
+                sat::check_refutation_file(options.proof_file).valid
+                    ? ProofStatus::kValid
+                    : ProofStatus::kInvalid;
+          } else {
+            result.proof_status = ProofStatus::kMissing;
+          }
         } else {
-          result.proof_status = ProofStatus::kMissing;
+          const sat::DratTrace* trace = miter.winner_trace();
+          if (trace != nullptr && trace->closed()) {
+            auto certificate = std::make_shared<sat::DratTrace>(*trace);
+            result.proof_steps = certificate->size();
+            result.proof_status = sat::check_refutation(*certificate).valid
+                                      ? ProofStatus::kValid
+                                      : ProofStatus::kInvalid;
+            result.proof_trace = std::move(certificate);
+          } else {
+            result.proof_status = ProofStatus::kMissing;
+          }
         }
       }
       // No DIP remains: extract any consistent key.
@@ -171,7 +205,26 @@ SatAttackResult run_sat_attack(const Netlist& locked, QueryOracle& oracle,
 
   if (options.certify &&
       result.proof_status == ProofStatus::kNotRequested) {
-    result.proof_status = ProofStatus::kMissing;  // no UNSAT was reached
+    // The attack stopped before miter-UNSAT (timeout, iteration cap). In
+    // streaming mode the winner's partial trace is still worth publishing:
+    // every derivation in it RUP-checks against the logged axioms, so it
+    // is an *open* certificate of the work done so far -- exactly what
+    // `ril check-proof --open` accepts. On 200k+-gate hosts the final
+    // whole-miter refutation is beyond the CDCL core, so this is the
+    // certificate such runs actually produce (see docs/SCALING.md).
+    const sat::FileProofTracer* trace =
+        stream_proof ? miter.winner_file_trace() : nullptr;
+    if (trace != nullptr) {
+      result.proof_steps = trace->steps();
+      result.proof_bytes = miter.promote_winner_trace(options.proof_file);
+      result.proof_path = options.proof_file;
+      result.proof_status =
+          sat::check_derivations_file(options.proof_file).valid
+              ? ProofStatus::kOpen
+              : ProofStatus::kInvalid;
+    } else {
+      result.proof_status = ProofStatus::kMissing;  // no trace to publish
+    }
   }
   result.seconds = budget.elapsed();
   result.conflicts = miter.total_conflicts();

@@ -55,9 +55,24 @@ struct SatAttackOptions {
   /// Certify the verdict: log a DRAT trace in every miter-portfolio
   /// member, self-check each SAT model, and on miter-UNSAT validate the
   /// winner's trace with the independent RUP checker. The certificate is
-  /// returned in SatAttackResult::proof_trace. Off by default; the search
-  /// itself is bit-identical either way.
+  /// returned in SatAttackResult::proof_trace (or streamed to disk when
+  /// proof_file is set). Off by default; the search itself is
+  /// bit-identical either way.
   bool certify = false;
+  /// With certify: stream every member's trace to disk instead of
+  /// buffering it (sat::FileProofTracer under `proof_file + ".m<i>"`
+  /// temps). On miter-UNSAT the winner's trace is atomically published as
+  /// `proof_file`, validated with the streaming checker, and
+  /// SatAttackResult::{proof_path, proof_bytes} are filled;
+  /// proof_trace stays null. If the attack stops before miter-UNSAT
+  /// (timeout, iteration cap), the winner's trace is still published as
+  /// an *open* certificate -- every step RUP-checks against the axioms
+  /// but no empty clause lands -- validated with
+  /// sat::check_derivations_file and reported as ProofStatus::kOpen.
+  /// This is what keeps certified attacks on 100k+-gate hosts inside the
+  /// encoder's memory envelope -- the proof never lives in RAM. Empty
+  /// (the default) keeps the in-memory path.
+  std::string proof_file;
   /// SatELite-style preprocessing (subsumption, self-subsuming resolution,
   /// bounded variable elimination) of the miter and key-determination
   /// formulas before their first solve. Input and key variables are frozen
@@ -67,12 +82,23 @@ struct SatAttackOptions {
   /// trajectory, so --jobs 1 runs are no longer bit-identical to the
   /// historical serial path when enabled.
   bool preprocess = false;
+  /// Auto-enable preprocessing at scale: when `preprocess` is false but
+  /// the locked netlist has at least `preprocess_auto_min_gates` gates,
+  /// the miter and key formulas are preprocessed anyway -- large-host
+  /// miters are where BVE/subsumption pay for themselves (see
+  /// docs/SCALING.md). Small hosts stay on the historical bit-identical
+  /// path. Set false (CLI --no-preprocess) to force preprocessing off.
+  bool preprocess_auto = true;
+  std::size_t preprocess_auto_min_gates = 100000;
 };
 
 /// Certification verdict for a whole attack run.
 enum class ProofStatus {
   kNotRequested,  ///< options.certify was false
   kValid,         ///< UNSAT trace validated by sat::check_refutation
+  kOpen,          ///< streamed open certificate: every step checks, but the
+                  ///< attack stopped before miter-UNSAT so there is no
+                  ///< refutation (validated by sat::check_derivations_file)
   kInvalid,       ///< trace rejected (solver unsoundness!)
   kMissing,       ///< certify requested but no closed UNSAT trace exists
 };
@@ -110,8 +136,14 @@ struct SatAttackResult {
   /// deletions), 0 unless a certificate was produced.
   std::uint64_t proof_steps = 0;
   /// The winning miter member's DRAT trace; ends with the empty clause
-  /// when the miter went UNSAT. Null unless options.certify.
+  /// when the miter went UNSAT. Null unless options.certify, and null in
+  /// streaming mode (options.proof_file), where the certificate lives on
+  /// disk at proof_path instead.
   std::shared_ptr<const sat::DratTrace> proof_trace;
+  /// Published on-disk certificate (streaming mode only): final path and
+  /// size in bytes. Empty/0 when no certificate was published.
+  std::string proof_path;
+  std::uint64_t proof_bytes = 0;
   /// False iff some SAT model failed the replay self-check (unsound SAT).
   bool models_verified = true;
   /// --- preprocessing (options.preprocess) ------------------------------

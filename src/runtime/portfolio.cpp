@@ -96,7 +96,7 @@ SolverPortfolio::SolverPortfolio(unsigned jobs, std::uint64_t base_seed) {
 }
 
 void SolverPortfolio::enable_proof() {
-  if (!traces_.empty()) return;
+  if (proof_enabled()) return;
   traces_.reserve(solvers_.size());
   for (auto& solver : solvers_) {
     traces_.push_back(std::make_unique<sat::DratTrace>());
@@ -104,9 +104,62 @@ void SolverPortfolio::enable_proof() {
   }
 }
 
+void SolverPortfolio::enable_proof_files(const std::string& stem) {
+  if (proof_enabled()) return;
+  file_traces_.reserve(solvers_.size());
+  for (std::size_t i = 0; i < solvers_.size(); ++i) {
+    file_traces_.push_back(std::make_unique<sat::FileProofTracer>(
+        stem + ".m" + std::to_string(i) + ".drat"));
+    solvers_[i]->set_proof(file_traces_[i].get());
+  }
+}
+
 const sat::DratTrace* SolverPortfolio::winner_trace() const {
   if (traces_.empty()) return nullptr;
   return traces_[last_winner_].get();
+}
+
+const sat::FileProofTracer* SolverPortfolio::winner_file_trace() const {
+  if (file_traces_.empty()) return nullptr;
+  return file_traces_[last_winner_].get();
+}
+
+std::uint64_t SolverPortfolio::promote_winner_trace(const std::string& path) {
+  if (file_traces_.empty()) {
+    throw std::logic_error(
+        "SolverPortfolio::promote_winner_trace: file-backed proofs are not "
+        "enabled");
+  }
+  sat::FileProofTracer& winner = *file_traces_[last_winner_];
+  winner.finalize_to(path);
+  const std::uint64_t bytes = winner.bytes_written();
+  for (std::size_t i = 0; i < file_traces_.size(); ++i) {
+    if (static_cast<int>(i) != last_winner_) file_traces_[i]->abandon();
+  }
+  // The published winner and the abandoned losers can take no more steps;
+  // detach so later incremental solves do not try to append, and drop the
+  // tracers so proof_enabled() reports the detached state.
+  for (auto& solver : solvers_) solver->set_proof(nullptr);
+  file_traces_.clear();
+  return bytes;
+}
+
+sat::ProofTracer* SolverPortfolio::member_tracer(std::size_t i) {
+  if (!traces_.empty()) return traces_[i].get();
+  if (!file_traces_.empty()) return file_traces_[i].get();
+  return nullptr;
+}
+
+bool SolverPortfolio::member_trace_closed(std::size_t i) const {
+  if (!traces_.empty()) return traces_[i]->closed();
+  if (!file_traces_.empty()) return file_traces_[i]->closed();
+  return false;
+}
+
+std::uint64_t SolverPortfolio::member_trace_steps(std::size_t i) const {
+  if (!traces_.empty()) return traces_[i]->size();
+  if (!file_traces_.empty()) return file_traces_[i]->steps();
+  return 0;
 }
 
 void SolverPortfolio::enable_preprocessing(
@@ -226,7 +279,7 @@ void SolverPortfolio::finish_preprocessing(
   // The first solve's assumption variables must survive elimination; later
   // solves may only assume variables the caller froze explicitly.
   for (const Lit a : assumptions) prep_->freeze(a.var());
-  const bool proof = !traces_.empty();
+  const bool proof = proof_enabled();
   if (proof) prep_->enable_proof();
   prep_->run();
 
@@ -251,7 +304,7 @@ void SolverPortfolio::finish_preprocessing(
       // The trace's axiom set is the *original* formula; the prep steps
       // derive the simplified one, and the members are then fed silently
       // so they do not re-log the simplified clauses as axioms.
-      sat::DratTrace& trace = *traces_[i];
+      sat::ProofTracer& trace = *member_tracer(i);
       for (const Clause& original : prep_->originals()) {
         trace.original(original);
       }
@@ -290,8 +343,8 @@ void SolverPortfolio::finish_preprocessing(
       // A member that went dead during the silent feed derived UNSAT by
       // root unit propagation over the live set, so the empty clause is
       // RUP here; prep-detected contradictions already closed the trace.
-      sat::DratTrace& trace = *traces_[i];
-      if (!ok && !trace.closed()) trace.derive({});
+      sat::ProofTracer& trace = *member_tracer(i);
+      if (!ok && !member_trace_closed(i)) trace.derive({});
       solver.set_proof(&trace);
     }
     if (!ok) proven_unsat_ = true;
@@ -403,8 +456,8 @@ SolveOutcome SolverPortfolio::solve(const std::vector<Lit>& assumptions) {
       }
       prep_->extend_model(ext_model_);
     }
-    if (!traces_.empty()) {
-      outcome.proof_steps = traces_[winner_index]->size();
+    if (proof_enabled()) {
+      outcome.proof_steps = member_trace_steps(winner_index);
       if (outcome.result == Result::kSat) {
         // With preprocessing the member check covers the simplified
         // formula plus post-prep clauses; the preprocessor check replays

@@ -103,7 +103,20 @@ class SolverPortfolio : public sat::ClauseSink {
   /// the mirrored add_clause reaches it, and its own private learned
   /// clauses; the winner's trace is therefore self-contained). Idempotent.
   void enable_proof();
-  bool proof_enabled() const { return !traces_.empty(); }
+  /// File-backed variant of enable_proof(): each member streams its trace
+  /// into `stem + ".m<i>.drat.tmp"` through a sat::FileProofTracer, so no
+  /// member ever buffers its proof in memory. promote_winner_trace()
+  /// seals the winning member's file and atomically renames it to the
+  /// requested path (after a decisive UNSAT the published trace is a
+  /// closed refutation; earlier it is an open certificate -- see
+  /// sat::check_derivations_file); the losers' temps are unlinked.
+  /// Mutually exclusive with enable_proof(); call before the first
+  /// add_clause. Idempotent.
+  void enable_proof_files(const std::string& stem);
+  bool proof_enabled() const {
+    return !traces_.empty() || !file_traces_.empty();
+  }
+  bool proof_files_enabled() const { return !file_traces_.empty(); }
 
   /// Turns on SatELite-style preprocessing (sat/preprocessor.hpp). Must be
   /// called before the first new_var/add_clause. Variables and clauses are
@@ -135,9 +148,19 @@ class SolverPortfolio : public sat::ClauseSink {
     return prep_ && prep_done_ ? &prep_->stats() : nullptr;
   }
   /// The decisive member's trace after solve() (nullptr when proof
-  /// logging is off). For an UNSAT verdict with no assumptions the trace
-  /// is a closed refutation checkable by sat::check_refutation.
+  /// logging is off or file-backed). For an UNSAT verdict with no
+  /// assumptions the trace is a closed refutation checkable by
+  /// sat::check_refutation.
   const sat::DratTrace* winner_trace() const;
+  /// The decisive member's on-disk tracer (nullptr unless
+  /// enable_proof_files was used).
+  const sat::FileProofTracer* winner_file_trace() const;
+  /// Seals the winning member's streamed trace and publishes it under
+  /// `path` (atomic rename); the losing members' temp files are removed
+  /// and proof logging detaches, so later solves on this portfolio are
+  /// uncertified. Returns the published trace's size in bytes. Throws
+  /// std::logic_error outside file mode.
+  std::uint64_t promote_winner_trace(const std::string& path);
 
   /// Races the members under the current limits. First decisive member
   /// wins and cancels the rest; if every member hits its limit the result
@@ -162,9 +185,14 @@ class SolverPortfolio : public sat::ClauseSink {
   void finish_preprocessing(const std::vector<sat::Lit>& assumptions);
   /// Throws if a literal of `lits` lost its variable to elimination.
   void check_not_eliminated(const sat::Clause& lits) const;
+  /// Member i's proof sink in either mode (nullptr when logging is off).
+  sat::ProofTracer* member_tracer(std::size_t i);
+  bool member_trace_closed(std::size_t i) const;
+  std::uint64_t member_trace_steps(std::size_t i) const;
 
   std::vector<std::unique_ptr<sat::Solver>> solvers_;
   std::vector<std::unique_ptr<sat::DratTrace>> traces_;
+  std::vector<std::unique_ptr<sat::FileProofTracer>> file_traces_;
   std::vector<std::string> names_;
   sat::SolverLimits limits_;
   const std::atomic<bool>* external_stop_ = nullptr;

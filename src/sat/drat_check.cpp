@@ -15,50 +15,63 @@ bool lit_less(Lit a, Lit b) { return a.code < b.code; }
 /// or restart machinery -- just enough to decide RUP queries.
 class Checker {
  public:
-  DratCheckResult run(const DratTrace& trace) {
-    DratCheckResult out;
-    std::size_t index = 0;
-    for (const ProofStep& step : trace.steps()) {
-      ++index;
-      if (refuted_) break;  // certificate complete; rest is irrelevant
-      switch (step.kind) {
-        case ProofStepKind::kOriginal:
-          ++stats_.originals;
-          insert_clause(step.lits);
-          break;
-        case ProofStepKind::kDerive: {
-          ++stats_.derivations;
-          if (!rup(step.lits)) {
-            out.error = "step " + std::to_string(index) +
-                        ": derived clause is not RUP";
-            out.stats = stats_;
-            return out;
-          }
-          if (step.lits.empty()) {
-            refuted_ = true;
-          } else {
-            insert_clause(step.lits);
-          }
-          break;
+  /// Ingests one step; returns false (with error() set) when the step
+  /// fails to check. Steps arriving after the empty clause has been
+  /// derived are ignored -- the certificate is already complete.
+  bool step(const ProofStep& s) {
+    ++index_;
+    if (refuted_) return true;
+    switch (s.kind) {
+      case ProofStepKind::kOriginal:
+        ++stats_.originals;
+        insert_clause(s.lits);
+        return true;
+      case ProofStepKind::kDerive: {
+        ++stats_.derivations;
+        if (!rup(s.lits)) {
+          error_ = "step " + std::to_string(index_) +
+                   ": derived clause is not RUP";
+          return false;
         }
-        case ProofStepKind::kErase: {
-          std::string error;
-          if (!erase_clause(step.lits, &error)) {
-            out.error = "step " + std::to_string(index) + ": " + error;
-            out.stats = stats_;
-            return out;
-          }
-          break;
+        if (s.lits.empty()) {
+          refuted_ = true;
+        } else {
+          insert_clause(s.lits);
         }
+        return true;
+      }
+      case ProofStepKind::kErase: {
+        std::string error;
+        if (!erase_clause(s.lits, &error)) {
+          error_ = "step " + std::to_string(index_) + ": " + error;
+          return false;
+        }
+        return true;
       }
     }
+    error_ = "step " + std::to_string(index_) + ": unknown step kind";
+    return false;
+  }
+
+  bool refuted() const { return refuted_; }
+  const std::string& error() const { return error_; }
+
+  /// Packages the verdict. `require_refutation` demands empty-clause
+  /// closure (check_refutation); without it any fully-checked trace is
+  /// valid (check_derivations).
+  DratCheckResult finish(bool require_refutation) const {
+    DratCheckResult out;
     out.stats = stats_;
-    if (refuted_) {
-      out.valid = true;
-    } else {
-      out.error = trace.empty() ? "empty trace"
-                                : "trace never derives the empty clause";
+    if (!error_.empty()) {
+      out.error = error_;
+      return out;
     }
+    if (!require_refutation || refuted_) {
+      out.valid = true;
+      return out;
+    }
+    out.error = index_ == 0 ? "empty trace"
+                            : "trace never derives the empty clause";
     return out;
   }
 
@@ -282,14 +295,72 @@ class Checker {
   std::size_t head_ = 0;
   bool refuted_by_db_ = false;
   bool refuted_ = false;
+  std::size_t index_ = 0;
+  std::string error_;
   DratCheckStats stats_;
 };
+
+DratCheckResult run_in_memory(const DratTrace& trace,
+                              bool require_refutation) {
+  Checker checker;
+  for (const ProofStep& step : trace.steps()) {
+    if (checker.refuted()) break;
+    if (!checker.step(step)) break;
+  }
+  return checker.finish(require_refutation);
+}
 
 }  // namespace
 
 DratCheckResult check_refutation(const DratTrace& trace) {
+  return run_in_memory(trace, /*require_refutation=*/true);
+}
+
+DratCheckResult check_derivations(const DratTrace& trace) {
+  return run_in_memory(trace, /*require_refutation=*/false);
+}
+
+namespace {
+
+DratCheckResult run_on_file(const std::string& path, bool require_refutation) {
   Checker checker;
-  return checker.run(trace);
+  try {
+    TraceReader reader(path);
+    ProofStep step;
+    // Once the empty clause checks, the certificate is complete and the
+    // remaining steps need no semantic checking (matching the in-memory
+    // checker) -- but the file must still frame correctly end to end, so
+    // drain the reader: a torn tail, tampered end marker, or wrong
+    // declared step count is rejected even when the refutation checked.
+    bool steps_ok = true;
+    while (!checker.refuted() && reader.next(step)) {
+      if (!checker.step(step)) {
+        steps_ok = false;
+        break;
+      }
+    }
+    if (steps_ok) {
+      while (reader.next(step)) {
+      }
+    }
+  } catch (const std::exception& e) {
+    DratCheckResult out = checker.finish(require_refutation);
+    out.valid = false;
+    out.malformed = true;
+    out.error = e.what();
+    return out;
+  }
+  return checker.finish(require_refutation);
+}
+
+}  // namespace
+
+DratCheckResult check_refutation_file(const std::string& path) {
+  return run_on_file(path, /*require_refutation=*/true);
+}
+
+DratCheckResult check_derivations_file(const std::string& path) {
+  return run_on_file(path, /*require_refutation=*/false);
 }
 
 }  // namespace ril::sat

@@ -1,4 +1,4 @@
-// Independent forward RUP checker for DratTrace refutations.
+// Independent forward RUP checker for DRAT proof traces.
 //
 // check_refutation replays a proof trace in order, maintaining its own
 // clause database, two-watched-literal scheme, and unit propagation --
@@ -12,6 +12,17 @@
 // check. Deletions of clauses that currently anchor a persistent
 // (top-level) unit are ignored, the standard guard that keeps forward
 // checking sound in the presence of DRAT deletion lines.
+//
+// Three entry points share one checking core:
+//  * check_refutation(trace)      -- in-memory trace, requires closure;
+//  * check_refutation_file(path)  -- streaming single pass over an
+//    on-disk trace (binary or text) via TraceReader, bounded memory for
+//    the steps themselves (the live clause database still grows with the
+//    formula, exactly like the in-memory path);
+//  * check_derivations(trace)     -- verifies every step without
+//    requiring the empty clause, which is what an assumption-UNSAT
+//    certificate looks like: it closes with the failed-assumption core,
+//    not with the empty clause.
 #pragma once
 
 #include <cstddef>
@@ -33,6 +44,9 @@ struct DratCheckStats {
 struct DratCheckResult {
   /// True iff the trace is a complete, step-by-step verified refutation.
   bool valid = false;
+  /// True when the trace could not even be parsed (unreadable file,
+  /// truncation, garbage) as opposed to a well-formed but wrong proof.
+  bool malformed = false;
   /// Empty when valid; otherwise names the first failing step.
   std::string error;
   DratCheckStats stats;
@@ -40,5 +54,21 @@ struct DratCheckResult {
 
 /// Verifies that `trace` is a refutation of its own 'o'-line axioms.
 DratCheckResult check_refutation(const DratTrace& trace);
+
+/// Streaming variant: reads the trace from disk one step at a time and
+/// never materializes it. Parse failures (missing file, truncated or
+/// garbage trace) come back with `malformed == true`.
+DratCheckResult check_refutation_file(const std::string& path);
+
+/// Verifies every derivation step of `trace` without requiring the empty
+/// clause -- the acceptance test for open certificates such as the
+/// failed-assumption cores emitted on assumption-UNSAT solves.
+DratCheckResult check_derivations(const DratTrace& trace);
+
+/// Streaming variant of check_derivations: single pass over an on-disk
+/// trace, accepting open certificates (every step checks, no refutation
+/// required). The streamed trace a SAT attack publishes when it stops
+/// before miter-UNSAT (timeout, iteration cap) is validated with this.
+DratCheckResult check_derivations_file(const std::string& path);
 
 }  // namespace ril::sat

@@ -334,6 +334,51 @@ bool Solver::literal_redundant(Lit l, std::uint32_t abstract_levels) {
   return true;
 }
 
+void Solver::emit_assumption_core(ClauseRef conflict, Lit failed) {
+  if (!proof_) return;
+  Clause out;
+  std::size_t pending = 0;
+  const auto mark = [&](Lit l) {
+    const Var v = l.var();
+    if (level_[v] > 0 && !seen_[v]) {
+      seen_[v] = true;
+      ++pending;
+    }
+  };
+  if (conflict != kNoClause) {
+    ClauseView c = view(conflict);
+    for (std::uint32_t i = 0; i < c.size(); ++i) mark(c.lit(i));
+  } else {
+    out.push_back(~failed);
+    mark(failed);
+  }
+  // Every marked variable is assigned above level 0, so it sits on the
+  // trail at or past the first decision mark; walk top-down, swapping
+  // marks for either an assumption (pseudo-decisions are the only
+  // decisions at these levels) or the antecedent's literals.
+  const std::size_t bottom =
+      trail_limits_.empty() ? trail_.size() : trail_limits_[0];
+  for (std::size_t i = trail_.size(); pending > 0 && i-- > bottom;) {
+    const Var v = trail_[i].var();
+    if (!seen_[v]) continue;
+    seen_[v] = false;
+    --pending;
+    const ClauseRef r = reason_[v];
+    if (r == kNoClause) {
+      out.push_back(~trail_[i]);
+    } else {
+      ClauseView c = view(r);
+      for (std::uint32_t k = 0; k < c.size(); ++k) {
+        if (c.lit(k).var() != v) mark(c.lit(k));
+      }
+    }
+  }
+  // An empty core would read as a refutation of the formula itself;
+  // structurally unreachable (the conflict involves some assumption),
+  // but never emit it.
+  if (!out.empty()) proof_->derive(out);
+}
+
 void Solver::var_bump(Var v) {
   activity_[v] += var_inc_;
   if (activity_[v] > kActivityRescale) {
@@ -602,8 +647,12 @@ Result Solver::solve(const std::vector<Lit>& assumptions) {
       }
       if (decision_level() <= assumption_count) {
         // Conflict entirely under assumptions: UNSAT under assumptions.
-        // No emission -- this verdict is relative to the assumptions, not
-        // a refutation of the formula, so the trace stays open.
+        // The verdict is relative to the assumptions, not a refutation of
+        // the formula, so instead of the empty clause we derive the
+        // failed-assumption core -- the clause of negated assumptions this
+        // conflict follows from -- which closes the certificate for this
+        // solve while leaving the trace extendable.
+        emit_assumption_core(conflict, kLitUndef);
         cancel_until(0);
         return Result::kUnsat;
       }
@@ -690,6 +739,9 @@ Result Solver::solve(const std::vector<Lit>& assumptions) {
       if (value(a) == LBool::kTrue) {
         new_decision_level();  // dummy level keeps indices aligned
       } else if (value(a) == LBool::kFalse) {
+        // The assumption is already falsified by propagation from the
+        // ones established so far; derive the responsible core.
+        emit_assumption_core(kNoClause, a);
         cancel_until(0);
         return Result::kUnsat;
       } else {

@@ -186,6 +186,14 @@ class Solver : public ClauseSink {
   void analyze(ClauseRef conflict, Clause& out_learned, int& out_level,
                std::uint32_t& out_lbd);
   bool literal_redundant(Lit l, std::uint32_t abstract_levels);
+  /// MiniSat-style analyzeFinal for assumption-UNSAT exits: traces the
+  /// conflict (`conflict`, or the already-false assumption `failed` when
+  /// conflict == kNoClause) back through reasons to the responsible
+  /// assumption pseudo-decisions and emits their negations as a derived
+  /// clause, closing the certificate for this solve. The clause is RUP
+  /// against the live database because the whole chain is one unit
+  /// propagation from the assumptions. No-op without a proof sink.
+  void emit_assumption_core(ClauseRef conflict, Lit failed);
 
   // --- heuristics -----------------------------------------------------------
   void var_bump(Var v);

@@ -5,6 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
 #include <random>
 
 #include "attacks/oracle.hpp"
@@ -204,7 +207,12 @@ TEST(SolverProof, IncrementalSolvesShareOneTrace) {
   EXPECT_TRUE(result.valid) << result.error;
 }
 
-TEST(SolverProof, UnsatUnderAssumptionsLeavesTraceOpen) {
+TEST(SolverProof, UnsatUnderAssumptionsEmitsFailedAssumptionCore) {
+  // Minimized regression for the assumption-UNSAT certification gap: the
+  // solve used to bail out without a final derivation, leaving a trace
+  // that neither closed nor explained the conflict. Now it must end with
+  // the failed-assumption core (here: the clause {x0, x1}, negating the
+  // two assumptions), every step RUP over the logged axioms.
   Solver solver;
   DratTrace trace;
   solver.set_proof(&trace);
@@ -212,11 +220,42 @@ TEST(SolverProof, UnsatUnderAssumptionsLeavesTraceOpen) {
   solver.add_clause({Lit::make(0), Lit::make(1)});
   ASSERT_EQ(solver.solve({Lit::make(0, true), Lit::make(1, true)}),
             Result::kUnsat);
+  // Still no empty clause -- the formula itself is satisfiable.
   EXPECT_FALSE(trace.closed());
   EXPECT_FALSE(check_refutation(trace).valid);
-  // The formula itself is satisfiable and stays usable.
+  // But the trace is a valid open certificate ending in the core.
+  const DratCheckResult derivations = check_derivations(trace);
+  EXPECT_TRUE(derivations.valid) << derivations.error;
+  ASSERT_FALSE(trace.steps().empty());
+  const ProofStep& last = trace.steps().back();
+  EXPECT_EQ(last.kind, ProofStepKind::kDerive);
+  Clause core = last.lits;
+  std::sort(core.begin(), core.end(),
+            [](Lit a, Lit b) { return a.code < b.code; });
+  const Clause expected = {Lit::make(0), Lit::make(1)};
+  EXPECT_EQ(core, expected);
+  // The solver stays usable.
   ASSERT_EQ(solver.solve(), Result::kSat);
   EXPECT_TRUE(solver.verify_model());
+}
+
+TEST(SolverProof, FalsifiedAssumptionEmitsUnitCore) {
+  // The other assumption-UNSAT exit: an assumption already falsified at
+  // level 0 (x0 is forced true, assumed false). The core is the unit
+  // clause {x0} -- one unit propagation from the axioms, hence RUP.
+  Solver solver;
+  DratTrace trace;
+  solver.set_proof(&trace);
+  solver.ensure_var(0);
+  solver.add_clause({Lit::make(0)});
+  ASSERT_EQ(solver.solve({Lit::make(0, true)}), Result::kUnsat);
+  EXPECT_FALSE(trace.closed());
+  const DratCheckResult derivations = check_derivations(trace);
+  EXPECT_TRUE(derivations.valid) << derivations.error;
+  ASSERT_FALSE(trace.steps().empty());
+  EXPECT_EQ(trace.steps().back().kind, ProofStepKind::kDerive);
+  const Clause expected = {Lit::make(0)};
+  EXPECT_EQ(trace.steps().back().lits, expected);
 }
 
 TEST(SolverProof, RootConflictFromAddClauseIsCertified) {
@@ -373,8 +412,53 @@ TEST(CertifiedAttack, CertifyOffByDefaultAndTimeoutReportsMissing) {
   options.max_iterations = 1;  // stop before any UNSAT can be reached
   const auto cut = attacks::run_sat_attack(locked.netlist, oracle2, options);
   if (cut.status == attacks::SatAttackStatus::kIterationLimit) {
+    // In-memory certification has nothing to publish without miter-UNSAT;
+    // streaming mode would publish an open certificate instead (below).
     EXPECT_EQ(cut.proof_status, attacks::ProofStatus::kMissing);
   }
+}
+
+TEST(CertifiedAttack, CappedStreamedAttackPublishesOpenCertificate) {
+  // An iteration-capped streamed attack cannot reach miter-UNSAT, but its
+  // trace is still published as an open certificate: every derivation
+  // RUP-checks against the logged axioms, no empty clause lands. This is
+  // the certificate a 238k-gate certified run actually produces (the
+  // whole-miter refutation there is beyond the CDCL core), so the small
+  // host here stands in for the bench_netlist acceptance stage.
+  benchgen::RandomDagParams params;
+  params.num_inputs = 10;
+  params.num_outputs = 5;
+  params.num_gates = 80;
+  params.seed = 3;
+  const netlist::Netlist host = benchgen::generate_random_dag(params);
+  const auto locked = locking::lock_xor(host, 8, 11);
+  attacks::Oracle oracle(locked.netlist, locked.key);
+
+  const std::string path = "drat_check_open_cert.drat";
+  attacks::SatAttackOptions options;
+  options.certify = true;
+  options.proof_file = path;
+  options.max_iterations = 1;
+  const auto result =
+      attacks::run_sat_attack(locked.netlist, oracle, options);
+  ASSERT_EQ(result.status, attacks::SatAttackStatus::kIterationLimit);
+  EXPECT_EQ(result.proof_status, attacks::ProofStatus::kOpen);
+  ASSERT_EQ(result.proof_path, path);
+  EXPECT_GT(result.proof_bytes, 0u);
+  EXPECT_GT(result.proof_steps, 0u);
+  EXPECT_EQ(result.proof_trace, nullptr);  // streamed, never in RAM
+  EXPECT_TRUE(std::ifstream(path, std::ios::binary).good());
+
+  // The published file passes the open-certificate check but is rejected
+  // as a refutation -- well-formed, just not closed (no malformed flag).
+  const DratCheckResult open_check = check_derivations_file(path);
+  EXPECT_TRUE(open_check.valid) << open_check.error;
+  EXPECT_GT(open_check.stats.originals, 0u);
+  const DratCheckResult closed_check = check_refutation_file(path);
+  EXPECT_FALSE(closed_check.valid);
+  EXPECT_FALSE(closed_check.malformed);
+  EXPECT_EQ(closed_check.error, "trace never derives the empty clause");
+  std::remove(path.c_str());
 }
 
 }  // namespace

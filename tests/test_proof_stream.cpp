@@ -1,0 +1,364 @@
+// Disk-backed proof streaming: FileProofTracer (binary DRAT, atomic
+// temp+rename publish), TraceReader / check_refutation_file (single-pass
+// streaming reads with bounded memory), truncation/garbage rejection, and
+// the portfolio's winner-trace promotion -- including composition with the
+// SatELite preprocessor's step replay.
+#include "sat/proof.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "sat/drat_check.hpp"
+#include "runtime/portfolio.hpp"
+
+namespace ril::sat {
+namespace {
+
+using runtime::SolverPortfolio;
+
+std::string read_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void write_bytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good()) << path;
+}
+
+bool file_exists(const std::string& path) {
+  return std::ifstream(path).good();
+}
+
+/// Feeds every step of `trace` into `sink` in order.
+void replay(const DratTrace& trace, ProofTracer& sink) {
+  for (const ProofStep& step : trace.steps()) {
+    switch (step.kind) {
+      case ProofStepKind::kOriginal: sink.original(step.lits); break;
+      case ProofStepKind::kDerive: sink.derive(step.lits); break;
+      case ProofStepKind::kErase: sink.erase(step.lits); break;
+    }
+  }
+}
+
+void expect_same_steps(const DratTrace& a, const DratTrace& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.steps()[i].kind, b.steps()[i].kind) << "step " << i;
+    EXPECT_EQ(a.steps()[i].lits, b.steps()[i].lits) << "step " << i;
+  }
+}
+
+/// A pseudo-random but deterministic trace large enough to cross several
+/// stream-buffer flushes (the tracer's buffer is 1 MiB by default; we use
+/// a small one in the tests that care).
+DratTrace make_large_trace(std::size_t steps, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  DratTrace trace;
+  for (std::size_t i = 0; i < steps; ++i) {
+    Clause lits;
+    const std::size_t width = 1 + rng() % 8;
+    for (std::size_t k = 0; k < width; ++k) {
+      lits.push_back(Lit::make(static_cast<Var>(rng() % 5000), rng() & 1));
+    }
+    switch (rng() % 3) {
+      case 0: trace.original(lits); break;
+      case 1: trace.derive(lits); break;
+      default: trace.erase(lits); break;
+    }
+  }
+  return trace;
+}
+
+void add_pigeonhole(ClauseSink& sink, int pigeons, int holes) {
+  auto var = [&](int p, int h) { return p * holes + h; };
+  sink.ensure_var(pigeons * holes - 1);
+  for (int p = 0; p < pigeons; ++p) {
+    Clause somewhere;
+    for (int h = 0; h < holes; ++h) somewhere.push_back(Lit::make(var(p, h)));
+    sink.add_clause(somewhere);
+  }
+  for (int h = 0; h < holes; ++h) {
+    for (int p1 = 0; p1 < pigeons; ++p1) {
+      for (int p2 = p1 + 1; p2 < pigeons; ++p2) {
+        sink.add_clause(
+            {Lit::make(var(p1, h), true), Lit::make(var(p2, h), true)});
+      }
+    }
+  }
+}
+
+// --- FileProofTracer --------------------------------------------------------
+
+TEST(FileProofTracer, LargeTraceRoundTripsBitIdentically) {
+  const std::string path = "proof_stream_large.drat";
+  const DratTrace reference = make_large_trace(50000, 42);
+
+  // Stream with a deliberately tiny buffer so the flush path is exercised
+  // thousands of times.
+  {
+    FileProofTracer tracer(path, /*buffer_bytes=*/256);
+    replay(reference, tracer);
+    EXPECT_EQ(tracer.steps(), reference.size());
+    tracer.finalize();
+    EXPECT_TRUE(tracer.finalized());
+  }
+  ASSERT_TRUE(file_exists(path));
+  EXPECT_FALSE(file_exists(path + ".tmp")) << "temp must be renamed away";
+
+  const DratTrace reread = read_trace_file(path);
+  expect_same_steps(reference, reread);
+
+  // A second streaming pass over the same steps must produce the same
+  // bytes -- the binary encoding is deterministic.
+  const std::string first = read_bytes(path);
+  {
+    FileProofTracer tracer(path, /*buffer_bytes=*/1 << 20);
+    replay(reference, tracer);
+    tracer.finalize();
+  }
+  EXPECT_EQ(first, read_bytes(path));
+
+  // The streaming reader agrees step-for-step too.
+  TraceReader reader(path);
+  ProofStep step;
+  std::size_t i = 0;
+  while (reader.next(step)) {
+    ASSERT_LT(i, reference.size());
+    EXPECT_EQ(step.kind, reference.steps()[i].kind);
+    EXPECT_EQ(step.lits, reference.steps()[i].lits);
+    ++i;
+  }
+  EXPECT_EQ(i, reference.size());
+  EXPECT_TRUE(reader.binary());
+  std::remove(path.c_str());
+}
+
+TEST(FileProofTracer, AbandonRemovesTempAndNeverPublishes) {
+  const std::string path = "proof_stream_abandon.drat";
+  std::remove(path.c_str());
+  {
+    FileProofTracer tracer(path);
+    tracer.original({Lit::make(0)});
+    tracer.abandon();
+  }
+  EXPECT_FALSE(file_exists(path));
+  EXPECT_FALSE(file_exists(path + ".tmp"));
+
+  // Destruction without finalize() abandons too (the kill-mid-write
+  // story: an un-finalized temp never shadows a published proof).
+  {
+    FileProofTracer tracer(path);
+    tracer.derive({Lit::make(1, true)});
+  }
+  EXPECT_FALSE(file_exists(path));
+  EXPECT_FALSE(file_exists(path + ".tmp"));
+}
+
+TEST(FileProofTracer, StepsAfterFinalizeThrow) {
+  const std::string path = "proof_stream_sealed.drat";
+  FileProofTracer tracer(path);
+  tracer.original({Lit::make(0)});
+  tracer.finalize();
+  EXPECT_THROW(tracer.derive({Lit::make(1)}), std::logic_error);
+  std::remove(path.c_str());
+}
+
+// --- truncation / garbage rejection -----------------------------------------
+
+TEST(TraceReader, TruncatedBinaryTraceIsRejected) {
+  const std::string path = "proof_stream_trunc.drat";
+  {
+    // Originals only: every step is checker-acceptable, so the streaming
+    // checker must reach the torn tail and flag the parse failure instead
+    // of rejecting some semantically-invalid step before it.
+    std::mt19937_64 rng(7);
+    FileProofTracer tracer(path);
+    for (int i = 0; i < 500; ++i) {
+      Clause lits;
+      for (int k = 0; k < 4; ++k) {
+        lits.push_back(Lit::make(static_cast<Var>(rng() % 5000), rng() & 1));
+      }
+      tracer.original(lits);
+    }
+    tracer.finalize();
+  }
+  const std::string full = read_bytes(path);
+  // Cut the file mid-stream, as a crashed writer would leave it (if it
+  // ever published, which FileProofTracer does not -- this simulates
+  // external tampering or a torn copy).
+  write_bytes(path, full.substr(0, full.size() / 2));
+  EXPECT_THROW(read_trace_file(path), std::runtime_error);
+  const DratCheckResult check = check_refutation_file(path);
+  EXPECT_FALSE(check.valid);
+  EXPECT_TRUE(check.malformed) << check.error;
+
+  // Dropping only the end marker must also be rejected: a clean EOF
+  // without the marker is indistinguishable from a truncated tail.
+  write_bytes(path, full.substr(0, full.size() - 3));
+  EXPECT_THROW(read_trace_file(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(TraceReader, GarbageAndBadFooterAreRejectedWithLocation) {
+  const std::string path = "proof_stream_garbage.drat";
+  write_bytes(path, "this is not a proof trace\n");
+  try {
+    read_trace_file(path);
+    FAIL() << "garbage trace must not parse";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 1"), std::string::npos)
+        << e.what();
+  }
+
+  // Text trace whose footer count disagrees with the steps.
+  write_bytes(path, "o 1 0\na -1 0\nc end 5\n");
+  EXPECT_THROW(read_trace_file(path), std::runtime_error);
+  // Text trace with content after the footer.
+  write_bytes(path, "o 1 0\nc end 1\na -1 0\n");
+  EXPECT_THROW(read_trace_file(path), std::runtime_error);
+  // Text trace missing its footer entirely (torn tail).
+  write_bytes(path, "o 1 0\na -1 0\n");
+  EXPECT_THROW(read_trace_file(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(TraceReader, FooterTamperRejectedEvenWhenRefutationChecks) {
+  // A complete, checker-valid refutation whose end marker is then
+  // corrupted: check_refutation_file must drain the reader past the empty
+  // clause and reject the bad framing -- mid-trace literal flips can leave
+  // a refutation that still checks, so the end marker is the integrity
+  // anchor a tamper test can rely on.
+  const std::string path = "proof_stream_footer_tamper.drat";
+  {
+    FileProofTracer tracer(path);
+    tracer.original({Lit::make(0)});
+    tracer.original({Lit::make(0, true)});
+    tracer.derive({});
+    tracer.finalize();
+  }
+  ASSERT_TRUE(check_refutation_file(path).valid);
+
+  std::string bytes = read_bytes(path);
+  ASSERT_GE(bytes.size(), 2u);
+  bytes.back() = static_cast<char>(bytes.back() + 1);  // declared step count
+  write_bytes(path, bytes);
+  const DratCheckResult check = check_refutation_file(path);
+  EXPECT_FALSE(check.valid);
+  EXPECT_TRUE(check.malformed);
+  EXPECT_NE(check.error.find("end marker"), std::string::npos) << check.error;
+  std::remove(path.c_str());
+}
+
+TEST(TraceReader, EmptyFileIsACleanEmptyTrace) {
+  const std::string path = "proof_stream_empty.drat";
+  write_bytes(path, "");
+  const DratTrace trace = read_trace_file(path);
+  EXPECT_EQ(trace.size(), 0u);
+  TraceReader reader(path);
+  ProofStep step;
+  EXPECT_FALSE(reader.next(step));
+  std::remove(path.c_str());
+}
+
+TEST(WriteTraceFile, TextFormatIsAtomicAndRoundTrips) {
+  const std::string path = "proof_stream_text.drat";
+  DratTrace trace;
+  trace.original({Lit::make(0), Lit::make(1, true)});
+  trace.derive({Lit::make(2)});
+  trace.erase({Lit::make(0), Lit::make(1, true)});
+  trace.derive({});
+  write_trace_file(path, trace);
+  EXPECT_FALSE(file_exists(path + ".tmp"));
+  const DratTrace reread = read_trace_file(path);
+  expect_same_steps(trace, reread);
+  EXPECT_TRUE(reread.closed());
+  std::remove(path.c_str());
+}
+
+// --- portfolio winner promotion ---------------------------------------------
+
+TEST(PortfolioProofFiles, WinnerIsPromotedAndLosersCleanedUp) {
+  for (const std::uint64_t seed : {3u, 11u, 29u}) {
+    const std::string stem = "proof_stream_portfolio.drat";
+    const unsigned jobs = 3;
+    SolverPortfolio portfolio(jobs, seed);
+    portfolio.enable_proof_files(stem);
+    EXPECT_TRUE(portfolio.proof_enabled());
+    EXPECT_TRUE(portfolio.proof_files_enabled());
+    add_pigeonhole(portfolio, 6, 5);
+    const runtime::SolveOutcome outcome = portfolio.solve();
+    ASSERT_EQ(outcome.result, Result::kUnsat);
+    ASSERT_NE(portfolio.winner_file_trace(), nullptr);
+    EXPECT_TRUE(portfolio.winner_file_trace()->closed());
+    EXPECT_EQ(portfolio.winner_trace(), nullptr) << "file mode has no "
+                                                    "in-memory trace";
+
+    const std::uint64_t bytes = portfolio.promote_winner_trace(stem);
+    EXPECT_GT(bytes, 0u);
+    ASSERT_TRUE(file_exists(stem));
+    for (unsigned i = 0; i < jobs; ++i) {
+      const std::string member = stem + ".m" + std::to_string(i) + ".drat";
+      EXPECT_FALSE(file_exists(member)) << member;
+      EXPECT_FALSE(file_exists(member + ".tmp")) << member;
+    }
+
+    const DratCheckResult check = check_refutation_file(stem);
+    EXPECT_TRUE(check.valid) << check.error;
+    EXPECT_FALSE(check.malformed);
+    std::remove(stem.c_str());
+
+    // After promotion the portfolio detaches proof logging: later solves
+    // are uncertified but still sound.
+    EXPECT_FALSE(portfolio.proof_enabled());
+  }
+}
+
+TEST(PortfolioProofFiles, PreprocessorReplayPassesStreamingChecker) {
+  const std::string stem = "proof_stream_prep.drat";
+  SolverPortfolio portfolio(2, 5);
+  portfolio.enable_proof_files(stem);
+  portfolio.enable_preprocessing();
+  add_pigeonhole(portfolio, 7, 6);
+  const runtime::SolveOutcome outcome = portfolio.solve();
+  ASSERT_EQ(outcome.result, Result::kUnsat);
+  ASSERT_NE(portfolio.winner_file_trace(), nullptr);
+  ASSERT_TRUE(portfolio.winner_file_trace()->closed());
+  portfolio.promote_winner_trace(stem);
+  // The elimination/strengthening steps the preprocessor replayed into the
+  // streamed trace must satisfy the independent streaming checker, exactly
+  // like the in-memory path.
+  const DratCheckResult check = check_refutation_file(stem);
+  EXPECT_TRUE(check.valid) << check.error;
+  std::remove(stem.c_str());
+}
+
+TEST(PortfolioProofFiles, ProofModesAreMutuallyExclusive) {
+  // The second enable_* is an idempotent no-op: whichever mode was enabled
+  // first wins, and promotion without file mode is a logic error.
+  SolverPortfolio portfolio(1, 1);
+  portfolio.enable_proof();
+  portfolio.enable_proof_files("proof_stream_excl_a.drat");
+  EXPECT_TRUE(portfolio.proof_enabled());
+  EXPECT_FALSE(portfolio.proof_files_enabled());
+
+  SolverPortfolio other(1, 1);
+  other.enable_proof_files("proof_stream_excl_b.drat");
+  other.enable_proof();
+  EXPECT_TRUE(other.proof_files_enabled());
+  EXPECT_EQ(other.winner_trace(), nullptr);
+
+  SolverPortfolio plain(1, 1);
+  EXPECT_THROW(plain.promote_winner_trace("y.drat"), std::logic_error);
+}
+
+}  // namespace
+}  // namespace ril::sat

@@ -25,16 +25,28 @@
 //       the historical full-circuit re-encoding; --preprocess (sat/appsat)
 //       runs SatELite-style simplification (subsumption, self-subsuming
 //       resolution, bounded variable elimination) on the miter and key
-//       formulas before their first solve (--no-preprocess is the
-//       default); --certify (sat only) DRAT-logs every miter solve,
-//       self-checks SAT models, validates the final UNSAT certificate
-//       with the independent RUP checker, and with --proof writes the
-//       certificate for offline `ril check-proof`. --preprocess composes
-//       with --certify: elimination steps are emitted into the trace.
+//       formulas before their first solve; without either flag,
+//       preprocessing turns itself on automatically for hosts of 100k+
+//       gates and --no-preprocess forces it off everywhere; --certify
+//       (sat only) DRAT-logs every miter solve, self-checks SAT models,
+//       validates the final UNSAT certificate with the independent RUP
+//       checker, and with --proof streams the certificate to disk as
+//       binary DRAT (bounded memory, atomic temp+rename publish) for
+//       offline `ril check-proof`. A run that stops before miter-UNSAT
+//       (timeout, --max-iterations) still publishes the streamed trace as
+//       an open certificate for `ril check-proof --open`. --preprocess
+//       composes with --certify: elimination steps are emitted into the
+//       trace.
 //
-//   ril check-proof <trace.drat>
-//       Re-validate a previously written certificate with the forward RUP
-//       checker (exit 0 iff the trace is a complete refutation).
+//   ril check-proof <trace.drat> [--open]
+//       Re-validate a previously written certificate (binary or text)
+//       with the streaming forward RUP checker. By default the trace must
+//       be a complete refutation (ends in the empty clause); --open
+//       accepts open certificates -- every step RUP-checks but no empty
+//       clause lands -- which is what an attack that stopped before
+//       miter-UNSAT (timeout, --max-iterations) publishes. Exit codes:
+//       0 valid, 1 invalid proof, 2 usage, 3 missing/unreadable file,
+//       4 empty trace, 5 malformed/truncated trace.
 //
 //   ril analyze <file.bench> [key.txt]
 //       Structural report: stats, detected routing networks and keyed
@@ -51,6 +63,8 @@
 //       --out streams one JSON line per cell (see docs/ARCHITECTURE.md for
 //       the schema); --resume skips cells already present in that file.
 #include <algorithm>
+#include <cctype>
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -94,13 +108,14 @@ using namespace ril;
                " --bits N --seed S]\n"
                "  ril attack <method> <locked.bench> <activated.bench>"
                " [--timeout S --jobs N --portfolio --stats out.json"
-               " --no-specialize --preprocess --certify --proof out.drat"
-               " --max-iterations N]\n"
-               "  ril check-proof <trace.drat>\n"
+               " --no-specialize --preprocess --no-preprocess --certify"
+               " --proof out.drat --max-iterations N]\n"
+               "  ril check-proof <trace.drat> [--open]\n"
                "  ril analyze <file.bench> [key.txt]\n"
                "  ril unlock <locked.bench> <key.txt> <out.bench>\n"
                "  ril campaign <spec.campaign> [--jobs N --out results.jsonl"
-               " --resume --solver-jobs N --preprocess --certify]\n");
+               " --resume --solver-jobs N --preprocess --certify"
+               " --proof-dir DIR]\n");
   std::exit(2);
 }
 
@@ -124,7 +139,13 @@ struct Args {
   bool scan = false;
   bool specialize = true;
   bool preprocess = false;
+  /// --no-preprocess clears this too, forcing preprocessing off even on
+  /// hosts above the auto-enable gate threshold.
+  bool preprocess_auto = true;
   bool certify = false;
+  /// check-proof: accept an open certificate (no empty clause required).
+  bool open_certificate = false;
+  std::string proof_dir;
 };
 
 Args parse(int argc, char** argv) {
@@ -153,9 +174,14 @@ Args parse(int argc, char** argv) {
     else if (arg == "--scan") args.scan = true;
     else if (arg == "--no-specialize") args.specialize = false;
     else if (arg == "--preprocess") args.preprocess = true;
-    else if (arg == "--no-preprocess") args.preprocess = false;
+    else if (arg == "--no-preprocess") {
+      args.preprocess = false;
+      args.preprocess_auto = false;
+    }
     else if (arg == "--certify") args.certify = true;
+    else if (arg == "--open") args.open_certificate = true;
     else if (arg == "--proof") args.proof_path = value();
+    else if (arg == "--proof-dir") args.proof_dir = value();
     else if (arg.rfind("--", 0) == 0) usage(("unknown option " + arg).c_str());
     else args.positional.push_back(arg);
   }
@@ -264,6 +290,7 @@ std::string certification_fields(const attacks::SatAttackResult& result) {
   if (result.proof_status == attacks::ProofStatus::kNotRequested) return "";
   return ",\"proof\":\"" + attacks::to_string(result.proof_status) +
          "\",\"proof_steps\":" + std::to_string(result.proof_steps) +
+         ",\"proof_bytes\":" + std::to_string(result.proof_bytes) +
          ",\"models_ok\":" + (result.models_verified ? "true" : "false");
 }
 
@@ -360,7 +387,11 @@ int cmd_attack(const Args& args) {
     options.record_solves = args.jobs > 1 || !args.stats_path.empty();
     options.specialize_dips = args.specialize;
     options.preprocess = args.preprocess;
+    options.preprocess_auto = args.preprocess_auto;
     options.certify = args.certify || !args.proof_path.empty();
+    // --proof selects streaming certification: the trace goes to disk as
+    // binary DRAT while the attack runs, never through a DratTrace in RAM.
+    options.proof_file = args.proof_path;
     if (method == "sat") {
       const auto result = attacks::run_sat_attack(locked, oracle, options);
       std::printf("sat attack: %s in %.2fs, %zu DIPs, %llu conflicts"
@@ -388,11 +419,18 @@ int cmd_attack(const Args& args) {
                     static_cast<unsigned long long>(result.proof_steps),
                     result.models_verified ? "self-checked" : "UNSOUND");
         if (!args.proof_path.empty()) {
-          if (result.proof_trace) {
-            sat::write_trace_file(args.proof_path, *result.proof_trace);
-            std::printf("proof trace -> %s\n", args.proof_path.c_str());
+          if (!result.proof_path.empty()) {
+            std::printf("proof trace -> %s (%llu bytes, streamed)\n",
+                        result.proof_path.c_str(),
+                        static_cast<unsigned long long>(result.proof_bytes));
+            if (result.proof_status == attacks::ProofStatus::kOpen) {
+              std::printf("open certificate: validate with"
+                          " `ril check-proof --open %s`\n",
+                          result.proof_path.c_str());
+            }
           } else {
-            std::printf("proof trace not written: no UNSAT certificate\n");
+            std::printf("proof trace not written: no solver trace to"
+                        " publish\n");
           }
         }
       }
@@ -683,6 +721,19 @@ std::string run_campaign_cell(const CampaignCell& cell, const Args& args,
     options.cancel = &ctx.cancel_flag();
     options.certify = args.certify;
     options.preprocess = args.preprocess;
+    options.preprocess_auto = args.preprocess_auto;
+    // --proof-dir: stream each certified cell's miter certificate to
+    // <dir>/<cell-key>.drat (cell keys are sanitized for the filesystem).
+    if (options.certify && !args.proof_dir.empty()) {
+      std::string name = cell.key;
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c)) && c != '-' &&
+            c != '.' && c != '_') {
+          c = '_';
+        }
+      }
+      options.proof_file = args.proof_dir + "/" + name + ".drat";
+    }
     if (cell.attack == "onehot") {
       const auto result = attacks::run_sat_attack_onehot(locked, oracle,
                                                          options);
@@ -746,22 +797,64 @@ std::string run_campaign_cell(const CampaignCell& cell, const Args& args,
   throw std::runtime_error("unknown attack '" + cell.attack + "'");
 }
 
-/// Re-validates a DRAT certificate written by `ril attack sat --proof`.
+/// Re-validates a DRAT certificate written by `ril attack sat --proof`,
+/// reading the trace (binary or text) from disk in one streaming pass.
+/// --open drops the empty-clause requirement (open certificates from
+/// attacks that stopped before miter-UNSAT). Distinct exit codes keep
+/// failures scriptable: 0 valid, 1 invalid proof, 2 usage,
+/// 3 missing/unreadable file, 4 empty trace, 5 malformed trace.
 int cmd_check_proof(const Args& args) {
   if (args.positional.size() != 1) usage("check-proof needs <trace.drat>");
-  const sat::DratTrace trace = sat::read_trace_file(args.positional[0]);
-  const sat::DratCheckResult check = sat::check_refutation(trace);
-  std::printf("%s: %zu steps (%llu originals, %llu derivations,"
+  const std::string& path = args.positional[0];
+  // Probe the file up front so missing/unreadable (3) and empty (4) get
+  // their own one-line diagnostics instead of a generic parse error.
+  {
+    std::ifstream probe(path, std::ios::binary | std::ios::ate);
+    if (!probe) {
+      std::fprintf(stderr, "check-proof: cannot open %s: %s\n", path.c_str(),
+                   std::strerror(errno));
+      return 3;
+    }
+    if (probe.tellg() == std::streampos(0)) {
+      std::fprintf(stderr, "check-proof: %s: empty trace (no proof steps)\n",
+                   path.c_str());
+      return 4;
+    }
+  }
+  sat::DratCheckResult check;
+  try {
+    check = args.open_certificate ? sat::check_derivations_file(path)
+                                  : sat::check_refutation_file(path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "check-proof: %s\n", e.what());
+    return 5;
+  }
+  if (check.malformed) {
+    std::fprintf(stderr, "check-proof: %s\n", check.error.c_str());
+    return 5;
+  }
+  std::printf("%s: %llu steps checked (%llu originals, %llu derivations,"
               " %llu deletions, %llu propagations)\n",
-              args.positional[0].c_str(), trace.size(),
+              path.c_str(),
+              static_cast<unsigned long long>(
+                  check.stats.originals + check.stats.derivations +
+                  check.stats.deletions + check.stats.ignored_deletions),
               static_cast<unsigned long long>(check.stats.originals),
               static_cast<unsigned long long>(check.stats.derivations),
               static_cast<unsigned long long>(check.stats.deletions),
               static_cast<unsigned long long>(check.stats.propagations));
   if (check.valid) {
-    std::printf("proof VALID: complete RUP refutation\n");
+    std::printf(args.open_certificate
+                    ? "proof VALID: open certificate, every step RUP-checked\n"
+                    : "proof VALID: complete RUP refutation\n");
     return 0;
   }
+  std::fprintf(stderr, "check-proof: %s: INVALID: %s%s\n", path.c_str(),
+               check.error.c_str(),
+               !args.open_certificate &&
+                       check.error == "trace never derives the empty clause"
+                   ? " (open certificate? retry with --open)"
+                   : "");
   std::printf("proof INVALID: %s\n", check.error.c_str());
   return 1;
 }
