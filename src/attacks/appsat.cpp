@@ -35,8 +35,9 @@ AppSatResult run_appsat(const Netlist& locked, QueryOracle& oracle,
   SolverPortfolio miter(options.jobs, options.portfolio_seed);
   miter.set_external_stop(budget.stop_flag());
   if (options.preprocess) miter.enable_preprocessing();
+  if (options.inprocess) miter.enable_inprocessing();
   const engine::MiterContext ctx(locked, miter);
-  if (options.preprocess) {
+  if (options.preprocess || options.inprocess) {
     miter.freeze(ctx.input_vars());
     miter.freeze(ctx.copy(0).key_vars);
     miter.freeze(ctx.copy(1).key_vars);
@@ -45,9 +46,10 @@ AppSatResult run_appsat(const Netlist& locked, QueryOracle& oracle,
   SolverPortfolio key_solver(options.jobs, options.portfolio_seed + 0x9e37);
   key_solver.set_external_stop(budget.stop_flag());
   if (options.preprocess) key_solver.enable_preprocessing();
+  if (options.inprocess) key_solver.enable_inprocessing();
   const std::vector<Var> key_vars =
       engine::make_vars(key_solver, locked.key_inputs().size());
-  if (options.preprocess) key_solver.freeze(key_vars);
+  if (options.preprocess || options.inprocess) key_solver.freeze(key_vars);
 
   engine::DipConstraintEncoder dips(locked, options.specialize_dips);
   netlist::Simulator sim(locked);  // reused across every settle step

@@ -40,8 +40,12 @@ struct AppSatOptions {
   /// Cone-specialized I/O-constraint encoding (see SatAttackOptions).
   bool specialize_dips = true;
   /// SatELite-style preprocessing of the miter / key formulas before their
-  /// first solve (see SatAttackOptions::preprocess).
-  bool preprocess = false;
+  /// first solve (see SatAttackOptions::preprocess). On by default, like
+  /// the exact attack; --no-preprocess restores the historical path.
+  bool preprocess = true;
+  /// Restart-time inprocessing inside the portfolio members (see
+  /// SatAttackOptions::inprocess). Orthogonal to `preprocess`.
+  bool inprocess = true;
   /// Optional caller-owned cancellation flag (reported as kTimeout).
   const std::atomic<bool>* cancel = nullptr;
 };

@@ -63,10 +63,12 @@ SatAttackResult run_sat_attack(const Netlist& locked, QueryOracle& oracle,
     }
   }
   if (preprocess) miter.enable_preprocessing();
+  if (options.inprocess) miter.enable_inprocessing();
   const engine::MiterContext ctx(locked, miter);
-  if (preprocess) {
+  if (preprocess || options.inprocess) {
     // The DIP loop reads X from each model and adds constraints over both
-    // key vectors, so those variables must survive elimination.
+    // key vectors, so those variables must survive elimination (and stay
+    // exempt from failed-literal probing).
     miter.freeze(ctx.input_vars());
     miter.freeze(ctx.copy(0).key_vars);
     miter.freeze(ctx.copy(1).key_vars);
@@ -76,9 +78,10 @@ SatAttackResult run_sat_attack(const Netlist& locked, QueryOracle& oracle,
   SolverPortfolio key_solver(options.jobs, options.portfolio_seed + 0x9e37);
   key_solver.set_external_stop(budget.stop_flag());
   if (preprocess) key_solver.enable_preprocessing();
+  if (options.inprocess) key_solver.enable_inprocessing();
   const std::vector<Var> key_vars =
       engine::make_vars(key_solver, locked.key_inputs().size());
-  if (preprocess) key_solver.freeze(key_vars);
+  if (preprocess || options.inprocess) key_solver.freeze(key_vars);
 
   engine::DipConstraintEncoder dips(locked, options.specialize_dips);
 
@@ -231,6 +234,10 @@ SatAttackResult run_sat_attack(const Netlist& locked, QueryOracle& oracle,
   if (const sat::PreprocessStats* prep = miter.preprocess_stats()) {
     result.preprocessed = true;
     result.preprocess = *prep;
+  }
+  if (miter.inprocessing_enabled()) {
+    result.inprocessed = true;
+    result.inprocess = miter.inprocess_stats_total();
   }
   const engine::ConstraintStats totals = budget.constraint_totals();
   result.encoded_clauses = totals.encoded_clauses;

@@ -78,18 +78,27 @@ struct SatAttackOptions {
   /// formulas before their first solve. Input and key variables are frozen
   /// so DIP extraction, I/O constraints, and key canonicalization keep
   /// working; composes with certify (elimination steps are replayed into
-  /// the DRAT trace). Off by default: preprocessing changes the search
-  /// trajectory, so --jobs 1 runs are no longer bit-identical to the
-  /// historical serial path when enabled.
-  bool preprocess = false;
+  /// the DRAT trace). On by default since the Table-5 bench medians
+  /// confirmed a net win at every scale (see BENCH_solver.json); set
+  /// false (CLI --no-preprocess) to recover the historical bit-identical
+  /// --jobs 1 search trajectory.
+  bool preprocess = true;
   /// Auto-enable preprocessing at scale: when `preprocess` is false but
   /// the locked netlist has at least `preprocess_auto_min_gates` gates,
   /// the miter and key formulas are preprocessed anyway -- large-host
   /// miters are where BVE/subsumption pay for themselves (see
-  /// docs/SCALING.md). Small hosts stay on the historical bit-identical
-  /// path. Set false (CLI --no-preprocess) to force preprocessing off.
+  /// docs/SCALING.md). Set false together with `preprocess` (CLI
+  /// --no-preprocess clears both) to force preprocessing off.
   bool preprocess_auto = true;
   std::size_t preprocess_auto_min_gates = 100000;
+  /// Restart-time inprocessing (sat/inprocess.hpp: clause vivification,
+  /// learned-clause subsumption, failed-literal probing with hyper-binary
+  /// resolution) inside every miter / key portfolio member. Scheduled off
+  /// conflict counts, so cheap solves pay nothing; input and key
+  /// variables are frozen against probing; composes with certify (every
+  /// derivation reaches the DRAT stream). Orthogonal to `preprocess`
+  /// (CLI --no-inprocess turns only this off).
+  bool inprocess = true;
 };
 
 /// Certification verdict for a whole attack run.
@@ -151,6 +160,11 @@ struct SatAttackResult {
   /// then holds the miter-side simplification statistics.
   bool preprocessed = false;
   sat::PreprocessStats preprocess;
+  /// --- inprocessing (options.inprocess) --------------------------------
+  /// True when restart-time inprocessing was enabled on the portfolios;
+  /// `inprocess` then aggregates the miter members' counters.
+  bool inprocessed = false;
+  sat::InprocessStats inprocess;
 };
 
 std::string to_string(SatAttackStatus status);

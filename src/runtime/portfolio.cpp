@@ -25,6 +25,33 @@ std::uint64_t splitmix64(std::uint64_t x) {
   return x ^ (x >> 31);
 }
 
+/// Member `index`'s inprocessing variant of `base`. Member 0 keeps the
+/// base untouched (deterministic baseline); the others stagger the
+/// conflict cadence and lean their budgets toward one technique each, so
+/// a portfolio covers vivify-heavy, probe-heavy, and subsume-heavy
+/// schedules without any member paying for all three at full strength.
+sat::InprocessConfig diversified_inprocess(const sat::InprocessConfig& base,
+                                           unsigned index) {
+  sat::InprocessConfig c = base;
+  if (index == 0) return c;
+  c.interval_base = base.interval_base + (base.interval_base / 4) * (index % 4);
+  switch (index % 3) {
+    case 1:
+      c.vivify_budget = base.vivify_budget * 2;
+      c.probe_budget = base.probe_budget / 2;
+      break;
+    case 2:
+      c.probe_budget = base.probe_budget * 2;
+      c.subsume_budget = base.subsume_budget / 2;
+      break;
+    default:
+      c.subsume_budget = base.subsume_budget * 2;
+      c.vivify_budget = base.vivify_budget / 2;
+      break;
+  }
+  return c;
+}
+
 }  // namespace
 
 PortfolioJobConfig diversified_config(unsigned index,
@@ -174,13 +201,47 @@ void SolverPortfolio::enable_preprocessing(
   prep_ = std::make_unique<sat::Preprocessor>(config);
 }
 
+void SolverPortfolio::enable_inprocessing(const sat::InprocessConfig& config) {
+  ipc_ = config;
+  ipc_.enabled = true;
+  for (std::size_t i = 0; i < solvers_.size(); ++i) {
+    solvers_[i]->set_inprocess(
+        diversified_inprocess(ipc_, static_cast<unsigned>(i)));
+  }
+}
+
+sat::InprocessStats SolverPortfolio::inprocess_stats_total() const {
+  sat::InprocessStats total;
+  for (const auto& solver : solvers_) {
+    const sat::InprocessStats& s = solver->inprocess_stats();
+    total.passes += s.passes;
+    total.vivify_checked += s.vivify_checked;
+    total.vivified_clauses += s.vivified_clauses;
+    total.vivified_literals += s.vivified_literals;
+    total.subsume_checked += s.subsume_checked;
+    total.subsumed_clauses += s.subsumed_clauses;
+    total.strengthened_clauses += s.strengthened_clauses;
+    total.probed_literals += s.probed_literals;
+    total.failed_literals += s.failed_literals;
+    total.hyper_binaries += s.hyper_binaries;
+  }
+  return total;
+}
+
 void SolverPortfolio::freeze(Var v) {
-  if (!prep_) return;  // harmless without preprocessing
+  if (!prep_) {
+    // Without preprocessing the freeze still matters to inprocessing:
+    // frozen variables are exempt from failed-literal probing. Recorded
+    // unconditionally so enable_inprocessing() order does not matter.
+    for (auto& solver : solvers_) solver->freeze_inprocess(v);
+    return;
+  }
   if (prep_done_) {
     throw std::logic_error(
         "SolverPortfolio::freeze: preprocessing already ran (freeze before "
         "the first solve)");
   }
+  ipc_frozen_outer_.push_back(v);
   prep_->freeze(v);
 }
 
@@ -278,7 +339,10 @@ void SolverPortfolio::finish_preprocessing(
   prep_done_ = true;
   // The first solve's assumption variables must survive elimination; later
   // solves may only assume variables the caller froze explicitly.
-  for (const Lit a : assumptions) prep_->freeze(a.var());
+  for (const Lit a : assumptions) {
+    prep_->freeze(a.var());
+    ipc_frozen_outer_.push_back(a.var());
+  }
   const bool proof = proof_enabled();
   if (proof) prep_->enable_proof();
   prep_->run();
@@ -296,6 +360,16 @@ void SolverPortfolio::finish_preprocessing(
     }
     remap_ = sat::Remapper::compacting(keep);
   }
+
+  // With the remap fixed, the staged freeze() vars can finally reach the
+  // members as inprocessing probe exemptions (inner numbering).
+  for (const Var outer : ipc_frozen_outer_) {
+    if (prep_->is_eliminated(outer)) continue;
+    const Var inner = remap_.to_inner(outer);
+    if (inner == sat::kNoVar) continue;
+    for (auto& solver : solvers_) solver->freeze_inprocess(inner);
+  }
+  ipc_frozen_outer_.clear();
 
   const std::vector<Clause> simplified = prep_->clauses();
   for (std::size_t i = 0; i < solvers_.size(); ++i) {

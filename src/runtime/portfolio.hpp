@@ -147,6 +147,22 @@ class SolverPortfolio : public sat::ClauseSink {
   const sat::PreprocessStats* preprocess_stats() const {
     return prep_ && prep_done_ ? &prep_->stats() : nullptr;
   }
+
+  /// Turns on restart-time inprocessing (sat/inprocess.hpp) in every
+  /// member, with diversified cadences: member 0 runs the exact base
+  /// config (deterministic baseline), members >= 1 stagger the conflict
+  /// interval and rotate budget emphasis between vivification, probing,
+  /// and subsumption so the members never pause in lock-step. May be
+  /// called at any time; variables passed to freeze() are forwarded to
+  /// the members as probing exemptions (mapped through the preprocessor's
+  /// numbering when preprocessing is also enabled). Orthogonal to
+  /// enable_preprocessing().
+  void enable_inprocessing(
+      const sat::InprocessConfig& config = sat::InprocessConfig{});
+  bool inprocessing_enabled() const { return ipc_.enabled; }
+  /// Sum of the members' inprocessing counters (every member inprocesses
+  /// its own clause database, not just the winner).
+  sat::InprocessStats inprocess_stats_total() const;
   /// The decisive member's trace after solve() (nullptr when proof
   /// logging is off or file-backed). For an UNSAT verdict with no
   /// assumptions the trace is a closed refutation checkable by
@@ -198,6 +214,13 @@ class SolverPortfolio : public sat::ClauseSink {
   const std::atomic<bool>* external_stop_ = nullptr;
   int last_winner_ = 0;
   bool proven_unsat_ = false;
+
+  /// Base inprocessing config (enabled == false until
+  /// enable_inprocessing); members run diversified variants of it.
+  sat::InprocessConfig ipc_;
+  /// Outer-numbered freeze() vars awaiting the preprocessing remap before
+  /// they can be forwarded to the members as probing exemptions.
+  std::vector<sat::Var> ipc_frozen_outer_;
 
   std::unique_ptr<sat::Preprocessor> prep_;
   sat::Remapper remap_;

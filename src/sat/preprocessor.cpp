@@ -225,7 +225,7 @@ bool Preprocessor::eliminate_round() {
     if (frozen_[v] || eliminated_[v]) continue;
     const std::size_t pos = occ_[Lit::make(v, false).code].size();
     const std::size_t neg = occ_[Lit::make(v, true).code].size();
-    if (pos + neg == 0 || pos + neg > config_.bve_occurrence_limit) continue;
+    if (pos + neg == 0 || pos + neg > occ_limit_) continue;
     order.emplace_back(pos * neg, v);
   }
   std::sort(order.begin(), order.end());
@@ -242,14 +242,25 @@ bool Preprocessor::try_eliminate(Var v) {
   const std::vector<std::size_t> pos = occ_[Lit::make(v, false).code];
   const std::vector<std::size_t> neg = occ_[Lit::make(v, true).code];
   if (pos.empty() && neg.empty()) return false;
-  if (pos.size() + neg.size() > config_.bve_occurrence_limit) return false;
+  if (pos.size() + neg.size() > occ_limit_) return false;
 
   // Dry run: collect all non-tautological resolvents, aborting if one is
-  // too wide or the clause count would grow beyond the bound.
+  // too wide or the clause count would grow beyond the bound. The literal
+  // count is bounded separately: narrow parents can resolve into wide
+  // resolvents, shrinking the clause count while growing the formula --
+  // exactly the pattern that slowed the xor workload down.
   const std::size_t budget =
       pos.size() + neg.size() +
       static_cast<std::size_t>(config_.bve_growth > 0 ? config_.bve_growth
                                                       : 0);
+  std::size_t removed_literals = 0;
+  for (const std::size_t p : pos) removed_literals += entries_[p].lits.size();
+  for (const std::size_t n : neg) removed_literals += entries_[n].lits.size();
+  const std::size_t literal_budget =
+      removed_literals +
+      static_cast<std::size_t>(
+          config_.bve_literal_growth > 0 ? config_.bve_literal_growth : 0);
+  std::size_t resolvent_literals = 0;
   std::vector<Clause> resolvents;
   Clause resolvent;
   for (const std::size_t p : pos) {
@@ -259,8 +270,11 @@ bool Preprocessor::try_eliminate(Var v) {
                   config_.bve_resolvent_limit, resolvent);
       if (status == ResolveStatus::kTooWide) return false;
       if (status == ResolveStatus::kTautology) continue;
+      resolvent_literals += resolvent.size();
       resolvents.push_back(resolvent);
-      if (resolvents.size() > budget) return false;
+      if (resolvents.size() > budget || resolvent_literals > literal_budget) {
+        return false;
+      }
     }
   }
 
@@ -296,6 +310,14 @@ bool Preprocessor::try_eliminate(Var v) {
   return true;
 }
 
+std::size_t Preprocessor::live_literals() const {
+  std::size_t n = 0;
+  for (const Entry& e : entries_) {
+    if (!e.deleted) n += e.lits.size();
+  }
+  return n;
+}
+
 void Preprocessor::run() {
   if (ran_) return;
   ran_ = true;
@@ -305,10 +327,12 @@ void Preprocessor::run() {
     ++stats_.clauses_before;
     stats_.literals_before += e.lits.size();
   }
+  occ_limit_ = config_.bve_occurrence_limit;
 
   if (!contradiction_) {
     for (std::size_t round = 0; round < config_.max_rounds; ++round) {
       ++stats_.rounds;
+      const std::size_t literals_at_start = live_literals();
       bool changed = false;
       if (config_.subsumption || config_.self_subsumption) {
         changed = subsume_round();
@@ -317,10 +341,27 @@ void Preprocessor::run() {
         if (eliminate_round()) changed = true;
       }
       if (contradiction_ || !changed) break;
+      if (config_.self_tuning && config_.variable_elimination) {
+        // Formula-driven bound tuning: while a round keeps shrinking the
+        // literal count by >= ~1.5%, the formula responds well and the
+        // occurrence limit doubles (deeper eliminations next round, up
+        // to 8x the configured base); once progress stalls the limit
+        // decays back toward the base. Purely a function of the staged
+        // formula, so runs stay deterministic.
+        const std::size_t literals_now = live_literals();
+        if (literals_now + literals_at_start / 64 < literals_at_start) {
+          occ_limit_ =
+              std::min(occ_limit_ * 2, config_.bve_occurrence_limit * 8);
+        } else if (occ_limit_ > config_.bve_occurrence_limit) {
+          occ_limit_ =
+              std::max(occ_limit_ / 2, config_.bve_occurrence_limit);
+        }
+      }
     }
     // Clean up resolvents queued by a final elimination round.
     if (!contradiction_ && !queue_.empty()) subsume_round();
   }
+  stats_.tuned_occurrence_limit = occ_limit_;
 
   if (contradiction_ && proof_enabled_ && !trace_.closed()) trace_.derive({});
   stats_.vars_after = stats_.vars_before - stats_.eliminated_vars;

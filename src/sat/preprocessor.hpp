@@ -51,12 +51,24 @@ struct PreprocessConfig {
   /// BVE may grow the clause count by at most this many clauses per
   /// eliminated variable (0 = never grow, the SatELite default).
   int bve_growth = 0;
+  /// BVE may grow the *literal* count by at most this many literals per
+  /// eliminated variable (0 = never grow). The clause-count rule alone
+  /// lets narrow parents resolve into wide resolvents -- fewer clauses,
+  /// more literals, a slower solve (the table5/xor regression).
+  int bve_literal_growth = 0;
   /// Skip elimination of vars occurring in more than this many clauses.
+  /// With `self_tuning` this is the starting point, not a constant.
   std::size_t bve_occurrence_limit = 32;
   /// Abort an elimination that would create a resolvent wider than this.
-  std::size_t bve_resolvent_limit = 32;
+  std::size_t bve_resolvent_limit = 8;
   /// Maximum subsume/eliminate rounds before declaring a fixpoint.
   std::size_t max_rounds = 8;
+  /// Per-formula autotuning of the elimination bounds: after each round
+  /// the occurrence limit doubles (up to 8x the configured base) while
+  /// the observed literal count keeps shrinking, and decays back toward
+  /// the base when progress stalls. Deterministic -- driven only by the
+  /// staged formula.
+  bool self_tuning = true;
 };
 
 struct PreprocessStats {
@@ -71,6 +83,9 @@ struct PreprocessStats {
   std::size_t strengthened_literals = 0;  ///< literals removed by self-subs.
   std::size_t resolvents_added = 0;
   std::size_t rounds = 0;
+  /// Final self-tuned occurrence limit (== the configured base when
+  /// self_tuning is off or never adjusted).
+  std::size_t tuned_occurrence_limit = 0;
 };
 
 class Preprocessor {
@@ -126,6 +141,15 @@ class Preprocessor {
 
   const PreprocessStats& stats() const { return stats_; }
 
+  // --- shared subsumption machinery (also used by sat/inprocess.cpp) ----
+  /// Bloom signature over the clause's variables: a 64-bit superset
+  /// filter -- sig(C) & ~sig(D) != 0 proves C is not a subset of D.
+  static std::uint64_t signature(const Clause& lits);
+  /// True iff every literal of `small` except `skip` occurs in `big`.
+  /// Both clauses must be sorted by literal code.
+  static bool subset_except(const Clause& small, const Clause& big,
+                            Lit skip);
+
  private:
   struct Entry {
     Clause lits;            // sorted by literal code
@@ -138,21 +162,20 @@ class Preprocessor {
     std::vector<Clause> clauses;
   };
 
-  static std::uint64_t signature(const Clause& lits);
   bool stage_entry(Clause lits);  // dedup/taut-check + insert
   void delete_entry(std::size_t idx);
   void occ_remove(Lit l, std::size_t idx);
-  /// True iff every literal of `small` except `skip` occurs in `big`.
-  static bool subset_except(const Clause& small, const Clause& big,
-                            Lit skip);
 
   bool subsume_round();
   bool process_subsumption(std::size_t idx);
   bool eliminate_round();
   bool try_eliminate(Var v);
   void set_contradiction();
+  std::size_t live_literals() const;
 
   PreprocessConfig config_;
+  /// Effective BVE occurrence limit (self-tuned between rounds).
+  std::size_t occ_limit_ = 0;
   PreprocessStats stats_;
   std::vector<Entry> entries_;
   std::vector<std::vector<std::size_t>> occ_;  // lit code -> entry indices

@@ -22,6 +22,22 @@ void Solver::set_config(const SolverConfig& config) {
   rng_state_ = config.seed * 0x9e3779b97f4a7c15ull + 0x2545f4914f6cdd1dull;
 }
 
+void Solver::set_inprocess(const InprocessConfig& config) {
+  ipc_ = config;
+  ipc_next_conflicts_ = stats_.conflicts + config.interval_base;
+}
+
+void Solver::freeze_inprocess(Var v) {
+  if (static_cast<std::size_t>(v) >= ipc_frozen_.size()) {
+    ipc_frozen_.resize(static_cast<std::size_t>(v) + 1, false);
+  }
+  ipc_frozen_[v] = true;
+}
+
+void Solver::freeze_inprocess(const std::vector<Var>& vars) {
+  for (Var v : vars) freeze_inprocess(v);
+}
+
 Var Solver::new_var() {
   const Var v = static_cast<Var>(assigns_.size());
   assigns_.push_back(LBool::kUndef);
@@ -505,6 +521,9 @@ void Solver::reduce_learned_db() {
   for (std::size_t i = 0; i < sorted.size(); ++i) {
     const ClauseRef cref = sorted[i];
     ClauseView c = view(cref);
+    // Inprocessing deletes learned clauses without pruning this list;
+    // re-erasing one here would double-delete it in the proof trace.
+    if (c.deleted()) continue;
     bool is_reason = false;
     // A clause is locked if it is the reason of its first literal.
     const Var v0 = c.lit(0).var();
@@ -718,6 +737,44 @@ Result Solver::solve(const std::vector<Lit>& assumptions) {
       }
       if (garbage_words_ > arena_.size() / 2 && garbage_words_ > (1u << 16)) {
         garbage_collect();
+      }
+      // Bounded inprocessing pass once enough conflicts accumulated. The
+      // threshold spans solve() calls, but a pass additionally requires
+      // the *current* solve to have contributed its share of conflicts --
+      // without the gate, an attack issuing hundreds of cheap incremental
+      // solves crosses every cumulative interval and eats perturbation it
+      // can never amortize. Runs at level 0, before assumptions are
+      // re-established, so every derivation is formula-implied.
+      const std::uint64_t solve_gate =
+          ipc_.solve_gate_divisor == 0
+              ? 0
+              : ipc_.interval_base / ipc_.solve_gate_divisor;
+      if (ipc_.enabled && stats_.conflicts >= ipc_next_conflicts_ &&
+          stats_.conflicts - conflicts_at_solve_start_ >= solve_gate) {
+        const std::uint64_t yield_before =
+            ipc_stats_.vivified_clauses + ipc_stats_.subsumed_clauses +
+            ipc_stats_.strengthened_clauses + ipc_stats_.failed_literals +
+            ipc_stats_.hyper_binaries;
+        Inprocessor inprocessor(*this);
+        if (!inprocessor.run()) {
+          // The pass derived the empty clause; ok_ is already false.
+          return Result::kUnsat;
+        }
+        const std::uint64_t yield_after =
+            ipc_stats_.vivified_clauses + ipc_stats_.subsumed_clauses +
+            ipc_stats_.strengthened_clauses + ipc_stats_.failed_literals +
+            ipc_stats_.hyper_binaries;
+        // A pass that derived nothing doubles the spacing (up to the cap);
+        // any yield snaps the cadence back to the base schedule.
+        ipc_backoff_ = yield_after == yield_before
+                           ? std::min(ipc_backoff_ * 2,
+                                      std::max<std::uint64_t>(
+                                          ipc_.stale_backoff_max, 1))
+                           : 1;
+        ipc_next_conflicts_ =
+            stats_.conflicts +
+            (ipc_.interval_base + ipc_stats_.passes * ipc_.interval_growth) *
+                ipc_backoff_;
       }
       continue;
     }

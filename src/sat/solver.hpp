@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "sat/clause_sink.hpp"
+#include "sat/inprocess.hpp"
 #include "sat/types.hpp"
 
 namespace ril::sat {
@@ -129,7 +130,24 @@ class Solver : public ClauseSink {
   /// always returns true; call it after solve() == kSat.
   bool verify_model(const std::vector<Lit>& assumptions = {}) const;
 
+  /// Installs inprocessing knobs (sat/inprocess.hpp). Off by default;
+  /// with `config.enabled` the restart path runs bounded
+  /// vivification / subsumption / probing passes at conflict-count
+  /// intervals. May be called between solves; takes effect at the next
+  /// eligible restart. Composes with set_proof(): every inprocessing
+  /// derivation and deletion is emitted into the trace.
+  void set_inprocess(const InprocessConfig& config);
+  const InprocessConfig& inprocess_config() const { return ipc_; }
+  const InprocessStats& inprocess_stats() const { return ipc_stats_; }
+  /// Marks `v` as off-limits for failed-literal probing (inprocessing
+  /// never eliminates variables, so this is the whole freeze contract).
+  /// Attack code freezes its assumption/key variables so probing-derived
+  /// root units never pin a variable the caller still drives.
+  void freeze_inprocess(Var v);
+  void freeze_inprocess(const std::vector<Var>& vars);
+
  private:
+  friend class Inprocessor;
   using ClauseRef = std::uint32_t;
   static constexpr ClauseRef kNoClause =
       std::numeric_limits<ClauseRef>::max();
@@ -263,6 +281,25 @@ class Solver : public ClauseSink {
 
   std::uint64_t max_learned_ = 8192;
   ProofTracer* proof_ = nullptr;
+
+  // --- inprocessing (sat/inprocess.hpp drives these through friendship) --
+  bool ipc_is_frozen(Var v) const {
+    return static_cast<std::size_t>(v) < ipc_frozen_.size() &&
+           ipc_frozen_[v];
+  }
+  InprocessConfig ipc_;
+  InprocessStats ipc_stats_;
+  /// Cumulative-conflict threshold for the next pass (spans solve calls).
+  std::uint64_t ipc_next_conflicts_ = 0;
+  /// Stale-pass spacing multiplier (doubles on zero-yield passes up to
+  /// InprocessConfig::stale_backoff_max, resets to 1 on any yield).
+  std::uint64_t ipc_backoff_ = 1;
+  /// Rotating vivification cursors into the clause lists.
+  std::size_t ipc_viv_learned_cursor_ = 0;
+  std::size_t ipc_viv_problem_cursor_ = 0;
+  /// Rotating start offset for the subsumption window.
+  std::size_t ipc_subsume_cursor_ = 0;
+  std::vector<bool> ipc_frozen_;  // indexed by var, lazily sized
 };
 
 }  // namespace ril::sat

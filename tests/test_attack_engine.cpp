@@ -367,6 +367,11 @@ TEST(AttackEngine, SatAttackMatchesLegacyBitForBit) {
     const auto locked = locking::lock_xor(host, 12, 20 + seed);
     SatAttackOptions options;
     options.specialize_dips = false;
+    // The legacy replica predates the simplification layers; pin them off
+    // so the solver streams stay comparable conflict-for-conflict.
+    options.preprocess = false;
+    options.preprocess_auto = false;
+    options.inprocess = false;
 
     Oracle legacy_oracle(locked.netlist, locked.key);
     const auto expected =
@@ -388,6 +393,8 @@ TEST(AttackEngine, AppSatMatchesLegacyBitForBit) {
   AppSatOptions options;
   options.specialize_dips = false;
   options.max_iterations = 64;
+  options.preprocess = false;
+  options.inprocess = false;
 
   Oracle legacy_oracle(locked.netlist, locked.key);
   const auto expected =

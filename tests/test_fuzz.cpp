@@ -307,5 +307,185 @@ TEST_P(SolverFuzz, PortfolioVerdictsMatchBruteForceAndCertify) {
 INSTANTIATE_TEST_SUITE_P(Seeds, SolverFuzz,
                          ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
 
+// An aggressive inprocessing config for tests: a pass at every restart,
+// restarts after every conflict, so vivification / subsumption / probing
+// run constantly instead of at the production cadence.
+sat::InprocessConfig aggressive_inprocess() {
+  sat::InprocessConfig config;
+  config.enabled = true;
+  config.interval_base = 1;
+  config.interval_growth = 0;
+  return config;
+}
+
+TEST_P(SolverFuzz, InprocessingKeepsIncrementalVerdictsSound) {
+  // Random interleavings of incremental adds and assumption solves with
+  // inprocessing at maximum cadence; every verdict must agree with an
+  // inprocessing-free solver and with brute force, frozen assumption vars
+  // must stay drivable in both polarities across solves, and a final
+  // UNSAT must certify.
+  std::mt19937_64 rng(GetParam() * 0x6a09e667ull + 11);
+  for (int round = 0; round < 10; ++round) {
+    const RandomCnf cnf = make_random_cnf(rng, 12);
+    sat::Solver plain;
+    sat::Solver inproc;
+    sat::DratTrace trace;
+    inproc.set_proof(&trace);
+    sat::SolverConfig fast;
+    fast.restart_base = 1;
+    inproc.set_config(fast);
+    inproc.set_inprocess(aggressive_inprocess());
+    for (int v = 0; v < cnf.num_vars; ++v) {
+      plain.new_var();
+      inproc.new_var();
+    }
+    // Assumptions only ever touch frozen vars, so probing must leave
+    // them free (the contract attack code relies on for key vars).
+    const int frozen_count = 1 + cnf.num_vars / 2;
+    for (int v = 0; v < frozen_count; ++v) inproc.freeze_inprocess(v);
+
+    const std::size_t batches = 1 + rng() % 3;
+    std::size_t fed = 0;
+    RandomCnf so_far;
+    so_far.num_vars = cnf.num_vars;
+    bool dead = false;
+    for (std::size_t b = 0; b < batches && !dead; ++b) {
+      const std::size_t upto = (b + 1 == batches)
+                                   ? cnf.clauses.size()
+                                   : (b + 1) * cnf.clauses.size() / batches;
+      for (; fed < upto; ++fed) {
+        so_far.clauses.push_back(cnf.clauses[fed]);
+        const bool ok_plain = plain.add_clause(cnf.clauses[fed]);
+        const bool ok_inproc = inproc.add_clause(cnf.clauses[fed]);
+        ASSERT_EQ(ok_plain, ok_inproc);
+        if (!ok_plain) dead = true;
+      }
+      std::vector<sat::Lit> assumptions;
+      for (std::size_t i = 0; i < rng() % 3; ++i) {
+        const auto v = static_cast<sat::Var>(rng() % frozen_count);
+        assumptions.push_back(sat::Lit::make(v, rng() % 2 == 0));
+      }
+      const sat::Result r_plain =
+          dead ? sat::Result::kUnsat : plain.solve(assumptions);
+      const sat::Result r_inproc =
+          dead ? sat::Result::kUnsat : inproc.solve(assumptions);
+      ASSERT_EQ(r_plain, r_inproc)
+          << "seed " << GetParam() << " round " << round;
+      ASSERT_EQ(r_inproc == sat::Result::kSat,
+                brute_force_sat(so_far, assumptions))
+          << "seed " << GetParam() << " round " << round;
+      if (r_inproc == sat::Result::kSat) {
+        ASSERT_TRUE(inproc.verify_model(assumptions))
+            << "seed " << GetParam() << " round " << round;
+      }
+    }
+    const sat::Result final_r =
+        dead ? sat::Result::kUnsat : inproc.solve();
+    ASSERT_EQ(final_r == sat::Result::kSat, brute_force_sat(so_far, {}))
+        << "seed " << GetParam() << " round " << round;
+    if (final_r == sat::Result::kUnsat) {
+      ASSERT_TRUE(trace.closed());
+      const auto check = sat::check_refutation(trace);
+      ASSERT_TRUE(check.valid)
+          << "seed " << GetParam() << " round " << round << ": "
+          << check.error;
+    } else {
+      ASSERT_TRUE(inproc.verify_model());
+      // Frozen vars survived probing: both polarities still solve to the
+      // brute-force verdict.
+      for (int v = 0; v < frozen_count; ++v) {
+        for (const bool neg : {false, true}) {
+          const std::vector<sat::Lit> probe{sat::Lit::make(v, neg)};
+          ASSERT_EQ(inproc.solve(probe) == sat::Result::kSat,
+                    brute_force_sat(so_far, probe))
+              << "seed " << GetParam() << " round " << round << " var "
+              << v;
+        }
+      }
+    }
+  }
+}
+
+TEST(Inprocess, CertifiedUnsatStreamsVivifiedAndProbedDerivations) {
+  // A pigeonhole core (5 pigeons, 4 holes: UNSAT, needs real search) plus
+  // two crafted gadgets: probing variable x fails against (~x a)(~x ~a),
+  // and clause (p q r) vivifies to (p q) through the binary (p q). The
+  // streamed DRAT trace must carry both derivations and still check as a
+  // refutation end to end.
+  const std::string path = "inprocess_certified.drat";
+  sat::Solver solver;
+  sat::FileProofTracer tracer(path);
+  solver.set_proof(&tracer);
+  sat::SolverConfig fast;
+  fast.restart_base = 4;
+  solver.set_config(fast);
+  solver.set_inprocess(aggressive_inprocess());
+
+  const auto var = [&](int pigeon, int hole) {
+    return static_cast<sat::Var>(pigeon * 4 + hole);
+  };
+  for (int v = 0; v < 25; ++v) solver.new_var();
+  // Every pigeon sits in a hole; no hole hosts two pigeons.
+  for (int p = 0; p < 5; ++p) {
+    sat::Clause c;
+    for (int h = 0; h < 4; ++h) c.push_back(sat::Lit::make(var(p, h)));
+    ASSERT_TRUE(solver.add_clause(c));
+  }
+  for (int h = 0; h < 4; ++h) {
+    for (int p1 = 0; p1 < 5; ++p1) {
+      for (int p2 = p1 + 1; p2 < 5; ++p2) {
+        ASSERT_TRUE(solver.add_clause({sat::Lit::make(var(p1, h), true),
+                                       sat::Lit::make(var(p2, h), true)}));
+      }
+    }
+  }
+  // Probe gadget: x = 20, a = 21.
+  const sat::Lit x = sat::Lit::make(20);
+  const sat::Lit a = sat::Lit::make(21);
+  ASSERT_TRUE(solver.add_clause({~x, a}));
+  ASSERT_TRUE(solver.add_clause({~x, ~a}));
+  // Vivify gadget: p = 22, q = 23, r = 24.
+  const sat::Lit p = sat::Lit::make(22);
+  const sat::Lit q = sat::Lit::make(23);
+  const sat::Lit r = sat::Lit::make(24);
+  ASSERT_TRUE(solver.add_clause({p, q, r}));
+  ASSERT_TRUE(solver.add_clause({p, q}));
+
+  ASSERT_EQ(solver.solve(), sat::Result::kUnsat);
+  const auto& stats = solver.inprocess_stats();
+  EXPECT_GE(stats.passes, 1u);
+  EXPECT_GE(stats.vivified_clauses, 1u);
+  EXPECT_GE(stats.failed_literals, 1u);
+  EXPECT_GE(stats.subsumed_clauses, 1u);
+
+  ASSERT_TRUE(tracer.closed());
+  tracer.finalize();
+  const auto check = sat::check_refutation_file(path);
+  ASSERT_TRUE(check.valid) << check.error;
+
+  // The vivified clause (p q) and the probed unit (~x) are both in the
+  // streamed trace as derivations.
+  const auto matches = [](const sat::Clause& got, sat::Clause want) {
+    sat::Clause sorted = got;
+    const auto by_code = [](sat::Lit l1, sat::Lit l2) {
+      return l1.code < l2.code;
+    };
+    std::sort(sorted.begin(), sorted.end(), by_code);
+    std::sort(want.begin(), want.end(), by_code);
+    return sorted == want;
+  };
+  bool saw_vivified = false;
+  bool saw_probed = false;
+  sat::TraceReader reader(path);
+  sat::ProofStep step;
+  while (reader.next(step)) {
+    if (step.kind != sat::ProofStepKind::kDerive) continue;
+    saw_vivified = saw_vivified || matches(step.lits, {p, q});
+    saw_probed = saw_probed || matches(step.lits, {~x});
+  }
+  EXPECT_TRUE(saw_vivified);
+  EXPECT_TRUE(saw_probed);
+}
+
 }  // namespace
 }  // namespace ril

@@ -14,6 +14,7 @@
 #include "cnf/equivalence.hpp"
 #include "core/ril_block.hpp"
 #include "locking/schemes.hpp"
+#include "sat/drat_check.hpp"
 #include "sat/solver.hpp"
 
 namespace ril::runtime {
@@ -291,6 +292,54 @@ TEST(Portfolio, SolveRecordJsonShape) {
   EXPECT_NE(json.find("\"conflicts\":10"), std::string::npos);
   EXPECT_EQ(json.front(), '{');
   EXPECT_EQ(json.back(), '}');
+}
+
+TEST(Portfolio, InprocessingCadencesAreDiversified) {
+  SolverPortfolio portfolio(4, 1);
+  sat::InprocessConfig base;
+  base.interval_base = 400;
+  portfolio.enable_inprocessing(base);
+  EXPECT_TRUE(portfolio.inprocessing_enabled());
+  // Member 0 runs the exact base config (the deterministic baseline);
+  // the others stagger the cadence and shift budget emphasis.
+  EXPECT_EQ(portfolio.member(0).inprocess_config().interval_base, 400u);
+  EXPECT_EQ(portfolio.member(0).inprocess_config().vivify_budget,
+            base.vivify_budget);
+  bool any_different = false;
+  for (unsigned i = 1; i < portfolio.jobs(); ++i) {
+    const sat::InprocessConfig& c = portfolio.member(i).inprocess_config();
+    EXPECT_TRUE(c.enabled);
+    any_different = any_different || c.interval_base != base.interval_base ||
+                    c.vivify_budget != base.vivify_budget ||
+                    c.probe_budget != base.probe_budget ||
+                    c.subsume_budget != base.subsume_budget;
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(Portfolio, InprocessingCertifiedUnsatWithPreprocessing) {
+  // All three layers stacked: preprocessing stages and simplifies the
+  // formula, inprocessing rewrites the members' clause databases at
+  // restarts, and the winner's trace must still be a refutation the
+  // forward checker accepts.
+  SolverPortfolio portfolio(2, /*base_seed=*/9);
+  portfolio.enable_proof();
+  portfolio.enable_preprocessing();
+  sat::InprocessConfig ipc;
+  ipc.interval_base = 8;
+  ipc.interval_growth = 0;
+  portfolio.enable_inprocessing(ipc);
+  add_pigeonhole(portfolio, 7, 6);
+  for (Var v = 0; v < 6; ++v) portfolio.freeze(v);
+
+  const SolveOutcome outcome = portfolio.solve();
+  ASSERT_EQ(outcome.result, Result::kUnsat);
+  EXPECT_GT(portfolio.inprocess_stats_total().passes, 0u);
+  const sat::DratTrace* trace = portfolio.winner_trace();
+  ASSERT_NE(trace, nullptr);
+  EXPECT_TRUE(trace->closed());
+  const sat::DratCheckResult check = sat::check_refutation(*trace);
+  EXPECT_TRUE(check.valid) << check.error;
 }
 
 }  // namespace

@@ -165,6 +165,37 @@ TEST(Preprocessor, ContradictionByStrengthening) {
   EXPECT_TRUE(prep.trace().closed());
 }
 
+TEST(Preprocessor, LiteralBudgetBlocksWideningElimination) {
+  // Eliminating v below replaces 3 clauses (9 literals) by 2 resolvents
+  // (10 literals): the clause count shrinks while the literal count grows,
+  // exactly the table5/xor regression shape. With bve_literal_growth = 0
+  // the elimination must be rejected; with a budget of 1 it goes through.
+  for (const int growth : {0, 1}) {
+    PreprocessConfig config;
+    config.bve_literal_growth = growth;
+    config.self_tuning = false;
+    Preprocessor prep(config);
+    const Var v = prep.new_var();
+    std::vector<Var> frozen(6);
+    for (Var& f : frozen) {
+      f = prep.new_var();
+      prep.freeze(f);
+    }
+    prep.add_clause({pos(v), pos(frozen[0])});
+    prep.add_clause({pos(v), pos(frozen[1])});
+    prep.add_clause({neg(v), pos(frozen[2]), pos(frozen[3]), pos(frozen[4]),
+                     pos(frozen[5])});
+    prep.run();
+    if (growth == 0) {
+      EXPECT_FALSE(prep.is_eliminated(v));
+      EXPECT_EQ(prep.stats().literals_after, prep.stats().literals_before);
+    } else {
+      EXPECT_TRUE(prep.is_eliminated(v));
+      EXPECT_EQ(prep.stats().literals_after, 10u);
+    }
+  }
+}
+
 // --- Portfolio integration -------------------------------------------------
 
 Clause random_clause(std::mt19937_64& rng, int num_vars) {
@@ -193,6 +224,26 @@ bool model_satisfies(const std::vector<Clause>& clauses,
     if (!satisfied) return false;
   }
   return true;
+}
+
+TEST(Preprocessor, RandomCnfNeverGrowsLiterals) {
+  // Pin the no-growth default: under the stock config (literal budget 0)
+  // no random formula may come out of run() with more literals than it
+  // had staged, whatever mix of subsumption / strengthening / BVE fires.
+  std::mt19937_64 rng(0x5eedu);
+  for (int round = 0; round < 20; ++round) {
+    const int num_vars = 16 + round;
+    Preprocessor prep;
+    for (int v = 0; v < num_vars; ++v) prep.ensure_var(v);
+    for (Var v = 0; v < 4; ++v) prep.freeze(v);
+    const int num_clauses = num_vars * 4;
+    for (int i = 0; i < num_clauses; ++i) {
+      if (!prep.add_clause(random_clause(rng, num_vars))) break;
+    }
+    prep.run();
+    EXPECT_LE(prep.stats().literals_after, prep.stats().literals_before)
+        << "round " << round;
+  }
 }
 
 TEST(PortfolioPreprocess, RandomCnfVerdictAgreement) {
@@ -371,6 +422,8 @@ TEST(SatAttackPreprocess, SameKeySameVerdict) {
   attacks::Oracle oracle_b(locked.netlist, locked.key);
 
   attacks::SatAttackOptions off;
+  off.preprocess = false;  // defaults flipped on; this test compares the two
+  off.preprocess_auto = false;
   attacks::SatAttackOptions on;
   on.preprocess = true;
   const attacks::SatAttackResult r_off =

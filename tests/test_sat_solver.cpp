@@ -346,5 +346,94 @@ TEST(Dimacs, RejectsMalformed) {
   EXPECT_THROW(read_dimacs_string("p cnf 1 1\n1\n"), std::runtime_error);
 }
 
+// Adds a pigeonhole instance (`pigeons` into pigeons-1 holes) over fresh
+// variables, relaxed by a fresh selector: every clause also carries the
+// selector literal, so the formula is satisfiable outright and UNSAT
+// exactly under the assumption ~selector. Returns the selector.
+Lit add_relaxed_pigeonhole(Solver& s, int pigeons) {
+  const int holes = pigeons - 1;
+  std::vector<Var> vars;
+  for (int i = 0; i < pigeons * holes; ++i) vars.push_back(s.new_var());
+  const Var selector = s.new_var();
+  const auto var = [&](int p, int h) { return vars[p * holes + h]; };
+  for (int p = 0; p < pigeons; ++p) {
+    Clause c{pos(selector)};
+    for (int h = 0; h < holes; ++h) c.push_back(pos(var(p, h)));
+    EXPECT_TRUE(s.add_clause(c));
+  }
+  for (int h = 0; h < holes; ++h) {
+    for (int p1 = 0; p1 < pigeons; ++p1) {
+      for (int p2 = p1 + 1; p2 < pigeons; ++p2) {
+        EXPECT_TRUE(s.add_clause(
+            {pos(selector), neg(var(p1, h)), neg(var(p2, h))}));
+      }
+    }
+  }
+  return neg(selector);
+}
+
+TEST(SatSolver, InprocessSolveGateSkipsCheapIncrementalSolves) {
+  // A train of cheap assumption solves (each refutes one small relaxed
+  // pigeonhole instance) crosses the cumulative pass interval, but no
+  // single solve carries interval_base / solve_gate_divisor conflicts,
+  // so the gated scheduler must never fire a pass -- that is the
+  // "hundreds of cheap incremental solves pay ~zero" contract the
+  // AntiSAT-style DIP loops rely on. With the gate disabled the same
+  // sequence must fire at least one pass.
+  for (const std::uint64_t divisor : {1u, 0u}) {
+    Solver s;
+    SolverConfig fast;  // restart often: passes fire on the restart path
+    fast.restart_base = 1;
+    s.set_config(fast);
+    InprocessConfig ipc;
+    ipc.enabled = true;
+    ipc.interval_base = 1000;
+    ipc.interval_growth = 0;
+    ipc.solve_gate_divisor = divisor;
+    s.set_inprocess(ipc);
+    for (int round = 0; round < 40; ++round) {
+      const Lit sel = add_relaxed_pigeonhole(s, 5);
+      ASSERT_EQ(s.solve({sel}), Result::kUnsat);
+      ASSERT_EQ(s.solve(), Result::kSat);
+    }
+    ASSERT_GT(s.stats().conflicts, ipc.interval_base);
+    if (divisor != 0) {
+      EXPECT_EQ(s.inprocess_stats().passes, 0u)
+          << "per-solve gate must keep cheap incremental solves pass-free";
+    } else {
+      EXPECT_GE(s.inprocess_stats().passes, 1u)
+          << "without the gate the cumulative schedule must fire";
+    }
+  }
+}
+
+TEST(SatSolver, InprocessStalePassesBackOffMultiplicatively) {
+  // Identical searches, one with stale-pass back-off and one without:
+  // whenever the aggressive cadence produces zero-yield passes, the
+  // back-off run must schedule no more (and, after any stale pass,
+  // strictly fewer) passes than the fixed cadence. Both verdicts and
+  // trajectories stay identical -- back-off only spaces the passes.
+  const auto run = [](std::uint64_t backoff_max) {
+    Solver s;
+    SolverConfig fast;
+    fast.restart_base = 4;
+    s.set_config(fast);
+    InprocessConfig ipc;
+    ipc.enabled = true;
+    ipc.interval_base = 1;
+    ipc.interval_growth = 0;
+    ipc.solve_gate_divisor = 0;
+    ipc.stale_backoff_max = backoff_max;
+    s.set_inprocess(ipc);
+    const Lit sel = add_relaxed_pigeonhole(s, 6);
+    EXPECT_EQ(s.solve({sel}), Result::kUnsat);
+    return s.inprocess_stats().passes;
+  };
+  const std::uint64_t with_backoff = run(16);
+  const std::uint64_t without_backoff = run(1);
+  EXPECT_LE(with_backoff, without_backoff);
+  EXPECT_GE(with_backoff, 1u);
+}
+
 }  // namespace
 }  // namespace ril::sat

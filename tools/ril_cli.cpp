@@ -13,7 +13,8 @@
 //
 //   ril attack <method> <locked.bench> <activated.bench> [--timeout S]
 //              [--jobs N | --portfolio] [--stats out.json] [--no-specialize]
-//              [--preprocess] [--certify [--proof out.drat]]
+//              [--no-preprocess] [--no-inprocess]
+//              [--certify [--proof out.drat]]
 //       Methods: sat | appsat | onehot | removal | sps | bypass. The
 //       activated netlist (no key inputs) acts as the oracle. Prints the
 //       result and, when a key is recovered, verifies it by SAT CEC.
@@ -22,21 +23,22 @@
 //       hardware threads; --stats writes per-solve JSON records (seed,
 //       winning configuration, conflicts, wall time, constraint clause
 //       costs); --no-specialize reverts the SAT/AppSAT I/O constraints to
-//       the historical full-circuit re-encoding; --preprocess (sat/appsat)
-//       runs SatELite-style simplification (subsumption, self-subsuming
-//       resolution, bounded variable elimination) on the miter and key
-//       formulas before their first solve; without either flag,
-//       preprocessing turns itself on automatically for hosts of 100k+
-//       gates and --no-preprocess forces it off everywhere; --certify
+//       the historical full-circuit re-encoding. SatELite-style
+//       preprocessing (subsumption, self-subsuming resolution, bounded
+//       variable elimination) of the miter and key formulas and
+//       restart-time inprocessing (clause vivification, learned-clause
+//       subsumption, failed-literal probing) inside the solvers are both
+//       on by default; --no-preprocess and --no-inprocess turn them off
+//       independently. --certify
 //       (sat only) DRAT-logs every miter solve, self-checks SAT models,
 //       validates the final UNSAT certificate with the independent RUP
 //       checker, and with --proof streams the certificate to disk as
 //       binary DRAT (bounded memory, atomic temp+rename publish) for
 //       offline `ril check-proof`. A run that stops before miter-UNSAT
 //       (timeout, --max-iterations) still publishes the streamed trace as
-//       an open certificate for `ril check-proof --open`. --preprocess
-//       composes with --certify: elimination steps are emitted into the
-//       trace.
+//       an open certificate for `ril check-proof --open`. Preprocessing
+//       and inprocessing compose with --certify: elimination, vivification,
+//       and probing steps are all emitted into the trace.
 //
 //   ril check-proof <trace.drat> [--open]
 //       Re-validate a previously written certificate (binary or text)
@@ -56,7 +58,7 @@
 //       Specialize the key, simplify, and write the unlocked netlist.
 //
 //   ril campaign <spec.campaign> [--jobs N] [--out results.jsonl] [--resume]
-//               [--solver-jobs N] [--preprocess]
+//               [--solver-jobs N] [--no-preprocess] [--no-inprocess]
 //       Run a whole experiment suite from one declarative spec: each
 //       non-comment line is `<key> <circuit> <scale> <scheme[:opt=v,...]>
 //       <attack> <timeout> <seed>`. --jobs N runs N cells concurrently;
@@ -108,14 +110,14 @@ using namespace ril;
                " --bits N --seed S]\n"
                "  ril attack <method> <locked.bench> <activated.bench>"
                " [--timeout S --jobs N --portfolio --stats out.json"
-               " --no-specialize --preprocess --no-preprocess --certify"
+               " --no-specialize --no-preprocess --no-inprocess --certify"
                " --proof out.drat --max-iterations N]\n"
                "  ril check-proof <trace.drat> [--open]\n"
                "  ril analyze <file.bench> [key.txt]\n"
                "  ril unlock <locked.bench> <key.txt> <out.bench>\n"
                "  ril campaign <spec.campaign> [--jobs N --out results.jsonl"
-               " --resume --solver-jobs N --preprocess --certify"
-               " --proof-dir DIR]\n");
+               " --resume --solver-jobs N --no-preprocess --no-inprocess"
+               " --certify --proof-dir DIR]\n");
   std::exit(2);
 }
 
@@ -138,10 +140,15 @@ struct Args {
   bool output_net = false;
   bool scan = false;
   bool specialize = true;
-  bool preprocess = false;
+  /// Preprocessing is on by default at every scale (the Table-5 medians
+  /// confirmed a net win); --no-preprocess forces it off.
+  bool preprocess = true;
   /// --no-preprocess clears this too, forcing preprocessing off even on
   /// hosts above the auto-enable gate threshold.
   bool preprocess_auto = true;
+  /// Restart-time inprocessing inside the solvers; --no-inprocess turns it
+  /// off independently of --no-preprocess.
+  bool inprocess = true;
   bool certify = false;
   /// check-proof: accept an open certificate (no empty clause required).
   bool open_certificate = false;
@@ -178,6 +185,8 @@ Args parse(int argc, char** argv) {
       args.preprocess = false;
       args.preprocess_auto = false;
     }
+    else if (arg == "--inprocess") args.inprocess = true;
+    else if (arg == "--no-inprocess") args.inprocess = false;
     else if (arg == "--certify") args.certify = true;
     else if (arg == "--open") args.open_certificate = true;
     else if (arg == "--proof") args.proof_path = value();
@@ -274,8 +283,10 @@ void write_stats_file(const std::string& path, const char* attack,
         << ",\"status\":\"" << status << "\",\"iterations\":" << iterations
         << ",\"seconds\":" << seconds << ",\"conflicts\":" << conflicts
         << ",\"encoded_clauses\":" << encoded_clauses
-        << ",\"saved_clauses\":" << saved_clauses << extra_fields
-        << ",\"solves\":[\n";
+        << ",\"saved_clauses\":" << saved_clauses
+        << ",\"preprocess\":" << (args.preprocess ? "true" : "false")
+        << ",\"inprocess\":" << (args.inprocess ? "true" : "false")
+        << extra_fields << ",\"solves\":[\n";
   for (std::size_t i = 0; i < log.size(); ++i) {
     stats << attacks::solve_record_json(log[i])
           << (i + 1 < log.size() ? ",\n" : "\n");
@@ -292,6 +303,19 @@ std::string certification_fields(const attacks::SatAttackResult& result) {
          "\",\"proof_steps\":" + std::to_string(result.proof_steps) +
          ",\"proof_bytes\":" + std::to_string(result.proof_bytes) +
          ",\"models_ok\":" + (result.models_verified ? "true" : "false");
+}
+
+/// JSON fragment with the aggregated inprocessing counters. Empty when the
+/// attack ran with --no-inprocess, keeping the legacy telemetry shape.
+std::string inprocess_fields(const attacks::SatAttackResult& result) {
+  if (!result.inprocessed) return "";
+  const sat::InprocessStats& s = result.inprocess;
+  return ",\"inprocess_passes\":" + std::to_string(s.passes) +
+         ",\"vivified\":" + std::to_string(s.vivified_clauses) +
+         ",\"subsumed\":" +
+         std::to_string(s.subsumed_clauses + s.strengthened_clauses) +
+         ",\"failed_literals\":" + std::to_string(s.failed_literals) +
+         ",\"hyper_binaries\":" + std::to_string(s.hyper_binaries);
 }
 
 int cmd_gen(const Args& args) {
@@ -388,6 +412,7 @@ int cmd_attack(const Args& args) {
     options.specialize_dips = args.specialize;
     options.preprocess = args.preprocess;
     options.preprocess_auto = args.preprocess_auto;
+    options.inprocess = args.inprocess;
     options.certify = args.certify || !args.proof_path.empty();
     // --proof selects streaming certification: the trace goes to disk as
     // binary DRAT while the attack runs, never through a DratTrace in RAM.
@@ -407,6 +432,17 @@ int cmd_attack(const Args& args) {
                     p.clauses_before, p.clauses_after, p.vars_before,
                     p.vars_after, p.eliminated_vars, p.subsumed_clauses,
                     p.strengthened_literals);
+      }
+      if (result.inprocessed && result.inprocess.passes > 0) {
+        const sat::InprocessStats& s = result.inprocess;
+        std::printf("inprocess: %llu passes, %llu vivified, %llu subsumed,"
+                    " %llu failed literals, %llu hyper-binaries\n",
+                    static_cast<unsigned long long>(s.passes),
+                    static_cast<unsigned long long>(s.vivified_clauses),
+                    static_cast<unsigned long long>(s.subsumed_clauses +
+                                                    s.strengthened_clauses),
+                    static_cast<unsigned long long>(s.failed_literals),
+                    static_cast<unsigned long long>(s.hyper_binaries));
       }
       if (result.saved_clauses > 0) {
         std::printf("constraint clauses: %zu encoded, %zu saved by cone"
@@ -440,7 +476,9 @@ int cmd_attack(const Args& args) {
                          to_string(result.status), result.iterations,
                          result.seconds, result.conflicts,
                          result.encoded_clauses, result.saved_clauses,
-                         result.solve_log, certification_fields(result));
+                         result.solve_log,
+                         certification_fields(result) +
+                             inprocess_fields(result));
       }
       if (result.status == attacks::SatAttackStatus::kKeyFound) {
         std::printf("recovered key: ");
@@ -470,6 +508,7 @@ int cmd_attack(const Args& args) {
       appsat.record_solves = options.record_solves;
       appsat.specialize_dips = args.specialize;
       appsat.preprocess = args.preprocess;
+      appsat.inprocess = args.inprocess;
       const auto result = attacks::run_appsat(locked, oracle, appsat);
       std::printf("appsat: %s in %.2fs, %zu DIPs, sampled error %.3f,"
                   " %llu conflicts (%u jobs)\n",
@@ -722,6 +761,7 @@ std::string run_campaign_cell(const CampaignCell& cell, const Args& args,
     options.certify = args.certify;
     options.preprocess = args.preprocess;
     options.preprocess_auto = args.preprocess_auto;
+    options.inprocess = args.inprocess;
     // --proof-dir: stream each certified cell's miter certificate to
     // <dir>/<cell-key>.drat (cell keys are sanitized for the filesystem).
     if (options.certify && !args.proof_dir.empty()) {
@@ -763,6 +803,7 @@ std::string run_campaign_cell(const CampaignCell& cell, const Args& args,
     options.portfolio_seed = cell.seed;
     options.max_iterations = 64;
     options.preprocess = args.preprocess;
+    options.inprocess = args.inprocess;
     options.cancel = &ctx.cancel_flag();
     const auto result = attacks::run_appsat(locked, oracle, options);
     const bool broken = !result.key.empty() && breaks_scheme(result.key);
