@@ -64,7 +64,12 @@ SatAttackResult run_sat_attack(const Netlist& locked, QueryOracle& oracle,
   }
   if (preprocess) miter.enable_preprocessing();
   if (options.inprocess) miter.enable_inprocessing();
-  const engine::MiterContext ctx(locked, miter);
+  const engine::MiterContext ctx = [&]() -> engine::MiterContext {
+    if (options.miter_skeleton != nullptr) {
+      return engine::MiterContext(locked, *options.miter_skeleton, miter);
+    }
+    return engine::MiterContext(locked, miter, options.capture_skeleton);
+  }();
   if (preprocess || options.inprocess) {
     // The DIP loop reads X from each model and adds constraints over both
     // key vectors, so those variables must survive elimination (and stay

@@ -495,6 +495,14 @@ void write_bench_file(const std::string& path, const Netlist& netlist) {
   std::ofstream out(path);
   if (!out) throw std::runtime_error("cannot open " + path);
   write_bench(out, netlist);
+  // A full disk or I/O error surfaces only on the stream's error state;
+  // without this check a truncated netlist would be left on disk and the
+  // call would report success.
+  out.flush();
+  if (out.fail()) {
+    throw std::runtime_error("write failed (disk full or I/O error): " +
+                             path);
+  }
 }
 
 }  // namespace ril::netlist

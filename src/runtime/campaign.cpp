@@ -1,11 +1,9 @@
 #include "runtime/campaign.hpp"
 
 #include <algorithm>
+#include <charconv>
 #include <cstdio>
-#include <fstream>
-#include <mutex>
 #include <stdexcept>
-#include <thread>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -94,11 +92,17 @@ double json_number_field(const std::string& line, const std::string& field,
                          double fallback) {
   const auto pos = find_field_value(line, field);
   if (pos == std::string::npos) return fallback;
-  try {
-    return std::stod(line.substr(pos));
-  } catch (const std::exception&) {
-    return fallback;
-  }
+  // std::from_chars, not std::stod: stod reads the decimal separator from
+  // the global LC_NUMERIC, so resuming a campaign under a comma-decimal
+  // locale would truncate "0.25" to 0. from_chars always parses the JSON
+  // ("C") number format.
+  const char* begin = line.data() + pos;
+  const char* end = line.data() + line.size();
+  while (begin < end && (*begin == ' ' || *begin == '\t')) ++begin;
+  double value = fallback;
+  const auto result = std::from_chars(begin, end, value);
+  if (result.ec != std::errc() || result.ptr == begin) return fallback;
+  return value;
 }
 
 std::string json_object_field(const std::string& line,
@@ -142,52 +146,215 @@ std::string job_record_json(const JobRecord& record) {
   return out;
 }
 
-/// Shared mutable state of one run_campaign() invocation; owns the slot
-/// table the watchdog scans and the serialized JSONL stream.
-struct CampaignState {
-  std::mutex slots_mutex;
-  std::vector<JobContext*> active;  // one slot per worker, null when idle
+// ---------------------------------------------------------------------------
+// JsonlWriter
+// ---------------------------------------------------------------------------
 
-  std::mutex out_mutex;
-  std::ofstream out;
+void JsonlWriter::open(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  out_.open(path, std::ios::app);
+  if (!out_) throw std::runtime_error("cannot open " + path);
+  path_ = path;
+}
 
-  std::atomic<std::size_t> next{0};
-  std::atomic<std::size_t> errors{0};
-  std::atomic<bool> done{false};
+bool JsonlWriter::write_line(const std::string& line) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!out_.is_open()) return false;
+  out_ << line << "\n";
+  out_.flush();  // survive a kill mid-run
+  if (!out_.fail()) return true;
+  // Disk full / I/O error: the record is lost for resume purposes. Count
+  // it, warn once, and clear the stream state so later records still get
+  // a chance to land (a transient ENOSPC may pass).
+  failures_.fetch_add(1, std::memory_order_relaxed);
+  if (!warned_) {
+    warned_ = true;
+    std::fprintf(stderr,
+                 "warning: checkpoint write to %s failed (disk full or I/O "
+                 "error); records may be missing on resume\n",
+                 path_.c_str());
+  }
+  out_.clear();
+  return false;
+}
 
-  void arm(unsigned slot, JobContext* ctx, double timeout) {
-    std::lock_guard<std::mutex> lock(slots_mutex);
-    ctx->timeout_ = timeout;
-    if (timeout > 0) {
-      ctx->deadline_ = Clock::now() + std::chrono::duration_cast<
-          Clock::duration>(std::chrono::duration<double>(timeout));
-      ctx->has_deadline_ = true;
+// ---------------------------------------------------------------------------
+// JobQueue
+// ---------------------------------------------------------------------------
+
+JobQueue::JobQueue(unsigned workers) {
+  const unsigned count = std::max(1u, std::min(workers, 256u));
+  active_.assign(count, nullptr);
+  pool_.reserve(count);
+  for (unsigned w = 0; w < count; ++w) {
+    pool_.emplace_back([this, w] { worker_loop(w); });
+  }
+  watchdog_ = std::thread([this] { watchdog_loop(); });
+}
+
+JobQueue::~JobQueue() {
+  cancel_all();
+  wait_idle();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : pool_) t.join();
+  watchdog_.join();
+}
+
+void JobQueue::submit(std::string key, double timeout_seconds, RunFn run,
+                      DoneFn done) {
+  Pending pending;
+  pending.key = std::move(key);
+  pending.timeout = timeout_seconds;
+  pending.run = std::move(run);
+  pending.done = std::move(done);
+  pending.enqueued = Clock::now();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (cancelling_) {
+      // The queue is shutting down: fail fast instead of queueing work
+      // that would only be dropped.
+      JobRecord record;
+      record.key = std::move(pending.key);
+      record.status = "error";
+      record.error = "cancelled";
+      if (pending.done) pending.done(std::move(record));
+      return;
     }
-    active[slot] = ctx;
+    queue_.push_back(std::move(pending));
   }
+  work_cv_.notify_one();
+}
 
-  void disarm(unsigned slot) {
-    std::lock_guard<std::mutex> lock(slots_mutex);
-    active[slot] = nullptr;
+void JobQueue::wait_idle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && running_ == 0; });
+}
+
+void JobQueue::cancel_all() {
+  std::deque<Pending> dropped;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    cancelling_ = true;
+    dropped.swap(queue_);
   }
+  {
+    std::lock_guard<std::mutex> lock(slots_mutex_);
+    for (JobContext* ctx : active_) {
+      if (ctx) ctx->cancel_.store(true, std::memory_order_relaxed);
+    }
+  }
+  for (Pending& pending : dropped) {
+    JobRecord record;
+    record.key = std::move(pending.key);
+    record.status = "error";
+    record.error = "cancelled";
+    if (pending.done) pending.done(std::move(record));
+  }
+  idle_cv_.notify_all();
+}
 
-  void watchdog_tick() {
-    std::lock_guard<std::mutex> lock(slots_mutex);
-    const auto now = Clock::now();
-    for (JobContext* ctx : active) {
-      if (ctx && ctx->has_deadline_ && now >= ctx->deadline_) {
-        ctx->cancel_.store(true, std::memory_order_relaxed);
+std::size_t JobQueue::in_flight() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size() + running_;
+}
+
+void JobQueue::arm(unsigned slot, JobContext* ctx, double timeout) {
+  std::lock_guard<std::mutex> lock(slots_mutex_);
+  ctx->timeout_ = timeout;
+  if (timeout > 0) {
+    ctx->deadline_ = Clock::now() + std::chrono::duration_cast<
+        Clock::duration>(std::chrono::duration<double>(timeout));
+    ctx->has_deadline_ = true;
+  }
+  active_[slot] = ctx;
+}
+
+void JobQueue::disarm(unsigned slot) {
+  std::lock_guard<std::mutex> lock(slots_mutex_);
+  active_[slot] = nullptr;
+}
+
+void JobQueue::watchdog_loop() {
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (stopping_) return;
+    }
+    {
+      std::lock_guard<std::mutex> lock(slots_mutex_);
+      const auto now = Clock::now();
+      for (JobContext* ctx : active_) {
+        if (ctx && ctx->has_deadline_ && now >= ctx->deadline_) {
+          ctx->cancel_.store(true, std::memory_order_relaxed);
+        }
       }
     }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
   }
+}
 
-  void checkpoint(const JobRecord& record) {
-    if (!out.is_open()) return;
-    std::lock_guard<std::mutex> lock(out_mutex);
-    out << job_record_json(record) << "\n";
-    out.flush();  // survive a kill mid-campaign
+void JobQueue::worker_loop(unsigned slot) {
+  for (;;) {
+    Pending pending;
+    bool cancelled = false;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (stopping_ && queue_.empty()) return;
+      pending = std::move(queue_.front());
+      queue_.pop_front();
+      cancelled = cancelling_;
+      ++running_;
+    }
+
+    JobRecord record;
+    record.key = pending.key;
+    const auto start = Clock::now();
+    record.queue_seconds = seconds_between(pending.enqueued, start);
+
+    if (cancelled) {
+      record.status = "error";
+      record.error = "cancelled";
+    } else {
+      JobContext ctx;
+      arm(slot, &ctx, pending.timeout);
+      try {
+        record.payload = pending.run ? pending.run(ctx) : std::string();
+        record.status = "ok";
+      } catch (const std::exception& e) {
+        record.status = "error";
+        record.error = e.what();
+      } catch (...) {
+        record.status = "error";
+        record.error = "unknown exception";
+      }
+      disarm(slot);
+    }
+    record.run_seconds = seconds_between(start, Clock::now());
+
+    if (pending.done) {
+      try {
+        pending.done(std::move(record));
+      } catch (...) {
+        // A throwing completion callback must not take down the worker.
+      }
+    }
+
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --running_;
+      if (queue_.empty() && running_ == 0) idle_cv_.notify_all();
+    }
   }
-};
+}
+
+// ---------------------------------------------------------------------------
+// run_campaign
+// ---------------------------------------------------------------------------
 
 CampaignSummary run_campaign(const std::vector<CampaignJob>& jobs,
                              const CampaignOptions& options) {
@@ -237,71 +404,39 @@ CampaignSummary run_campaign(const std::vector<CampaignJob>& jobs,
     }
   }
 
-  CampaignState state;
-  if (!options.out_path.empty()) {
-    state.out.open(options.out_path, std::ios::app);
-    if (!state.out) {
-      throw std::runtime_error("run_campaign: cannot open " +
-                               options.out_path);
-    }
-  }
+  JsonlWriter checkpoint;
+  if (!options.out_path.empty()) checkpoint.open(options.out_path);
 
   const unsigned workers = std::max<unsigned>(
       1, std::min<unsigned>(std::min<unsigned>(options.jobs, 256),
                             std::max<std::size_t>(pending.size(), 1)));
-  state.active.assign(workers, nullptr);
 
-  auto worker_fn = [&](unsigned slot) {
-    for (;;) {
-      const std::size_t n =
-          state.next.fetch_add(1, std::memory_order_relaxed);
-      if (n >= pending.size()) return;
-      const std::size_t index = pending[n];
+  std::atomic<std::size_t> errors{0};
+  {
+    JobQueue queue(workers);
+    for (std::size_t index : pending) {
       const CampaignJob& job = jobs[index];
-
-      JobRecord record;
-      record.key = job.key;
-      const auto start = Clock::now();
-      record.queue_seconds = seconds_between(campaign_start, start);
-
-      JobContext ctx;
-      state.arm(slot, &ctx, job.timeout_seconds);
-      try {
-        record.payload = job.run ? job.run(ctx) : std::string();
-        record.status = "ok";
-      } catch (const std::exception& e) {
-        record.status = "error";
-        record.error = e.what();
-        state.errors.fetch_add(1, std::memory_order_relaxed);
-      } catch (...) {
-        record.status = "error";
-        record.error = "unknown exception";
-        state.errors.fetch_add(1, std::memory_order_relaxed);
-      }
-      state.disarm(slot);
-      record.run_seconds = seconds_between(start, Clock::now());
-
-      state.checkpoint(record);
-      summary.records[index] = std::move(record);  // distinct indices: safe
+      queue.submit(
+          job.key, job.timeout_seconds,
+          [&job](JobContext& ctx) {
+            return job.run ? job.run(ctx) : std::string();
+          },
+          [&summary, &checkpoint, &errors, index](JobRecord&& record) {
+            if (record.status == "error") {
+              errors.fetch_add(1, std::memory_order_relaxed);
+            }
+            if (checkpoint.is_open()) {
+              checkpoint.write_line(job_record_json(record));
+            }
+            summary.records[index] = std::move(record);  // distinct: safe
+          });
     }
-  };
-
-  std::thread watchdog([&state] {
-    while (!state.done.load(std::memory_order_relaxed)) {
-      state.watchdog_tick();
-      std::this_thread::sleep_for(std::chrono::milliseconds(10));
-    }
-  });
-
-  std::vector<std::thread> pool;
-  pool.reserve(workers);
-  for (unsigned w = 0; w < workers; ++w) pool.emplace_back(worker_fn, w);
-  for (std::thread& t : pool) t.join();
-  state.done.store(true, std::memory_order_relaxed);
-  watchdog.join();
+    queue.wait_idle();
+  }
 
   summary.completed = pending.size();
-  summary.errors = state.errors.load();
+  summary.errors = errors.load();
+  summary.checkpoint_failures = checkpoint.failures();
   summary.seconds = seconds_between(campaign_start, Clock::now());
   return summary;
 }

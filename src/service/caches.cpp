@@ -1,0 +1,195 @@
+#include "service/caches.hpp"
+
+#include <chrono>
+#include <stdexcept>
+
+#include "attacks/engine/miter_context.hpp"
+#include "cnf/tseitin.hpp"
+#include "netlist/bench_io.hpp"
+#include "netlist/verilog_io.hpp"
+
+namespace ril::service {
+
+using attacks::engine::MiterSkeleton;
+using netlist::Netlist;
+using netlist::NodeId;
+
+std::uint64_t content_hash(const std::string& text) {
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a offset basis
+  for (unsigned char c : text) {
+    h ^= c;
+    h *= 1099511628211ull;  // FNV prime
+  }
+  return h;
+}
+
+std::string content_hash_hex(const std::string& text) {
+  static const char* digits = "0123456789abcdef";
+  std::uint64_t h = content_hash(text);
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = digits[h & 0xf];
+    h >>= 4;
+  }
+  return out;
+}
+
+std::shared_ptr<const Netlist> NetlistCache::get(const std::string& text,
+                                                 bool verilog,
+                                                 std::string* hex_out,
+                                                 bool* hit_out) {
+  const std::string hex = content_hash_hex(text);
+  if (hex_out) *hex_out = hex;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = map_.find(hex);
+    if (it != map_.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      if (hit_out) *hit_out = true;
+      return it->second;
+    }
+  }
+  // Parse outside the lock -- a slow parse must not serialize unrelated
+  // requests. A racing duplicate parse is resolved at insert (first wins).
+  auto parsed = std::make_shared<Netlist>(
+      verilog ? netlist::read_verilog_string(text)
+              : netlist::read_bench_string(text));
+  // Materialize every lazy auto-name now: name_of() mutates the shared
+  // name table, which is the one operation on a const Netlist that is not
+  // thread-safe. After this walk the object is genuinely immutable.
+  for (std::size_t id = 0; id < parsed->node_count(); ++id) {
+    parsed->name_of(static_cast<NodeId>(id));
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = map_.emplace(hex, std::move(parsed));
+  if (!inserted) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    if (hit_out) *hit_out = true;
+  } else {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    if (hit_out) *hit_out = false;
+  }
+  return it->second;
+}
+
+std::size_t NetlistCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return map_.size();
+}
+
+std::shared_ptr<const MiterSkeleton> SkeletonCache::find(
+    const std::string& hex) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = map_.find(hex);
+  if (it == map_.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second;
+}
+
+void SkeletonCache::put(const std::string& hex,
+                        std::shared_ptr<const MiterSkeleton> skeleton) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  map_.emplace(hex, std::move(skeleton));  // first capture wins
+}
+
+std::size_t SkeletonCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return map_.size();
+}
+
+std::size_t SkeletonCache::memory_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t bytes = 0;
+  for (const auto& [hex, skeleton] : map_) bytes += skeleton->memory_bytes();
+  return bytes;
+}
+
+WarmVerifier::WarmVerifier(std::shared_ptr<const Netlist> locked,
+                           std::shared_ptr<const Netlist> activated,
+                           unsigned jobs, std::uint64_t seed)
+    : locked_(std::move(locked)),
+      activated_(std::move(activated)),
+      portfolio_(jobs, seed) {
+  if (locked_->data_inputs().size() != activated_->data_inputs().size()) {
+    throw std::invalid_argument("verify: data input widths differ");
+  }
+  if (locked_->outputs().size() != activated_->outputs().size()) {
+    throw std::invalid_argument("verify: output widths differ");
+  }
+  if (!activated_->key_inputs().empty()) {
+    throw std::invalid_argument("verify: activated netlist has key inputs");
+  }
+  const std::vector<sat::Var> x =
+      attacks::engine::make_vars(portfolio_, locked_->data_inputs().size());
+  // Locked copy with free key variables: the key arrives per-verify as
+  // assumptions, which is what keeps this instance reusable across keys.
+  const auto locked_copy =
+      attacks::engine::encode_copy(*locked_, portfolio_, x);
+  key_vars_ = locked_copy.key_vars;
+  const auto activated_copy =
+      attacks::engine::encode_copy(*activated_, portfolio_, x);
+  cnf::encode_miter(portfolio_, locked_copy.output_vars,
+                    activated_copy.output_vars);
+}
+
+WarmVerifier::Outcome WarmVerifier::verify(const std::vector<bool>& key,
+                                           double timeout_seconds,
+                                           const std::atomic<bool>* cancel) {
+  if (key.size() != key_vars_.size()) {
+    throw std::invalid_argument("verify: key width mismatch");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  portfolio_.set_external_stop(cancel);
+  sat::SolverLimits limits;
+  limits.time_limit_seconds = timeout_seconds;
+  portfolio_.set_limits(limits);
+  std::vector<sat::Lit> assumptions;
+  assumptions.reserve(key.size());
+  for (std::size_t i = 0; i < key.size(); ++i) {
+    assumptions.push_back(sat::Lit::make(key_vars_[i], !key[i]));
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  const runtime::SolveOutcome outcome = portfolio_.solve(assumptions);
+  Outcome result;
+  result.status = outcome.result;
+  // SAT = a distinguishing input exists = the key is wrong.
+  result.equivalent = outcome.result == sat::Result::kUnsat;
+  result.conflicts = outcome.conflicts;
+  result.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  result.uses = ++uses_;
+  return result;
+}
+
+std::shared_ptr<WarmVerifier> VerifierCache::get(
+    const std::string& locked_hex, std::shared_ptr<const Netlist> locked,
+    const std::string& activated_hex,
+    std::shared_ptr<const Netlist> activated, unsigned jobs,
+    std::uint64_t seed, bool* hit_out) {
+  const std::string key = locked_hex + ":" + activated_hex;
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    if (hit_out) *hit_out = true;
+    return it->second;
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  if (hit_out) *hit_out = false;
+  auto verifier = std::make_shared<WarmVerifier>(std::move(locked),
+                                                 std::move(activated), jobs,
+                                                 seed);
+  map_.emplace(key, verifier);
+  return verifier;
+}
+
+std::size_t VerifierCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return map_.size();
+}
+
+}  // namespace ril::service

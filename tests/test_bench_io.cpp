@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
+
 #include "netlist/simulator.hpp"
 
 namespace ril::netlist {
@@ -240,6 +242,34 @@ TEST(BenchIo, LutMaskOutOfRangeRejected) {
   } catch (const std::runtime_error& e) {
     const std::string message = e.what();
     EXPECT_NE(message.find("line 4"), std::string::npos) << message;
+  }
+}
+
+TEST(BenchIo, WriteBenchFileThrowsOnUnopenablePath) {
+  const Netlist nl = read_bench_string(kSample);
+  EXPECT_THROW(write_bench_file("/nonexistent-dir/out.bench", nl),
+               std::runtime_error);
+}
+
+TEST(BenchIo, WriteBenchFileSurfacesWriteFailure) {
+  // /dev/full opens fine and fails every write with ENOSPC — exactly the
+  // disk-full scenario that used to leave a truncated netlist on disk and
+  // return success.
+  {
+    std::ofstream probe("/dev/full", std::ios::app);
+    if (!probe.is_open()) GTEST_SKIP() << "/dev/full not available";
+    probe << "x";
+    probe.flush();
+    if (!probe.fail()) GTEST_SKIP() << "/dev/full does not reject writes";
+  }
+  const Netlist nl = read_bench_string(kSample);
+  try {
+    write_bench_file("/dev/full", nl);
+    FAIL() << "disk-full write reported success";
+  } catch (const std::runtime_error& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("/dev/full"), std::string::npos) << message;
+    EXPECT_NE(message.find("write failed"), std::string::npos) << message;
   }
 }
 

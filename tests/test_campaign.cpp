@@ -4,8 +4,10 @@
 
 #include <atomic>
 #include <chrono>
+#include <clocale>
 #include <cstdio>
 #include <fstream>
+#include <mutex>
 #include <stdexcept>
 #include <thread>
 
@@ -261,6 +263,113 @@ TEST(Campaign, RecordJsonRoundTrips) {
   EXPECT_EQ(json_string_field("{" + json_object_field(line, "data") + "}",
                               "cell"),
             "0.61");
+}
+
+TEST(Campaign, JsonNumberFieldIsLocaleIndependent) {
+  // Regression: json_number_field used std::stod, whose decimal separator
+  // follows the global LC_NUMERIC — resuming a campaign under a
+  // comma-decimal locale truncated "0.5" to 0, corrupting the restored
+  // queue_seconds/run_seconds of every cached record.
+  const std::string line =
+      R"({"key":"k","status":"ok","queue_seconds":0.5,"run_seconds":1.25})";
+  EXPECT_DOUBLE_EQ(json_number_field(line, "queue_seconds"), 0.5);
+
+  const char* before = std::setlocale(LC_NUMERIC, nullptr);
+  const std::string saved = before ? before : "C";
+  bool switched = false;
+  for (const char* name :
+       {"de_DE.UTF-8", "de_DE.utf8", "fr_FR.UTF-8", "fr_FR.utf8"}) {
+    if (std::setlocale(LC_NUMERIC, name) != nullptr) {
+      switched = true;
+      break;
+    }
+  }
+  if (!switched) GTEST_SKIP() << "no comma-decimal locale installed";
+
+  char formatted[16];
+  std::snprintf(formatted, sizeof(formatted), "%.1f", 0.5);
+  const bool comma_decimal =
+      std::string(formatted).find(',') != std::string::npos;
+  const double queue_seconds = json_number_field(line, "queue_seconds");
+  const double run_seconds = json_number_field(line, "run_seconds");
+  std::setlocale(LC_NUMERIC, saved.c_str());
+  if (!comma_decimal) {
+    GTEST_SKIP() << "selected locale does not use comma decimals";
+  }
+  EXPECT_DOUBLE_EQ(queue_seconds, 0.5);
+  EXPECT_DOUBLE_EQ(run_seconds, 1.25);
+}
+
+TEST(Campaign, CheckpointWriteFailureCountedNotSilent) {
+  // Regression: a checkpoint stream on a full disk used to drop JSONL
+  // records without any signal, so --resume re-ran or lost those cells.
+  {
+    std::ofstream probe("/dev/full", std::ios::app);
+    if (!probe.is_open()) GTEST_SKIP() << "/dev/full not available";
+    probe << "x";
+    probe.flush();
+    if (!probe.fail()) GTEST_SKIP() << "/dev/full does not reject writes";
+  }
+  std::vector<CampaignJob> jobs;
+  jobs.push_back(simple_job("a", "\"v\":1"));
+  jobs.push_back(simple_job("b", "\"v\":2"));
+  CampaignOptions options;
+  options.out_path = "/dev/full";
+  const auto summary = run_campaign(jobs, options);
+  EXPECT_EQ(summary.completed, 2u);
+  EXPECT_EQ(summary.errors, 0u);  // the cells themselves succeeded
+  EXPECT_EQ(summary.checkpoint_failures, 2u);
+}
+
+TEST(Campaign, JsonlWriterReportsFailuresPerLine) {
+  {
+    std::ofstream probe("/dev/full", std::ios::app);
+    if (!probe.is_open()) GTEST_SKIP() << "/dev/full not available";
+    probe << "x";
+    probe.flush();
+    if (!probe.fail()) GTEST_SKIP() << "/dev/full does not reject writes";
+  }
+  JsonlWriter writer;
+  writer.open("/dev/full");
+  EXPECT_FALSE(writer.write_line("{\"a\":1}"));
+  EXPECT_FALSE(writer.write_line("{\"b\":2}"));
+  EXPECT_EQ(writer.failures(), 2u);
+
+  JsonlWriter good;
+  const std::string path = scratch_path("jsonl_writer");
+  std::remove(path.c_str());
+  good.open(path);
+  EXPECT_TRUE(good.write_line("{\"a\":1}"));
+  EXPECT_EQ(good.failures(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(Campaign, JobQueueRunsSubmittedJobsAndCancelsQueued) {
+  JobQueue queue(2);
+  std::mutex mutex;
+  std::vector<std::string> done_keys;
+  for (int i = 0; i < 4; ++i) {
+    queue.submit("q-" + std::to_string(i), 0,
+                 [](JobContext&) { return std::string("\"ok\":1"); },
+                 [&](JobRecord&& record) {
+                   std::lock_guard<std::mutex> lock(mutex);
+                   done_keys.push_back(record.key + ":" + record.status);
+                 });
+  }
+  queue.wait_idle();
+  EXPECT_EQ(done_keys.size(), 4u);
+  for (const std::string& k : done_keys) {
+    EXPECT_NE(k.find(":ok"), std::string::npos) << k;
+  }
+
+  // After cancel_all, running jobs see their cancel flag and queued or
+  // newly submitted jobs fail fast as "cancelled".
+  queue.cancel_all();
+  JobRecord late;
+  queue.submit("late", 0, [](JobContext&) { return std::string(); },
+               [&](JobRecord&& record) { late = std::move(record); });
+  EXPECT_EQ(late.status, "error");
+  EXPECT_EQ(late.error, "cancelled");
 }
 
 TEST(Campaign, JsonHelpersHandleEscapesAndNesting) {

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+
 #include "benchgen/arithmetic.hpp"
 #include "benchgen/random_dag.hpp"
 #include "cnf/equivalence.hpp"
@@ -139,6 +142,51 @@ TEST(VerilogIo, SequentialRoundTrip) {
     sim_a.step();
     sim_b.step();
   }
+}
+
+TEST(VerilogIo, FileReaderMatchesStringReader) {
+  // The mmap-backed file path and the in-memory path must produce the same
+  // netlist (and the same errors) for the same bytes.
+  const Netlist original = benchgen::make_ripple_adder(5);
+  const std::string path = "verilog_io_mmap_test.v";
+  write_verilog_file(path, original);
+  const Netlist from_file = read_verilog_file(path);
+  const Netlist from_string =
+      read_verilog_string(write_verilog_string(original));
+  EXPECT_EQ(from_file.node_count(), from_string.node_count());
+  EXPECT_EQ(from_file.inputs().size(), from_string.inputs().size());
+  EXPECT_TRUE(cnf::check_equivalence(from_file, from_string).equivalent());
+  EXPECT_TRUE(cnf::check_equivalence(original, from_file).equivalent());
+  std::remove(path.c_str());
+
+  // Same garbage, same rejection, through the file path.
+  {
+    std::ofstream bad("verilog_io_bad_test.v");
+    bad << "module m (a); banana (x, y);";
+  }
+  EXPECT_THROW(read_verilog_file("verilog_io_bad_test.v"),
+               std::runtime_error);
+  std::remove("verilog_io_bad_test.v");
+}
+
+TEST(VerilogIo, WriteVerilogFileSurfacesWriteFailure) {
+  {
+    std::ofstream probe("/dev/full", std::ios::app);
+    if (!probe.is_open()) GTEST_SKIP() << "/dev/full not available";
+    probe << "x";
+    probe.flush();
+    if (!probe.fail()) GTEST_SKIP() << "/dev/full does not reject writes";
+  }
+  const Netlist nl = benchgen::make_ripple_adder(4);
+  try {
+    write_verilog_file("/dev/full", nl);
+    FAIL() << "disk-full write reported success";
+  } catch (const std::runtime_error& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("/dev/full"), std::string::npos) << message;
+  }
+  EXPECT_THROW(write_verilog_file("/nonexistent-dir/out.v", nl),
+               std::runtime_error);
 }
 
 TEST(VerilogIo, RejectsGarbage) {

@@ -64,6 +64,14 @@
 //       <attack> <timeout> <seed>`. --jobs N runs N cells concurrently;
 //       --out streams one JSON line per cell (see docs/ARCHITECTURE.md for
 //       the schema); --resume skips cells already present in that file.
+//
+//   ril serve [--port N] [--workers N] [--solver-jobs N]
+//             [--journal file.jsonl] [--proof-dir DIR] [--timeout S]
+//       Long-lived attack-as-a-service daemon: lock / attack / verify /
+//       check-proof jobs over HTTP/1.1 + JSON on 127.0.0.1, with
+//       cross-request netlist / CNF-skeleton / warm-verifier caches,
+//       per-job deadlines, a kill-safe JSONL journal, and streamed DRAT
+//       certificate retrieval. See docs/SERVICE.md for the API.
 #include <algorithm>
 #include <cctype>
 #include <cerrno>
@@ -93,6 +101,8 @@
 #include "netlist/stats.hpp"
 #include "runtime/campaign.hpp"
 #include "sat/drat_check.hpp"
+#include "service/http.hpp"
+#include "service/service.hpp"
 #include "sat/proof.hpp"
 #include "sca/circuit_dpa.hpp"
 
@@ -117,7 +127,9 @@ using namespace ril;
                "  ril unlock <locked.bench> <key.txt> <out.bench>\n"
                "  ril campaign <spec.campaign> [--jobs N --out results.jsonl"
                " --resume --solver-jobs N --no-preprocess --no-inprocess"
-               " --certify --proof-dir DIR]\n");
+               " --certify --proof-dir DIR]\n"
+               "  ril serve [--port N --workers N --solver-jobs N"
+               " --journal file.jsonl --proof-dir DIR --timeout S]\n");
   std::exit(2);
 }
 
@@ -153,6 +165,8 @@ struct Args {
   /// check-proof: accept an open certificate (no empty clause required).
   bool open_certificate = false;
   std::string proof_dir;
+  /// serve: TCP port to bind (0 = ephemeral, printed on startup).
+  unsigned port = 0;
 };
 
 Args parse(int argc, char** argv) {
@@ -191,6 +205,9 @@ Args parse(int argc, char** argv) {
     else if (arg == "--open") args.open_certificate = true;
     else if (arg == "--proof") args.proof_path = value();
     else if (arg == "--proof-dir") args.proof_dir = value();
+    else if (arg == "--port") args.port = static_cast<unsigned>(std::strtoul(value(), nullptr, 10));
+    else if (arg == "--workers") args.jobs = std::max(1u, static_cast<unsigned>(std::strtoul(value(), nullptr, 10)));
+    else if (arg == "--journal") args.out_path = value();
     else if (arg.rfind("--", 0) == 0) usage(("unknown option " + arg).c_str());
     else args.positional.push_back(arg);
   }
@@ -900,6 +917,40 @@ int cmd_check_proof(const Args& args) {
   return 1;
 }
 
+/// `ril serve` -- the attack-as-a-service daemon (docs/SERVICE.md).
+/// Binds 127.0.0.1:<port> (0 picks an ephemeral port, printed on stdout),
+/// runs jobs on --workers queue slots with --solver-jobs-wide portfolios,
+/// journals every terminal job to --journal, and streams certified attack
+/// proofs into --proof-dir. Stops on POST /v1/shutdown.
+int cmd_serve(const Args& args) {
+  service::ServiceOptions options;
+  options.workers = args.jobs;
+  options.solver_jobs = args.solver_jobs;
+  options.journal_path = args.out_path;
+  if (!args.proof_dir.empty()) options.proof_dir = args.proof_dir;
+  options.default_timeout_seconds = args.timeout;
+
+  service::AttackService attack_service(options);
+  service::HttpServer server(
+      [&attack_service](const service::HttpRequest& request) {
+        return attack_service.handle(request);
+      });
+  // More acceptor threads than workers so status polls are never starved
+  // behind long wait=1 submissions.
+  server.start(args.port, args.jobs + 4);
+  std::printf("ril serve: listening on 127.0.0.1:%u (%u workers, %u solver"
+              " jobs)\n",
+              server.port(), args.jobs, args.solver_jobs);
+  if (!options.journal_path.empty()) {
+    std::printf("ril serve: journal -> %s\n", options.journal_path.c_str());
+  }
+  std::fflush(stdout);
+  attack_service.wait_shutdown();
+  server.stop();
+  std::printf("ril serve: shutdown complete\n");
+  return 0;
+}
+
 int cmd_campaign(const Args& args) {
   if (args.positional.size() != 1) usage("campaign needs <spec.campaign>");
   const auto cells = parse_campaign_spec(args.positional[0]);
@@ -964,6 +1015,7 @@ int main(int argc, char** argv) {
     if (command == "analyze") return cmd_analyze(args);
     if (command == "unlock") return cmd_unlock(args);
     if (command == "campaign") return cmd_campaign(args);
+    if (command == "serve") return cmd_serve(args);
     usage(("unknown command " + command).c_str());
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
