@@ -263,14 +263,21 @@ std::size_t JobQueue::in_flight() const {
 }
 
 void JobQueue::arm(unsigned slot, JobContext* ctx, double timeout) {
-  std::lock_guard<std::mutex> lock(slots_mutex_);
-  ctx->timeout_ = timeout;
-  if (timeout > 0) {
-    ctx->deadline_ = Clock::now() + std::chrono::duration_cast<
-        Clock::duration>(std::chrono::duration<double>(timeout));
-    ctx->has_deadline_ = true;
+  {
+    std::lock_guard<std::mutex> lock(slots_mutex_);
+    ctx->timeout_ = timeout;
+    if (timeout > 0) {
+      ctx->deadline_ = Clock::now() + std::chrono::duration_cast<
+          Clock::duration>(std::chrono::duration<double>(timeout));
+      ctx->has_deadline_ = true;
+    }
+    active_[slot] = ctx;
   }
-  active_[slot] = ctx;
+  // Close the pop/cancel race: cancel_all() may have iterated active_
+  // after this worker popped the job (observing cancelling_ == false) but
+  // before the registration above, in which case nobody set our flag.
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (cancelling_) ctx->cancel_.store(true, std::memory_order_relaxed);
 }
 
 void JobQueue::disarm(unsigned slot) {

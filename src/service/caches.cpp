@@ -38,7 +38,12 @@ std::shared_ptr<const Netlist> NetlistCache::get(const std::string& text,
                                                  bool verilog,
                                                  std::string* hex_out,
                                                  bool* hit_out) {
-  const std::string hex = content_hash_hex(text);
+  // The parse format is part of the identity: identical bytes read as
+  // bench vs Verilog yield different netlists, so the key (and the hash
+  // the API exposes, which seeds the skeleton/verifier cache keys too)
+  // carries a format prefix.
+  const std::string hex =
+      (verilog ? "v:" : "b:") + content_hash_hex(text);
   if (hex_out) *hex_out = hex;
   {
     std::lock_guard<std::mutex> lock(mutex_);

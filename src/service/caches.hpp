@@ -44,9 +44,12 @@ std::string content_hash_hex(const std::string& text);
 class NetlistCache {
  public:
   /// Parses `text` (Verilog when `verilog`, bench otherwise) or returns the
-  /// cached object for identical content. `hex_out` (optional) receives the
-  /// content hash; `hit_out` (optional) receives whether this was a hit.
-  /// Thread-safe; the returned netlist is immutable and safe to share.
+  /// cached object for identical content *in the same format*. `hex_out`
+  /// (optional) receives the format-qualified cache key ("v:<hash>" /
+  /// "b:<hash>") — the format is part of the identity, since the same
+  /// bytes parse to different netlists under the two readers. `hit_out`
+  /// (optional) receives whether this was a hit. Thread-safe; the returned
+  /// netlist is immutable and safe to share.
   std::shared_ptr<const netlist::Netlist> get(const std::string& text,
                                               bool verilog,
                                               std::string* hex_out = nullptr,

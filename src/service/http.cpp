@@ -5,6 +5,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "runtime/campaign.hpp"
+
 #if defined(__unix__) || defined(__APPLE__)
 #define RIL_HAVE_SOCKETS 1
 #include <arpa/inet.h>
@@ -208,7 +210,7 @@ void HttpServer::handle_connection(int fd) {
     } catch (const std::exception& e) {
       response = HttpResponse{};
       response.status = 500;
-      response.body = std::string("{\"error\":\"") + e.what() + "\"}";
+      response.body = "{\"error\":\"" + runtime::json_escape(e.what()) + "\"}";
     }
   }
   std::string out = "HTTP/1.1 " + std::to_string(response.status) + " " +

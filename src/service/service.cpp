@@ -83,7 +83,15 @@ AttackService::AttackService(ServiceOptions options)
   }
 }
 
-AttackService::~AttackService() { queue_.cancel_all(); }
+AttackService::~AttackService() {
+  // Cancel cooperatively, then wait for workers to finish winding down.
+  // The wait is load-bearing: queue_ is destroyed *last* among the members
+  // a job callback touches (it is declared first), so without it a still-
+  // running job's run/done callbacks could fire against already-destroyed
+  // jobs_/journal_/caches.
+  queue_.cancel_all();
+  queue_.wait_idle();
+}
 
 bool AttackService::shutdown_requested() const {
   std::lock_guard<std::mutex> lock(shutdown_mutex_);

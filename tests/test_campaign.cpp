@@ -372,6 +372,31 @@ TEST(Campaign, JobQueueRunsSubmittedJobsAndCancelsQueued) {
   EXPECT_EQ(late.error, "cancelled");
 }
 
+TEST(Campaign, CancelAllReachesJobsPoppedButNotYetArmed) {
+  // Regression: a worker could pop a job (cancelling_ still false), lose
+  // the CPU before arm() registered its JobContext, and then miss the
+  // cancel_all() sweep over active_ entirely — with no deadline the job
+  // spun forever and wait_idle()/~JobQueue hung. arm() now re-checks the
+  // cancelling flag after registering. Hammer the window: submit spin-
+  // until-cancelled jobs and cancel immediately; every round must drain.
+  for (int round = 0; round < 25; ++round) {
+    JobQueue queue(2);
+    for (int i = 0; i < 4; ++i) {
+      queue.submit("spin-" + std::to_string(i), /*timeout_seconds=*/0,
+                   [](JobContext& ctx) {
+                     while (!ctx.cancelled()) {
+                       std::this_thread::sleep_for(
+                           std::chrono::microseconds(50));
+                     }
+                     return std::string();
+                   },
+                   nullptr);
+    }
+    queue.cancel_all();
+    queue.wait_idle();  // hangs here (test timeout) without the fix
+  }
+}
+
 TEST(Campaign, JsonHelpersHandleEscapesAndNesting) {
   EXPECT_EQ(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
   const std::string line =

@@ -90,6 +90,55 @@ TEST(ServiceCaches, NetlistCacheSharesParsedObject) {
   EXPECT_EQ(cache.size(), 2u);
 }
 
+TEST(ServiceCaches, NetlistCacheKeysIncludeParseFormat) {
+  // Regression: the cache used to key by content hash alone, so identical
+  // bytes first parsed as bench and later requested as Verilog (or vice
+  // versa) silently returned the first parse. The same text below is a
+  // 1-gate netlist under the bench reader and (having no ';' statements)
+  // an empty netlist under the Verilog reader — they must never alias.
+  NetlistCache cache;
+  const std::string text = "INPUT(a)\nOUTPUT(b)\nb = NOT(a)\n";
+  bool hit = true;
+  std::string bench_hex;
+  const auto as_bench = cache.get(text, false, &bench_hex, &hit);
+  EXPECT_FALSE(hit);
+  EXPECT_EQ(as_bench->node_count(), 2u);
+
+  std::string verilog_hex;
+  const auto as_verilog = cache.get(text, true, &verilog_hex, &hit);
+  EXPECT_FALSE(hit) << "verilog request must not hit the bench entry";
+  EXPECT_NE(as_verilog.get(), as_bench.get());
+  EXPECT_NE(bench_hex, verilog_hex);
+  EXPECT_EQ(bench_hex.rfind("b:", 0), 0u) << bench_hex;
+  EXPECT_EQ(verilog_hex.rfind("v:", 0), 0u) << verilog_hex;
+  EXPECT_EQ(cache.size(), 2u);
+
+  // Same text, same format -> still a hit.
+  cache.get(text, false, nullptr, &hit);
+  EXPECT_TRUE(hit);
+}
+
+TEST(Service, DestructionWithInFlightJobShutsDownCleanly) {
+  // Regression: ~AttackService only raised the cancel flags and did not
+  // wait for workers, so a still-running job's callbacks fired against
+  // already-destroyed members (jobs_, journal_, caches). The destructor
+  // now cancels *and* drains; this must come back without crashing.
+  const netlist::Netlist host = small_host(33);
+  const auto locked = locking::lock_xor(host, 16, 9);
+  const std::string body =
+      attack_body(netlist::write_bench_string(locked.netlist),
+                  netlist::write_bench_string(host));
+  for (int round = 0; round < 5; ++round) {
+    ServiceOptions options;
+    options.workers = 2;
+    AttackService service(options);
+    // Async submit (no wait=1): the job is still running when the service
+    // goes out of scope at the end of this iteration.
+    const auto response = service.handle(post_job(body, /*wait=*/false));
+    EXPECT_EQ(response.status, 202) << response.body;
+  }
+}
+
 TEST(Service, ConcurrentAttacksShareCachesAndAgree) {
   const netlist::Netlist host = small_host(21);
   const auto locked = locking::lock_xor(host, 8, 5);

@@ -205,7 +205,11 @@ Args parse(int argc, char** argv) {
     else if (arg == "--open") args.open_certificate = true;
     else if (arg == "--proof") args.proof_path = value();
     else if (arg == "--proof-dir") args.proof_dir = value();
-    else if (arg == "--port") args.port = static_cast<unsigned>(std::strtoul(value(), nullptr, 10));
+    else if (arg == "--port") {
+      const unsigned long port = std::strtoul(value(), nullptr, 10);
+      if (port > 65535) usage("--port must be in [0, 65535]");
+      args.port = static_cast<unsigned>(port);
+    }
     else if (arg == "--workers") args.jobs = std::max(1u, static_cast<unsigned>(std::strtoul(value(), nullptr, 10)));
     else if (arg == "--journal") args.out_path = value();
     else if (arg.rfind("--", 0) == 0) usage(("unknown option " + arg).c_str());
